@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark owns a private event loop: pytest-benchmark drives a
+synchronous callable, which runs a *batch* of N operations on the
+loop; per-operation cost is recorded in ``extra_info`` so the JSON
+output carries the Figure 5.1-comparable number.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+
+@pytest.fixture
+def bench_loop():
+    loop = asyncio.new_event_loop()
+    try:
+        yield loop
+    finally:
+        # Drain anything still scheduled before closing.
+        pending = asyncio.all_tasks(loop)
+        for task in pending:
+            task.cancel()
+        if pending:
+            loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True)
+            )
+        loop.close()
+
+
+def per_op(benchmark, batch: int) -> None:
+    """Record the per-operation cost computed from the measured mean."""
+    benchmark.extra_info["batch"] = batch
+    benchmark.extra_info["per_op_us"] = benchmark.stats.stats.mean / batch * 1e6

@@ -1,0 +1,41 @@
+"""Substrate ablation: go-back-N ARQ goodput vs window and loss.
+
+``python -m repro.bench arq`` prints the full table.
+"""
+
+import pytest
+
+from repro.bench.arq_bench import _measure_case
+from benchmarks.conftest import per_op
+
+FRAMES = 100
+
+
+@pytest.mark.parametrize("drop_every_nth", [0, 5, 3], ids=["lossless", "loss-1in5", "loss-1in3"])
+@pytest.mark.parametrize("window", [1, 4, 16])
+def test_arq_goodput(benchmark, bench_loop, window, drop_every_nth):
+    retransmissions = []
+
+    def run_case():
+        result = bench_loop.run_until_complete(
+            _measure_case(window, drop_every_nth, FRAMES)
+        )
+        retransmissions.append(result.retransmissions)
+
+    benchmark.pedantic(run_case, rounds=3, iterations=1)
+    per_op(benchmark, FRAMES)
+    benchmark.extra_info["retransmissions"] = retransmissions[-1]
+
+
+def test_window_helps_under_loss(benchmark, bench_loop):
+    """Stop-and-wait pays a timeout per loss; a window amortizes it."""
+    results = {}
+
+    def run_pair():
+        for window in (1, 16):
+            results[window] = bench_loop.run_until_complete(
+                _measure_case(window, 3, FRAMES)
+            )
+
+    benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert results[16].per_frame_us < results[1].per_frame_us

@@ -1,0 +1,95 @@
+"""§3.4 ablation: batching asynchronous calls reduces IPC.
+
+One benchmark per ``max_batch`` setting; each round streams a fixed
+number of void calls over a UNIX-domain connection and fences with one
+synchronous call.  ``max_batch=1`` is the unbatched baseline.
+
+``python -m repro.bench batching`` prints the comparison table.
+"""
+
+import pytest
+
+from repro.bench.scenarios import COUNTER_SOURCE, CounterIface
+from repro.client import ClamClient
+from repro.server import ClamServer
+from benchmarks.conftest import per_op
+
+CALLS = 200
+
+
+@pytest.fixture
+def batched_counter_factory(bench_loop, tmp_path):
+    made = []
+
+    def make(max_batch: int):
+        async def setup():
+            server = ClamServer()
+            address = await server.start(f"unix://{tmp_path}/batch{max_batch}.sock")
+            client = await ClamClient.connect(
+                address, max_batch=max_batch, flush_delay=None
+            )
+            await client.load_module("counter", COUNTER_SOURCE)
+            counter = await client.create(CounterIface)
+            return server, client, counter
+
+        server, client, counter = bench_loop.run_until_complete(setup())
+        made.append((server, client))
+        return client, counter
+
+    yield make
+
+    async def teardown():
+        for server, client in made:
+            await client.close()
+            await server.shutdown()
+
+    bench_loop.run_until_complete(teardown())
+
+
+@pytest.mark.parametrize("max_batch", [1, 4, 16, 64, 256])
+def test_batched_void_calls(benchmark, bench_loop, batched_counter_factory, max_batch):
+    client, counter = batched_counter_factory(max_batch)
+
+    async def stream():
+        for _ in range(CALLS):
+            await counter.add(1)
+        await client.sync()
+
+    benchmark(lambda: bench_loop.run_until_complete(stream()))
+    per_op(benchmark, CALLS)
+    benchmark.extra_info["frames_sent"] = client.rpc.batch.frames_sent
+    benchmark.extra_info["calls_queued"] = client.rpc.batch.calls_queued
+
+
+def test_batching_reduces_frames_and_time(benchmark, bench_loop, batched_counter_factory):
+    """The §3.4 claim as an assertion: batched beats unbatched on both
+    frame count and wall time."""
+    import time
+
+    results = {}
+
+    def run_both():
+        for max_batch in (1, 64):
+            client, counter = batched_counter_factory(max_batch)
+
+            async def stream():
+                for _ in range(CALLS):
+                    await counter.add(1)
+                await client.sync()
+
+            bench_loop.run_until_complete(stream())  # warmup
+            frames_before = client.rpc.batch.frames_sent
+            start = time.perf_counter()
+            bench_loop.run_until_complete(stream())
+            elapsed = time.perf_counter() - start
+            frames = client.rpc.batch.frames_sent - frames_before
+            results[max_batch] = (elapsed, frames)
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+    unbatched_time, unbatched_frames = results[1]
+    batched_time, batched_frames = results[64]
+    assert batched_frames < unbatched_frames / 10
+    assert batched_time < unbatched_time
+    benchmark.extra_info["unbatched_frames"] = unbatched_frames
+    benchmark.extra_info["batched_frames"] = batched_frames
+    benchmark.extra_info["speedup"] = round(unbatched_time / batched_time, 2)

@@ -1,0 +1,69 @@
+"""§3.1 baseline: pointer-bundling strategies on a threaded binary tree.
+
+CLAM's single-object default and a hand-written bundler stay O(1) as
+the tree grows; the rpcgen-style transitive closure pays for the whole
+structure.  ``python -m repro.bench bundlers`` prints the table.
+"""
+
+import pytest
+
+from repro.bench.bundlers_bench import STRATEGIES, build_tree
+from repro.xdr import XdrStream
+from benchmarks.conftest import per_op
+
+SIZES = [15, 127, 1023]
+ITERS = 50
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("strategy", list(STRATEGIES), ids=lambda s: s.split(" ")[0])
+def test_bundle_roundtrip(benchmark, strategy, size):
+    bundler = STRATEGIES[strategy]
+    root = build_tree(size)
+
+    def roundtrip_many():
+        for _ in range(ITERS):
+            enc = XdrStream.encoder()
+            bundler(enc, root)
+            bundler(XdrStream.decoder(enc.getvalue()), None)
+
+    benchmark(roundtrip_many)
+    enc = XdrStream.encoder()
+    bundler(enc, root)
+    benchmark.extra_info["wire_bytes"] = len(enc.getvalue())
+    per_op(benchmark, ITERS)
+
+
+def test_closure_grows_referent_does_not(benchmark):
+    """The §3.1 argument as an assertion: closure cost scales with the
+    tree; the single-object bundler's does not."""
+    import time
+
+    def measure(strategy, size):
+        bundler = STRATEGIES[strategy]
+        root = build_tree(size)
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            for _ in range(ITERS):
+                enc = XdrStream.encoder()
+                bundler(enc, root)
+                bundler(XdrStream.decoder(enc.getvalue()), None)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    results = {}
+
+    def run():
+        for strategy in STRATEGIES:
+            results[strategy] = (
+                measure(strategy, 15),
+                measure(strategy, 1023),
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    closure_small, closure_big = results["closure (rpcgen)"]
+    referent_small, referent_big = results["referent (CLAM default)"]
+    assert closure_big / closure_small > 10      # scales with the tree
+    assert referent_big / referent_small < 3     # stays flat
+    assert closure_big > referent_big * 20       # the penalty itself

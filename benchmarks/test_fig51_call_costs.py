@@ -1,0 +1,89 @@
+"""Figure 5.1: procedure call costs across the nine configurations.
+
+One benchmark per table row.  Each measured callable runs a batch of
+calls (size tuned to the row's latency); ``extra_info['per_op_us']``
+is the per-call cost to put beside the paper's µs column, and
+``extra_info['paper_us']`` carries the paper's number.
+
+``python -m repro.bench fig51`` prints the whole table at once.
+"""
+
+import pytest
+
+from repro.bench.scenarios import FIG51_ROWS, prepare_scenario
+from benchmarks.conftest import per_op
+
+#: Smaller batches than the standalone harness: pytest-benchmark adds
+#: its own rounds.
+BATCHES = {
+    "static": 5000,
+    "dyn_dyn": 5000,
+    "upcall_local": 1000,
+    "call_unix": 100,
+    "upcall_unix": 100,
+    "call_tcp": 100,
+    "upcall_tcp": 100,
+    "call_wan": 20,
+    "upcall_wan": 20,
+}
+
+
+@pytest.mark.parametrize("row", FIG51_ROWS, ids=[r.key for r in FIG51_ROWS])
+def test_fig51_row(benchmark, bench_loop, row, tmp_path):
+    run_n, cleanup = bench_loop.run_until_complete(
+        prepare_scenario(row.key, str(tmp_path))
+    )
+    batch = BATCHES[row.key]
+    try:
+        bench_loop.run_until_complete(run_n(batch // 10 or 1))  # warmup
+        benchmark(lambda: bench_loop.run_until_complete(run_n(batch)))
+    finally:
+        bench_loop.run_until_complete(cleanup())
+    benchmark.extra_info["paper_us"] = row.paper_us
+    benchmark.extra_info["label"] = row.label
+    per_op(benchmark, batch)
+
+
+def test_fig51_shape(benchmark, bench_loop, tmp_path):
+    """The paper's qualitative claims, asserted after measuring all rows:
+
+    - remote calls cost orders of magnitude more than local calls;
+    - a dynamically loaded call costs about a static call;
+    - TCP > UNIX domain; different machines > same machine;
+    - remote upcalls cost about what remote calls do.
+    """
+    import time
+
+    costs = {}
+
+    def measure_all_rows():
+        for key, batch in BATCHES.items():
+            run_n, cleanup = bench_loop.run_until_complete(
+                prepare_scenario(key, str(tmp_path))
+            )
+            try:
+                bench_loop.run_until_complete(run_n(batch // 10 or 1))
+                best = float("inf")
+                for _ in range(3):
+                    start = time.perf_counter()
+                    bench_loop.run_until_complete(run_n(batch))
+                    best = min(best, (time.perf_counter() - start) / batch)
+            finally:
+                bench_loop.run_until_complete(cleanup())
+            costs[key] = best * 1e6
+
+    benchmark.pedantic(measure_all_rows, rounds=1, iterations=1)
+    benchmark.extra_info.update({k: round(v, 2) for k, v in costs.items()})
+
+    local_max = max(costs["static"], costs["dyn_dyn"], costs["upcall_local"])
+    assert costs["call_unix"] > 3 * local_max
+    assert 0.2 < costs["dyn_dyn"] / costs["static"] < 5
+    # Modern loopback TCP sits within noise of AF_UNIX; require the
+    # transport average not to be *cheaper* beyond noise.
+    assert (costs["call_tcp"] + costs["upcall_tcp"]) > 0.8 * (
+        costs["call_unix"] + costs["upcall_unix"]
+    )
+    assert costs["call_wan"] > costs["call_tcp"]
+    assert costs["upcall_wan"] > costs["upcall_tcp"]
+    assert 0.4 < costs["upcall_unix"] / costs["call_unix"] < 2.5
+    assert 0.4 < costs["upcall_tcp"] / costs["call_tcp"] < 2.5

@@ -1,0 +1,84 @@
+"""Figure 3.3 machinery costs: handle issue, validation, wire form.
+
+Not a paper table, but the handle path sits under every remote object
+operation in Fig 5.1's remote rows; these benchmarks isolate it.
+"""
+
+import pytest
+
+from repro.errors import ForgedHandleError
+from repro.handles import Handle, ObjectTable
+from repro.xdr import XdrStream
+from benchmarks.conftest import per_op
+
+ITERS = 1000
+
+
+class Thing:
+    pass
+
+
+def test_issue_new_objects(benchmark):
+    def issue_many():
+        table = ObjectTable()
+        for _ in range(ITERS):
+            table.issue(Thing(), "Thing")
+
+    benchmark(issue_many)
+    per_op(benchmark, ITERS)
+
+
+def test_issue_same_object_reuses(benchmark):
+    table = ObjectTable()
+    obj = Thing()
+    first = table.issue(obj, "Thing")
+
+    def reissue_many():
+        for _ in range(ITERS):
+            assert table.issue(obj, "Thing") == first
+
+    benchmark(reissue_many)
+    per_op(benchmark, ITERS)
+
+
+def test_resolve_valid_handle(benchmark):
+    """Figure 3.3's tag-check-and-return path."""
+    table = ObjectTable()
+    obj = Thing()
+    handle = table.issue(obj, "Thing")
+
+    def resolve_many():
+        for _ in range(ITERS):
+            assert table.resolve(handle) is obj
+
+    benchmark(resolve_many)
+    per_op(benchmark, ITERS)
+
+
+def test_reject_forged_handle(benchmark):
+    table = ObjectTable()
+    handle = table.issue(Thing(), "Thing")
+    forged = Handle(oid=handle.oid, tag=handle.tag ^ 1)
+
+    def reject_many():
+        for _ in range(ITERS):
+            try:
+                table.resolve(forged)
+            except ForgedHandleError:
+                pass
+
+    benchmark(reject_many)
+    per_op(benchmark, ITERS)
+
+
+def test_handle_wire_roundtrip(benchmark):
+    handle = Handle(oid=12345, tag=0xDEADBEEFCAFE)
+
+    def roundtrip_many():
+        for _ in range(ITERS):
+            enc = XdrStream.encoder()
+            handle.bundle(enc)
+            Handle.unbundle(XdrStream.decoder(enc.getvalue()))
+
+    benchmark(roundtrip_many)
+    per_op(benchmark, ITERS)

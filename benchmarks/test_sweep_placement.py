@@ -1,0 +1,48 @@
+"""§2.1 experiment: sweep-layer placement, server vs client.
+
+One benchmark per placement: a full drag (fixed number of motion
+events) with input originating at the server's device.  Server
+placement crosses the address space once per drag; client placement
+once per event plus drawing traffic.
+
+``python -m repro.bench sweep`` prints the comparison table.
+"""
+
+import pytest
+
+from repro.bench.sweep_bench import _run_drag
+from benchmarks.conftest import per_op
+
+STEPS = 50
+
+
+@pytest.mark.parametrize("placement", ["server", "client"])
+def test_drag(benchmark, bench_loop, placement, tmp_path):
+    crossings = []
+
+    def one_drag():
+        result = bench_loop.run_until_complete(
+            _run_drag(placement, STEPS, str(tmp_path))
+        )
+        crossings.append(result.upcall_crossings)
+
+    benchmark(one_drag)
+    per_op(benchmark, STEPS)
+    benchmark.extra_info["upcall_crossings_per_drag"] = crossings[-1]
+
+
+def test_server_placement_crosses_once(benchmark, bench_loop, tmp_path):
+    """The qualitative half of §2.1, asserted."""
+    results = {}
+
+    def run_both():
+        for placement in ("server", "client"):
+            results[placement] = bench_loop.run_until_complete(
+                _run_drag(placement, STEPS, str(tmp_path))
+            )
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert results["server"].upcall_crossings == 1
+    assert results["client"].upcall_crossings >= STEPS
+    # And the per-event cost reflects the crossings.
+    assert results["client"].per_event_us > results["server"].per_event_us

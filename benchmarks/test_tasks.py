@@ -1,0 +1,48 @@
+"""§4.4 ablation: task reuse vs a fresh task per input event.
+
+``python -m repro.bench tasks`` prints the comparison table.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.tasks import Task, TaskPool
+from benchmarks.conftest import per_op
+
+EVENTS = 500
+
+
+async def _event_job():
+    await asyncio.sleep(0)
+
+
+def test_pooled_reused_tasks(benchmark, bench_loop):
+    async def run_events():
+        pool = TaskPool(max_tasks=1, name="bench")
+        for _ in range(EVENTS):
+            await pool.run(_event_job)
+        spawned = pool.workers_spawned
+        await pool.close()
+        return spawned
+
+    spawned = None
+
+    def round_fn():
+        nonlocal spawned
+        spawned = bench_loop.run_until_complete(run_events())
+
+    benchmark(round_fn)
+    assert spawned == 1
+    per_op(benchmark, EVENTS)
+    benchmark.extra_info["tasks_created"] = spawned
+
+
+def test_fresh_task_per_event(benchmark, bench_loop):
+    async def run_events():
+        for _ in range(EVENTS):
+            await Task.spawn(_event_job()).result()
+
+    benchmark(lambda: bench_loop.run_until_complete(run_events()))
+    per_op(benchmark, EVENTS)
+    benchmark.extra_info["tasks_created"] = EVENTS

@@ -1,0 +1,48 @@
+"""§4.4 ablations: channel layout and the upcall-concurrency relaxation.
+
+``python -m repro.bench upcalls`` prints both tables.
+"""
+
+import pytest
+
+from repro.bench.upcall_bench import (
+    _measure_channels_case,
+    measure_concurrency,
+)
+
+
+@pytest.mark.parametrize("rpc_load", [False, True], ids=["idle", "under-load"])
+@pytest.mark.parametrize("channels", ["two", "one"])
+def test_channel_layout(benchmark, bench_loop, channels, rpc_load, tmp_path):
+    results = []
+
+    def one_case():
+        results.append(
+            bench_loop.run_until_complete(
+                _measure_channels_case(
+                    channels, rpc_load, str(tmp_path), upcalls=100
+                )
+            )
+        )
+
+    benchmark.pedantic(one_case, rounds=3, iterations=1)
+    best = min(r.per_upcall_us for r in results)
+    benchmark.extra_info["per_upcall_us"] = round(best, 1)
+    benchmark.extra_info["connections"] = results[-1].connections
+
+
+def test_concurrency_relaxation(benchmark, bench_loop, tmp_path):
+    results = []
+
+    def sweep_limits():
+        results.extend(
+            bench_loop.run_until_complete(
+                measure_concurrency(str(tmp_path), burst=16)
+            )
+        )
+
+    benchmark.pedantic(sweep_limits, rounds=1, iterations=1)
+    by_limit = {r.max_active: r.total_ms for r in results}
+    benchmark.extra_info.update({f"k{k}_ms": round(v, 1) for k, v in by_limit.items()})
+    # Relaxation must overlap the ~1ms handler latency.
+    assert by_limit[8] < by_limit[1] / 2

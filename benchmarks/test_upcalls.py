@@ -1,0 +1,79 @@
+"""Upcall machinery costs (§4.1, §4.4): registration, local delivery,
+distributed delivery, and the one-upcall-per-client gate.
+"""
+
+import pytest
+
+from repro.bench.scenarios import POKER_SOURCE, PokerIface
+from repro.client import ClamClient
+from repro.core import UpcallPort
+from repro.server import ClamServer
+from benchmarks.conftest import per_op
+
+ITERS = 1000
+
+
+def test_registration(benchmark):
+    def register_many():
+        port = UpcallPort("bench")
+        for i in range(ITERS):
+            port.register(lambda e: None)
+
+    benchmark(register_many)
+    per_op(benchmark, ITERS)
+
+
+def test_local_upcall_delivery(benchmark, bench_loop):
+    port = UpcallPort("bench")
+    port.register(lambda e: None)
+
+    async def deliver_many():
+        for i in range(ITERS):
+            await port.deliver(i)
+
+    benchmark(lambda: bench_loop.run_until_complete(deliver_many()))
+    per_op(benchmark, ITERS)
+
+
+def test_local_upcall_fanout(benchmark, bench_loop):
+    """Delivery to 8 registrants (Fig 4.1's fan-out shape)."""
+    port = UpcallPort("bench")
+    for _ in range(8):
+        port.register(lambda e: None)
+
+    async def deliver_many():
+        for i in range(ITERS // 8):
+            await port.deliver(i)
+
+    benchmark(lambda: bench_loop.run_until_complete(deliver_many()))
+    per_op(benchmark, ITERS // 8)
+
+
+@pytest.mark.parametrize("transport", ["memory", "unix"])
+def test_distributed_upcall(benchmark, bench_loop, transport, tmp_path):
+    """One full distributed upcall: gate, wire, client task, reply."""
+    url = {
+        "memory": "memory://bench-upcall",
+        "unix": f"unix://{tmp_path}/upcall.sock",
+    }[transport]
+    batch = 100
+
+    async def setup():
+        server = ClamServer()
+        address = await server.start(url)
+        client = await ClamClient.connect(address)
+        await client.load_module("poker", POKER_SOURCE)
+        poker = await client.create(PokerIface)
+        await poker.register(lambda i: i)
+        return server, client, poker
+
+    server, client, poker = bench_loop.run_until_complete(setup())
+    try:
+        benchmark(lambda: bench_loop.run_until_complete(poker.poke(batch)))
+    finally:
+        async def teardown():
+            await client.close()
+            await server.shutdown()
+
+        bench_loop.run_until_complete(teardown())
+    per_op(benchmark, batch)

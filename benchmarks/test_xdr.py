@@ -1,0 +1,105 @@
+"""Marshalling microbenchmarks: the XDR layer under every bundler.
+
+Not a paper table; isolates the codec so regressions in Fig 5.1 rows
+can be attributed (wire time vs marshalling time).
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.bundlers import BundlerRegistry
+from repro.bundlers.auto import structural_resolver
+from repro.xdr import XdrStream
+from benchmarks.conftest import per_op
+
+ITERS = 2000
+
+
+@dataclass
+class Point:
+    x: int
+    y: int
+    z: int
+
+
+def registry():
+    reg = BundlerRegistry()
+    reg.add_resolver(structural_resolver)
+    return reg
+
+
+def test_int_roundtrip(benchmark):
+    def many():
+        for i in range(ITERS):
+            enc = XdrStream.encoder()
+            enc.xint(i % 1000)
+            XdrStream.decoder(enc.getvalue()).xint()
+
+    benchmark(many)
+    per_op(benchmark, ITERS)
+
+
+def test_string_roundtrip(benchmark):
+    text = "window-manager-event"
+
+    def many():
+        for _ in range(ITERS):
+            enc = XdrStream.encoder()
+            enc.xstring(text)
+            XdrStream.decoder(enc.getvalue()).xstring()
+
+    benchmark(many)
+    per_op(benchmark, ITERS)
+
+
+def test_auto_struct_roundtrip(benchmark):
+    bundler = registry().bundler_for(Point)
+    point = Point(1, 2, 3)
+
+    def many():
+        for _ in range(ITERS):
+            enc = XdrStream.encoder()
+            bundler(enc, point)
+            bundler(XdrStream.decoder(enc.getvalue()), None)
+
+    benchmark(many)
+    per_op(benchmark, ITERS)
+
+
+def test_auto_list_of_structs_roundtrip(benchmark):
+    bundler = registry().bundler_for(list[Point])
+    points = [Point(i, i, i) for i in range(16)]
+    iters = ITERS // 16
+
+    def many():
+        for _ in range(iters):
+            enc = XdrStream.encoder()
+            bundler(enc, points)
+            bundler(XdrStream.decoder(enc.getvalue()), None)
+
+    benchmark(many)
+    per_op(benchmark, iters)
+
+
+def test_user_bundler_vs_auto(benchmark):
+    """Fig 3.2-style hand-written bundler against the derived one."""
+
+    def pt_bundler(stream, p, *extra):
+        if p is None and stream.decoding:
+            p = Point(0, 0, 0)
+        p.x = stream.xshort(p.x)
+        p.y = stream.xshort(p.y)
+        p.z = stream.xshort(p.z)
+        return p
+
+    point = Point(4, 5, 6)
+
+    def many():
+        for _ in range(ITERS):
+            enc = XdrStream.encoder()
+            pt_bundler(enc, point)
+            pt_bundler(XdrStream.decoder(enc.getvalue()), None)
+
+    benchmark(many)
+    per_op(benchmark, ITERS)

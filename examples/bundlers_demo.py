@@ -1,0 +1,147 @@
+"""Bundlers: Figures 3.1 and 3.2, runnable.
+
+Shows the three ways a parameter gets its bundler (paper §3.1–§3.3):
+
+1. automatic derivation — "the compiler has sufficient information to
+   generate the stubs directly";
+2. the typedef form — register a bundler once for a type;
+3. the in-place form — ``Annotated[T, In(bundler, ...)]``, the
+   analogue of ``const Point* thept @ pt_bundler()``;
+
+and the two pointer strategies of §3.1 on a threaded binary tree.
+
+Run with::
+
+    python examples/bundlers_demo.py
+"""
+
+from dataclasses import dataclass
+from typing import Annotated, Optional
+
+from repro import Bundled, In
+from repro.bundlers import BundlerRegistry, closure_bundler, referent_bundler
+from repro.bundlers.auto import structural_resolver
+from repro.stubs import MethodSignature
+from repro.xdr import XdrStream
+
+
+# --- Figure 3.1's Point struct ------------------------------------------------
+
+@dataclass
+class Point:
+    x: int
+    y: int
+    z: int
+
+
+def pt_bundler(stream, p, *extra):
+    """Figure 3.2, translated.  One body, both directions: on a DECODE
+    stream it allocates and reads; on an ENCODE stream it writes."""
+    if p is None and stream.decoding:
+        p = Point(0, 0, 0)
+    p.x = stream.xshort(p.x)
+    p.y = stream.xshort(p.y)
+    p.z = stream.xshort(p.z)
+    return p
+
+
+def pt_array_bundler(stream, pts, number):
+    """Figure 3.1's array bundler: the length comes from the sibling
+    parameter ``number`` — "we do not limit the number of parameters
+    to bundlers"."""
+    if stream.encoding:
+        assert len(pts) == number
+        for p in pts:
+            pt_bundler(stream, p)
+        return pts
+    return [pt_bundler(stream, None) for _ in range(number)]
+
+
+@dataclass
+class Node:
+    """A threaded binary tree node (module-level so the forward
+    references in its own annotations resolve)."""
+
+    key: int
+    left: Optional["Node"] = None
+    right: Optional["Node"] = None
+    thread: Optional["Node"] = None
+
+
+def show(label: str, data: bytes) -> None:
+    print(f"  {label:<42} {len(data):>3} bytes: {data.hex(' ')}")
+
+
+def main() -> None:
+    registry = BundlerRegistry()
+    registry.add_resolver(structural_resolver)
+
+    print("1. automatic derivation (pointer-free struct):")
+    auto = registry.bundler_for(Point)
+    enc = XdrStream.encoder()
+    auto(enc, Point(1, 2, 3))
+    show("auto-derived Point (3 x int64)", enc.getvalue())
+    decoded = auto(XdrStream.decoder(enc.getvalue()), None)
+    print(f"  decodes back to {decoded}")
+
+    print("\n2. the typedef form — register once, used everywhere:")
+    registry.register(Point, pt_bundler)
+    enc = XdrStream.encoder()
+    registry.bundler_for(Point)(enc, Point(1, 2, 3))
+    show("pt_bundler Point (3 x short-as-int32)", enc.getvalue())
+    print("  (the hand-written bundler packs the shorts the C struct had)")
+
+    print("\n3. the in-place form on a real declaration (Figure 3.1):")
+
+    class Graphics3D:
+        def draw_point(self, thept: Annotated[Point, In(pt_bundler)]) -> None: ...
+        def draw_points(
+            self,
+            number: int,
+            pts: Annotated[list[Point], In(pt_array_bundler, "number")],
+        ) -> None: ...
+        def get_cursor_pos(self) -> Annotated[Point, Bundled(pt_bundler)]: ...
+
+    signature = MethodSignature.from_callable(Graphics3D.draw_points)
+    bound = signature.bind(registry)
+    pts = [Point(i, i * 2, i * 3) for i in range(3)]
+    request = bound.bundle_request({"number": 3, "pts": pts})
+    show("draw_points(3, [...]) request payload", request)
+    values = bound.unbundle_request(request)
+    print(f"  server stub unbundles to number={values['number']}, "
+          f"pts={values['pts']}")
+
+    print("\n4. the two pointer strategies of S3.1 (threaded binary tree):")
+
+    #        2
+    #       / \        (threads: 0->1->2->3->4, cyclic structure)
+    #      1   4
+    #     /   /
+    #    0   3
+    nodes = [Node(k) for k in range(5)]
+    nodes[2].left, nodes[2].right = nodes[1], nodes[4]
+    nodes[1].left, nodes[4].left = nodes[0], nodes[3]
+    for a, b in zip(nodes, nodes[1:]):
+        a.thread = b
+    root = nodes[2]
+
+    referent = referent_bundler(Node)
+    enc = XdrStream.encoder()
+    referent(enc, root)
+    show("referent (CLAM default): just the node", enc.getvalue())
+
+    closure = closure_bundler(Node)
+    enc = XdrStream.encoder()
+    closure(enc, root)
+    show("closure (rpcgen): the whole graph", enc.getvalue())
+    back = closure(XdrStream.decoder(enc.getvalue()), None)
+    print(f"  closure round-trips the cycle: root.thread.key = "
+          f"{back.thread.key}, in-order threads intact")
+
+    print("\nthe trade-off: the closure is correct for callers that walk "
+          "the tree,\nbut pays for every node; the referent is O(1) and "
+          "nils the pointers.\n`python -m repro.bench bundlers` quantifies it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""A chat room: server-initiated fan-out to many clients (paper §1).
+
+"Servers, however, often need the ability to initiate asynchronous
+and independent actions" — the canonical modern case is push
+messaging.  The room lives in the server (dynamically loaded, as
+always); each client joins by handing over a procedure pointer, and
+every posted message fans out as one distributed upcall per member.
+
+Run with::
+
+    python examples/chat.py
+"""
+
+import asyncio
+
+from repro import ClamClient, ClamServer, RemoteInterface
+
+ROOM_SOURCE = '''
+from typing import Callable
+
+from repro.stubs import RemoteInterface
+
+
+class ChatRoom(RemoteInterface):
+    """A shared room: members receive every post via upcall."""
+
+    def __init__(self):
+        self.members = {}
+        self.history = []
+
+    def join(self, nick: str, receive: Callable[[str, str], None]) -> int:
+        self.members[nick] = receive
+        self.history.append((nick, "*joined*"))
+        return len(self.members)
+
+    def leave(self, nick: str) -> bool:
+        return self.members.pop(nick, None) is not None
+
+    async def post(self, nick: str, text: str) -> int:
+        self.history.append((nick, text))
+        delivered = 0
+        for member, receive in list(self.members.items()):
+            if member != nick:
+                await receive(nick, text)
+                delivered += 1
+        return delivered
+
+    def message_count(self) -> int:
+        return len(self.history)
+'''
+
+from typing import Callable
+
+
+class ChatRoom(RemoteInterface):
+    def join(self, nick: str, receive: Callable[[str, str], None]) -> int: ...
+    def leave(self, nick: str) -> bool: ...
+    def post(self, nick: str, text: str) -> int: ...
+    def message_count(self) -> int: ...
+
+
+async def main() -> None:
+    server = ClamServer()
+    address = await server.start("memory://chat")
+
+    # First client creates the room and publishes it for the others.
+    alice = await ClamClient.connect(address)
+    await alice.load_module("chatroom", ROOM_SOURCE)
+    room_a = await alice.create(ChatRoom)
+    await alice.publish("room", room_a)
+
+    bob = await ClamClient.connect(address)
+    carol = await ClamClient.connect(address)
+    room_b = await bob.lookup(ChatRoom, "room")
+    room_c = await carol.lookup(ChatRoom, "room")
+
+    def inbox(owner: str, log: list):
+        def receive(nick: str, text: str) -> None:
+            log.append(f"{nick}: {text}")
+            print(f"  [{owner}'s screen] {nick}: {text}")
+        return receive
+
+    logs = {"alice": [], "bob": [], "carol": []}
+    await room_a.join("alice", inbox("alice", logs["alice"]))
+    await room_b.join("bob", inbox("bob", logs["bob"]))
+    await room_c.join("carol", inbox("carol", logs["carol"]))
+    print("three clients joined\n")
+
+    assert await room_a.post("alice", "anyone seen the 1988 proceedings?") == 2
+    assert await room_b.post("bob", "on the microvax in the lab") == 2
+    await room_c.leave("carol")
+    assert await room_c.post("carol", "(left, but still can post)") == 2
+    assert await room_a.post("alice", "carol left, fan-out shrinks") == 1
+
+    print(f"\nmessages in room history: {await room_a.message_count()}")
+    print(f"bob received {len(logs['bob'])}, "
+          f"carol received {len(logs['carol'])} (left early)")
+    print(f"upcalls pushed to alice's process: {alice.upcalls_handled}")
+
+    for client in (alice, bob, carol):
+        await client.close()
+    await server.shutdown()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,127 @@
+"""A small desktop: sweep + focus + move layers composed (paper §2, §5).
+
+"The initial use of CLAM was to build an extensible user interface
+manager" — this example is that manager in miniature.  The server
+knows nothing about window policy; the client loads three layers into
+it (sweeping, click-to-focus, window dragging), then drives a short
+session: sweep two titled windows, type into each, and drag one
+across the other.
+
+Run with::
+
+    python examples/desktop.py
+"""
+
+import asyncio
+
+from repro import ClamClient, ClamServer
+from repro.tasks import TaskPool
+from repro.wm import (
+    BaseWindow,
+    FocusLayer,
+    InputScript,
+    MoveLayer,
+    Screen,
+    SweepLayer,
+    Window,
+)
+from repro.wm.geometry import Point
+from repro.wm.move import DRAG_BUTTON
+
+LAYERS_MODULE = '''
+from repro.wm.focus import FocusLayer
+from repro.wm.move import MoveLayer
+from repro.wm.sweep import SweepLayer
+
+__clam_exports__ = ["SweepLayer", "FocusLayer", "MoveLayer"]
+'''
+
+
+async def main() -> None:
+    # The server app: bare screen + base window; all policy is loaded.
+    server = ClamServer()
+    screen = Screen(56, 16)
+    screen.use_tasks(TaskPool(max_tasks=1, name="screen-input"))
+    base = BaseWindow(screen)
+    server.publish("screen", screen)
+    server.publish("base", base)
+    address = await server.start("memory://desktop")
+
+    client = await ClamClient.connect(address)
+    screen_proxy = await client.lookup(Screen, "screen")
+    base_proxy = await client.lookup(BaseWindow, "base")
+
+    print("loading the policy layers into the server...")
+    exported = await client.load_module("layers", LAYERS_MODULE)
+    print(f"  exported: {', '.join(sorted(exported))}")
+
+    sweep = await client.create(SweepLayer, class_name="sweep")
+    await sweep.attach(base_proxy, screen_proxy)
+    focus = await client.create(FocusLayer, class_name="focus")
+    await focus.attach(base_proxy)
+    move = await client.create(MoveLayer, class_name="move")
+    await move.attach(base_proxy)
+
+    created = []
+    windows_done = asyncio.Event()
+
+    def on_window(rect) -> None:
+        created.append(rect)
+        if len(created) == 2:
+            windows_done.set()
+
+    await sweep.on_complete(on_window)
+
+    script = InputScript()
+
+    async def play(events) -> None:
+        for event in events:
+            await screen.inject_input(event)
+        await screen.drain_input()
+
+    print("sweeping out two windows...")
+    await play(script.drag(Point(2, 1), Point(22, 9), steps=6))
+    await play(script.drag(Point(30, 4), Point(52, 13), steps=6))
+    await asyncio.wait_for(windows_done.wait(), timeout=10)
+
+    # Title the windows through their object pointers.
+    left = await base_proxy.window_at(4, 3)
+    right = await base_proxy.window_at(40, 8)
+    await left.set_title("shell")
+    await right.set_title("editor")
+    await client.sync()
+
+    print("click-to-focus and typing...")
+    from repro.wm import EventKind
+
+    typed = {"left": [], "right": []}
+    await left.postinput(
+        lambda e: typed["left"].append(e.key)
+        if e.kind is EventKind.KEY_DOWN else None
+    )
+    await right.postinput(
+        lambda e: typed["right"].append(e.key)
+        if e.kind is EventKind.KEY_DOWN else None
+    )
+    await play(script.click(5, 5) + script.type_text("ls"))
+    await play(script.click(40, 8) + script.type_text("vi"))
+    print(f"  left window saw keys:  {''.join(typed['left'])}")
+    print(f"  right window saw keys: {''.join(typed['right'])}")
+    print(f"  focused window id now: {await focus.focused_window_id()}")
+
+    print("dragging the left window to the right, across the other...")
+    await play(script.drag(Point(5, 5), Point(25, 7), steps=8, button=DRAG_BUTTON))
+    print(f"  moves applied by the move layer: {await move.move_count()}")
+
+    print("final screen:")
+    for line in screen.render().splitlines():
+        print("  |" + line + "|")
+    print(f"upcalls that crossed to the client during the whole session: "
+          f"{client.upcalls_handled}")
+
+    await client.close()
+    await server.shutdown()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

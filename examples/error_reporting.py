@@ -1,0 +1,115 @@
+"""Error reporting through upcalls (paper §4.3).
+
+"The CLAM server can protect itself from user bugs by catching error
+signals (such as memory faults or divide by zero).  Once the server
+has determined that an error exists in a dynamically loaded class, it
+must decide what to do with the class.  The server can choose to
+notify a client that it tried to use a faulty class."
+
+This example loads a buggy class, watches the server catch its fault,
+quarantine it, and report it to the client via an upcall — then ships
+a fixed version 2 and carries on.
+
+Run with::
+
+    python examples/error_reporting.py
+"""
+
+import asyncio
+
+from repro import ClamClient, ClamServer, RemoteError, RemoteInterface
+
+BUGGY_SOURCE = '''
+from repro.stubs import RemoteInterface
+
+
+class Stats(RemoteInterface):
+    """Version 1: divides by zero on an empty series (the user bug)."""
+
+    def __init__(self):
+        self.series = []
+
+    def record(self, value: int) -> None:
+        self.series.append(value)
+
+    def mean(self) -> int:
+        return sum(self.series) // len(self.series)   # boom when empty
+'''
+
+FIXED_SOURCE = '''
+from repro.stubs import RemoteInterface
+
+
+class Stats(RemoteInterface):
+    """Version 2: the fix."""
+
+    __clam_version__ = 2
+
+    def __init__(self):
+        self.series = []
+
+    def record(self, value: int) -> None:
+        self.series.append(value)
+
+    def mean(self) -> int:
+        if not self.series:
+            return 0
+        return sum(self.series) // len(self.series)
+'''
+
+
+class Stats(RemoteInterface):
+    def record(self, value: int) -> None: ...
+    def mean(self) -> int: ...
+
+
+async def main() -> None:
+    server = ClamServer(quarantine_after=1)
+    address = await server.start("memory://error-reporting")
+    client = await ClamClient.connect(address)
+
+    # Register for §4.3 error-reporting upcalls before anything breaks.
+    reports = []
+    reported = asyncio.Event()
+
+    def on_class_fault(class_name: str, version: int, error_type: str,
+                       message: str) -> None:
+        reports.append((class_name, version, error_type))
+        print(f"  error upcall: class {class_name!r} v{version} raised "
+              f"{error_type}: {message}")
+        reported.set()
+
+    await client.register_error_handler(on_class_fault)
+
+    # Load the buggy class and trip the bug.
+    await client.load_module("stats_v1", BUGGY_SOURCE)
+    stats = await client.create(Stats)
+    print("calling mean() on an empty series (the user bug):")
+    try:
+        await stats.mean()
+    except RemoteError as exc:
+        print(f"  RPC failed as expected: {exc.remote_type}")
+    await asyncio.wait_for(reported.wait(), timeout=10)
+
+    # The class is quarantined now: the server refuses further calls.
+    try:
+        await stats.record(5)
+        await stats.mean()
+    except RemoteError as exc:
+        print(f"further use refused: {exc.remote_type}")
+
+    # Ship the fix as version 2; both versions now coexist (§2.1).
+    await client.load_module("stats_v2", FIXED_SOURCE)
+    print(f"versions of Stats now loaded: {await client.versions_of('Stats')}")
+    fixed = await client.create(Stats, version=2)
+    await fixed.record(4)
+    await fixed.record(8)
+    print(f"v2 works: mean of [4, 8] = {await fixed.mean()}")
+    print(f"v2 on empty series = {await (await client.create(Stats, version=2)).mean()}")
+
+    await client.close()
+    await server.shutdown()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

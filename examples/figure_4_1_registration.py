@@ -1,0 +1,110 @@
+"""Figure 4.1, narrated: S, BaseW, W1, W2, user1, user2.
+
+The registration scenario of §4.2, exactly as the paper tells it:
+
+- the server creates screen S and base window BaseW (which registers
+  its mouse procedure with S);
+- user2 is dynamically loaded into the server, creates W2, and
+  registers user2::mouse with it — all registrations local;
+- user1 lives in the client, creates W1 over the wire, and registers
+  user1::mouse — "the parameter bundler will automatically translate
+  the procedure pointer into a pointer to the RUC class";
+- mouse events then route: in W1 → distributed upcall to the client;
+  in W2 → local upcall inside the server; on the background → BaseW.
+
+Run with::
+
+    python examples/figure_4_1_registration.py
+"""
+
+import asyncio
+
+from repro import ClamClient, ClamServer, RemoteInterface
+from repro.wm import BaseWindow, EventKind, InputEvent, Screen
+from repro.wm.geometry import Rect
+
+USER2_SOURCE = '''
+from repro.stubs import RemoteInterface
+from repro.wm.events import InputEvent
+from repro.wm.geometry import Rect
+from repro.wm.window import BaseWindow
+
+
+class User2(RemoteInterface):
+    """Fig 4.1's user2: loaded into the server, owns W2."""
+
+    def __init__(self):
+        self.hits = []
+        self.window = None
+
+    async def setup(self, base: BaseWindow, rect: Rect) -> int:
+        self.window = await base.create_window(rect)
+        self.window.postinput(self.mouse)       # local registration
+        return self.window.window_id()
+
+    def mouse(self, event: InputEvent) -> None:
+        self.hits.append((event.x, event.y))
+
+    def hit_count(self) -> int:
+        return len(self.hits)
+'''
+
+
+class User2(RemoteInterface):
+    def setup(self, base: BaseWindow, rect: Rect) -> int: ...
+    def hit_count(self) -> int: ...
+
+
+def press(x: int, y: int, seq: int) -> InputEvent:
+    return InputEvent(EventKind.MOUSE_DOWN, x, y, button=1, seq=seq)
+
+
+async def main() -> None:
+    print("server: creating S (screen) and BaseW (base window)")
+    server = ClamServer()
+    screen = Screen(44, 12)
+    base = BaseWindow(screen)  # registers BaseW.mouse with S.postinput
+    server.publish("screen", screen)
+    server.publish("base", base)
+    address = await server.start("memory://figure-4-1")
+
+    client = await ClamClient.connect(address)
+    screen_proxy = await client.lookup(Screen, "screen")
+    base_proxy = await client.lookup(BaseWindow, "base")
+
+    print("server: loading user2; U2 creates W2 and registers "
+          "user2::mouse (local upcall path)")
+    await client.load_module("user2", USER2_SOURCE)
+    u2 = await client.create(User2)
+    await u2.setup(base_proxy, Rect(24, 2, 14, 8))
+
+    print("client: U1 creates W1 and registers user1::mouse "
+          "(distributed upcall path)")
+    u1_hits = []
+
+    def user1_mouse(event: InputEvent) -> None:
+        u1_hits.append((event.x, event.y))
+
+    w1 = await base_proxy.create_window(Rect(4, 2, 14, 8))
+    await w1.postinput(user1_mouse)
+
+    print("\ninjecting three mouse presses: in W1, in W2, on the background")
+    await screen_proxy.inject_input(press(8, 5, seq=1))    # inside W1
+    await screen_proxy.inject_input(press(30, 5, seq=2))   # inside W2
+    await screen_proxy.inject_input(press(21, 11, seq=3))  # background
+
+    print(f"  U1 (client)  saw: {u1_hits}")
+    print(f"  U2 (server)  saw: {await u2.hit_count()} event(s)")
+    print(f"  distributed upcalls that crossed the wire: "
+          f"{client.upcalls_handled}")
+    print(f"  events BaseW routed in total: {await base_proxy.window_count()}"
+          f" windows, screen below:")
+    for line in screen.render().splitlines():
+        print("    |" + line + "|")
+
+    await client.close()
+    await server.shutdown()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,109 @@
+"""Quickstart: a CLAM server, a client, dynamic loading, and an upcall.
+
+Run with::
+
+    python examples/quickstart.py
+
+The flow is §2 of the paper in miniature: start a server that knows
+nothing about your application, ship application code into it, call
+that code with RPCs, and hand it a procedure so it can call *you*
+back — a distributed upcall.
+"""
+
+import asyncio
+
+from repro import ClamClient, ClamServer
+
+# The module we will dynamically load into the server.  Any
+# self-contained Python source defining RemoteInterface subclasses
+# works; here it is inline for readability.
+THERMOSTAT_SOURCE = '''
+from typing import Callable
+
+from repro.stubs import RemoteInterface
+
+
+class Thermostat(RemoteInterface):
+    """Server-resident state with an asynchronous alert path."""
+
+    def __init__(self):
+        self.temperature = 20
+        self.alarms = []
+
+    def set_temperature(self, value: int) -> None:
+        # No return value: the client stub batches these calls (S3.4).
+        self.temperature = value
+
+    def read(self) -> int:
+        return self.temperature
+
+    def watch(self, threshold: int, alarm: Callable[[int], None]) -> bool:
+        # `alarm` is the client's procedure pointer.  Inside the
+        # server it arrives as a RemoteUpcall (S3.5.2) and is stored
+        # like any local callable (S4.1).
+        self.alarms.append((threshold, alarm))
+        return True
+
+    async def heat(self, amount: int) -> int:
+        self.temperature += amount
+        for threshold, alarm in self.alarms:
+            if self.temperature > threshold:
+                await alarm(self.temperature)  # the distributed upcall
+        return self.temperature
+'''
+
+
+# The client-side declaration: same signatures, no bodies.  Proxy
+# stubs are generated from these annotations — no IDL (S3.2).
+from typing import Callable
+
+from repro import RemoteInterface
+
+
+class Thermostat(RemoteInterface):
+    def set_temperature(self, value: int) -> None: ...
+    def read(self) -> int: ...
+    def watch(self, threshold: int, alarm: Callable[[int], None]) -> bool: ...
+    def heat(self, amount: int) -> int: ...
+
+
+async def main() -> None:
+    # 1. A server.  memory:// keeps this single-process; swap in
+    #    unix:///tmp/clam.sock or tcp://127.0.0.1:4047 for real IPC.
+    server = ClamServer()
+    address = await server.start("memory://quickstart")
+    print(f"server listening at {address}")
+
+    # 2. A client: two channels (RPC + upcalls) behind one object.
+    client = await ClamClient.connect(address)
+    print(f"connected; session {client.session[:8]}...")
+
+    # 3. Dynamic loading (S2): ship the source, instantiate remotely.
+    exported = await client.load_module("thermostat", THERMOSTAT_SOURCE)
+    print(f"loaded module exporting {exported}")
+    thermostat = await client.create(Thermostat)
+
+    # 4. RPCs.  set_temperature returns nothing, so these calls are
+    #    batched (S3.4); read() is synchronous and flushes them.
+    await thermostat.set_temperature(18)
+    print(f"temperature is {await thermostat.read()}")
+
+    # 5. A distributed upcall: pass a plain function to the server.
+    alerts = []
+
+    def on_alarm(value: int) -> None:
+        alerts.append(value)
+        print(f"  upcall from server: temperature hit {value}")
+
+    await thermostat.watch(21, on_alarm)
+    for _ in range(4):
+        await thermostat.heat(2)
+    print(f"client received {len(alerts)} alert upcalls: {alerts}")
+
+    await client.close()
+    await server.shutdown()
+    print("done")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

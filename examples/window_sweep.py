@@ -1,0 +1,99 @@
+"""The §2.1 sweep example: both placements of the same layer.
+
+A CLAM server runs a screen and a base window.  The sweep layer —
+the code that lets a user drag out a new window — is placed first by
+dynamic loading into the server, then in the client, and the script
+reports what each placement cost in address-space crossings.
+
+Run with::
+
+    python examples/window_sweep.py
+"""
+
+import asyncio
+
+from repro import ClamClient, ClamServer
+from repro.core import invoke
+from repro.tasks import TaskPool
+from repro.wm import BaseWindow, InputScript, Screen, SweepLayer
+from repro.wm.geometry import Point
+
+SWEEP_MODULE = '''
+from repro.wm.sweep import SweepLayer
+
+__clam_exports__ = ["SweepLayer"]
+'''
+
+
+async def run_placement(placement: str) -> None:
+    print(f"--- sweep layer placed in the {placement} ---")
+
+    # The server app: a screen with an input pump (one task per input
+    # event, reused; §4.3) and the base window registered with it.
+    server = ClamServer()
+    screen = Screen(48, 14)
+    screen.use_tasks(TaskPool(max_tasks=1, name="screen-input"))
+    base = BaseWindow(screen)
+    server.publish("screen", screen)
+    server.publish("base", base)
+    address = await server.start(f"memory://sweep-{placement}")
+
+    client = await ClamClient.connect(address)
+    screen_proxy = await client.lookup(Screen, "screen")
+    base_proxy = await client.lookup(BaseWindow, "base")
+
+    if placement == "server":
+        # Dynamic loading (§2): the client ships the module and the
+        # sweep code runs at local-call cost next to the screen.
+        await client.load_module("sweep", SWEEP_MODULE)
+        sweep = await client.create(SweepLayer, class_name="sweep")
+    else:
+        # The same class, instantiated here: every event will cross
+        # to us as a distributed upcall, drawing returns as RPCs.
+        sweep = SweepLayer()
+
+    await invoke(sweep.configure, 2, True)        # snap to 2, transparent band
+    await invoke(sweep.attach, base_proxy, screen_proxy)
+
+    done = asyncio.Event()
+    created = []
+
+    def window_created(rect) -> None:
+        created.append(rect)
+        done.set()
+
+    await invoke(sweep.on_complete, window_created)
+
+    # The user sweeps: press at (4,2), drag to (26,10), release.
+    script = InputScript()
+    events = script.drag(Point(4, 2), Point(26, 10), steps=12)
+    for event in events:
+        await screen.inject_input(event)  # the device side: server-local
+    await asyncio.wait_for(done.wait(), timeout=10)
+
+    print(f"window created: {created[0]}")
+    print(f"motion events processed by the layer: "
+          f"{await invoke(sweep.motion_count)}")
+    print(f"distributed upcalls that crossed to the client: "
+          f"{client.upcalls_handled}")
+    print("final screen:")
+    print(indent(screen.render()))
+    print()
+
+    await client.close()
+    await server.shutdown()
+
+
+def indent(text: str) -> str:
+    return "\n".join("    |" + line + "|" for line in text.splitlines())
+
+
+async def main() -> None:
+    await run_placement("server")
+    await run_placement("client")
+    print("same window either way — placement is a performance decision "
+          "(run `python -m repro.bench sweep` for the numbers)")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

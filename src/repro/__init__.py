@@ -1,0 +1,104 @@
+"""repro — a reproduction of CLAM and distributed upcalls.
+
+Implements the system of Cohrs, Miller & Call, *Distributed Upcalls:
+A Mechanism for Layering Asynchronous Abstractions* (ICDCS 1988):
+a server-structuring system with
+
+- an RPC facility whose stubs are derived from the declarations
+  themselves (type annotations), with bidirectional XDR bundlers,
+  user-specified bundlers, const/out/inout parameter modes, and
+  batched asynchronous calls;
+- object handles (capabilities) for object pointers that cross
+  address spaces;
+- **distributed upcalls**: procedure pointers passed into the server
+  become Remote UpCall objects whose invocation calls back into the
+  client over a dedicated channel;
+- dynamic loading of client-supplied modules into the server, with
+  version control and fault isolation;
+- cooperative tasks with reuse pools;
+- a window-management application layer (screen, window, sweep).
+
+Quickstart::
+
+    from repro import ClamServer, ClamClient
+
+    server = ClamServer()
+    address = await server.start("unix:///tmp/clam.sock")
+
+    client = await ClamClient.connect(address)
+    await client.load_class(MyLayer)     # ship code into the server
+    layer = await client.create(MyLayer)
+    await layer.postinput(my_callback)   # register for upcalls
+
+See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
+reproduced evaluation.
+"""
+
+from repro.errors import (
+    BadCallError,
+    BundleError,
+    ClamError,
+    ConnectionClosedError,
+    FaultyClassError,
+    ForgedHandleError,
+    HandleError,
+    LoaderError,
+    ModuleVersionError,
+    ProtocolError,
+    RegistrationError,
+    RemoteError,
+    RpcError,
+    StaleHandleError,
+    TaskError,
+    TransportError,
+    UnknownClassError,
+    UpcallError,
+    XdrError,
+)
+from repro.bundlers import Bundled, In, InOut, Out
+from repro.core import UnhandledPolicy, UpcallPort
+from repro.handles import Handle
+from repro.stubs import RemoteInterface, Ref
+from repro.server import ClamServer
+from repro.client import ClamClient
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # runtime entry points
+    "ClamServer",
+    "ClamClient",
+    # declaring interfaces
+    "RemoteInterface",
+    "Ref",
+    "In",
+    "Out",
+    "InOut",
+    "Bundled",
+    # upcalls
+    "UpcallPort",
+    "UnhandledPolicy",
+    # handles
+    "Handle",
+    # errors
+    "ClamError",
+    "XdrError",
+    "BundleError",
+    "TransportError",
+    "ConnectionClosedError",
+    "ProtocolError",
+    "RpcError",
+    "RemoteError",
+    "BadCallError",
+    "HandleError",
+    "ForgedHandleError",
+    "StaleHandleError",
+    "UnknownClassError",
+    "UpcallError",
+    "RegistrationError",
+    "LoaderError",
+    "ModuleVersionError",
+    "FaultyClassError",
+    "TaskError",
+    "__version__",
+]

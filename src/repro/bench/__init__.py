@@ -1,0 +1,17 @@
+"""Benchmark harness reproducing the paper's evaluation (§5).
+
+The paper's one quantitative exhibit is Figure 5.1, a table of
+procedure-call costs across nine configurations, from a statically
+linked call (19 µs on a MicroVAX) to a remote upcall between machines
+(12800 µs).  :mod:`repro.bench.scenarios` builds each configuration
+out of this library; :mod:`repro.bench.fig51` times them and prints
+the table side by side with the paper's numbers.
+
+Run ``python -m repro.bench`` for the full set, or
+``pytest benchmarks/ --benchmark-only`` for the pytest-benchmark
+variants (one test per row/claim).
+"""
+
+from repro.bench.scenarios import FIG51_ROWS, Fig51Row, prepare_scenario
+
+__all__ = ["FIG51_ROWS", "Fig51Row", "prepare_scenario"]

@@ -1,0 +1,66 @@
+"""Command-line benchmark runner.
+
+Usage::
+
+    python -m repro.bench            # everything
+    python -m repro.bench fig51      # the Figure 5.1 table
+    python -m repro.bench batching   # the §3.4 batching ablation
+    python -m repro.bench bundlers   # the §3.1 pointer-strategy baseline
+    python -m repro.bench sweep      # the §2.1 placement experiment
+    python -m repro.bench tasks      # the §4.4 task-reuse ablation
+    python -m repro.bench upcalls    # the §4.4 channel-layout + concurrency ablations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+from repro.bench import (
+    arq_bench,
+    batching,
+    bundlers_bench,
+    fig51,
+    sweep_bench,
+    tasks_bench,
+    upcall_bench,
+)
+
+SUITES = ("fig51", "batching", "bundlers", "sweep", "tasks", "upcalls", "arq")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's evaluation tables.",
+    )
+    parser.add_argument(
+        "suite", nargs="?", choices=SUITES + ("all",), default="all"
+    )
+    args = parser.parse_args(argv)
+    selected = SUITES if args.suite == "all" else (args.suite,)
+
+    with tempfile.TemporaryDirectory(prefix="clam-bench-") as base_dir:
+        for i, suite in enumerate(selected):
+            if i:
+                print()
+            if suite == "fig51":
+                fig51.main(base_dir)
+            elif suite == "batching":
+                batching.main(base_dir)
+            elif suite == "bundlers":
+                bundlers_bench.main()
+            elif suite == "sweep":
+                sweep_bench.main(base_dir)
+            elif suite == "tasks":
+                tasks_bench.main()
+            elif suite == "upcalls":
+                upcall_bench.main(base_dir)
+            elif suite == "arq":
+                arq_bench.main()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""ARQ ablation: window size vs loss rate on the lossy link.
+
+Not a paper table — the substrate experiment for the protocol stack:
+how much reliable goodput survives a lossy wire, as a function of the
+go-back-N window.  The qualitative expectations: goodput falls with
+loss; larger windows help until retransmission bursts dominate;
+window 1 (stop-and-wait) pays a full timeout per loss.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.netproto import ArqEndpoint, LossyLink
+
+DEFAULT_WINDOWS = (1, 4, 16)
+DEFAULT_LOSS = (0, 5, 3)  # drop_every_nth; 0 = lossless
+
+
+@dataclass
+class ArqResult:
+    window: int
+    drop_every_nth: int
+    frames: int
+    per_frame_us: float
+    retransmissions: int
+
+    @property
+    def loss_label(self) -> str:
+        if not self.drop_every_nth:
+            return "0%"
+        return f"1/{self.drop_every_nth}"
+
+
+async def _measure_case(window: int, drop_every_nth: int, frames: int) -> ArqResult:
+    link = LossyLink(drop_every_nth=drop_every_nth)
+    delivered = []
+
+    async def deliver(payload):
+        delivered.append(payload)
+
+    async def discard(payload):
+        pass
+
+    sender = ArqEndpoint(link.send_from_a, discard,
+                         window=window, retransmit_timeout=0.005)
+    receiver = ArqEndpoint(link.send_from_b, deliver,
+                           window=window, retransmit_timeout=0.005)
+    link.attach_a(sender.on_wire)
+    link.attach_b(receiver.on_wire)
+
+    start = time.perf_counter()
+    for i in range(frames):
+        await sender.send_reliable(f"frame-{i}")
+    await sender.wait_all_acked()
+    elapsed = time.perf_counter() - start
+
+    assert delivered == [f"frame-{i}" for i in range(frames)]
+    result = ArqResult(
+        window=window,
+        drop_every_nth=drop_every_nth,
+        frames=frames,
+        per_frame_us=elapsed / frames * 1e6,
+        retransmissions=sender.retransmissions,
+    )
+    await sender.close()
+    await receiver.close()
+    return result
+
+
+async def measure_arq(
+    *,
+    windows: tuple[int, ...] = DEFAULT_WINDOWS,
+    loss: tuple[int, ...] = DEFAULT_LOSS,
+    frames: int = 200,
+) -> list[ArqResult]:
+    results = []
+    for drop_every_nth in loss:
+        for window in windows:
+            results.append(await _measure_case(window, drop_every_nth, frames))
+    return results
+
+
+def format_table(results: list[ArqResult]) -> str:
+    lines = [
+        "substrate ablation: go-back-N ARQ on the lossy link "
+        f"({results[0].frames} frames, reliable in-order delivery)",
+        f"{'loss':>6}{'window':>8}{'per-frame (us)':>16}{'retransmissions':>17}",
+        "-" * 47,
+    ]
+    for r in results:
+        lines.append(
+            f"{r.loss_label:>6}{r.window:>8}{r.per_frame_us:>16.1f}"
+            f"{r.retransmissions:>17}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> list[ArqResult]:
+    results = asyncio.run(measure_arq())
+    print(format_table(results))
+    return results

@@ -1,0 +1,104 @@
+"""Batching ablation (paper §3.4).
+
+"To further improve performance, the CLAM RPC facility batches
+several asynchronous calls together into a single message.  Batching
+reduces the amount of interprocess communication, and introduces
+asynchrony into the RPC model."
+
+The experiment: stream N void calls over a UNIX-domain connection,
+then fence with one synchronous call, for several ``max_batch``
+settings.  ``max_batch=1`` is the no-batching baseline (every call is
+its own frame).  Reported: per-call cost and frames actually sent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.bench.scenarios import COUNTER_SOURCE, CounterIface
+from repro.client import ClamClient
+from repro.server import ClamServer
+
+DEFAULT_BATCH_SIZES = (1, 4, 16, 64, 256)
+
+
+@dataclass
+class BatchingResult:
+    max_batch: int
+    calls: int
+    per_call_us: float
+    frames_sent: int
+
+    @property
+    def calls_per_frame(self) -> float:
+        return self.calls / max(1, self.frames_sent)
+
+
+async def measure_batching(
+    base_dir: str,
+    *,
+    calls: int = 500,
+    batch_sizes: tuple[int, ...] = DEFAULT_BATCH_SIZES,
+    rounds: int = 3,
+) -> list[BatchingResult]:
+    results = []
+    for max_batch in batch_sizes:
+        server = ClamServer()
+        address = await server.start(f"unix://{base_dir}/batch-{max_batch}.sock")
+        client = await ClamClient.connect(
+            address, max_batch=max_batch, flush_delay=None
+        )
+        await client.load_module("counter", COUNTER_SOURCE)
+        counter = await client.create(CounterIface)
+
+        best = float("inf")
+        frames = 0
+        for _ in range(rounds):
+            before = client.rpc.batch.frames_sent
+            start = time.perf_counter()
+            for _ in range(calls):
+                await counter.add(1)
+            await client.sync()  # fence: everything executed
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed / calls)
+            frames = client.rpc.batch.frames_sent - before
+        results.append(
+            BatchingResult(
+                max_batch=max_batch,
+                calls=calls,
+                per_call_us=best * 1e6,
+                frames_sent=frames,
+            )
+        )
+        await client.close()
+        await server.shutdown()
+    return results
+
+
+def format_table(results: list[BatchingResult]) -> str:
+    lines = [
+        "S3.4 ablation: batching asynchronous calls (UNIX domain, "
+        f"{results[0].calls} void calls + 1 sync fence)",
+        f"{'max_batch':>10}{'per-call (us)':>16}{'frames':>9}{'calls/frame':>13}",
+        "-" * 48,
+    ]
+    for r in results:
+        lines.append(
+            f"{r.max_batch:>10}{r.per_call_us:>16.2f}{r.frames_sent:>9}"
+            f"{r.calls_per_frame:>13.1f}"
+        )
+    baseline = results[0].per_call_us
+    best = min(r.per_call_us for r in results)
+    lines.append("-" * 48)
+    lines.append(
+        f"speedup of best batch size over no batching: {baseline / best:.1f}x"
+    )
+    return "\n".join(lines)
+
+
+def main(base_dir: str = "/tmp") -> list[BatchingResult]:
+    results = asyncio.run(measure_batching(base_dir))
+    print(format_table(results))
+    return results

@@ -1,0 +1,171 @@
+"""Bundling-strategy baseline comparison (paper §3.1).
+
+The paper's argument for user-specified bundlers, run as an
+experiment: pass a node of a threaded binary tree using
+
+- **referent** — CLAM's default pointer bundler: "bundles only the
+  object referred to by the pointer";
+- **closure** — the rpcgen baseline: "take the transitive closure
+  starting at the node ... can cause the whole tree to be passed
+  remotely";
+- **user** — a programmer-written middle ground shipping the node and
+  its two children, "only as much data as necessary" for a caller
+  that inspects the children.
+
+Reported per strategy and tree size: bundle+unbundle time and wire
+bytes.  The paper's claim is the crossover: closure is "correct ...
+but can have a significant performance penalty" that grows with the
+structure, while the others are O(1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.bundlers import closure_bundler, referent_bundler
+from repro.xdr import XdrStream
+
+DEFAULT_TREE_SIZES = (15, 127, 1023)
+
+
+@dataclass
+class TreeNode:
+    """The paper's threaded binary tree node (§3.1)."""
+
+    key: int
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+    thread: Optional["TreeNode"] = None
+
+
+def build_tree(size: int) -> TreeNode:
+    """A balanced BST of ``size`` nodes, threaded in-order."""
+
+    def build(lo: int, hi: int) -> TreeNode | None:
+        if lo > hi:
+            return None
+        mid = (lo + hi) // 2
+        node = TreeNode(mid)
+        node.left = build(lo, mid - 1)
+        node.right = build(mid + 1, hi)
+        return node
+
+    root = build(0, size - 1)
+    order: list[TreeNode] = []
+
+    def inorder(node: TreeNode | None) -> None:
+        if node is None:
+            return
+        inorder(node.left)
+        order.append(node)
+        inorder(node.right)
+
+    inorder(root)
+    for a, b in zip(order, order[1:]):
+        a.thread = b
+    assert root is not None
+    return root
+
+
+def user_bundler(stream: XdrStream, node, *extra):
+    """Programmer-written: the node plus its two children, nothing more."""
+
+    def one(stream, n):
+        if stream.encoding:
+            stream.xbool(n is not None)
+            if n is not None:
+                stream.xhyper(n.key)
+            return n
+        if not stream.xbool():
+            return None
+        return TreeNode(stream.xhyper())
+
+    if stream.encoding:
+        one(stream, node)
+        if node is not None:
+            one(stream, node.left)
+            one(stream, node.right)
+        return node
+    node = one(stream, None)
+    if node is not None:
+        node.left = one(stream, None)
+        node.right = one(stream, None)
+    return node
+
+
+STRATEGIES: dict[str, Callable] = {
+    "referent (CLAM default)": referent_bundler(TreeNode),
+    "closure (rpcgen)": closure_bundler(TreeNode),
+    "user (node+children)": user_bundler,
+}
+
+
+@dataclass
+class BundlerResult:
+    strategy: str
+    tree_size: int
+    roundtrip_us: float
+    wire_bytes: int
+
+
+def measure_bundlers(
+    *,
+    tree_sizes: tuple[int, ...] = DEFAULT_TREE_SIZES,
+    iterations: int = 200,
+) -> list[BundlerResult]:
+    results = []
+    for size in tree_sizes:
+        root = build_tree(size)
+        for name, bundler in STRATEGIES.items():
+            enc = XdrStream.encoder()
+            bundler(enc, root)
+            wire = enc.getvalue()
+
+            start = time.perf_counter()
+            for _ in range(iterations):
+                enc = XdrStream.encoder()
+                bundler(enc, root)
+                bundler(XdrStream.decoder(enc.getvalue()), None)
+            elapsed = time.perf_counter() - start
+            results.append(
+                BundlerResult(
+                    strategy=name,
+                    tree_size=size,
+                    roundtrip_us=elapsed / iterations * 1e6,
+                    wire_bytes=len(wire),
+                )
+            )
+    return results
+
+
+def format_table(results: list[BundlerResult]) -> str:
+    lines = [
+        "S3.1 baseline: pointer bundling strategies on a threaded binary tree",
+        f"{'strategy':<26}{'tree size':>10}{'roundtrip (us)':>16}{'wire bytes':>12}",
+        "-" * 64,
+    ]
+    for r in results:
+        lines.append(
+            f"{r.strategy:<26}{r.tree_size:>10}{r.roundtrip_us:>16.2f}"
+            f"{r.wire_bytes:>12}"
+        )
+    biggest = max(r.tree_size for r in results)
+    flat = {r.strategy: r for r in results if r.tree_size == biggest}
+    closure = flat["closure (rpcgen)"]
+    referent = flat["referent (CLAM default)"]
+    lines.append("-" * 64)
+    lines.append(
+        f"at {biggest} nodes, closure costs "
+        f"{closure.roundtrip_us / referent.roundtrip_us:.0f}x the time and "
+        f"{closure.wire_bytes / referent.wire_bytes:.0f}x the bytes of the "
+        f"single-object bundler"
+    )
+    return "\n".join(lines)
+
+
+def main() -> list[BundlerResult]:
+    results = measure_bundlers()
+    print(format_table(results))
+    return results

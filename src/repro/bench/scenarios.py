@@ -1,0 +1,311 @@
+"""The nine call configurations of Figure 5.1, as reusable scenarios.
+
+Each scenario prepares one configuration and hands back ``run_n(n)``,
+which performs *n* calls of that kind, plus a cleanup coroutine.  The
+harness divides wall time by *n* for the per-call cost, exactly how
+one measures a 19 µs call on any clock.
+
+Row map (paper µs in parentheses):
+
+1. ``static``        — statically linked procedure call (19)
+2. ``dyn_dyn``       — dynamically loaded procedure calling another
+                       dynamically loaded procedure (21)
+3. ``upcall_local``  — upcall, both procedures dynamically loaded in
+                       the server (19)
+4. ``call_unix``     — remote call, same machine, UNIX domain (7200)
+5. ``upcall_unix``   — remote upcall, same machine, UNIX domain (7200)
+6. ``call_tcp``      — remote call, same machine, TCP/IP (11500)
+7. ``upcall_tcp``    — remote upcall, same machine, TCP/IP (11500)
+8. ``call_wan``      — remote call, different machines (12400)
+9. ``upcall_wan``    — remote upcall, different machines (12800)
+
+The "different machines" rows run over the latency-injecting
+transport (see DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Awaitable, Callable
+
+from repro.client import ClamClient
+from repro.core import UpcallPort
+from repro.loader import ModuleLoader
+from repro.server import ClamServer
+
+#: One-way delay for the simulated second machine, seconds.
+WAN_DELAY = 0.0005
+
+#: Python sources dynamically loaded by the scenarios.
+
+ADDER_SOURCE = '''
+from repro.stubs import RemoteInterface
+
+
+class Adder(RemoteInterface):
+    """Leaf procedure: the callee of the dyn->dyn row."""
+
+    def __init__(self):
+        self.total = 0
+
+    def bump(self, amount: int) -> int:
+        self.total += amount
+        return self.total
+'''
+
+FORWARDER_SOURCE = '''
+from repro.stubs import RemoteInterface
+
+
+class Forwarder(RemoteInterface):
+    """Caller of the dyn->dyn row: one extra dynamically loaded frame."""
+
+    def __init__(self):
+        self.target = None
+
+    def forward(self, amount: int) -> int:
+        return self.target.bump(amount)
+'''
+
+HANDLER_SOURCE = '''
+from repro.stubs import RemoteInterface
+
+
+class Handler(RemoteInterface):
+    """Upper layer of the local-upcall row."""
+
+    def __init__(self):
+        self.seen = 0
+
+    def on_event(self, value: int) -> int:
+        self.seen += 1
+        return value
+'''
+
+COUNTER_SOURCE = '''
+from repro.stubs import RemoteInterface
+
+
+class Counter(RemoteInterface):
+    def __init__(self):
+        self.value = 0
+
+    def add(self, amount: int) -> None:
+        self.value += amount
+
+    def total(self) -> int:
+        return self.value
+'''
+
+POKER_SOURCE = '''
+from typing import Callable
+
+from repro.stubs import RemoteInterface
+
+
+class Poker(RemoteInterface):
+    """Server-resident layer that upcalls a registered client procedure."""
+
+    def __init__(self):
+        self.proc = None
+
+    def register(self, proc: Callable[[int], int]) -> bool:
+        self.proc = proc
+        return True
+
+    async def poke(self, n: int) -> int:
+        total = 0
+        for i in range(n):
+            total += await self.proc(i)
+        return total
+'''
+
+# Client-side declarations for the loaded classes above.
+from repro.stubs import RemoteInterface  # noqa: E402
+from typing import Callable  # noqa: E402
+
+
+class CounterIface(RemoteInterface):
+    __clam_class__ = "Counter"
+
+    def add(self, amount: int) -> None: ...
+    def total(self) -> int: ...
+
+
+class PokerIface(RemoteInterface):
+    __clam_class__ = "Poker"
+
+    def register(self, proc: Callable[[int], int]) -> bool: ...
+    def poke(self, n: int) -> int: ...
+
+
+RunN = Callable[[int], Awaitable[None]]
+Cleanup = Callable[[], Awaitable[None]]
+
+
+@dataclass(frozen=True)
+class Fig51Row:
+    key: str
+    label: str
+    paper_us: float
+    #: inner iterations suited to the row's latency
+    batch: int
+
+
+FIG51_ROWS: tuple[Fig51Row, ...] = (
+    Fig51Row("static", "Staticly linked procedure call", 19, 20000),
+    Fig51Row("dyn_dyn", "Dynamically loaded procedure calling another "
+                        "dynamically loaded procedure", 21, 20000),
+    Fig51Row("upcall_local", "Upcall - both procedures dynamically loaded "
+                             "in the server", 19, 5000),
+    Fig51Row("call_unix", "Remote call - both process on same machine "
+                          "(UNIX domain connection)", 7200, 300),
+    Fig51Row("upcall_unix", "Remote upcall - both process on same machine "
+                            "(UNIX domain connection)", 7200, 300),
+    Fig51Row("call_tcp", "Remote call - both process on same machine "
+                         "(TCP/IP connection)", 11500, 300),
+    Fig51Row("upcall_tcp", "Remote upcall - both process on same machine "
+                           "(TCP/IP connection)", 11500, 300),
+    Fig51Row("call_wan", "Remote call - process on different machines "
+                         "(TCP/IP connection)", 12400, 60),
+    Fig51Row("upcall_wan", "Remote upcall - process on different machines "
+                           "(TCP/IP connection)", 12800, 60),
+)
+
+
+def row(key: str) -> Fig51Row:
+    for entry in FIG51_ROWS:
+        if entry.key == key:
+            return entry
+    raise KeyError(key)
+
+
+# ---------------------------------------------------------------------------
+# local rows
+
+
+async def _prepare_static() -> tuple[RunN, Cleanup]:
+    loader = ModuleLoader()
+    loader.load_source("adder", ADDER_SOURCE)
+    adder = loader.classes.resolve("Adder").cls()
+
+    async def run_n(n: int) -> None:
+        bump = adder.bump
+        for i in range(n):
+            bump(1)
+
+    async def cleanup() -> None:
+        pass
+
+    return run_n, cleanup
+
+
+async def _prepare_dyn_dyn() -> tuple[RunN, Cleanup]:
+    loader = ModuleLoader()
+    loader.load_source("adder", ADDER_SOURCE)
+    loader.load_source("forwarder", FORWARDER_SOURCE)
+    adder = loader.classes.resolve("Adder").cls()
+    forwarder = loader.classes.resolve("Forwarder").cls()
+    forwarder.target = adder
+
+    async def run_n(n: int) -> None:
+        forward = forwarder.forward
+        for i in range(n):
+            forward(1)
+
+    async def cleanup() -> None:
+        pass
+
+    return run_n, cleanup
+
+
+async def _prepare_upcall_local() -> tuple[RunN, Cleanup]:
+    loader = ModuleLoader()
+    loader.load_source("handler", HANDLER_SOURCE)
+    handler = loader.classes.resolve("Handler").cls()
+    port = UpcallPort("bench")
+    port.register(handler.on_event)
+
+    async def run_n(n: int) -> None:
+        deliver = port.deliver
+        for i in range(n):
+            await deliver(i)
+
+    async def cleanup() -> None:
+        pass
+
+    return run_n, cleanup
+
+
+# ---------------------------------------------------------------------------
+# remote rows
+
+
+def _urls(scheme: str, base_dir: str) -> str:
+    if scheme == "unix":
+        return f"unix://{base_dir}/fig51.sock"
+    if scheme == "tcp":
+        return "tcp://127.0.0.1:0"
+    if scheme == "wan":
+        return f"wan://127.0.0.1:0?delay={WAN_DELAY}"
+    raise ValueError(scheme)
+
+
+async def _start_pair(scheme: str, base_dir: str) -> tuple[ClamServer, ClamClient]:
+    server = ClamServer()
+    address = await server.start(_urls(scheme, base_dir))
+    if scheme == "wan":
+        address = "wan://" + address.removeprefix("tcp://") + f"?delay={WAN_DELAY}"
+    client = await ClamClient.connect(address)
+    return server, client
+
+
+async def _prepare_remote_call(scheme: str, base_dir: str) -> tuple[RunN, Cleanup]:
+    server, client = await _start_pair(scheme, base_dir)
+    await client.load_module("counter", COUNTER_SOURCE)
+    counter = await client.create(CounterIface)
+
+    async def run_n(n: int) -> None:
+        total = counter.total
+        for _ in range(n):
+            await total()
+
+    async def cleanup() -> None:
+        await client.close()
+        await server.shutdown()
+
+    return run_n, cleanup
+
+
+async def _prepare_remote_upcall(scheme: str, base_dir: str) -> tuple[RunN, Cleanup]:
+    server, client = await _start_pair(scheme, base_dir)
+    await client.load_module("poker", POKER_SOURCE)
+    poker = await client.create(PokerIface)
+    await poker.register(lambda i: i)
+
+    async def run_n(n: int) -> None:
+        # One synchronous RPC fans out into n distributed upcalls; its
+        # cost amortizes to 1/n per upcall.
+        await poker.poke(n)
+
+    async def cleanup() -> None:
+        await client.close()
+        await server.shutdown()
+
+    return run_n, cleanup
+
+
+async def prepare_scenario(key: str, base_dir: str = "/tmp") -> tuple[RunN, Cleanup]:
+    """Build the configuration for one Figure 5.1 row."""
+    if key == "static":
+        return await _prepare_static()
+    if key == "dyn_dyn":
+        return await _prepare_dyn_dyn()
+    if key == "upcall_local":
+        return await _prepare_upcall_local()
+    kind, _, scheme = key.partition("_")
+    if kind == "call":
+        return await _prepare_remote_call(scheme, base_dir)
+    if kind == "upcall":
+        return await _prepare_remote_upcall(scheme, base_dir)
+    raise KeyError(key)

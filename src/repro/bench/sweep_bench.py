@@ -1,0 +1,137 @@
+"""Sweep-layer placement experiment (paper §2.1).
+
+"[Sweeping in the server] can respond quickly to input events and the
+dragging produces a smooth visual effect. ... [In the client,]
+passing every input event across between the server process and a
+client process may be slow and can produce unpleasing visual
+effects."
+
+The experiment: the SAME SweepLayer code, placed (a) dynamically
+loaded into the server and (b) in the client, processes drags of
+varying lengths over a UNIX-domain connection.  Reported: wall time
+per motion event and address-space crossings per drag.  The paper's
+qualitative claim becomes quantitative: server placement crosses once
+per drag, client placement once (or more) per event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.client import ClamClient
+from repro.core import invoke
+from repro.server import ClamServer
+from repro.tasks import TaskPool
+from repro.wm import BaseWindow, InputScript, Screen, SweepLayer
+from repro.wm.geometry import Point
+
+DEFAULT_DRAG_STEPS = (10, 50, 200)
+
+SWEEP_MODULE = '''
+from repro.wm.sweep import SweepLayer
+
+__clam_exports__ = ["SweepLayer"]
+'''
+
+
+@dataclass
+class SweepResult:
+    placement: str
+    steps: int
+    per_event_us: float
+    upcall_crossings: int
+
+
+async def _run_drag(placement: str, steps: int, base_dir: str) -> SweepResult:
+    server = ClamServer()
+    screen = Screen(400, 300)
+    screen.use_tasks(TaskPool(max_tasks=1, name="screen-input"))
+    base = BaseWindow(screen)
+    server.publish("screen", screen)
+    server.publish("base", base)
+    address = await server.start(f"unix://{base_dir}/sweep-{placement}-{steps}.sock")
+    client = await ClamClient.connect(address)
+    screen_proxy = await client.lookup(Screen, "screen")
+    base_proxy = await client.lookup(BaseWindow, "base")
+
+    if placement == "server":
+        await client.load_module("sweep", SWEEP_MODULE)
+        sweep = await client.create(SweepLayer, class_name="sweep")
+    else:
+        sweep = SweepLayer()
+    await invoke(sweep.attach, base_proxy, screen_proxy)
+
+    completions: list = []
+    done = asyncio.Event()
+
+    def complete(rect) -> None:
+        completions.append(rect)
+        done.set()
+
+    await invoke(sweep.on_complete, complete)
+
+    # Input originates at the server's device (as in the paper), so the
+    # only wire traffic is what the *placement* causes: nothing per
+    # event for a server-resident sweep layer, one distributed upcall
+    # (plus drawing RPCs) per event for a client-resident one.
+    script = InputScript()
+    events = script.drag(Point(5, 5), Point(300, 200), steps=steps)
+    start = time.perf_counter()
+    for event in events:
+        await screen.inject_input(event)
+    await asyncio.wait_for(done.wait(), timeout=30)
+    elapsed = time.perf_counter() - start
+
+    crossings = client.upcalls_handled
+    await client.close()
+    await server.shutdown()
+    assert len(completions) == 1
+    return SweepResult(
+        placement=placement,
+        steps=steps,
+        per_event_us=elapsed / steps * 1e6,
+        upcall_crossings=crossings,
+    )
+
+
+async def measure_sweep(
+    base_dir: str, *, drag_steps: tuple[int, ...] = DEFAULT_DRAG_STEPS
+) -> list[SweepResult]:
+    results = []
+    for steps in drag_steps:
+        for placement in ("server", "client"):
+            results.append(await _run_drag(placement, steps, base_dir))
+    return results
+
+
+def format_table(results: list[SweepResult]) -> str:
+    lines = [
+        "S2.1 experiment: sweep-layer placement (UNIX domain, one drag)",
+        f"{'placement':<10}{'motion events':>14}{'per-event (us)':>16}"
+        f"{'upcall crossings':>18}",
+        "-" * 58,
+    ]
+    for r in results:
+        lines.append(
+            f"{r.placement:<10}{r.steps:>14}{r.per_event_us:>16.1f}"
+            f"{r.upcall_crossings:>18}"
+        )
+    lines.append("-" * 58)
+    biggest = max(r.steps for r in results)
+    pair = {r.placement: r for r in results if r.steps == biggest}
+    lines.append(
+        f"at {biggest} events/drag, client placement costs "
+        f"{pair['client'].per_event_us / pair['server'].per_event_us:.1f}x "
+        f"per event and crosses the address space "
+        f"{pair['client'].upcall_crossings}x vs "
+        f"{pair['server'].upcall_crossings}x"
+    )
+    return "\n".join(lines)
+
+
+def main(base_dir: str = "/tmp") -> list[SweepResult]:
+    results = asyncio.run(measure_sweep(base_dir))
+    print(format_table(results))
+    return results

@@ -1,0 +1,85 @@
+"""Task-reuse ablation (paper §4.4).
+
+"Tasks are reused, instead of being newly created on each input event
+to reduce overhead."  The experiment: process N input-event jobs
+(a) through a task pool (reuse) and (b) spawning a fresh task per
+event.  Reported: per-event cost and tasks actually created.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.tasks import Task, TaskPool
+
+
+@dataclass
+class TaskResult:
+    mode: str
+    events: int
+    per_event_us: float
+    tasks_created: int
+
+
+async def _event_job() -> None:
+    # Stand-in for routing one event: a couple of awaits deep.
+    await asyncio.sleep(0)
+
+
+async def measure_tasks(*, events: int = 2000, rounds: int = 3) -> list[TaskResult]:
+    results = []
+
+    # (a) pooled, reused workers
+    best = float("inf")
+    spawned = 0
+    for _ in range(rounds):
+        pool = TaskPool(max_tasks=1, name="bench-events")
+        start = time.perf_counter()
+        for _ in range(events):
+            await pool.run(_event_job)
+        elapsed = time.perf_counter() - start
+        spawned = pool.workers_spawned
+        await pool.close()
+        best = min(best, elapsed / events)
+    results.append(
+        TaskResult("pooled (reused)", events, best * 1e6, spawned)
+    )
+
+    # (b) a fresh task per event
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(events):
+            await Task.spawn(_event_job()).result()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / events)
+    results.append(TaskResult("fresh task per event", events, best * 1e6, events))
+    return results
+
+
+def format_table(results: list[TaskResult]) -> str:
+    lines = [
+        "S4.4 ablation: task reuse for input events",
+        f"{'mode':<24}{'events':>8}{'per-event (us)':>16}{'tasks created':>15}",
+        "-" * 63,
+    ]
+    for r in results:
+        lines.append(
+            f"{r.mode:<24}{r.events:>8}{r.per_event_us:>16.2f}{r.tasks_created:>15}"
+        )
+    pooled, fresh = results[0], results[1]
+    lines.append("-" * 63)
+    lines.append(
+        f"reuse saves {fresh.per_event_us - pooled.per_event_us:.2f} us/event "
+        f"({fresh.per_event_us / pooled.per_event_us:.2f}x) and "
+        f"{fresh.tasks_created - pooled.tasks_created} task creations"
+    )
+    return "\n".join(lines)
+
+
+def main() -> list[TaskResult]:
+    results = asyncio.run(measure_tasks())
+    print(format_table(results))
+    return results

@@ -1,0 +1,51 @@
+"""Parameter bundling — the marshalling layer of CLAM's RPC (paper §3).
+
+"Bundling is the task of converting a data object from its internal
+representation to a machine independent representation."  The paper
+takes the middle ground between fully automatic (Lupine) and fully
+manual (rpcgen) stub generation: the compiler derives bundlers from
+the type information in the source, and the programmer supplies a
+bundler only where pointer types make the meaning ambiguous (§3.1).
+
+This package is that middle ground in Python:
+
+- :func:`derive_bundler` is "the compiler": it builds a bundler from a
+  type annotation (primitives, enums, dataclasses without pointers,
+  lists, optionals, fixed tuples) and refuses recursive structures —
+  the exact case the paper says cannot be bundled "correctly and
+  efficiently in all cases".
+- :class:`Bundled` / :class:`In` / :class:`Out` / :class:`InOut` are
+  the grammar extension of §3.2: annotations that attach a
+  user-specified bundler and a direction to a parameter, e.g.
+  ``Annotated[Point, In(pt_bundler)]`` — the analogue of
+  ``const Point* thept @ pt_bundler()``.
+- :class:`BundlerRegistry` is the ``typedef`` form: associate a
+  bundler with a type once and every use of the type picks it up; an
+  in-place annotation still wins.
+- :mod:`repro.bundlers.pointer` has the two pointer strategies of
+  §3.1/§3.5: bundle-the-referent-only (CLAM's default) and
+  transitive closure (the rpcgen baseline, kept for the benchmarks).
+"""
+
+from repro.bundlers.base import Bundler, BundlerRegistry, default_registry
+from repro.bundlers.modes import Bundled, Direction, In, InOut, Out, ParamMarker
+from repro.bundlers.auto import derive_bundler
+from repro.bundlers.pointer import (
+    closure_bundler,
+    referent_bundler,
+)
+
+__all__ = [
+    "Bundler",
+    "BundlerRegistry",
+    "default_registry",
+    "Bundled",
+    "Direction",
+    "In",
+    "InOut",
+    "Out",
+    "ParamMarker",
+    "derive_bundler",
+    "closure_bundler",
+    "referent_bundler",
+]

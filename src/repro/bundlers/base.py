@@ -1,0 +1,123 @@
+"""Bundler protocol and registry.
+
+A *bundler* follows the three rules of §3.3:
+
+1. it takes the value as its (implied) argument and returns a value of
+   the same type;
+2. it is bidirectional — one body both bundles onto an ENCODE stream
+   and unbundles from a DECODE stream;
+3. it stands alone — no global state; everything it needs arrives as
+   the stream, the value, and optional extra arguments (e.g. an array
+   length taken from a sibling parameter).
+
+In Python a bundler is any callable ``bundler(stream, value, *extra)
+-> value``.  The paper's implied first parameter (the object) becomes
+the explicit second argument here because Python has no output
+parameters.
+
+:class:`BundlerRegistry` implements the ``typedef`` association of
+§3.2 plus a resolver chain through which higher layers (stub
+generation) plug in bundlers for object pointers and procedure
+pointers without this package depending on them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.errors import BundleError
+from repro.xdr import XdrStream
+
+_registry_uids = itertools.count(1)
+
+#: A bidirectional marshalling filter: (stream, value, *extra) -> value.
+Bundler = Callable[..., Any]
+
+#: Hook that maps a type annotation to a bundler, or None to decline.
+Resolver = Callable[[Any, "BundlerRegistry"], Optional[Bundler]]
+
+
+class BundlerRegistry:
+    """Type → bundler associations plus a resolver chain.
+
+    Lookup order for a type:
+
+    1. an exact registration (:meth:`register` — the ``typedef`` form),
+    2. each resolver in registration order (structural derivation,
+       object-pointer and procedure-pointer resolvers, ...).
+
+    The *in-place* form (a :class:`~repro.bundlers.modes.ParamMarker`
+    carrying a bundler) is applied by the signature layer before the
+    registry is ever consulted, preserving the paper's precedence: "If
+    the type of a parameter has a bundler associated with it and a
+    bundler is also specified in place, the in place bundler will be
+    used."
+    """
+
+    def __init__(self) -> None:
+        #: Process-unique, never-reused identity (unlike ``id()``,
+        #: which the allocator recycles) — safe as a cache key.
+        self.uid = next(_registry_uids)
+        self._by_type: dict[Any, Bundler] = {}
+        self._resolvers: list[Resolver] = []
+
+    def register(self, py_type: Any, bundler: Bundler) -> None:
+        """Associate ``bundler`` with every use of ``py_type`` (typedef form)."""
+        self._by_type[py_type] = bundler
+
+    def registered(self, py_type: Any) -> Bundler | None:
+        """The exact registration for ``py_type``, if any."""
+        return self._by_type.get(py_type)
+
+    def add_resolver(self, resolver: Resolver) -> None:
+        """Append a resolver consulted when no exact registration exists."""
+        self._resolvers.append(resolver)
+
+    def bundler_for(self, py_type: Any) -> Bundler:
+        """Find a bundler for ``py_type`` or raise :class:`BundleError`."""
+        bundler = self._by_type.get(py_type)
+        if bundler is not None:
+            return bundler
+        for resolver in self._resolvers:
+            bundler = resolver(py_type, self)
+            if bundler is not None:
+                return bundler
+        raise BundleError(
+            f"no bundler for type {py_type!r}; register one or annotate the "
+            f"parameter with Bundled(...) (paper §3.1: ambiguous types need "
+            f"user-specified bundlers)"
+        )
+
+    def child(self) -> "BundlerRegistry":
+        """A copy sharing nothing; used to isolate per-server registries."""
+        clone = BundlerRegistry()
+        clone._by_type.update(self._by_type)
+        clone._resolvers.extend(self._resolvers)
+        return clone
+
+
+def run_bundler(bundler: Bundler, stream: XdrStream, value: Any, *extra: Any) -> Any:
+    """Invoke a bundler, wrapping unexpected failures in BundleError."""
+    try:
+        return bundler(stream, value, *extra)
+    except BundleError:
+        raise
+    except Exception as exc:
+        direction = "bundle" if stream.encoding else "unbundle"
+        raise BundleError(f"bundler {bundler!r} failed to {direction} {value!r}: {exc}") from exc
+
+
+_default_registry: BundlerRegistry | None = None
+
+
+def default_registry() -> BundlerRegistry:
+    """The process-wide registry with structural derivation installed."""
+    global _default_registry
+    if _default_registry is None:
+        from repro.bundlers.auto import structural_resolver
+
+        registry = BundlerRegistry()
+        registry.add_resolver(structural_resolver)
+        _default_registry = registry
+    return _default_registry

@@ -1,0 +1,93 @@
+"""Parameter direction markers and in-place bundler specification (§3.2).
+
+The paper extends C++ with three specifiers and an ``@ bundler()``
+clause:
+
+- ``const`` — the parameter travels client→server only; "the compiler
+  uses this information to only generate a bundler to pass the
+  parameter from the client down to the server".
+- ``out`` — server→client only (a result parameter).
+- ``inout`` — both directions.
+- ``@ bundler(extra, ...)`` — the in-place bundler, optionally taking
+  additional sibling parameters (e.g. an array length).
+
+In Python these become annotation markers used inside
+``typing.Annotated``::
+
+    def draw_points(
+        self,
+        number: int,
+        pts: Annotated[list[Point], In(pt_array_bundler, "number")],
+    ) -> None: ...
+
+    def get_cursor_pos(self) -> Annotated[Point, Bundled(pt_bundler)]: ...
+
+Python has no reference parameters, so ``Out``/``InOut`` parameters
+are returned: the remote procedure's reply carries every ``out`` and
+``inout`` parameter after the return value, and the client stub
+returns them alongside it.  That is the honest translation of "full
+reference parameter semantics are difficult to support when there is
+no shared memory" — CLAM's own bundlers copy values back rather than
+sharing them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable
+
+
+class Direction(enum.Enum):
+    """Which way a parameter travels (paper's const/out/inout)."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+
+class ParamMarker:
+    """Annotation payload: direction plus optional in-place bundler.
+
+    ``extra_params`` names sibling parameters whose *values* are passed
+    to the bundler after the stream and the value — the paper's "we do
+    not limit the number of parameters to bundlers" (§3.2), used when
+    "bundling an array of an arbitrary length with no well-known
+    terminal value".
+    """
+
+    def __init__(
+        self,
+        direction: Direction,
+        bundler: Callable[..., Any] | None = None,
+        *extra_params: str,
+    ):
+        self.direction = direction
+        self.bundler = bundler
+        self.extra_params = tuple(extra_params)
+
+    def __repr__(self) -> str:
+        parts = [self.direction.value]
+        if self.bundler is not None:
+            parts.append(getattr(self.bundler, "__name__", repr(self.bundler)))
+        parts.extend(self.extra_params)
+        return f"ParamMarker({', '.join(parts)})"
+
+
+def In(bundler: Callable[..., Any] | None = None, *extra_params: str) -> ParamMarker:
+    """Client→server parameter (the paper's ``const``)."""
+    return ParamMarker(Direction.IN, bundler, *extra_params)
+
+
+def Out(bundler: Callable[..., Any] | None = None, *extra_params: str) -> ParamMarker:
+    """Server→client result parameter (the paper's ``out``)."""
+    return ParamMarker(Direction.OUT, bundler, *extra_params)
+
+
+def InOut(bundler: Callable[..., Any] | None = None, *extra_params: str) -> ParamMarker:
+    """Parameter passed in both directions (the paper's ``inout``)."""
+    return ParamMarker(Direction.INOUT, bundler, *extra_params)
+
+
+def Bundled(bundler: Callable[..., Any], *extra_params: str) -> ParamMarker:
+    """In-place bundler with the default (IN) direction — the bare ``@`` form."""
+    return ParamMarker(Direction.IN, bundler, *extra_params)

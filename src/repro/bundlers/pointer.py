@@ -1,0 +1,183 @@
+"""The two pointer-bundling strategies of §3.1 and §3.5.
+
+"One way to pass the node would be to just pass the node itself, and
+nothing else. ... The other extreme is to take the transitive closure
+starting at the node by following its pointers recursively.  Rpcgen is
+an example of a system which chooses this method."
+
+- :func:`referent_bundler` — CLAM's default: "this bundler does not
+  make a transitive closure of pointers; it bundles only the object
+  referred to by the pointer" (§3.5).  Pointer-valued fields arrive as
+  ``None`` on the far side.
+- :func:`closure_bundler` — the rpcgen baseline: serializes the whole
+  reachable object graph, preserving sharing and cycles (a threaded
+  binary tree *is* cyclic), "correct results but can have a
+  significant performance penalty".
+
+Both treat a field as a *pointer field* when its annotation is a
+dataclass or ``Optional[dataclass]``; every other field is a *data
+field* bundled through the registry.  Self-referential dataclasses
+must be defined at module level so their forward-reference
+annotations ("Node") resolve through ``typing.get_type_hints``.  ``benchmarks/test_bundlers.py``
+measures the two strategies against each other on threaded binary
+trees, reproducing the paper's §3.1 argument quantitatively.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import types
+import typing
+from typing import Any, Union
+
+from repro.errors import BundleError
+from repro.bundlers.base import Bundler, BundlerRegistry, default_registry
+from repro.xdr import XdrStream
+
+
+def _split_fields(cls: type, registry: BundlerRegistry):
+    """Partition dataclass fields into data fields and pointer fields.
+
+    Returns ``(data, pointers)`` where ``data`` is a list of
+    ``(name, bundler)`` and ``pointers`` a list of ``(name, target_cls)``.
+    """
+    if not (dataclasses.is_dataclass(cls) and isinstance(cls, type)):
+        raise BundleError(f"{cls!r} is not a dataclass")
+    hints = typing.get_type_hints(cls)
+    data: list[tuple[str, Bundler]] = []
+    pointers: list[tuple[str, type]] = []
+    for field in dataclasses.fields(cls):
+        annotation = hints[field.name]
+        target = _pointer_target(annotation)
+        if target is not None:
+            pointers.append((field.name, target))
+        else:
+            data.append((field.name, registry.bundler_for(annotation)))
+    return data, pointers
+
+
+def _pointer_target(annotation: Any) -> type | None:
+    """The dataclass a field points at, or None for a data field."""
+    if dataclasses.is_dataclass(annotation) and isinstance(annotation, type):
+        return annotation
+    origin = typing.get_origin(annotation)
+    if origin in (Union, types.UnionType):
+        args = [a for a in typing.get_args(annotation) if a is not type(None)]
+        if len(args) == 1 and dataclasses.is_dataclass(args[0]):
+            return args[0]
+    return None
+
+
+def _set_field(obj: Any, name: str, value: Any) -> None:
+    """Assign a dataclass field, working for frozen dataclasses too."""
+    try:
+        setattr(obj, name, value)
+    except dataclasses.FrozenInstanceError:
+        object.__setattr__(obj, name, value)
+
+
+def referent_bundler(cls: type, registry: BundlerRegistry | None = None) -> Bundler:
+    """Bundle only the node itself; pointer fields travel as nil.
+
+    "This bundling method will fail if the remote procedure wants to
+    examine the node's children as well" — by design; use it when the
+    remote side needs only the one object.
+    """
+    registry = registry or default_registry()
+    data_fields, pointer_fields = _split_fields(cls, registry)
+
+    def bundle_node(stream: XdrStream, value, *extra):
+        if stream.encoding:
+            if value is not None and not isinstance(value, cls):
+                raise BundleError(f"expected {cls.__name__}, got {value!r}")
+            stream.xbool(value is not None)
+            if value is None:
+                return None
+            for name, bundler in data_fields:
+                bundler(stream, getattr(value, name))
+            return value
+        if not stream.xbool():
+            return None
+        kwargs: dict[str, Any] = {
+            name: bundler(stream, None) for name, bundler in data_fields
+        }
+        for name, _target in pointer_fields:
+            kwargs[name] = None
+        return cls(**kwargs)
+
+    bundle_node.__name__ = f"referent_{cls.__name__}"
+    return bundle_node
+
+
+def closure_bundler(cls: type, registry: BundlerRegistry | None = None) -> Bundler:
+    """Bundle the transitive closure of the object graph rooted at the value.
+
+    Wire form: node count; each node's data fields in discovery order;
+    then, for each node, each pointer field as a node index (or -1 for
+    nil).  Sharing and cycles are preserved because identity, not
+    structure, keys the discovery.
+
+    Restricted to homogeneous graphs (every reachable node is a
+    ``cls``); heterogeneous graphs need a hand-written bundler, just
+    as they would have in 1988.
+    """
+    registry = registry or default_registry()
+    data_fields, pointer_fields = _split_fields(cls, registry)
+    for _name, target in pointer_fields:
+        if target is not cls:
+            raise BundleError(
+                f"closure_bundler({cls.__name__}) requires homogeneous "
+                f"pointers; field targets {target.__name__}"
+            )
+
+    def bundle_closure(stream: XdrStream, value, *extra):
+        if stream.encoding:
+            nodes: list[Any] = []
+            index: dict[int, int] = {}
+            # Iterative DFS discovering the reachable graph.
+            if value is not None:
+                stack = [value]
+                while stack:
+                    node = stack.pop()
+                    if id(node) in index:
+                        continue
+                    if not isinstance(node, cls):
+                        raise BundleError(
+                            f"closure of {cls.__name__} reached {node!r}"
+                        )
+                    index[id(node)] = len(nodes)
+                    nodes.append(node)
+                    for name, _target in pointer_fields:
+                        child = getattr(node, name)
+                        if child is not None and id(child) not in index:
+                            stack.append(child)
+            stream.xuint(len(nodes))
+            for node in nodes:
+                for name, bundler in data_fields:
+                    bundler(stream, getattr(node, name))
+            for node in nodes:
+                for name, _target in pointer_fields:
+                    child = getattr(node, name)
+                    stream.xint(-1 if child is None else index[id(child)])
+            return value
+
+        count = stream.xuint()
+        blank = {name: None for name, _ in pointer_fields}
+        nodes = []
+        for _ in range(count):
+            kwargs = {name: bundler(stream, None) for name, bundler in data_fields}
+            kwargs.update(blank)
+            nodes.append(cls(**kwargs))
+        for node in nodes:
+            for name, _target in pointer_fields:
+                child_index = stream.xint()
+                if child_index >= 0:
+                    if child_index >= count:
+                        raise BundleError(
+                            f"closure index {child_index} out of range {count}"
+                        )
+                    _set_field(node, name, nodes[child_index])
+        return nodes[0] if nodes else None
+
+    bundle_closure.__name__ = f"closure_{cls.__name__}"
+    return bundle_closure

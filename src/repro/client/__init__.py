@@ -1,0 +1,20 @@
+"""The CLAM client runtime (paper §4.4).
+
+"Each client requires at least two tasks, which are created when the
+client initially connects with the server.  The first task executes
+the code of the application.  This task blocks during RPC requests,
+while waiting for the return value.  The second task handles all
+upcalls.  The second task is initially blocked, and is unblocked on
+receipt of an upcall."
+
+:class:`ClamClient` opens the two channels (RPC + upcall), runs the
+upcall service task, and wraps the builtin server interface in a
+convenient API: load modules, create instances, look up published
+objects, and register procedures for upcalls simply by passing
+callables to remote methods.
+"""
+
+from repro.client.clam import ClamClient
+from repro.client.upcall_task import UpcallService
+
+__all__ = ["ClamClient", "UpcallService"]

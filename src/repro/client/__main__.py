@@ -1,0 +1,71 @@
+"""Command-line CLAM client for poking at a running server.
+
+::
+
+    python -m repro.client URL ping
+    python -m repro.client URL classes
+    python -m repro.client URL modules
+    python -m repro.client URL versions CLASSNAME
+    python -m repro.client URL load NAME FILE.py
+    python -m repro.client URL sync
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import pathlib
+import sys
+
+from repro.client import ClamClient
+
+
+def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.client", description="Talk to a CLAM server."
+    )
+    parser.add_argument("url", help="server address (unix:///..., tcp://...)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("ping", help="liveness check; prints the server call count")
+    sub.add_parser("classes", help="list loaded classes")
+    sub.add_parser("modules", help="list loaded modules")
+    sub.add_parser("sync", help="flush + fence; prints the call count")
+    versions = sub.add_parser("versions", help="list versions of a class")
+    versions.add_argument("class_name")
+    load = sub.add_parser("load", help="dynamically load a module from a file")
+    load.add_argument("name")
+    load.add_argument("file", type=pathlib.Path)
+    return parser.parse_args(argv)
+
+
+async def run(args: argparse.Namespace) -> int:
+    client = await ClamClient.connect(args.url)
+    try:
+        if args.command == "ping":
+            print(await client.ping())
+        elif args.command == "classes":
+            for name in await client.list_classes():
+                print(name)
+        elif args.command == "modules":
+            for name in await client.list_modules():
+                print(name)
+        elif args.command == "versions":
+            print(" ".join(map(str, await client.versions_of(args.class_name))))
+        elif args.command == "sync":
+            print(await client.sync())
+        elif args.command == "load":
+            exported = await client.load_module(
+                args.name, args.file.read_text(encoding="utf-8")
+            )
+            print(f"loaded {args.name}: exports {', '.join(exported)}")
+    finally:
+        await client.close()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    return asyncio.run(run(parse_args(argv)))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,242 @@
+"""The ClamClient: application-side runtime (paper §2, §4.4).
+
+Connecting opens the two streams of §4.4 (RPC, then upcall, tied
+together by the session token from the server's HELLO reply), builds
+the client bundler registry — structural derivation plus the client
+halves of object-pointer and procedure-pointer bundling — and starts
+the upcall service task.
+
+From there the paper's workflow reads directly:
+
+    client = await ClamClient.connect("unix:///tmp/clam.sock")
+    await client.load_class(SweepLayer)            # dynamic loading (§2)
+    sweep = await client.create(SweepLayer)        # instance + handle
+    await sweep.postinput(my_mouse_handler)        # upcall registration (§4.1)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable
+
+from repro.errors import ProtocolError
+from repro.bundlers.base import BundlerRegistry
+from repro.bundlers.auto import structural_resolver
+from repro.core import CallbackTable, install_client_callbacks
+from repro.handles import Handle
+from repro.ipc import MessageChannel, dial
+from repro.loader import source_of
+from repro.rpc import RpcConnection, install_client_objects
+from repro.client.upcall_task import UpcallService
+from repro.server.builtin import BUILTIN_HANDLE, ClamServerInterface
+from repro.stubs import Proxy, build_proxy, interface_spec
+from repro.wire import ChannelRole, HelloMessage
+
+
+class ClamClient:
+    """A connected CLAM client: two channels, two tasks, one registry."""
+
+    def __init__(
+        self,
+        rpc: RpcConnection,
+        upcall_service: UpcallService,
+        upcall_task: asyncio.Task | None,
+        callbacks: CallbackTable,
+        session: str,
+        tracer=None,
+    ):
+        from repro.trace import Tracer
+
+        self.rpc = rpc
+        self.callbacks = callbacks
+        self.session = session
+        #: Measurement surface (see repro.trace); zero cost unsubscribed.
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._upcall_service = upcall_service
+        self._upcall_task = upcall_task  # None in single-stream mode
+        self._builtin = build_proxy(ClamServerInterface, rpc, BUILTIN_HANDLE)
+
+    # -- connection setup -----------------------------------------------------------
+
+    @classmethod
+    async def connect(
+        cls,
+        url: str,
+        *,
+        max_batch: int = 64,
+        flush_delay: float | None = 0.0,
+        max_active_upcalls: int = 1,
+        channels: str = "two",
+        call_timeout: float | None = None,
+    ) -> "ClamClient":
+        """Connect to the server at ``url``.
+
+        ``max_active_upcalls`` relaxes the §4.4 one-upcall-at-a-time
+        discipline on the client side; it only matters when the server
+        was also configured to admit more than one.
+
+        ``channels`` selects the §4.4 stream layout: ``"two"`` (the
+        paper's design — a dedicated upcall stream) or ``"one"``
+        (upcalls multiplexed onto the RPC stream, possible here
+        because our messages are typed).  Single-stream constraint:
+        server code must make upcalls from server *tasks*, never
+        inline in an RPC handler, or the shared stream deadlocks.
+        """
+        if channels not in ("one", "two"):
+            raise ValueError(f"channels must be 'one' or 'two', not {channels!r}")
+        from repro.trace import Tracer
+
+        tracer = Tracer()
+        registry = BundlerRegistry()
+        registry.add_resolver(structural_resolver)
+        callbacks = CallbackTable()
+        install_client_callbacks(registry, callbacks)
+
+        # Channel one: RPC.  HELLO exchange yields the session token.
+        rpc_channel = MessageChannel(await dial(url))
+        await rpc_channel.send(HelloMessage(role=ChannelRole.RPC))
+        ack = await rpc_channel.recv()
+        if not isinstance(ack, HelloMessage) or not ack.session:
+            raise ProtocolError(f"bad HELLO reply from server: {ack!r}")
+        session = ack.session
+
+        rpc = RpcConnection(
+            rpc_channel,
+            registry,
+            max_batch=max_batch,
+            flush_delay=flush_delay,
+            call_timeout=call_timeout,
+            tracer=tracer,
+        )
+        install_client_objects(registry, rpc)
+
+        if channels == "two":
+            # Channel two: upcalls, tied to the session by its token.
+            upcall_channel = MessageChannel(await dial(url))
+            await upcall_channel.send(
+                HelloMessage(role=ChannelRole.UPCALL, session=session)
+            )
+            service = UpcallService(
+                upcall_channel, callbacks, max_active=max_active_upcalls
+            )
+            upcall_task = asyncio.get_running_loop().create_task(
+                service.run(), name="clam-client-upcalls"
+            )
+        else:
+            # Single-stream mode: upcalls arrive on the RPC channel and
+            # replies go back on it; the reader hands them to the
+            # service, which runs each on its own task.
+            service = UpcallService(
+                rpc.channel, callbacks, max_active=max_active_upcalls
+            )
+            upcall_task = None
+        # Accept upcalls multiplexed onto the RPC stream in BOTH modes:
+        # single-stream clients always receive them there, and a
+        # two-stream client whose dedicated channel died receives the
+        # server's fallback there.  Replies return on the RPC stream.
+        rpc.set_upcall_sink(
+            lambda message: service.accept(message, reply_channel=rpc.channel)
+        )
+        return cls(rpc, service, upcall_task, callbacks, session, tracer=tracer)
+
+    async def close(self) -> None:
+        await self.rpc.close()
+        await self._upcall_service.close()
+        if self._upcall_task is not None:
+            self._upcall_task.cancel()
+            try:
+                await self._upcall_task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    async def __aenter__(self) -> "ClamClient":
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    # -- builtin interface conveniences ------------------------------------------------
+
+    @property
+    def server(self) -> Proxy:
+        """Proxy for the builtin server interface (advanced use)."""
+        return self._builtin
+
+    @property
+    def upcalls_handled(self) -> int:
+        return self._upcall_service.upcalls_handled
+
+    async def ping(self) -> int:
+        return await self._builtin.ping()
+
+    async def load_module(self, name: str, source: str) -> list[str]:
+        """Ship module source into the server (§2)."""
+        return await self._builtin.load_module(name, source)
+
+    async def load_class(self, cls: type, *, module_name: str | None = None) -> list[str]:
+        """Ship one class's source as a module of its own."""
+        return await self.load_module(
+            module_name or f"class_{cls.__name__}", source_of(cls)
+        )
+
+    async def create(
+        self,
+        iface: type,
+        *,
+        class_name: str | None = None,
+        version: int = 0,
+    ) -> Proxy:
+        """Instantiate a loaded class in the server; returns its proxy.
+
+        ``iface`` is the local declaration used to generate the proxy;
+        ``class_name`` defaults to its wire name.
+        """
+        name = class_name or interface_spec(iface).class_name
+        handle = await self._builtin.create(name, version)
+        return build_proxy(iface, self.rpc, handle)
+
+    async def lookup(self, iface: type, name: str) -> Proxy:
+        """Fetch a published object by name; returns its proxy."""
+        handle = await self._builtin.lookup(name)
+        return build_proxy(iface, self.rpc, handle)
+
+    async def publish(self, name: str, proxy: Proxy) -> None:
+        """Publish an object this client holds a proxy for."""
+        await self._builtin.publish(name, proxy._clam_handle_)
+
+    async def release(self, proxy: Proxy) -> None:
+        """Revoke the object behind ``proxy``; all copies of its handle
+        (here and in other clients) go stale."""
+        await self._builtin.release(proxy._clam_handle_)
+
+    def proxy(self, iface: type, handle: Handle) -> Proxy:
+        """Wrap a raw handle (e.g. from a custom method) in a proxy."""
+        return build_proxy(iface, self.rpc, handle)
+
+    async def sync(self) -> int:
+        """Flush batched calls and fence on their execution (§3.4)."""
+        await self.rpc.flush()
+        return await self._builtin.sync()
+
+    async def flush(self) -> None:
+        """Flush batched calls without waiting for execution."""
+        await self.rpc.flush()
+
+    async def register_error_handler(
+        self, handler: Callable[[str, int, str, str], Any]
+    ) -> None:
+        """Receive §4.3 error-reporting upcalls for faulty loaded classes."""
+        await self._builtin.register_error_handler(handler)
+
+    async def list_classes(self) -> list[str]:
+        return await self._builtin.list_classes()
+
+    async def list_modules(self) -> list[str]:
+        return await self._builtin.list_modules()
+
+    async def versions_of(self, class_name: str) -> list[int]:
+        return await self._builtin.versions_of(class_name)
+
+    async def server_stats(self) -> dict[str, int]:
+        """Server health counters (see the builtin ``stats``)."""
+        return await self._builtin.stats()

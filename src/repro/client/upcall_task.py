@@ -1,0 +1,153 @@
+"""The client's upcall task (paper §4.4).
+
+"The second task handles all upcalls.  The second task is initially
+blocked, and is unblocked on receipt of an upcall.  After handling
+the event, any return value is sent back to the server, and then the
+task is blocked again."
+
+:class:`UpcallService` is that task's body.  With the default
+``max_active=1`` it is a strictly sequential recv → invoke → reply
+loop — the client half of the §4.4 discipline that at most one upcall
+is active per client process (the server half is the session's
+slots).  With ``max_active > 1`` — the relaxation the paper leaves to
+"future designs" — up to that many upcalls are handled concurrently,
+each on its own task, which pays off when handlers block (e.g. make
+RPCs back into the server).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import traceback
+
+from repro.errors import ConnectionClosedError, ProtocolError
+from repro.core import CallbackTable
+from repro.ipc import MessageChannel
+from repro.tasks import Slots
+from repro.wire import UpcallExceptionMessage, UpcallMessage, UpcallReplyMessage
+
+
+class UpcallService:
+    """Services the upcall channel: the client's second task."""
+
+    def __init__(
+        self,
+        channel: MessageChannel,
+        callbacks: CallbackTable,
+        *,
+        max_active: int = 1,
+    ):
+        if max_active < 1:
+            raise ValueError("max_active must be >= 1")
+        self._channel = channel
+        self._callbacks = callbacks
+        self._max_active = max_active
+        self._slots = Slots(max_active)
+        self._handlers: set[asyncio.Task] = set()
+        self.upcalls_handled = 0
+        self.upcalls_failed = 0
+        self.max_concurrency_seen = 0
+        self._active = 0
+
+    @property
+    def max_active(self) -> int:
+        return self._max_active
+
+    async def close(self) -> None:
+        await self._channel.close()
+        for task in list(self._handlers):
+            task.cancel()
+        for task in list(self._handlers):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    async def run(self) -> None:
+        """Loop until the channel closes; never raises on handler errors."""
+        try:
+            while True:
+                message = await self._channel.recv()
+                if not isinstance(message, UpcallMessage):
+                    raise ProtocolError(
+                        f"unexpected message on upcall channel: {message!r}"
+                    )
+                if self._max_active == 1:
+                    # The paper's discipline: handle, reply, block again.
+                    await self._handle(message)
+                else:
+                    task = asyncio.get_running_loop().create_task(
+                        self._handle_guarded(message)
+                    )
+                    self._handlers.add(task)
+                    task.add_done_callback(self._handlers.discard)
+        except ConnectionClosedError:
+            return
+
+    def accept(self, message: UpcallMessage, reply_channel: MessageChannel | None = None) -> None:
+        """Entry point for upcalls arriving on a *shared* stream.
+
+        Used by single-stream clients for all upcalls, and by
+        two-stream clients when the server fell back to the RPC stream
+        because the dedicated upcall channel died.  Handling runs on
+        its own task so the stream's reader never blocks, and the
+        reply returns on the stream the upcall arrived on.
+        """
+        task = asyncio.get_running_loop().create_task(
+            self._handle_guarded(message, reply_channel)
+        )
+        self._handlers.add(task)
+        task.add_done_callback(self._handlers.discard)
+
+    async def _handle_guarded(
+        self, message: UpcallMessage, reply_channel: MessageChannel | None = None
+    ) -> None:
+        async with self._slots:
+            await self._handle(message, reply_channel)
+
+    async def _handle(
+        self, message: UpcallMessage, reply_channel: MessageChannel | None = None
+    ) -> None:
+        """One upcall: look up the procedure, run it, send the result back.
+
+        A handler exception travels to the server as an upcall
+        exception — the server task blocked in the RUC object sees it
+        as a RemoteError.  The reply goes back on ``reply_channel``
+        when given (shared-stream arrivals), else the service's own.
+        """
+        self._active += 1
+        self.max_concurrency_seen = max(self.max_concurrency_seen, self._active)
+        try:
+            proc, signature = self._callbacks.look_up(message.ruc_id)
+            args = signature.unbundle_args(message.args)
+            result = proc(*args)
+            if hasattr(result, "__await__"):
+                result = await result
+            payload = signature.bundle_result(result)
+        except Exception as exc:
+            self.upcalls_failed += 1
+            if message.expects_reply:
+                await self._send_safely(
+                    UpcallExceptionMessage(
+                        serial=message.serial,
+                        remote_type=type(exc).__name__,
+                        message=str(exc),
+                        traceback=traceback.format_exc(),
+                    ),
+                    reply_channel,
+                )
+            return
+        finally:
+            self._active -= 1
+        self.upcalls_handled += 1
+        if message.expects_reply:
+            await self._send_safely(
+                UpcallReplyMessage(serial=message.serial, results=payload),
+                reply_channel,
+            )
+
+    async def _send_safely(self, message, reply_channel: MessageChannel | None = None) -> None:
+        try:
+            await (reply_channel or self._channel).send(message)
+        except ConnectionClosedError:
+            pass

@@ -1,0 +1,54 @@
+"""Distributed upcalls — the paper's primary contribution (§3.5.2, §4).
+
+"Remote procedure calls provide for the downward flow through the
+layers of abstraction.  Distributed upcalls provide the flow of
+information upwards through these layers."
+
+The three parts of §4:
+
+1. **Registration** — :class:`UpcallPort`.  A lower-level object owns
+   a port; upper layers register procedures with it; "it is possible
+   that zero or more higher layers may be registered", and when none
+   are, the port's policy decides — queue the event or discard it.
+
+2. **Upcalls** — :meth:`UpcallPort.deliver` calls every registered
+   procedure.  A registered procedure may be a plain (local) callable
+   or a :class:`RemoteUpcall`; the lower-level object cannot tell the
+   difference, which is the transparency the paper is after: "Through
+   the intervention of the RUC class, the lower level object cannot
+   distinguish between registration requests from local objects and
+   those from remote objects."
+
+3. **Address-space crossing** — the procedure-pointer bundlers of
+   §3.5.2.  On the client, bundling a callable down to the server
+   registers it in a :class:`CallbackTable` and sends its identifier;
+   on the server, unbundling that identifier mints a
+   :class:`RemoteUpcall` whose invocation sends an
+   ``UpcallMessage`` back over the client's upcall channel and blocks
+   the calling task until the client task finishes (§4.3).
+
+Install the bundler halves with :func:`install_client_callbacks` and
+:func:`install_server_callbacks`; the client/server runtimes do this
+automatically.
+"""
+
+from repro.core.ruc import RemoteUpcall, UpcallSender, UpcallSignature
+from repro.core.callback import (
+    CallbackTable,
+    install_client_callbacks,
+    install_server_callbacks,
+)
+from repro.core.ports import Registration, UnhandledPolicy, UpcallPort, invoke
+
+__all__ = [
+    "RemoteUpcall",
+    "UpcallSender",
+    "UpcallSignature",
+    "CallbackTable",
+    "install_client_callbacks",
+    "install_server_callbacks",
+    "Registration",
+    "UnhandledPolicy",
+    "UpcallPort",
+    "invoke",
+]

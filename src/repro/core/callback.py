@@ -1,0 +1,129 @@
+"""Procedure-pointer bundlers (paper §3.5.2).
+
+"The client bundler bundles the procedure pointer and a pointer to a
+stub that unbundles upcalls of this type.  The server bundler does
+most of the work, because the procedure pointer appears to be an
+arbitrary bit pattern in its address space."
+
+Client half (:func:`install_client_callbacks`): bundling a callable
+parameter annotated ``Callable[[...], R]`` registers it in the
+client's :class:`CallbackTable` together with its upcall stub and
+sends the minted identifier.
+
+Server half (:func:`install_server_callbacks`): unbundling that
+identifier creates a :class:`~repro.core.ruc.RemoteUpcall` bound to
+the session's upcall channel — the RUC object of the paper.
+
+Both halves refuse the direction the paper leaves unimplemented:
+"While the server might pass a procedure pointer to the client, we
+have not implemented any automatic means of handling these pointers."
+"""
+
+from __future__ import annotations
+
+import collections.abc
+import itertools
+import typing
+from typing import Any, Callable
+
+from repro.errors import BundleError, UpcallError
+from repro.bundlers.base import Bundler, BundlerRegistry
+from repro.core.ruc import RemoteUpcall, UpcallSender, UpcallSignature
+from repro.xdr import XdrStream
+
+
+def _is_callable_annotation(annotation: Any) -> bool:
+    return typing.get_origin(annotation) is collections.abc.Callable
+
+
+class CallbackTable:
+    """Client-side table of procedures handed out as upcall targets.
+
+    Maps identifier → (procedure, upcall stub).  The identifier is
+    what crosses the wire — the procedure's address never does.
+    """
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._entries: dict[int, tuple[Callable[..., Any], UpcallSignature]] = {}
+        self._by_proc: dict[Any, int] = {}
+
+    def register(self, proc: Callable[..., Any], signature: UpcallSignature) -> int:
+        """Mint (or reuse) an identifier for ``proc``."""
+        key = self._proc_key(proc)
+        existing = self._by_proc.get(key)
+        if existing is not None:
+            return existing
+        callback_id = next(self._ids)
+        self._entries[callback_id] = (proc, signature)
+        self._by_proc[key] = callback_id
+        return callback_id
+
+    def look_up(self, callback_id: int) -> tuple[Callable[..., Any], UpcallSignature]:
+        entry = self._entries.get(callback_id)
+        if entry is None:
+            raise UpcallError(f"no registered procedure with identifier {callback_id}")
+        return entry
+
+    def unregister(self, callback_id: int) -> None:
+        entry = self._entries.pop(callback_id, None)
+        if entry is not None:
+            self._by_proc.pop(self._proc_key(entry[0]), None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _proc_key(proc: Callable[..., Any]) -> Any:
+        # Bound methods are recreated per access; key on (self, function)
+        # so re-registering the same method reuses the identifier.
+        bound_self = getattr(proc, "__self__", None)
+        if bound_self is not None:
+            return (id(bound_self), getattr(proc, "__func__", proc))
+        return proc
+
+
+def install_client_callbacks(registry: BundlerRegistry, table: CallbackTable) -> None:
+    """Add the client half of procedure-pointer bundling to ``registry``."""
+
+    def resolver(annotation: Any, reg: BundlerRegistry) -> Bundler | None:
+        if not _is_callable_annotation(annotation):
+            return None
+        signature = UpcallSignature.from_annotation(annotation, reg)
+
+        def client_proc_bundler(stream: XdrStream, value, *extra):
+            if stream.encoding:
+                if not callable(value):
+                    raise BundleError(f"expected a callable, got {value!r}")
+                stream.xuhyper(table.register(value, signature))
+                return value
+            raise BundleError(
+                "a procedure pointer arrived at the client; passing "
+                "procedure pointers from server to client is not "
+                "implemented (paper §3.5.2)"
+            )
+
+        return client_proc_bundler
+
+    registry.add_resolver(resolver)
+
+
+def install_server_callbacks(registry: BundlerRegistry, sender: UpcallSender) -> None:
+    """Add the server half: identifiers unbundle into RUC objects."""
+
+    def resolver(annotation: Any, reg: BundlerRegistry) -> Bundler | None:
+        if not _is_callable_annotation(annotation):
+            return None
+        signature = UpcallSignature.from_annotation(annotation, reg)
+
+        def server_proc_bundler(stream: XdrStream, value, *extra):
+            if stream.decoding:
+                return RemoteUpcall(stream.xuhyper(), signature, sender)
+            raise BundleError(
+                "refusing to pass a procedure pointer from the server to a "
+                "client; not implemented (paper §3.5.2)"
+            )
+
+        return server_proc_bundler
+
+    registry.add_resolver(resolver)

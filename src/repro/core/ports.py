@@ -1,0 +1,151 @@
+"""Upcall registration and delivery (paper §4.1).
+
+"Registration involves informing a lower level object how to call a
+higher level object when an event occurs. ... When an event occurs
+that requires an upcall to be made, the lower level object uses this
+stored information to determine which higher level object should
+receive the call.  It is possible that zero or more higher layers may
+be registered to receive the upcall.  If there are no higher layers
+interested in the event, then the lower level object decides what to
+do with the event.  For example, it may queue up the event for later
+use or may throw it away."
+
+A lower-level object owns an :class:`UpcallPort` per event kind.
+Upper layers :meth:`~UpcallPort.register` a procedure — a plain
+callable (local upcall) or a :class:`~repro.core.ruc.RemoteUpcall`
+(the port cannot tell, by design).  :meth:`~UpcallPort.deliver` makes
+the upcalls; with no registrants, :class:`UnhandledPolicy` decides:
+``QUEUE`` (events are replayed to the next registrant) or ``DISCARD``.
+"""
+
+from __future__ import annotations
+
+import collections
+import enum
+import inspect
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Deque
+
+from repro.errors import RegistrationError
+
+
+class UnhandledPolicy(enum.Enum):
+    """What the lower level does with an event nobody wants (§4.1)."""
+
+    DISCARD = "discard"
+    QUEUE = "queue"
+
+
+@dataclass(frozen=True)
+class Registration:
+    """Receipt for one registered procedure; pass to unregister."""
+
+    registration_id: int
+    port_name: str
+
+
+class UpcallPort:
+    """One lower-level object's registration point for one event kind."""
+
+    def __init__(
+        self,
+        name: str = "events",
+        *,
+        unhandled: UnhandledPolicy = UnhandledPolicy.DISCARD,
+        max_queued: int = 1024,
+    ):
+        self.name = name
+        self.unhandled = unhandled
+        self._ids = itertools.count(1)
+        self._registered: dict[int, Callable[..., Any]] = {}
+        self._queued: Deque[tuple[Any, ...]] = collections.deque(maxlen=max_queued)
+        self.delivered = 0
+        self.discarded = 0
+
+    # -- registration (§4.1) -----------------------------------------------------
+
+    def register(self, proc: Callable[..., Any]) -> Registration:
+        """Store the procedure in the lower level's state.
+
+        ``proc`` may be local or a RemoteUpcall — indistinguishable
+        here, which is the point.
+        """
+        if not callable(proc):
+            raise RegistrationError(f"cannot register non-callable {proc!r}")
+        registration_id = next(self._ids)
+        self._registered[registration_id] = proc
+        return Registration(registration_id=registration_id, port_name=self.name)
+
+    def unregister(self, registration: Registration) -> None:
+        if registration.port_name != self.name:
+            raise RegistrationError(
+                f"registration for port {registration.port_name!r} offered to "
+                f"port {self.name!r}"
+            )
+        if self._registered.pop(registration.registration_id, None) is None:
+            raise RegistrationError(
+                f"unknown registration {registration.registration_id} on "
+                f"port {self.name!r}"
+            )
+
+    @property
+    def registrant_count(self) -> int:
+        return len(self._registered)
+
+    # -- upcalls (§4.1) -------------------------------------------------------------
+
+    async def deliver(self, *args: Any) -> list[Any]:
+        """Make the upcall to every registered procedure, in
+        registration order; returns their results.
+
+        With no registrants, applies the unhandled policy and returns
+        an empty list.
+        """
+        if not self._registered:
+            if self.unhandled is UnhandledPolicy.QUEUE:
+                self._queued.append(args)
+            else:
+                self.discarded += 1
+            return []
+        results = []
+        for proc in list(self._registered.values()):
+            results.append(await _invoke(proc, args))
+        self.delivered += 1
+        return results
+
+    async def replay_queued(self) -> int:
+        """Deliver events queued while nobody was registered (FIFO)."""
+        replayed = 0
+        while self._queued and self._registered:
+            args = self._queued.popleft()
+            await self.deliver(*args)
+            replayed += 1
+        return replayed
+
+    @property
+    def queued_count(self) -> int:
+        return len(self._queued)
+
+    def __repr__(self) -> str:
+        return (
+            f"<UpcallPort {self.name!r} registrants={self.registrant_count} "
+            f"queued={self.queued_count}>"
+        )
+
+
+async def invoke(proc: Callable[..., Any], *args: Any) -> Any:
+    """Call a procedure that may be local or remote, sync or async.
+
+    This is how placement-agnostic layer code calls through references
+    that are plain objects in one configuration and proxies (or
+    RemoteUpcalls) in another: the call site never knows which.
+    """
+    result = proc(*args)
+    if inspect.isawaitable(result):
+        result = await result
+    return result
+
+
+async def _invoke(proc: Callable[..., Any], args: tuple[Any, ...]) -> Any:
+    return await invoke(proc, *args)

@@ -1,0 +1,146 @@
+"""Exception hierarchy for the CLAM reproduction.
+
+Every error raised by this library derives from :class:`ClamError`, so
+applications can catch one base class at the client/server boundary.
+The sub-hierarchies mirror the paper's subsystems: XDR bundling (§3.3),
+transports and channels (§4.4), RPC (§3.4), object handles (§3.5.1),
+distributed upcalls (§4), dynamic loading and fault isolation (§2,
+§4.3), and tasks (§4.3).
+"""
+
+from __future__ import annotations
+
+
+class ClamError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# XDR / bundling (paper §3.3)
+
+
+class XdrError(ClamError):
+    """Malformed XDR data or a value outside its XDR type's range."""
+
+
+class BundleError(ClamError):
+    """A parameter could not be bundled or unbundled.
+
+    Raised when automatic bundler derivation fails for a type (the
+    paper's motivation for user-specified bundlers, §3.1) or when a
+    user bundler violates the bundler rules of §3.3.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Transports and channels (paper §4.4)
+
+
+class TransportError(ClamError):
+    """Failure in the reliable, in-order IPC substrate."""
+
+
+class ConnectionClosedError(TransportError):
+    """The peer closed the connection (cleanly or not)."""
+
+
+class FramingError(TransportError):
+    """A message frame was malformed (bad length prefix or truncation)."""
+
+
+# ---------------------------------------------------------------------------
+# RPC runtime (paper §3.4)
+
+
+class RpcError(ClamError):
+    """Base class for remote-procedure-call failures."""
+
+
+class ProtocolError(RpcError):
+    """The peer sent a message that violates the RPC protocol."""
+
+
+class BadCallError(RpcError):
+    """The call named an unknown class, method, or object."""
+
+
+class CallTimeoutError(RpcError):
+    """A synchronous call's reply did not arrive within the deadline.
+
+    The call may still execute on the server; timeouts bound the
+    caller's wait, not the remote effect.
+    """
+
+
+class RemoteError(RpcError):
+    """An exception escaped the remote procedure.
+
+    The remote traceback is carried as text; the original exception
+    type name is in :attr:`remote_type`.
+    """
+
+    def __init__(self, remote_type: str, message: str, remote_traceback: str = ""):
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_message = message
+        self.remote_traceback = remote_traceback
+
+
+# ---------------------------------------------------------------------------
+# Object handles (paper §3.5.1, Figure 3.3)
+
+
+class HandleError(ClamError):
+    """Base class for object-handle validation failures."""
+
+
+class ForgedHandleError(HandleError):
+    """The tag in the handle did not match the tag in the descriptor."""
+
+
+class StaleHandleError(HandleError):
+    """The handle refers to an object that no longer exists."""
+
+
+class UnknownClassError(HandleError):
+    """The handle's class identifier names a class not loaded in the server."""
+
+
+# ---------------------------------------------------------------------------
+# Distributed upcalls (paper §4)
+
+
+class UpcallError(ClamError):
+    """A distributed or local upcall could not be delivered."""
+
+
+class RegistrationError(UpcallError):
+    """An upcall registration was rejected (bad procedure type, dead port)."""
+
+
+# ---------------------------------------------------------------------------
+# Dynamic loading (paper §2, §4.3)
+
+
+class LoaderError(ClamError):
+    """A module could not be dynamically loaded into the server."""
+
+
+class ModuleVersionError(LoaderError):
+    """Version-control conflict between loaded module versions."""
+
+
+class FaultyClassError(LoaderError):
+    """The class was marked faulty after an error signal was caught.
+
+    Mirrors §4.3: once the server catches an error in a dynamically
+    loaded class it may refuse further calls into that class.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Tasks (paper §4.3)
+
+
+class TaskError(ClamError):
+    """Misuse of the cooperative task system."""

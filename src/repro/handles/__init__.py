@@ -1,0 +1,20 @@
+"""Object handles — capabilities for server objects (paper §3.5.1).
+
+"Remote operations on objects are achieved by converting a pointer to
+an object into a handle when passing it to a client.  A handle is a
+capability for an object.  The handle contains an object identifier
+and a tag, an arbitrary bit pattern for checking the validity of the
+handle."
+
+:class:`Handle` is the wire form (oid + tag).  :class:`ObjectTable` is
+the server-side structure of Figure 3.3: each descriptor holds the
+class identifier, version number, tag, and the object itself.  Lookup
+validates the tag (:class:`~repro.errors.ForgedHandleError` on
+mismatch) and existence (:class:`~repro.errors.StaleHandleError` for
+revoked or never-issued identifiers).
+"""
+
+from repro.handles.handle import NIL_HANDLE, Handle
+from repro.handles.table import Descriptor, ObjectTable
+
+__all__ = ["Handle", "NIL_HANDLE", "Descriptor", "ObjectTable"]

@@ -1,0 +1,54 @@
+"""The Handle wire type.
+
+A handle is what crosses the address-space boundary in place of an
+object pointer.  Nil pointers "are handled specially" (§3.5.1): the
+distinguished :data:`NIL_HANDLE` has oid 0, which the object table
+never issues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xdr import XdrStream
+
+
+@dataclass(frozen=True)
+class Handle:
+    """Capability for a server object: object identifier plus validity tag."""
+
+    oid: int
+    tag: int
+
+    @property
+    def is_nil(self) -> bool:
+        return self.oid == 0
+
+    def bundle(self, stream: XdrStream) -> "Handle":
+        """Bidirectional XDR filter for handles (usable on either op)."""
+        if stream.encoding:
+            stream.xuhyper(self.oid)
+            stream.xuhyper(self.tag)
+            return self
+        return Handle(oid=stream.xuhyper(), tag=stream.xuhyper())
+
+    @classmethod
+    def unbundle(cls, stream: XdrStream) -> "Handle":
+        return cls(oid=stream.xuhyper(), tag=stream.xuhyper())
+
+    def __repr__(self) -> str:
+        if self.is_nil:
+            return "<Handle nil>"
+        return f"<Handle oid={self.oid} tag={self.tag:#x}>"
+
+
+#: The nil object pointer's wire form.
+NIL_HANDLE = Handle(oid=0, tag=0)
+
+
+def handle_filter(stream: XdrStream, value: Handle | None = None) -> Handle:
+    """Module-level bidirectional filter, for use with xarray/xoptional."""
+    if stream.encoding:
+        assert value is not None
+        return value.bundle(stream)
+    return Handle.unbundle(stream)

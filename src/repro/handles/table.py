@@ -1,0 +1,120 @@
+"""Server-side object table (paper §3.5.1, Figure 3.3).
+
+Figure 3.3's flow: the handle read from the data stream carries an
+object identifier and a tag; the identifier locates a descriptor
+holding (class identifier, version number, tag, object pointer); "the
+tag in the object identifier is compared with the tag in the handle
+and, if they match, the real object's address can be returned by the
+bundler inside the server."
+
+The table enforces the paper's third assumption: "an object pointer
+must be passed out of the server before a client attempts to pass it
+in" — an identifier the table never issued cannot validate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import secrets
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import ForgedHandleError, StaleHandleError
+from repro.handles.handle import NIL_HANDLE, Handle
+
+
+@dataclass
+class Descriptor:
+    """What the object identifier points at inside the server."""
+
+    oid: int
+    class_name: str
+    version: int
+    tag: int
+    obj: Any
+
+
+class ObjectTable:
+    """Issues handles for objects and validates handles coming back in.
+
+    Tags are 64-bit random values, "an arbitrary bit pattern for
+    checking the validity of the handle"; a client cannot feasibly
+    forge a valid handle or reuse one for a revoked object.
+    """
+
+    def __init__(self) -> None:
+        self._descriptors: dict[int, Descriptor] = {}
+        self._by_identity: dict[int, int] = {}  # id(obj) -> oid
+        self._oids = itertools.count(1)  # oid 0 is the nil handle
+
+    def __len__(self) -> int:
+        return len(self._descriptors)
+
+    def __iter__(self) -> Iterator[Descriptor]:
+        return iter(list(self._descriptors.values()))
+
+    def issue(self, obj: Any, class_name: str, version: int = 1) -> Handle:
+        """Convert an object pointer into a handle, reusing prior issues.
+
+        Issuing the same object twice returns the same handle so that
+        handle identity tracks object identity across calls.
+        """
+        if obj is None:
+            return NIL_HANDLE
+        existing_oid = self._by_identity.get(id(obj))
+        if existing_oid is not None:
+            descriptor = self._descriptors.get(existing_oid)
+            if descriptor is not None and descriptor.obj is obj:
+                return Handle(oid=descriptor.oid, tag=descriptor.tag)
+        oid = next(self._oids)
+        descriptor = Descriptor(
+            oid=oid,
+            class_name=class_name,
+            version=version,
+            tag=secrets.randbits(64),
+            obj=obj,
+        )
+        self._descriptors[oid] = descriptor
+        self._by_identity[id(obj)] = oid
+        return Handle(oid=oid, tag=descriptor.tag)
+
+    def descriptor(self, handle: Handle) -> Descriptor:
+        """Validate a handle and return its descriptor.
+
+        Raises :class:`StaleHandleError` for unknown identifiers and
+        :class:`ForgedHandleError` when the tags disagree.
+        """
+        if handle.is_nil:
+            raise StaleHandleError("nil handle has no descriptor")
+        descriptor = self._descriptors.get(handle.oid)
+        if descriptor is None:
+            raise StaleHandleError(f"no object with identifier {handle.oid}")
+        if descriptor.tag != handle.tag:
+            raise ForgedHandleError(
+                f"tag mismatch for object {handle.oid}: "
+                f"handle {handle.tag:#x} vs descriptor {descriptor.tag:#x}"
+            )
+        return descriptor
+
+    def resolve(self, handle: Handle) -> Any:
+        """Validate a handle and return the object; nil resolves to None."""
+        if handle.is_nil:
+            return None
+        return self.descriptor(handle).obj
+
+    def revoke(self, handle: Handle) -> Any:
+        """Remove the object from the table; later lookups are stale."""
+        descriptor = self.descriptor(handle)
+        del self._descriptors[handle.oid]
+        self._by_identity.pop(id(descriptor.obj), None)
+        return descriptor.obj
+
+    def handle_for(self, obj: Any) -> Handle | None:
+        """The handle previously issued for ``obj``, if any."""
+        oid = self._by_identity.get(id(obj))
+        if oid is None:
+            return None
+        descriptor = self._descriptors.get(oid)
+        if descriptor is None or descriptor.obj is not obj:
+            return None
+        return Handle(oid=oid, tag=descriptor.tag)

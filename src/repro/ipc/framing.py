@@ -1,0 +1,55 @@
+"""Length-prefixed framing over asyncio byte streams.
+
+Every frame is a 4-byte big-endian unsigned length followed by that
+many payload bytes.  Frames on one stream never interleave, which
+gives the in-order message discipline the RPC protocol assumes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+from repro.errors import ConnectionClosedError, FramingError
+
+#: Upper bound on a single frame; a hostile or corrupt length prefix
+#: larger than this aborts the connection instead of allocating.
+MAX_FRAME_SIZE = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    """Write one frame and drain the transport buffer."""
+    if len(payload) > MAX_FRAME_SIZE:
+        raise FramingError(f"frame of {len(payload)} bytes exceeds max {MAX_FRAME_SIZE}")
+    writer.write(_LENGTH.pack(len(payload)) + payload)
+    try:
+        await writer.drain()
+    except (ConnectionResetError, BrokenPipeError) as exc:
+        raise ConnectionClosedError(str(exc)) from exc
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes:
+    """Read one frame; raise :class:`ConnectionClosedError` at clean EOF.
+
+    EOF in the middle of a frame is a protocol violation and raises
+    :class:`FramingError` instead.
+    """
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise FramingError("EOF inside frame header") from exc
+        raise ConnectionClosedError("peer closed the connection") from exc
+    except ConnectionResetError as exc:
+        raise ConnectionClosedError(str(exc)) from exc
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_SIZE:
+        raise FramingError(f"frame length {length} exceeds max {MAX_FRAME_SIZE}")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FramingError("EOF inside frame body") from exc
+    except ConnectionResetError as exc:
+        raise ConnectionClosedError(str(exc)) from exc

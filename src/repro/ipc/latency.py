@@ -1,0 +1,124 @@
+"""Latency injection: simulating the paper's second machine.
+
+Figure 5.1 distinguishes "both process on same machine (TCP/IP
+connection)" from "process on different machines (TCP/IP connection)";
+the only difference is wire latency (11500 µs vs 12400 µs per call).
+We reproduce the second configuration by wrapping any connection in a
+:class:`LatencyConnection` that delays each frame's *delivery* by a
+fixed one-way latency while preserving order and sender pacing.
+
+The delay is applied on the send side through a pump task: ``send``
+enqueues immediately (the sender is not throttled, as a real NIC
+would not throttle a small write) and the pump releases frames to the
+underlying connection once their delivery time arrives.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.errors import ConnectionClosedError
+from repro.ipc.transport import Connection, ConnectionHandler, Listener, Transport
+
+#: Default one-way delay, roughly a late-1980s departmental Ethernet
+#: round trip split in half and scaled to our µs-scale call costs.
+DEFAULT_ONE_WAY_DELAY = 0.0005
+
+
+class LatencyConnection(Connection):
+    """Delays every outgoing frame by ``one_way_delay`` seconds."""
+
+    def __init__(self, inner: Connection, one_way_delay: float = DEFAULT_ONE_WAY_DELAY):
+        if one_way_delay < 0:
+            raise ValueError("one_way_delay must be >= 0")
+        self._inner = inner
+        self._delay = one_way_delay
+        self._queue: asyncio.Queue[Optional[tuple[float, bytes]]] = asyncio.Queue()
+        self._pump_task = asyncio.get_running_loop().create_task(self._pump())
+        self._send_error: Exception | None = None
+
+    async def _pump(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            if item is None:
+                return
+            deliver_at, frame = item
+            now = loop.time()
+            if deliver_at > now:
+                await asyncio.sleep(deliver_at - now)
+            try:
+                await self._inner.send(frame)
+            except Exception as exc:  # surfaced on the next send()
+                self._send_error = exc
+                return
+
+    async def send(self, frame: bytes) -> None:
+        if self._send_error is not None:
+            raise ConnectionClosedError(f"latency pump failed: {self._send_error}")
+        if self._inner.closed:
+            raise ConnectionClosedError("connection is closed")
+        deliver_at = asyncio.get_running_loop().time() + self._delay
+        await self._queue.put((deliver_at, bytes(frame)))
+
+    async def recv(self) -> bytes:
+        # Inbound latency is injected by the *peer's* wrapper; a
+        # symmetric link wraps both endpoints.
+        return await self._inner.recv()
+
+    async def close(self) -> None:
+        if self._queue.empty():
+            self._pump_task.cancel()
+        else:
+            # Let queued frames reach the wire, then stop the pump.
+            await self._queue.put(None)
+            try:
+                await asyncio.wait_for(asyncio.shield(self._pump_task), timeout=5)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                self._pump_task.cancel()
+        try:
+            await self._pump_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        await self._inner.close()
+
+    async def drain_pending(self) -> None:
+        """Wait until every enqueued frame has been released to the wire."""
+        while not self._queue.empty():
+            await asyncio.sleep(self._delay or 0.0001)
+
+    @property
+    def peer(self) -> str:
+        return f"{self._inner.peer} (+{self._delay * 1e3:.3g}ms)"
+
+    @property
+    def closed(self) -> bool:
+        return self._inner.closed
+
+    @property
+    def one_way_delay(self) -> float:
+        return self._delay
+
+
+class LatencyTransport(Transport):
+    """Wraps another transport so both directions see the extra delay.
+
+    The listener side wraps accepted connections and the dialer wraps
+    outgoing ones, so each direction of a conversation pays
+    ``one_way_delay`` — a full RPC pays a round trip, exactly the gap
+    separating Fig 5.1's same-machine and cross-machine rows.
+    """
+
+    def __init__(self, inner: Transport, one_way_delay: float = DEFAULT_ONE_WAY_DELAY):
+        self._inner = inner
+        self._delay = one_way_delay
+
+    async def listen(self, address: str, handler: ConnectionHandler) -> Listener:
+        async def wrapped(conn: Connection) -> None:
+            await handler(LatencyConnection(conn, self._delay))
+
+        return await self._inner.listen(address, wrapped)
+
+    async def connect(self, address: str) -> Connection:
+        return LatencyConnection(await self._inner.connect(address), self._delay)

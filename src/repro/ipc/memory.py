@@ -1,0 +1,143 @@
+"""In-process transport: both endpoints in one address space.
+
+This is the substrate for the paper's *local* configurations — layers
+linked into the same process, where an upcall or a call is "basicly a
+procedure call" (§2.1).  It also lets the whole client/server stack be
+exercised in one process in tests, deterministically and without
+sockets.
+
+Addresses are arbitrary names in a per-process registry, written as
+``memory://name``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict
+
+from repro.errors import ConnectionClosedError, TransportError
+from repro.ipc.transport import (
+    Connection,
+    ConnectionHandler,
+    Listener,
+    Transport,
+    spawn_handler,
+)
+
+_CLOSE = object()  # sentinel queued to wake a blocked reader on close
+
+
+class MemoryConnection(Connection):
+    """One side of an in-process duplex pipe built from two queues."""
+
+    def __init__(self, send_q: asyncio.Queue, recv_q: asyncio.Queue, peer: str):
+        self._send_q = send_q
+        self._recv_q = recv_q
+        self._peer = peer
+        self._closed = False
+        self._other: "MemoryConnection | None" = None  # set by pipe()
+
+    @staticmethod
+    def pipe(peer_a: str = "memory:a", peer_b: str = "memory:b") -> tuple["MemoryConnection", "MemoryConnection"]:
+        """Create a connected pair of in-process connections."""
+        q_ab: asyncio.Queue = asyncio.Queue()
+        q_ba: asyncio.Queue = asyncio.Queue()
+        a = MemoryConnection(q_ab, q_ba, peer_b)
+        b = MemoryConnection(q_ba, q_ab, peer_a)
+        a._other = b
+        b._other = a
+        return a, b
+
+    async def send(self, frame: bytes) -> None:
+        if self._closed or (self._other is not None and self._other._closed):
+            raise ConnectionClosedError("connection is closed")
+        await self._send_q.put(bytes(frame))
+
+    async def recv(self) -> bytes:
+        if self._closed:
+            raise ConnectionClosedError("connection is closed")
+        item = await self._recv_q.get()
+        if item is _CLOSE:
+            self._closed = True
+            raise ConnectionClosedError("peer closed the connection")
+        return item
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # Wake the peer's blocked reader AND our own: a socket close
+        # EOFs both directions, and readers blocked on this side must
+        # not hang (e.g. a service loop whose owner closes it).
+        await self._send_q.put(_CLOSE)
+        await self._recv_q.put(_CLOSE)
+
+    @property
+    def peer(self) -> str:
+        return self._peer
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class _MemoryListener(Listener):
+    def __init__(self, transport: "MemoryTransport", name: str):
+        self._transport = transport
+        self._name = name
+
+    @property
+    def address(self) -> str:
+        return f"memory://{self._name}"
+
+    async def close(self) -> None:
+        self._transport._listeners.pop(self._name, None)
+
+
+class MemoryTransport(Transport):
+    """Registry of named in-process listeners.
+
+    A single default instance serves the whole process so that
+    ``dial("memory://x")`` finds ``serve("memory://x", ...)`` without
+    plumbing a transport object through.
+    """
+
+    _default: "MemoryTransport | None" = None
+
+    def __init__(self) -> None:
+        self._listeners: Dict[str, ConnectionHandler] = {}
+        self._counter = itertools.count(1)
+
+    @classmethod
+    def default(cls) -> "MemoryTransport":
+        if cls._default is None:
+            cls._default = cls()
+        return cls._default
+
+    @staticmethod
+    def _name_of(address: str) -> str:
+        name = address.removeprefix("memory://")
+        if not name or "/" in name:
+            raise TransportError(f"bad memory address {address!r}")
+        return name
+
+    async def listen(self, address: str, handler: ConnectionHandler) -> Listener:
+        name = self._name_of(address)
+        if name in self._listeners:
+            raise TransportError(f"memory address {address!r} already in use")
+        self._listeners[name] = handler
+        return _MemoryListener(self, name)
+
+    async def connect(self, address: str) -> Connection:
+        name = self._name_of(address)
+        handler = self._listeners.get(name)
+        if handler is None:
+            raise TransportError(f"nothing listening at {address!r}")
+        conn_id = next(self._counter)
+        server_side, client_side = MemoryConnection.pipe(
+            peer_a=f"memory://{name}#client{conn_id}",
+            peer_b=f"memory://{name}",
+        )
+        spawn_handler(handler, server_side)
+        return client_side

@@ -1,0 +1,59 @@
+"""URL-based transport selection: ``dial`` and ``serve``.
+
+The transport ladder of Fig 5.1 is selected by URL scheme so examples,
+tests, and benchmarks can switch configurations with a string:
+
+- ``memory://name`` — same address space,
+- ``unix:///path.sock`` — same machine, UNIX-domain socket,
+- ``tcp://host:port`` — TCP/IP,
+- ``wan://host:port?delay=0.0005`` — TCP/IP plus injected one-way
+  latency simulating a second machine.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+
+from repro.errors import TransportError
+from repro.ipc.latency import DEFAULT_ONE_WAY_DELAY, LatencyTransport
+from repro.ipc.memory import MemoryTransport
+from repro.ipc.tcp import TcpTransport
+from repro.ipc.transport import Connection, ConnectionHandler, Listener, Transport
+from repro.ipc.unix import UnixTransport
+
+
+def transport_for_url(url: str) -> tuple[Transport, str]:
+    """Map a URL to (transport, transport-native address)."""
+    scheme, sep, _rest = url.partition("://")
+    if not sep:
+        raise TransportError(f"address {url!r} has no scheme")
+    if scheme == "memory":
+        return MemoryTransport.default(), url
+    if scheme == "unix":
+        return UnixTransport(), url
+    if scheme == "tcp":
+        return TcpTransport(), url
+    if scheme == "wan":
+        base, _, query = url.partition("?")
+        params = urllib.parse.parse_qs(query)
+        delay = float(params.get("delay", [DEFAULT_ONE_WAY_DELAY])[0])
+        tcp_address = "tcp://" + base.removeprefix("wan://")
+        return LatencyTransport(TcpTransport(), delay), tcp_address
+    raise TransportError(f"unknown transport scheme {scheme!r}")
+
+
+async def serve(url: str, handler: ConnectionHandler) -> Listener:
+    """Listen at ``url``, invoking ``handler`` per accepted connection.
+
+    For ``wan://`` the returned listener's address is the underlying
+    ``tcp://`` address; dial it back through ``wan://`` to keep the
+    injected latency on both directions.
+    """
+    transport, address = transport_for_url(url)
+    return await transport.listen(address, handler)
+
+
+async def dial(url: str) -> Connection:
+    """Connect to a listener at ``url``."""
+    transport, address = transport_for_url(url)
+    return await transport.connect(address)

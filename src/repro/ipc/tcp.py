@@ -1,0 +1,76 @@
+"""TCP transport — the paper's "TCP/IP connection" rows (§5).
+
+Addresses are ``tcp://host:port``; ``port`` 0 binds an ephemeral port,
+and the listener's :attr:`~repro.ipc.Listener.address` reports the
+port actually bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import TransportError
+from repro.ipc.transport import (
+    Connection,
+    ConnectionHandler,
+    Listener,
+    StreamConnection,
+    StreamListener,
+    Transport,
+    spawn_handler,
+)
+
+
+def parse_host_port(address: str, scheme: str = "tcp") -> tuple[str, int]:
+    """Split ``scheme://host:port`` into its parts."""
+    rest = address.removeprefix(f"{scheme}://")
+    host, sep, port_text = rest.rpartition(":")
+    if not sep or not host:
+        raise TransportError(f"bad {scheme} address {address!r}; want {scheme}://host:port")
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise TransportError(f"bad port in {address!r}") from exc
+    return host, port
+
+
+class TcpTransport(Transport):
+    """Listener/dialer over TCP with Nagle disabled.
+
+    ``TCP_NODELAY`` matters for the Fig 5.1-style call-cost benchmarks:
+    a null RPC is a tiny write followed by a read, the classic
+    Nagle/delayed-ACK interaction.
+    """
+
+    async def listen(self, address: str, handler: ConnectionHandler) -> Listener:
+        host, port = parse_host_port(address)
+
+        async def on_client(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+            peername = writer.get_extra_info("peername")
+            conn = StreamConnection(reader, writer, peer=f"tcp://{peername[0]}:{peername[1]}")
+            _set_nodelay(writer)
+            spawn_handler(handler, conn)
+
+        try:
+            server = await asyncio.start_server(on_client, host=host, port=port)
+        except OSError as exc:
+            raise TransportError(f"cannot listen on {address!r}: {exc}") from exc
+        bound = server.sockets[0].getsockname()
+        return StreamListener(server, f"tcp://{bound[0]}:{bound[1]}")
+
+    async def connect(self, address: str) -> Connection:
+        host, port = parse_host_port(address)
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError as exc:
+            raise TransportError(f"cannot connect to {address!r}: {exc}") from exc
+        _set_nodelay(writer)
+        return StreamConnection(reader, writer, peer=address)
+
+
+def _set_nodelay(writer: asyncio.StreamWriter) -> None:
+    import socket
+
+    sock = writer.get_extra_info("socket")
+    if sock is not None and sock.family in (socket.AF_INET, socket.AF_INET6):
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)

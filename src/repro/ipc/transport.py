@@ -1,0 +1,166 @@
+"""Transport abstractions: connections, listeners, transports.
+
+A :class:`Connection` is a reliable, in-order, bidirectional frame
+pipe — the substrate the paper's RPC protocol assumes.  A
+:class:`Transport` can both :meth:`~Transport.listen` (producing a
+:class:`Listener` that hands accepted connections to a callback) and
+:meth:`~Transport.connect` to a listener's address.
+
+:class:`StreamConnection` adapts an asyncio byte stream (UNIX-domain
+or TCP socket) to the frame interface; the in-process and
+latency-injected connections live in sibling modules.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+from typing import Awaitable, Callable
+
+from repro.errors import ConnectionClosedError
+from repro.ipc.framing import read_frame, write_frame
+
+#: Signature of the callback a listener invokes per accepted connection.
+ConnectionHandler = Callable[["Connection"], Awaitable[None]]
+
+
+class Connection(abc.ABC):
+    """A reliable, in-order, bidirectional frame pipe."""
+
+    @abc.abstractmethod
+    async def send(self, frame: bytes) -> None:
+        """Send one frame; raises :class:`ConnectionClosedError` if closed."""
+
+    @abc.abstractmethod
+    async def recv(self) -> bytes:
+        """Receive the next frame; raises :class:`ConnectionClosedError` at EOF."""
+
+    @abc.abstractmethod
+    async def close(self) -> None:
+        """Close both directions; idempotent."""
+
+    @property
+    @abc.abstractmethod
+    def peer(self) -> str:
+        """Human-readable description of the remote endpoint."""
+
+    @property
+    @abc.abstractmethod
+    def closed(self) -> bool:
+        """True once :meth:`close` has completed or the peer vanished."""
+
+    async def __aenter__(self) -> "Connection":
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+
+class Listener(abc.ABC):
+    """An accepting endpoint bound to an address."""
+
+    @property
+    @abc.abstractmethod
+    def address(self) -> str:
+        """URL other processes can :func:`repro.ipc.dial`."""
+
+    @abc.abstractmethod
+    async def close(self) -> None:
+        """Stop accepting; existing connections stay open."""
+
+    async def __aenter__(self) -> "Listener":
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+
+class Transport(abc.ABC):
+    """A way of producing connections: memory, UNIX socket, TCP, WAN."""
+
+    @abc.abstractmethod
+    async def listen(self, address: str, handler: ConnectionHandler) -> Listener:
+        """Bind ``address`` and call ``handler(conn)`` per accepted connection.
+
+        Each handler invocation runs as its own asyncio task; a handler
+        exception closes that connection but not the listener.
+        """
+
+    @abc.abstractmethod
+    async def connect(self, address: str) -> Connection:
+        """Open a connection to a listener at ``address``."""
+
+
+class StreamConnection(Connection):
+    """Frames over an asyncio (reader, writer) byte-stream pair."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter, peer: str):
+        self._reader = reader
+        self._writer = writer
+        self._peer = peer
+        self._closed = False
+        self._send_lock = asyncio.Lock()
+
+    async def send(self, frame: bytes) -> None:
+        if self._closed:
+            raise ConnectionClosedError("connection is closed")
+        # Serialize writers so concurrent tasks cannot interleave frames.
+        async with self._send_lock:
+            await write_frame(self._writer, frame)
+
+    async def recv(self) -> bytes:
+        if self._closed:
+            raise ConnectionClosedError("connection is closed")
+        try:
+            return await read_frame(self._reader)
+        except ConnectionClosedError:
+            self._closed = True
+            raise
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    @property
+    def peer(self) -> str:
+        return self._peer
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class StreamListener(Listener):
+    """Wraps an ``asyncio.Server`` as a :class:`Listener`."""
+
+    def __init__(self, server: asyncio.AbstractServer, address: str):
+        self._server = server
+        self._address = address
+
+    @property
+    def address(self) -> str:
+        return self._address
+
+    async def close(self) -> None:
+        self._server.close()
+        await self._server.wait_closed()
+
+
+def spawn_handler(handler: ConnectionHandler, conn: Connection) -> asyncio.Task:
+    """Run ``handler(conn)`` as a task that closes the connection on error."""
+
+    async def run() -> None:
+        try:
+            await handler(conn)
+        except ConnectionClosedError:
+            pass
+        finally:
+            await conn.close()
+
+    return asyncio.get_running_loop().create_task(run())

@@ -1,0 +1,57 @@
+"""UNIX-domain socket transport — the paper's same-machine IPC (§5).
+
+Figure 5.1's "Remote call — both process on same machine (UNIX domain
+connection)" rows run over exactly this transport.  Addresses are
+``unix:///absolute/path.sock``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+from repro.errors import TransportError
+from repro.ipc.transport import (
+    Connection,
+    ConnectionHandler,
+    Listener,
+    StreamConnection,
+    StreamListener,
+    Transport,
+    spawn_handler,
+)
+
+
+def _path_of(address: str) -> str:
+    path = address.removeprefix("unix://")
+    if not path.startswith("/"):
+        raise TransportError(f"unix address must carry an absolute path: {address!r}")
+    return path
+
+
+class UnixTransport(Transport):
+    """Listener/dialer over AF_UNIX stream sockets."""
+
+    async def listen(self, address: str, handler: ConnectionHandler) -> Listener:
+        path = _path_of(address)
+        # A stale socket file from a crashed server would make bind fail.
+        if os.path.exists(path):
+            os.unlink(path)
+
+        async def on_client(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+            conn = StreamConnection(reader, writer, peer=f"unix-client@{path}")
+            spawn_handler(handler, conn)
+
+        try:
+            server = await asyncio.start_unix_server(on_client, path=path)
+        except OSError as exc:
+            raise TransportError(f"cannot listen on {address!r}: {exc}") from exc
+        return StreamListener(server, address)
+
+    async def connect(self, address: str) -> Connection:
+        path = _path_of(address)
+        try:
+            reader, writer = await asyncio.open_unix_connection(path)
+        except OSError as exc:
+            raise TransportError(f"cannot connect to {address!r}: {exc}") from exc
+        return StreamConnection(reader, writer, peer=address)

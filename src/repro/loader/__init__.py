@@ -1,0 +1,40 @@
+"""Dynamic loading of modules into the server (paper §2, §4.3).
+
+"CLAM allows client processes to request new object modules to be
+dynamically loaded into the server.  These modules are then accessed
+by clients using remote procedure calls.  Dynamically loaded
+procedures access other dynamically loaded procedures using normal
+procedure calls."
+
+Here an object module is Python source shipped over RPC: the loader
+compiles it into a fresh module namespace and registers every exported
+:class:`~repro.stubs.RemoteInterface` subclass in a versioned class
+registry (§3.5.1's descriptors carry the class identifier and version
+number resolved against this registry).
+
+Fault isolation (§4.3): "The CLAM server can protect itself from user
+bugs by catching error signals ... Once the server has determined
+that an error exists in a dynamically loaded class, it must decide
+what to do with the class."  :class:`FaultIsolator` records faults
+per class; a class that has faulted can be quarantined so later calls
+fail fast with :class:`~repro.errors.FaultyClassError`, and the fault
+is reported to a client through an error-reporting upcall.
+
+Trust model: exactly the paper's — clients are trusted to load code
+into their server (that is the feature).  Do not expose a CLAM server
+to untrusted clients.
+"""
+
+from repro.loader.loader import LoadedModule, ModuleLoader, source_of
+from repro.loader.versions import ClassRegistry, RegisteredClass
+from repro.loader.faults import FaultIsolator, FaultRecord
+
+__all__ = [
+    "LoadedModule",
+    "ModuleLoader",
+    "source_of",
+    "ClassRegistry",
+    "RegisteredClass",
+    "FaultIsolator",
+    "FaultRecord",
+]

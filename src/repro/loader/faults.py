@@ -1,0 +1,110 @@
+"""Fault isolation for dynamically loaded classes (paper §4.3).
+
+"The CLAM server can protect itself from user bugs by catching error
+signals (such as memory faults or divide by zero).  Once the server
+has determined that an error exists in a dynamically loaded class, it
+must decide what to do with the class.  The server can choose to
+notify a client that it tried to use a faulty class.  A new task is
+created in the server that handles the error reporting.  This task
+will make an upcall and then wait for any response the client may
+have."
+
+:class:`FaultIsolator` is the record-keeping half: it remembers which
+classes have faulted and, when quarantine is on, makes further calls
+into a faulty class fail fast.  The reporting half — the upcall task —
+is wired up by the server runtime, which gives the isolator an
+:class:`~repro.core.UpcallPort` on which clients register error
+handlers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from repro.errors import FaultyClassError
+from repro.core.ports import UnhandledPolicy, UpcallPort
+
+
+@dataclass
+class FaultRecord:
+    """One caught error in a loaded class."""
+
+    class_name: str
+    version: int
+    method: str
+    error_type: str
+    message: str
+    count: int = 1
+
+
+class FaultIsolator:
+    """Tracks faults per (class, version) and optionally quarantines.
+
+    ``quarantine_after`` is the number of faults at which a class is
+    declared faulty; 0 disables quarantine (faults are recorded and
+    reported but calls keep flowing).
+    """
+
+    def __init__(self, *, quarantine_after: int = 1):
+        self._faults: dict[tuple[str, int], FaultRecord] = {}
+        self._quarantine_after = quarantine_after
+        #: Clients register error-handling procedures here (the §4.3
+        #: error-reporting upcall).  Unheard reports queue up.
+        self.error_port = UpcallPort("class-faults", unhandled=UnhandledPolicy.QUEUE)
+
+    def record(
+        self, class_name: str, version: int, method: str, exc: Exception
+    ) -> FaultRecord:
+        """Record one caught error; returns the (updated) record."""
+        key = (class_name, version)
+        record = self._faults.get(key)
+        if record is None:
+            record = FaultRecord(
+                class_name=class_name,
+                version=version,
+                method=method,
+                error_type=type(exc).__name__,
+                message=str(exc),
+            )
+            self._faults[key] = record
+        else:
+            record.count += 1
+            record.method = method
+            record.error_type = type(exc).__name__
+            record.message = str(exc)
+        return record
+
+    async def report(self, record: FaultRecord) -> None:
+        """Make the error-reporting upcall (§4.3).
+
+        Called from a fresh server task by the runtime: "this task
+        will make an upcall and then wait for any response the client
+        may have" — awaiting the port does exactly that.
+        """
+        await self.error_port.deliver(
+            record.class_name, record.version, record.error_type, record.message
+        )
+
+    def is_faulty(self, class_name: str, version: int) -> bool:
+        if self._quarantine_after <= 0:
+            return False
+        record = self._faults.get((class_name, version))
+        return record is not None and record.count >= self._quarantine_after
+
+    def check(self, class_name: str, version: int) -> None:
+        """Raise :class:`FaultyClassError` for quarantined classes."""
+        if self.is_faulty(class_name, version):
+            record = self._faults[(class_name, version)]
+            raise FaultyClassError(
+                f"class {class_name!r} v{version} is quarantined after "
+                f"{record.count} fault(s); last: {record.error_type}: "
+                f"{record.message}"
+            )
+
+    def forgive(self, class_name: str, version: int) -> None:
+        """Clear the fault record (e.g. after the client reloads a fix)."""
+        self._faults.pop((class_name, version), None)
+
+    @property
+    def fault_records(self) -> list[FaultRecord]:
+        return list(self._faults.values())

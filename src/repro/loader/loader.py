@@ -1,0 +1,153 @@
+"""Compiling shipped source into server-resident modules (paper §2).
+
+The 1988 implementation loaded compiled C++ object modules into the
+server's address space; the Python equivalent compiles shipped source
+text into a fresh module namespace inside the server process, then
+registers every exported remote class.
+
+A module exports the classes listed in its ``__clam_exports__``
+(names), or, absent that, every :class:`~repro.stubs.RemoteInterface`
+subclass it *defines* (classes it merely imports are not exported).
+
+:func:`source_of` is the client-side convenience for shipping a layer
+the client has as a normal Python module or class: it retrieves the
+source text the loader needs.
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+import sys
+import types
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import LoaderError
+from repro.loader.versions import ClassRegistry, RegisteredClass
+from repro.stubs import RemoteInterface
+
+_module_ids = itertools.count(1)
+
+
+@dataclass
+class LoadedModule:
+    """Record of one dynamically loaded module."""
+
+    name: str
+    module: types.ModuleType
+    exported: list[RegisteredClass] = field(default_factory=list)
+
+    @property
+    def class_names(self) -> list[str]:
+        return [entry.class_name for entry in self.exported]
+
+
+class ModuleLoader:
+    """Loads source text as modules and registers their remote classes."""
+
+    def __init__(self, registry: ClassRegistry | None = None):
+        self.classes = registry if registry is not None else ClassRegistry()
+        self._modules: dict[str, LoadedModule] = {}
+        self.modules_loaded = 0
+
+    def load_source(self, name: str, source: str) -> LoadedModule:
+        """Compile ``source`` as module ``name`` and register its exports.
+
+        A compile or exec failure raises :class:`LoaderError` and loads
+        nothing — a module either loads whole or not at all.
+        """
+        if name in self._modules:
+            raise LoaderError(f"module {name!r} already loaded")
+        qualified = f"clam.loaded.{name}_{next(_module_ids)}"
+        module = types.ModuleType(qualified)
+        module.__dict__["__clam_module__"] = name
+        # Register like a real import so dataclasses/typing machinery
+        # that consults sys.modules[cls.__module__] works in loaded code.
+        sys.modules[qualified] = module
+        try:
+            # dont_inherit: the loaded source gets exactly the compiler
+            # flags it declares.  Without it, this file's own
+            # `from __future__ import annotations` would leak in and
+            # stringify every annotation in loaded modules.
+            code = compile(
+                source, filename=f"<clam:{name}>", mode="exec", dont_inherit=True
+            )
+            exec(code, module.__dict__)
+            exported = self._collect_exports(name, module)
+        except LoaderError:
+            sys.modules.pop(qualified, None)
+            raise
+        except Exception as exc:
+            sys.modules.pop(qualified, None)
+            raise LoaderError(f"module {name!r} failed to load: {exc}") from exc
+
+        if not exported:
+            sys.modules.pop(qualified, None)
+            raise LoaderError(
+                f"module {name!r} exports no remote classes; define a "
+                f"RemoteInterface subclass or list names in __clam_exports__"
+            )
+        loaded = LoadedModule(name=name, module=module)
+        # Register after collection so a bad export list loads nothing.
+        for cls in exported:
+            entry = self.classes.add(
+                cls.__clam_class__, cls.__clam_version__, cls, name
+            )
+            loaded.exported.append(entry)
+        self._modules[name] = loaded
+        self.modules_loaded += 1
+        return loaded
+
+    def _collect_exports(self, name: str, module: types.ModuleType) -> list[type]:
+        explicit = module.__dict__.get("__clam_exports__")
+        if explicit is not None:
+            classes = []
+            for export_name in explicit:
+                cls = module.__dict__.get(export_name)
+                if cls is None:
+                    raise LoaderError(
+                        f"module {name!r} lists {export_name!r} in "
+                        f"__clam_exports__ but does not define it"
+                    )
+                if not (isinstance(cls, type) and issubclass(cls, RemoteInterface)):
+                    raise LoaderError(
+                        f"export {export_name!r} of module {name!r} is not a "
+                        f"RemoteInterface subclass"
+                    )
+                classes.append(cls)
+            return classes
+        return [
+            obj
+            for obj in module.__dict__.values()
+            if isinstance(obj, type)
+            and issubclass(obj, RemoteInterface)
+            and obj is not RemoteInterface
+            and obj.__module__ == module.__name__
+        ]
+
+    def module(self, name: str) -> LoadedModule:
+        loaded = self._modules.get(name)
+        if loaded is None:
+            raise LoaderError(f"no module named {name!r} loaded")
+        return loaded
+
+    @property
+    def module_names(self) -> list[str]:
+        return sorted(self._modules)
+
+
+def source_of(obj: Any) -> str:
+    """Source text of a module or class, for shipping to the loader.
+
+    For a class, the text is dedented so the loader can compile it at
+    top level; its imports must be self-contained (§3.3's stand-alone
+    rule applies to whole modules here).
+    """
+    try:
+        source = inspect.getsource(obj)
+    except (OSError, TypeError) as exc:
+        raise LoaderError(f"cannot retrieve source of {obj!r}: {exc}") from exc
+    import textwrap
+
+    return textwrap.dedent(source)

@@ -1,0 +1,77 @@
+"""Versioned class registry (paper §2, §3.5.1).
+
+The server "contains classes to support the dynamic loading, version
+control ..."; object descriptors carry "a class identifier, a version
+number and the tag" and use them "to locate the correct version of
+the correct class of the object".  The registry therefore keys
+classes by (name, version); several versions of one class coexist —
+"different clients could have different versions, depending on their
+application" (§2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ModuleVersionError, UnknownClassError
+
+
+@dataclass
+class RegisteredClass:
+    """One (class name, version) entry."""
+
+    class_name: str
+    version: int
+    cls: type
+    module_name: str
+
+
+class ClassRegistry:
+    """Maps (class name, version) to loaded classes."""
+
+    def __init__(self) -> None:
+        self._classes: dict[tuple[str, int], RegisteredClass] = {}
+        self._latest: dict[str, int] = {}
+
+    def add(self, class_name: str, version: int, cls: type, module_name: str) -> RegisteredClass:
+        """Register one class version; re-registering is a conflict."""
+        key = (class_name, version)
+        existing = self._classes.get(key)
+        if existing is not None:
+            if existing.cls is cls:
+                return existing  # idempotent reload of the same class object
+            raise ModuleVersionError(
+                f"class {class_name!r} version {version} already loaded from "
+                f"module {existing.module_name!r}; bump __clam_version__"
+            )
+        entry = RegisteredClass(class_name, version, cls, module_name)
+        self._classes[key] = entry
+        if version >= self._latest.get(class_name, 0):
+            self._latest[class_name] = version
+        return entry
+
+    def resolve(self, class_name: str, version: int | None = None) -> RegisteredClass:
+        """Locate a class; ``version=None`` means the newest loaded one."""
+        if version is None:
+            version = self._latest.get(class_name)
+            if version is None:
+                raise UnknownClassError(f"no class {class_name!r} loaded")
+        entry = self._classes.get((class_name, version))
+        if entry is None:
+            raise UnknownClassError(
+                f"no class {class_name!r} with version {version} loaded"
+            )
+        return entry
+
+    def versions_of(self, class_name: str) -> list[int]:
+        return sorted(v for (name, v) in self._classes if name == class_name)
+
+    def __contains__(self, class_name: str) -> bool:
+        return class_name in self._latest
+
+    def __iter__(self) -> Iterator[RegisteredClass]:
+        return iter(list(self._classes.values()))
+
+    def __len__(self) -> int:
+        return len(self._classes)

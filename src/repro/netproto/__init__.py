@@ -1,0 +1,42 @@
+"""A layered network protocol built on upcalls (paper §1).
+
+"Actions generated at the lowest level of abstraction should be able
+to, in effect, call upwards through the layers of abstraction.  There
+are natural applications for this upwards calling structure in
+servers supporting layered network protocols..."  This package is
+that application, structured exactly like the window manager: a low
+layer owned by the server, higher layers loadable into the server or
+placed in clients, all joined by upcall registration.
+
+    application layer (client or server)      ← whole messages, by channel
+        ▲ SessionLayer.register_channel
+    session layer                              ← demultiplexes channels
+        ▲ TransportLayer.register_session
+    transport layer                            ← reassembles fragments
+        ▲ NetworkDevice.register_link
+    network device (server)                    ← frames off the wire
+
+Each layer "can decide whether to propagate the asynchrony (passing
+the event upwards) or limit the asynchrony (queuing the event)" —
+the device queues frames that arrive before anything registers, the
+transport holds partial messages, the session drops messages for
+unknown channels (and counts them).
+"""
+
+from repro.netproto.frames import Fragment, fragment_message
+from repro.netproto.device import NetworkDevice
+from repro.netproto.transport import TransportLayer
+from repro.netproto.session import SessionLayer
+from repro.netproto.link import Direction, LossyLink
+from repro.netproto.arq import ArqEndpoint
+
+__all__ = [
+    "Fragment",
+    "fragment_message",
+    "NetworkDevice",
+    "TransportLayer",
+    "SessionLayer",
+    "Direction",
+    "LossyLink",
+    "ArqEndpoint",
+]

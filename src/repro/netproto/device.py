@@ -1,0 +1,92 @@
+"""The network device: the stack's lowest layer (paper §1, §4.1).
+
+Frames "arrive off the wire" through :meth:`NetworkDevice.pump` —
+driven by a simulation script or a remote test driver — and propagate
+upward through the registration port.  Per §4.1, frames with no
+registered upper layer are *queued* and replayed when one appears.
+
+Fault knobs model a lossy link deterministically: ``drop_every_nth``
+silently discards every nth frame (so reassembly sees holes), and
+malformed frames are counted and dropped like bad checksums.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core import UnhandledPolicy, UpcallPort
+from repro.netproto.frames import FrameError, Fragment
+from repro.stubs import RemoteInterface
+
+
+class NetworkDevice(RemoteInterface):
+    """Where frames appear; upper layers register for them."""
+
+    __clam_local__ = ("use_tasks", "pump", "drain")
+
+    def __init__(self, *, drop_every_nth: int = 0):
+        self.port = UpcallPort("frames", unhandled=UnhandledPolicy.QUEUE)
+        self.frames_received = 0
+        self.frames_dropped = 0
+        self.frames_malformed = 0
+        self._drop_every_nth = drop_every_nth
+        self._pool = None
+        self._pending: list = []
+
+    # -- host-side wiring ---------------------------------------------------------
+
+    def use_tasks(self, pool) -> None:
+        """Handle each frame in a pooled task (§4.3); size-1 pools keep
+        strict frame order."""
+        self._pool = pool
+
+    async def pump(self, frame: str) -> None:
+        """One frame arrives off the wire."""
+        self.frames_received += 1
+        if (
+            self._drop_every_nth
+            and self.frames_received % self._drop_every_nth == 0
+        ):
+            self.frames_dropped += 1
+            return
+        try:
+            fragment = Fragment.parse(frame)
+        except FrameError:
+            self.frames_malformed += 1
+            return
+        if self._pool is None:
+            await self._deliver(fragment)
+        else:
+            self._pending = [f for f in self._pending if not f.done()]
+            self._pending.append(
+                self._pool.submit(lambda f=fragment: self._deliver(f))
+            )
+
+    async def drain(self) -> int:
+        """Wait for queued frame tasks to finish (host-side helper)."""
+        import asyncio
+
+        pending, self._pending = self._pending, []
+        for future in pending:
+            await asyncio.shield(future)
+        return len(pending)
+
+    async def _deliver(self, fragment: Fragment) -> None:
+        await self.port.deliver(fragment)
+        if self.port.registrant_count:
+            await self.port.replay_queued()
+
+    # -- remote API ------------------------------------------------------------------
+
+    def register_link(self, proc: Callable[[Fragment], None]) -> bool:
+        """Upper layers (local or remote) register for fragments."""
+        self.port.register(proc)
+        return True
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "received": self.frames_received,
+            "dropped": self.frames_dropped,
+            "malformed": self.frames_malformed,
+            "queued": self.port.queued_count,
+        }

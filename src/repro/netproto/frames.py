@@ -1,0 +1,72 @@
+"""Frame format for the protocol stack.
+
+A message travels as fragments, each a pipe-delimited text frame::
+
+    msgid|seq|total|channel|payload
+
+The format is deliberately simple — this stack exists to exercise
+upcall layering, not wire efficiency — but parsing is strict: a
+malformed frame raises :class:`FrameError` so the device can count
+and discard it, as a real link layer drops bad CRCs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClamError
+
+
+class FrameError(ClamError):
+    """A frame failed validation at the device."""
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One fragment of one message."""
+
+    msgid: str
+    seq: int
+    total: int
+    channel: str
+    payload: str
+
+    def __post_init__(self) -> None:
+        if not self.msgid or "|" in self.msgid:
+            raise FrameError(f"bad msgid {self.msgid!r}")
+        if "|" in self.channel:
+            raise FrameError(f"bad channel {self.channel!r}")
+        if self.total < 1:
+            raise FrameError(f"bad total {self.total}")
+        if not 0 <= self.seq < self.total:
+            raise FrameError(f"seq {self.seq} outside 0..{self.total - 1}")
+
+    def encode(self) -> str:
+        return f"{self.msgid}|{self.seq}|{self.total}|{self.channel}|{self.payload}"
+
+    @classmethod
+    def parse(cls, frame: str) -> "Fragment":
+        parts = frame.split("|", 4)
+        if len(parts) != 5:
+            raise FrameError(f"frame has {len(parts)} fields, want 5: {frame!r}")
+        msgid, seq_text, total_text, channel, payload = parts
+        try:
+            seq = int(seq_text)
+            total = int(total_text)
+        except ValueError as exc:
+            raise FrameError(f"non-numeric seq/total in {frame!r}") from exc
+        return cls(msgid=msgid, seq=seq, total=total, channel=channel, payload=payload)
+
+
+def fragment_message(
+    msgid: str, channel: str, message: str, *, chunk: int = 16
+) -> list[Fragment]:
+    """Split a message into fragments of at most ``chunk`` characters."""
+    if chunk < 1:
+        raise FrameError("chunk must be >= 1")
+    pieces = [message[i:i + chunk] for i in range(0, len(message), chunk)] or [""]
+    return [
+        Fragment(msgid=msgid, seq=seq, total=len(pieces), channel=channel,
+                 payload=piece)
+        for seq, piece in enumerate(pieces)
+    ]

@@ -1,0 +1,86 @@
+"""A lossy, bidirectional point-to-point link.
+
+The wire under the protocol stack: two endpoints exchange text frames;
+the link may drop frames according to a deterministic policy (a drop
+predicate or every-nth counter), which is what the ARQ layer exists to
+survive.  Delivery is in-order — like a real wire, loss is the only
+fault; reordering would come from multipath, which a point-to-point
+link does not have.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Awaitable, Callable, Optional
+
+from repro.errors import ClamError
+
+#: Receiver callback: gets the raw frame text.
+Receiver = Callable[[str], Awaitable[None]]
+#: Drop policy: (direction, frame_index, frame) -> True to drop.
+DropFn = Callable[["Direction", int, str], bool]
+
+
+class Direction(enum.Enum):
+    A_TO_B = "a->b"
+    B_TO_A = "b->a"
+
+
+class LinkError(ClamError):
+    """Misuse of the link (unattached endpoint, unknown side)."""
+
+
+class LossyLink:
+    """Two attached endpoints and a drop policy between them."""
+
+    def __init__(self, *, drop_fn: DropFn | None = None, drop_every_nth: int = 0):
+        if drop_fn is not None and drop_every_nth:
+            raise LinkError("choose drop_fn or drop_every_nth, not both")
+        if drop_every_nth:
+            def drop_fn(direction, index, frame, _n=drop_every_nth):
+                return index % _n == _n - 1
+
+        self._drop_fn = drop_fn
+        self._receivers: dict[Direction, Optional[Receiver]] = {
+            Direction.A_TO_B: None,
+            Direction.B_TO_A: None,
+        }
+        self._counts = {Direction.A_TO_B: 0, Direction.B_TO_A: 0}
+        self.delivered = 0
+        self.dropped = 0
+
+    def attach_a(self, receiver: Receiver) -> None:
+        """Set the callback receiving frames sent *toward* endpoint A."""
+        self._receivers[Direction.B_TO_A] = receiver
+
+    def attach_b(self, receiver: Receiver) -> None:
+        """Set the callback receiving frames sent *toward* endpoint B."""
+        self._receivers[Direction.A_TO_B] = receiver
+
+    async def send_from_a(self, frame: str) -> bool:
+        """Transmit a→b; returns False if the link dropped the frame."""
+        return await self._transmit(Direction.A_TO_B, frame)
+
+    async def send_from_b(self, frame: str) -> bool:
+        return await self._transmit(Direction.B_TO_A, frame)
+
+    async def _transmit(self, direction: Direction, frame: str) -> bool:
+        receiver = self._receivers[direction]
+        if receiver is None:
+            raise LinkError(f"no endpoint attached for {direction.value}")
+        index = self._counts[direction]
+        self._counts[direction] += 1
+        if self._drop_fn is not None and self._drop_fn(direction, index, frame):
+            self.dropped += 1
+            return False
+        self.delivered += 1
+        await receiver(frame)
+        return True
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "a_to_b": self._counts[Direction.A_TO_B],
+            "b_to_a": self._counts[Direction.B_TO_A],
+        }

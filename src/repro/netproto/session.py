@@ -1,0 +1,60 @@
+"""The session layer: channel demultiplexing.
+
+One more layer up the stack: complete messages arrive tagged with a
+channel name; application procedures register per channel and receive
+only their own traffic.  Messages for channels nobody registered are
+counted and dropped — the "throw it away" branch of §4.1, chosen here
+because stale traffic for a departed application has no future reader
+(unlike raw input, which the screen queues).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core import UpcallPort, invoke
+from repro.netproto.transport import TransportLayer
+from repro.stubs import RemoteInterface
+
+
+class SessionLayer(RemoteInterface):
+    """Routes (channel, message) pairs to per-channel registrants."""
+
+    __clam_class__ = "netproto.session"
+
+    def __init__(self):
+        self._channels: dict[str, UpcallPort] = {}
+        self.messages_routed = 0
+        self.messages_unrouted = 0
+
+    async def attach(self, transport: TransportLayer) -> bool:
+        await invoke(transport.register_session, self.on_message)
+        return True
+
+    def register_channel(self, channel: str, proc: Callable[[str], None]) -> bool:
+        """An application registers for one channel's messages."""
+        port = self._channels.get(channel)
+        if port is None:
+            port = UpcallPort(f"channel-{channel}")
+            self._channels[channel] = port
+        port.register(proc)
+        return True
+
+    async def on_message(self, channel: str, message: str) -> None:
+        """Upcalled by the transport for every complete message."""
+        port = self._channels.get(channel)
+        if port is None or port.registrant_count == 0:
+            self.messages_unrouted += 1
+            return
+        self.messages_routed += 1
+        await port.deliver(message)
+
+    def channel_names(self) -> list[str]:
+        return sorted(self._channels)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "routed": self.messages_routed,
+            "unrouted": self.messages_unrouted,
+            "channels": len(self._channels),
+        }

@@ -1,0 +1,87 @@
+"""The transport layer: reassembly (paper §1's "interpret the input").
+
+Registers with the device below, collects fragments per message id
+(out-of-order and duplicate tolerant), and passes each *complete*
+message up — one upcall per message, however many fragments arrived.
+This is the asynchrony-limiting role of §4.1: many small events in,
+few meaningful events out.
+
+Partial messages whose ids have been idle for ``max_partials`` newer
+messages are evicted (a crude reassembly timeout), so a lossy link
+cannot grow state without bound.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Callable
+
+from repro.core import UpcallPort, invoke
+from repro.netproto.device import NetworkDevice
+from repro.netproto.frames import Fragment
+from repro.stubs import RemoteInterface
+
+
+class TransportLayer(RemoteInterface):
+    """Fragment reassembly with duplicate suppression and eviction."""
+
+    __clam_class__ = "netproto.transport"
+
+    def __init__(self, *, max_partials: int = 64):
+        self._partials: "collections.OrderedDict[str, dict[int, str]]" = (
+            collections.OrderedDict()
+        )
+        self._totals: dict[str, tuple[int, str]] = {}  # msgid -> (total, channel)
+        self._max_partials = max_partials
+        self.upward = UpcallPort("messages")
+        self.fragments_seen = 0
+        self.duplicates = 0
+        self.messages_completed = 0
+        self.partials_evicted = 0
+
+    async def attach(self, device: NetworkDevice) -> bool:
+        """Register with the device below (local call when both are in
+        the server — the cheap configuration)."""
+        await invoke(device.register_link, self.on_fragment)
+        return True
+
+    def register_session(self, proc: Callable[[str, str], None]) -> bool:
+        """The layer above registers for (channel, message) upcalls."""
+        self.upward.register(proc)
+        return True
+
+    async def on_fragment(self, fragment: Fragment) -> None:
+        """Upcalled by the device for every surviving fragment."""
+        self.fragments_seen += 1
+        chunks = self._partials.get(fragment.msgid)
+        if chunks is None:
+            chunks = {}
+            self._partials[fragment.msgid] = chunks
+            self._totals[fragment.msgid] = (fragment.total, fragment.channel)
+            self._evict_if_needed()
+        if fragment.seq in chunks:
+            self.duplicates += 1
+            return
+        chunks[fragment.seq] = fragment.payload
+        total, channel = self._totals[fragment.msgid]
+        if len(chunks) == total:
+            message = "".join(chunks[i] for i in range(total))
+            del self._partials[fragment.msgid]
+            del self._totals[fragment.msgid]
+            self.messages_completed += 1
+            await self.upward.deliver(channel, message)
+
+    def _evict_if_needed(self) -> None:
+        while len(self._partials) > self._max_partials:
+            msgid, _ = self._partials.popitem(last=False)
+            del self._totals[msgid]
+            self.partials_evicted += 1
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "fragments": self.fragments_seen,
+            "duplicates": self.duplicates,
+            "completed": self.messages_completed,
+            "partials": len(self._partials),
+            "evicted": self.partials_evicted,
+        }

@@ -1,0 +1,33 @@
+"""RPC runtime (paper §3.4).
+
+"The RPC protocol departs slightly from the traditional RPC semantics
+by allowing remote calls to proceed asynchronously. ... the CLAM RPC
+facility batches several asynchronous calls together into a single
+message."
+
+- :class:`BatchQueue` — accumulates asynchronous calls and flushes
+  them as one :class:`~repro.wire.BatchMessage` when a synchronous
+  call forces it, when the batch is full, when the flush timer runs,
+  or when :meth:`~BatchQueue.flush` is called explicitly (the paper's
+  "special synchronization procedure").
+- :class:`RpcConnection` — the client side of the RPC channel: it is
+  a :class:`~repro.stubs.CallEndpoint`, so proxies built with
+  :func:`repro.stubs.build_proxy` call through it.
+- :class:`Dispatcher` — the server side: owns the object table,
+  exports objects as handles, and executes inbound calls in arrival
+  order.
+"""
+
+from repro.rpc.batch import BatchQueue
+from repro.rpc.connection import RpcConnection
+from repro.rpc.dispatcher import Dispatcher, Exports
+from repro.rpc.objects import install_client_objects, install_server_objects
+
+__all__ = [
+    "BatchQueue",
+    "RpcConnection",
+    "Dispatcher",
+    "Exports",
+    "install_client_objects",
+    "install_server_objects",
+]

@@ -1,0 +1,230 @@
+"""The client side of the RPC channel (paper §3.4, §4.4).
+
+An :class:`RpcConnection` owns one
+:class:`~repro.ipc.MessageChannel` — the client's RPC stream — plus
+the batch queue and the table of outstanding synchronous calls.  It
+implements the :class:`~repro.stubs.CallEndpoint` protocol, so a
+proxy built over it turns method calls into wire traffic:
+
+- value-returning methods → :meth:`call`: flush the batch (ordering!),
+  send a ``CallMessage`` with ``expects_reply``, block the calling
+  task on the reply future;
+- void methods → :meth:`post`: bundle into the batch queue and return
+  immediately.
+
+A background reader task delivers replies and surfaces remote
+exceptions as :class:`~repro.errors.RemoteError` on the waiting
+future.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from repro.errors import (
+    CallTimeoutError,
+    ConnectionClosedError,
+    ProtocolError,
+    RemoteError,
+)
+from repro.bundlers.base import BundlerRegistry
+from repro.handles import Handle
+from repro.ipc import MessageChannel
+from repro.rpc.batch import BatchQueue
+from repro.wire import (
+    BatchMessage,
+    CallMessage,
+    ExceptionMessage,
+    Message,
+    ReplyMessage,
+    UpcallMessage,
+)
+
+
+class RpcConnection:
+    """Client endpoint over one RPC channel."""
+
+    def __init__(
+        self,
+        channel: MessageChannel,
+        registry: BundlerRegistry,
+        *,
+        max_batch: int = 64,
+        flush_delay: float | None = 0.0,
+        call_timeout: float | None = None,
+        tracer=None,
+    ):
+        self._channel = channel
+        self._registry = registry
+        self._call_timeout = call_timeout
+        self._tracer = tracer
+        self._serials = itertools.count(1)
+        self._waiting: dict[int, asyncio.Future] = {}
+        self._batch = BatchQueue(
+            self._send_batch, max_batch=max_batch, flush_delay=flush_delay
+        )
+        self._upcall_sink = None
+        self._closed = False
+        self._reader = asyncio.get_running_loop().create_task(
+            self._read_loop(), name="rpc-reader"
+        )
+        self.sync_calls = 0
+        self.async_calls = 0
+
+    # -- CallEndpoint protocol ---------------------------------------------------
+
+    @property
+    def registry(self) -> BundlerRegistry:
+        return self._registry
+
+    async def call(self, handle: Handle, method: str, args: bytes) -> bytes:
+        """Synchronous remote call; returns the bundled reply payload."""
+        if self._tracer is not None and self._tracer.active:
+            from repro.trace import KIND_CLIENT_CALL
+
+            with self._tracer.span(KIND_CLIENT_CALL, method):
+                return await self._call_inner(handle, method, args)
+        return await self._call_inner(handle, method, args)
+
+    async def _call_inner(self, handle: Handle, method: str, args: bytes) -> bytes:
+        if self._closed:
+            raise ConnectionClosedError("RPC connection is closed")
+        # Ordering: everything queued before this call must arrive first.
+        await self._batch.flush()
+        serial = next(self._serials)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiting[serial] = future
+        self.sync_calls += 1
+        message = CallMessage(
+            serial=serial,
+            oid=handle.oid,
+            tag=handle.tag,
+            method=method,
+            args=args,
+            expects_reply=True,
+        )
+        try:
+            await self._channel.send(message)
+            if self._call_timeout is None:
+                return await future
+            try:
+                return await asyncio.wait_for(future, self._call_timeout)
+            except asyncio.TimeoutError:
+                # The reply may still arrive; with the serial dropped
+                # from the table it will be discarded.
+                raise CallTimeoutError(
+                    f"no reply to {method!r} within {self._call_timeout}s"
+                ) from None
+        finally:
+            self._waiting.pop(serial, None)
+
+    async def post(self, handle: Handle, method: str, args: bytes) -> None:
+        """Asynchronous remote call; queued for batching, no reply."""
+        if self._closed:
+            raise ConnectionClosedError("RPC connection is closed")
+        self.async_calls += 1
+        message = CallMessage(
+            serial=next(self._serials),
+            oid=handle.oid,
+            tag=handle.tag,
+            method=method,
+            args=args,
+            expects_reply=False,
+        )
+        await self._batch.post(message)
+
+    async def flush(self) -> None:
+        """The special synchronization procedure of §3.4."""
+        await self._batch.flush()
+
+    # -- internals -----------------------------------------------------------------
+
+    async def _send_batch(self, batch: BatchMessage) -> None:
+        if self._tracer is not None and self._tracer.active:
+            from repro.trace import KIND_FLUSH
+
+            self._tracer.point(KIND_FLUSH, "batch", detail=str(len(batch.calls)))
+        await self._channel.send(batch)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                message = await self._channel.recv()
+                self._dispatch_reply(message)
+        except ConnectionClosedError as exc:
+            self._fail_all(exc)
+        except Exception as exc:  # decoding errors poison the connection
+            self._fail_all(ProtocolError(f"RPC channel corrupted: {exc}"))
+
+    def set_upcall_sink(self, sink) -> None:
+        """Accept inbound upcalls on this channel (single-stream mode).
+
+        The paper gives each client a dedicated upcall stream (§4.4)
+        because multiplexing "without typed messages ... is difficult";
+        our messages are typed, so a single shared stream works too.
+        ``sink`` receives each :class:`UpcallMessage` and must not
+        block (schedule the handling on another task).
+        """
+        self._upcall_sink = sink
+
+    @property
+    def channel(self) -> MessageChannel:
+        return self._channel
+
+    def _dispatch_reply(self, message: Message) -> None:
+        if isinstance(message, ReplyMessage):
+            future = self._waiting.get(message.serial)
+            if future is not None and not future.done():
+                future.set_result(message.results)
+        elif isinstance(message, ExceptionMessage):
+            future = self._waiting.get(message.serial)
+            if future is not None and not future.done():
+                future.set_exception(
+                    RemoteError(message.remote_type, message.message, message.traceback)
+                )
+        elif isinstance(message, UpcallMessage) and self._upcall_sink is not None:
+            self._upcall_sink(message)
+        else:
+            self._fail_all(
+                ProtocolError(f"unexpected message on RPC channel: {message!r}")
+            )
+
+    def _fail_all(self, exc: Exception) -> None:
+        self._closed = True
+        for future in self._waiting.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._waiting.clear()
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def batch(self) -> BatchQueue:
+        return self._batch
+
+    async def close(self) -> None:
+        """Flush what we can, stop the reader, close the channel."""
+        if not self._closed:
+            try:
+                await self._batch.flush()
+            except ConnectionClosedError:
+                pass
+        self._batch.cancel_timer()
+        self._closed = True
+        await self._channel.close()
+        self._reader.cancel()
+        try:
+            await self._reader
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._fail_all(ConnectionClosedError("RPC connection closed"))
+
+    async def __aenter__(self) -> "RpcConnection":
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()

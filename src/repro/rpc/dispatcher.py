@@ -1,0 +1,208 @@
+"""The server side of the RPC channel (paper §3.4, §3.5.1).
+
+Two pieces:
+
+- :class:`Exports` — the server-wide state: the object table of
+  §3.5.1 plus, per exported object, its interface spec.  Shared by
+  every client session, which is what lets clients share objects.
+
+- :class:`Dispatcher` — per-session call execution.  Each session has
+  its own dispatcher because bundling is session-relative: unbundling
+  a procedure pointer must mint a RUC bound to *that* client's upcall
+  channel (§3.5.2), so each dispatcher carries the session's bundler
+  registry and its own skeleton bindings.
+
+Calls execute in arrival order — the guarantee batching (§3.4) relies
+on.  Synchronous calls answer with ``ReplyMessage`` or
+``ExceptionMessage``; asynchronous calls answer with nothing, and
+their failures go to the ``async_error`` hook.  The ``call_guard`` and
+``call_failed`` hooks are where the server runtime wires §4.3's fault
+isolation for dynamically loaded classes.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Awaitable, Callable, Optional
+
+from repro.errors import ClamError, HandleError
+from repro.bundlers.base import BundlerRegistry
+from repro.handles import Descriptor, Handle, ObjectTable
+from repro.ipc import MessageChannel
+from repro.stubs import InterfaceSpec, Skeleton, interface_spec
+from repro.wire import (
+    BatchMessage,
+    CallMessage,
+    ExceptionMessage,
+    Message,
+    ReplyMessage,
+)
+
+#: Hook invoked with (call, exception) when an asynchronous call fails.
+AsyncErrorHook = Callable[[CallMessage, Exception], Optional[Awaitable[None]]]
+#: Hook invoked with the descriptor before a call runs; may raise.
+CallGuard = Callable[[Descriptor], None]
+#: Hook invoked with (descriptor, method, exception) when a call raises.
+CallFailed = Callable[[Descriptor, str, Exception], Optional[Awaitable[None]]]
+
+
+class Exports:
+    """Server-wide exported objects: handles plus interface specs."""
+
+    def __init__(self) -> None:
+        self.table = ObjectTable()
+        self._specs: dict[int, InterfaceSpec] = {}
+
+    def export(
+        self,
+        obj: Any,
+        *,
+        spec: InterfaceSpec | None = None,
+        version: int | None = None,
+    ) -> Handle:
+        """Issue a handle for ``obj`` (§3.5.1) and remember its spec."""
+        spec = spec or interface_spec(type(obj))
+        handle = self.table.issue(
+            obj, spec.class_name, version if version is not None else spec.version
+        )
+        self._specs.setdefault(handle.oid, spec)
+        return handle
+
+    def revoke(self, handle: Handle) -> Any:
+        obj = self.table.revoke(handle)
+        self._specs.pop(handle.oid, None)
+        return obj
+
+    def entry(self, handle: Handle) -> tuple[Any, InterfaceSpec, Descriptor]:
+        """Validate ``handle`` and return (object, spec, descriptor)."""
+        descriptor = self.table.descriptor(handle)
+        spec = self._specs.get(handle.oid)
+        if spec is None:
+            raise HandleError(f"object {handle.oid} has no interface spec")
+        return descriptor.obj, spec, descriptor
+
+
+class Dispatcher:
+    """Executes one session's inbound calls against the exports."""
+
+    def __init__(
+        self,
+        registry: BundlerRegistry,
+        *,
+        exports: Exports | None = None,
+        async_error: AsyncErrorHook | None = None,
+        call_guard: CallGuard | None = None,
+        call_failed: CallFailed | None = None,
+        tracer=None,
+    ):
+        self._tracer = tracer
+        self._registry = registry
+        self._exports = exports if exports is not None else Exports()
+        self._skeletons: dict[int, Skeleton] = {}
+        self._builtin: tuple[Skeleton, Descriptor] | None = None
+        self._async_error = async_error
+        self._call_guard = call_guard
+        self._call_failed = call_failed
+        self.calls_executed = 0
+
+    def set_builtin(self, skeleton: Skeleton, descriptor: Descriptor) -> None:
+        """Install the object served at the well-known handle (oid 0, tag 0).
+
+        Oid 0 is otherwise the nil handle, which the object table never
+        issues, so the builtin needs no entry there — it is the one
+        object a client may name without having received its handle
+        first.
+        """
+        self._builtin = (skeleton, descriptor)
+
+    # -- convenience passthroughs -------------------------------------------------
+
+    @property
+    def registry(self) -> BundlerRegistry:
+        return self._registry
+
+    @property
+    def exports(self) -> Exports:
+        return self._exports
+
+    @property
+    def table(self) -> ObjectTable:
+        return self._exports.table
+
+    def export(self, obj: Any, *, spec: InterfaceSpec | None = None,
+               version: int | None = None) -> Handle:
+        return self._exports.export(obj, spec=spec, version=version)
+
+    def revoke(self, handle: Handle) -> Any:
+        self._skeletons.pop(handle.oid, None)
+        return self._exports.revoke(handle)
+
+    def skeleton_for(self, handle: Handle) -> tuple[Skeleton, Descriptor]:
+        """Validate the handle and return this session's skeleton for it."""
+        if handle.oid == 0 and handle.tag == 0 and self._builtin is not None:
+            return self._builtin
+        obj, spec, descriptor = self._exports.entry(handle)
+        skeleton = self._skeletons.get(handle.oid)
+        if skeleton is None or skeleton.impl is not obj:
+            skeleton = Skeleton(obj, self._registry, spec=spec)
+            self._skeletons[handle.oid] = skeleton
+        return skeleton, descriptor
+
+    # -- executing calls ----------------------------------------------------------------
+
+    async def handle_message(self, message: Message, channel: MessageChannel) -> None:
+        """Execute one inbound RPC-channel message, replying as needed."""
+        if isinstance(message, CallMessage):
+            await self._run_call(message, channel)
+        elif isinstance(message, BatchMessage):
+            # "batched calls will arrive in the correct order" — and
+            # they execute in that order too.
+            for call in message.calls:
+                await self._run_call(call, channel)
+        else:
+            raise ClamError(f"unexpected message on RPC channel: {message!r}")
+
+    async def _run_call(self, call: CallMessage, channel: MessageChannel) -> None:
+        self.calls_executed += 1
+        descriptor: Descriptor | None = None
+        try:
+            skeleton, descriptor = self.skeleton_for(Handle(oid=call.oid, tag=call.tag))
+            if self._call_guard is not None:
+                self._call_guard(descriptor)
+            if self._tracer is not None and self._tracer.active:
+                from repro.trace import KIND_CALL
+
+                with self._tracer.span(
+                    KIND_CALL, f"{descriptor.class_name}.{call.method}"
+                ):
+                    reply_payload = await skeleton.dispatch(call.method, call.args)
+            else:
+                reply_payload = await skeleton.dispatch(call.method, call.args)
+        except Exception as exc:
+            if descriptor is not None and self._call_failed is not None:
+                result = self._call_failed(descriptor, call.method, exc)
+                if result is not None:
+                    await result
+            await self._report_failure(call, exc, channel)
+            return
+        if call.expects_reply:
+            await channel.send(
+                ReplyMessage(serial=call.serial, results=reply_payload or b"")
+            )
+
+    async def _report_failure(
+        self, call: CallMessage, exc: Exception, channel: MessageChannel
+    ) -> None:
+        if call.expects_reply:
+            await channel.send(
+                ExceptionMessage(
+                    serial=call.serial,
+                    remote_type=type(exc).__name__,
+                    message=str(exc),
+                    traceback=traceback.format_exc(),
+                )
+            )
+        elif self._async_error is not None:
+            result = self._async_error(call, exc)
+            if result is not None:
+                await result

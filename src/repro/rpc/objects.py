@@ -1,0 +1,106 @@
+"""Object-pointer bundlers (paper §3.5.1).
+
+"When a pointer to an object is returned to the client, it must be
+returned in such a way that when the client performs a class member
+operation on this object, the operation becomes an RPC back into the
+server."
+
+Install :func:`install_server_objects` into a server-session registry
+and :func:`install_client_objects` into the matching client registry,
+and any parameter or return value annotated with a
+:class:`~repro.stubs.RemoteInterface` subclass bundles transparently:
+
+- server encode: export the object (issue/reuse a handle), send it;
+- client decode: wrap the handle in a generated proxy for the
+  annotated interface;
+- client encode: a proxy sends its handle back in;
+- server decode: validate the handle and return the real object —
+  Figure 3.3's flow.
+
+The :class:`~repro.handles.Handle` type itself is registered too, for
+interfaces (like the builtin server) that traffic in raw handles
+because the concrete class is not statically known (e.g. ``create``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import BundleError
+from repro.bundlers.base import Bundler, BundlerRegistry
+from repro.handles import Handle
+from repro.handles.handle import handle_filter
+from repro.rpc.dispatcher import Exports
+from repro.stubs import RemoteInterface
+from repro.stubs.client import CallEndpoint, Proxy, build_proxy
+from repro.xdr import XdrStream
+
+
+def _is_interface(annotation: Any) -> bool:
+    return (
+        isinstance(annotation, type)
+        and issubclass(annotation, RemoteInterface)
+        and annotation is not RemoteInterface
+    )
+
+
+def install_server_objects(registry: BundlerRegistry, exports: Exports) -> None:
+    """Server half: objects ↔ handles through the export table."""
+    registry.register(Handle, handle_filter)
+
+    def resolver(annotation: Any, reg: BundlerRegistry) -> Bundler | None:
+        if not _is_interface(annotation):
+            return None
+
+        def server_object_bundler(stream: XdrStream, value, *extra):
+            if stream.encoding:
+                if value is None:
+                    handle = Handle(oid=0, tag=0)
+                elif isinstance(value, RemoteInterface):
+                    handle = exports.export(value)
+                else:
+                    raise BundleError(
+                        f"cannot pass {value!r} as an object pointer; it is "
+                        f"not a RemoteInterface instance"
+                    )
+                return handle.bundle(stream)
+            handle = Handle.unbundle(stream)
+            # Validation per Figure 3.3: tag check + existence.  Nil
+            # handles resolve to None ("nil pointers ... are handled
+            # specially", §3.5.1).
+            return exports.table.resolve(handle)
+
+        return server_object_bundler
+
+    registry.add_resolver(resolver)
+
+
+def install_client_objects(registry: BundlerRegistry, endpoint: CallEndpoint) -> None:
+    """Client half: handles ↔ proxies bound to this endpoint."""
+    registry.register(Handle, handle_filter)
+
+    def resolver(annotation: Any, reg: BundlerRegistry) -> Bundler | None:
+        if not _is_interface(annotation):
+            return None
+
+        def client_object_bundler(stream: XdrStream, value, *extra):
+            if stream.encoding:
+                if value is None:
+                    return Handle(oid=0, tag=0).bundle(stream)
+                if not isinstance(value, Proxy):
+                    raise BundleError(
+                        f"cannot pass {value!r} to the server as an object "
+                        f"pointer; only proxies for server objects can go "
+                        f"back in (§3.5.1: a pointer must be passed out of "
+                        f"the server before a client passes it in)"
+                    )
+                value._clam_handle_.bundle(stream)
+                return value
+            handle = Handle.unbundle(stream)
+            if handle.is_nil:
+                return None
+            return build_proxy(annotation, endpoint, handle)
+
+        return client_object_bundler
+
+    registry.add_resolver(resolver)

@@ -1,0 +1,21 @@
+"""The CLAM server (paper §2, §4.4).
+
+"The server itself ... contains no code specific to window
+management.  CLAM allows client processes to request new object
+modules to be dynamically loaded into the server. ... The server
+contains classes to support the dynamic loading, version control,
+thread scheduling and synchronization, and distributed upcalls.  All
+application specific code is dynamically loaded."
+
+:class:`ClamServer` assembles exactly those pieces: the module loader
+and class registry, the object/export table, the task system with its
+reusable event pool, the fault isolator, and per-client sessions each
+holding the two channels of §4.4 (one for the client's RPCs, one for
+the server's upcalls).
+"""
+
+from repro.server.builtin import BUILTIN_HANDLE, ClamServerInterface
+from repro.server.session import Session
+from repro.server.clam import ClamServer
+
+__all__ = ["BUILTIN_HANDLE", "ClamServerInterface", "Session", "ClamServer"]

@@ -1,0 +1,163 @@
+"""The builtin server interface — the only statically linked service.
+
+Everything application-specific is dynamically loaded (§2); what the
+server itself offers is the loading, version control, naming, and
+synchronization machinery.  The builtin object lives at the
+well-known :data:`BUILTIN_HANDLE` (oid 0, tag 0), which every client
+knows without a prior exchange — the one exception to "a pointer must
+be passed out before it is passed in".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import LoaderError
+from repro.handles import Handle
+from repro.stubs import RemoteInterface, interface_spec
+
+if TYPE_CHECKING:
+    from repro.server.clam import ClamServer
+
+#: The well-known handle of the builtin server interface.
+BUILTIN_HANDLE = Handle(oid=0, tag=0)
+
+
+class ClamServerInterface(RemoteInterface):
+    """Declaration of the builtin interface (clients build proxies on it)."""
+
+    __clam_class__ = "clam.server"
+
+    def ping(self) -> int: ...
+    def load_module(self, name: str, source: str) -> list[str]: ...
+    def create(self, class_name: str, version: int) -> Handle: ...
+    def lookup(self, name: str) -> Handle: ...
+    def publish(self, name: str, target: Handle) -> bool: ...
+    def release(self, target: Handle) -> bool: ...
+    def list_classes(self) -> list[str]: ...
+    def list_modules(self) -> list[str]: ...
+    def versions_of(self, class_name: str) -> list[int]: ...
+    def sync(self) -> int: ...
+    def stats(self) -> dict[str, int]: ...
+    def register_error_handler(
+        self, handler: Callable[[str, int, str, str], None]
+    ) -> None: ...
+
+
+class BuiltinImpl(ClamServerInterface):
+    """Server-side implementation of the builtin interface."""
+
+    def __init__(self, server: "ClamServer"):
+        self._server = server
+
+    def ping(self) -> int:
+        """Liveness check; returns the number of calls executed so far."""
+        return self._server.calls_executed
+
+    def load_module(self, name: str, source: str) -> list[str]:
+        """Dynamically load ``source`` as module ``name`` (§2).
+
+        Returns the wire names of the classes the module exported.
+        """
+        loaded = self._server.loader.load_source(name, source)
+        if self._server.tracer.active:
+            from repro.trace import KIND_LOAD
+
+            self._server.tracer.point(
+                KIND_LOAD, name, detail=",".join(loaded.class_names)
+            )
+        return loaded.class_names
+
+    def create(self, class_name: str, version: int) -> Handle:
+        """Instantiate a loaded class and export the instance.
+
+        ``version`` 0 means the latest loaded version.  Loaded classes
+        are instantiated with no arguments; constructor state comes
+        from later calls.
+        """
+        entry = self._server.loader.classes.resolve(
+            class_name, version if version > 0 else None
+        )
+        self._server.isolator.check(entry.class_name, entry.version)
+        try:
+            instance = entry.cls()
+        except Exception as exc:
+            raise LoaderError(
+                f"constructor of {class_name!r} v{entry.version} failed: {exc}"
+            ) from exc
+        return self._server.exports.export(
+            instance, spec=interface_spec(entry.cls), version=entry.version
+        )
+
+    def lookup(self, name: str) -> Handle:
+        """Resolve a published name to a handle (the server's root directory)."""
+        handle = self._server.published.get(name)
+        if handle is None:
+            raise LoaderError(f"nothing published under {name!r}")
+        return handle
+
+    def publish(self, name: str, target: Handle) -> bool:
+        """Publish an existing object under a name for other clients.
+
+        Returns True so the call is synchronous: by the time the
+        client's ``publish`` returns, other clients can look it up.
+        """
+        self._server.exports.table.descriptor(target)  # validates
+        self._server.published[name] = target
+        return True
+
+    def release(self, target: Handle) -> bool:
+        """Revoke an exported object: later use of any copy of the
+        handle is stale (§3.5.1's validity checking doing its job).
+
+        Objects are never revoked implicitly — they may be shared
+        (published, handed to other clients) — so reclamation is an
+        explicit decision by whoever owns the abstraction.
+        """
+        self._server.exports.revoke(target)
+        for name, published in list(self._server.published.items()):
+            if published == target:
+                del self._server.published[name]
+        return True
+
+    def list_classes(self) -> list[str]:
+        return sorted({entry.class_name for entry in self._server.loader.classes})
+
+    def list_modules(self) -> list[str]:
+        return self._server.loader.module_names
+
+    def versions_of(self, class_name: str) -> list[int]:
+        return self._server.loader.classes.versions_of(class_name)
+
+    def sync(self) -> int:
+        """The synchronization procedure of §3.4.
+
+        By the time this synchronous call executes, every batched call
+        sent before it has already executed (in-order channel, in-order
+        dispatch).  Returns the server's call count as a fence value.
+        """
+        return self._server.calls_executed
+
+    def stats(self) -> dict[str, int]:
+        """Server health counters (calls, sessions, modules, upcalls, faults)."""
+        server = self._server
+        return {
+            "calls_executed": server.calls_executed,
+            "sessions": server.session_count,
+            "modules_loaded": server.loader.modules_loaded,
+            "classes_loaded": len(server.loader.classes),
+            "objects_exported": len(server.exports.table),
+            "upcalls_sent": sum(s.upcalls_sent for s in server.sessions.values()),
+            "async_call_errors": len(server.async_errors),
+            "fault_records": len(server.isolator.fault_records),
+        }
+
+    def register_error_handler(self, handler) -> None:
+        """Register for §4.3 error-reporting upcalls.
+
+        ``handler(class_name, version, error_type, message)`` — over a
+        session this arrives as a RemoteUpcall; queued reports replay
+        to the first registrant.
+        """
+        self._server.isolator.error_port.register(handler)
+        self._server.schedule_fault_replay()

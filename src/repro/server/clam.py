@@ -1,0 +1,231 @@
+"""The CLAM server runtime (paper §2, §4.3, §4.4).
+
+Assembles every statically linked service the paper lists — dynamic
+loading, version control, thread scheduling and synchronization, and
+distributed upcalls — around per-client sessions.  Application code
+enters either dynamically (clients load modules) or by the embedding
+program exporting objects before :meth:`ClamServer.start` (the paper's
+server creates its screen and base window the same way).
+
+Connection handling: the first frame on every connection is a HELLO.
+``role=RPC`` creates a session (the server answers with a HELLO
+carrying the session token); ``role=UPCALL`` attaches the second
+stream of §4.4 to the session named by its token.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import (
+    ClamError,
+    ConnectionClosedError,
+    ProtocolError,
+)
+from repro.bundlers.base import BundlerRegistry
+from repro.bundlers.auto import structural_resolver
+from repro.handles import Descriptor, Handle
+from repro.ipc import Connection, Listener, MessageChannel, serve
+from repro.loader import FaultIsolator, ModuleLoader
+from repro.rpc import Exports
+from repro.server.builtin import BUILTIN_HANDLE, BuiltinImpl, ClamServerInterface
+from repro.server.session import Session
+from repro.stubs import InterfaceSpec, Skeleton, interface_spec
+from repro.tasks import TaskSystem
+from repro.trace import KIND_FAULT, Tracer
+from repro.wire import (
+    PROTOCOL_VERSION,
+    ChannelRole,
+    HelloMessage,
+    UpcallExceptionMessage,
+    UpcallReplyMessage,
+)
+
+
+class ClamServer:
+    """A running CLAM server: listeners, sessions, loaded modules."""
+
+    def __init__(
+        self,
+        *,
+        quarantine_after: int = 1,
+        pool_size: int = 32,
+        max_active_upcalls: int = 1,
+        upcall_timeout: float | None = None,
+        registry: BundlerRegistry | None = None,
+    ):
+        if max_active_upcalls < 1:
+            raise ValueError("max_active_upcalls must be >= 1")
+        if registry is None:
+            registry = BundlerRegistry()
+            registry.add_resolver(structural_resolver)
+        #: §4.4 relaxation knob: concurrent upcalls admitted per client.
+        self.max_active_upcalls = max_active_upcalls
+        #: Bound on how long a server task stays blocked in a
+        #: distributed upcall (§4.3); None = wait forever (the paper).
+        self.upcall_timeout = upcall_timeout
+        #: Sessions derive their registries from this one.
+        self.base_registry = registry
+        self.exports = Exports()
+        self.loader = ModuleLoader()
+        self.isolator = FaultIsolator(quarantine_after=quarantine_after)
+        self.tasks = TaskSystem("clam-server", pool_size=pool_size)
+        self.published: dict[str, Handle] = {}
+        self.sessions: dict[str, Session] = {}
+        self.builtin = BuiltinImpl(self)
+        self.builtin_spec: InterfaceSpec = interface_spec(ClamServerInterface)
+        #: Measurement surface (see repro.trace); zero cost unsubscribed.
+        self.tracer = Tracer()
+        self.async_errors: list[tuple[str, Exception]] = []
+        self._listeners: list[Listener] = []
+        self._retired_calls = 0
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    async def start(self, url: str) -> str:
+        """Listen at ``url``; returns the bound address (useful for port 0)."""
+        listener = await serve(url, self._on_connection)
+        self._listeners.append(listener)
+        return listener.address
+
+    async def shutdown(self) -> None:
+        """Stop listening, drop sessions, cancel tasks."""
+        for listener in self._listeners:
+            await listener.close()
+        self._listeners.clear()
+        for session in list(self.sessions.values()):
+            await self._retire_session(session)
+        await self.tasks.shutdown()
+
+    async def __aenter__(self) -> "ClamServer":
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.shutdown()
+
+    # -- metrics ------------------------------------------------------------------------
+
+    @property
+    def calls_executed(self) -> int:
+        return self._retired_calls + sum(
+            s.dispatcher.calls_executed for s in self.sessions.values()
+        )
+
+    @property
+    def session_count(self) -> int:
+        return len(self.sessions)
+
+    # -- host-side exporting --------------------------------------------------------------
+
+    def publish(self, name: str, obj: Any, *, spec: InterfaceSpec | None = None) -> Handle:
+        """Export a host object and publish it in the name directory.
+
+        This is how an embedding program provides base objects — the
+        paper's server creates its screen instance S and base window
+        BaseW before clients arrive (§4.2).
+        """
+        handle = self.exports.export(obj, spec=spec)
+        self.published[name] = handle
+        return handle
+
+    # -- connection handling --------------------------------------------------------------
+
+    async def _on_connection(self, conn: Connection) -> None:
+        channel = MessageChannel(conn)
+        hello = await channel.recv()
+        if not isinstance(hello, HelloMessage):
+            raise ProtocolError(f"expected HELLO, got {hello!r}")
+        if hello.protocol_version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version mismatch: client speaks "
+                f"{hello.protocol_version}, server speaks {PROTOCOL_VERSION}"
+            )
+        if hello.role is ChannelRole.RPC:
+            await self._run_rpc_channel(channel)
+        else:
+            await self._run_upcall_channel(channel, hello.session)
+
+    async def _run_rpc_channel(self, channel: MessageChannel) -> None:
+        session = Session(self)
+        session.rpc_channel = channel
+        session.dispatcher.set_builtin(
+            Skeleton(self.builtin, session.registry, spec=self.builtin_spec),
+            _builtin_descriptor(self.builtin),
+        )
+        self.sessions[session.token] = session
+        await channel.send(HelloMessage(role=ChannelRole.RPC, session=session.token))
+        try:
+            while True:
+                message = await channel.recv()
+                if isinstance(message, (UpcallReplyMessage, UpcallExceptionMessage)):
+                    # Single-stream client: its upcall replies share
+                    # the RPC stream (typed messages make this safe).
+                    session.upcall_reply(message)
+                else:
+                    await session.dispatcher.handle_message(message, channel)
+        except ConnectionClosedError:
+            pass
+        finally:
+            await self._retire_session(session)
+
+    async def _run_upcall_channel(self, channel: MessageChannel, token: str) -> None:
+        session = self.sessions.get(token)
+        if session is None:
+            raise ProtocolError(f"upcall channel for unknown session {token[:8]}...")
+        await session.run_upcall_channel(channel)
+
+    async def _retire_session(self, session: Session) -> None:
+        if self.sessions.pop(session.token, None) is not None:
+            self._retired_calls += session.dispatcher.calls_executed
+            await session.close()
+
+    # -- dispatcher hooks (fault isolation, §4.3) ---------------------------------------------
+
+    def _is_loaded_class(self, descriptor: Descriptor) -> bool:
+        return descriptor.class_name in self.loader.classes
+
+    def guard_call(self, descriptor: Descriptor) -> None:
+        """Refuse calls into quarantined dynamically loaded classes."""
+        if self._is_loaded_class(descriptor):
+            self.isolator.check(descriptor.class_name, descriptor.version)
+
+    def call_failed(self, descriptor: Descriptor, method: str, exc: Exception) -> None:
+        """Catch error signals from loaded code and report them (§4.3).
+
+        Infrastructure errors (bad handles, bundling failures) are the
+        caller's problem and are not user-code faults.
+        """
+        if isinstance(exc, ClamError) or not self._is_loaded_class(descriptor):
+            return
+        record = self.isolator.record(
+            descriptor.class_name, descriptor.version, method, exc
+        )
+        if self.tracer.active:
+            self.tracer.point(
+                KIND_FAULT,
+                f"{descriptor.class_name}.{method}",
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+        # "A new task is created in the server that handles the error
+        # reporting.  This task will make an upcall ..."
+        self.tasks.spawn(self.isolator.report(record), name="fault-report")
+
+    def async_call_failed(self, call, exc: Exception) -> None:
+        """Failures of batched calls have nobody waiting; keep them visible."""
+        self.async_errors.append((call.method, exc))
+
+    def schedule_fault_replay(self) -> None:
+        """Replay queued fault reports to a newly registered handler."""
+        self.tasks.spawn(
+            self.isolator.error_port.replay_queued(), name="fault-replay"
+        )
+
+
+def _builtin_descriptor(builtin: BuiltinImpl) -> Descriptor:
+    return Descriptor(
+        oid=BUILTIN_HANDLE.oid,
+        class_name=ClamServerInterface.__clam_class__,
+        version=1,
+        tag=BUILTIN_HANDLE.tag,
+        obj=builtin,
+    )

@@ -1,0 +1,188 @@
+"""Per-client sessions: the two channels of §4.4.
+
+"So there are actually at most two channels of communication between
+each client and the server.  One channel is used for RPC requests
+from the client and the other is used for upcalls from the server.
+... CLAM provides separate unix streams for each communication
+channel."
+
+A :class:`Session` is created when a client's RPC channel says hello;
+the client then opens its upcall channel carrying the session token.
+The session owns:
+
+- the session bundler registry (child of the server's, plus the
+  session-bound procedure-pointer and object-pointer resolvers);
+- the per-session :class:`~repro.rpc.Dispatcher`;
+- the upcall sender implementing :class:`~repro.core.UpcallSender`,
+  with the §4.4 one-active-upcall-per-client gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import secrets
+from typing import TYPE_CHECKING
+
+from repro.errors import ConnectionClosedError, RemoteError, UpcallError
+from repro.core import install_server_callbacks
+from repro.ipc import MessageChannel
+from repro.rpc import Dispatcher, install_server_objects
+from repro.tasks import Slots
+from repro.wire import (
+    Message,
+    UpcallExceptionMessage,
+    UpcallMessage,
+    UpcallReplyMessage,
+)
+
+if TYPE_CHECKING:
+    from repro.server.clam import ClamServer
+
+
+class Session:
+    """One connected client: registry, dispatcher, upcall channel."""
+
+    def __init__(self, server: "ClamServer"):
+        self.server = server
+        self.token = secrets.token_hex(16)
+        self.registry = server.base_registry.child()
+        install_server_objects(self.registry, server.exports)
+        install_server_callbacks(self.registry, self)
+        self.dispatcher = Dispatcher(
+            self.registry,
+            exports=server.exports,
+            async_error=server.async_call_failed,
+            call_guard=server.guard_call,
+            call_failed=server.call_failed,
+            tracer=server.tracer,
+        )
+        self._upcall_channel: MessageChannel | None = None
+        self.rpc_channel: MessageChannel | None = None  # set by the server
+        # §4.4: "we allow only one upcall to be active per client
+        # process.  This limitation ... may be relaxed in future
+        # designs."  The relaxation is the server-wide
+        # max_active_upcalls knob; 1 is the paper's discipline.
+        self._upcall_slots = Slots(server.max_active_upcalls)
+        self._upcall_serials = itertools.count(1)
+        self._waiting: dict[int, asyncio.Future] = {}
+        self.upcalls_sent = 0
+
+    # -- upcall channel attachment -----------------------------------------------
+
+    @property
+    def has_upcall_channel(self) -> bool:
+        return self._upcall_channel is not None and not self._upcall_channel.closed
+
+    async def run_upcall_channel(self, channel: MessageChannel) -> None:
+        """Service the second stream (HELLO role=UPCALL already consumed).
+
+        Runs for the lifetime of the connection, feeding upcall replies
+        back to the server tasks blocked in :meth:`send_upcall`.
+        """
+        if self.has_upcall_channel:
+            raise UpcallError("session already has an upcall channel")
+        self._upcall_channel = channel
+        try:
+            while True:
+                message = await channel.recv()
+                self._dispatch_reply(message)
+        except ConnectionClosedError as exc:
+            self._fail_waiting(exc)
+        except Exception as exc:
+            self._fail_waiting(UpcallError(f"upcall channel corrupted: {exc}"))
+        finally:
+            self._upcall_channel = None
+
+    def _dispatch_reply(self, message: Message) -> None:
+        if isinstance(message, UpcallReplyMessage):
+            future = self._waiting.get(message.serial)
+            if future is not None and not future.done():
+                future.set_result(message.results)
+        elif isinstance(message, UpcallExceptionMessage):
+            future = self._waiting.get(message.serial)
+            if future is not None and not future.done():
+                future.set_exception(
+                    RemoteError(message.remote_type, message.message, message.traceback)
+                )
+        else:
+            self._fail_waiting(
+                UpcallError(f"unexpected message on upcall channel: {message!r}")
+            )
+
+    def _fail_waiting(self, exc: Exception) -> None:
+        for future in self._waiting.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._waiting.clear()
+
+    # -- UpcallSender protocol (what RUC objects call) ------------------------------
+
+    async def send_upcall(self, callback_id: int, args: bytes) -> bytes:
+        """Perform one distributed upcall to this client.
+
+        Blocks the calling server task until the client task finishes
+        (§4.3) and admits at most ``max_active_upcalls`` concurrent
+        upcalls per client (1 by default — the §4.4 discipline).
+
+        The upcall travels on the dedicated upcall channel when the
+        client opened one; a single-stream client (see
+        ``ClamClient.connect(channels="one")``) receives it multiplexed
+        onto its RPC stream.  In single-stream mode the upcall must
+        originate from a server *task* — an RPC handler awaiting an
+        upcall inline would block the very stream the reply arrives on.
+        """
+        channel = self._upcall_channel if self.has_upcall_channel else self.rpc_channel
+        if channel is None or channel.closed:
+            raise UpcallError(
+                "client has no channel for upcalls (neither a dedicated "
+                "upcall stream nor a live RPC stream)"
+            )
+        tracer = self.server.tracer
+        if tracer.active:
+            from repro.trace import KIND_UPCALL
+
+            with tracer.span(KIND_UPCALL, f"ruc-{callback_id}"):
+                return await self._send_upcall_locked(callback_id, args, channel)
+        return await self._send_upcall_locked(callback_id, args, channel)
+
+    async def _send_upcall_locked(self, callback_id: int, args: bytes, channel) -> bytes:
+        async with self._upcall_slots:
+            serial = next(self._upcall_serials)
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._waiting[serial] = future
+            self.upcalls_sent += 1
+            try:
+                await channel.send(
+                    UpcallMessage(serial=serial, ruc_id=callback_id, args=args)
+                )
+                timeout = self.server.upcall_timeout
+                if timeout is None:
+                    return await future
+                try:
+                    return await asyncio.wait_for(future, timeout)
+                except asyncio.TimeoutError:
+                    # A late reply will find no waiter and be dropped.
+                    raise UpcallError(
+                        f"client did not complete the upcall within "
+                        f"{timeout}s; releasing the server task (§4.3 "
+                        f"blocking bounded by upcall_timeout)"
+                    ) from None
+            finally:
+                self._waiting.pop(serial, None)
+
+    def upcall_reply(self, message: Message) -> None:
+        """Route an upcall reply that arrived on the RPC stream
+        (single-stream mode)."""
+        self._dispatch_reply(message)
+
+    # -- teardown -----------------------------------------------------------------------
+
+    async def close(self) -> None:
+        self._fail_waiting(ConnectionClosedError("session closed"))
+        if self._upcall_channel is not None:
+            await self._upcall_channel.close()
+            self._upcall_channel = None
+        if self.rpc_channel is not None:
+            await self.rpc_channel.close()
+            self.rpc_channel = None

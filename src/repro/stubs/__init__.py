@@ -1,0 +1,41 @@
+"""Stub generation from procedure declarations (paper §3.2, §3.4).
+
+"We integrated the RPC stub generator with the normal compiler,
+freeing the programmer from writing stub specifications in addition to
+the procedures themselves."  Here "the compiler" is run-time
+introspection: a remote interface is an ordinary Python class whose
+method annotations carry everything the stub generator needs —
+types, directions, and in-place bundlers via ``typing.Annotated``.
+
+- :class:`RemoteInterface` — base class marking a remotely callable
+  class; :func:`interface_spec` extracts its :class:`InterfaceSpec`.
+- :class:`MethodSignature` — one method's wire contract: how to bundle
+  a request, unbundle it, bundle a reply, unbundle it.
+- :class:`Ref` — an explicit cell for ``out``/``inout`` parameters
+  (Python has no reference parameters; the paper's own answer to
+  missing shared memory is to copy values back, which Ref makes
+  visible in the signature).
+- :func:`build_proxy` — the client stub: an object whose methods
+  bundle parameters and hand frames to a call endpoint.
+- :class:`Skeleton` — the server stub: unbundles a request, invokes
+  the implementation, bundles the reply.
+"""
+
+from repro.stubs.signature import BoundMethod, MethodSignature, ParamInfo, Ref
+from repro.stubs.interface import InterfaceSpec, RemoteInterface, interface_spec
+from repro.stubs.client import CallEndpoint, Proxy, build_proxy
+from repro.stubs.server import Skeleton
+
+__all__ = [
+    "BoundMethod",
+    "MethodSignature",
+    "ParamInfo",
+    "Ref",
+    "InterfaceSpec",
+    "RemoteInterface",
+    "interface_spec",
+    "CallEndpoint",
+    "Proxy",
+    "build_proxy",
+    "Skeleton",
+]

@@ -1,0 +1,132 @@
+"""Client stubs: proxies whose methods are remote calls (§3.4).
+
+"The stubs are used whenever a process makes a remote procedure call.
+... The client stub contains code to bundle each parameter to the
+procedure and code to unbundle any return value or result parameter."
+
+:func:`build_proxy` manufactures a proxy for an interface class.  The
+proxy's methods are ``async``: a method that returns a value (or has
+``out``/``inout`` parameters) performs a synchronous call; a method
+with no results is *posted* — handed to the endpoint's batch queue and
+flushed later (§3.4's asynchronous calls).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+from repro.errors import BundleError
+from repro.bundlers.base import BundlerRegistry
+from repro.handles import Handle
+from repro.stubs.interface import InterfaceSpec, interface_spec
+from repro.stubs.signature import MethodSignature, Ref
+
+
+class CallEndpoint(Protocol):
+    """What a proxy needs from the RPC runtime."""
+
+    @property
+    def registry(self) -> BundlerRegistry:
+        """Registry carrying this endpoint's pointer resolvers."""
+        ...
+
+    async def call(self, handle: Handle, method: str, args: bytes) -> bytes:
+        """Synchronous call: flushes pending batch, waits for the reply."""
+        ...
+
+    async def post(self, handle: Handle, method: str, args: bytes) -> None:
+        """Asynchronous call: queue for batching; no reply will come."""
+        ...
+
+
+class Proxy:
+    """Base class of generated proxies.
+
+    The handle is the capability the server issued; every method call
+    travels with it, and bundling a proxy as an object-pointer
+    parameter sends the handle back in (§3.5.1).
+    """
+
+    _clam_spec_: InterfaceSpec
+
+    def __init__(self, endpoint: CallEndpoint, handle: Handle):
+        self._clam_endpoint_ = endpoint
+        self._clam_handle_ = handle
+
+    def __repr__(self) -> str:
+        return (
+            f"<Proxy {self._clam_spec_.class_name} v{self._clam_spec_.version} "
+            f"{self._clam_handle_!r}>"
+        )
+
+
+def _bind_arguments(signature: MethodSignature, args: tuple, kwargs: dict) -> dict[str, Any]:
+    """Map call-site arguments onto declared parameter names."""
+    params = signature.params
+    if len(args) > len(params):
+        raise BundleError(
+            f"{signature.name}: {len(args)} positional arguments for "
+            f"{len(params)} parameters"
+        )
+    values: dict[str, Any] = {}
+    for param, value in zip(params, args):
+        values[param.name] = value
+    for name, value in kwargs.items():
+        if name in values:
+            raise BundleError(f"{signature.name}: duplicate argument {name!r}")
+        if name not in {p.name for p in params}:
+            raise BundleError(f"{signature.name}: unknown argument {name!r}")
+        values[name] = value
+    missing = [p.name for p in params if p.name not in values]
+    if missing:
+        raise BundleError(f"{signature.name}: missing arguments {missing}")
+    for param in params:
+        if param.is_out and not isinstance(values[param.name], Ref):
+            raise BundleError(
+                f"{signature.name}: parameter {param.name!r} is "
+                f"{param.direction.value} — pass a Ref"
+            )
+    return values
+
+
+def _make_method(signature: MethodSignature):
+    async def remote_method(self: Proxy, *args: Any, **kwargs: Any) -> Any:
+        endpoint = self._clam_endpoint_
+        values = _bind_arguments(signature, args, kwargs)
+        bound = signature.bind(endpoint.registry)
+        payload = bound.bundle_request(values)
+        if signature.is_async_eligible:
+            await endpoint.post(self._clam_handle_, signature.name, payload)
+            return None
+        reply = await endpoint.call(self._clam_handle_, signature.name, payload)
+        return bound.unbundle_reply(reply, values)
+
+    remote_method.__name__ = signature.name
+    remote_method.__qualname__ = f"Proxy.{signature.name}"
+    remote_method.__doc__ = f"Remote call of {signature.name!r} (generated client stub)."
+    return remote_method
+
+
+_PROXY_CLASS_CACHE: dict[type, type] = {}
+
+
+def proxy_class_for(iface: type) -> type:
+    """Generate (and cache) the proxy class for an interface class."""
+    cached = _PROXY_CLASS_CACHE.get(iface)
+    if cached is not None:
+        return cached
+    spec = interface_spec(iface)
+    namespace: dict[str, Any] = {
+        "_clam_spec_": spec,
+        "__doc__": f"Generated client stub for {spec.class_name} v{spec.version}.",
+    }
+    for name, signature in spec.methods.items():
+        namespace[name] = _make_method(signature)
+    proxy_cls = type(f"{iface.__name__}Proxy", (Proxy,), namespace)
+    _PROXY_CLASS_CACHE[iface] = proxy_cls
+    return proxy_cls
+
+
+def build_proxy(iface: type, endpoint: CallEndpoint, handle: Handle) -> Proxy:
+    """Instantiate the generated proxy for ``iface`` bound to ``handle``."""
+    return proxy_class_for(iface)(endpoint, handle)

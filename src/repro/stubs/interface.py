@@ -1,0 +1,116 @@
+"""Remote interfaces: classes whose methods are remote procedures (§2, §3).
+
+CLAM's dynamically loaded modules "are C++ classes ... accessed by
+clients using remote procedure calls."  A :class:`RemoteInterface`
+subclass plays that role: every public method is a remote procedure
+whose stubs are derived from its annotations.
+
+Class-level knobs:
+
+- ``__clam_class__`` — the wire-visible class name (defaults to the
+  Python class name),
+- ``__clam_version__`` — the version number stored in object
+  descriptors and used by the loader's version control (§3.5.1, §2),
+- ``__clam_local__`` — names of public methods that are host-side
+  only and must not become remote procedures (wiring methods an
+  embedding program calls before the server starts).
+
+Methods named with a leading underscore are implementation details and
+are not exported — the usual Python convention doing the work of C++
+``private``.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import BadCallError, BundleError
+from repro.stubs.signature import MethodSignature
+
+
+class RemoteInterface:
+    """Base class for remotely callable classes.
+
+    Subclass it for interface *definitions* (methods may be stubs with
+    ``...`` bodies, used by clients to build proxies) and for
+    *implementations* (real bodies, loaded into the server).  Both
+    sides derive the same wire contract from the same declarations —
+    the paper's single-source-of-truth property.
+    """
+
+    __clam_class__: str
+    __clam_version__: int = 1
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        if "__clam_class__" not in cls.__dict__:
+            cls.__clam_class__ = cls.__name__
+
+
+@dataclass
+class InterfaceSpec:
+    """Everything the stub generator derived from one interface."""
+
+    class_name: str
+    version: int
+    methods: dict[str, MethodSignature] = field(default_factory=dict)
+
+    def method(self, name: str) -> MethodSignature:
+        signature = self.methods.get(name)
+        if signature is None:
+            raise BadCallError(
+                f"class {self.class_name!r} (version {self.version}) has no "
+                f"remote method {name!r}"
+            )
+        return signature
+
+
+def _declaration_of(cls: type, name: str, fallback: Any) -> Any:
+    """Find the annotated *declaration* of a method in the MRO.
+
+    Implementations override interface methods without repeating the
+    annotations (the declaration is the single source of truth, as in
+    the paper where the stub comes from the procedure declaration);
+    the wire contract is derived from the nearest ancestor that
+    declares a return annotation.
+    """
+    for klass in cls.__mro__:
+        fn = klass.__dict__.get(name)
+        if fn is not None and inspect.isfunction(fn):
+            if "return" in getattr(fn, "__annotations__", {}):
+                return fn
+    return fallback
+
+
+_SPEC_CACHE: dict[type, InterfaceSpec] = {}
+
+
+def interface_spec(cls: type) -> InterfaceSpec:
+    """Derive (and cache) the :class:`InterfaceSpec` of an interface class."""
+    cached = _SPEC_CACHE.get(cls)
+    if cached is not None:
+        return cached
+    if not (isinstance(cls, type) and issubclass(cls, RemoteInterface)):
+        raise BundleError(f"{cls!r} is not a RemoteInterface subclass")
+
+    local_names: set[str] = set()
+    for klass in cls.__mro__:
+        local_names.update(klass.__dict__.get("__clam_local__", ()))
+
+    methods: dict[str, MethodSignature] = {}
+    for name, member in inspect.getmembers(cls, predicate=inspect.isfunction):
+        if name.startswith("_") or name in local_names:
+            continue
+        methods[name] = MethodSignature.from_callable(
+            _declaration_of(cls, name, member), name=name
+        )
+
+    spec = InterfaceSpec(
+        class_name=cls.__clam_class__,
+        version=cls.__clam_version__,
+        methods=methods,
+    )
+    _SPEC_CACHE[cls] = spec
+    return spec

@@ -1,0 +1,53 @@
+"""Server stubs: skeletons that unbundle, invoke, and rebundle (§3.4).
+
+"The server stub is complementary" — a :class:`Skeleton` wraps one
+implementation object and performs the server half of each call:
+unbundle the request into parameter values (materializing Refs for
+``out``/``inout``), invoke the method, bundle the reply.
+
+Implementations may be synchronous or ``async`` — a server-side layer
+that itself performs distributed upcalls must be able to await them.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any
+
+from repro.errors import BadCallError
+from repro.bundlers.base import BundlerRegistry
+from repro.stubs.interface import InterfaceSpec, interface_spec
+
+
+class Skeleton:
+    """The generated server stub for one implementation object."""
+
+    def __init__(self, impl: Any, registry: BundlerRegistry, spec: InterfaceSpec | None = None):
+        self.impl = impl
+        self.registry = registry
+        self.spec = spec or interface_spec(type(impl))
+
+    async def dispatch(self, method: str, args: bytes) -> bytes | None:
+        """Execute one inbound call.
+
+        Returns the bundled reply, or ``None`` for asynchronous
+        (batched) calls, which send nothing back.  Implementation
+        exceptions propagate to the RPC dispatcher, which converts
+        them into exception messages.
+        """
+        signature = self.spec.method(method)
+        bound = signature.bind(self.registry)
+        values = bound.unbundle_request(args)
+
+        fn = getattr(self.impl, method, None)
+        if fn is None or not callable(fn):
+            raise BadCallError(
+                f"{self.spec.class_name} implementation lacks method {method!r}"
+            )
+        result = fn(**values)
+        if inspect.isawaitable(result):
+            result = await result
+
+        if signature.is_async_eligible:
+            return None
+        return bound.bundle_reply(result, values)

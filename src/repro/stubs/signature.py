@@ -1,0 +1,332 @@
+"""Method signatures: the wire contract the compiler derives (§3.2, §3.4).
+
+For each remote procedure the compiler generates "a pair of stubs, one
+for clients and one for the server ... The client stub contains code
+to bundle each parameter to the procedure and code to unbundle any
+return value or result parameter.  The server stub is complementary."
+:class:`MethodSignature` captures that contract once;
+:meth:`MethodSignature.bind` resolves its bundlers against a registry
+(client and server each have their own, carrying their object-pointer
+and procedure-pointer resolvers), and :class:`BoundMethod` performs
+the four marshalling operations.
+
+Wire layout:
+
+- *request*: each ``in`` parameter's value, then each ``inout``
+  parameter's current value, in declaration order (interleaved — the
+  order is declaration order across both kinds);
+- *reply*: the return value (if the method returns one), then each
+  ``out``/``inout`` parameter's final value in declaration order.
+
+A method is *asynchronous-eligible* — batchable per §3.4 — iff it has
+no return value and no ``out``/``inout`` parameters.
+"""
+
+from __future__ import annotations
+
+import inspect
+import typing
+from dataclasses import dataclass, field
+from typing import Any, Generic, TypeVar
+
+from repro.errors import BundleError
+from repro.bundlers.base import Bundler, BundlerRegistry, run_bundler
+from repro.bundlers.modes import Direction, ParamMarker
+from repro.xdr import XdrStream
+
+T = TypeVar("T")
+
+
+class Ref(Generic[T]):
+    """A mutable cell for ``out``/``inout`` parameters.
+
+    Python has no reference parameters, and neither does an RPC system
+    without shared memory (§3.1); CLAM copies result parameters back.
+    ``Ref`` makes the copy-back explicit: the caller passes
+    ``Ref(initial)`` and reads ``ref.value`` after the call; the server
+    implementation receives the ``Ref`` and assigns ``ref.value``.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: T | None = None):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Ref({self.value!r})"
+
+
+@dataclass
+class ParamInfo:
+    """One declared parameter: name, base type, direction, bundler spec."""
+
+    name: str
+    base_type: Any
+    direction: Direction
+    inplace_bundler: Bundler | None
+    extra_params: tuple[str, ...]
+
+    @property
+    def is_in(self) -> bool:
+        return self.direction in (Direction.IN, Direction.INOUT)
+
+    @property
+    def is_out(self) -> bool:
+        return self.direction in (Direction.OUT, Direction.INOUT)
+
+
+def _unwrap(annotation: Any) -> tuple[Any, ParamMarker | None]:
+    """Split ``Annotated[T, marker]`` into (T, marker)."""
+    if typing.get_origin(annotation) is typing.Annotated:
+        args = typing.get_args(annotation)
+        base = args[0]
+        markers = [m for m in args[1:] if isinstance(m, ParamMarker)]
+        if len(markers) > 1:
+            raise BundleError(f"multiple ParamMarkers on {annotation!r}")
+        return base, (markers[0] if markers else None)
+    return annotation, None
+
+
+def _unwrap_ref(annotation: Any, param_name: str) -> Any:
+    """``out``/``inout`` parameters must be declared ``Ref[T]``; return T."""
+    if typing.get_origin(annotation) is Ref:
+        (inner,) = typing.get_args(annotation)
+        return inner
+    raise BundleError(
+        f"parameter {param_name!r} is out/inout and must be annotated "
+        f"Ref[T] (Python has no reference parameters; see stubs.Ref)"
+    )
+
+
+@dataclass
+class MethodSignature:
+    """The derived wire contract of one remote method."""
+
+    name: str
+    params: list[ParamInfo]
+    return_type: Any
+    return_inplace_bundler: Bundler | None
+
+    _bound_cache: dict[int, "BoundMethod"] = field(default_factory=dict, repr=False)
+
+    @property
+    def returns_value(self) -> bool:
+        return self.return_type is not type(None)
+
+    @property
+    def has_out_params(self) -> bool:
+        return any(p.is_out for p in self.params)
+
+    @property
+    def is_async_eligible(self) -> bool:
+        """True when the call can be delayed and batched (§3.4)."""
+        return not self.returns_value and not self.has_out_params
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_callable(cls, fn: Any, *, name: str | None = None, skip_first: bool = True) -> "MethodSignature":
+        """Derive a signature from a function's annotations.
+
+        ``skip_first`` drops ``self`` for methods.  Every parameter and
+        the return must be annotated — the stub generator has nothing
+        to go on otherwise (the paper's compiler had the full C++
+        declaration).
+        """
+        sig = inspect.signature(fn)
+        hints = typing.get_type_hints(fn, include_extras=True)
+        parameters = list(sig.parameters.values())
+        if skip_first and parameters and parameters[0].name in ("self", "cls"):
+            parameters = parameters[1:]
+
+        params: list[ParamInfo] = []
+        seen_in: set[str] = set()
+        for parameter in parameters:
+            if parameter.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            ):
+                raise BundleError(
+                    f"{fn.__qualname__}: *args/**kwargs cannot be bundled; "
+                    f"declare explicit parameters"
+                )
+            if parameter.name not in hints:
+                raise BundleError(
+                    f"{fn.__qualname__}: parameter {parameter.name!r} has no "
+                    f"type annotation; the stub generator needs the type"
+                )
+            base, marker = _unwrap(hints[parameter.name])
+            direction = marker.direction if marker else Direction.IN
+            if direction in (Direction.OUT, Direction.INOUT):
+                base = _unwrap_ref(base, parameter.name)
+            extra = marker.extra_params if marker else ()
+            for extra_name in extra:
+                if extra_name not in seen_in:
+                    raise BundleError(
+                        f"{fn.__qualname__}: bundler for {parameter.name!r} "
+                        f"references {extra_name!r}, which is not an earlier "
+                        f"'in' parameter"
+                    )
+            params.append(
+                ParamInfo(
+                    name=parameter.name,
+                    base_type=base,
+                    direction=direction,
+                    inplace_bundler=marker.bundler if marker else None,
+                    extra_params=extra,
+                )
+            )
+            if direction in (Direction.IN, Direction.INOUT):
+                seen_in.add(parameter.name)
+
+        if "return" not in hints:
+            raise BundleError(
+                f"{fn.__qualname__}: missing return annotation (use -> None "
+                f"for procedures)"
+            )
+        return_base, return_marker = _unwrap(hints["return"])
+        if return_base is None:
+            return_base = type(None)
+        if return_marker and return_marker.direction is not Direction.IN:
+            raise BundleError(f"{fn.__qualname__}: return values cannot be out/inout")
+        return cls(
+            name=name or fn.__name__,
+            params=params,
+            return_type=return_base,
+            return_inplace_bundler=return_marker.bundler if return_marker else None,
+        )
+
+    def bind(self, registry: BundlerRegistry) -> "BoundMethod":
+        """Resolve bundlers against ``registry`` (cached per registry).
+
+        The cache keys on the registry's never-reused ``uid`` — keying
+        on ``id()`` would let a dead registry's bundlers leak into a
+        new registry allocated at the same address.
+        """
+        key = registry.uid
+        bound = self._bound_cache.get(key)
+        if bound is None:
+            bound = BoundMethod(self, registry)
+            self._bound_cache[key] = bound
+        return bound
+
+
+class BoundMethod:
+    """A signature with bundlers resolved: performs the marshalling.
+
+    In-place bundlers win over registry lookups, preserving §3.2's
+    precedence rule.
+    """
+
+    def __init__(self, signature: MethodSignature, registry: BundlerRegistry):
+        self.signature = signature
+        self._param_bundlers: dict[str, Bundler] = {}
+        for param in signature.params:
+            bundler = param.inplace_bundler or registry.bundler_for(param.base_type)
+            self._param_bundlers[param.name] = bundler
+        if signature.returns_value:
+            self._return_bundler = (
+                signature.return_inplace_bundler
+                or registry.bundler_for(signature.return_type)
+            )
+        else:
+            self._return_bundler = None
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _extras(self, param: ParamInfo, values: dict[str, Any]) -> tuple[Any, ...]:
+        return tuple(values[name] for name in param.extra_params)
+
+    # -- request side ----------------------------------------------------------------
+
+    def bundle_request(self, values: dict[str, Any]) -> bytes:
+        """Client stub, outbound: bundle in/inout values by name."""
+        stream = XdrStream.encoder()
+        for param in self.signature.params:
+            if not param.is_in:
+                continue
+            value = values[param.name]
+            if param.direction is Direction.INOUT:
+                if not isinstance(value, Ref):
+                    raise BundleError(f"inout parameter {param.name!r} needs a Ref")
+                value = value.value
+            run_bundler(
+                self._param_bundlers[param.name],
+                stream,
+                value,
+                *self._extras(param, values),
+            )
+        return stream.getvalue()
+
+    def unbundle_request(self, data: bytes) -> dict[str, Any]:
+        """Server stub, inbound: recover the parameter dictionary.
+
+        ``out`` parameters materialize as empty Refs, ``inout`` as Refs
+        holding the sent value — ready to hand to the implementation.
+        """
+        stream = XdrStream.decoder(data)
+        values: dict[str, Any] = {}
+        for param in self.signature.params:
+            if param.direction is Direction.OUT:
+                values[param.name] = Ref()
+                continue
+            value = run_bundler(
+                self._param_bundlers[param.name],
+                stream,
+                None,
+                *self._extras(param, values),
+            )
+            if param.direction is Direction.INOUT:
+                value = Ref(value)
+            values[param.name] = value
+        stream.expect_exhausted()
+        return values
+
+    # -- reply side -------------------------------------------------------------------
+
+    def bundle_reply(self, result: Any, values: dict[str, Any]) -> bytes:
+        """Server stub, outbound: return value then out/inout finals."""
+        stream = XdrStream.encoder()
+        plain = {
+            name: (v.value if isinstance(v, Ref) else v) for name, v in values.items()
+        }
+        if self._return_bundler is not None:
+            run_bundler(self._return_bundler, stream, result)
+        for param in self.signature.params:
+            if not param.is_out:
+                continue
+            ref = values[param.name]
+            if not isinstance(ref, Ref):
+                raise BundleError(f"out parameter {param.name!r} lost its Ref")
+            run_bundler(
+                self._param_bundlers[param.name],
+                stream,
+                ref.value,
+                *self._extras(param, plain),
+            )
+        return stream.getvalue()
+
+    def unbundle_reply(self, data: bytes, values: dict[str, Any]) -> Any:
+        """Client stub, inbound: return value; writes out/inout Refs in place."""
+        stream = XdrStream.decoder(data)
+        plain = {
+            name: (v.value if isinstance(v, Ref) else v) for name, v in values.items()
+        }
+        result = None
+        if self._return_bundler is not None:
+            result = run_bundler(self._return_bundler, stream, None)
+        for param in self.signature.params:
+            if not param.is_out:
+                continue
+            final = run_bundler(
+                self._param_bundlers[param.name],
+                stream,
+                None,
+                *self._extras(param, plain),
+            )
+            ref = values[param.name]
+            if not isinstance(ref, Ref):
+                raise BundleError(f"out parameter {param.name!r} needs a Ref")
+            ref.value = final
+        stream.expect_exhausted()
+        return result

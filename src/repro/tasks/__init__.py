@@ -1,0 +1,34 @@
+"""Cooperative tasks — CLAM's lightweight processes (paper §4.3).
+
+CLAM "uses lightweight processes, called tasks, to create asynchrony
+in the server and clients. ... Tasks are non-preemptive, but a task
+can voluntarily block itself by waiting on a specific event."  This
+package provides that model on the asyncio event loop, which is
+exactly a non-preemptive user-level thread system:
+
+- :class:`Task` — a schedulable activity with a lifecycle
+  (``CREATED → RUNNING ⇄ BLOCKED → DONE | FAILED | CANCELLED``).
+- :class:`Event` — the voluntary blocking point; ``await event.wait()``
+  blocks the task, ``event.fire()`` reactivates it.
+- :class:`TaskPool` — task *reuse*: "Tasks are reused, instead of
+  being newly created on each input event to reduce overhead" (§4.4).
+- :class:`TaskSystem` — a per-process registry used by the server and
+  client runtimes to spawn, enumerate, and shut down tasks.
+"""
+
+from repro.tasks.task import Task, TaskState, current_task
+from repro.tasks.sync import Event, Gate, Mailbox, Slots
+from repro.tasks.pool import TaskPool
+from repro.tasks.scheduler import TaskSystem
+
+__all__ = [
+    "Task",
+    "TaskState",
+    "current_task",
+    "Event",
+    "Gate",
+    "Mailbox",
+    "Slots",
+    "TaskPool",
+    "TaskSystem",
+]

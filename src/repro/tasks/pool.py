@@ -1,0 +1,126 @@
+"""Task reuse pool (paper §4.4).
+
+"Tasks are reused, instead of being newly created on each input event
+to reduce overhead."  A :class:`TaskPool` keeps idle worker tasks
+around; :meth:`submit` hands a job to an idle worker when one exists
+and only spawns a new worker when none is free (up to ``max_tasks``).
+
+The pool counts spawned workers versus reused dispatches so the
+benchmark suite can quantify the design choice (see
+``benchmarks/test_tasks.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+from repro.errors import TaskError
+from repro.tasks.sync import Mailbox
+from repro.tasks.task import Task
+
+Job = Callable[[], Awaitable[Any]]
+
+
+class TaskPool:
+    """A pool of reusable worker tasks.
+
+    Jobs are zero-argument coroutine functions.  Results are returned
+    through the future :meth:`submit` hands back; a job's exception is
+    delivered there too and never kills the worker.
+    """
+
+    def __init__(self, max_tasks: int = 32, name: str = "pool"):
+        if max_tasks < 1:
+            raise TaskError("max_tasks must be >= 1")
+        self._max_tasks = max_tasks
+        self._name = name
+        self._mailbox: Mailbox[tuple[Job, asyncio.Future]] = Mailbox()
+        self._workers: list[Task] = []
+        self._idle = 0
+        self._spawned = 0
+        self._dispatched = 0
+        self._closed = False
+
+    # -- metrics ---------------------------------------------------------------
+
+    @property
+    def workers_spawned(self) -> int:
+        """Workers ever created; stays flat once the pool warms up."""
+        return self._spawned
+
+    @property
+    def jobs_dispatched(self) -> int:
+        return self._dispatched
+
+    @property
+    def jobs_reusing_a_task(self) -> int:
+        """Dispatches that did not require spawning a worker."""
+        return self._dispatched - self._spawned
+
+    @property
+    def worker_count(self) -> int:
+        return sum(1 for w in self._workers if w.alive)
+
+    # -- operation --------------------------------------------------------------
+
+    def submit(self, job: Job) -> asyncio.Future:
+        """Queue ``job``; returns a future for its result."""
+        if self._closed:
+            raise TaskError(f"{self._name} is closed")
+        future = asyncio.get_running_loop().create_future()
+        self._dispatched += 1
+        self._mailbox.post((job, future))
+        if self._idle == 0 and len(self._workers) < self._max_tasks:
+            self._spawn_worker()
+        return future
+
+    async def run(self, job: Job) -> Any:
+        """Submit and await in one step."""
+        return await self.submit(job)
+
+    def _spawn_worker(self) -> None:
+        self._spawned += 1
+        worker = Task.spawn(self._worker_loop(), name=f"{self._name}-worker-{self._spawned}")
+        self._workers.append(worker)
+
+    async def _worker_loop(self) -> None:
+        while True:
+            self._idle += 1
+            try:
+                job, future = await self._mailbox.take()
+            except EOFError:
+                return
+            finally:
+                self._idle -= 1
+            try:
+                result = await job()
+            except asyncio.CancelledError:
+                if not future.done():
+                    future.cancel()
+                raise
+            except Exception as exc:
+                if not future.done():
+                    future.set_exception(exc)
+                    future.exception()  # joined via the future; silence the loop
+            else:
+                if not future.done():
+                    future.set_result(result)
+
+    async def close(self) -> None:
+        """Stop accepting jobs, let queued jobs finish, retire workers."""
+        if self._closed:
+            return
+        self._closed = True
+        self._mailbox.close()
+        for worker in self._workers:
+            try:
+                await worker.result()
+            except Exception:
+                pass
+
+    async def __aenter__(self) -> "TaskPool":
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()

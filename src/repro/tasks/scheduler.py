@@ -1,0 +1,56 @@
+"""Per-process task registry used by the server and client runtimes.
+
+The CLAM server "contains classes to support ... thread scheduling and
+synchronization" (§2).  :class:`TaskSystem` is that class here: a
+registry through which the runtimes spawn their long-lived tasks (RPC
+readers, upcall handlers, input pumps) and through which shutdown can
+find and cancel everything that is still alive.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Coroutine
+
+from repro.tasks.pool import TaskPool
+from repro.tasks.task import Task, TaskState
+
+
+class TaskSystem:
+    """Spawns and tracks tasks; owns the input-event task pool."""
+
+    def __init__(self, name: str = "clam", *, pool_size: int = 32):
+        self.name = name
+        self._tasks: list[Task] = []
+        self._pool = TaskPool(max_tasks=pool_size, name=f"{name}-events")
+
+    def spawn(self, coro: Coroutine[Any, Any, Any], name: str | None = None) -> Task:
+        """Start a tracked task."""
+        task = Task.spawn(coro, name=f"{self.name}.{name}" if name else None)
+        self._tasks.append(task)
+        self._reap()
+        return task
+
+    @property
+    def pool(self) -> TaskPool:
+        """The reusable-task pool for input events (§4.4)."""
+        return self._pool
+
+    def alive_tasks(self) -> list[Task]:
+        return [t for t in self._tasks if t.alive]
+
+    def blocked_tasks(self) -> list[Task]:
+        return [t for t in self._tasks if t.state is TaskState.BLOCKED]
+
+    def _reap(self) -> None:
+        # Bound the registry: drop completed tasks once it grows.
+        if len(self._tasks) > 256:
+            self._tasks = [t for t in self._tasks if t.alive]
+
+    async def shutdown(self) -> None:
+        """Cancel every live task and close the pool."""
+        await self._pool.close()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            await task.wait_cancelled()
+        self._tasks.clear()

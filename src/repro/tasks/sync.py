@@ -1,0 +1,178 @@
+"""Blocking and resumption primitives for tasks (paper §4.3).
+
+"A task can voluntarily block itself by waiting on a specific event.
+The task is reactivated when that event occurs."  :class:`Event` is
+that primitive; it also flips the waiting :class:`Task` into the
+``BLOCKED`` state so the rest of the system can observe it.
+
+:class:`Gate` serializes a critical region — CLAM "allow[s] only one
+upcall to be active per client process" (§4.4), and the client/server
+runtimes enforce that with a Gate per client.
+
+:class:`Mailbox` is an ordered hand-off queue used by the task pool
+and the upcall dispatcher.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+from typing import Any, Deque, Generic, TypeVar
+
+from repro.tasks.task import current_task
+
+T = TypeVar("T")
+
+
+class Event:
+    """A voluntary blocking point: wait() blocks, fire() reactivates.
+
+    Unlike ``asyncio.Event`` this is *edge* triggered by default:
+    every ``fire()`` releases the current waiters and resets, which is
+    the natural shape for "reactivate the task when that event occurs".
+    A ``fire(sticky=True)`` latches the event so late waiters pass
+    straight through (used for shutdown).
+    """
+
+    def __init__(self) -> None:
+        self._waiters: Deque[asyncio.Future] = collections.deque()
+        self._latched = False
+
+    async def wait(self) -> None:
+        """Block the calling task until the next :meth:`fire`."""
+        if self._latched:
+            return
+        task = current_task()
+        future = asyncio.get_running_loop().create_future()
+        self._waiters.append(future)
+        if task is not None:
+            task._mark_blocked()
+        try:
+            await future
+        finally:
+            if task is not None:
+                task._mark_running()
+
+    def fire(self, *, sticky: bool = False) -> int:
+        """Reactivate all currently blocked waiters; return their count."""
+        if sticky:
+            self._latched = True
+        released = 0
+        while self._waiters:
+            future = self._waiters.popleft()
+            if not future.done():
+                future.set_result(None)
+                released += 1
+        return released
+
+    @property
+    def waiter_count(self) -> int:
+        return sum(1 for f in self._waiters if not f.done())
+
+    @property
+    def latched(self) -> bool:
+        return self._latched
+
+
+class Gate:
+    """Mutual exclusion with task-state bookkeeping.
+
+    ``async with gate:`` marks the task BLOCKED while it queues for
+    entry.  Used for the one-active-upcall-per-client discipline.
+    """
+
+    def __init__(self) -> None:
+        self._lock = asyncio.Lock()
+
+    async def __aenter__(self) -> "Gate":
+        task = current_task()
+        if task is not None and self._lock.locked():
+            task._mark_blocked()
+        await self._lock.acquire()
+        if task is not None:
+            task._mark_running()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        self._lock.release()
+
+    @property
+    def held(self) -> bool:
+        return self._lock.locked()
+
+
+class Slots:
+    """Counting entry permit with task-state bookkeeping.
+
+    The generalization of :class:`Gate` used for the relaxed upcall
+    discipline (§4.4's "may be relaxed in future designs"): up to
+    ``limit`` holders at once; further tasks queue in BLOCKED state.
+    ``Slots(1)`` behaves exactly like a Gate.
+    """
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ValueError("Slots limit must be >= 1")
+        self._limit = limit
+        self._semaphore = asyncio.Semaphore(limit)
+
+    @property
+    def limit(self) -> int:
+        return self._limit
+
+    async def __aenter__(self) -> "Slots":
+        task = current_task()
+        if task is not None and self._semaphore.locked():
+            task._mark_blocked()
+        await self._semaphore.acquire()
+        if task is not None:
+            task._mark_running()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        self._semaphore.release()
+
+
+class Mailbox(Generic[T]):
+    """Unbounded ordered hand-off queue with close semantics."""
+
+    _CLOSED = object()
+
+    def __init__(self) -> None:
+        self._queue: asyncio.Queue[Any] = asyncio.Queue()
+        self._closed = False
+
+    def post(self, item: T) -> None:
+        """Enqueue without blocking (the queue is unbounded)."""
+        if self._closed:
+            raise RuntimeError("mailbox is closed")
+        self._queue.put_nowait(item)
+
+    async def take(self) -> T:
+        """Block until an item arrives; raises EOFError once closed and drained."""
+        task = current_task()
+        if task is not None and self._queue.empty():
+            task._mark_blocked()
+        try:
+            item = await self._queue.get()
+        finally:
+            if task is not None:
+                task._mark_running()
+        if item is Mailbox._CLOSED:
+            # Re-post so every other blocked taker also wakes and stops.
+            self._queue.put_nowait(Mailbox._CLOSED)
+            raise EOFError("mailbox closed")
+        return item
+
+    def close(self) -> None:
+        """Wake all takers with EOFError after the backlog drains."""
+        if not self._closed:
+            self._closed = True
+            self._queue.put_nowait(Mailbox._CLOSED)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        return self._queue.qsize()

@@ -1,0 +1,144 @@
+"""The Task type: CLAM's lightweight process (paper §4.3).
+
+A :class:`Task` runs one coroutine on the asyncio loop.  The thread
+class of the paper "includes functions for the creation, deletion,
+blocking and resumption of tasks"; here creation is :meth:`Task.spawn`,
+deletion is :meth:`Task.cancel`, and blocking/resumption happen through
+:class:`repro.tasks.sync.Event` — a task that awaits an event is
+``BLOCKED`` and is reactivated when the event fires.
+
+Non-preemption is inherited from asyncio: a task runs until it
+voluntarily awaits, exactly the paper's discipline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import itertools
+from typing import Any, Coroutine, Optional
+
+from repro.errors import TaskError
+
+_task_ids = itertools.count(1)
+
+#: Maps the running asyncio task to its Task wrapper, for current_task().
+_current: dict[asyncio.Task, "Task"] = {}
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task."""
+
+    CREATED = "created"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+class Task:
+    """A cooperative lightweight process.
+
+    Create with :meth:`spawn`; await :meth:`result` to join.  The
+    ``BLOCKED`` state is entered through :class:`Event.wait` so the
+    server can observe, e.g., that a task making a distributed upcall
+    "is blocked, waiting for the client task to finish" (§4.3).
+    """
+
+    def __init__(self, coro: Coroutine[Any, Any, Any], name: str | None = None):
+        self.task_id = next(_task_ids)
+        self.name = name or f"task-{self.task_id}"
+        self._coro = coro
+        self._state = TaskState.CREATED
+        self._aio_task: asyncio.Task | None = None
+        self._done = asyncio.get_event_loop().create_future()
+
+    # -- creation --------------------------------------------------------------
+
+    @classmethod
+    def spawn(cls, coro: Coroutine[Any, Any, Any], name: str | None = None) -> "Task":
+        """Create and start a task running ``coro``."""
+        task = cls(coro, name=name)
+        task._start()
+        return task
+
+    def _start(self) -> None:
+        if self._state is not TaskState.CREATED:
+            raise TaskError(f"{self.name} already started")
+        self._state = TaskState.RUNNING
+        self._aio_task = asyncio.get_running_loop().create_task(
+            self._run(), name=self.name
+        )
+
+    async def _run(self) -> None:
+        aio = asyncio.current_task()
+        assert aio is not None
+        _current[aio] = self
+        try:
+            value = await self._coro
+        except asyncio.CancelledError:
+            self._state = TaskState.CANCELLED
+            if not self._done.done():
+                self._done.cancel()
+            raise
+        except Exception as exc:
+            self._state = TaskState.FAILED
+            if not self._done.done():
+                self._done.set_exception(exc)
+                # The failure is delivered via result(); don't also warn
+                # about a never-retrieved future exception if nobody joins.
+                self._done.exception()
+        else:
+            self._state = TaskState.DONE
+            if not self._done.done():
+                self._done.set_result(value)
+        finally:
+            _current.pop(aio, None)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def state(self) -> TaskState:
+        return self._state
+
+    @property
+    def alive(self) -> bool:
+        return self._state in (TaskState.RUNNING, TaskState.BLOCKED)
+
+    def _mark_blocked(self) -> None:
+        if self._state is TaskState.RUNNING:
+            self._state = TaskState.BLOCKED
+
+    def _mark_running(self) -> None:
+        if self._state is TaskState.BLOCKED:
+            self._state = TaskState.RUNNING
+
+    async def result(self) -> Any:
+        """Join the task: return its value or raise its exception."""
+        return await asyncio.shield(self._done)
+
+    def cancel(self) -> None:
+        """Delete the task (the thread class's deletion operation)."""
+        if self._aio_task is not None and not self._aio_task.done():
+            self._aio_task.cancel()
+
+    async def wait_cancelled(self) -> None:
+        """Await full teardown after :meth:`cancel`."""
+        if self._aio_task is None:
+            return
+        try:
+            await self._aio_task
+        except (asyncio.CancelledError, Exception):
+            pass
+
+    def __repr__(self) -> str:
+        return f"<Task {self.name} {self._state.value}>"
+
+
+def current_task() -> Optional[Task]:
+    """The :class:`Task` wrapper of the running coroutine, if any."""
+    aio = asyncio.current_task()
+    if aio is None:
+        return None
+    return _current.get(aio)

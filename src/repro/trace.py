@@ -1,0 +1,135 @@
+"""Execution tracing for calls, upcalls, batches, loads, and faults.
+
+The paper's group measured systems like this one with IPS (their
+reference [8]); this module is the reproduction's measurement surface:
+every interesting boundary emits :class:`TraceEvent`s through a
+:class:`Tracer`, and anything — a test, a live console (the server
+CLI's ``--trace``), a profiler — can subscribe.
+
+Design constraints:
+
+- zero overhead when nobody subscribed (one attribute check);
+- events are values (frozen dataclasses), safe to queue or log;
+- spans pair ``start``/``end`` by ``span_id`` and carry the duration,
+  so a subscriber needs no correlation state.
+"""
+
+from __future__ import annotations
+
+import collections
+import contextlib
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+#: Event kinds emitted by the runtimes.
+KIND_CALL = "call"            # server executing an inbound call
+KIND_UPCALL = "upcall"        # server performing a distributed upcall
+KIND_CLIENT_CALL = "client-call"   # client waiting on a sync call
+KIND_CLIENT_POST = "client-post"   # client queueing an async call
+KIND_FLUSH = "flush"          # a batch leaving the client
+KIND_LOAD = "load"            # a module dynamically loaded
+KIND_FAULT = "fault"          # a loaded class fault recorded
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One boundary crossing."""
+
+    kind: str
+    name: str
+    phase: str                 # "start" | "end" | "error" | "point"
+    span_id: int = 0
+    duration_us: float = 0.0   # set on end/error phases of spans
+    detail: str = ""
+
+
+Subscriber = Callable[[TraceEvent], None]
+
+
+class Tracer:
+    """Event fan-out plus always-on counters."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[Subscriber] = []
+        self._span_ids = itertools.count(1)
+        self.counters: collections.Counter = collections.Counter()
+
+    @property
+    def active(self) -> bool:
+        return bool(self._subscribers)
+
+    def subscribe(self, subscriber: Subscriber) -> Callable[[], None]:
+        """Add a subscriber; returns an unsubscribe function."""
+        self._subscribers.append(subscriber)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(subscriber)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def emit(self, event: TraceEvent) -> None:
+        self.counters[(event.kind, event.phase)] += 1
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+    def point(self, kind: str, name: str, detail: str = "") -> None:
+        """A single instantaneous event."""
+        self.emit(TraceEvent(kind=kind, name=name, phase="point", detail=detail))
+
+    @contextlib.contextmanager
+    def span(self, kind: str, name: str, detail: str = "") -> Iterator[None]:
+        """Emit start, then end (or error) with the measured duration."""
+        span_id = next(self._span_ids)
+        self.emit(TraceEvent(kind=kind, name=name, phase="start",
+                             span_id=span_id, detail=detail))
+        start = time.perf_counter()
+        try:
+            yield
+        except BaseException as exc:
+            self.emit(TraceEvent(
+                kind=kind, name=name, phase="error", span_id=span_id,
+                duration_us=(time.perf_counter() - start) * 1e6,
+                detail=f"{type(exc).__name__}: {exc}",
+            ))
+            raise
+        self.emit(TraceEvent(
+            kind=kind, name=name, phase="end", span_id=span_id,
+            duration_us=(time.perf_counter() - start) * 1e6,
+        ))
+
+
+class TimelineRecorder:
+    """Subscriber that keeps every event and summarizes durations."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def __call__(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def mean_duration_us(self, kind: str) -> float:
+        finished = [e for e in self.of_kind(kind) if e.phase in ("end", "error")]
+        if not finished:
+            return 0.0
+        return sum(e.duration_us for e in finished) / len(finished)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per kind: completed spans/points and mean duration."""
+        out: dict[str, dict[str, float]] = {}
+        kinds = {e.kind for e in self.events}
+        for kind in sorted(kinds):
+            finished = [e for e in self.of_kind(kind)
+                        if e.phase in ("end", "error", "point")]
+            out[kind] = {
+                "count": float(len(finished)),
+                "mean_us": self.mean_duration_us(kind),
+            }
+        return out

@@ -1,0 +1,44 @@
+"""Wire protocol: typed messages exchanged on CLAM channels (§3.4, §4.4).
+
+A channel carries a sequence of frames; each frame is one
+:class:`Message`.  Because the paper multiplexes nothing — "CLAM
+provides separate unix streams for each communication channel" — the
+message set is small: calls and replies on the RPC channel, upcalls
+and their replies on the upcall channel, plus the HELLO that names
+which channel a fresh connection is.
+
+Messages encode to XDR with :func:`encode_message` and decode with
+:func:`decode_message`.
+"""
+
+from repro.wire.messages import (
+    PROTOCOL_VERSION,
+    BatchMessage,
+    CallMessage,
+    ChannelRole,
+    ExceptionMessage,
+    HelloMessage,
+    Message,
+    ReplyMessage,
+    UpcallMessage,
+    UpcallReplyMessage,
+    UpcallExceptionMessage,
+    decode_message,
+    encode_message,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "BatchMessage",
+    "CallMessage",
+    "ChannelRole",
+    "ExceptionMessage",
+    "HelloMessage",
+    "Message",
+    "ReplyMessage",
+    "UpcallMessage",
+    "UpcallReplyMessage",
+    "UpcallExceptionMessage",
+    "decode_message",
+    "encode_message",
+]

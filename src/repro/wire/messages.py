@@ -1,0 +1,327 @@
+"""Typed wire messages and their XDR codecs.
+
+Each message is a frozen dataclass with a class-level ``TYPE_CODE`` and
+a pair of bundling methods.  The module-level :func:`encode_message` /
+:func:`decode_message` dispatch on the type code, which is the first
+field of every frame.
+
+Design notes mapping to the paper:
+
+- ``CallMessage.expects_reply`` distinguishes synchronous calls from
+  the asynchronous calls that CLAM batches (§3.4).  Asynchronous calls
+  carry a serial anyway so errors can be attributed in order.
+- ``BatchMessage`` carries several asynchronous calls in one frame —
+  "the CLAM RPC facility batches several asynchronous calls together
+  into a single message".
+- ``UpcallMessage`` names a RUC identifier rather than an object
+  handle: the server invokes *the client's registered procedure*, whose
+  address never leaves the client (§3.5.2).
+- ``HelloMessage`` declares whether a fresh connection is the client's
+  RPC channel or the server→client upcall channel (§4.4).
+- Method arguments and results travel as opaque XDR payloads produced
+  by the stub layer; the transport does not interpret them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import ClassVar, Type
+
+from repro.errors import ProtocolError, XdrError
+from repro.xdr import XdrStream
+
+#: Bumped when the frame layout changes; checked in HELLO.
+PROTOCOL_VERSION = 1
+
+
+class ChannelRole(enum.IntEnum):
+    """Which of the two per-client streams a connection is (§4.4)."""
+
+    RPC = 1
+    UPCALL = 2
+
+
+class _TypeCode(enum.IntEnum):
+    HELLO = 1
+    CALL = 2
+    REPLY = 3
+    EXCEPTION = 4
+    BATCH = 5
+    UPCALL = 6
+    UPCALL_REPLY = 7
+    UPCALL_EXCEPTION = 8
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for wire messages; concrete subclasses set TYPE_CODE."""
+
+    TYPE_CODE: ClassVar[_TypeCode]
+
+    def bundle(self, stream: XdrStream) -> None:
+        raise NotImplementedError
+
+    @classmethod
+    def unbundle(cls, stream: XdrStream) -> "Message":
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class HelloMessage(Message):
+    """First frame on every connection: names the channel and session.
+
+    ``session`` is empty on the RPC channel (the server assigns a
+    session id in its reply payload out-of-band via the builtin
+    interface); on the upcall channel it carries the token that ties
+    this stream to an existing session.
+    """
+
+    TYPE_CODE: ClassVar[_TypeCode] = _TypeCode.HELLO
+
+    role: ChannelRole
+    session: str = ""
+    protocol_version: int = PROTOCOL_VERSION
+
+    def bundle(self, stream: XdrStream) -> None:
+        stream.xenum(int(self.role), allowed=(1, 2))
+        stream.xstring(self.session)
+        stream.xuint(self.protocol_version)
+
+    @classmethod
+    def unbundle(cls, stream: XdrStream) -> "HelloMessage":
+        role = ChannelRole(stream.xenum(allowed=(1, 2)))
+        session = stream.xstring()
+        version = stream.xuint()
+        return cls(role=role, session=session, protocol_version=version)
+
+
+@dataclass(frozen=True)
+class CallMessage(Message):
+    """A remote procedure call on an object handle.
+
+    ``oid``/``tag`` form the handle (§3.5.1).  The builtin server
+    interface lives at oid 0 with tag 0.  ``args`` is the opaque XDR
+    payload the client stub bundled.
+    """
+
+    TYPE_CODE: ClassVar[_TypeCode] = _TypeCode.CALL
+
+    serial: int
+    oid: int
+    tag: int
+    method: str
+    args: bytes
+    expects_reply: bool
+
+    def bundle(self, stream: XdrStream) -> None:
+        stream.xuint(self.serial)
+        stream.xuhyper(self.oid)
+        stream.xuhyper(self.tag)
+        stream.xstring(self.method)
+        stream.xopaque(self.args)
+        stream.xbool(self.expects_reply)
+
+    @classmethod
+    def unbundle(cls, stream: XdrStream) -> "CallMessage":
+        return cls(
+            serial=stream.xuint(),
+            oid=stream.xuhyper(),
+            tag=stream.xuhyper(),
+            method=stream.xstring(),
+            args=stream.xopaque(),
+            expects_reply=stream.xbool(),
+        )
+
+
+@dataclass(frozen=True)
+class ReplyMessage(Message):
+    """Successful completion of the call with matching ``serial``."""
+
+    TYPE_CODE: ClassVar[_TypeCode] = _TypeCode.REPLY
+
+    serial: int
+    results: bytes
+
+    def bundle(self, stream: XdrStream) -> None:
+        stream.xuint(self.serial)
+        stream.xopaque(self.results)
+
+    @classmethod
+    def unbundle(cls, stream: XdrStream) -> "ReplyMessage":
+        return cls(serial=stream.xuint(), results=stream.xopaque())
+
+
+@dataclass(frozen=True)
+class ExceptionMessage(Message):
+    """The remote procedure raised; carries type name, message, traceback."""
+
+    TYPE_CODE: ClassVar[_TypeCode] = _TypeCode.EXCEPTION
+
+    serial: int
+    remote_type: str
+    message: str
+    traceback: str = ""
+
+    def bundle(self, stream: XdrStream) -> None:
+        stream.xuint(self.serial)
+        stream.xstring(self.remote_type)
+        stream.xstring(self.message)
+        stream.xstring(self.traceback)
+
+    @classmethod
+    def unbundle(cls, stream: XdrStream) -> "ExceptionMessage":
+        return cls(
+            serial=stream.xuint(),
+            remote_type=stream.xstring(),
+            message=stream.xstring(),
+            traceback=stream.xstring(),
+        )
+
+
+@dataclass(frozen=True)
+class BatchMessage(Message):
+    """Several asynchronous calls bundled into a single frame (§3.4).
+
+    Every member must have ``expects_reply=False``; a synchronous call
+    flushes the pending batch ahead of itself instead of joining it.
+    """
+
+    TYPE_CODE: ClassVar[_TypeCode] = _TypeCode.BATCH
+
+    calls: tuple[CallMessage, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for call in self.calls:
+            if call.expects_reply:
+                raise ProtocolError("batched calls must not expect replies")
+
+    def bundle(self, stream: XdrStream) -> None:
+        stream.xuint(len(self.calls))
+        for call in self.calls:
+            call.bundle(stream)
+
+    @classmethod
+    def unbundle(cls, stream: XdrStream) -> "BatchMessage":
+        count = stream.xuint()
+        calls = tuple(CallMessage.unbundle(stream) for _ in range(count))
+        return cls(calls=calls)
+
+
+@dataclass(frozen=True)
+class UpcallMessage(Message):
+    """A distributed upcall: invoke the client procedure behind ``ruc_id``.
+
+    The server never sees the client's procedure address; it sends the
+    identifier minted when the procedure pointer was bundled down
+    (§3.5.2).
+    """
+
+    TYPE_CODE: ClassVar[_TypeCode] = _TypeCode.UPCALL
+
+    serial: int
+    ruc_id: int
+    args: bytes
+    expects_reply: bool = True
+
+    def bundle(self, stream: XdrStream) -> None:
+        stream.xuint(self.serial)
+        stream.xuhyper(self.ruc_id)
+        stream.xopaque(self.args)
+        stream.xbool(self.expects_reply)
+
+    @classmethod
+    def unbundle(cls, stream: XdrStream) -> "UpcallMessage":
+        return cls(
+            serial=stream.xuint(),
+            ruc_id=stream.xuhyper(),
+            args=stream.xopaque(),
+            expects_reply=stream.xbool(),
+        )
+
+
+@dataclass(frozen=True)
+class UpcallReplyMessage(Message):
+    """Successful completion of a distributed upcall."""
+
+    TYPE_CODE: ClassVar[_TypeCode] = _TypeCode.UPCALL_REPLY
+
+    serial: int
+    results: bytes
+
+    def bundle(self, stream: XdrStream) -> None:
+        stream.xuint(self.serial)
+        stream.xopaque(self.results)
+
+    @classmethod
+    def unbundle(cls, stream: XdrStream) -> "UpcallReplyMessage":
+        return cls(serial=stream.xuint(), results=stream.xopaque())
+
+
+@dataclass(frozen=True)
+class UpcallExceptionMessage(Message):
+    """The client's upcall procedure raised."""
+
+    TYPE_CODE: ClassVar[_TypeCode] = _TypeCode.UPCALL_EXCEPTION
+
+    serial: int
+    remote_type: str
+    message: str
+    traceback: str = ""
+
+    def bundle(self, stream: XdrStream) -> None:
+        stream.xuint(self.serial)
+        stream.xstring(self.remote_type)
+        stream.xstring(self.message)
+        stream.xstring(self.traceback)
+
+    @classmethod
+    def unbundle(cls, stream: XdrStream) -> "UpcallExceptionMessage":
+        return cls(
+            serial=stream.xuint(),
+            remote_type=stream.xstring(),
+            message=stream.xstring(),
+            traceback=stream.xstring(),
+        )
+
+
+_MESSAGE_TYPES: dict[int, Type[Message]] = {
+    int(cls.TYPE_CODE): cls
+    for cls in (
+        HelloMessage,
+        CallMessage,
+        ReplyMessage,
+        ExceptionMessage,
+        BatchMessage,
+        UpcallMessage,
+        UpcallReplyMessage,
+        UpcallExceptionMessage,
+    )
+}
+
+
+def encode_message(message: Message) -> bytes:
+    """Bundle one message into a frame payload."""
+    stream = XdrStream.encoder()
+    stream.xuint(int(message.TYPE_CODE))
+    message.bundle(stream)
+    return stream.getvalue()
+
+
+def decode_message(data: bytes) -> Message:
+    """Unbundle one frame payload into a message.
+
+    Raises :class:`ProtocolError` for unknown type codes and
+    propagates :class:`XdrError` for malformed bodies.
+    """
+    stream = XdrStream.decoder(data)
+    code = stream.xuint()
+    cls = _MESSAGE_TYPES.get(code)
+    if cls is None:
+        raise ProtocolError(f"unknown message type code {code}")
+    message = cls.unbundle(stream)
+    try:
+        stream.expect_exhausted()
+    except XdrError as exc:
+        raise ProtocolError(str(exc)) from exc
+    return message

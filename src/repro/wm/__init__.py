@@ -1,0 +1,47 @@
+"""Window management — CLAM's motivating application (paper §2.1, §4.2).
+
+"The initial use of CLAM was to build an extensible user interface
+manager, and the basic classes for screen and window management are
+running."  This package provides those classes:
+
+- :class:`Screen` — the lowest layer: a cell framebuffer with damage
+  tracking and the raw-input upcall port (Figure 4.1's ``S``).
+- :class:`Window` / :class:`BaseWindow` — the window abstraction
+  layered over the screen (Figure 4.1's ``BaseW``, ``W1``, ``W2``);
+  the base window routes mouse events to the topmost window under the
+  pointer via upcalls.
+- :class:`SweepLayer` — the §2.1 example: a dynamically loadable
+  layer that lets the user sweep out a new window, processing every
+  motion event where it is placed (server or client) and making a
+  single "window created" upcall to the layer above when the button
+  is released.
+- :class:`InputScript` — scripted input devices (drags, clicks) that
+  inject events the way the paper's external devices did, each event
+  handled by a pooled task.
+
+Every class is placement-agnostic: the references it calls through
+may be local objects, proxies, or RemoteUpcalls.
+"""
+
+from repro.wm.geometry import Point, Rect
+from repro.wm.events import EventKind, InputEvent
+from repro.wm.screen import Screen
+from repro.wm.window import BaseWindow, Window
+from repro.wm.sweep import SweepLayer
+from repro.wm.focus import FocusLayer
+from repro.wm.move import MoveLayer
+from repro.wm.input import InputScript
+
+__all__ = [
+    "Point",
+    "Rect",
+    "EventKind",
+    "InputEvent",
+    "Screen",
+    "Window",
+    "BaseWindow",
+    "SweepLayer",
+    "FocusLayer",
+    "MoveLayer",
+    "InputScript",
+]

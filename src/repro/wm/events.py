@@ -1,0 +1,57 @@
+"""Input events (paper §2, §4.2).
+
+"A new task is started in the server in response to input from the
+external devices, such as the keyboard and mouse."  These are the
+event records those tasks propagate upward through the layers.  They
+are pointer-free dataclasses, automatically bundleable, so the same
+event object travels local upcalls and distributed ones.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class EventKind(enum.Enum):
+    """Raw device event kinds."""
+
+    MOUSE_DOWN = 1
+    MOUSE_UP = 2
+    MOUSE_MOVE = 3
+    KEY_DOWN = 4
+    KEY_UP = 5
+
+
+@dataclass(frozen=True)
+class InputEvent:
+    """One low-level input event, in absolute screen coordinates.
+
+    ``seq`` is a per-device sequence number — the deterministic stand-in
+    for a timestamp, so traces replay identically.
+    """
+
+    kind: EventKind
+    x: int = 0
+    y: int = 0
+    button: int = 0
+    key: str = ""
+    seq: int = 0
+
+    @property
+    def is_mouse(self) -> bool:
+        return self.kind in (EventKind.MOUSE_DOWN, EventKind.MOUSE_UP, EventKind.MOUSE_MOVE)
+
+    @property
+    def is_key(self) -> bool:
+        return self.kind in (EventKind.KEY_DOWN, EventKind.KEY_UP)
+
+    def moved_to(self, x: int, y: int, seq: int | None = None) -> "InputEvent":
+        return InputEvent(
+            kind=self.kind,
+            x=x,
+            y=y,
+            button=self.button,
+            key=self.key,
+            seq=self.seq if seq is None else seq,
+        )

@@ -1,0 +1,67 @@
+"""Click-to-focus keyboard routing — another loadable layer.
+
+The paper's window system is *extensible*: policies like keyboard
+focus are not baked into the server, they are layers a client loads
+(or keeps locally).  :class:`FocusLayer` implements click-to-focus:
+
+- it observes every event through the base window's tap;
+- a mouse press records the window under the pointer as focused;
+- keyboard events (which the base window cannot route spatially) are
+  forwarded to the focused window's registrants.
+
+Like the sweep layer, it is placement-agnostic: attach it to local
+objects in the server or to proxies in a client.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import invoke
+from repro.stubs import RemoteInterface
+from repro.wm.events import EventKind, InputEvent
+from repro.wm.window import BaseWindow, Window
+
+
+class FocusLayer(RemoteInterface):
+    """Routes keyboard input to the most recently clicked window."""
+
+    __clam_class__ = "focus"
+
+    def __init__(self):
+        self._base: BaseWindow | None = None
+        self._focused: Window | None = None
+        self.keys_routed = 0
+        self.focus_changes = 0
+
+    async def attach(self, base: BaseWindow) -> bool:
+        """Hook the base window's tap (clicks) and input port (keys)."""
+        self._base = base
+        await invoke(base.posttap, self.observe)
+        await invoke(base.postinput, self.on_unrouted)
+        return True
+
+    async def observe(self, event: InputEvent) -> None:
+        """Tap observer: presses move the focus."""
+        if event.kind is not EventKind.MOUSE_DOWN or self._base is None:
+            return
+        target = await invoke(self._base.window_at, event.x, event.y)
+        if target is not self._focused:
+            self._focused = target
+            self.focus_changes += 1
+
+    async def on_unrouted(self, event: InputEvent) -> None:
+        """Base-port registrant: forward keys to the focused window."""
+        if event.is_key and self._focused is not None:
+            self.keys_routed += 1
+            await invoke(self._focused.handle_event, event)
+
+    def focused_window(self) -> Optional[Window]:
+        """The focused window as an object pointer (None = background)."""
+        return self._focused
+
+    async def focused_window_id(self) -> int:
+        """The focused window's id, or 0 for the background."""
+        if self._focused is None:
+            return 0
+        return await invoke(self._focused.window_id)

@@ -1,0 +1,127 @@
+"""Screen-space geometry: points and rectangles.
+
+Plain pointer-free dataclasses, so the automatic bundler derivation of
+§3.1 handles them — the window classes pass them remotely without any
+user-written bundlers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """A screen coordinate."""
+
+    x: int
+    y: int
+
+    def offset(self, dx: int, dy: int) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle: origin plus size.
+
+    ``width``/``height`` may be zero (an empty rect) but never
+    negative; use :meth:`spanning` to build a normalized rect from two
+    arbitrary corners, as the sweep layer does while dragging.
+    """
+
+    x: int
+    y: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 0 or self.height < 0:
+            raise ValueError(f"negative rect size: {self.width}x{self.height}")
+
+    @classmethod
+    def spanning(cls, a: Point, b: Point) -> "Rect":
+        """The smallest rect covering both corners, inclusive."""
+        x0, x1 = sorted((a.x, b.x))
+        y0, y1 = sorted((a.y, b.y))
+        return cls(x0, y0, x1 - x0 + 1, y1 - y0 + 1)
+
+    @property
+    def right(self) -> int:
+        """One past the last column."""
+        return self.x + self.width
+
+    @property
+    def bottom(self) -> int:
+        """One past the last row."""
+        return self.y + self.height
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def empty(self) -> bool:
+        return self.area == 0
+
+    def contains(self, x: int, y: int) -> bool:
+        return self.x <= x < self.right and self.y <= y < self.bottom
+
+    def contains_rect(self, other: "Rect") -> bool:
+        if other.empty:
+            return True
+        return (
+            self.x <= other.x
+            and self.y <= other.y
+            and other.right <= self.right
+            and other.bottom <= self.bottom
+        )
+
+    def intersect(self, other: "Rect") -> "Rect":
+        x0 = max(self.x, other.x)
+        y0 = max(self.y, other.y)
+        x1 = min(self.right, other.right)
+        y1 = min(self.bottom, other.bottom)
+        if x1 <= x0 or y1 <= y0:
+            return Rect(x0, y0, 0, 0)
+        return Rect(x0, y0, x1 - x0, y1 - y0)
+
+    def overlaps(self, other: "Rect") -> bool:
+        return not self.intersect(other).empty
+
+    def translate(self, dx: int, dy: int) -> "Rect":
+        return Rect(self.x + dx, self.y + dy, self.width, self.height)
+
+    def snap_to_grid(self, grid: int) -> "Rect":
+        """Snap origin and size to multiples of ``grid`` (window
+        alignment, one of the §2.1 sweep options)."""
+        if grid <= 1:
+            return self
+
+        def down(v: int) -> int:
+            return (v // grid) * grid
+
+        def up(v: int) -> int:
+            return ((v + grid - 1) // grid) * grid
+
+        x, y = down(self.x), down(self.y)
+        return Rect(x, y, max(grid, up(self.right) - x), max(grid, up(self.bottom) - y))
+
+    def cells(self):
+        """Iterate all (x, y) cells, row-major."""
+        for y in range(self.y, self.bottom):
+            for x in range(self.x, self.right):
+                yield x, y
+
+    def border_cells(self):
+        """Iterate the one-cell-thick outline, each cell exactly once."""
+        if self.empty:
+            return
+        for x in range(self.x, self.right):
+            yield x, self.y
+            if self.height > 1:
+                yield x, self.bottom - 1
+        for y in range(self.y + 1, self.bottom - 1):
+            yield self.x, y
+            if self.width > 1:
+                yield self.right - 1, y

@@ -1,0 +1,99 @@
+"""Scripted input devices (paper §4.3, §4.4).
+
+The 1988 system read a physical keyboard and mouse; the reproduction
+replays deterministic traces.  "A new task is started in the server in
+response to input from the external devices" — :meth:`InputScript.play`
+optionally routes each event through a reusable task pool to reproduce
+that structure (and `benchmarks/test_tasks.py` measures the reuse).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Awaitable, Callable, Iterable
+
+from repro.core import invoke
+from repro.tasks import TaskPool
+from repro.wm.events import EventKind, InputEvent
+from repro.wm.geometry import Point
+
+#: Anything that accepts one event: ``screen.inject_input``, a port's
+#: ``deliver``, or a proxy method.
+EventSink = Callable[[InputEvent], Awaitable[object] | object]
+
+
+class InputScript:
+    """Builds and replays deterministic event traces."""
+
+    def __init__(self) -> None:
+        self._seq = itertools.count(1)
+
+    # -- trace builders ----------------------------------------------------------
+
+    def click(self, x: int, y: int, button: int = 1) -> list[InputEvent]:
+        """Press and release at one position."""
+        return [
+            InputEvent(EventKind.MOUSE_DOWN, x, y, button, seq=next(self._seq)),
+            InputEvent(EventKind.MOUSE_UP, x, y, button, seq=next(self._seq)),
+        ]
+
+    def drag(
+        self, start: Point, end: Point, *, steps: int = 8, button: int = 1
+    ) -> list[InputEvent]:
+        """Press at ``start``, move in ``steps`` increments, release at ``end``.
+
+        This is the §2.1 sweep gesture; ``steps`` controls how many
+        motion events the sweep layer must process.
+        """
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        events = [
+            InputEvent(EventKind.MOUSE_DOWN, start.x, start.y, button, seq=next(self._seq))
+        ]
+        for i in range(1, steps + 1):
+            x = start.x + (end.x - start.x) * i // steps
+            y = start.y + (end.y - start.y) * i // steps
+            events.append(
+                InputEvent(EventKind.MOUSE_MOVE, x, y, button, seq=next(self._seq))
+            )
+        events.append(
+            InputEvent(EventKind.MOUSE_UP, end.x, end.y, button, seq=next(self._seq))
+        )
+        return events
+
+    def type_text(self, text: str) -> list[InputEvent]:
+        """Key-down/key-up pairs for each character."""
+        events = []
+        for ch in text:
+            events.append(InputEvent(EventKind.KEY_DOWN, key=ch, seq=next(self._seq)))
+            events.append(InputEvent(EventKind.KEY_UP, key=ch, seq=next(self._seq)))
+        return events
+
+    # -- replay --------------------------------------------------------------------
+
+    async def play(
+        self,
+        events: Iterable[InputEvent],
+        sink: EventSink,
+        *,
+        pool: TaskPool | None = None,
+    ) -> int:
+        """Deliver events in order; returns how many were delivered.
+
+        With ``pool``, each event runs as a pooled task — the paper's
+        new-task-per-input-event structure with task reuse.  Delivery
+        stays strictly ordered: each event's task completes before the
+        next starts, matching the one-active-upcall discipline.
+        """
+        count = 0
+        for event in events:
+            if pool is None:
+                await invoke(sink, event)
+            else:
+                await pool.run(lambda e=event: _as_coroutine(sink, e))
+            count += 1
+        return count
+
+
+async def _as_coroutine(sink: EventSink, event: InputEvent):
+    return await invoke(sink, event)

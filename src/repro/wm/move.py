@@ -1,0 +1,70 @@
+"""Window dragging — a third loadable layer (paper §2.1's spirit).
+
+Like sweeping, moving a window is a policy the client chooses and
+places: drag with the secondary button, the window follows the
+pointer, and the compositor repairs what it uncovers.  Loaded into the
+server it tracks the mouse at local-call cost; in the client every
+motion event crosses as a distributed upcall.
+"""
+
+from __future__ import annotations
+
+from repro.core import invoke
+from repro.stubs import RemoteInterface
+from repro.wm.events import EventKind, InputEvent
+from repro.wm.window import BaseWindow, Window
+
+#: The button that starts a drag (1 is left/selection, per InputScript).
+DRAG_BUTTON = 3
+
+
+class MoveLayer(RemoteInterface):
+    """Drag windows with the secondary mouse button."""
+
+    __clam_class__ = "move"
+
+    def __init__(self):
+        self._base: BaseWindow | None = None
+        self._dragging: Window | None = None
+        self._last: tuple[int, int] | None = None
+        self.moves_applied = 0
+
+    async def attach(self, base: BaseWindow) -> bool:
+        self._base = base
+        await invoke(base.posttap, self.on_event)
+        return True
+
+    def dragging(self) -> bool:
+        return self._dragging is not None
+
+    def move_count(self) -> int:
+        return self.moves_applied
+
+    async def on_event(self, event: InputEvent) -> None:
+        """Tap observer driving the drag state machine."""
+        if self._base is None or not event.is_mouse:
+            return
+        if event.kind is EventKind.MOUSE_DOWN and event.button == DRAG_BUTTON:
+            target = await invoke(self._base.window_at, event.x, event.y)
+            if target is not None:
+                self._dragging = target
+                self._last = (event.x, event.y)
+        elif event.kind is EventKind.MOUSE_MOVE and self._dragging is not None:
+            assert self._last is not None
+            dx, dy = event.x - self._last[0], event.y - self._last[1]
+            self._last = (event.x, event.y)
+            if dx or dy:
+                await self._move_by(dx, dy)
+        elif event.kind is EventKind.MOUSE_UP and self._dragging is not None:
+            self._dragging = None
+            self._last = None
+
+    async def _move_by(self, dx: int, dy: int) -> None:
+        window = self._dragging
+        old_bounds = await invoke(window.bounds)
+        await invoke(window.move_by, dx, dy)
+        # move_by erased the old rect wholesale; repair what it
+        # uncovered (windows underneath, including the moved one's
+        # still-overlapping part — repair is idempotent).
+        await invoke(self._base.repair, old_bounds)
+        self.moves_applied += 1

@@ -1,0 +1,202 @@
+"""The screen class — the lowest layer (paper §4.2, Figure 4.1).
+
+"Screen is a low level class that handles updates to the display
+screen."  The display is a cell framebuffer (think character-mapped
+MicroVAX console): each cell holds an integer value.  Drawing methods
+return nothing, so remote callers get them *batched* (§3.4) — the same
+trick X-style protocols use for drawing traffic.
+
+Input enters at the bottom: :meth:`postinput` is Figure 4.1's
+``S.postinput`` registration procedure, and :meth:`inject_input`
+stands in for the external device interrupt, delivering the event
+upward through the registered procedures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core import UnhandledPolicy, UpcallPort
+from repro.stubs import RemoteInterface
+from repro.wm.events import InputEvent
+from repro.wm.geometry import Rect
+
+#: Cell value of an empty screen.
+EMPTY = 0
+
+
+class Screen(RemoteInterface):
+    """A cell framebuffer with damage tracking and a raw-input port."""
+
+    #: Host-side wiring, not remote procedures.
+    __clam_local__ = ("use_tasks", "drain_input", "render")
+
+    def __init__(self, width: int = 80, height: int = 24):
+        if width < 1 or height < 1:
+            raise ValueError("screen must be at least 1x1")
+        self._width = width
+        self._height = height
+        self._cells = [[EMPTY] * width for _ in range(height)]
+        self._damage: list[Rect] = []
+        self.draw_ops = 0
+        # Events with nobody listening queue up, so a layer registered
+        # slightly late still sees the device's backlog.
+        self.input = UpcallPort("screen-input", unhandled=UnhandledPolicy.QUEUE)
+        self._input_pool = None
+        self._pending: list = []
+
+    # -- geometry -----------------------------------------------------------------
+
+    def size(self) -> Rect:
+        """The full screen rectangle (origin 0,0)."""
+        return Rect(0, 0, self._width, self._height)
+
+    def _clip(self, rect: Rect) -> Rect:
+        return rect.intersect(self.size())
+
+    # -- drawing (asynchronous: batchable over RPC) -----------------------------------
+
+    def clear(self) -> None:
+        """Reset every cell to EMPTY."""
+        for row in self._cells:
+            for x in range(self._width):
+                row[x] = EMPTY
+        self.draw_ops += 1
+        self._damage.append(self.size())
+
+    def fill_rect(self, rect: Rect, value: int) -> None:
+        """Set every cell of ``rect`` (clipped) to ``value``."""
+        clipped = self._clip(rect)
+        for x, y in clipped.cells():
+            self._cells[y][x] = value
+        self.draw_ops += 1
+        if not clipped.empty:
+            self._damage.append(clipped)
+
+    def draw_border(self, rect: Rect, value: int) -> None:
+        """Draw the one-cell outline of ``rect`` (clipped cellwise)."""
+        size = self.size()
+        for x, y in rect.border_cells():
+            if size.contains(x, y):
+                self._cells[y][x] = value
+        self.draw_ops += 1
+        clipped = self._clip(rect)
+        if not clipped.empty:
+            self._damage.append(clipped)
+
+    def draw_text(self, x: int, y: int, text: str) -> None:
+        """Write ``text`` left to right starting at (x, y), clipped.
+
+        Characters are stored as their code points; :meth:`render`
+        shows printable ASCII as itself.  Used for window titles.
+        """
+        size = self.size()
+        for i, ch in enumerate(text):
+            if size.contains(x + i, y):
+                self._cells[y][x + i] = ord(ch)
+        self.draw_ops += 1
+        clipped = self._clip(Rect(x, y, max(len(text), 1), 1))
+        if not clipped.empty:
+            self._damage.append(clipped)
+
+    # -- queries (synchronous) ----------------------------------------------------------
+
+    def read_cell(self, x: int, y: int) -> int:
+        """The value at one cell; out-of-bounds reads raise."""
+        if not self.size().contains(x, y):
+            raise ValueError(f"cell ({x}, {y}) outside {self._width}x{self._height}")
+        return self._cells[y][x]
+
+    def count_cells(self, value: int) -> int:
+        """How many cells currently hold ``value`` (test/debug aid)."""
+        return sum(row.count(value) for row in self._cells)
+
+    def damage_count(self) -> int:
+        """Damage rects recorded since the last :meth:`clear_damage`."""
+        return len(self._damage)
+
+    def clear_damage(self) -> int:
+        """Reset damage tracking; returns how many rects were pending."""
+        pending = len(self._damage)
+        self._damage.clear()
+        return pending
+
+    # -- input (the §4.1 registration + upcall pair) ---------------------------------------
+
+    def postinput(self, proc: Callable[[InputEvent], None]) -> bool:
+        """Register a procedure for raw input events (Fig 4.1's
+        ``S.postinput``).  Queued events replay to the registrant."""
+        self.input.register(proc)
+        return True
+
+    def use_tasks(self, pool) -> None:
+        """Handle each input event in a task from ``pool`` (§4.3/§4.4).
+
+        "A new task is started in the server in response to input from
+        the external devices" — and "tasks are reused".  A pool of
+        size 1 gives strictly ordered event processing with one reused
+        worker.  Crucially, delivery then happens *outside* the RPC
+        dispatch path, so an upcalled client handler can make RPCs
+        back into the server without deadlocking the session loop.
+        """
+        self._input_pool = pool
+
+    async def inject_input(self, event: InputEvent) -> int:
+        """Deliver one device event upward; returns the registrant count.
+
+        This is the entry point the input simulation (or a remote
+        test driver) uses in place of a hardware interrupt.  With an
+        input pool attached, the event is handed to an input task and
+        this returns immediately; without one, delivery is inline
+        (deterministic — good for unit tests, but handlers must not
+        RPC back into this server).
+        """
+        if self._input_pool is None:
+            await self._deliver(event)
+        else:
+            self._pending = [f for f in self._pending if not f.done()]
+            self._pending.append(
+                self._input_pool.submit(lambda e=event: self._deliver(e))
+            )
+        return self.input.registrant_count
+
+    async def _deliver(self, event: InputEvent) -> None:
+        await self.input.deliver(event)
+        if self.input.registrant_count:
+            await self.input.replay_queued()
+
+    async def drain_input(self) -> int:
+        """Wait for every queued input task to finish; returns the count.
+
+        Host-side helper.  Do not call it over RPC if upcalled handlers
+        make RPCs back — it would re-create the very blocking the input
+        tasks exist to avoid.
+        """
+        import asyncio
+
+        pending, self._pending = self._pending, []
+        for future in pending:
+            await asyncio.shield(future)
+        return len(pending)
+
+    # -- rendering for humans ------------------------------------------------------------------
+
+    def render(self, palette: str = " .#*%@+=o") -> str:
+        """ASCII rendering of the framebuffer (examples print this).
+
+        Small values map through the palette (window fills, borders,
+        sweep bands); printable ASCII codes render as themselves
+        (text drawn with :meth:`draw_text`).
+        """
+        lines = []
+        for row in self._cells:
+            chars = []
+            for v in row:
+                if v == 0:
+                    chars.append(" ")
+                elif 32 <= v < 127:
+                    chars.append(chr(v))
+                else:
+                    chars.append(palette[v % len(palette)])
+            lines.append("".join(chars))
+        return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""The sweep layer — the paper's running example (§2.1).
+
+"A common operation supported by window managers is to allow the user
+to be able to 'sweep' out a new window. ... The code to sweep out a
+window is dynamically loaded into the CLAM server.  Clients can
+decide the details of window creation and load an appropriate version
+of the sweeping code. ... Low level input routines would perform an
+upcall to the sweeping layer (module).  This layer would process the
+event, redrawing the window border with [each] new event. ... When
+the user finishes sweeping (indicated by pressing a mouse button),
+the sweeping layer makes an upcall to the next layer, passing the
+single 'window created' event."
+
+:class:`SweepLayer` is that module, written placement-agnostically:
+
+- loaded into the server, it receives *local* upcalls from the base
+  window and draws at local-call cost — the fast, smooth configuration;
+- instantiated in the client, the same code receives *distributed*
+  upcalls and draws through proxies — flexible but paying an
+  address-space crossing per motion event.
+
+The §2.1 design options live in :meth:`configure`: window alignment
+(``grid``) and band transparency — "options such as window alignment
+and transparency of the sweep window" that baking the code into the
+server would have fixed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core import UpcallPort, invoke
+from repro.stubs import RemoteInterface
+from repro.wm.events import EventKind, InputEvent
+from repro.wm.geometry import Point, Rect
+from repro.wm.screen import Screen
+from repro.wm.window import BaseWindow
+
+#: Cell values the rubber band paints with.
+SWEEP_BORDER = 7
+SWEEP_FILL = 5
+
+
+class SweepLayer(RemoteInterface):
+    """Sweep out a new window with the mouse.
+
+    Lifecycle: ``configure`` (optional) → ``attach`` (registers with
+    the base window's background input) → ``on_complete`` (who gets
+    the single "window created" upcall) → mouse events flow.
+    """
+
+    __clam_class__ = "sweep"
+
+    def __init__(self):
+        self._base: BaseWindow | None = None
+        self._screen: Screen | None = None
+        self._grid = 1
+        self._transparent = True
+        self._anchor: Point | None = None
+        self._band: Rect | None = None
+        self.completed = UpcallPort("sweep-complete")
+        self._motion_events = 0
+        self._windows_created = 0
+
+    # -- configuration (§2.1's options) ------------------------------------------------
+
+    def configure(self, grid: int, transparent: bool) -> bool:
+        """Choose alignment grid and band transparency.
+
+        Different clients load different versions or configurations —
+        the flexibility argument of §2.1.
+        """
+        if grid < 1:
+            raise ValueError("grid must be >= 1")
+        self._grid = grid
+        self._transparent = transparent
+        return True
+
+    async def attach(self, base: BaseWindow, screen: Screen) -> bool:
+        """Register with the base window's background input.
+
+        ``base``/``screen`` may be local objects (server placement) or
+        proxies (client placement); registration and drawing go
+        through :func:`invoke` either way.
+        """
+        self._base = base
+        self._screen = screen
+        await invoke(base.postinput, self.mouse)
+        return True
+
+    def on_complete(self, proc: Callable[[Rect], None]) -> bool:
+        """Register the next layer up for the "window created" upcall."""
+        self.completed.register(proc)
+        return True
+
+    # -- statistics ------------------------------------------------------------------------
+
+    def motion_count(self) -> int:
+        """Motion events this layer processed (per-event traffic)."""
+        return self._motion_events
+
+    def windows_created(self) -> int:
+        return self._windows_created
+
+    def sweeping(self) -> bool:
+        return self._anchor is not None
+
+    # -- the upcalled event handler -----------------------------------------------------------
+
+    async def mouse(self, event: InputEvent) -> None:
+        """Process one input event of the drag (upcalled from below)."""
+        if self._base is None or self._screen is None or not event.is_mouse:
+            return
+        if event.kind is EventKind.MOUSE_DOWN and self._anchor is None:
+            self._anchor = Point(event.x, event.y)
+            await self._redraw_band(Rect.spanning(self._anchor, self._anchor))
+        elif event.kind is EventKind.MOUSE_MOVE and self._anchor is not None:
+            self._motion_events += 1
+            band = Rect.spanning(self._anchor, Point(event.x, event.y))
+            band = band.snap_to_grid(self._grid)
+            await self._redraw_band(band)
+        elif event.kind is EventKind.MOUSE_UP and self._anchor is not None:
+            await self._finish(Point(event.x, event.y))
+
+    async def _erase_band(self) -> None:
+        """Remove the current rubber band, repairing what it covered.
+
+        The band may have crossed existing windows; erasure goes
+        through the base window's compositor (:meth:`BaseWindow.repair`)
+        so they reappear.  A transparent band painted only its outline,
+        so only the four one-cell border strips need repair; an opaque
+        band filled its interior and repairs wholesale.
+        """
+        if self._band is None:
+            return
+        if self._transparent:
+            for strip in _border_strips(self._band):
+                await invoke(self._base.repair, strip)
+        else:
+            await invoke(self._base.repair, self._band)
+
+    async def _redraw_band(self, band: Rect) -> None:
+        """Erase the old rubber band and draw the new one (each motion
+        event — the §2.1 per-event cost the benchmarks measure)."""
+        await self._erase_band()
+        if not self._transparent:
+            await invoke(self._screen.fill_rect, band, SWEEP_FILL)
+        await invoke(self._screen.draw_border, band, SWEEP_BORDER)
+        self._band = band
+
+    async def _finish(self, corner: Point) -> None:
+        """Button released: erase the band, create the window, and make
+        the single "window created" upcall to the next layer."""
+        final = Rect.spanning(self._anchor, corner).snap_to_grid(self._grid)
+        await self._erase_band()
+        self._anchor = None
+        self._band = None
+        await invoke(self._base.create_window, final)
+        self._windows_created += 1
+        await self.completed.deliver(final)
+
+
+def _border_strips(rect: Rect) -> list[Rect]:
+    """The four one-cell-thick strips forming a rect's outline."""
+    strips = [Rect(rect.x, rect.y, rect.width, 1)]
+    if rect.height > 1:
+        strips.append(Rect(rect.x, rect.bottom - 1, rect.width, 1))
+    if rect.height > 2:
+        strips.append(Rect(rect.x, rect.y + 1, 1, rect.height - 2))
+        if rect.width > 1:
+            strips.append(Rect(rect.right - 1, rect.y + 1, 1, rect.height - 2))
+    return strips

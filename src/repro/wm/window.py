@@ -1,0 +1,221 @@
+"""The window classes (paper §4.2, Figure 4.1).
+
+"The window class provides a window abstraction layered over the
+screen abstraction."  :class:`BaseWindow` is Figure 4.1's ``BaseW``:
+it registers its ``mouse`` procedure with the screen at construction
+("While creating BaseW, the window class registers the window::mouse
+procedure with S (by calling S.postinput) to handle all mouse button
+events"), keeps the stacking order of child windows, and on each
+event "determines if the mouse was inside any other windows and, if
+so, makes upcalls to them as well."
+
+Windows are placement-agnostic upward: a registered procedure may be
+a local callable (a server-loaded layer, Fig 4.1's ``user2``) or a
+RemoteUpcall (a client layer, ``user1``); downward they draw on the
+screen through whatever reference they hold — a local object or a
+proxy — via :func:`repro.core.invoke`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.core import UpcallPort, invoke
+from repro.stubs import RemoteInterface
+from repro.wm.events import InputEvent
+from repro.wm.geometry import Rect
+from repro.wm.screen import EMPTY, Screen
+
+_window_ids = itertools.count(1)
+
+#: Default cell values a window paints with.
+DEFAULT_FILL = 1
+DEFAULT_BORDER = 2
+
+
+class Window(RemoteInterface):
+    """One window: a rectangle on the screen plus an input port."""
+
+    def __init__(
+        self,
+        screen: Screen | None = None,
+        rect: Rect | None = None,
+        *,
+        fill: int = DEFAULT_FILL,
+        border: int = DEFAULT_BORDER,
+        title: str = "",
+    ):
+        self._screen = screen
+        self._rect = rect or Rect(0, 0, 1, 1)
+        self._fill = fill
+        self._border = border
+        self._title = title
+        self._id = next(_window_ids)
+        self.input = UpcallPort(f"window-{self._id}-input")
+
+    # -- remote API -------------------------------------------------------------------
+
+    def window_id(self) -> int:
+        return self._id
+
+    def bounds(self) -> Rect:
+        return self._rect
+
+    def contains(self, x: int, y: int) -> bool:
+        return self._rect.contains(x, y)
+
+    async def move_by(self, dx: int, dy: int) -> None:
+        """Move the window, erasing and redrawing (batchable)."""
+        await self.erase()
+        self._rect = self._rect.translate(dx, dy)
+        await self.draw()
+
+    async def draw(self) -> None:
+        """Paint fill, border, and title onto the screen (batchable)."""
+        await invoke(self._screen.fill_rect, self._rect, self._fill)
+        await invoke(self._screen.draw_border, self._rect, self._border)
+        if self._title and self._rect.width > 2:
+            text = self._title[: self._rect.width - 2]
+            await invoke(self._screen.draw_text, self._rect.x + 1, self._rect.y, text)
+
+    async def erase(self) -> None:
+        await invoke(self._screen.fill_rect, self._rect, EMPTY)
+
+    def title(self) -> str:
+        return self._title
+
+    async def set_title(self, title: str) -> None:
+        """Change the title bar text and redraw (batchable)."""
+        self._title = title
+        await self.draw()
+
+    def postinput(self, proc: Callable[[InputEvent], None]) -> bool:
+        """Register for this window's input events (Fig 4.1's
+        ``W2.postinput``)."""
+        self.input.register(proc)
+        return True
+
+    async def mouse(self, event: InputEvent) -> None:
+        """Upcall entry from the layer below: deliver to registrants."""
+        await self.handle_event(event)
+
+    async def handle_event(self, event: InputEvent) -> None:
+        """Deliver any event kind to this window's registrants.
+
+        The focus layer routes keyboard events here; ``mouse`` is the
+        historically named entry the base window calls (§4.2).
+        """
+        await self.input.deliver(event)
+
+    def __repr__(self) -> str:
+        return f"<Window {self._id} {self._rect}>"
+
+
+class BaseWindow(Window):
+    """Figure 4.1's ``BaseW``: the root window that routes mouse events.
+
+    Construction registers :meth:`mouse` with the screen; thereafter
+    the screen's input port calls upward into the base window, which
+    fans out to the topmost child under the pointer, or to its own
+    registrants for events on the bare background.
+    """
+
+    __clam_class__ = "base_window"
+
+    def __init__(self, screen: Screen):
+        super().__init__(screen, screen.size(), fill=EMPTY, border=EMPTY)
+        self._children: list[Window] = []
+        self.events_routed = 0
+        #: Observers that see every event BEFORE routing (focus, move
+        #: layers); they cannot consume events, only watch.
+        self.tap = UpcallPort("base-tap")
+        screen.postinput(self.mouse)  # the §4.2 registration
+
+    # -- window management -----------------------------------------------------------
+
+    async def create_window(self, rect: Rect) -> Window:
+        """Create, adopt, and draw a child window.
+
+        The return value is an object pointer: a remote caller receives
+        a handle and operates on the window by RPC (§3.5.1).
+        """
+        window = Window(self._screen, rect)
+        self._children.append(window)
+        await window.draw()
+        return window
+
+    def adopt(self, window: Window) -> bool:
+        """Take an existing window into the stacking order (topmost)."""
+        self._children.append(window)
+        return True
+
+    async def remove_window(self, window: Window) -> bool:
+        """Drop a child from the stacking order and repair the hole."""
+        try:
+            self._children.remove(window)
+        except ValueError:
+            return False
+        await self.repair(window.bounds())
+        return True
+
+    async def repair(self, rect: Rect) -> None:
+        """Repaint one damaged region: clear it, then redraw every
+        intersecting child in stacking order (bottom-up).
+
+        This is the compositor half of the screen's damage tracking:
+        any layer that scribbled on the screen (the sweep band, an
+        erased window) hands the dirty rect here and the windows
+        underneath reappear.
+        """
+        await invoke(self._screen.fill_rect, rect, EMPTY)
+        for child in self._children:
+            if child.bounds().overlaps(rect):
+                await child.draw()
+
+    def window_count(self) -> int:
+        return len(self._children)
+
+    def window_at(self, x: int, y: int) -> Window | None:
+        """The topmost window under (x, y), or None for the background.
+
+        Returned as an object pointer: remote callers receive a
+        handle/proxy for the window (§3.5.1).
+        """
+        for child in reversed(self._children):
+            if child.contains(x, y):
+                return child
+        return None
+
+    def posttap(self, proc: Callable[[InputEvent], None]) -> bool:
+        """Observe every event before routing (for focus/move layers)."""
+        self.tap.register(proc)
+        return True
+
+    async def raise_window(self, window: Window) -> bool:
+        """Bring a child to the top of the stacking order."""
+        if window not in self._children:
+            return False
+        self._children.remove(window)
+        self._children.append(window)
+        await window.draw()
+        return True
+
+    # -- event routing (§4.2) -----------------------------------------------------------
+
+    async def mouse(self, event: InputEvent) -> None:
+        """Route a raw mouse event to the topmost window under it.
+
+        "This procedure determines if the mouse was inside any other
+        windows and, if so, makes upcalls to them as well."  Keyboard
+        events and background mouse events go to the base window's own
+        registrants.
+        """
+        self.events_routed += 1
+        await self.tap.deliver(event)
+        if event.is_mouse:
+            for child in reversed(self._children):  # topmost first
+                if child.contains(event.x, event.y):
+                    await child.mouse(event)
+                    return
+        await self.input.deliver(event)

@@ -1,0 +1,32 @@
+"""Sun XDR-style external data representation (paper §3.3).
+
+The paper bundles every remote parameter through bidirectional Sun XDR
+filters "embedded in a C++ class"; a single bundler body both encodes
+and decodes depending on the stream's current operation (Figure 3.2).
+This package is a from-scratch implementation of that model on the
+RFC 1014 wire format: big-endian, every item padded to a 4-byte
+boundary.
+
+The central type is :class:`XdrStream`.  Its filter methods (``xint``,
+``xstring``, ``xarray``, ...) each take a value and return a value:
+when the stream op is ``ENCODE`` the argument is written and returned
+unchanged; when it is ``DECODE`` the argument is ignored and the
+decoded value is returned.  That convention is what lets a single
+user-written bundler serve both directions, exactly as in the paper's
+``point_bundler`` example.
+"""
+
+from repro.xdr.stream import XdrOp, XdrStream
+from repro.xdr.filters import (
+    xdr_filter_for,
+    encode_with,
+    decode_with,
+)
+
+__all__ = [
+    "XdrOp",
+    "XdrStream",
+    "xdr_filter_for",
+    "encode_with",
+    "decode_with",
+]

@@ -1,0 +1,106 @@
+"""Filter lookup and convenience wrappers over :class:`XdrStream`.
+
+A *filter* is any callable ``filter(stream, value) -> value`` that is
+bidirectional in the sense of §3.3: on an ENCODE stream it writes
+``value`` and returns it; on a DECODE stream it ignores ``value`` and
+returns what it read.  The bound methods of :class:`XdrStream` are not
+filters themselves (they take no stream argument), so this module
+exposes the unbound forms plus a type-driven lookup used by the
+automatic bundler generator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import XdrError
+from repro.xdr.stream import XdrOp, XdrStream
+
+Filter = Callable[[XdrStream, Any], Any]
+
+
+def xint(stream: XdrStream, value: int | None = None) -> int:
+    return stream.xint(value)
+
+
+def xuint(stream: XdrStream, value: int | None = None) -> int:
+    return stream.xuint(value)
+
+
+def xhyper(stream: XdrStream, value: int | None = None) -> int:
+    return stream.xhyper(value)
+
+
+def xuhyper(stream: XdrStream, value: int | None = None) -> int:
+    return stream.xuhyper(value)
+
+
+def xshort(stream: XdrStream, value: int | None = None) -> int:
+    return stream.xshort(value)
+
+
+def xbool(stream: XdrStream, value: bool | None = None) -> bool:
+    return stream.xbool(value)
+
+
+def xfloat(stream: XdrStream, value: float | None = None) -> float:
+    return stream.xfloat(value)
+
+
+def xdouble(stream: XdrStream, value: float | None = None) -> float:
+    return stream.xdouble(value)
+
+
+def xopaque(stream: XdrStream, value: bytes | None = None) -> bytes:
+    return stream.xopaque(value)
+
+
+def xstring(stream: XdrStream, value: str | None = None) -> str:
+    return stream.xstring(value)
+
+
+def xvoid(stream: XdrStream, value: None = None) -> None:
+    return stream.xvoid(value)
+
+
+#: Filters for Python builtin types.  ``int`` maps to the 64-bit hyper
+#: because Python ints routinely exceed 32 bits; width-specific filters
+#: remain available for protocols that need exact C layouts.
+_BUILTIN_FILTERS: dict[type, Filter] = {
+    bool: xbool,  # must precede int: bool is a subclass of int
+    int: xhyper,
+    float: xdouble,
+    bytes: xopaque,
+    str: xstring,
+    type(None): xvoid,
+}
+
+
+def xdr_filter_for(py_type: type) -> Filter:
+    """Return the canonical filter for a builtin Python type.
+
+    Raises :class:`XdrError` for types with no canonical wire form;
+    composite types are handled by the bundler layer, not here.
+    """
+    try:
+        return _BUILTIN_FILTERS[py_type]
+    except (KeyError, TypeError):
+        raise XdrError(f"no canonical XDR filter for type {py_type!r}") from None
+
+
+def encode_with(filter_fn: Filter, value: Any) -> bytes:
+    """Run one filter over one value on a fresh ENCODE stream."""
+    stream = XdrStream(XdrOp.ENCODE)
+    filter_fn(stream, value)
+    return stream.getvalue()
+
+
+def decode_with(filter_fn: Filter, data: bytes) -> Any:
+    """Run one filter over ``data`` on a fresh DECODE stream.
+
+    Raises :class:`XdrError` if the filter leaves trailing bytes.
+    """
+    stream = XdrStream(XdrOp.DECODE, data)
+    value = filter_fn(stream, None)
+    stream.expect_exhausted()
+    return value

@@ -1,0 +1,384 @@
+"""Bidirectional XDR stream (RFC 1014 wire format).
+
+One :class:`XdrStream` object serves both bundling and unbundling.  A
+stream is created with an operation, ``XdrOp.ENCODE`` or
+``XdrOp.DECODE``; every filter method then either writes its argument
+or reads a replacement for it.  This mirrors the paper's
+``RPC_XDR_stream->xget_op() == XDR_DECODE`` test in Figure 3.2 — user
+bundlers may branch on :meth:`XdrStream.op` when the two directions
+differ (typically only for allocation).
+
+Wire format (RFC 1014):
+
+- all quantities big-endian,
+- every item occupies a multiple of 4 bytes (opaque/string data is
+  zero-padded),
+- booleans and enums are 4-byte integers,
+- variable-length data is preceded by a 4-byte unsigned length.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import XdrError
+
+T = TypeVar("T")
+
+_INT32_MIN = -(2**31)
+_INT32_MAX = 2**31 - 1
+_UINT32_MAX = 2**32 - 1
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+_UINT64_MAX = 2**64 - 1
+
+# A guard against hostile or corrupt length prefixes: no single
+# variable-length item may claim more than this many bytes/elements.
+DEFAULT_MAX_LENGTH = 64 * 1024 * 1024
+
+
+class XdrOp(enum.Enum):
+    """Direction of an XDR stream, after Sun XDR's ``xdr_op``."""
+
+    ENCODE = "encode"
+    DECODE = "decode"
+
+
+def _pad(n: int) -> int:
+    """Number of zero bytes needed to pad ``n`` bytes to a 4-byte boundary."""
+    return (4 - (n & 3)) & 3
+
+
+class XdrStream:
+    """A bidirectional XDR encoder/decoder.
+
+    Create an encoding stream with :meth:`encoder`, fill it through the
+    filter methods, and extract the wire bytes with :meth:`getvalue`.
+    Create a decoding stream with :meth:`decoder` over received bytes
+    and run the *same* filter calls to get the values back.
+
+    Filter methods follow the bidirectional convention: ``value_out =
+    stream.xint(value_in)``.  On ENCODE, ``value_in`` is written and
+    returned; on DECODE, ``value_in`` is ignored (conventionally
+    ``None``) and the decoded value is returned.
+    """
+
+    def __init__(self, op: XdrOp, data: bytes = b"", *, max_length: int = DEFAULT_MAX_LENGTH):
+        if not isinstance(op, XdrOp):
+            raise XdrError(f"op must be an XdrOp, not {op!r}")
+        self._op = op
+        self._max_length = max_length
+        if op is XdrOp.ENCODE:
+            self._buffer = bytearray()
+            self._view = b""
+        else:
+            self._buffer = bytearray()
+            self._view = bytes(data)
+        self._pos = 0
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def encoder(cls) -> "XdrStream":
+        """Create a stream that bundles values into wire bytes."""
+        return cls(XdrOp.ENCODE)
+
+    @classmethod
+    def decoder(cls, data: bytes, *, max_length: int = DEFAULT_MAX_LENGTH) -> "XdrStream":
+        """Create a stream that unbundles values from ``data``."""
+        return cls(XdrOp.DECODE, data, max_length=max_length)
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def op(self) -> XdrOp:
+        """The stream direction; the analogue of ``xget_op()``."""
+        return self._op
+
+    @property
+    def encoding(self) -> bool:
+        return self._op is XdrOp.ENCODE
+
+    @property
+    def decoding(self) -> bool:
+        return self._op is XdrOp.DECODE
+
+    def getvalue(self) -> bytes:
+        """Return the bytes bundled so far (ENCODE streams only)."""
+        if self._op is not XdrOp.ENCODE:
+            raise XdrError("getvalue() is only valid on an ENCODE stream")
+        return bytes(self._buffer)
+
+    def remaining(self) -> int:
+        """Bytes left to consume (DECODE streams only)."""
+        if self._op is not XdrOp.DECODE:
+            raise XdrError("remaining() is only valid on a DECODE stream")
+        return len(self._view) - self._pos
+
+    def expect_exhausted(self) -> None:
+        """Raise :class:`XdrError` if a DECODE stream has trailing bytes."""
+        if self._op is XdrOp.DECODE and self.remaining() != 0:
+            raise XdrError(f"{self.remaining()} trailing bytes after decode")
+
+    # -- raw primitives -------------------------------------------------------
+
+    def _write(self, data: bytes) -> None:
+        self._buffer += data
+
+    def _read(self, n: int) -> bytes:
+        if n < 0:
+            raise XdrError(f"negative read length {n}")
+        end = self._pos + n
+        if end > len(self._view):
+            raise XdrError(
+                f"XDR underflow: need {n} bytes at offset {self._pos}, "
+                f"have {len(self._view) - self._pos}"
+            )
+        data = self._view[self._pos:end]
+        self._pos = end
+        return data
+
+    def _pack(self, fmt: str, value) -> None:
+        try:
+            self._write(struct.pack(fmt, value))
+        except struct.error as exc:
+            raise XdrError(f"cannot pack {value!r} as {fmt!r}: {exc}") from exc
+
+    def _unpack(self, fmt: str):
+        size = struct.calcsize(fmt)
+        (value,) = struct.unpack(fmt, self._read(size))
+        return value
+
+    # -- integer filters -------------------------------------------------------
+
+    def xint(self, value: int | None = None) -> int:
+        """Signed 32-bit integer."""
+        if self.encoding:
+            value = self._check_int(value, _INT32_MIN, _INT32_MAX, "int32")
+            self._pack(">i", value)
+            return value
+        return self._unpack(">i")
+
+    def xuint(self, value: int | None = None) -> int:
+        """Unsigned 32-bit integer."""
+        if self.encoding:
+            value = self._check_int(value, 0, _UINT32_MAX, "uint32")
+            self._pack(">I", value)
+            return value
+        return self._unpack(">I")
+
+    def xhyper(self, value: int | None = None) -> int:
+        """Signed 64-bit integer."""
+        if self.encoding:
+            value = self._check_int(value, _INT64_MIN, _INT64_MAX, "int64")
+            self._pack(">q", value)
+            return value
+        return self._unpack(">q")
+
+    def xuhyper(self, value: int | None = None) -> int:
+        """Unsigned 64-bit integer."""
+        if self.encoding:
+            value = self._check_int(value, 0, _UINT64_MAX, "uint64")
+            self._pack(">Q", value)
+            return value
+        return self._unpack(">Q")
+
+    def xshort(self, value: int | None = None) -> int:
+        """16-bit integer, carried as an int32 per XDR convention.
+
+        The paper's ``Point`` members are C ``short``s bundled with
+        ``xint``-style filters; this filter adds the range check.
+        """
+        if self.encoding:
+            value = self._check_int(value, -(2**15), 2**15 - 1, "short")
+            self._pack(">i", value)
+            return value
+        decoded = self._unpack(">i")
+        return self._check_int(decoded, -(2**15), 2**15 - 1, "short")
+
+    def xbool(self, value: bool | None = None) -> bool:
+        """Boolean, carried as an int32 of value 0 or 1."""
+        if self.encoding:
+            if not isinstance(value, bool):
+                raise XdrError(f"expected bool, got {type(value).__name__}")
+            self._pack(">i", 1 if value else 0)
+            return value
+        decoded = self._unpack(">i")
+        if decoded not in (0, 1):
+            raise XdrError(f"invalid XDR boolean {decoded}")
+        return bool(decoded)
+
+    def xenum(self, value: int | None = None, *, allowed: Iterable[int] | None = None) -> int:
+        """Enumeration: an int32 restricted to ``allowed`` values."""
+        allowed_set = None if allowed is None else frozenset(allowed)
+        if self.encoding:
+            value = self._check_int(value, _INT32_MIN, _INT32_MAX, "enum")
+            if allowed_set is not None and value not in allowed_set:
+                raise XdrError(f"enum value {value} not in {sorted(allowed_set)}")
+            self._pack(">i", value)
+            return value
+        decoded = self._unpack(">i")
+        if allowed_set is not None and decoded not in allowed_set:
+            raise XdrError(f"enum value {decoded} not in {sorted(allowed_set)}")
+        return decoded
+
+    # -- floating point ---------------------------------------------------------
+
+    def xfloat(self, value: float | None = None) -> float:
+        """IEEE single-precision float."""
+        if self.encoding:
+            value = self._check_float(value)
+            self._pack(">f", value)
+            return value
+        return self._unpack(">f")
+
+    def xdouble(self, value: float | None = None) -> float:
+        """IEEE double-precision float."""
+        if self.encoding:
+            value = self._check_float(value)
+            self._pack(">d", value)
+            return value
+        return self._unpack(">d")
+
+    # -- opaque data and strings -------------------------------------------------
+
+    def xopaque_fixed(self, value: bytes | None = None, *, size: int = 0) -> bytes:
+        """Fixed-length opaque data of exactly ``size`` bytes."""
+        if size < 0:
+            raise XdrError(f"negative opaque size {size}")
+        if self.encoding:
+            if not isinstance(value, (bytes, bytearray, memoryview)):
+                raise XdrError(f"expected bytes, got {type(value).__name__}")
+            value = bytes(value)
+            if len(value) != size:
+                raise XdrError(f"fixed opaque needs {size} bytes, got {len(value)}")
+            self._write(value)
+            self._write(b"\x00" * _pad(size))
+            return value
+        data = self._read(size)
+        pad = self._read(_pad(size))
+        if pad.strip(b"\x00"):
+            raise XdrError("nonzero XDR padding")
+        return data
+
+    def xopaque(self, value: bytes | None = None) -> bytes:
+        """Variable-length opaque data (length-prefixed)."""
+        if self.encoding:
+            if not isinstance(value, (bytes, bytearray, memoryview)):
+                raise XdrError(f"expected bytes, got {type(value).__name__}")
+            value = bytes(value)
+            if len(value) > self._max_length:
+                raise XdrError(f"opaque of {len(value)} bytes exceeds max {self._max_length}")
+            self.xuint(len(value))
+            self._write(value)
+            self._write(b"\x00" * _pad(len(value)))
+            return value
+        length = self.xuint()
+        if length > self._max_length:
+            raise XdrError(f"opaque length {length} exceeds max {self._max_length}")
+        data = self._read(length)
+        pad = self._read(_pad(length))
+        if pad.strip(b"\x00"):
+            raise XdrError("nonzero XDR padding")
+        return data
+
+    def xstring(self, value: str | None = None) -> str:
+        """UTF-8 string carried as variable-length opaque data."""
+        if self.encoding:
+            if not isinstance(value, str):
+                raise XdrError(f"expected str, got {type(value).__name__}")
+            self.xopaque(value.encode("utf-8"))
+            return value
+        raw = self.xopaque()
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise XdrError(f"invalid UTF-8 in XDR string: {exc}") from exc
+
+    # -- composites ------------------------------------------------------------
+
+    def xarray(
+        self,
+        filter_fn: Callable[["XdrStream", T | None], T],
+        value: Sequence[T] | None = None,
+    ) -> list[T]:
+        """Variable-length array; each element goes through ``filter_fn``.
+
+        ``filter_fn`` is called as ``filter_fn(stream, element)`` and
+        must itself be bidirectional.  This is the composite the
+        paper's ``pt_array_bundler`` builds by hand.
+        """
+        if self.encoding:
+            if value is None:
+                raise XdrError("cannot encode None as an array")
+            self.xuint(len(value))
+            for element in value:
+                filter_fn(self, element)
+            return list(value)
+        length = self.xuint()
+        if length > self._max_length:
+            raise XdrError(f"array length {length} exceeds max {self._max_length}")
+        return [filter_fn(self, None) for _ in range(length)]
+
+    def xarray_fixed(
+        self,
+        filter_fn: Callable[["XdrStream", T | None], T],
+        value: Sequence[T] | None = None,
+        *,
+        size: int = 0,
+    ) -> list[T]:
+        """Fixed-length array of exactly ``size`` elements."""
+        if size < 0:
+            raise XdrError(f"negative array size {size}")
+        if self.encoding:
+            if value is None or len(value) != size:
+                got = "None" if value is None else str(len(value))
+                raise XdrError(f"fixed array needs {size} elements, got {got}")
+            for element in value:
+                filter_fn(self, element)
+            return list(value)
+        return [filter_fn(self, None) for _ in range(size)]
+
+    def xoptional(
+        self,
+        filter_fn: Callable[["XdrStream", T | None], T],
+        value: T | None = None,
+    ) -> T | None:
+        """XDR optional-data ("pointer"): a boolean then, if true, the value.
+
+        This is the wire form of a nullable pointer — the building
+        block for the default pointer bundler of §3.5 and for the
+        recursive structures of §3.1.
+        """
+        if self.encoding:
+            present = value is not None
+            self.xbool(present)
+            if present:
+                filter_fn(self, value)
+            return value
+        if self.xbool():
+            return filter_fn(self, None)
+        return None
+
+    def xvoid(self, value: None = None) -> None:
+        """Void: nothing on the wire.  Exists so every signature has a filter."""
+        return None
+
+    # -- validation helpers ------------------------------------------------------
+
+    @staticmethod
+    def _check_int(value, lo: int, hi: int, kind: str) -> int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise XdrError(f"expected {kind}, got {type(value).__name__}")
+        if not lo <= value <= hi:
+            raise XdrError(f"{kind} out of range: {value}")
+        return value
+
+    @staticmethod
+    def _check_float(value) -> float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise XdrError(f"expected float, got {type(value).__name__}")
+        value = float(value)
+        return value

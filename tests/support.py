@@ -1,0 +1,42 @@
+"""Shared helpers for the test suite.
+
+pytest-asyncio is not available in this environment, so async tests are
+plain functions decorated with :func:`async_test`, which runs the
+coroutine on a fresh event loop per test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from typing import Any, Awaitable, Callable, Coroutine
+
+
+def async_test(fn: Callable[..., Coroutine[Any, Any, Any]]):
+    """Run an ``async def`` test on a fresh event loop."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        return asyncio.run(asyncio.wait_for(fn(*args, **kwargs), timeout=60))
+
+    return wrapper
+
+
+async def eventually(
+    predicate: Callable[[], bool],
+    *,
+    timeout: float = 5.0,
+    interval: float = 0.001,
+) -> None:
+    """Await until ``predicate()`` is true, or fail after ``timeout``."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        if loop.time() > deadline:
+            raise AssertionError("condition not reached before timeout")
+        await asyncio.sleep(interval)
+
+
+async def gather_with_timeout(*aws: Awaitable[Any], timeout: float = 30.0):
+    """``asyncio.gather`` wrapped in a timeout so hung tests fail fast."""
+    return await asyncio.wait_for(asyncio.gather(*aws), timeout=timeout)

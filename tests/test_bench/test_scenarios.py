@@ -1,0 +1,97 @@
+"""Smoke tests for the benchmark harness itself.
+
+Every Figure 5.1 scenario must prepare, run, and clean up; the table
+formatters must render; the CLI must parse.  These keep the harness
+from rotting between benchmark runs.
+"""
+
+import pytest
+
+from repro.bench import FIG51_ROWS, prepare_scenario
+from repro.bench.fig51 import Measurement, format_table
+from repro.bench.scenarios import row
+from tests.support import async_test
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("key", [r.key for r in FIG51_ROWS])
+    @async_test
+    async def test_prepare_run_cleanup(self, key, tmp_path):
+        run_n, cleanup = await prepare_scenario(key, str(tmp_path))
+        try:
+            await run_n(3)
+        finally:
+            await cleanup()
+
+    @async_test
+    async def test_unknown_scenario(self, tmp_path):
+        with pytest.raises(KeyError):
+            await prepare_scenario("nonsense", str(tmp_path))
+
+    def test_rows_have_paper_numbers(self):
+        assert len(FIG51_ROWS) == 9
+        for entry in FIG51_ROWS:
+            assert entry.paper_us > 0
+            assert entry.batch > 0
+        # The paper's exact figures.
+        assert row("static").paper_us == 19
+        assert row("upcall_wan").paper_us == 12800
+
+    def test_row_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            row("nope")
+
+
+class TestFormatting:
+    def test_fig51_table_renders(self):
+        measurements = [
+            Measurement(row=r, per_call_us=r.paper_us / 100) for r in FIG51_ROWS
+        ]
+        text = format_table(measurements)
+        assert "Figure 5.1" in text
+        assert "Staticly linked procedure call" in text
+        assert "shape checks" in text
+
+    def test_batching_table_renders(self):
+        from repro.bench.batching import BatchingResult, format_table as fmt
+
+        results = [
+            BatchingResult(max_batch=1, calls=100, per_call_us=50.0, frames_sent=100),
+            BatchingResult(max_batch=64, calls=100, per_call_us=30.0, frames_sent=2),
+        ]
+        text = fmt(results)
+        assert "batching" in text
+        assert "speedup" in text
+
+    def test_bundlers_table_renders(self):
+        from repro.bench.bundlers_bench import measure_bundlers, format_table as fmt
+
+        results = measure_bundlers(tree_sizes=(7,), iterations=2)
+        text = fmt(results)
+        assert "closure" in text
+
+    def test_tree_builder_threads(self):
+        from repro.bench.bundlers_bench import build_tree
+
+        root = build_tree(7)
+        seen = []
+        node = root
+        while node.left is not None:
+            node = node.left
+        while node is not None:
+            seen.append(node.key)
+            node = node.thread
+        assert seen == list(range(7))
+
+
+class TestCli:
+    def test_suite_choices(self):
+        from repro.bench.__main__ import SUITES
+
+        assert "fig51" in SUITES and "upcalls" in SUITES
+
+    def test_bad_suite_rejected(self):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["warp-drive"])

@@ -1,0 +1,234 @@
+"""Tests for automatic bundler derivation (paper §3.1: the Lupine side)."""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import pytest
+
+from repro.errors import BundleError
+from repro.bundlers import BundlerRegistry, derive_bundler
+from repro.bundlers.auto import structural_resolver
+from repro.xdr import XdrStream
+
+
+def fresh_registry():
+    registry = BundlerRegistry()
+    registry.add_resolver(structural_resolver)
+    return registry
+
+
+def roundtrip(annotation, value, registry=None):
+    registry = registry or fresh_registry()
+    bundler = derive_bundler(annotation, registry)
+    enc = XdrStream.encoder()
+    bundler(enc, value)
+    dec = XdrStream.decoder(enc.getvalue())
+    result = bundler(dec, None)
+    dec.expect_exhausted()
+    return result
+
+
+@dataclass
+class Point:
+    """The paper's Point struct (Fig 3.1): three shorts — pointer-free."""
+
+    x: int
+    y: int
+    z: int
+
+
+@dataclass
+class Line:
+    start: Point
+    end: Point
+    label: str
+
+
+@dataclass(frozen=True)
+class FrozenPoint:
+    x: int
+    y: int
+
+
+@dataclass
+class Node:
+    value: int
+    next: Optional["Node"]
+
+
+class Color(enum.Enum):
+    RED = 1
+    GREEN = 2
+    BLUE = 3
+
+
+class Weird(enum.Enum):
+    NAMED = "name"
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize(
+        "annotation,value",
+        [
+            (int, -123456789),
+            (bool, True),
+            (float, 2.5),
+            (str, "window"),
+            (bytes, b"\x00\x01"),
+            (type(None), None),
+        ],
+    )
+    def test_roundtrip(self, annotation, value):
+        assert roundtrip(annotation, value) == value
+
+    def test_none_annotation_means_nonetype(self):
+        assert roundtrip(None, None) is None
+
+
+class TestStructs:
+    def test_point_roundtrip(self):
+        """Pointer-free structs bundle automatically (paper §3.1)."""
+        assert roundtrip(Point, Point(1, -2, 3)) == Point(1, -2, 3)
+
+    def test_nested_struct(self):
+        line = Line(Point(0, 0, 0), Point(9, 9, 9), "diag")
+        assert roundtrip(Line, line) == line
+
+    def test_frozen_dataclass(self):
+        assert roundtrip(FrozenPoint, FrozenPoint(4, 5)) == FrozenPoint(4, 5)
+
+    def test_wrong_type_rejected_on_encode(self):
+        bundler = derive_bundler(Point, fresh_registry())
+        with pytest.raises(BundleError):
+            bundler(XdrStream.encoder(), "not a point")
+
+    def test_recursive_struct_refused(self):
+        """§3.1: the stub generator can't know how much data to pass."""
+        with pytest.raises(BundleError, match="recursive"):
+            derive_bundler(Node, fresh_registry())
+
+    def test_recursion_refusal_mentions_pointer_module(self):
+        with pytest.raises(BundleError, match="pointer"):
+            derive_bundler(Node, fresh_registry())
+
+    def test_derivation_failure_leaves_registry_usable(self):
+        registry = fresh_registry()
+        with pytest.raises(BundleError):
+            derive_bundler(Node, registry)
+        # A later, valid derivation still works.
+        assert roundtrip(Point, Point(1, 2, 3), registry) == Point(1, 2, 3)
+
+
+class TestContainers:
+    def test_list_of_int(self):
+        assert roundtrip(list[int], [1, 2, 3]) == [1, 2, 3]
+
+    def test_list_of_struct(self):
+        pts = [Point(i, i, i) for i in range(4)]
+        assert roundtrip(list[Point], pts) == pts
+
+    def test_empty_list(self):
+        assert roundtrip(list[str], []) == []
+
+    def test_optional_present_and_absent(self):
+        assert roundtrip(Optional[int], 5) == 5
+        assert roundtrip(Optional[int], None) is None
+
+    def test_optional_pep604(self):
+        assert roundtrip(int | None, 7) == 7
+        assert roundtrip(int | None, None) is None
+
+    def test_optional_struct(self):
+        assert roundtrip(Optional[Point], Point(1, 2, 3)) == Point(1, 2, 3)
+
+    def test_fixed_tuple(self):
+        assert roundtrip(tuple[int, str, bool], (1, "a", True)) == (1, "a", True)
+
+    def test_fixed_tuple_arity_mismatch(self):
+        bundler = derive_bundler(tuple[int, str], fresh_registry())
+        with pytest.raises(BundleError):
+            bundler(XdrStream.encoder(), (1, "a", "extra"))
+
+    def test_variadic_tuple(self):
+        assert roundtrip(tuple[int, ...], (1, 2, 3)) == (1, 2, 3)
+
+    def test_dict(self):
+        d = {"w1": 10, "w2": 20}
+        assert roundtrip(dict[str, int], d) == d
+
+    def test_nested_containers(self):
+        value = [[1, 2], [], [3]]
+        assert roundtrip(list[list[int]], value) == value
+
+    def test_general_union_refused(self):
+        with pytest.raises(BundleError, match="union"):
+            derive_bundler(int | str, fresh_registry())
+
+
+class TestEnums:
+    def test_enum_roundtrip(self):
+        assert roundtrip(Color, Color.GREEN) is Color.GREEN
+
+    def test_enum_wrong_member_type_rejected(self):
+        bundler = derive_bundler(Color, fresh_registry())
+        with pytest.raises(BundleError):
+            bundler(XdrStream.encoder(), 2)  # raw int, not a Color
+
+    def test_non_integer_enum_refused(self):
+        with pytest.raises(BundleError, match="non-integer"):
+            derive_bundler(Weird, fresh_registry())
+
+    def test_enum_in_struct(self):
+        @dataclass
+        class Pixel:
+            pos: Point
+            color: Color
+
+        pixel = Pixel(Point(1, 2, 3), Color.BLUE)
+        assert roundtrip(Pixel, pixel) == pixel
+
+
+class TestRegistryPrecedence:
+    def test_typedef_registration_wins_over_derivation(self):
+        """The typedef form (§3.2): register once, used everywhere."""
+        calls = []
+
+        def custom_point_bundler(stream, value, *extra):
+            calls.append(stream.op)
+            if stream.encoding:
+                stream.xint(value.x)  # only x crosses the wire
+                return value
+            return Point(stream.xint(), 0, 0)
+
+        registry = fresh_registry()
+        registry.register(Point, custom_point_bundler)
+        out = roundtrip(Point, Point(7, 8, 9), registry)
+        assert out == Point(7, 0, 0)
+        assert len(calls) == 2
+
+    def test_registered_bundler_used_inside_containers(self):
+        def tiny(stream, value, *extra):
+            if stream.encoding:
+                stream.xint(value.x)
+                return value
+            return Point(stream.xint(), 0, 0)
+
+        registry = fresh_registry()
+        registry.register(Point, tiny)
+        out = roundtrip(list[Point], [Point(1, 2, 3), Point(4, 5, 6)], registry)
+        assert out == [Point(1, 0, 0), Point(4, 0, 0)]
+
+    def test_unknown_type_message_mentions_bundled(self):
+        class Mystery:
+            pass
+
+        with pytest.raises(BundleError, match="Bundled"):
+            derive_bundler(Mystery, fresh_registry())
+
+    def test_child_registry_isolated(self):
+        parent = fresh_registry()
+        child = parent.child()
+        child.register(Point, lambda s, v, *e: v)
+        assert parent.registered(Point) is None
+        assert child.registered(Point) is not None

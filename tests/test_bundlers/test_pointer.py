@@ -1,0 +1,199 @@
+"""Tests for the two pointer strategies (paper §3.1, §3.5).
+
+The running example is the paper's own: "the ways in which a node of
+a threaded, binary tree can be passed to a remote procedure."
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+import pytest
+
+from repro.errors import BundleError
+from repro.bundlers import closure_bundler, referent_bundler
+from repro.xdr import XdrStream
+
+
+@dataclass
+class TreeNode:
+    """A threaded binary tree node: left/right children plus a thread
+    pointer to the in-order successor — the graph is cyclic."""
+
+    key: int
+    left: Optional["TreeNode"]
+    right: Optional["TreeNode"]
+    thread: Optional["TreeNode"]
+
+
+def build_threaded_tree(keys):
+    """Build a BST then thread it: each node's ``thread`` is its in-order successor."""
+    root = None
+    for key in keys:
+        node = TreeNode(key, None, None, None)
+        if root is None:
+            root = node
+            continue
+        cursor = root
+        while True:
+            if key < cursor.key:
+                if cursor.left is None:
+                    cursor.left = node
+                    break
+                cursor = cursor.left
+            else:
+                if cursor.right is None:
+                    cursor.right = node
+                    break
+                cursor = cursor.right
+    order = []
+
+    def inorder(n):
+        if n is None:
+            return
+        inorder(n.left)
+        order.append(n)
+        inorder(n.right)
+
+    inorder(root)
+    for a, b in zip(order, order[1:]):
+        a.thread = b
+    return root, order
+
+
+def run(bundler, value):
+    enc = XdrStream.encoder()
+    bundler(enc, value)
+    dec = XdrStream.decoder(enc.getvalue())
+    result = bundler(dec, None)
+    dec.expect_exhausted()
+    return result, len(enc.getvalue())
+
+
+class TestReferentBundler:
+    def test_node_only_children_nil(self):
+        """§3.5: "it bundles only the object referred to by the pointer"."""
+        root, _ = build_threaded_tree([5, 3, 8])
+        bundler = referent_bundler(TreeNode)
+        out, _size = run(bundler, root)
+        assert out.key == 5
+        assert out.left is None and out.right is None and out.thread is None
+
+    def test_nil_pointer(self):
+        bundler = referent_bundler(TreeNode)
+        out, _ = run(bundler, None)
+        assert out is None
+
+    def test_size_independent_of_tree_size(self):
+        bundler = referent_bundler(TreeNode)
+        small_root, _ = build_threaded_tree([1])
+        big_root, _ = build_threaded_tree(list(range(100)))
+        _, small_size = run(bundler, small_root)
+        _, big_size = run(bundler, big_root)
+        assert small_size == big_size
+
+    def test_wrong_type_rejected(self):
+        bundler = referent_bundler(TreeNode)
+        with pytest.raises(BundleError):
+            bundler(XdrStream.encoder(), "not a node")
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(BundleError):
+            referent_bundler(int)
+
+
+class TestClosureBundler:
+    def test_whole_tree_travels(self):
+        """§3.1: "taking the transitive closure can cause the whole tree
+        to be passed remotely"."""
+        root, order = build_threaded_tree([5, 3, 8, 1, 4, 7, 9])
+        bundler = closure_bundler(TreeNode)
+        out, _ = run(bundler, root)
+
+        def keys_inorder(n, acc):
+            if n is None:
+                return acc
+            keys_inorder(n.left, acc)
+            acc.append(n.key)
+            keys_inorder(n.right, acc)
+            return acc
+
+        assert keys_inorder(out, []) == [n.key for n in order]
+
+    def test_threads_preserved(self):
+        """Cycles (thread pointers) survive the closure."""
+        root, order = build_threaded_tree([5, 3, 8])
+        bundler = closure_bundler(TreeNode)
+        out, _ = run(bundler, root)
+        decoded_order = []
+
+        def inorder(n):
+            if n is None:
+                return
+            inorder(n.left)
+            decoded_order.append(n)
+            inorder(n.right)
+
+        inorder(out)
+        for a, b in zip(decoded_order, decoded_order[1:]):
+            assert a.thread is b
+
+    def test_sharing_preserved(self):
+        shared = TreeNode(1, None, None, None)
+        root = TreeNode(0, shared, shared, None)
+        bundler = closure_bundler(TreeNode)
+        out, _ = run(bundler, root)
+        assert out.left is out.right
+
+    def test_self_cycle(self):
+        node = TreeNode(1, None, None, None)
+        node.thread = node
+        bundler = closure_bundler(TreeNode)
+        out, _ = run(bundler, node)
+        assert out.thread is out
+
+    def test_nil(self):
+        bundler = closure_bundler(TreeNode)
+        out, _ = run(bundler, None)
+        assert out is None
+
+    def test_size_grows_with_tree(self):
+        """The §3.1 performance argument: closure size scales with the graph."""
+        bundler = closure_bundler(TreeNode)
+        small, _ = build_threaded_tree(list(range(4)))
+        big, _ = build_threaded_tree(list(range(64)))
+        _, small_size = run(bundler, small)
+        _, big_size = run(bundler, big)
+        assert big_size > small_size * 10
+
+    def test_heterogeneous_pointer_rejected(self):
+        @dataclass
+        class Other:
+            v: int
+
+        @dataclass
+        class Mixed:
+            child: Optional[Other]
+
+        with pytest.raises(BundleError, match="homogeneous"):
+            closure_bundler(Mixed)
+
+    def test_corrupt_index_rejected(self):
+        bundler = closure_bundler(TreeNode)
+        enc = XdrStream.encoder()
+        enc.xuint(1)        # one node
+        enc.xhyper(5)       # key
+        enc.xint(99)        # left -> out of range
+        enc.xint(-1)
+        enc.xint(-1)
+        with pytest.raises(BundleError):
+            bundler(XdrStream.decoder(enc.getvalue()), None)
+
+
+class TestStrategyComparison:
+    def test_closure_bigger_than_referent(self):
+        """The paper's trade-off in one assertion: when only the node is
+        wanted, the closure's extra bytes are pure waste."""
+        root, _ = build_threaded_tree(list(range(50)))
+        _, referent_size = run(referent_bundler(TreeNode), root)
+        _, closure_size = run(closure_bundler(TreeNode), root)
+        assert closure_size > referent_size * 20

@@ -1,0 +1,52 @@
+"""Tests for repro.core.invoke — the placement-agnostic call helper."""
+
+import pytest
+
+from repro.core import invoke
+from tests.support import async_test
+
+
+@async_test
+async def test_sync_callable():
+    assert await invoke(lambda a, b: a + b, 2, 3) == 5
+
+
+@async_test
+async def test_async_callable():
+    async def add(a, b):
+        return a + b
+
+    assert await invoke(add, 2, 3) == 5
+
+
+@async_test
+async def test_bound_methods():
+    class Thing:
+        def twice(self, x):
+            return x * 2
+
+        async def thrice(self, x):
+            return x * 3
+
+    thing = Thing()
+    assert await invoke(thing.twice, 4) == 8
+    assert await invoke(thing.thrice, 4) == 12
+
+
+@async_test
+async def test_exceptions_propagate():
+    def boom():
+        raise ValueError("sync boom")
+
+    async def aboom():
+        raise KeyError("async boom")
+
+    with pytest.raises(ValueError):
+        await invoke(boom)
+    with pytest.raises(KeyError):
+        await invoke(aboom)
+
+
+@async_test
+async def test_no_arguments():
+    assert await invoke(lambda: "bare") == "bare"

@@ -1,0 +1,210 @@
+"""Tests for upcall registration and delivery (paper §4.1)."""
+
+import pytest
+
+from repro.errors import RegistrationError
+from repro.core import Registration, UnhandledPolicy, UpcallPort
+from tests.support import async_test
+
+
+class TestRegistration:
+    def test_register_returns_receipt(self):
+        port = UpcallPort("mouse")
+        registration = port.register(lambda e: None)
+        assert isinstance(registration, Registration)
+        assert registration.port_name == "mouse"
+        assert port.registrant_count == 1
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(RegistrationError):
+            UpcallPort().register("not callable")
+
+    def test_unregister(self):
+        port = UpcallPort()
+        registration = port.register(lambda e: None)
+        port.unregister(registration)
+        assert port.registrant_count == 0
+
+    def test_unregister_twice_rejected(self):
+        port = UpcallPort()
+        registration = port.register(lambda e: None)
+        port.unregister(registration)
+        with pytest.raises(RegistrationError):
+            port.unregister(registration)
+
+    def test_unregister_wrong_port_rejected(self):
+        port_a = UpcallPort("a")
+        port_b = UpcallPort("b")
+        registration = port_a.register(lambda e: None)
+        with pytest.raises(RegistrationError):
+            port_b.unregister(registration)
+
+    def test_zero_or_more_registrants(self):
+        """§4.1: zero or more higher layers may be registered."""
+        port = UpcallPort()
+        assert port.registrant_count == 0
+        for _ in range(3):
+            port.register(lambda e: None)
+        assert port.registrant_count == 3
+
+
+class TestDelivery:
+    @async_test
+    async def test_all_registrants_called_in_order(self):
+        port = UpcallPort()
+        calls = []
+        port.register(lambda e: calls.append(("first", e)))
+        port.register(lambda e: calls.append(("second", e)))
+        await port.deliver("event")
+        assert calls == [("first", "event"), ("second", "event")]
+
+    @async_test
+    async def test_results_collected(self):
+        port = UpcallPort()
+        port.register(lambda x: x + 1)
+        port.register(lambda x: x * 2)
+        assert await port.deliver(10) == [11, 20]
+
+    @async_test
+    async def test_async_registrants_awaited(self):
+        port = UpcallPort()
+
+        async def handler(x):
+            return x * 3
+
+        port.register(handler)
+        assert await port.deliver(5) == [15]
+
+    @async_test
+    async def test_multiple_arguments(self):
+        port = UpcallPort()
+        port.register(lambda x, y, b: (x, y, b))
+        assert await port.deliver(3, 4, 1) == [(3, 4, 1)]
+
+    @async_test
+    async def test_delivered_counter(self):
+        port = UpcallPort()
+        port.register(lambda e: None)
+        await port.deliver(1)
+        await port.deliver(2)
+        assert port.delivered == 2
+
+
+class TestUnhandledPolicy:
+    @async_test
+    async def test_discard_by_default(self):
+        """§4.1: the lower level may throw the event away."""
+        port = UpcallPort()
+        assert await port.deliver("lost") == []
+        assert port.discarded == 1
+        assert port.queued_count == 0
+
+    @async_test
+    async def test_queue_policy_keeps_events(self):
+        """§4.1: the lower level may queue up the event for later use."""
+        port = UpcallPort(unhandled=UnhandledPolicy.QUEUE)
+        await port.deliver("early-1")
+        await port.deliver("early-2")
+        assert port.queued_count == 2
+
+        seen = []
+        port.register(lambda e: seen.append(e))
+        replayed = await port.replay_queued()
+        assert replayed == 2
+        assert seen == ["early-1", "early-2"]
+        assert port.queued_count == 0
+
+    @async_test
+    async def test_replay_without_registrants_is_noop(self):
+        port = UpcallPort(unhandled=UnhandledPolicy.QUEUE)
+        await port.deliver("e")
+        assert await port.replay_queued() == 0
+        assert port.queued_count == 1
+
+    @async_test
+    async def test_queue_bounded(self):
+        port = UpcallPort(unhandled=UnhandledPolicy.QUEUE, max_queued=3)
+        for i in range(10):
+            await port.deliver(i)
+        assert port.queued_count == 3  # oldest dropped
+
+    @async_test
+    async def test_events_after_registration_not_queued(self):
+        port = UpcallPort(unhandled=UnhandledPolicy.QUEUE)
+        seen = []
+        port.register(lambda e: seen.append(e))
+        await port.deliver("live")
+        assert seen == ["live"]
+        assert port.queued_count == 0
+
+
+class TestFailurePropagation:
+    @async_test
+    async def test_registrant_exception_propagates_and_halts_fanout(self):
+        """A failing registrant aborts the remaining fan-out: the
+        lower layer's upcall raises, exactly as a failing local
+        procedure call would.  (Callers wanting isolation wrap their
+        registrants; the port does not silently swallow errors.)"""
+        port = UpcallPort()
+        reached = []
+        port.register(lambda e: reached.append("first"))
+
+        def failing(e):
+            raise RuntimeError("registrant bug")
+
+        port.register(failing)
+        port.register(lambda e: reached.append("third"))
+        with pytest.raises(RuntimeError, match="registrant bug"):
+            await port.deliver("event")
+        assert reached == ["first"]
+
+    @async_test
+    async def test_port_usable_after_registrant_failure(self):
+        port = UpcallPort()
+
+        calls = []
+
+        def flaky(e):
+            calls.append(e)
+            if e == "bad":
+                raise ValueError("once")
+
+        port.register(flaky)
+        with pytest.raises(ValueError):
+            await port.deliver("bad")
+        await port.deliver("good")
+        assert calls == ["bad", "good"]
+
+
+class TestTransparency:
+    @async_test
+    async def test_local_and_remote_indistinguishable(self):
+        """§4.1: the port treats a RemoteUpcall like any local procedure."""
+        from typing import Callable
+
+        from repro.bundlers import BundlerRegistry
+        from repro.bundlers.auto import structural_resolver
+        from repro.core import CallbackTable, UpcallSignature, RemoteUpcall
+
+        registry = BundlerRegistry()
+        registry.add_resolver(structural_resolver)
+        table = CallbackTable()
+        remote_seen = []
+        local_seen = []
+
+        class FakeChannel:
+            async def send_upcall(self, callback_id, args):
+                proc, signature = table.look_up(callback_id)
+                proc(*signature.unbundle_args(args))
+                return b""
+
+        signature = UpcallSignature.from_annotation(Callable[[int], None], registry)
+        callback_id = table.register(lambda x: remote_seen.append(x), signature)
+        ruc = RemoteUpcall(callback_id, signature, FakeChannel())
+
+        port = UpcallPort("input")
+        port.register(lambda x: local_seen.append(x))  # local upcall
+        port.register(ruc)                             # distributed upcall
+        await port.deliver(7)
+        assert local_seen == [7]
+        assert remote_seen == [7]

@@ -1,0 +1,237 @@
+"""Tests for the RUC machinery (paper §3.5.2).
+
+A fake upcall channel wires the server-side RemoteUpcall directly to
+the client-side CallbackTable, closing the loop without sockets: the
+real runtimes replace the fake with the upcall MessageChannel.
+"""
+
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Optional
+
+import pytest
+
+from repro.errors import BundleError, UpcallError
+from repro.bundlers import BundlerRegistry
+from repro.bundlers.auto import structural_resolver
+from repro.core import (
+    CallbackTable,
+    RemoteUpcall,
+    UpcallSignature,
+    install_client_callbacks,
+    install_server_callbacks,
+)
+from repro.xdr import XdrStream
+from tests.support import async_test
+
+
+@dataclass
+class Event:
+    x: int
+    y: int
+    button: int
+
+
+def fresh_registry():
+    registry = BundlerRegistry()
+    registry.add_resolver(structural_resolver)
+    return registry
+
+
+class LoopbackUpcallChannel:
+    """Delivers upcalls straight into a client-side CallbackTable."""
+
+    def __init__(self, table: CallbackTable):
+        self.table = table
+        self.upcalls_sent = 0
+
+    async def send_upcall(self, callback_id: int, args: bytes) -> bytes:
+        self.upcalls_sent += 1
+        proc, signature = self.table.look_up(callback_id)
+        values = signature.unbundle_args(args)
+        result = proc(*values)
+        if hasattr(result, "__await__"):
+            result = await result
+        return signature.bundle_result(result)
+
+
+class TestUpcallSignature:
+    def test_parse_callable_annotation(self):
+        sig = UpcallSignature.from_annotation(
+            Callable[[Event, int], bool], fresh_registry()
+        )
+        assert sig.arg_types == (Event, int)
+        assert sig.result_type is bool
+
+    def test_parse_void_result(self):
+        sig = UpcallSignature.from_annotation(Callable[[int], None], fresh_registry())
+        assert sig.result_type is type(None)
+
+    def test_awaitable_result_unwrapped(self):
+        sig = UpcallSignature.from_annotation(
+            Callable[[int], Awaitable[int]], fresh_registry()
+        )
+        assert sig.result_type is int
+
+    def test_ellipsis_rejected(self):
+        """§3.5.2: the declaration must specify each parameter type."""
+        with pytest.raises(BundleError, match="parameter types"):
+            UpcallSignature.from_annotation(Callable[..., None], fresh_registry())
+
+    def test_args_roundtrip(self):
+        sig = UpcallSignature.from_annotation(
+            Callable[[Event, str], None], fresh_registry()
+        )
+        args = sig.unbundle_args(sig.bundle_args((Event(1, 2, 3), "w1")))
+        assert args == (Event(1, 2, 3), "w1")
+
+    def test_result_roundtrip(self):
+        sig = UpcallSignature.from_annotation(Callable[[int], int], fresh_registry())
+        assert sig.unbundle_result(sig.bundle_result(99)) == 99
+
+    def test_void_result_is_empty_payload(self):
+        sig = UpcallSignature.from_annotation(Callable[[int], None], fresh_registry())
+        assert sig.bundle_result(None) == b""
+        assert sig.unbundle_result(b"") is None
+
+    def test_wrong_arity_rejected(self):
+        sig = UpcallSignature.from_annotation(Callable[[int, int], None], fresh_registry())
+        with pytest.raises(UpcallError, match="2 arguments"):
+            sig.bundle_args((1,))
+
+
+class TestCallbackTable:
+    def test_register_and_lookup(self):
+        table = CallbackTable()
+        sig = UpcallSignature.from_annotation(Callable[[int], None], fresh_registry())
+
+        def proc(x):
+            return None
+
+        callback_id = table.register(proc, sig)
+        found, found_sig = table.look_up(callback_id)
+        assert found is proc
+        assert found_sig is sig
+
+    def test_same_proc_same_id(self):
+        table = CallbackTable()
+        sig = UpcallSignature.from_annotation(Callable[[int], None], fresh_registry())
+
+        def proc(x):
+            return None
+
+        assert table.register(proc, sig) == table.register(proc, sig)
+
+    def test_bound_method_reuses_id(self):
+        table = CallbackTable()
+        sig = UpcallSignature.from_annotation(Callable[[int], None], fresh_registry())
+
+        class Handler:
+            def on_event(self, x):
+                return None
+
+        handler = Handler()
+        id1 = table.register(handler.on_event, sig)
+        id2 = table.register(handler.on_event, sig)  # fresh bound method object
+        assert id1 == id2
+
+    def test_distinct_instances_distinct_ids(self):
+        table = CallbackTable()
+        sig = UpcallSignature.from_annotation(Callable[[int], None], fresh_registry())
+
+        class Handler:
+            def on_event(self, x):
+                return None
+
+        assert table.register(Handler().on_event, sig) != table.register(
+            Handler().on_event, sig
+        )
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(UpcallError):
+            CallbackTable().look_up(404)
+
+    def test_unregister(self):
+        table = CallbackTable()
+        sig = UpcallSignature.from_annotation(Callable[[int], None], fresh_registry())
+        callback_id = table.register(lambda x: None, sig)
+        table.unregister(callback_id)
+        with pytest.raises(UpcallError):
+            table.look_up(callback_id)
+        assert len(table) == 0
+
+
+class TestProcedurePointerBundling:
+    def make_pair(self):
+        """Client and server registries wired through a loopback channel."""
+        table = CallbackTable()
+        channel = LoopbackUpcallChannel(table)
+        client_registry = fresh_registry()
+        install_client_callbacks(client_registry, table)
+        server_registry = fresh_registry()
+        install_server_callbacks(server_registry, channel)
+        return table, channel, client_registry, server_registry
+
+    def ship(self, annotation, value, client_registry, server_registry):
+        """Bundle on the client, unbundle on the server."""
+        enc = XdrStream.encoder()
+        client_registry.bundler_for(annotation)(enc, value)
+        dec = XdrStream.decoder(enc.getvalue())
+        return server_registry.bundler_for(annotation)(dec, None)
+
+    @async_test
+    async def test_callable_becomes_remote_upcall(self):
+        table, channel, client_reg, server_reg = self.make_pair()
+        received = []
+
+        def on_mouse(event: Event) -> None:
+            received.append(event)
+
+        annotation = Callable[[Event], None]
+        ruc = self.ship(annotation, on_mouse, client_reg, server_reg)
+        assert isinstance(ruc, RemoteUpcall)
+
+        # Server code invokes the "procedure pointer" like any local one.
+        await ruc(Event(10, 20, 1))
+        assert received == [Event(10, 20, 1)]
+        assert channel.upcalls_sent == 1
+
+    @async_test
+    async def test_upcall_result_returns_to_server(self):
+        table, channel, client_reg, server_reg = self.make_pair()
+
+        def classify(x: int) -> int:
+            return x * 2
+
+        ruc = self.ship(Callable[[int], int], classify, client_reg, server_reg)
+        assert await ruc(21) == 42
+
+    @async_test
+    async def test_async_client_procedure(self):
+        table, channel, client_reg, server_reg = self.make_pair()
+
+        async def handler(x: int) -> int:
+            return x + 1
+
+        ruc = self.ship(Callable[[int], Awaitable[int]], handler, client_reg, server_reg)
+        assert await ruc(1) == 2
+
+    def test_client_refuses_incoming_procedure_pointer(self):
+        """§3.5.2: server→client procedure pointers are unimplemented."""
+        table, channel, client_reg, server_reg = self.make_pair()
+        enc = XdrStream.encoder()
+        enc.xuhyper(1)
+        bundler = client_reg.bundler_for(Callable[[int], None])
+        with pytest.raises(BundleError, match="not.*implemented|not implemented"):
+            bundler(XdrStream.decoder(enc.getvalue()), None)
+
+    def test_server_refuses_outgoing_procedure_pointer(self):
+        table, channel, client_reg, server_reg = self.make_pair()
+        bundler = server_reg.bundler_for(Callable[[int], None])
+        with pytest.raises(BundleError):
+            bundler(XdrStream.encoder(), lambda x: None)
+
+    def test_non_callable_rejected_on_encode(self):
+        table, channel, client_reg, server_reg = self.make_pair()
+        bundler = client_reg.bundler_for(Callable[[int], None])
+        with pytest.raises(BundleError, match="callable"):
+            bundler(XdrStream.encoder(), 42)

@@ -1,0 +1,75 @@
+"""Smoke tests: every example runs to completion and says what it should."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+EXPECTATIONS = {
+    "quickstart.py": ["client received 3 alert upcalls", "done"],
+    "bundlers_demo.py": [
+        "automatic derivation",
+        "closure (rpcgen): the whole graph",
+        "closure round-trips the cycle",
+    ],
+    "window_sweep.py": [
+        "sweep layer placed in the server",
+        "sweep layer placed in the client",
+        "distributed upcalls that crossed to the client: 1",
+        "same window either way",
+    ],
+    "protocol_stack.py": [
+        "frames arrived before the stack existed",
+        "1 malformed dropped",
+        "1 for unregistered channels dropped",
+        "only 3 upcalls crossed to the client",
+    ],
+    "error_reporting.py": [
+        "error upcall: class 'Stats' v1 raised ZeroDivisionError",
+        "further use refused: FaultyClassError",
+        "v2 works: mean of [4, 8] = 6",
+    ],
+    "figure_4_1_registration.py": [
+        "U1 (client)  saw: [(8, 5)]",
+        "distributed upcalls that crossed the wire: 1",
+    ],
+    "desktop.py": [
+        "exported: focus, move, sweep",
+        "left window saw keys:  ls",
+        "right window saw keys: vi",
+        "moves applied by the move layer: 8",
+    ],
+    "chat.py": [
+        "three clients joined",
+        "[bob's screen] alice: anyone seen the 1988 proceedings?",
+        "messages in room history: 7",
+        "carol received 2 (left early)",
+    ],
+}
+
+
+def test_every_example_has_expectations():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTATIONS), (
+        "examples and smoke expectations out of sync"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTATIONS))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    for expected in EXPECTATIONS[script]:
+        assert expected in result.stdout, (
+            f"{script} output missing {expected!r}:\n{result.stdout}"
+        )

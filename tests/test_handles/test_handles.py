@@ -1,0 +1,139 @@
+"""Tests for the handle mechanism (paper §3.5.1, Figure 3.3)."""
+
+import pytest
+
+from repro.errors import ForgedHandleError, StaleHandleError
+from repro.handles import NIL_HANDLE, Handle, ObjectTable
+from repro.handles.handle import handle_filter
+from repro.xdr import XdrStream
+
+
+class Thing:
+    pass
+
+
+class TestHandleWireForm:
+    def test_roundtrip(self):
+        handle = Handle(oid=17, tag=0xFEEDFACE)
+        enc = XdrStream.encoder()
+        handle.bundle(enc)
+        dec = XdrStream.decoder(enc.getvalue())
+        assert Handle.unbundle(dec) == handle
+
+    def test_nil_handle(self):
+        assert NIL_HANDLE.is_nil
+        assert not Handle(oid=1, tag=0).is_nil
+
+    def test_module_filter_bidirectional(self):
+        handle = Handle(oid=3, tag=99)
+        enc = XdrStream.encoder()
+        handle_filter(enc, handle)
+        dec = XdrStream.decoder(enc.getvalue())
+        assert handle_filter(dec) == handle
+
+    def test_repr(self):
+        assert "nil" in repr(NIL_HANDLE)
+        assert "oid=4" in repr(Handle(oid=4, tag=1))
+
+
+class TestObjectTable:
+    def test_issue_and_resolve(self):
+        table = ObjectTable()
+        obj = Thing()
+        handle = table.issue(obj, "Thing")
+        assert table.resolve(handle) is obj
+
+    def test_figure_3_3_descriptor_contents(self):
+        """The descriptor holds class id, version, tag, and the object."""
+        table = ObjectTable()
+        obj = Thing()
+        handle = table.issue(obj, "window", version=3)
+        descriptor = table.descriptor(handle)
+        assert descriptor.class_name == "window"
+        assert descriptor.version == 3
+        assert descriptor.tag == handle.tag
+        assert descriptor.obj is obj
+
+    def test_none_issues_nil(self):
+        assert ObjectTable().issue(None, "any") == NIL_HANDLE
+
+    def test_nil_resolves_to_none(self):
+        assert ObjectTable().resolve(NIL_HANDLE) is None
+
+    def test_same_object_same_handle(self):
+        table = ObjectTable()
+        obj = Thing()
+        assert table.issue(obj, "Thing") == table.issue(obj, "Thing")
+
+    def test_different_objects_different_handles(self):
+        table = ObjectTable()
+        h1 = table.issue(Thing(), "Thing")
+        h2 = table.issue(Thing(), "Thing")
+        assert h1 != h2
+
+    def test_forged_tag_rejected(self):
+        table = ObjectTable()
+        handle = table.issue(Thing(), "Thing")
+        forged = Handle(oid=handle.oid, tag=handle.tag ^ 1)
+        with pytest.raises(ForgedHandleError):
+            table.resolve(forged)
+
+    def test_never_issued_oid_is_stale(self):
+        """§3.5.1: a pointer must be passed OUT before it can come back IN."""
+        table = ObjectTable()
+        with pytest.raises(StaleHandleError):
+            table.resolve(Handle(oid=999, tag=1))
+
+    def test_revoked_handle_is_stale(self):
+        table = ObjectTable()
+        obj = Thing()
+        handle = table.issue(obj, "Thing")
+        assert table.revoke(handle) is obj
+        with pytest.raises(StaleHandleError):
+            table.resolve(handle)
+
+    def test_revoke_then_reissue_gets_fresh_handle(self):
+        table = ObjectTable()
+        obj = Thing()
+        old = table.issue(obj, "Thing")
+        table.revoke(old)
+        new = table.issue(obj, "Thing")
+        assert new != old
+        assert table.resolve(new) is obj
+        with pytest.raises(StaleHandleError):
+            table.resolve(old)
+
+    def test_oids_never_reused(self):
+        table = ObjectTable()
+        handles = set()
+        for _ in range(50):
+            handle = table.issue(Thing(), "Thing")
+            assert handle.oid not in {h.oid for h in handles}
+            handles.add(handle)
+            table.revoke(handle)
+
+    def test_handle_for(self):
+        table = ObjectTable()
+        obj = Thing()
+        assert table.handle_for(obj) is None
+        handle = table.issue(obj, "Thing")
+        assert table.handle_for(obj) == handle
+        table.revoke(handle)
+        assert table.handle_for(obj) is None
+
+    def test_len_and_iter(self):
+        table = ObjectTable()
+        objs = [Thing() for _ in range(3)]
+        for obj in objs:
+            table.issue(obj, "Thing")
+        assert len(table) == 3
+        assert {d.obj for d in table} == set(objs)
+
+    def test_nil_descriptor_is_stale(self):
+        with pytest.raises(StaleHandleError):
+            ObjectTable().descriptor(NIL_HANDLE)
+
+    def test_tags_are_unpredictable(self):
+        table = ObjectTable()
+        tags = {table.issue(Thing(), "Thing").tag for _ in range(20)}
+        assert len(tags) == 20  # 64-bit random: collisions vanishingly unlikely

@@ -1,0 +1,101 @@
+"""Stateful property testing of the object table (paper §3.5.1).
+
+A hypothesis state machine issues, resolves, and revokes handles in
+arbitrary interleavings and checks the capability invariants after
+every step:
+
+- a live handle always resolves to exactly its object;
+- a revoked or never-issued handle is always stale;
+- a tag-tampered handle is always rejected;
+- object identifiers are never reused.
+"""
+
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    consumes,
+    invariant,
+    rule,
+)
+
+import pytest
+
+from repro.errors import ForgedHandleError, StaleHandleError
+from repro.handles import Handle, ObjectTable
+
+
+class Payload:
+    """Distinct identity per issued object."""
+
+    def __init__(self, marker: int):
+        self.marker = marker
+
+
+class ObjectTableMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.table = ObjectTable()
+        self.live: dict[Handle, Payload] = {}
+        self.dead: set[Handle] = set()
+        self.seen_oids: set[int] = set()
+        self.counter = 0
+
+    handles = Bundle("handles")
+
+    @rule(target=handles)
+    def issue(self):
+        self.counter += 1
+        obj = Payload(self.counter)
+        handle = self.table.issue(obj, "Payload")
+        assert handle.oid not in self.seen_oids, "oid reuse"
+        self.seen_oids.add(handle.oid)
+        self.live[handle] = obj
+        return handle
+
+    @rule(handle=handles)
+    def resolve(self, handle):
+        if handle in self.live:
+            assert self.table.resolve(handle) is self.live[handle]
+        else:
+            with pytest.raises(StaleHandleError):
+                self.table.resolve(handle)
+
+    @rule(handle=handles)
+    def reissue_same_object(self, handle):
+        if handle in self.live:
+            again = self.table.issue(self.live[handle], "Payload")
+            assert again == handle
+
+    @rule(handle=consumes(handles))
+    def revoke(self, handle):
+        if handle in self.live:
+            obj = self.table.revoke(handle)
+            assert obj is self.live.pop(handle)
+            self.dead.add(handle)
+        else:
+            with pytest.raises(StaleHandleError):
+                self.table.revoke(handle)
+
+    @rule(handle=handles, flip=st.integers(min_value=0, max_value=63))
+    def forged_tag_rejected(self, handle, flip):
+        forged = Handle(oid=handle.oid, tag=handle.tag ^ (1 << flip))
+        if handle in self.live:
+            with pytest.raises(ForgedHandleError):
+                self.table.resolve(forged)
+        else:
+            with pytest.raises((StaleHandleError, ForgedHandleError)):
+                self.table.resolve(forged)
+
+    @invariant()
+    def live_count_matches(self):
+        assert len(self.table) == len(self.live)
+
+    @invariant()
+    def dead_stay_dead(self):
+        for handle in list(self.dead)[:5]:
+            with pytest.raises(StaleHandleError):
+                self.table.resolve(handle)
+
+
+TestObjectTableStateful = ObjectTableMachine.TestCase

@@ -1,0 +1,156 @@
+"""Direct tests for the builtin server interface's edge cases."""
+
+import itertools
+
+import pytest
+
+from repro import ClamClient, ClamServer, Handle, RemoteError, RemoteInterface
+from tests.support import async_test
+
+_ids = itertools.count(1)
+
+TINY = '''
+from repro.stubs import RemoteInterface
+
+
+class Tiny(RemoteInterface):
+    def poke(self) -> int:
+        return 1
+'''
+
+
+class Tiny(RemoteInterface):
+    def poke(self) -> int: ...
+
+
+async def start():
+    server = ClamServer()
+    address = await server.start(f"memory://builtin-{next(_ids)}")
+    client = await ClamClient.connect(address)
+    return server, client
+
+
+class TestNaming:
+    @async_test
+    async def test_lookup_unknown_name(self):
+        server, client = await start()
+        with pytest.raises(RemoteError) as info:
+            await client.lookup(Tiny, "ghost")
+        assert "ghost" in info.value.remote_message
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_publish_invalid_handle_rejected(self):
+        server, client = await start()
+        with pytest.raises(RemoteError):
+            await client.server.publish("bogus", Handle(oid=12345, tag=1))
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_republish_overwrites(self):
+        server, client = await start()
+        await client.load_module("tiny", TINY)
+        first = await client.create(Tiny)
+        second = await client.create(Tiny)
+        await client.publish("slot", first)
+        await client.publish("slot", second)
+        found = await client.lookup(Tiny, "slot")
+        assert found._clam_handle_ == second._clam_handle_
+        await client.close()
+        await server.shutdown()
+
+
+class TestRelease:
+    @async_test
+    async def test_release_makes_all_copies_stale(self):
+        from repro.errors import StaleHandleError
+
+        server = ClamServer()
+        address = await server.start(f"memory://builtin-{next(_ids)}")
+        c1 = await ClamClient.connect(address)
+        c2 = await ClamClient.connect(address)
+        await c1.load_module("tiny", TINY)
+        mine = await c1.create(Tiny)
+        await c1.publish("tiny", mine)
+        theirs = await c2.lookup(Tiny, "tiny")
+
+        await c1.release(mine)
+        for proxy, client in ((mine, c1), (theirs, c2)):
+            with pytest.raises(RemoteError) as info:
+                await proxy.poke()
+            assert info.value.remote_type == StaleHandleError.__name__
+        # The published name is gone too.
+        with pytest.raises(RemoteError):
+            await c2.lookup(Tiny, "tiny")
+        await c1.close()
+        await c2.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_release_unknown_handle_errors(self):
+        server, client = await start()
+        with pytest.raises(RemoteError):
+            await client.server.release(Handle(oid=999, tag=1))
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_release_reflected_in_stats(self):
+        server, client = await start()
+        await client.load_module("tiny", TINY)
+        proxy = await client.create(Tiny)
+        before = (await client.server_stats())["objects_exported"]
+        await client.release(proxy)
+        after = (await client.server_stats())["objects_exported"]
+        assert after == before - 1
+        await client.close()
+        await server.shutdown()
+
+
+class TestCreate:
+    @async_test
+    async def test_create_specific_version(self):
+        v2 = TINY.replace("class Tiny(RemoteInterface):",
+                          "class Tiny(RemoteInterface):\n    __clam_version__ = 2")
+        server, client = await start()
+        await client.load_module("tiny1", TINY)
+        await client.load_module("tiny2", v2)
+        proxy = await client.create(Tiny, version=1)
+        assert await proxy.poke() == 1
+        # Version recorded in the descriptor (§3.5.1).
+        oid = proxy._clam_handle_.oid
+        descriptor = server.exports.table.descriptor(proxy._clam_handle_)
+        assert descriptor.version == 1
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_create_constructor_failure_reported(self):
+        bad = '''
+from repro.stubs import RemoteInterface
+
+
+class Tiny(RemoteInterface):
+    def __init__(self):
+        raise RuntimeError("cannot construct")
+
+    def poke(self) -> int: ...
+'''
+        server, client = await start()
+        await client.load_module("tiny", bad)
+        with pytest.raises(RemoteError) as info:
+            await client.create(Tiny)
+        assert "cannot construct" in info.value.remote_message
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_ping_counts_calls(self):
+        server, client = await start()
+        first = await client.ping()
+        second = await client.ping()
+        assert second > first
+        await client.close()
+        await server.shutdown()

@@ -1,0 +1,65 @@
+"""Argument handling of the two command-line entry points."""
+
+import pytest
+
+from repro.client.__main__ import parse_args as client_args
+from repro.server.__main__ import parse_args as server_args
+
+
+class TestServerArgs:
+    def test_listen_required(self):
+        with pytest.raises(SystemExit):
+            server_args([])
+
+    def test_single_listen(self):
+        args = server_args(["--listen", "unix:///tmp/x.sock"])
+        assert args.listen == ["unix:///tmp/x.sock"]
+        assert args.wm is None
+        assert args.quarantine_after == 1
+        assert args.max_active_upcalls == 1
+
+    def test_multiple_listens(self):
+        args = server_args(
+            ["--listen", "unix:///a.sock", "--listen", "tcp://127.0.0.1:0"]
+        )
+        assert len(args.listen) == 2
+
+    def test_wm_and_knobs(self):
+        args = server_args(
+            [
+                "--listen", "memory://x",
+                "--wm", "100x40",
+                "--quarantine-after", "3",
+                "--max-active-upcalls", "4",
+            ]
+        )
+        assert args.wm == "100x40"
+        assert args.quarantine_after == 3
+        assert args.max_active_upcalls == 4
+
+
+class TestClientArgs:
+    def test_url_and_command_required(self):
+        with pytest.raises(SystemExit):
+            client_args([])
+        with pytest.raises(SystemExit):
+            client_args(["tcp://host:1"])
+
+    def test_ping(self):
+        args = client_args(["tcp://host:1", "ping"])
+        assert args.command == "ping"
+        assert args.url == "tcp://host:1"
+
+    def test_load(self):
+        args = client_args(["unix:///s", "load", "mymod", "/tmp/mod.py"])
+        assert args.command == "load"
+        assert args.name == "mymod"
+        assert str(args.file) == "/tmp/mod.py"
+
+    def test_versions(self):
+        args = client_args(["unix:///s", "versions", "Counter"])
+        assert args.class_name == "Counter"
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            client_args(["unix:///s", "frobnicate"])

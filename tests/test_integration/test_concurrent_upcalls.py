@@ -1,0 +1,185 @@
+"""The §4.4 relaxation: more than one active upcall per client.
+
+"In CLAM, we allow only one upcall to be active per client process.
+This limitation simplifies our first implementation and may be
+relaxed in future designs."  This reproduction implements the
+relaxation behind ``max_active_upcalls`` (default 1 = the paper's
+discipline) on both ends; these tests pin down both the default and
+the relaxed behaviour.
+"""
+
+import asyncio
+import itertools
+
+import pytest
+
+from repro import ClamClient, ClamServer, RemoteInterface
+from tests.support import async_test
+
+_ids = itertools.count(1)
+
+FANOUT_SOURCE = '''
+import asyncio
+from typing import Callable
+
+from repro.stubs import RemoteInterface
+
+
+class Fanout(RemoteInterface):
+    """Makes n concurrent upcalls to the registered procedure."""
+
+    def __init__(self):
+        self.proc = None
+
+    def register(self, proc: Callable[[int], int]) -> bool:
+        self.proc = proc
+        return True
+
+    async def blast(self, n: int) -> int:
+        results = await asyncio.gather(*(self.proc(i) for i in range(n)))
+        return sum(results)
+'''
+
+
+class Fanout(RemoteInterface):
+    def register(self, proc) -> bool: ...
+    def blast(self, n: int) -> int: ...
+
+
+from typing import Callable  # noqa: E402
+
+Fanout.register.__annotations__["proc"] = Callable[[int], int]
+
+
+async def start(server_k: int, client_k: int):
+    server = ClamServer(max_active_upcalls=server_k)
+    address = await server.start(f"memory://conc-upcalls-{next(_ids)}")
+    client = await ClamClient.connect(address, max_active_upcalls=client_k)
+    await client.load_module("fanout", FANOUT_SOURCE)
+    fanout = await client.create(Fanout)
+    return server, client, fanout
+
+
+class TestDefaultDiscipline:
+    @async_test
+    async def test_one_at_a_time_by_default(self):
+        """With defaults, concurrent server-side upcalls serialize."""
+        server, client, fanout = await start(server_k=1, client_k=1)
+        in_flight = 0
+        peak = 0
+
+        async def handler(i):
+            nonlocal in_flight, peak
+            in_flight += 1
+            peak = max(peak, in_flight)
+            await asyncio.sleep(0.002)
+            in_flight -= 1
+            return i
+
+        await fanout.register(handler)
+        assert await fanout.blast(8) == sum(range(8))
+        assert peak == 1  # the §4.4 discipline held end to end
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_results_correct_under_serialization(self):
+        server, client, fanout = await start(server_k=1, client_k=1)
+        await fanout.register(lambda i: i * 10)
+        assert await fanout.blast(5) == sum(i * 10 for i in range(5))
+        await client.close()
+        await server.shutdown()
+
+
+class TestRelaxedDiscipline:
+    @async_test
+    async def test_concurrency_reaches_limit(self):
+        server, client, fanout = await start(server_k=4, client_k=4)
+        in_flight = 0
+        peak = 0
+
+        async def handler(i):
+            nonlocal in_flight, peak
+            in_flight += 1
+            peak = max(peak, in_flight)
+            await asyncio.sleep(0.005)
+            in_flight -= 1
+            return i
+
+        await fanout.register(handler)
+        assert await fanout.blast(12) == sum(range(12))
+        assert 2 <= peak <= 4  # relaxed, but bounded by the limit
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_server_limit_caps_client_headroom(self):
+        """Client allows 8, server admits 2: 2 wins."""
+        server, client, fanout = await start(server_k=2, client_k=8)
+        in_flight = 0
+        peak = 0
+
+        async def handler(i):
+            nonlocal in_flight, peak
+            in_flight += 1
+            peak = max(peak, in_flight)
+            await asyncio.sleep(0.005)
+            in_flight -= 1
+            return i
+
+        await fanout.register(handler)
+        await fanout.blast(10)
+        assert peak <= 2
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_relaxation_speeds_up_blocking_handlers(self):
+        """The point of the future-work relaxation: latency overlap."""
+        import time
+
+        times = {}
+        for k in (1, 8):
+            server, client, fanout = await start(server_k=k, client_k=k)
+
+            async def handler(i):
+                await asyncio.sleep(0.01)
+                return i
+
+            await fanout.register(handler)
+            start_t = time.perf_counter()
+            await fanout.blast(8)
+            times[k] = time.perf_counter() - start_t
+            await client.close()
+            await server.shutdown()
+
+        # 8 x 10ms serialized ~ 80ms; overlapped ~ 10-20ms.
+        assert times[8] < times[1] / 2
+
+    @async_test
+    async def test_exceptions_isolated_per_upcall(self):
+        server, client, fanout = await start(server_k=4, client_k=4)
+
+        async def handler(i):
+            if i == 3:
+                raise ValueError("third fails")
+            return i
+
+        await fanout.register(handler)
+        from repro import RemoteError
+
+        with pytest.raises(RemoteError):
+            await fanout.blast(6)
+        # The channel survives a failed concurrent upcall.
+        await fanout.register(lambda i: i)
+        assert await fanout.blast(3) == 3
+        await client.close()
+        await server.shutdown()
+
+    def test_bad_limits_rejected(self):
+        with pytest.raises(ValueError):
+            ClamServer(max_active_upcalls=0)
+        from repro.client.upcall_task import UpcallService
+
+        with pytest.raises(ValueError):
+            UpcallService(None, None, max_active=0)

@@ -1,0 +1,155 @@
+"""True multi-process tests: the server in its own OS process.
+
+Everything else in the suite runs client and server on one event loop;
+these tests spawn ``python -m repro.server`` as a subprocess and speak
+to it over a UNIX socket — the paper's actual deployment shape
+(MicroVAX client processes talking to a separate server process).
+"""
+
+import subprocess
+import sys
+import time
+from typing import Callable
+
+import pytest
+
+from repro import ClamClient, RemoteInterface
+from tests.support import async_test
+
+COUNTER_SOURCE = '''
+from typing import Callable
+
+from repro.stubs import RemoteInterface
+
+
+class Counter(RemoteInterface):
+    def __init__(self):
+        self.value = 0
+        self.watchers = []
+
+    def add(self, amount: int) -> None:
+        self.value += amount
+
+    def total(self) -> int:
+        return self.value
+
+    def watch(self, proc: Callable[[int], None]) -> bool:
+        self.watchers.append(proc)
+        return True
+
+    async def bump_and_notify(self, amount: int) -> int:
+        self.value += amount
+        for watcher in self.watchers:
+            await watcher(self.value)
+        return self.value
+'''
+
+
+class Counter(RemoteInterface):
+    def add(self, amount: int) -> None: ...
+    def total(self) -> int: ...
+    def watch(self, proc: Callable[[int], None]) -> bool: ...
+    def bump_and_notify(self, amount: int) -> int: ...
+
+
+@pytest.fixture
+def server_process(tmp_path):
+    """A real CLAM server subprocess listening on a UNIX socket."""
+    socket_path = tmp_path / "clam.sock"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", "--listen", f"unix://{socket_path}"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    # Wait for the "listening at" line (the server prints it flushed).
+    line = process.stdout.readline()
+    assert "listening at" in line, f"unexpected server output: {line!r}"
+    address = line.split("listening at", 1)[1].strip()
+    yield process, address
+    process.terminate()
+    try:
+        process.wait(timeout=10)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait(timeout=10)
+
+
+class TestCrossProcess:
+    @async_test
+    async def test_rpc_round_trip(self, server_process):
+        _process, address = server_process
+        client = await ClamClient.connect(address)
+        assert isinstance(await client.ping(), int)
+        await client.close()
+
+    @async_test
+    async def test_load_and_call(self, server_process):
+        _process, address = server_process
+        client = await ClamClient.connect(address)
+        await client.load_module("counter", COUNTER_SOURCE)
+        counter = await client.create(Counter)
+        for _ in range(10):
+            await counter.add(3)
+        assert await counter.total() == 30
+        await client.close()
+
+    @async_test
+    async def test_distributed_upcall_across_processes(self, server_process):
+        """The headline feature over a real process boundary."""
+        _process, address = server_process
+        client = await ClamClient.connect(address)
+        await client.load_module("counter", COUNTER_SOURCE)
+        counter = await client.create(Counter)
+        notifications = []
+        await counter.watch(lambda value: notifications.append(value))
+        assert await counter.bump_and_notify(7) == 7
+        assert await counter.bump_and_notify(5) == 12
+        assert notifications == [7, 12]
+        await client.close()
+
+    @async_test
+    async def test_two_client_processes_share_state(self, server_process):
+        # Two ClamClients in this process stand in for two client
+        # processes; the state they share lives in the third (server)
+        # process.
+        _process, address = server_process
+        c1 = await ClamClient.connect(address)
+        c2 = await ClamClient.connect(address)
+        await c1.load_module("counter", COUNTER_SOURCE)
+        counter1 = await c1.create(Counter)
+        await c1.publish("the-counter", counter1)
+        counter2 = await c2.lookup(Counter, "the-counter")
+        await counter2.add(42)
+        await c2.sync()
+        assert await counter1.total() == 42
+        await c1.close()
+        await c2.close()
+
+    def test_client_cli_against_real_server(self, server_process, tmp_path):
+        _process, address = server_process
+        module_file = tmp_path / "counter_module.py"
+        module_file.write_text(COUNTER_SOURCE, encoding="utf-8")
+
+        def cli(*args):
+            return subprocess.run(
+                [sys.executable, "-m", "repro.client", address, *args],
+                capture_output=True,
+                text=True,
+                timeout=60,
+            )
+
+        ping = cli("ping")
+        assert ping.returncode == 0, ping.stderr
+        assert ping.stdout.strip().isdigit()
+
+        load = cli("load", "counter", str(module_file))
+        assert load.returncode == 0, load.stderr
+        assert "Counter" in load.stdout
+
+        classes = cli("classes")
+        assert classes.stdout.strip() == "Counter"
+        versions = cli("versions", "Counter")
+        assert versions.stdout.strip() == "1"
+        modules = cli("modules")
+        assert modules.stdout.strip() == "counter"

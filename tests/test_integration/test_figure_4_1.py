@@ -1,0 +1,181 @@
+"""The Figure 4.1 scenario, end to end.
+
+"When the server begins execution, it creates an instance, S, of the
+screen class and an instance, BaseW, of the window class. ... Later,
+an instance, U2, of the user2 class is created [dynamically loaded].
+It creates an instance, W2, of the window class and registers its
+user2::mouse procedure to receive mouse events by calling
+W2.postinput. ... An instance, U1, of the client class user1 is also
+created.  U1 creates a window, W1, and registers its user1::mouse
+procedure to receive mouse events."
+
+Then a button press in W1's region travels: screen::mouse →
+BaseW.mouse → (distributed upcall) U1.mouse; one in W2's region stays
+inside the server: screen::mouse → BaseW.mouse → U2.mouse.
+"""
+
+import itertools
+
+import pytest
+
+from repro import ClamClient, ClamServer, RemoteInterface
+from repro.wm import BaseWindow, EventKind, InputEvent, Screen, Window
+from repro.wm.geometry import Rect
+from tests.support import async_test
+
+_ids = itertools.count(1)
+
+USER2_SOURCE = '''
+from repro.stubs import RemoteInterface
+from repro.wm.events import InputEvent
+from repro.wm.geometry import Rect
+from repro.wm.window import BaseWindow
+
+
+class User2(RemoteInterface):
+    """Fig 4.1's user2: a layer dynamically loaded into the server."""
+
+    def __init__(self):
+        self.events = []
+        self.window = None
+
+    async def setup(self, base: BaseWindow, rect: Rect) -> int:
+        self.window = await base.create_window(rect)
+        self.window.postinput(self.mouse)
+        return self.window.window_id()
+
+    def mouse(self, event: InputEvent) -> None:
+        self.events.append((event.x, event.y))
+
+    def hits(self) -> int:
+        return len(self.events)
+'''
+
+
+class User2(RemoteInterface):
+    """Client-side declaration of the loaded user2 class."""
+
+    def setup(self, base: BaseWindow, rect: Rect) -> int: ...
+    def hits(self) -> int: ...
+
+
+async def start_wm_server():
+    """The server app: create S and BaseW, publish them."""
+    server = ClamServer()
+    screen = Screen(40, 20)
+    base = BaseWindow(screen)
+    server.publish("screen", screen)
+    server.publish("base", base)
+    address = await server.start(f"memory://fig41-{next(_ids)}")
+    return server, screen, base, address
+
+
+def press(x, y, seq=1):
+    return InputEvent(EventKind.MOUSE_DOWN, x, y, 1, seq=seq)
+
+
+class TestFigure41:
+    @async_test
+    async def test_full_scenario(self):
+        server, screen, base, address = await start_wm_server()
+        client = await ClamClient.connect(address)
+
+        screen_proxy = await client.lookup(Screen, "screen")
+        base_proxy = await client.lookup(BaseWindow, "base")
+
+        # U2: dynamically loaded into the server, owns W2.
+        await client.load_module("user2", USER2_SOURCE)
+        u2 = await client.create(User2)
+        w2_id = await u2.setup(base_proxy, Rect(20, 2, 10, 8))
+        assert w2_id > 0
+
+        # U1: lives in the client, owns W1, registers over the wire.
+        u1_events = []
+        w1 = await base_proxy.create_window(Rect(2, 2, 10, 8))
+        await w1.postinput(lambda event: u1_events.append((event.x, event.y)))
+
+        # Mouse in W1's region: distributed upcall to the client.
+        await screen_proxy.inject_input(press(5, 5, seq=1))
+        assert u1_events == [(5, 5)]
+        assert await u2.hits() == 0
+
+        # Mouse in W2's region: upcall stays inside the server.
+        before = client.upcalls_handled
+        await screen_proxy.inject_input(press(25, 5, seq=2))
+        assert await u2.hits() == 1
+        assert u1_events == [(5, 5)]
+        assert client.upcalls_handled == before  # no wire crossing
+
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_background_events_discarded_without_registrant(self):
+        server, screen, base, address = await start_wm_server()
+        client = await ClamClient.connect(address)
+        screen_proxy = await client.lookup(Screen, "screen")
+        base_proxy = await client.lookup(BaseWindow, "base")
+        w1 = await base_proxy.create_window(Rect(2, 2, 5, 5))
+        hits = []
+        await w1.postinput(lambda e: hits.append(e.x))
+
+        await screen_proxy.inject_input(press(30, 15))  # background
+        assert hits == []
+        await screen_proxy.inject_input(press(3, 3))    # in W1
+        assert hits == [3]
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_window_object_pointer_operations(self):
+        """§3.5.1: the returned window handle supports member operations
+        that become RPCs back into the server."""
+        server, screen, base, address = await start_wm_server()
+        client = await ClamClient.connect(address)
+        base_proxy = await client.lookup(BaseWindow, "base")
+        w1 = await base_proxy.create_window(Rect(2, 2, 6, 4))
+
+        assert await w1.bounds() == Rect(2, 2, 6, 4)
+        assert await w1.contains(3, 3) is True
+        assert await w1.contains(30, 3) is False
+        await w1.move_by(4, 2)
+        assert await w1.bounds() == Rect(6, 4, 6, 4)
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_passing_proxy_back_into_server(self):
+        """A client passes W1's proxy to remove_window: the server
+        resolves the handle to the same object (Fig 3.3)."""
+        server, screen, base, address = await start_wm_server()
+        client = await ClamClient.connect(address)
+        base_proxy = await client.lookup(BaseWindow, "base")
+        w1 = await base_proxy.create_window(Rect(2, 2, 6, 4))
+        assert await base_proxy.window_count() == 1
+        assert await base_proxy.remove_window(w1) is True
+        assert await base_proxy.window_count() == 0
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_two_clients_each_with_own_window(self):
+        server, screen, base, address = await start_wm_server()
+        c1 = await ClamClient.connect(address)
+        c2 = await ClamClient.connect(address)
+        screen_1 = await c1.lookup(Screen, "screen")
+        base_1 = await c1.lookup(BaseWindow, "base")
+        base_2 = await c2.lookup(BaseWindow, "base")
+
+        hits1, hits2 = [], []
+        w1 = await base_1.create_window(Rect(0, 0, 8, 8))
+        await w1.postinput(lambda e: hits1.append(e.x))
+        w2 = await base_2.create_window(Rect(20, 0, 8, 8))
+        await w2.postinput(lambda e: hits2.append(e.x))
+
+        await screen_1.inject_input(press(2, 2, seq=1))
+        await screen_1.inject_input(press(22, 2, seq=2))
+        assert hits1 == [2]
+        assert hits2 == [22]
+        await c1.close()
+        await c2.close()
+        await server.shutdown()

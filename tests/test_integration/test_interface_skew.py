@@ -1,0 +1,117 @@
+"""Client/server interface skew over the wire.
+
+Clients compile their own declarations; the server runs whatever was
+loaded.  These tests pin down what happens when the two drift: extra
+client methods fail cleanly, narrower clients work, and two clients
+with different versions of one class coexist (§2.1: "different
+clients could have different versions").
+"""
+
+import itertools
+
+import pytest
+
+from repro import ClamClient, ClamServer, RemoteError, RemoteInterface
+from tests.support import async_test
+
+_ids = itertools.count(1)
+
+V1_SOURCE = '''
+from repro.stubs import RemoteInterface
+
+
+class Greeter(RemoteInterface):
+    def greet(self, name: str) -> str:
+        return f"hello {name}"
+'''
+
+V2_SOURCE = '''
+from repro.stubs import RemoteInterface
+
+
+class Greeter(RemoteInterface):
+    __clam_version__ = 2
+
+    def greet(self, name: str) -> str:
+        return f"HELLO {name}!"
+
+    def farewell(self, name: str) -> str:
+        return f"bye {name}"
+'''
+
+
+class GreeterV1(RemoteInterface):
+    __clam_class__ = "Greeter"
+
+    def greet(self, name: str) -> str: ...
+
+
+class GreeterV2(RemoteInterface):
+    __clam_class__ = "Greeter"
+    __clam_version__ = 2
+
+    def greet(self, name: str) -> str: ...
+    def farewell(self, name: str) -> str: ...
+
+
+async def start():
+    server = ClamServer()
+    address = await server.start(f"memory://skew-{next(_ids)}")
+    client = await ClamClient.connect(address)
+    return server, client
+
+
+class TestSkew:
+    @async_test
+    async def test_narrow_client_against_wider_server(self):
+        """A v1 client talking to a v2 object: its subset just works."""
+        server, client = await start()
+        await client.load_module("greeter2", V2_SOURCE)
+        greeter = await client.create(GreeterV1, version=2)
+        assert await greeter.greet("ann") == "HELLO ann!"
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_wide_client_against_narrow_server(self):
+        """A v2 client calling a method the v1 object lacks gets a
+        clean BadCallError, and the session survives."""
+        server, client = await start()
+        await client.load_module("greeter1", V1_SOURCE)
+        greeter = await client.create(GreeterV2, version=1)
+        assert await greeter.greet("bob") == "hello bob"
+        with pytest.raises(RemoteError) as info:
+            await greeter.farewell("bob")
+        assert info.value.remote_type == "BadCallError"
+        assert await greeter.greet("bob") == "hello bob"
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_two_clients_different_versions(self):
+        """§2.1: each client binds the version it asked for."""
+        server = ClamServer()
+        address = await server.start(f"memory://skew-{next(_ids)}")
+        c1 = await ClamClient.connect(address)
+        c2 = await ClamClient.connect(address)
+        await c1.load_module("greeter1", V1_SOURCE)
+        await c1.load_module("greeter2", V2_SOURCE)
+
+        old = await c1.create(GreeterV1, version=1)
+        new = await c2.create(GreeterV2, version=2)
+        assert await old.greet("x") == "hello x"
+        assert await new.greet("x") == "HELLO x!"
+        assert await new.farewell("x") == "bye x"
+        await c1.close()
+        await c2.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_default_create_uses_latest(self):
+        server, client = await start()
+        await client.load_module("greeter1", V1_SOURCE)
+        await client.load_module("greeter2", V2_SOURCE)
+        greeter = await client.create(GreeterV2)  # version=0 → latest
+        assert await greeter.greet("y") == "HELLO y!"
+        await client.close()
+        await server.shutdown()

@@ -1,0 +1,137 @@
+"""Focus and move layers across the wire, in both placements.
+
+Exercises paths the sweep tests don't: object pointers returned
+*optionally* (``window_at`` → ``Optional[Window]`` handle), layers
+observing via the tap port remotely, and a proxy-held window being
+driven by a client-resident layer.
+"""
+
+import itertools
+
+import pytest
+
+from repro import ClamClient, ClamServer
+from repro.core import invoke
+from repro.tasks import TaskPool
+from repro.wm import (
+    BaseWindow,
+    FocusLayer,
+    InputScript,
+    MoveLayer,
+    Screen,
+)
+from repro.wm.geometry import Point, Rect
+from repro.wm.move import DRAG_BUTTON
+from tests.support import async_test, eventually
+
+_ids = itertools.count(1)
+
+LAYERS_MODULE = '''
+from repro.wm.focus import FocusLayer
+from repro.wm.move import MoveLayer
+
+__clam_exports__ = ["FocusLayer", "MoveLayer"]
+'''
+
+
+async def start_wm():
+    server = ClamServer()
+    screen = Screen(40, 15)
+    screen.use_tasks(TaskPool(max_tasks=1, name="screen-input"))
+    base = BaseWindow(screen)
+    server.publish("screen", screen)
+    server.publish("base", base)
+    address = await server.start(f"memory://layers-remote-{next(_ids)}")
+    client = await ClamClient.connect(address)
+    screen_proxy = await client.lookup(Screen, "screen")
+    base_proxy = await client.lookup(BaseWindow, "base")
+    return server, screen, client, screen_proxy, base_proxy
+
+
+class TestWindowAtOverTheWire:
+    @async_test
+    async def test_returns_proxy_for_hit(self):
+        server, screen, client, screen_proxy, base_proxy = await start_wm()
+        window = await base_proxy.create_window(Rect(2, 2, 8, 6))
+        hit = await base_proxy.window_at(4, 4)
+        assert hit is not None
+        assert await hit.window_id() == await window.window_id()
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_returns_none_for_background(self):
+        server, screen, client, screen_proxy, base_proxy = await start_wm()
+        await base_proxy.create_window(Rect(2, 2, 8, 6))
+        assert await base_proxy.window_at(30, 12) is None
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_set_title_through_returned_proxy(self):
+        server, screen, client, screen_proxy, base_proxy = await start_wm()
+        await base_proxy.create_window(Rect(2, 2, 10, 6))
+        hit = await base_proxy.window_at(5, 5)
+        await hit.set_title("found")
+        await client.sync()
+        assert chr(screen.read_cell(3, 2)) == "f"
+        await client.close()
+        await server.shutdown()
+
+
+@pytest.mark.parametrize("placement", ["server", "client"])
+class TestFocusLayerPlacements:
+    @async_test
+    async def test_click_then_keys(self, placement):
+        server, screen, client, screen_proxy, base_proxy = await start_wm()
+        left = await base_proxy.create_window(Rect(1, 1, 8, 6))
+        right = await base_proxy.create_window(Rect(12, 1, 8, 6))
+
+        if placement == "server":
+            await client.load_module("layers", LAYERS_MODULE)
+            focus = await client.create(FocusLayer, class_name="focus")
+        else:
+            focus = FocusLayer()
+        await invoke(focus.attach, base_proxy)
+
+        keys = []
+        await right.postinput(lambda e: keys.append(e.key) if e.is_key else None)
+
+        script = InputScript()
+        for event in script.click(14, 3) + script.type_text("x"):
+            await screen.inject_input(event)
+        await screen.drain_input()
+
+        await eventually(lambda: len(keys) == 2)  # KEY_DOWN + KEY_UP
+        assert keys == ["x", "x"]
+        right_id = await right.window_id()
+        assert await invoke(focus.focused_window_id) == right_id
+        await client.close()
+        await server.shutdown()
+
+
+@pytest.mark.parametrize("placement", ["server", "client"])
+class TestMoveLayerPlacements:
+    @async_test
+    async def test_drag_moves_window(self, placement):
+        server, screen, client, screen_proxy, base_proxy = await start_wm()
+        window = await base_proxy.create_window(Rect(2, 2, 8, 5))
+
+        if placement == "server":
+            await client.load_module("layers", LAYERS_MODULE)
+            move = await client.create(MoveLayer, class_name="move")
+        else:
+            move = MoveLayer()
+        await invoke(move.attach, base_proxy)
+
+        script = InputScript()
+        for event in script.drag(Point(4, 4), Point(24, 9), steps=5,
+                                 button=DRAG_BUTTON):
+            await screen.inject_input(event)
+        await screen.drain_input()
+
+        bounds = await window.bounds()
+        assert bounds == Rect(22, 7, 8, 5)
+        assert await invoke(move.move_count) >= 1
+        await client.close()
+        await server.shutdown()

@@ -1,0 +1,125 @@
+"""out/inout parameters over the real wire (paper §3.2).
+
+The paper's ``out``/``inout`` specifiers are result parameters; here
+they are Ref cells copied back in the reply.  These tests drive them
+through the full client/server stack, including user bundlers.
+"""
+
+import itertools
+
+import pytest
+
+from repro import ClamClient, ClamServer, RemoteInterface, Ref
+from repro.bundlers import InOut, Out
+from typing import Annotated
+
+from tests.support import async_test
+
+_ids = itertools.count(1)
+
+SOURCE = '''
+from dataclasses import dataclass
+from typing import Annotated
+
+from repro.bundlers import InOut, Out
+from repro.stubs import RemoteInterface, Ref
+
+
+@dataclass
+class Stats:
+    count: int
+    total: int
+
+
+class Accumulator(RemoteInterface):
+    def __init__(self):
+        self.values = []
+
+    def add(self, value: int) -> None:
+        self.values.append(value)
+
+    def snapshot(self, stats: Annotated[Ref[Stats], Out()]) -> bool:
+        stats.value = Stats(count=len(self.values), total=sum(self.values))
+        return bool(self.values)
+
+    def normalize(self, series: Annotated[Ref[list[int]], InOut()]) -> int:
+        lowest = min(series.value) if series.value else 0
+        series.value = [v - lowest for v in series.value]
+        return lowest
+'''
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Stats:
+    count: int
+    total: int
+
+
+class Accumulator(RemoteInterface):
+    def add(self, value: int) -> None: ...
+    def snapshot(self, stats: Annotated[Ref[Stats], Out()]) -> bool: ...
+    def normalize(self, series: Annotated[Ref[list[int]], InOut()]) -> int: ...
+
+
+async def start():
+    server = ClamServer()
+    address = await server.start(f"memory://outparams-{next(_ids)}")
+    client = await ClamClient.connect(address)
+    await client.load_module("accumulator", SOURCE)
+    acc = await client.create(Accumulator)
+    return server, client, acc
+
+
+class TestOutOverTheWire:
+    @async_test
+    async def test_out_param_filled_by_server(self):
+        server, client, acc = await start()
+        await acc.add(4)
+        await acc.add(6)
+        stats = Ref()
+        assert await acc.snapshot(stats) is True
+        assert stats.value == Stats(count=2, total=10)
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_out_param_when_empty(self):
+        server, client, acc = await start()
+        stats = Ref()
+        assert await acc.snapshot(stats) is False
+        assert stats.value == Stats(count=0, total=0)
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_inout_travels_both_ways(self):
+        server, client, acc = await start()
+        series = Ref([7, 3, 9])
+        lowest = await acc.normalize(series)
+        assert lowest == 3
+        assert series.value == [4, 0, 6]
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_inout_reused_across_calls(self):
+        server, client, acc = await start()
+        series = Ref([10, 20])
+        await acc.normalize(series)
+        assert series.value == [0, 10]
+        await acc.normalize(series)  # already normalized: lowest 0
+        assert series.value == [0, 10]
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_out_param_methods_are_synchronous(self):
+        """A method with result parameters can never batch (§3.4)."""
+        from repro.stubs import interface_spec
+
+        spec = interface_spec(Accumulator)
+        assert not spec.methods["snapshot"].is_async_eligible
+        assert not spec.methods["normalize"].is_async_eligible
+        assert spec.methods["add"].is_async_eligible

@@ -1,0 +1,345 @@
+"""Full-stack integration: ClamServer + ClamClient.
+
+Covers the builtin interface, dynamic loading (§2), handles crossing
+address spaces (§3.5.1), and distributed upcalls end-to-end (§3.5.2,
+§4), over the memory, unix, and tcp transports.
+"""
+
+import asyncio
+import itertools
+from typing import Callable
+
+import pytest
+
+from repro import (
+    ClamClient,
+    ClamServer,
+    FaultyClassError,
+    RemoteError,
+    RemoteInterface,
+    UnknownClassError,
+)
+from repro.loader import source_of
+from tests.support import async_test, eventually
+
+_ids = itertools.count(1)
+
+COUNTER_SOURCE = '''
+from repro.stubs import RemoteInterface
+
+
+class Counter(RemoteInterface):
+    def __init__(self):
+        self.value = 0
+
+    def add(self, amount: int) -> None:
+        self.value += amount
+
+    def total(self) -> int:
+        return self.value
+'''
+
+# The client-side declaration matching the loaded module.
+class Counter(RemoteInterface):
+    def add(self, amount: int) -> None: ...
+    def total(self) -> int: ...
+
+
+WATCHED_SOURCE = '''
+from typing import Callable
+
+from repro.stubs import RemoteInterface
+
+
+class Watched(RemoteInterface):
+    """A loadable class that makes upcalls to registered watchers."""
+
+    def __init__(self):
+        self.watchers = []
+        self.value = 0
+
+    def watch(self, proc: Callable[[int], None]) -> None:
+        self.watchers.append(proc)
+
+    async def set(self, value: int) -> int:
+        self.value = value
+        for watcher in self.watchers:
+            await watcher(value)
+        return len(self.watchers)
+'''
+
+
+class Watched(RemoteInterface):
+    def watch(self, proc: Callable[[int], None]) -> None: ...
+    def set(self, value: int) -> int: ...
+
+
+FAULTY_SOURCE = '''
+from repro.stubs import RemoteInterface
+
+
+class Faulty(RemoteInterface):
+    def divide(self, numerator: int, denominator: int) -> int:
+        return numerator // denominator
+'''
+
+
+class Faulty(RemoteInterface):
+    def divide(self, numerator: int, denominator: int) -> int: ...
+
+
+async def start(url=None):
+    server = ClamServer()
+    address = await server.start(url or f"memory://clam-it-{next(_ids)}")
+    client = await ClamClient.connect(address)
+    return server, client
+
+
+class TestBuiltin:
+    @async_test
+    async def test_ping(self):
+        server, client = await start()
+        assert isinstance(await client.ping(), int)
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_session_established(self):
+        server, client = await start()
+        assert client.session
+        assert server.session_count == 1
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_two_clients_independent_sessions(self):
+        server = ClamServer()
+        address = await server.start(f"memory://clam-it-{next(_ids)}")
+        c1 = await ClamClient.connect(address)
+        c2 = await ClamClient.connect(address)
+        assert c1.session != c2.session
+        assert server.session_count == 2
+        await c1.close()
+        await c2.close()
+        await server.shutdown()
+
+
+class TestDynamicLoading:
+    @async_test
+    async def test_load_create_call(self):
+        server, client = await start()
+        exported = await client.load_module("counter", COUNTER_SOURCE)
+        assert exported == ["Counter"]
+        counter = await client.create(Counter)
+        await counter.add(5)
+        await counter.add(7)
+        assert await counter.total() == 12
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_create_unknown_class(self):
+        server, client = await start()
+        with pytest.raises(RemoteError) as info:
+            await client.create(Counter)
+        assert info.value.remote_type == UnknownClassError.__name__
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_listings(self):
+        server, client = await start()
+        await client.load_module("counter", COUNTER_SOURCE)
+        assert await client.list_modules() == ["counter"]
+        assert await client.list_classes() == ["Counter"]
+        assert await client.versions_of("Counter") == [1]
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_loaded_objects_shared_between_clients(self):
+        """Placement in the server enables sharing (§1)."""
+        server = ClamServer()
+        address = await server.start(f"memory://clam-it-{next(_ids)}")
+        c1 = await ClamClient.connect(address)
+        c2 = await ClamClient.connect(address)
+
+        await c1.load_module("counter", COUNTER_SOURCE)
+        counter1 = await c1.create(Counter)
+        await c1.publish("shared-counter", counter1)
+
+        counter2 = await c2.lookup(Counter, "shared-counter")
+        await counter2.add(30)
+        await c2.sync()
+        assert await counter1.total() == 30  # c1 sees c2's increment
+        await c1.close()
+        await c2.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_batching_through_real_server(self):
+        server, client = await start()
+        await client.load_module("counter", COUNTER_SOURCE)
+        counter = await client.create(Counter)
+        for _ in range(50):
+            await counter.add(1)
+        assert await counter.total() == 50
+        # All 50 posts arrived; far fewer frames than calls.
+        assert client.rpc.batch.frames_sent <= 2
+        await client.close()
+        await server.shutdown()
+
+
+class TestDistributedUpcalls:
+    @async_test
+    async def test_callback_receives_upcall(self):
+        server, client = await start()
+        await client.load_module("watched", WATCHED_SOURCE)
+        watched = await client.create(Watched)
+
+        received = []
+        await watched.watch(lambda value: received.append(value))
+        assert await watched.set(42) == 1
+        assert received == [42]
+        assert client.upcalls_handled == 1
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_multiple_watchers_multiple_upcalls(self):
+        server, client = await start()
+        await client.load_module("watched", WATCHED_SOURCE)
+        watched = await client.create(Watched)
+
+        a, b = [], []
+        await watched.watch(lambda v: a.append(v))
+        await watched.watch(lambda v: b.append(v))
+        assert await watched.set(7) == 2
+        assert a == [7] and b == [7]
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_upcalls_to_two_clients(self):
+        """Each RUC is bound to its own client's upcall channel."""
+        server = ClamServer()
+        address = await server.start(f"memory://clam-it-{next(_ids)}")
+        c1 = await ClamClient.connect(address)
+        c2 = await ClamClient.connect(address)
+
+        await c1.load_module("watched", WATCHED_SOURCE)
+        w = await c1.create(Watched)
+        await c1.publish("w", w)
+        w_for_c2 = await c2.lookup(Watched, "w")
+
+        seen1, seen2 = [], []
+        await w.watch(lambda v: seen1.append(("c1", v)))
+        await w_for_c2.watch(lambda v: seen2.append(("c2", v)))
+        await w.set(5)
+        assert seen1 == [("c1", 5)]
+        assert seen2 == [("c2", 5)]
+        await c1.close()
+        await c2.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_async_client_callback(self):
+        server, client = await start()
+        await client.load_module("watched", WATCHED_SOURCE)
+        watched = await client.create(Watched)
+
+        received = []
+
+        async def handler(value):
+            await asyncio.sleep(0.001)
+            received.append(value)
+
+        await watched.watch(handler)
+        await watched.set(9)
+        assert received == [9]
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_failing_callback_surfaces_to_server_caller(self):
+        server, client = await start()
+        await client.load_module("watched", WATCHED_SOURCE)
+        watched = await client.create(Watched)
+
+        def bad_handler(value):
+            raise KeyError("handler bug")
+
+        await watched.watch(bad_handler)
+        # The server-side set() awaits the upcall, whose failure
+        # propagates back down the RPC as a RemoteError chain.
+        with pytest.raises(RemoteError):
+            await watched.set(1)
+        await client.close()
+        await server.shutdown()
+
+
+class TestFaultIsolation:
+    @async_test
+    async def test_fault_reported_via_upcall(self):
+        server, client = await start()
+        reports = []
+        await client.register_error_handler(
+            lambda name, version, etype, msg: reports.append((name, etype))
+        )
+        await client.load_module("faulty", FAULTY_SOURCE)
+        faulty = await client.create(Faulty)
+        assert await faulty.divide(10, 2) == 5
+        with pytest.raises(RemoteError) as info:
+            await faulty.divide(1, 0)
+        assert info.value.remote_type == "ZeroDivisionError"
+        await eventually(lambda: reports == [("Faulty", "ZeroDivisionError")])
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_quarantine_after_fault(self):
+        server, client = await start()
+        await client.load_module("faulty", FAULTY_SOURCE)
+        faulty = await client.create(Faulty)
+        with pytest.raises(RemoteError):
+            await faulty.divide(1, 0)
+        with pytest.raises(RemoteError) as info:
+            await faulty.divide(4, 2)  # quarantined now
+        assert info.value.remote_type == FaultyClassError.__name__
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_late_handler_gets_queued_report(self):
+        server, client = await start()
+        await client.load_module("faulty", FAULTY_SOURCE)
+        faulty = await client.create(Faulty)
+        with pytest.raises(RemoteError):
+            await faulty.divide(1, 0)
+        # Handler registers after the fault: the queued report replays.
+        reports = []
+        await client.register_error_handler(
+            lambda name, version, etype, msg: reports.append(etype)
+        )
+        await eventually(lambda: reports == ["ZeroDivisionError"])
+        await client.close()
+        await server.shutdown()
+
+
+class TestOverRealSockets:
+    @pytest.mark.parametrize("scheme", ["unix", "tcp"])
+    @async_test
+    async def test_load_and_upcall(self, scheme, tmp_path):
+        url = {
+            "unix": f"unix://{tmp_path}/clam.sock",
+            "tcp": "tcp://127.0.0.1:0",
+        }[scheme]
+        server, client = await start(url)
+        await client.load_module("watched", WATCHED_SOURCE)
+        watched = await client.create(Watched)
+        received = []
+        await watched.watch(lambda v: received.append(v))
+        await watched.set(11)
+        assert received == [11]
+        await client.close()
+        await server.shutdown()

@@ -1,0 +1,46 @@
+"""Server-session edge cases not covered by the main flows."""
+
+import itertools
+
+import pytest
+
+from repro import ClamClient, ClamServer
+from repro.errors import ConnectionClosedError
+from repro.ipc import MessageChannel, dial
+from repro.wire import ChannelRole, HelloMessage
+from tests.support import async_test
+
+_ids = itertools.count(1)
+
+
+class TestUpcallChannelAttachment:
+    @async_test
+    async def test_second_upcall_channel_rejected(self):
+        """A session has exactly one dedicated upcall stream (§4.4)."""
+        server = ClamServer()
+        address = await server.start(f"memory://sess-edge-{next(_ids)}")
+        client = await ClamClient.connect(address)
+
+        channel = MessageChannel(await dial(address))
+        await channel.send(
+            HelloMessage(role=ChannelRole.UPCALL, session=client.session)
+        )
+        # The server refuses the duplicate and drops the connection.
+        with pytest.raises(ConnectionClosedError):
+            for _ in range(3):
+                await channel.recv()
+        # The original client is unaffected.
+        assert isinstance(await client.ping(), int)
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_sessions_isolated_after_one_dies(self):
+        server = ClamServer()
+        address = await server.start(f"memory://sess-edge-{next(_ids)}")
+        doomed = await ClamClient.connect(address)
+        healthy = await ClamClient.connect(address)
+        await doomed.close()
+        assert isinstance(await healthy.ping(), int)
+        await healthy.close()
+        await server.shutdown()

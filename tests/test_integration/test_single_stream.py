@@ -1,0 +1,192 @@
+"""Single-stream mode: the §4.4 channel ablation.
+
+"Without typed messages, multiplexing multiple channels of
+communication onto one unix stream is difficult, and requires extra
+information to be passed to specify which conversation is currently
+active.  Therefore, CLAM provides separate unix streams for each
+communication channel."
+
+Our messages ARE typed, so the reproduction also implements the
+alternative CLAM rejected: one stream carrying both conversations.
+These tests show it works — and pin down the constraint that makes the
+paper's two-stream design the safer default (upcalls must come from
+server tasks, never inline in an RPC handler).
+"""
+
+import asyncio
+import itertools
+from typing import Callable
+
+import pytest
+
+from repro import ClamClient, ClamServer, RemoteInterface
+from tests.support import async_test, eventually
+
+_ids = itertools.count(1)
+
+# A class whose upcalls originate from a server task (armed by an RPC
+# that returns immediately) — the pattern single-stream mode requires.
+TICKER_SOURCE = '''
+import asyncio
+from typing import Callable
+
+from repro.stubs import RemoteInterface
+
+
+class Ticker(RemoteInterface):
+    def __init__(self):
+        self.proc = None
+        self._task = None
+
+    def register(self, proc: Callable[[int], None]) -> bool:
+        self.proc = proc
+        return True
+
+    def start(self, count: int) -> bool:
+        # Fire the upcalls from a fresh server task (S4.3), NOT inline.
+        self._task = asyncio.get_event_loop().create_task(self._tick(count))
+        return True
+
+    async def _tick(self, count: int) -> None:
+        for i in range(count):
+            await self.proc(i)
+'''
+
+
+class Ticker(RemoteInterface):
+    def register(self, proc: Callable[[int], None]) -> bool: ...
+    def start(self, count: int) -> bool: ...
+
+
+async def start_pair(channels: str):
+    server = ClamServer()
+    address = await server.start(f"memory://single-stream-{next(_ids)}")
+    client = await ClamClient.connect(address, channels=channels)
+    await client.load_module("ticker", TICKER_SOURCE)
+    ticker = await client.create(Ticker)
+    return server, client, ticker
+
+
+class TestSingleStream:
+    @async_test
+    async def test_upcalls_arrive_on_the_rpc_stream(self):
+        server, client, ticker = await start_pair("one")
+        assert server.session_count == 1
+        seen = []
+        await ticker.register(lambda i: seen.append(i))
+        await ticker.start(5)
+        await eventually(lambda: seen == [0, 1, 2, 3, 4])
+        assert client.upcalls_handled == 5
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_rpcs_flow_while_upcalls_active(self):
+        """The shared stream interleaves conversations correctly."""
+        server, client, ticker = await start_pair("one")
+        seen = []
+        await ticker.register(lambda i: seen.append(i))
+        await ticker.start(20)
+        # Hammer RPCs while the ticker's upcalls are in flight.
+        for _ in range(10):
+            await client.ping()
+        await eventually(lambda: len(seen) == 20)
+        assert seen == list(range(20))  # upcall order preserved too
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_handler_making_rpcs_back(self):
+        """An upcall handler may RPC back on the same stream: the
+        reader never blocks because handling runs on its own task."""
+        server, client, ticker = await start_pair("one")
+        pings = []
+
+        async def handler(i):
+            pings.append(await client.ping())
+
+        await ticker.register(handler)
+        await ticker.start(3)
+        await eventually(lambda: len(pings) == 3)
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_modes_equivalent_results(self):
+        results = {}
+        for channels in ("one", "two"):
+            server, client, ticker = await start_pair(channels)
+            seen = []
+            await ticker.register(lambda i: seen.append(i))
+            await ticker.start(7)
+            await eventually(lambda: len(seen) == 7)
+            results[channels] = seen
+            await client.close()
+            await server.shutdown()
+        assert results["one"] == results["two"]
+
+    @async_test
+    async def test_failing_handler_reported_on_shared_stream(self):
+        server, client, ticker = await start_pair("one")
+        attempts = []
+
+        def bad(i):
+            attempts.append(i)
+            raise RuntimeError("handler bug")
+
+        await ticker.register(bad)
+        await ticker.start(2)
+        # The first upcall's failure propagates to the ticking server
+        # task as a RemoteError and kills it — so exactly one attempt.
+        await eventually(lambda: len(attempts) == 1)
+        # The stream survives: normal RPC still works.
+        assert isinstance(await client.ping(), int)
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_bad_channels_value_rejected(self):
+        server = ClamServer()
+        address = await server.start(f"memory://single-stream-{next(_ids)}")
+        with pytest.raises(ValueError):
+            await ClamClient.connect(address, channels="three")
+        await server.shutdown()
+
+
+class TestFallback:
+    @async_test
+    async def test_dead_upcall_channel_falls_back_to_rpc_stream(self):
+        """A two-stream client whose dedicated upcall channel dies
+        keeps receiving upcalls, multiplexed onto the RPC stream."""
+        server, client, ticker = await start_pair("two")
+        seen = []
+        await ticker.register(lambda i: seen.append(i))
+
+        # Kill the dedicated channel; wait for the server to notice.
+        await client._upcall_service._channel.close()
+        session = next(iter(server.sessions.values()))
+        await eventually(lambda: not session.has_upcall_channel)
+
+        await ticker.start(3)
+        await eventually(lambda: seen == [0, 1, 2])
+        await client.close()
+        await server.shutdown()
+
+
+class TestTwoStreamStillDefault:
+    @async_test
+    async def test_default_opens_two_connections(self):
+        server, client, ticker = await start_pair("two")
+        # The dedicated upcall channel exists server-side.
+        session = next(iter(server.sessions.values()))
+        assert session.has_upcall_channel
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_single_stream_has_no_upcall_channel(self):
+        server, client, ticker = await start_pair("one")
+        session = next(iter(server.sessions.values()))
+        assert not session.has_upcall_channel
+        await client.close()
+        await server.shutdown()

@@ -1,0 +1,143 @@
+"""Concurrency stress: many clients, interleaved RPCs and upcalls.
+
+Not a benchmark — a race detector.  Twenty clients hammer one shared
+object with batched writes, synchronous reads, and upcall
+registrations while the server fans events out to all of them; the
+test asserts global counters reconcile exactly.
+"""
+
+import asyncio
+import itertools
+from typing import Callable
+
+import pytest
+
+from repro import ClamClient, ClamServer, RemoteInterface
+from tests.support import async_test, gather_with_timeout
+
+_ids = itertools.count(1)
+
+BOARD_SOURCE = '''
+from typing import Callable
+
+from repro.stubs import RemoteInterface
+
+
+class Board(RemoteInterface):
+    """A shared scoreboard with broadcast."""
+
+    def __init__(self):
+        self.total = 0
+        self.listeners = []
+
+    def add(self, amount: int) -> None:
+        self.total += amount
+
+    def read(self) -> int:
+        return self.total
+
+    def listen(self, proc: Callable[[int], None]) -> bool:
+        self.listeners.append(proc)
+        return True
+
+    async def broadcast(self) -> int:
+        for proc in self.listeners:
+            await proc(self.total)
+        return len(self.listeners)
+'''
+
+
+class Board(RemoteInterface):
+    def add(self, amount: int) -> None: ...
+    def read(self) -> int: ...
+    def listen(self, proc: Callable[[int], None]) -> bool: ...
+    def broadcast(self) -> int: ...
+
+
+CLIENTS = 20
+ADDS_PER_CLIENT = 50
+
+
+class TestStress:
+    @async_test
+    async def test_many_clients_reconcile(self):
+        server = ClamServer()
+        address = await server.start(f"memory://stress-{next(_ids)}")
+
+        owner = await ClamClient.connect(address)
+        await owner.load_module("board", BOARD_SOURCE)
+        board = await owner.create(Board)
+        await owner.publish("board", board)
+
+        clients = [await ClamClient.connect(address) for _ in range(CLIENTS)]
+        received: list[list[int]] = [[] for _ in clients]
+
+        async def worker(i: int, client: ClamClient) -> int:
+            proxy = await client.lookup(Board, "board")
+            await proxy.listen(lambda total, i=i: received[i].append(total))
+            for _ in range(ADDS_PER_CLIENT):
+                await proxy.add(1)          # batched async
+            return await proxy.read()       # forces the flush
+
+        results = await gather_with_timeout(
+            *(worker(i, c) for i, c in enumerate(clients))
+        )
+        # Every client saw a monotone prefix of the final total.
+        final = await board.read()
+        assert final == CLIENTS * ADDS_PER_CLIENT
+        assert all(r <= final for r in results)
+
+        # Broadcast reaches every listener exactly once.
+        listeners = await board.broadcast()
+        assert listeners == CLIENTS
+        for i, log in enumerate(received):
+            assert log == [final], f"client {i} saw {log}"
+
+        assert server.session_count == CLIENTS + 1
+        for client in clients:
+            await client.close()
+        await owner.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_interleaved_sync_and_async_from_one_client(self):
+        """A single client mixing batched and sync calls heavily still
+        observes strictly consistent ordering (§3.4)."""
+        server = ClamServer()
+        address = await server.start(f"memory://stress-{next(_ids)}")
+        client = await ClamClient.connect(address)
+        await client.load_module("board", BOARD_SOURCE)
+        board = await client.create(Board)
+
+        expected = 0
+        for round_number in range(1, 30):
+            for _ in range(round_number):
+                await board.add(1)
+                expected += 1
+            assert await board.read() == expected
+
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_concurrent_app_tasks_share_one_client(self):
+        """The paper allows multiple tasks per client; concurrent sync
+        calls over one connection must not cross replies."""
+        server = ClamServer()
+        address = await server.start(f"memory://stress-{next(_ids)}")
+        client = await ClamClient.connect(address)
+        await client.load_module("board", BOARD_SOURCE)
+        board = await client.create(Board)
+        await board.add(5)
+
+        async def reader(n):
+            values = set()
+            for _ in range(n):
+                values.add(await board.read())
+            return values
+
+        value_sets = await gather_with_timeout(*(reader(20) for _ in range(10)))
+        for values in value_sets:
+            assert values == {5}
+        await client.close()
+        await server.shutdown()

@@ -1,0 +1,171 @@
+"""Sweep-layer placement: server vs client (paper §2.1).
+
+"One place for the sweeping code is directly in the window server ...
+A second place to put the sweeping function is in client code, as is
+done in the X window manager. ... Upcalls provide a simple solution.
+The code to sweep out a window is dynamically loaded into the CLAM
+server."
+
+The SAME SweepLayer class runs in both placements; only who
+instantiates it differs.  The tests verify both produce the same
+window, and that the traffic profile differs the way the paper says:
+server placement crosses the address space once per drag (the single
+"window created" upcall), client placement once per input event.
+
+The screen runs its input pump on a single-worker task pool — the
+paper's new-task-per-input-event structure (§4.3) — so upcalled
+handlers may RPC back into the server without deadlocking the
+session's RPC loop.
+"""
+
+import itertools
+
+import pytest
+
+from repro import ClamClient, ClamServer
+from repro.tasks import TaskPool
+from repro.wm import BaseWindow, InputScript, Screen, SweepLayer
+from repro.wm.geometry import Point, Rect
+from tests.support import async_test, eventually
+
+_ids = itertools.count(1)
+
+SWEEP_MODULE = '''
+from repro.wm.sweep import SweepLayer
+
+__clam_exports__ = ["SweepLayer"]
+'''
+
+
+async def start_wm_server():
+    server = ClamServer()
+    screen = Screen(60, 30)
+    screen.use_tasks(TaskPool(max_tasks=1, name="screen-input"))
+    base = BaseWindow(screen)
+    server.publish("screen", screen)
+    server.publish("base", base)
+    address = await server.start(f"memory://sweep-pl-{next(_ids)}")
+    return server, screen, base, address
+
+
+class TestServerPlacement:
+    @async_test
+    async def test_sweep_loaded_into_server(self):
+        server, screen, base, address = await start_wm_server()
+        client = await ClamClient.connect(address)
+        screen_proxy = await client.lookup(Screen, "screen")
+        base_proxy = await client.lookup(BaseWindow, "base")
+
+        # Dynamic loading (§2): ship the sweep module, create, wire up.
+        await client.load_module("sweep", SWEEP_MODULE)
+        sweep = await client.create(SweepLayer, class_name="sweep")
+        await sweep.configure(4, True)
+        await sweep.attach(base_proxy, screen_proxy)
+
+        completions = []
+        await sweep.on_complete(lambda rect: completions.append(rect))
+
+        script = InputScript()
+        for event in script.drag(Point(2, 2), Point(18, 12), steps=20):
+            await screen_proxy.inject_input(event)
+
+        await eventually(lambda: len(completions) == 1)
+        assert completions[0].x % 4 == 0
+        assert await base_proxy.window_count() == 1
+        assert await sweep.motion_count() == 20
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_server_placement_single_upcall_per_drag(self):
+        """Only the final "window created" event crosses to the client
+        when the sweep layer lives in the server."""
+        server, screen, base, address = await start_wm_server()
+        client = await ClamClient.connect(address)
+        base_proxy = await client.lookup(BaseWindow, "base")
+
+        await client.load_module("sweep", SWEEP_MODULE)
+        sweep = await client.create(SweepLayer, class_name="sweep")
+        await sweep.attach(base_proxy, await client.lookup(Screen, "screen"))
+        completions = []
+        await sweep.on_complete(lambda rect: completions.append(rect))
+
+        # Drive input inside the server process (the device's side).
+        script = InputScript()
+        await script.play(script.drag(Point(1, 1), Point(30, 20), steps=100),
+                          screen.inject_input)
+        await screen.drain_input()
+
+        await eventually(lambda: len(completions) == 1)
+        # 100 motion events were processed, but exactly ONE upcall
+        # crossed the address space.
+        assert client.upcalls_handled == 1
+        await client.close()
+        await server.shutdown()
+
+
+class TestClientPlacement:
+    @async_test
+    async def test_same_code_runs_in_client(self):
+        """The identical class, instantiated client-side: every input
+        event crosses as a distributed upcall, drawing goes back as
+        (batched) RPCs."""
+        server, screen, base, address = await start_wm_server()
+        client = await ClamClient.connect(address)
+        screen_proxy = await client.lookup(Screen, "screen")
+        base_proxy = await client.lookup(BaseWindow, "base")
+
+        sweep = SweepLayer()  # lives HERE, in the client
+        sweep.configure(4, True)
+        await sweep.attach(base_proxy, screen_proxy)
+        completions = []
+        sweep.on_complete(lambda rect: completions.append(rect))
+
+        steps = 10
+        script = InputScript()
+        for event in script.drag(Point(2, 2), Point(18, 12), steps=steps):
+            await screen_proxy.inject_input(event)
+
+        await eventually(lambda: len(completions) == 1)
+        assert completions[0].x % 4 == 0
+        assert await base_proxy.window_count() == 1
+        # Every one of the drag's events crossed the wire as an upcall.
+        assert client.upcalls_handled >= steps + 2
+        assert sweep.motion_count() == steps
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_placements_produce_identical_windows(self):
+        """§2.1's point: placement is a performance choice, not a
+        semantic one."""
+        results = {}
+        for placement in ("server", "client"):
+            server, screen, base, address = await start_wm_server()
+            client = await ClamClient.connect(address)
+            screen_proxy = await client.lookup(Screen, "screen")
+            base_proxy = await client.lookup(BaseWindow, "base")
+
+            if placement == "server":
+                await client.load_module("sweep", SWEEP_MODULE)
+                sweep = await client.create(SweepLayer, class_name="sweep")
+            else:
+                sweep = SweepLayer()
+            # invoke() is the placement-agnostic call: proxy methods are
+            # async, local ones are not, and the caller need not care.
+            from repro.core import invoke
+
+            completions = []
+            await invoke(sweep.configure, 2, False)
+            await invoke(sweep.attach, base_proxy, screen_proxy)
+            await invoke(sweep.on_complete, lambda rect: completions.append(rect))
+
+            script = InputScript()
+            for event in script.drag(Point(3, 3), Point(15, 9), steps=6):
+                await screen_proxy.inject_input(event)
+            await eventually(lambda: len(completions) == 1)
+            results[placement] = completions[0]
+            await client.close()
+            await server.shutdown()
+
+        assert results["server"] == results["client"]

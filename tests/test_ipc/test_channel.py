@@ -1,0 +1,62 @@
+"""Tests for MessageChannel: typed messages over raw connections."""
+
+import pytest
+
+from repro.errors import ConnectionClosedError
+from repro.ipc import MessageChannel
+from repro.ipc.memory import MemoryConnection
+from repro.wire import CallMessage, ChannelRole, HelloMessage, ReplyMessage
+from tests.support import async_test
+
+
+@async_test
+async def test_message_roundtrip_over_memory_pipe():
+    a, b = MemoryConnection.pipe()
+    chan_a, chan_b = MessageChannel(a), MessageChannel(b)
+    call = CallMessage(serial=1, oid=5, tag=7, method="mouse",
+                       args=b"\x00\x00\x00\x09", expects_reply=True)
+    await chan_a.send(call)
+    assert await chan_b.recv() == call
+    reply = ReplyMessage(serial=1, results=b"")
+    await chan_b.send(reply)
+    assert await chan_a.recv() == reply
+    await chan_a.close()
+    await chan_b.close()
+
+
+@async_test
+async def test_hello_handshake_sequence():
+    a, b = MemoryConnection.pipe()
+    chan_a, chan_b = MessageChannel(a), MessageChannel(b)
+    await chan_a.send(HelloMessage(role=ChannelRole.RPC))
+    hello = await chan_b.recv()
+    assert isinstance(hello, HelloMessage)
+    assert hello.role is ChannelRole.RPC
+    await chan_a.close()
+    await chan_b.close()
+
+
+@async_test
+async def test_recv_on_closed_channel_raises():
+    a, b = MemoryConnection.pipe()
+    chan_a, chan_b = MessageChannel(a), MessageChannel(b)
+    await chan_a.close()
+    with pytest.raises(ConnectionClosedError):
+        await chan_b.recv()
+
+
+@async_test
+async def test_channel_context_manager():
+    a, b = MemoryConnection.pipe()
+    async with MessageChannel(a) as chan:
+        assert not chan.closed
+    assert chan.closed
+    await b.close()
+
+
+@async_test
+async def test_peer_passthrough():
+    a, b = MemoryConnection.pipe(peer_a="memory:x", peer_b="memory:y")
+    assert MessageChannel(a).peer == "memory:y"
+    await a.close()
+    await b.close()

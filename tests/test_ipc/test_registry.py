@@ -1,0 +1,69 @@
+"""Tests for URL → transport resolution."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.ipc import LatencyTransport, MemoryTransport, TcpTransport, UnixTransport
+from repro.ipc.registry import transport_for_url
+from repro.ipc.tcp import parse_host_port
+
+
+class TestTransportForUrl:
+    def test_memory(self):
+        transport, address = transport_for_url("memory://name")
+        assert isinstance(transport, MemoryTransport)
+        assert address == "memory://name"
+
+    def test_memory_is_process_wide_singleton(self):
+        t1, _ = transport_for_url("memory://a")
+        t2, _ = transport_for_url("memory://b")
+        assert t1 is t2
+
+    def test_unix(self):
+        transport, address = transport_for_url("unix:///tmp/x.sock")
+        assert isinstance(transport, UnixTransport)
+        assert address == "unix:///tmp/x.sock"
+
+    def test_tcp(self):
+        transport, address = transport_for_url("tcp://127.0.0.1:80")
+        assert isinstance(transport, TcpTransport)
+
+    def test_wan_with_delay(self):
+        transport, address = transport_for_url("wan://127.0.0.1:80?delay=0.25")
+        assert isinstance(transport, LatencyTransport)
+        assert transport._delay == 0.25
+        assert address == "tcp://127.0.0.1:80"
+
+    def test_wan_default_delay(self):
+        from repro.ipc.latency import DEFAULT_ONE_WAY_DELAY
+
+        transport, _ = transport_for_url("wan://127.0.0.1:80")
+        assert transport._delay == DEFAULT_ONE_WAY_DELAY
+
+    def test_unknown_scheme(self):
+        with pytest.raises(TransportError):
+            transport_for_url("gopher://hole")
+
+    def test_missing_scheme(self):
+        with pytest.raises(TransportError):
+            transport_for_url("/just/a/path")
+
+
+class TestHostPortParsing:
+    def test_plain(self):
+        assert parse_host_port("tcp://example.org:4047") == ("example.org", 4047)
+
+    def test_ephemeral(self):
+        assert parse_host_port("tcp://0.0.0.0:0") == ("0.0.0.0", 0)
+
+    def test_no_port(self):
+        with pytest.raises(TransportError):
+            parse_host_port("tcp://hostonly")
+
+    def test_bad_port(self):
+        with pytest.raises(TransportError):
+            parse_host_port("tcp://h:eighty")
+
+    def test_empty_host(self):
+        with pytest.raises(TransportError):
+            parse_host_port("tcp://:80")

@@ -1,0 +1,20 @@
+"""A shippable layer module, used by test_source_of and examples.
+
+This file is what a client would write and then ship into the server
+with ``source_of`` — a self-contained module defining remote classes.
+"""
+
+from repro.stubs import RemoteInterface
+
+
+class SampleLayer(RemoteInterface):
+    """Trivial layer: counts events it is offered."""
+
+    def __init__(self):
+        self.count = 0
+
+    def offer(self, weight: int) -> None:
+        self.count += weight
+
+    def seen(self) -> int:
+        return self.count

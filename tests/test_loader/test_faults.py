@@ -1,0 +1,92 @@
+"""Tests for fault isolation and error-reporting upcalls (paper §4.3)."""
+
+import pytest
+
+from repro.errors import FaultyClassError
+from repro.loader import FaultIsolator
+from tests.support import async_test
+
+
+class TestFaultRecording:
+    def test_record_first_fault(self):
+        isolator = FaultIsolator()
+        record = isolator.record("sweep", 1, "drag", ZeroDivisionError("divide by zero"))
+        assert record.class_name == "sweep"
+        assert record.error_type == "ZeroDivisionError"
+        assert record.count == 1
+
+    def test_repeat_faults_counted(self):
+        isolator = FaultIsolator(quarantine_after=3)
+        for i in range(3):
+            record = isolator.record("sweep", 1, "drag", ValueError(f"err{i}"))
+        assert record.count == 3
+        assert record.message == "err2"
+
+    def test_fault_records_listing(self):
+        isolator = FaultIsolator()
+        isolator.record("a", 1, "m", ValueError("x"))
+        isolator.record("b", 2, "n", KeyError("y"))
+        assert {r.class_name for r in isolator.fault_records} == {"a", "b"}
+
+
+class TestQuarantine:
+    def test_faulty_after_threshold(self):
+        isolator = FaultIsolator(quarantine_after=1)
+        assert not isolator.is_faulty("sweep", 1)
+        isolator.record("sweep", 1, "drag", RuntimeError("boom"))
+        assert isolator.is_faulty("sweep", 1)
+        with pytest.raises(FaultyClassError, match="quarantined"):
+            isolator.check("sweep", 1)
+
+    def test_other_versions_unaffected(self):
+        """§2.1/§3.5.1: versions are independent classes."""
+        isolator = FaultIsolator()
+        isolator.record("sweep", 1, "drag", RuntimeError("boom"))
+        isolator.check("sweep", 2)  # does not raise
+
+    def test_threshold_respected(self):
+        isolator = FaultIsolator(quarantine_after=3)
+        isolator.record("sweep", 1, "drag", RuntimeError("1"))
+        isolator.record("sweep", 1, "drag", RuntimeError("2"))
+        assert not isolator.is_faulty("sweep", 1)
+        isolator.record("sweep", 1, "drag", RuntimeError("3"))
+        assert isolator.is_faulty("sweep", 1)
+
+    def test_quarantine_disabled(self):
+        isolator = FaultIsolator(quarantine_after=0)
+        for _ in range(10):
+            isolator.record("sweep", 1, "drag", RuntimeError("boom"))
+        isolator.check("sweep", 1)  # never quarantined
+
+    def test_forgive(self):
+        isolator = FaultIsolator()
+        isolator.record("sweep", 1, "drag", RuntimeError("boom"))
+        isolator.forgive("sweep", 1)
+        isolator.check("sweep", 1)
+
+
+class TestErrorReporting:
+    @async_test
+    async def test_report_makes_upcall(self):
+        """§4.3: the server notifies a client that it used a faulty class."""
+        isolator = FaultIsolator()
+        reports = []
+        isolator.error_port.register(
+            lambda name, version, etype, msg: reports.append((name, version, etype, msg))
+        )
+        record = isolator.record("sweep", 1, "drag", ZeroDivisionError("divide by zero"))
+        await isolator.report(record)
+        assert reports == [("sweep", 1, "ZeroDivisionError", "divide by zero")]
+
+    @async_test
+    async def test_unheard_reports_queue(self):
+        """With no handler registered, reports queue for a later client."""
+        isolator = FaultIsolator()
+        record = isolator.record("sweep", 1, "drag", RuntimeError("boom"))
+        await isolator.report(record)
+        assert isolator.error_port.queued_count == 1
+
+        late_reports = []
+        isolator.error_port.register(lambda *args: late_reports.append(args))
+        await isolator.error_port.replay_queued()
+        assert len(late_reports) == 1

@@ -1,0 +1,256 @@
+"""Tests for dynamic loading and version control (paper §2)."""
+
+import pytest
+
+from repro.errors import LoaderError, ModuleVersionError, UnknownClassError
+from repro.loader import ClassRegistry, ModuleLoader, source_of
+
+COUNTER_SOURCE = '''
+from repro.stubs import RemoteInterface
+
+
+class Counter(RemoteInterface):
+    """A loadable counter class."""
+
+    def __init__(self):
+        self.value = 0
+
+    def add(self, amount: int) -> None:
+        self.value += amount
+
+    def total(self) -> int:
+        return self.value
+'''
+
+V2_SOURCE = '''
+from repro.stubs import RemoteInterface
+
+
+class Counter(RemoteInterface):
+    __clam_version__ = 2
+
+    def __init__(self):
+        self.value = 100  # v2 starts at 100
+
+    def add(self, amount: int) -> None:
+        self.value += amount
+
+    def total(self) -> int:
+        return self.value
+'''
+
+
+class TestLoadSource:
+    def test_load_and_instantiate(self):
+        loader = ModuleLoader()
+        loaded = loader.load_source("counter", COUNTER_SOURCE)
+        assert loaded.class_names == ["Counter"]
+        cls = loader.classes.resolve("Counter").cls
+        instance = cls()
+        instance.add(5)
+        assert instance.total() == 5
+
+    def test_module_recorded(self):
+        loader = ModuleLoader()
+        loader.load_source("counter", COUNTER_SOURCE)
+        assert loader.module_names == ["counter"]
+        assert loader.module("counter").name == "counter"
+        assert loader.modules_loaded == 1
+
+    def test_duplicate_module_name_rejected(self):
+        loader = ModuleLoader()
+        loader.load_source("counter", COUNTER_SOURCE)
+        with pytest.raises(LoaderError, match="already loaded"):
+            loader.load_source("counter", COUNTER_SOURCE)
+
+    def test_syntax_error_rejected_cleanly(self):
+        loader = ModuleLoader()
+        with pytest.raises(LoaderError, match="failed to load"):
+            loader.load_source("bad", "def broken(:\n")
+        assert loader.module_names == []
+        assert len(loader.classes) == 0
+
+    def test_exec_error_rejected_cleanly(self):
+        loader = ModuleLoader()
+        with pytest.raises(LoaderError):
+            loader.load_source("boom", "raise RuntimeError('at import time')")
+        assert loader.module_names == []
+
+    def test_module_without_remote_classes_rejected(self):
+        loader = ModuleLoader()
+        with pytest.raises(LoaderError, match="no remote classes"):
+            loader.load_source("empty", "x = 1\n")
+
+    def test_explicit_exports(self):
+        source = COUNTER_SOURCE + (
+            "\nclass Hidden(RemoteInterface):\n"
+            "    def secret(self) -> int: ...\n"
+            "\n__clam_exports__ = ['Counter']\n"
+        )
+        loader = ModuleLoader()
+        loaded = loader.load_source("partial", source)
+        assert loaded.class_names == ["Counter"]
+        with pytest.raises(UnknownClassError):
+            loader.classes.resolve("Hidden")
+
+    def test_export_list_naming_missing_class_rejected(self):
+        source = COUNTER_SOURCE + "\n__clam_exports__ = ['Ghost']\n"
+        loader = ModuleLoader()
+        with pytest.raises(LoaderError, match="Ghost"):
+            loader.load_source("ghostly", source)
+
+    def test_export_list_naming_non_interface_rejected(self):
+        source = COUNTER_SOURCE + "\nPLAIN = 5\n__clam_exports__ = ['PLAIN']\n"
+        loader = ModuleLoader()
+        with pytest.raises(LoaderError, match="not a RemoteInterface"):
+            loader.load_source("plain", source)
+
+    def test_imported_classes_not_auto_exported(self):
+        source = (
+            "from repro.stubs import RemoteInterface\n"
+            "from tests.test_loader.test_loader import COUNTER_SOURCE\n"
+            "class Mine(RemoteInterface):\n"
+            "    def m(self) -> int: ...\n"
+        )
+        loader = ModuleLoader()
+        loaded = loader.load_source("importer", source)
+        assert loaded.class_names == ["Mine"]
+
+    def test_loaded_code_can_use_loaded_code(self):
+        """§2: dynamically loaded procedures call each other as normal calls."""
+        loader = ModuleLoader()
+        loader.load_source("counter", COUNTER_SOURCE)
+        counter_cls = loader.classes.resolve("Counter").cls
+        source = (
+            "from repro.stubs import RemoteInterface\n"
+            "class Doubler(RemoteInterface):\n"
+            "    def __init__(self, counter):\n"
+            "        self.counter = counter\n"
+            "    def double_add(self, amount: int) -> None:\n"
+            "        self.counter.add(amount * 2)\n"
+        )
+        loader.load_source("doubler", source)
+        doubler_cls = loader.classes.resolve("Doubler").cls
+        counter = counter_cls()
+        doubler_cls(counter).double_add(4)
+        assert counter.total() == 8
+
+
+class TestLoadedModuleEnvironment:
+    DATACLASS_SOURCE = '''
+from dataclasses import dataclass
+
+from repro.stubs import RemoteInterface
+
+
+@dataclass
+class Point:
+    x: int
+    y: int
+
+
+class Plotter(RemoteInterface):
+    def plot(self, p: Point) -> int:
+        return p.x + p.y
+'''
+
+    def test_dataclasses_work_in_loaded_modules(self):
+        """Regression: compile() used to inherit this package's
+        `from __future__ import annotations`, stringifying loaded
+        annotations and crashing CPython's dataclasses for modules
+        not registered in sys.modules."""
+        loader = ModuleLoader()
+        loaded = loader.load_source("plotted", self.DATACLASS_SOURCE)
+        point_cls = loaded.module.Point
+        # Annotations stayed eager types, not strings.
+        assert point_cls.__dataclass_fields__["x"].type is int
+        plotter = loader.classes.resolve("Plotter").cls()
+        assert plotter.plot(point_cls(2, 3)) == 5
+
+    def test_loaded_module_registered_in_sys_modules(self):
+        import sys
+
+        loader = ModuleLoader()
+        loaded = loader.load_source("registered", COUNTER_SOURCE)
+        assert loaded.module.__name__ in sys.modules
+
+    def test_failed_load_not_left_in_sys_modules(self):
+        import sys
+
+        loader = ModuleLoader()
+        before = set(sys.modules)
+        with pytest.raises(LoaderError):
+            loader.load_source("broken", "raise RuntimeError('no')")
+        assert set(sys.modules) == before
+
+    def test_future_annotations_in_loaded_source_still_allowed(self):
+        source = (
+            "from __future__ import annotations\n" + COUNTER_SOURCE
+        )
+        loader = ModuleLoader()
+        loaded = loader.load_source("futurist", source)
+        cls = loader.classes.resolve("Counter").cls()
+        cls.add(2)
+        assert cls.total() == 2
+
+
+class TestVersionControl:
+    def test_two_versions_coexist(self):
+        """§2.1: different clients can have different versions."""
+        loader = ModuleLoader()
+        loader.load_source("counter_v1", COUNTER_SOURCE)
+        loader.load_source("counter_v2", V2_SOURCE)
+        v1 = loader.classes.resolve("Counter", version=1).cls
+        v2 = loader.classes.resolve("Counter", version=2).cls
+        assert v1().total() == 0
+        assert v2().total() == 100
+
+    def test_default_resolution_is_latest(self):
+        loader = ModuleLoader()
+        loader.load_source("counter_v1", COUNTER_SOURCE)
+        loader.load_source("counter_v2", V2_SOURCE)
+        assert loader.classes.resolve("Counter").version == 2
+
+    def test_same_version_conflict(self):
+        loader = ModuleLoader()
+        loader.load_source("a", COUNTER_SOURCE)
+        with pytest.raises(ModuleVersionError, match="bump"):
+            loader.load_source("b", COUNTER_SOURCE)
+
+    def test_unknown_class(self):
+        with pytest.raises(UnknownClassError):
+            ClassRegistry().resolve("Nothing")
+
+    def test_unknown_version(self):
+        loader = ModuleLoader()
+        loader.load_source("counter", COUNTER_SOURCE)
+        with pytest.raises(UnknownClassError):
+            loader.classes.resolve("Counter", version=9)
+
+    def test_versions_of(self):
+        loader = ModuleLoader()
+        loader.load_source("v1", COUNTER_SOURCE)
+        loader.load_source("v2", V2_SOURCE)
+        assert loader.classes.versions_of("Counter") == [1, 2]
+
+    def test_contains_and_len(self):
+        registry = ClassRegistry()
+        assert "Counter" not in registry
+        loader = ModuleLoader(registry)
+        loader.load_source("counter", COUNTER_SOURCE)
+        assert "Counter" in registry
+        assert len(registry) == 1
+
+
+class TestSourceOf:
+    def test_source_of_class(self):
+        from tests.test_loader import sample_layer
+
+        source = source_of(sample_layer)
+        loader = ModuleLoader()
+        loaded = loader.load_source("shipped", source)
+        assert "SampleLayer" in loaded.class_names
+
+    def test_source_of_builtin_fails(self):
+        with pytest.raises(LoaderError):
+            source_of(int)

@@ -1,0 +1,67 @@
+"""Tests for the frame format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netproto.frames import Fragment, FrameError, fragment_message
+
+
+class TestFragment:
+    def test_encode_parse_roundtrip(self):
+        fragment = Fragment("m1", 0, 3, "chat", "hello")
+        assert Fragment.parse(fragment.encode()) == fragment
+
+    def test_payload_may_contain_pipes(self):
+        fragment = Fragment("m1", 0, 1, "chat", "a|b|c")
+        assert Fragment.parse(fragment.encode()).payload == "a|b|c"
+
+    def test_empty_payload(self):
+        fragment = Fragment("m1", 0, 1, "", "")
+        assert Fragment.parse(fragment.encode()) == fragment
+
+    @pytest.mark.parametrize("frame", [
+        "too|few|fields",
+        "m1|x|3|chat|data",       # non-numeric seq
+        "m1|0|y|chat|data",       # non-numeric total
+        "m1|5|3|chat|data",       # seq out of range
+        "m1|0|0|chat|data",       # zero total
+        "|0|1|chat|data",         # empty msgid
+    ])
+    def test_malformed_rejected(self, frame):
+        with pytest.raises(FrameError):
+            Fragment.parse(frame)
+
+    def test_bad_msgid_at_construction(self):
+        with pytest.raises(FrameError):
+            Fragment("has|pipe", 0, 1, "c", "p")
+
+    def test_bad_channel_at_construction(self):
+        with pytest.raises(FrameError):
+            Fragment("m", 0, 1, "ch|an", "p")
+
+
+class TestFragmentMessage:
+    def test_chunking(self):
+        fragments = fragment_message("m1", "chat", "abcdefghij", chunk=4)
+        assert [f.payload for f in fragments] == ["abcd", "efgh", "ij"]
+        assert all(f.total == 3 for f in fragments)
+        assert [f.seq for f in fragments] == [0, 1, 2]
+
+    def test_empty_message_is_one_fragment(self):
+        fragments = fragment_message("m1", "chat", "")
+        assert len(fragments) == 1
+        assert fragments[0].payload == ""
+
+    def test_bad_chunk(self):
+        with pytest.raises(FrameError):
+            fragment_message("m1", "c", "data", chunk=0)
+
+    @given(st.text(max_size=200).filter(lambda s: True),
+           st.integers(min_value=1, max_value=32))
+    def test_reassembles_to_original(self, message, chunk):
+        fragments = fragment_message("m", "c", message, chunk=chunk)
+        rebuilt = "".join(f.payload for f in sorted(fragments, key=lambda f: f.seq))
+        assert rebuilt == message
+        # And every fragment survives the wire format.
+        for fragment in fragments:
+            assert Fragment.parse(fragment.encode()) == fragment

@@ -1,0 +1,123 @@
+"""Unit tests for the batch queue in isolation (paper §3.4)."""
+
+import asyncio
+
+import pytest
+
+from repro.rpc import BatchQueue
+from repro.wire import BatchMessage, CallMessage
+from tests.support import async_test, eventually
+
+
+def call(serial):
+    return CallMessage(serial=serial, oid=1, tag=1, method="m",
+                       args=b"", expects_reply=False)
+
+
+def collector():
+    sent = []
+
+    async def send(batch):
+        sent.append(batch)
+
+    return sent, send
+
+
+class TestFlushTriggers:
+    @async_test
+    async def test_explicit_flush_sends_everything(self):
+        sent, send = collector()
+        queue = BatchQueue(send, flush_delay=None)
+        for i in range(3):
+            await queue.post(call(i))
+        assert sent == []
+        await queue.flush()
+        assert len(sent) == 1
+        assert [c.serial for c in sent[0].calls] == [0, 1, 2]
+
+    @async_test
+    async def test_size_trigger(self):
+        sent, send = collector()
+        queue = BatchQueue(send, max_batch=2, flush_delay=None)
+        await queue.post(call(1))
+        assert sent == []
+        await queue.post(call(2))
+        assert len(sent) == 1
+
+    @async_test
+    async def test_timer_trigger(self):
+        sent, send = collector()
+        queue = BatchQueue(send, flush_delay=0.005)
+        await queue.post(call(1))
+        await eventually(lambda: len(sent) == 1)
+
+    @async_test
+    async def test_timer_cancelled_by_explicit_flush(self):
+        sent, send = collector()
+        queue = BatchQueue(send, flush_delay=0.01)
+        await queue.post(call(1))
+        await queue.flush()
+        await asyncio.sleep(0.03)
+        assert len(sent) == 1  # no double flush from the stale timer
+
+    @async_test
+    async def test_empty_flush_sends_nothing(self):
+        sent, send = collector()
+        queue = BatchQueue(send, flush_delay=None)
+        await queue.flush()
+        assert sent == []
+
+    @async_test
+    async def test_strict_paper_mode_never_times_out(self):
+        sent, send = collector()
+        queue = BatchQueue(send, flush_delay=None)
+        await queue.post(call(1))
+        await asyncio.sleep(0.02)
+        assert sent == []  # lingers until forced, as in the paper
+
+    @async_test
+    async def test_cancel_timer(self):
+        sent, send = collector()
+        queue = BatchQueue(send, flush_delay=0.005)
+        await queue.post(call(1))
+        queue.cancel_timer()
+        await asyncio.sleep(0.02)
+        assert sent == []
+
+    def test_bad_max_batch(self):
+        with pytest.raises(ValueError):
+            BatchQueue(lambda b: None, max_batch=0)
+
+
+class TestAccounting:
+    @async_test
+    async def test_counters(self):
+        sent, send = collector()
+        queue = BatchQueue(send, max_batch=4, flush_delay=None)
+        for i in range(10):
+            await queue.post(call(i))
+        await queue.flush()
+        assert queue.calls_queued == 10
+        assert queue.frames_sent == 3  # 4 + 4 + 2
+        total = sum(len(b.calls) for b in sent)
+        assert total == 10
+
+    @async_test
+    async def test_order_preserved_across_batches(self):
+        sent, send = collector()
+        queue = BatchQueue(send, max_batch=3, flush_delay=None)
+        for i in range(8):
+            await queue.post(call(i))
+        await queue.flush()
+        serials = [c.serial for batch in sent for c in batch.calls]
+        assert serials == list(range(8))
+
+    @async_test
+    async def test_len(self):
+        sent, send = collector()
+        queue = BatchQueue(send, flush_delay=None)
+        assert len(queue) == 0
+        await queue.post(call(1))
+        assert len(queue) == 1
+        await queue.flush()
+        assert len(queue) == 0

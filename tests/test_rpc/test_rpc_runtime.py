@@ -1,0 +1,310 @@
+"""End-to-end RPC runtime tests: proxy → connection → wire → dispatcher.
+
+Builds a minimal server loop (dispatcher over a message channel) — the
+full CLAM server adds sessions, loading, and upcalls on top of exactly
+this path.
+"""
+
+import asyncio
+import itertools
+
+import pytest
+
+from repro.errors import (
+    ConnectionClosedError,
+    ForgedHandleError,
+    RemoteError,
+)
+from repro.bundlers import BundlerRegistry
+from repro.bundlers.auto import structural_resolver
+from repro.handles import Handle
+from repro.ipc import MessageChannel, dial, serve
+from repro.rpc import Dispatcher, RpcConnection
+from repro.stubs import RemoteInterface, build_proxy
+from tests.support import async_test, eventually
+
+_counter = itertools.count(1)
+
+
+class Counter(RemoteInterface):
+    def add(self, amount: int) -> None: ...
+    def total(self) -> int: ...
+    def fail(self, message: str) -> int: ...
+
+
+class CounterImpl(Counter):
+    def __init__(self):
+        self.value = 0
+        self.log = []
+
+    def add(self, amount):
+        self.value += amount
+        self.log.append(amount)
+
+    def total(self):
+        return self.value
+
+    def fail(self, message):
+        raise ValueError(message)
+
+
+def fresh_registry():
+    registry = BundlerRegistry()
+    registry.add_resolver(structural_resolver)
+    return registry
+
+
+async def start_server(url=None):
+    """Start a dispatcher-backed server; returns (impl, handle, dial_url, listener)."""
+    registry = fresh_registry()
+    dispatcher = Dispatcher(registry)
+    impl = CounterImpl()
+    handle = dispatcher.export(impl)
+
+    async def handler(conn):
+        channel = MessageChannel(conn)
+        while True:
+            message = await channel.recv()
+            await dispatcher.handle_message(message, channel)
+
+    url = url or f"memory://rpc-test-{next(_counter)}"
+    listener = await serve(url, handler)
+    return impl, handle, dispatcher, listener
+
+
+async def connect(listener, **kwargs):
+    conn = await dial(listener.address)
+    return RpcConnection(MessageChannel(conn), fresh_registry(), **kwargs)
+
+
+class TestSynchronousCalls:
+    @async_test
+    async def test_call_returns_value(self):
+        impl, handle, _d, listener = await start_server()
+        rpc = await connect(listener)
+        proxy = build_proxy(Counter, rpc, handle)
+        assert await proxy.total() == 0
+        impl.value = 41
+        assert await proxy.total() == 41
+        await rpc.close()
+        await listener.close()
+
+    @async_test
+    async def test_remote_exception_surfaces(self):
+        impl, handle, _d, listener = await start_server()
+        rpc = await connect(listener)
+        proxy = build_proxy(Counter, rpc, handle)
+        with pytest.raises(RemoteError) as info:
+            await proxy.fail("broken")
+        assert info.value.remote_type == "ValueError"
+        assert "broken" in info.value.remote_message
+        assert "Traceback" in info.value.remote_traceback
+        await rpc.close()
+        await listener.close()
+
+    @async_test
+    async def test_connection_survives_remote_exception(self):
+        impl, handle, _d, listener = await start_server()
+        rpc = await connect(listener)
+        proxy = build_proxy(Counter, rpc, handle)
+        with pytest.raises(RemoteError):
+            await proxy.fail("once")
+        assert await proxy.total() == 0  # still usable
+        await rpc.close()
+        await listener.close()
+
+    @async_test
+    async def test_forged_handle_rejected_remotely(self):
+        impl, handle, _d, listener = await start_server()
+        rpc = await connect(listener)
+        bad = Handle(oid=handle.oid, tag=handle.tag ^ 1)
+        proxy = build_proxy(Counter, rpc, bad)
+        with pytest.raises(RemoteError) as info:
+            await proxy.total()
+        assert info.value.remote_type == ForgedHandleError.__name__
+        await rpc.close()
+        await listener.close()
+
+    @async_test
+    async def test_concurrent_sync_calls_from_tasks(self):
+        impl, handle, _d, listener = await start_server()
+        rpc = await connect(listener)
+        proxy = build_proxy(Counter, rpc, handle)
+        results = await asyncio.gather(*(proxy.total() for _ in range(10)))
+        assert results == [0] * 10
+        await rpc.close()
+        await listener.close()
+
+
+class TestAsynchronousBatching:
+    @async_test
+    async def test_posts_batched_into_fewer_frames(self):
+        """§3.4: batching reduces the amount of IPC."""
+        impl, handle, _d, listener = await start_server()
+        rpc = await connect(listener, max_batch=64, flush_delay=None)
+        proxy = build_proxy(Counter, rpc, handle)
+        for i in range(30):
+            await proxy.add(1)
+        assert rpc.batch.frames_sent == 0  # still queued
+        assert await proxy.total() == 30   # sync call flushed then ran
+        assert rpc.batch.frames_sent == 1  # all 30 in one frame
+        await rpc.close()
+        await listener.close()
+
+    @async_test
+    async def test_order_preserved_across_batch_and_sync(self):
+        impl, handle, _d, listener = await start_server()
+        rpc = await connect(listener, flush_delay=None)
+        proxy = build_proxy(Counter, rpc, handle)
+        await proxy.add(1)
+        await proxy.add(2)
+        assert await proxy.total() == 3
+        await proxy.add(4)
+        assert await proxy.total() == 7
+        assert impl.log == [1, 2, 4]
+        await rpc.close()
+        await listener.close()
+
+    @async_test
+    async def test_max_batch_triggers_flush(self):
+        impl, handle, _d, listener = await start_server()
+        rpc = await connect(listener, max_batch=5, flush_delay=None)
+        proxy = build_proxy(Counter, rpc, handle)
+        for _ in range(5):
+            await proxy.add(1)
+        assert rpc.batch.frames_sent == 1
+        await eventually(lambda: impl.value == 5)
+        await rpc.close()
+        await listener.close()
+
+    @async_test
+    async def test_explicit_flush(self):
+        """The special synchronization procedure (§3.4)."""
+        impl, handle, _d, listener = await start_server()
+        rpc = await connect(listener, flush_delay=None)
+        proxy = build_proxy(Counter, rpc, handle)
+        await proxy.add(9)
+        assert impl.value == 0
+        await rpc.flush()
+        await eventually(lambda: impl.value == 9)
+        await rpc.close()
+        await listener.close()
+
+    @async_test
+    async def test_timer_flush(self):
+        impl, handle, _d, listener = await start_server()
+        rpc = await connect(listener, flush_delay=0.01)
+        proxy = build_proxy(Counter, rpc, handle)
+        await proxy.add(3)
+        await eventually(lambda: impl.value == 3)
+        await rpc.close()
+        await listener.close()
+
+    @async_test
+    async def test_async_call_failure_reported_to_hook(self):
+        registry = fresh_registry()
+        failures = []
+        dispatcher = Dispatcher(
+            registry, async_error=lambda call, exc: failures.append((call.method, exc))
+        )
+        impl = CounterImpl()
+        handle = dispatcher.export(impl)
+
+        async def handler(conn):
+            channel = MessageChannel(conn)
+            while True:
+                await dispatcher.handle_message(await channel.recv(), channel)
+
+        listener = await serve(f"memory://rpc-hook-{next(_counter)}", handler)
+        rpc = await connect(listener, flush_delay=None)
+
+        # 'add' with a bogus payload: unbundling fails server-side.
+        await rpc.post(handle, "add", b"\xff")
+        await rpc.flush()
+        await eventually(lambda: len(failures) == 1)
+        assert failures[0][0] == "add"
+        await rpc.close()
+        await listener.close()
+
+    @async_test
+    async def test_close_flushes_pending(self):
+        impl, handle, _d, listener = await start_server()
+        rpc = await connect(listener, flush_delay=None)
+        proxy = build_proxy(Counter, rpc, handle)
+        await proxy.add(5)
+        await rpc.close()
+        await eventually(lambda: impl.value == 5)
+        await listener.close()
+
+
+class TestLifecycle:
+    @async_test
+    async def test_call_after_close_raises(self):
+        impl, handle, _d, listener = await start_server()
+        rpc = await connect(listener)
+        await rpc.close()
+        with pytest.raises(ConnectionClosedError):
+            await rpc.call(handle, "total", b"")
+        with pytest.raises(ConnectionClosedError):
+            await rpc.post(handle, "add", b"")
+        await listener.close()
+
+    @async_test
+    async def test_server_vanishing_fails_pending_call(self):
+        registry = fresh_registry()
+
+        async def handler(conn):
+            await conn.recv()   # swallow the call...
+            await conn.close()  # ...and hang up
+
+        listener = await serve(f"memory://rpc-vanish-{next(_counter)}", handler)
+        conn = await dial(listener.address)
+        rpc = RpcConnection(MessageChannel(conn), registry)
+        with pytest.raises(ConnectionClosedError):
+            await rpc.call(Handle(oid=1, tag=1), "anything", b"")
+        await rpc.close()
+        await listener.close()
+
+    @async_test
+    async def test_dispatcher_counts_calls(self):
+        impl, handle, dispatcher, listener = await start_server()
+        rpc = await connect(listener, flush_delay=None)
+        proxy = build_proxy(Counter, rpc, handle)
+        await proxy.add(1)
+        await proxy.total()
+        assert dispatcher.calls_executed == 2
+        await rpc.close()
+        await listener.close()
+
+    @async_test
+    async def test_revoked_export_goes_stale(self):
+        from repro.errors import StaleHandleError
+
+        impl, handle, dispatcher, listener = await start_server()
+        rpc = await connect(listener)
+        proxy = build_proxy(Counter, rpc, handle)
+        assert await proxy.total() == 0
+        dispatcher.revoke(handle)
+        with pytest.raises(RemoteError) as info:
+            await proxy.total()
+        assert info.value.remote_type == StaleHandleError.__name__
+        await rpc.close()
+        await listener.close()
+
+
+class TestOverRealSockets:
+    @pytest.mark.parametrize("scheme", ["unix", "tcp"])
+    @async_test
+    async def test_full_path_over_sockets(self, scheme, tmp_path):
+        url = {
+            "unix": f"unix://{tmp_path}/rpc.sock",
+            "tcp": "tcp://127.0.0.1:0",
+        }[scheme]
+        impl, handle, _d, listener = await start_server(url)
+        rpc = await connect(listener, flush_delay=None)
+        proxy = build_proxy(Counter, rpc, handle)
+        await proxy.add(20)
+        await proxy.add(22)
+        assert await proxy.total() == 42
+        await rpc.close()
+        await listener.close()

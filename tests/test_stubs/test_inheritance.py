@@ -1,0 +1,83 @@
+"""Interface inheritance and declaration-vs-implementation skew."""
+
+import pytest
+
+from repro.errors import BadCallError
+from repro.stubs import RemoteInterface, interface_spec
+
+
+class Shape(RemoteInterface):
+    def area(self) -> int: ...
+    def name(self) -> str: ...
+
+
+class Rectangle(Shape):
+    """Extends the interface with new declarations."""
+
+    def resize(self, width: int, height: int) -> None: ...
+
+
+class RectangleImpl(Rectangle):
+    def __init__(self):
+        self.width, self.height = 2, 3
+
+    def area(self):
+        return self.width * self.height
+
+    def name(self):
+        return "rectangle"
+
+    def resize(self, width, height):
+        self.width, self.height = width, height
+
+
+class TestInheritance:
+    def test_subinterface_includes_inherited_methods(self):
+        spec = interface_spec(Rectangle)
+        assert set(spec.methods) == {"area", "name", "resize"}
+
+    def test_implementation_spec_follows_declarations(self):
+        spec = interface_spec(RectangleImpl)
+        assert set(spec.methods) == {"area", "name", "resize"}
+        # Signatures derived from the annotated declarations, not the
+        # unannotated bodies.
+        assert spec.methods["resize"].params[0].name == "width"
+
+    def test_wire_name_defaults_per_class(self):
+        assert interface_spec(Shape).class_name == "Shape"
+        assert interface_spec(Rectangle).class_name == "Rectangle"
+
+    def test_override_with_reannotation_wins(self):
+        class Widened(Shape):
+            def area(self) -> float: ...  # re-declared with a new type
+
+        spec = interface_spec(Widened)
+        assert spec.methods["area"].return_type is float
+
+    def test_clam_local_inherited(self):
+        class Base(RemoteInterface):
+            __clam_local__ = ("wire_up",)
+
+            def wire_up(self, anything) -> None: ...
+            def remote_method(self) -> int: ...
+
+        class Child(Base):
+            def extra(self) -> int: ...
+
+        spec = interface_spec(Child)
+        assert "wire_up" not in spec.methods
+        assert set(spec.methods) == {"remote_method", "extra"}
+
+
+class TestSkew:
+    def test_unknown_method_in_spec(self):
+        with pytest.raises(BadCallError):
+            interface_spec(Shape).method("perimeter")
+
+    def test_version_attribute_flows_into_spec(self):
+        class V3(RemoteInterface):
+            __clam_version__ = 3
+
+            def m(self) -> int: ...
+
+        assert interface_spec(V3).version == 3

@@ -1,0 +1,258 @@
+"""Proxy + skeleton round trips through a fake endpoint (no sockets).
+
+This closes the loop of §3.4 — client stub bundles, server stub
+unbundles, invokes, rebundles — before the real RPC runtime exists.
+"""
+
+import asyncio
+from dataclasses import dataclass
+from typing import Annotated
+
+import pytest
+
+from repro.errors import BadCallError, BundleError
+from repro.bundlers import BundlerRegistry, In, Out
+from repro.bundlers.auto import structural_resolver
+from repro.handles import Handle
+from repro.stubs import (
+    RemoteInterface,
+    Ref,
+    Skeleton,
+    build_proxy,
+    interface_spec,
+)
+from tests.support import async_test
+
+
+@dataclass
+class Point:
+    x: int
+    y: int
+    z: int
+
+
+def pt_bundler(stream, p, *extra):
+    if p is None and stream.decoding:
+        p = Point(0, 0, 0)
+    p.x = stream.xshort(p.x)
+    p.y = stream.xshort(p.y)
+    p.z = stream.xshort(p.z)
+    return p
+
+
+class Graphics3D(RemoteInterface):
+    """Figure 3.1's 3Dgraphics class, as a Python remote interface."""
+
+    __clam_class__ = "3Dgraphics"
+
+    def draw_point(self, thept: Annotated[Point, In(pt_bundler)]) -> None: ...
+    def draw_line(self, startpt: Point, endpt: Point) -> None: ...
+    def get_cursor_pos(self) -> Point: ...
+    def count_drawn(self) -> int: ...
+    def read_cursor(self, pos: Annotated[Ref[Point], Out(pt_bundler)]) -> bool: ...
+
+
+class Graphics3DImpl(Graphics3D):
+    def __init__(self):
+        self.drawn = []
+        self.cursor = Point(5, 6, 7)
+
+    def draw_point(self, thept):
+        self.drawn.append(("point", thept))
+
+    def draw_line(self, startpt, endpt):
+        self.drawn.append(("line", startpt, endpt))
+
+    def get_cursor_pos(self):
+        return self.cursor
+
+    def count_drawn(self):
+        return len(self.drawn)
+
+    def read_cursor(self, pos):
+        pos.value = self.cursor
+        return True
+
+
+class LoopbackEndpoint:
+    """Fake endpoint handing bundled requests straight to a skeleton."""
+
+    def __init__(self, skeleton):
+        self.skeleton = skeleton
+        self.posted = []
+        self.called = []
+
+    @property
+    def registry(self):
+        return self.skeleton.registry
+
+    async def call(self, handle, method, args):
+        self.called.append(method)
+        reply = await self.skeleton.dispatch(method, args)
+        assert reply is not None
+        return reply
+
+    async def post(self, handle, method, args):
+        self.posted.append(method)
+        reply = await self.skeleton.dispatch(method, args)
+        assert reply is None  # async calls produce no reply
+
+
+def make_pair():
+    registry = BundlerRegistry()
+    registry.add_resolver(structural_resolver)
+    impl = Graphics3DImpl()
+    skeleton = Skeleton(impl, registry)
+    endpoint = LoopbackEndpoint(skeleton)
+    proxy = build_proxy(Graphics3D, endpoint, Handle(oid=1, tag=1))
+    return impl, endpoint, proxy
+
+
+class TestInterfaceSpec:
+    def test_wire_class_name(self):
+        spec = interface_spec(Graphics3D)
+        assert spec.class_name == "3Dgraphics"
+        assert spec.version == 1
+
+    def test_public_methods_exported(self):
+        spec = interface_spec(Graphics3D)
+        assert set(spec.methods) == {
+            "draw_point", "draw_line", "get_cursor_pos", "count_drawn", "read_cursor",
+        }
+
+    def test_private_methods_hidden(self):
+        class WithPrivate(RemoteInterface):
+            def visible(self) -> int: ...
+            def _hidden(self) -> int: ...
+
+        assert set(interface_spec(WithPrivate).methods) == {"visible"}
+
+    def test_unknown_method_raises_badcall(self):
+        with pytest.raises(BadCallError):
+            interface_spec(Graphics3D).method("no_such")
+
+    def test_spec_cached(self):
+        assert interface_spec(Graphics3D) is interface_spec(Graphics3D)
+
+    def test_non_interface_rejected(self):
+        with pytest.raises(BundleError):
+            interface_spec(dict)
+
+    def test_default_class_name_is_python_name(self):
+        class Plain(RemoteInterface):
+            def m(self) -> None: ...
+
+        assert interface_spec(Plain).class_name == "Plain"
+
+
+class TestProxySkeletonLoop:
+    @async_test
+    async def test_sync_call_with_return(self):
+        impl, endpoint, proxy = make_pair()
+        assert await proxy.get_cursor_pos() == Point(5, 6, 7)
+        assert endpoint.called == ["get_cursor_pos"]
+
+    @async_test
+    async def test_async_call_is_posted(self):
+        """Void methods take the asynchronous (batchable) path (§3.4)."""
+        impl, endpoint, proxy = make_pair()
+        await proxy.draw_point(Point(1, 2, 3))
+        assert endpoint.posted == ["draw_point"]
+        assert endpoint.called == []
+        assert impl.drawn == [("point", Point(1, 2, 3))]
+
+    @async_test
+    async def test_multiple_params_auto_bundled(self):
+        impl, endpoint, proxy = make_pair()
+        await proxy.draw_line(Point(0, 0, 0), Point(1, 1, 1))
+        assert impl.drawn == [("line", Point(0, 0, 0), Point(1, 1, 1))]
+
+    @async_test
+    async def test_out_param(self):
+        impl, endpoint, proxy = make_pair()
+        pos = Ref()
+        assert await proxy.read_cursor(pos) is True
+        assert pos.value == Point(5, 6, 7)
+
+    @async_test
+    async def test_out_param_requires_ref(self):
+        impl, endpoint, proxy = make_pair()
+        with pytest.raises(BundleError, match="Ref"):
+            await proxy.read_cursor(Point(0, 0, 0))
+
+    @async_test
+    async def test_kwargs_supported(self):
+        impl, endpoint, proxy = make_pair()
+        await proxy.draw_line(startpt=Point(0, 0, 0), endpt=Point(2, 2, 2))
+        assert impl.drawn[0][2] == Point(2, 2, 2)
+
+    @async_test
+    async def test_unknown_kwarg_rejected(self):
+        impl, endpoint, proxy = make_pair()
+        with pytest.raises(BundleError, match="unknown"):
+            await proxy.draw_point(wrong=Point(0, 0, 0))
+
+    @async_test
+    async def test_missing_argument_rejected(self):
+        impl, endpoint, proxy = make_pair()
+        with pytest.raises(BundleError, match="missing"):
+            await proxy.draw_line(Point(0, 0, 0))
+
+    @async_test
+    async def test_too_many_positional_rejected(self):
+        impl, endpoint, proxy = make_pair()
+        with pytest.raises(BundleError):
+            await proxy.count_drawn(1)
+
+    @async_test
+    async def test_duplicate_positional_and_keyword_rejected(self):
+        impl, endpoint, proxy = make_pair()
+        with pytest.raises(BundleError, match="duplicate"):
+            await proxy.draw_line(Point(0, 0, 0), startpt=Point(1, 1, 1),
+                                  endpt=Point(2, 2, 2))
+
+    @async_test
+    async def test_state_accumulates_across_calls(self):
+        impl, endpoint, proxy = make_pair()
+        await proxy.draw_point(Point(1, 1, 1))
+        await proxy.draw_point(Point(2, 2, 2))
+        assert await proxy.count_drawn() == 2
+
+    @async_test
+    async def test_async_implementation_methods(self):
+        class AsyncIface(RemoteInterface):
+            def compute(self, x: int) -> int: ...
+
+        class AsyncImpl(AsyncIface):
+            async def compute(self, x):
+                await asyncio.sleep(0)
+                return x * 2
+
+        registry = BundlerRegistry()
+        registry.add_resolver(structural_resolver)
+        endpoint = LoopbackEndpoint(Skeleton(AsyncImpl(), registry))
+        proxy = build_proxy(AsyncIface, endpoint, Handle(oid=1, tag=1))
+        assert await proxy.compute(21) == 42
+
+    @async_test
+    async def test_skeleton_missing_method_impl(self):
+        class Iface(RemoteInterface):
+            def declared(self) -> int: ...
+
+        class Incomplete(RemoteInterface):
+            __clam_class__ = "Iface"
+
+        registry = BundlerRegistry()
+        registry.add_resolver(structural_resolver)
+        skeleton = Skeleton(Incomplete(), registry, spec=interface_spec(Iface))
+        with pytest.raises(BadCallError):
+            await skeleton.dispatch("declared", b"")
+
+    def test_proxy_class_cached(self):
+        from repro.stubs.client import proxy_class_for
+
+        assert proxy_class_for(Graphics3D) is proxy_class_for(Graphics3D)
+
+    def test_proxy_repr_mentions_class(self):
+        _impl, _endpoint, proxy = make_pair()
+        assert "3Dgraphics" in repr(proxy)

@@ -1,0 +1,263 @@
+"""Tests for signature derivation and marshalling (paper §3.2, §3.4).
+
+The 3Dgraphics class of Figure 3.1 is recreated here: in-place
+bundlers, typedef-registered bundlers, const (In) parameters, and an
+array bundler taking a sibling length parameter.
+"""
+
+from dataclasses import dataclass
+from typing import Annotated, Optional
+
+import pytest
+
+from repro.errors import BundleError
+from repro.bundlers import Bundled, BundlerRegistry, In, InOut, Out
+from repro.bundlers.auto import structural_resolver
+from repro.stubs import MethodSignature, Ref
+
+
+@dataclass
+class Point:
+    x: int
+    y: int
+    z: int
+
+
+def pt_bundler(stream, p, *extra):
+    """Figure 3.2's point bundler, translated line for line."""
+    if p is None and stream.decoding:
+        p = Point(0, 0, 0)
+    p.x = stream.xshort(p.x)
+    p.y = stream.xshort(p.y)
+    p.z = stream.xshort(p.z)
+    return p
+
+
+def pt_array_bundler(stream, pts, number):
+    """Figure 3.1's array bundler: length arrives as a sibling parameter."""
+    if stream.encoding:
+        if len(pts) != number:
+            raise BundleError(f"array length {len(pts)} != number {number}")
+        for p in pts:
+            pt_bundler(stream, p)
+        return pts
+    return [pt_bundler(stream, None) for _ in range(number)]
+
+
+def fresh_registry():
+    registry = BundlerRegistry()
+    registry.add_resolver(structural_resolver)
+    return registry
+
+
+def roundtrip_request(signature, registry, values):
+    bound = signature.bind(registry)
+    return bound.unbundle_request(bound.bundle_request(values))
+
+
+class TestDerivation:
+    def test_simple_procedure(self):
+        def draw_point(self, thept: Point) -> None: ...
+
+        sig = MethodSignature.from_callable(draw_point)
+        assert sig.name == "draw_point"
+        assert [p.name for p in sig.params] == ["thept"]
+        assert not sig.returns_value
+        assert sig.is_async_eligible
+
+    def test_value_returning_method_not_batchable(self):
+        def get_cursor_pos(self) -> Point: ...
+
+        sig = MethodSignature.from_callable(get_cursor_pos)
+        assert sig.returns_value
+        assert not sig.is_async_eligible
+
+    def test_out_param_not_batchable(self):
+        def read_pos(self, pos: Annotated[Ref[Point], Out(pt_bundler)]) -> None: ...
+
+        sig = MethodSignature.from_callable(read_pos)
+        assert not sig.is_async_eligible
+        assert sig.has_out_params
+
+    def test_unannotated_param_rejected(self):
+        def bad(self, x) -> None: ...
+
+        with pytest.raises(BundleError, match="annotation"):
+            MethodSignature.from_callable(bad)
+
+    def test_missing_return_annotation_rejected(self):
+        def bad(self, x: int): ...
+
+        with pytest.raises(BundleError, match="return"):
+            MethodSignature.from_callable(bad)
+
+    def test_var_args_rejected(self):
+        def bad(self, *args: int) -> None: ...
+
+        with pytest.raises(BundleError, match="args"):
+            MethodSignature.from_callable(bad)
+
+    def test_out_param_must_be_ref(self):
+        def bad(self, pos: Annotated[Point, Out(pt_bundler)]) -> None: ...
+
+        with pytest.raises(BundleError, match="Ref"):
+            MethodSignature.from_callable(bad)
+
+    def test_extra_param_must_precede(self):
+        def bad(
+            self,
+            pts: Annotated[list[Point], In(pt_array_bundler, "number")],
+            number: int,
+        ) -> None: ...
+
+        with pytest.raises(BundleError, match="earlier"):
+            MethodSignature.from_callable(bad)
+
+    def test_return_cannot_be_out(self):
+        def bad(self) -> Annotated[int, Out()]: ...
+
+        with pytest.raises(BundleError, match="out"):
+            MethodSignature.from_callable(bad)
+
+    def test_standalone_function_skip_first_false(self):
+        def free(x: int) -> int: ...
+
+        sig = MethodSignature.from_callable(free, skip_first=False)
+        assert [p.name for p in sig.params] == ["x"]
+
+
+class TestRequestMarshalling:
+    def test_auto_bundled_params(self):
+        def move(self, dx: int, dy: int) -> None: ...
+
+        sig = MethodSignature.from_callable(move)
+        values = roundtrip_request(sig, fresh_registry(), {"dx": 3, "dy": -4})
+        assert values == {"dx": 3, "dy": -4}
+
+    def test_inplace_bundler_used(self):
+        def draw_point(self, thept: Annotated[Point, In(pt_bundler)]) -> None: ...
+
+        sig = MethodSignature.from_callable(draw_point)
+        values = roundtrip_request(sig, fresh_registry(), {"thept": Point(1, 2, 3)})
+        assert values["thept"] == Point(1, 2, 3)
+
+    def test_inplace_wins_over_typedef(self):
+        """§3.2: "the in place bundler will be used"."""
+        def tiny(stream, p, *extra):
+            if stream.encoding:
+                stream.xshort(p.x)
+                return p
+            return Point(stream.xshort(), -1, -1)
+
+        def draw(self, thept: Annotated[Point, In(tiny)]) -> None: ...
+
+        registry = fresh_registry()
+        registry.register(Point, pt_bundler)  # typedef form
+        sig = MethodSignature.from_callable(draw)
+        values = roundtrip_request(sig, registry, {"thept": Point(9, 8, 7)})
+        assert values["thept"] == Point(9, -1, -1)  # tiny, not pt_bundler
+
+    def test_typedef_used_when_no_inplace(self):
+        def draw(self, thept: Point) -> None: ...
+
+        registry = fresh_registry()
+        registry.register(Point, pt_bundler)
+        sig = MethodSignature.from_callable(draw)
+        values = roundtrip_request(sig, registry, {"thept": Point(4, 5, 6)})
+        assert values["thept"] == Point(4, 5, 6)
+
+    def test_sibling_length_parameter(self):
+        """Figure 3.1's drawpoints: bundler receives the 'number' value."""
+        def draw_points(
+            self,
+            number: int,
+            pts: Annotated[list[Point], In(pt_array_bundler, "number")],
+        ) -> None: ...
+
+        sig = MethodSignature.from_callable(draw_points)
+        pts = [Point(i, i, i) for i in range(3)]
+        values = roundtrip_request(sig, fresh_registry(), {"number": 3, "pts": pts})
+        assert values["pts"] == pts
+
+    def test_sibling_length_mismatch_caught(self):
+        def draw_points(
+            self,
+            number: int,
+            pts: Annotated[list[Point], In(pt_array_bundler, "number")],
+        ) -> None: ...
+
+        sig = MethodSignature.from_callable(draw_points)
+        bound = sig.bind(fresh_registry())
+        with pytest.raises(BundleError):
+            bound.bundle_request({"number": 5, "pts": [Point(0, 0, 0)]})
+
+
+class TestReplyMarshalling:
+    def test_return_value(self):
+        def get_cursor_pos(self) -> Annotated[Point, Bundled(pt_bundler)]: ...
+
+        sig = MethodSignature.from_callable(get_cursor_pos)
+        bound = sig.bind(fresh_registry())
+        payload = bound.bundle_reply(Point(10, 20, 30), {})
+        assert bound.unbundle_reply(payload, {}) == Point(10, 20, 30)
+
+    def test_out_param_written_back(self):
+        def read_pos(self, pos: Annotated[Ref[Point], Out(pt_bundler)]) -> bool: ...
+
+        sig = MethodSignature.from_callable(read_pos)
+        bound = sig.bind(fresh_registry())
+
+        # Server side: out params materialize as empty Refs.
+        server_values = bound.unbundle_request(bound.bundle_request({"pos": Ref()}))
+        assert isinstance(server_values["pos"], Ref)
+        server_values["pos"].value = Point(7, 7, 7)
+        payload = bound.bundle_reply(True, server_values)
+
+        # Client side: the caller's Ref receives the final value.
+        client_ref = Ref()
+        result = bound.unbundle_reply(payload, {"pos": client_ref})
+        assert result is True
+        assert client_ref.value == Point(7, 7, 7)
+
+    def test_inout_param_travels_both_ways(self):
+        def normalize(self, v: Annotated[Ref[Point], InOut(pt_bundler)]) -> None:
+            ...
+
+        sig = MethodSignature.from_callable(normalize)
+        assert not sig.is_async_eligible
+        bound = sig.bind(fresh_registry())
+
+        request = bound.bundle_request({"v": Ref(Point(2, 4, 6))})
+        server_values = bound.unbundle_request(request)
+        assert server_values["v"].value == Point(2, 4, 6)
+        server_values["v"].value = Point(1, 2, 3)
+        reply = bound.bundle_reply(None, server_values)
+
+        ref = Ref(Point(2, 4, 6))
+        bound.unbundle_reply(reply, {"v": ref})
+        assert ref.value == Point(1, 2, 3)
+
+    def test_void_reply_is_empty(self):
+        def fire(self, n: int) -> None: ...
+
+        sig = MethodSignature.from_callable(fire)
+        bound = sig.bind(fresh_registry())
+        assert bound.bundle_reply(None, {"n": 1}) == b""
+
+    def test_optional_return(self):
+        def find(self, key: str) -> Optional[int]: ...
+
+        sig = MethodSignature.from_callable(find)
+        bound = sig.bind(fresh_registry())
+        assert bound.unbundle_reply(bound.bundle_reply(None, {"key": "k"}),
+                                    {"key": "k"}) is None
+        assert bound.unbundle_reply(bound.bundle_reply(5, {"key": "k"}),
+                                    {"key": "k"}) == 5
+
+    def test_bind_cached_per_registry(self):
+        def get(self) -> int: ...
+
+        sig = MethodSignature.from_callable(get)
+        registry = fresh_registry()
+        assert sig.bind(registry) is sig.bind(registry)
+        assert sig.bind(fresh_registry()) is not sig.bind(registry)

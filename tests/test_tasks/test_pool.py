@@ -1,0 +1,126 @@
+"""Tests for task reuse (paper §4.4: "Tasks are reused ... to reduce overhead")."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import TaskError
+from repro.tasks import TaskPool, TaskSystem
+from tests.support import async_test
+
+
+class TestTaskPool:
+    @async_test
+    async def test_jobs_run_and_return_results(self):
+        async with TaskPool(max_tasks=4) as pool:
+            async def job():
+                return 7
+
+            assert await pool.run(job) == 7
+
+    @async_test
+    async def test_sequential_jobs_reuse_one_worker(self):
+        async with TaskPool(max_tasks=8) as pool:
+            async def job():
+                return None
+
+            for _ in range(20):
+                await pool.run(job)
+            assert pool.workers_spawned == 1
+            assert pool.jobs_reusing_a_task == 19
+
+    @async_test
+    async def test_concurrent_jobs_spawn_up_to_max(self):
+        async with TaskPool(max_tasks=3) as pool:
+            release = asyncio.Event()
+
+            async def job():
+                await release.wait()
+
+            futures = [pool.submit(job) for _ in range(10)]
+            await asyncio.sleep(0.01)
+            assert pool.workers_spawned <= 3
+            release.set()
+            await asyncio.gather(*futures)
+
+    @async_test
+    async def test_job_exception_delivered_not_fatal(self):
+        async with TaskPool(max_tasks=2) as pool:
+            async def bad():
+                raise RuntimeError("job failed")
+
+            async def good():
+                return "ok"
+
+            with pytest.raises(RuntimeError, match="job failed"):
+                await pool.run(bad)
+            # The worker survived and can run another job.
+            assert await pool.run(good) == "ok"
+
+    @async_test
+    async def test_submit_after_close_rejected(self):
+        pool = TaskPool(max_tasks=1)
+        await pool.close()
+        with pytest.raises(TaskError):
+            pool.submit(asyncio.sleep)
+
+    @async_test
+    async def test_close_waits_for_queued_jobs(self):
+        pool = TaskPool(max_tasks=1)
+        done = []
+
+        async def slow():
+            await asyncio.sleep(0.01)
+            done.append(True)
+
+        futures = [pool.submit(slow) for _ in range(3)]
+        await pool.close()
+        assert len(done) == 3
+        await asyncio.gather(*futures)
+
+    def test_zero_size_pool_rejected(self):
+        with pytest.raises(TaskError):
+            TaskPool(max_tasks=0)
+
+
+class TestTaskSystem:
+    @async_test
+    async def test_spawn_and_track(self):
+        system = TaskSystem("test")
+        started = asyncio.Event()
+
+        async def work():
+            started.set()
+            await asyncio.sleep(10)
+
+        task = system.spawn(work(), name="worker")
+        await started.wait()
+        assert task in system.alive_tasks()
+        await system.shutdown()
+        assert not system.alive_tasks()
+
+    @async_test
+    async def test_shutdown_cancels_blocked_tasks(self):
+        from repro.tasks import Event
+
+        system = TaskSystem("test")
+        event = Event()
+
+        async def blocked():
+            await event.wait()
+
+        system.spawn(blocked())
+        await asyncio.sleep(0.01)
+        assert len(system.blocked_tasks()) == 1
+        await system.shutdown()
+        assert not system.alive_tasks()
+
+    @async_test
+    async def test_pool_accessible(self):
+        system = TaskSystem("test")
+
+        async def job():
+            return "pooled"
+
+        assert await system.pool.run(job) == "pooled"
+        await system.shutdown()

@@ -1,0 +1,150 @@
+"""Tests for Event, Gate, and Mailbox."""
+
+import asyncio
+
+import pytest
+
+from repro.tasks import Event, Gate, Mailbox, Task
+from tests.support import async_test, eventually
+
+
+class TestEvent:
+    @async_test
+    async def test_fire_releases_all_waiters(self):
+        event = Event()
+        results = []
+
+        async def waiter(i):
+            await event.wait()
+            results.append(i)
+
+        tasks = [Task.spawn(waiter(i)) for i in range(5)]
+        await eventually(lambda: event.waiter_count == 5)
+        released = event.fire()
+        assert released == 5
+        await asyncio.gather(*(t.result() for t in tasks))
+        assert sorted(results) == [0, 1, 2, 3, 4]
+
+    @async_test
+    async def test_edge_triggered_by_default(self):
+        event = Event()
+        event.fire()  # no waiters: lost, not latched
+        done = []
+
+        async def late_waiter():
+            await event.wait()
+            done.append(True)
+
+        task = Task.spawn(late_waiter())
+        await asyncio.sleep(0.01)
+        assert not done
+        event.fire()
+        await task.result()
+        assert done == [True]
+
+    @async_test
+    async def test_sticky_fire_latches(self):
+        event = Event()
+        event.fire(sticky=True)
+        assert event.latched
+        await event.wait()  # passes straight through
+
+    @async_test
+    async def test_fire_returns_zero_without_waiters(self):
+        assert Event().fire() == 0
+
+
+class TestGate:
+    @async_test
+    async def test_mutual_exclusion(self):
+        gate = Gate()
+        active = 0
+        peak = 0
+
+        async def critical(i):
+            nonlocal active, peak
+            async with gate:
+                active += 1
+                peak = max(peak, active)
+                await asyncio.sleep(0.001)
+                active -= 1
+
+        tasks = [Task.spawn(critical(i)) for i in range(8)]
+        await asyncio.gather(*(t.result() for t in tasks))
+        assert peak == 1
+
+    @async_test
+    async def test_held_property(self):
+        gate = Gate()
+        assert not gate.held
+        async with gate:
+            assert gate.held
+        assert not gate.held
+
+
+class TestMailbox:
+    @async_test
+    async def test_fifo_order(self):
+        box = Mailbox()
+        for i in range(10):
+            box.post(i)
+        taken = [await box.take() for _ in range(10)]
+        assert taken == list(range(10))
+
+    @async_test
+    async def test_take_blocks_until_post(self):
+        box = Mailbox()
+        results = []
+
+        async def taker():
+            results.append(await box.take())
+
+        task = Task.spawn(taker())
+        await asyncio.sleep(0.005)
+        assert not results
+        box.post("item")
+        await task.result()
+        assert results == ["item"]
+
+    @async_test
+    async def test_close_wakes_all_takers(self):
+        box = Mailbox()
+        outcomes = []
+
+        async def taker():
+            try:
+                await box.take()
+            except EOFError:
+                outcomes.append("eof")
+
+        tasks = [Task.spawn(taker()) for _ in range(3)]
+        await asyncio.sleep(0.005)
+        box.close()
+        await asyncio.gather(*(t.result() for t in tasks))
+        assert outcomes == ["eof"] * 3
+
+    @async_test
+    async def test_backlog_drains_before_eof(self):
+        box = Mailbox()
+        box.post(1)
+        box.post(2)
+        box.close()
+        assert await box.take() == 1
+        assert await box.take() == 2
+        with pytest.raises(EOFError):
+            await box.take()
+
+    @async_test
+    async def test_post_after_close_rejected(self):
+        box = Mailbox()
+        box.close()
+        with pytest.raises(RuntimeError):
+            box.post(1)
+
+    @async_test
+    async def test_len_reports_backlog(self):
+        box = Mailbox()
+        assert len(box) == 0
+        box.post("a")
+        box.post("b")
+        assert len(box) == 2

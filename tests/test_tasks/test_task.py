@@ -1,0 +1,133 @@
+"""Tests for Task lifecycle (paper §4.3: creation, deletion, blocking, resumption)."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import TaskError
+from repro.tasks import Event, Task, TaskState, current_task
+from tests.support import async_test, eventually
+
+
+@async_test
+async def test_spawn_and_join():
+    async def work():
+        return 42
+
+    task = Task.spawn(work())
+    assert await task.result() == 42
+    assert task.state is TaskState.DONE
+
+
+@async_test
+async def test_failure_surfaces_through_result():
+    async def boom():
+        raise ValueError("bad")
+
+    task = Task.spawn(boom())
+    with pytest.raises(ValueError, match="bad"):
+        await task.result()
+    assert task.state is TaskState.FAILED
+
+
+@async_test
+async def test_cancel_is_deletion():
+    started = Event()
+
+    async def forever():
+        started.fire()
+        await Event().wait()  # blocks forever
+
+    task = Task.spawn(forever())
+    await asyncio.sleep(0)
+    task.cancel()
+    await task.wait_cancelled()
+    assert task.state is TaskState.CANCELLED
+    assert not task.alive
+
+
+@async_test
+async def test_blocking_on_event_marks_blocked():
+    """The server can see that a task is BLOCKED while waiting (§4.3)."""
+    event = Event()
+
+    async def waiter():
+        await event.wait()
+        return "resumed"
+
+    task = Task.spawn(waiter())
+    await eventually(lambda: task.state is TaskState.BLOCKED)
+    event.fire()
+    assert await task.result() == "resumed"
+    assert task.state is TaskState.DONE
+
+
+@async_test
+async def test_current_task_inside_and_outside():
+    assert current_task() is None  # not inside a Task-spawned coroutine
+
+    seen = []
+
+    async def observer():
+        seen.append(current_task())
+
+    task = Task.spawn(observer())
+    await task.result()
+    assert seen == [task]
+
+
+@async_test
+async def test_double_start_rejected():
+    async def work():
+        return 1
+
+    coro = work()
+    task = Task(coro)
+    task._start()
+    with pytest.raises(TaskError):
+        task._start()
+    await task.result()
+
+
+@async_test
+async def test_task_names_and_ids_unique():
+    async def nothing():
+        pass
+
+    t1 = Task.spawn(nothing(), name="alpha")
+    t2 = Task.spawn(nothing())
+    assert t1.name == "alpha"
+    assert t1.task_id != t2.task_id
+    await t1.result()
+    await t2.result()
+
+
+@async_test
+async def test_result_can_be_awaited_by_multiple_joiners():
+    async def work():
+        await asyncio.sleep(0.01)
+        return "shared"
+
+    task = Task.spawn(work())
+    results = await asyncio.gather(task.result(), task.result(), task.result())
+    assert results == ["shared"] * 3
+
+
+@async_test
+async def test_tasks_are_non_preemptive():
+    """A task that never awaits runs to completion before others resume."""
+    order = []
+
+    async def uninterrupted():
+        order.append("start")
+        for _ in range(1000):
+            pass  # no await: cannot be preempted
+        order.append("end")
+
+    async def bystander():
+        order.append("bystander")
+
+    t1 = Task.spawn(uninterrupted())
+    t2 = Task.spawn(bystander())
+    await asyncio.gather(t1.result(), t2.result())
+    assert order.index("end") < order.index("bystander")

@@ -1,0 +1,151 @@
+"""Tracing through the live runtimes: server and client boundaries."""
+
+import itertools
+from typing import Callable
+
+import pytest
+
+from repro import ClamClient, ClamServer, RemoteError, RemoteInterface
+from repro.trace import (
+    KIND_CALL,
+    KIND_CLIENT_CALL,
+    KIND_FAULT,
+    KIND_FLUSH,
+    KIND_LOAD,
+    KIND_UPCALL,
+    TimelineRecorder,
+)
+from tests.support import async_test, eventually
+
+_ids = itertools.count(1)
+
+SOURCE = '''
+from typing import Callable
+
+from repro.stubs import RemoteInterface
+
+
+class Traced(RemoteInterface):
+    def __init__(self):
+        self.proc = None
+        self.hits = 0
+
+    def tick(self) -> None:
+        self.hits += 1
+
+    def count(self) -> int:
+        return self.hits
+
+    def register(self, proc: Callable[[int], int]) -> bool:
+        self.proc = proc
+        return True
+
+    async def call_back(self, value: int) -> int:
+        return await self.proc(value)
+
+    def crash(self) -> int:
+        raise RuntimeError("traced crash")
+'''
+
+
+class Traced(RemoteInterface):
+    def tick(self) -> None: ...
+    def count(self) -> int: ...
+    def register(self, proc: Callable[[int], int]) -> bool: ...
+    def call_back(self, value: int) -> int: ...
+    def crash(self) -> int: ...
+
+
+async def start():
+    server = ClamServer()
+    recorder = TimelineRecorder()
+    server.tracer.subscribe(recorder)
+    address = await server.start(f"memory://trace-{next(_ids)}")
+    client = await ClamClient.connect(address)
+    client_recorder = TimelineRecorder()
+    client.tracer.subscribe(client_recorder)
+    await client.load_module("traced", SOURCE)
+    traced = await client.create(Traced)
+    return server, client, traced, recorder, client_recorder
+
+
+class TestServerSideTracing:
+    @async_test
+    async def test_calls_traced_with_class_and_method(self):
+        server, client, traced, recorder, _ = await start()
+        await traced.count()
+        names = {e.name for e in recorder.of_kind(KIND_CALL)}
+        assert "Traced.count" in names
+        assert "clam.server.load_module" in names
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_load_event(self):
+        server, client, traced, recorder, _ = await start()
+        loads = recorder.of_kind(KIND_LOAD)
+        assert len(loads) == 1
+        assert loads[0].name == "traced"
+        assert "Traced" in loads[0].detail
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_upcall_span(self):
+        server, client, traced, recorder, _ = await start()
+        await traced.register(lambda v: v * 2)
+        assert await traced.call_back(4) == 8
+        upcalls = recorder.of_kind(KIND_UPCALL)
+        assert [e.phase for e in upcalls] == ["start", "end"]
+        assert upcalls[1].duration_us > 0
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_error_phase_and_fault_point(self):
+        server, client, traced, recorder, _ = await start()
+        with pytest.raises(RemoteError):
+            await traced.crash()
+        errors = [e for e in recorder.of_kind(KIND_CALL) if e.phase == "error"]
+        assert any("Traced.crash" == e.name for e in errors)
+        faults = recorder.of_kind(KIND_FAULT)
+        assert len(faults) == 1
+        assert "traced crash" in faults[0].detail
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_untraced_server_pays_nothing(self):
+        server = ClamServer()  # nobody subscribed
+        address = await server.start(f"memory://trace-{next(_ids)}")
+        client = await ClamClient.connect(address)
+        await client.ping()
+        assert server.tracer.counters == {}
+        await client.close()
+        await server.shutdown()
+
+
+class TestClientSideTracing:
+    @async_test
+    async def test_sync_call_and_flush_events(self):
+        server, client, traced, _, client_recorder = await start()
+        for _ in range(5):
+            await traced.tick()       # batched posts
+        await traced.count()          # sync → flush then call
+        calls = client_recorder.of_kind(KIND_CLIENT_CALL)
+        assert any(e.name == "count" for e in calls)
+        flushes = client_recorder.of_kind(KIND_FLUSH)
+        assert any(e.detail == "5" for e in flushes)
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_summary_durations(self):
+        server, client, traced, recorder, client_recorder = await start()
+        for _ in range(3):
+            await traced.count()
+        summary = client_recorder.summary()
+        assert summary[KIND_CLIENT_CALL]["count"] >= 3
+        assert summary[KIND_CLIENT_CALL]["mean_us"] > 0
+        await client.close()
+        await server.shutdown()

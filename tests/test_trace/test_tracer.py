@@ -1,0 +1,95 @@
+"""Unit tests for the tracing facility."""
+
+import pytest
+
+from repro.trace import (
+    KIND_CALL,
+    TimelineRecorder,
+    TraceEvent,
+    Tracer,
+)
+
+
+class TestTracer:
+    def test_inactive_without_subscribers(self):
+        tracer = Tracer()
+        assert not tracer.active
+        unsubscribe = tracer.subscribe(lambda e: None)
+        assert tracer.active
+        unsubscribe()
+        assert not tracer.active
+
+    def test_point_event(self):
+        tracer = Tracer()
+        events = []
+        tracer.subscribe(events.append)
+        tracer.point("load", "mymodule", detail="ClassA,ClassB")
+        assert len(events) == 1
+        assert events[0].phase == "point"
+        assert events[0].detail == "ClassA,ClassB"
+
+    def test_span_emits_start_and_end_with_duration(self):
+        tracer = Tracer()
+        events = []
+        tracer.subscribe(events.append)
+        with tracer.span(KIND_CALL, "Window.draw"):
+            pass
+        assert [e.phase for e in events] == ["start", "end"]
+        assert events[0].span_id == events[1].span_id != 0
+        assert events[1].duration_us >= 0
+
+    def test_span_error_phase(self):
+        tracer = Tracer()
+        events = []
+        tracer.subscribe(events.append)
+        with pytest.raises(ValueError):
+            with tracer.span(KIND_CALL, "Window.draw"):
+                raise ValueError("bad rect")
+        assert [e.phase for e in events] == ["start", "error"]
+        assert "bad rect" in events[1].detail
+
+    def test_counters_always_counted_on_emit(self):
+        tracer = Tracer()
+        tracer.subscribe(lambda e: None)
+        tracer.point("fault", "X.m")
+        tracer.point("fault", "Y.m")
+        assert tracer.counters[("fault", "point")] == 2
+
+    def test_unsubscribe_twice_harmless(self):
+        tracer = Tracer()
+        unsubscribe = tracer.subscribe(lambda e: None)
+        unsubscribe()
+        unsubscribe()
+
+    def test_multiple_subscribers(self):
+        tracer = Tracer()
+        a, b = [], []
+        tracer.subscribe(a.append)
+        tracer.subscribe(b.append)
+        tracer.point("x", "y")
+        assert len(a) == len(b) == 1
+
+
+class TestTimelineRecorder:
+    def test_records_and_summarizes(self):
+        tracer = Tracer()
+        recorder = TimelineRecorder()
+        tracer.subscribe(recorder)
+        with tracer.span("call", "a"):
+            pass
+        with tracer.span("call", "b"):
+            pass
+        tracer.point("flush", "batch", detail="5")
+        summary = recorder.summary()
+        assert summary["call"]["count"] == 2
+        assert summary["call"]["mean_us"] >= 0
+        assert summary["flush"]["count"] == 1
+
+    def test_of_kind(self):
+        recorder = TimelineRecorder()
+        recorder(TraceEvent(kind="call", name="x", phase="point"))
+        recorder(TraceEvent(kind="upcall", name="y", phase="point"))
+        assert len(recorder.of_kind("call")) == 1
+
+    def test_mean_duration_empty(self):
+        assert TimelineRecorder().mean_duration_us("call") == 0.0

@@ -1,0 +1,108 @@
+"""Property tests: every wire message round-trips for arbitrary content."""
+
+from hypothesis import given, strategies as st
+
+from repro.wire import (
+    BatchMessage,
+    CallMessage,
+    ChannelRole,
+    ExceptionMessage,
+    HelloMessage,
+    ReplyMessage,
+    UpcallExceptionMessage,
+    UpcallMessage,
+    UpcallReplyMessage,
+    decode_message,
+    encode_message,
+)
+
+serials = st.integers(min_value=0, max_value=2**32 - 1)
+oids = st.integers(min_value=0, max_value=2**64 - 1)
+payloads = st.binary(max_size=256)
+texts = st.text(max_size=128)
+
+calls = st.builds(
+    CallMessage,
+    serial=serials,
+    oid=oids,
+    tag=oids,
+    method=texts,
+    args=payloads,
+    expects_reply=st.booleans(),
+)
+
+async_calls = st.builds(
+    CallMessage,
+    serial=serials,
+    oid=oids,
+    tag=oids,
+    method=texts,
+    args=payloads,
+    expects_reply=st.just(False),
+)
+
+messages = st.one_of(
+    st.builds(
+        HelloMessage,
+        role=st.sampled_from(list(ChannelRole)),
+        session=texts,
+    ),
+    calls,
+    st.builds(ReplyMessage, serial=serials, results=payloads),
+    st.builds(
+        ExceptionMessage,
+        serial=serials,
+        remote_type=texts,
+        message=texts,
+        traceback=texts,
+    ),
+    st.builds(BatchMessage, calls=st.lists(async_calls, max_size=10).map(tuple)),
+    st.builds(
+        UpcallMessage,
+        serial=serials,
+        ruc_id=oids,
+        args=payloads,
+        expects_reply=st.booleans(),
+    ),
+    st.builds(UpcallReplyMessage, serial=serials, results=payloads),
+    st.builds(
+        UpcallExceptionMessage,
+        serial=serials,
+        remote_type=texts,
+        message=texts,
+        traceback=texts,
+    ),
+)
+
+
+@given(messages)
+def test_any_message_roundtrips(message):
+    assert decode_message(encode_message(message)) == message
+
+
+@given(st.lists(messages, max_size=8))
+def test_message_streams_are_self_delimiting(stream):
+    """Concatenated frames decode independently — the property the
+    shared-stream (single-channel) mode relies on."""
+    frames = [encode_message(m) for m in stream]
+    decoded = [decode_message(f) for f in frames]
+    assert decoded == stream
+
+
+@given(messages, st.integers(min_value=1, max_value=16))
+def test_truncation_never_decodes_silently(message, cut):
+    """A truncated frame raises; it never yields a wrong message."""
+    from repro.errors import ClamError
+
+    data = encode_message(message)
+    if cut >= len(data):
+        return
+    truncated = data[:-cut]
+    try:
+        decoded = decode_message(truncated)
+    except ClamError:
+        return
+    # Rarely a truncation can still parse (e.g. dropping trailing
+    # bytes of an opaque that re-frames) — but it must not EQUAL the
+    # original while being shorter.
+    assert decoded != message

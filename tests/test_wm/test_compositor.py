@@ -1,0 +1,134 @@
+"""Damage repair: the compositor half of the window system.
+
+When a layer scribbles over existing windows (the sweep band, a
+removed window's hole), :meth:`BaseWindow.repair` restores the
+windows underneath in stacking order.
+"""
+
+import pytest
+
+from repro.wm import BaseWindow, InputScript, Screen, SweepLayer, Window
+from repro.wm.geometry import Point, Rect
+from repro.wm.sweep import SWEEP_BORDER, _border_strips
+from repro.wm.window import DEFAULT_BORDER, DEFAULT_FILL
+from tests.support import async_test
+
+
+class TestRepair:
+    @async_test
+    async def test_repair_restores_window_content(self):
+        screen = Screen(20, 10)
+        base = BaseWindow(screen)
+        await base.create_window(Rect(2, 2, 6, 4))
+        # Something scribbles over the window...
+        screen.fill_rect(Rect(0, 0, 20, 10), 9)
+        await base.repair(Rect(0, 0, 20, 10))
+        assert screen.read_cell(3, 3) == DEFAULT_FILL
+        assert screen.read_cell(2, 2) == DEFAULT_BORDER
+        assert screen.read_cell(15, 8) == 0  # background cleared
+
+    @async_test
+    async def test_repair_respects_stacking_order(self):
+        screen = Screen(20, 10)
+        base = BaseWindow(screen)
+        from repro.wm.window import Window
+
+        bottom = Window(screen, Rect(2, 2, 8, 6), fill=3, border=3)
+        top = Window(screen, Rect(5, 4, 8, 5), fill=4, border=4)
+        base.adopt(bottom)
+        base.adopt(top)
+        screen.fill_rect(Rect(0, 0, 20, 10), 9)
+        await base.repair(Rect(0, 0, 20, 10))
+        # In the overlap, the topmost window wins.
+        assert screen.read_cell(6, 5) == 4
+
+    @async_test
+    async def test_repair_partial_region(self):
+        screen = Screen(20, 10)
+        base = BaseWindow(screen)
+        await base.create_window(Rect(2, 2, 6, 4))
+        screen.fill_rect(Rect(0, 0, 4, 10), 9)  # damage left part only
+        await base.repair(Rect(0, 0, 4, 10))
+        assert screen.read_cell(3, 3) == DEFAULT_FILL
+
+    @async_test
+    async def test_remove_window_reveals_underlying(self):
+        screen = Screen(20, 10)
+        base = BaseWindow(screen)
+        from repro.wm.window import Window
+
+        under = Window(screen, Rect(2, 2, 8, 6), fill=3, border=3)
+        base.adopt(under)
+        await under.draw()
+        over = await base.create_window(Rect(4, 3, 8, 6))
+        assert screen.read_cell(6, 5) == DEFAULT_FILL  # over on top
+        await base.remove_window(over)
+        assert screen.read_cell(6, 5) == 3              # under restored
+
+
+class TestSweepOverWindows:
+    @async_test
+    async def test_band_crossing_window_leaves_it_intact(self):
+        """The drag crosses an existing window; when the band moves on,
+        the compositor restores the window it crossed."""
+        screen = Screen(40, 20)
+        base = BaseWindow(screen)
+        await base.create_window(Rect(10, 4, 8, 6))
+        sweep = SweepLayer()
+        await sweep.attach(base, screen)
+
+        script = InputScript()
+        # Drag straight across the window and finish beyond it.
+        await script.play(
+            script.drag(Point(2, 6), Point(30, 14), steps=10),
+            screen.inject_input,
+        )
+        # Two windows now; the first one's interior is intact.
+        assert base.window_count() == 2
+        assert screen.read_cell(13, 6) in (DEFAULT_FILL, DEFAULT_BORDER)
+        assert screen.count_cells(SWEEP_BORDER) == 0
+
+    @async_test
+    async def test_opaque_band_repairs_interior(self):
+        screen = Screen(40, 20)
+        base = BaseWindow(screen)
+        await base.create_window(Rect(10, 4, 8, 6))
+        sweep = SweepLayer()
+        sweep.configure(1, False)  # opaque band
+        await sweep.attach(base, screen)
+        script = InputScript()
+        await script.play(
+            script.drag(Point(2, 2), Point(30, 16), steps=6),
+            screen.inject_input,
+        )
+        from repro.wm.sweep import SWEEP_FILL
+
+        assert screen.count_cells(SWEEP_FILL) == 0
+        assert screen.read_cell(13, 6) in (DEFAULT_FILL, DEFAULT_BORDER)
+
+
+class TestBorderStrips:
+    def test_strips_cover_exactly_the_border(self):
+        rect = Rect(3, 2, 6, 5)
+        covered = set()
+        for strip in _border_strips(rect):
+            for cell in strip.cells():
+                assert cell not in covered, "strips must not overlap"
+                covered.add(cell)
+        assert covered == set(rect.border_cells())
+
+    def test_degenerate_rects(self):
+        assert set().union(
+            *(set(s.cells()) for s in _border_strips(Rect(0, 0, 1, 1)))
+        ) == {(0, 0)}
+        row = Rect(2, 2, 5, 1)
+        assert set().union(
+            *(set(s.cells()) for s in _border_strips(row))
+        ) == set(row.cells())
+
+    def test_two_high_rect(self):
+        rect = Rect(0, 0, 4, 2)
+        covered = set()
+        for strip in _border_strips(rect):
+            covered |= set(strip.cells())
+        assert covered == set(rect.cells())  # all border when height 2

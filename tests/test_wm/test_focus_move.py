@@ -1,0 +1,205 @@
+"""Tests for the focus and move layers, titles, tap, and hit-testing."""
+
+import pytest
+
+from repro.wm import (
+    BaseWindow,
+    EventKind,
+    FocusLayer,
+    InputEvent,
+    InputScript,
+    MoveLayer,
+    Screen,
+    Window,
+)
+from repro.wm.geometry import Point, Rect
+from repro.wm.move import DRAG_BUTTON
+from repro.wm.window import DEFAULT_FILL
+from tests.support import async_test
+
+
+def press(x, y, button=1, seq=1):
+    return InputEvent(EventKind.MOUSE_DOWN, x, y, button, seq=seq)
+
+
+def key(ch, seq=1):
+    return InputEvent(EventKind.KEY_DOWN, key=ch, seq=seq)
+
+
+class TestTitles:
+    @async_test
+    async def test_title_drawn_in_top_border(self):
+        screen = Screen(30, 10)
+        window = Window(screen, Rect(2, 2, 12, 5), title="editor")
+        await window.draw()
+        row = "".join(
+            chr(screen.read_cell(x, 2)) if 32 <= screen.read_cell(x, 2) < 127 else "?"
+            for x in range(3, 9)
+        )
+        assert row == "editor"
+
+    @async_test
+    async def test_title_clipped_to_width(self):
+        screen = Screen(30, 10)
+        window = Window(screen, Rect(0, 0, 6, 3), title="very long title")
+        await window.draw()
+        assert chr(screen.read_cell(1, 0)) == "v"
+        assert chr(screen.read_cell(4, 0)) == "y"  # "very"[3]
+        # Nothing spills past the border.
+        assert screen.read_cell(6, 0) == 0
+
+    @async_test
+    async def test_set_title_redraws(self):
+        screen = Screen(30, 10)
+        window = Window(screen, Rect(2, 2, 12, 5), title="old")
+        await window.draw()
+        await window.set_title("new")
+        assert window.title() == "new"
+        assert chr(screen.read_cell(3, 2)) == "n"
+
+    @async_test
+    async def test_title_survives_repair(self):
+        screen = Screen(30, 10)
+        base = BaseWindow(screen)
+        window = Window(screen, Rect(2, 2, 12, 5), title="kept")
+        base.adopt(window)
+        screen.fill_rect(Rect(0, 0, 30, 10), 9)
+        await base.repair(Rect(0, 0, 30, 10))
+        assert chr(screen.read_cell(3, 2)) == "k"
+
+    def test_render_shows_text(self):
+        screen = Screen(10, 2)
+        screen.draw_text(1, 0, "hi")
+        assert "hi" in screen.render()
+
+
+class TestTapAndHitTest:
+    @async_test
+    async def test_tap_sees_every_event(self):
+        screen = Screen(20, 10)
+        base = BaseWindow(screen)
+        await base.create_window(Rect(2, 2, 5, 5))
+        tapped = []
+        base.posttap(lambda e: tapped.append(e.kind))
+        await screen.inject_input(press(3, 3))      # routed to window
+        await screen.inject_input(press(15, 8))     # background
+        await screen.inject_input(key("a"))
+        assert len(tapped) == 3
+
+    @async_test
+    async def test_window_at(self):
+        screen = Screen(20, 10)
+        base = BaseWindow(screen)
+        bottom = await base.create_window(Rect(2, 2, 8, 6))
+        top = await base.create_window(Rect(5, 4, 8, 5))
+        assert base.window_at(3, 3) is bottom
+        assert base.window_at(6, 5) is top        # overlap: topmost
+        assert base.window_at(18, 1) is None      # background
+
+
+class TestFocusLayer:
+    async def build(self):
+        screen = Screen(30, 12)
+        base = BaseWindow(screen)
+        left = await base.create_window(Rect(1, 1, 8, 6))
+        right = await base.create_window(Rect(12, 1, 8, 6))
+        focus = FocusLayer()
+        await focus.attach(base)
+        return screen, base, left, right, focus
+
+    @async_test
+    async def test_click_sets_focus(self):
+        screen, base, left, right, focus = await self.build()
+        await screen.inject_input(press(3, 3))
+        assert await focus.focused_window_id() == left.window_id()
+        await screen.inject_input(press(14, 3, seq=2))
+        assert await focus.focused_window_id() == right.window_id()
+        assert focus.focus_changes == 2
+
+    @async_test
+    async def test_keys_routed_to_focused_window(self):
+        screen, base, left, right, focus = await self.build()
+        left_keys, right_keys = [], []
+        left.postinput(lambda e: left_keys.append(e.key) if e.is_key else None)
+        right.postinput(lambda e: right_keys.append(e.key) if e.is_key else None)
+
+        await screen.inject_input(press(3, 3))
+        await screen.inject_input(key("a", seq=2))
+        await screen.inject_input(press(14, 3, seq=3))
+        await screen.inject_input(key("b", seq=4))
+        assert left_keys == ["a"]
+        assert right_keys == ["b"]
+        assert focus.keys_routed == 2
+
+    @async_test
+    async def test_background_click_clears_focus(self):
+        screen, base, left, right, focus = await self.build()
+        await screen.inject_input(press(3, 3))
+        await screen.inject_input(press(25, 10, seq=2))  # background
+        assert await focus.focused_window_id() == 0
+        await screen.inject_input(key("x", seq=3))
+        assert focus.keys_routed == 0  # nowhere to send it
+
+    @async_test
+    async def test_keys_before_any_click_dropped(self):
+        screen, base, left, right, focus = await self.build()
+        await screen.inject_input(key("z"))
+        assert focus.keys_routed == 0
+
+
+class TestMoveLayer:
+    async def build(self):
+        screen = Screen(40, 15)
+        base = BaseWindow(screen)
+        window = await base.create_window(Rect(2, 2, 8, 5))
+        move = MoveLayer()
+        await move.attach(base)
+        return screen, base, window, move
+
+    @async_test
+    async def test_drag_moves_window(self):
+        screen, base, window, move = await self.build()
+        script = InputScript()
+        events = script.drag(Point(4, 4), Point(20, 8), steps=4, button=DRAG_BUTTON)
+        await script.play(events, screen.inject_input)
+        assert window.bounds() == Rect(2 + 16, 2 + 4, 8, 5)
+        assert move.move_count() >= 1
+        assert not move.dragging()
+        # Drawn at the new location, old location empty.
+        assert screen.read_cell(20, 8) != 0
+        assert screen.read_cell(3, 3) == 0
+
+    @async_test
+    async def test_primary_button_does_not_drag(self):
+        screen, base, window, move = await self.build()
+        script = InputScript()
+        await script.play(
+            script.drag(Point(4, 4), Point(20, 8), steps=4, button=1),
+            screen.inject_input,
+        )
+        assert window.bounds() == Rect(2, 2, 8, 5)
+        assert move.move_count() == 0
+
+    @async_test
+    async def test_drag_on_background_is_noop(self):
+        screen, base, window, move = await self.build()
+        script = InputScript()
+        await script.play(
+            script.drag(Point(30, 12), Point(35, 13), steps=2, button=DRAG_BUTTON),
+            screen.inject_input,
+        )
+        assert window.bounds() == Rect(2, 2, 8, 5)
+
+    @async_test
+    async def test_moving_over_another_window_repairs_it(self):
+        screen, base, window, move = await self.build()
+        other = await base.create_window(Rect(20, 4, 8, 5))
+        script = InputScript()
+        # Drag the first window across the second and beyond.
+        await script.play(
+            script.drag(Point(4, 4), Point(4 + 28, 4 + 2), steps=14,
+                        button=DRAG_BUTTON),
+            screen.inject_input,
+        )
+        # The crossed window is intact afterwards.
+        assert screen.read_cell(23, 6) in (DEFAULT_FILL, 2)

@@ -1,0 +1,145 @@
+"""Tests for wm geometry, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.wm.geometry import Point, Rect
+
+coords = st.integers(min_value=-200, max_value=200)
+sizes = st.integers(min_value=0, max_value=100)
+rects = st.builds(Rect, x=coords, y=coords, width=sizes, height=sizes)
+points = st.builds(Point, x=coords, y=coords)
+
+
+class TestPoint:
+    def test_offset(self):
+        assert Point(1, 2).offset(3, -1) == Point(4, 1)
+
+
+class TestRectBasics:
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1, 5)
+
+    def test_right_bottom_area(self):
+        r = Rect(2, 3, 4, 5)
+        assert r.right == 6
+        assert r.bottom == 8
+        assert r.area == 20
+        assert not r.empty
+
+    def test_empty(self):
+        assert Rect(1, 1, 0, 5).empty
+
+    def test_contains(self):
+        r = Rect(1, 1, 3, 3)
+        assert r.contains(1, 1)
+        assert r.contains(3, 3)
+        assert not r.contains(4, 1)
+        assert not r.contains(0, 2)
+
+    def test_spanning_normalizes(self):
+        r = Rect.spanning(Point(5, 7), Point(2, 3))
+        assert r == Rect(2, 3, 4, 5)
+
+    def test_spanning_single_point(self):
+        assert Rect.spanning(Point(4, 4), Point(4, 4)) == Rect(4, 4, 1, 1)
+
+    def test_translate(self):
+        assert Rect(1, 1, 2, 2).translate(3, -1) == Rect(4, 0, 2, 2)
+
+    def test_intersect_disjoint(self):
+        assert Rect(0, 0, 2, 2).intersect(Rect(5, 5, 2, 2)).empty
+
+    def test_intersect_overlap(self):
+        assert Rect(0, 0, 4, 4).intersect(Rect(2, 2, 4, 4)) == Rect(2, 2, 2, 2)
+
+    def test_overlaps(self):
+        assert Rect(0, 0, 4, 4).overlaps(Rect(3, 3, 2, 2))
+        assert not Rect(0, 0, 2, 2).overlaps(Rect(2, 0, 2, 2))  # edge-adjacent
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(2, 2, 3, 3))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(8, 8, 5, 5))
+        assert Rect(0, 0, 1, 1).contains_rect(Rect(5, 5, 0, 0))  # empty fits anywhere
+
+
+class TestGridSnap:
+    def test_identity_grid(self):
+        r = Rect(3, 5, 7, 2)
+        assert r.snap_to_grid(1) == r
+
+    def test_snap_expands_outward(self):
+        snapped = Rect(3, 5, 7, 2).snap_to_grid(4)
+        assert snapped.x % 4 == 0 and snapped.y % 4 == 0
+        assert snapped.width % 4 == 0 and snapped.height % 4 == 0
+        assert snapped.contains_rect(Rect(3, 5, 7, 2))
+
+    def test_minimum_one_grid_cell(self):
+        snapped = Rect(5, 5, 1, 1).snap_to_grid(8)
+        assert snapped.width >= 8 and snapped.height >= 8
+
+
+class TestCellIterators:
+    def test_cells_count(self):
+        assert len(list(Rect(0, 0, 3, 4).cells())) == 12
+
+    def test_border_cells_unique_and_complete(self):
+        r = Rect(1, 1, 4, 3)
+        border = list(r.border_cells())
+        assert len(border) == len(set(border))
+        # perimeter of a 4x3: 2*4 + 2*(3-2) = 10
+        assert len(border) == 10
+        for x, y in border:
+            assert r.contains(x, y)
+
+    def test_border_degenerate_1x1(self):
+        assert list(Rect(0, 0, 1, 1).border_cells()) == [(0, 0)]
+
+    def test_border_single_row(self):
+        assert list(Rect(0, 0, 3, 1).border_cells()) == [(0, 0), (1, 0), (2, 0)]
+
+    def test_border_empty(self):
+        assert list(Rect(0, 0, 0, 0).border_cells()) == []
+
+
+class TestProperties:
+    @given(points, points)
+    def test_spanning_contains_both_corners(self, a, b):
+        r = Rect.spanning(a, b)
+        assert r.contains(a.x, a.y)
+        assert r.contains(b.x, b.y)
+
+    @given(rects, st.integers(min_value=1, max_value=16))
+    def test_snap_covers_original(self, r, grid):
+        snapped = r.snap_to_grid(grid)
+        assert snapped.contains_rect(r)
+        assert snapped.x % grid == 0 and snapped.y % grid == 0
+
+    @given(rects, rects)
+    def test_intersect_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(rects, rects)
+    def test_intersect_within_both(self, a, b):
+        inter = a.intersect(b)
+        if not inter.empty:
+            assert a.contains_rect(inter)
+            assert b.contains_rect(inter)
+
+    @given(rects)
+    def test_border_subset_of_cells(self, r):
+        cells = set(r.cells())
+        border = list(r.border_cells())
+        assert len(border) == len(set(border))
+        assert set(border) <= cells
+
+    @given(rects)
+    def test_interior_plus_border_is_cells(self, r):
+        border = set(r.border_cells())
+        interior = {
+            (x, y)
+            for x, y in r.cells()
+            if r.x < x < r.right - 1 and r.y < y < r.bottom - 1
+        }
+        assert border | interior == set(r.cells())

@@ -1,0 +1,112 @@
+"""Tests for the Screen class (paper §4.2, Figure 4.1's S)."""
+
+import pytest
+
+from repro.wm import EventKind, InputEvent, Screen
+from repro.wm.geometry import Rect
+from tests.support import async_test
+
+
+class TestDrawing:
+    def test_starts_empty(self):
+        screen = Screen(10, 5)
+        assert screen.count_cells(0) == 50
+
+    def test_fill_rect(self):
+        screen = Screen(10, 5)
+        screen.fill_rect(Rect(1, 1, 3, 2), 9)
+        assert screen.count_cells(9) == 6
+        assert screen.read_cell(1, 1) == 9
+        assert screen.read_cell(3, 2) == 9
+        assert screen.read_cell(4, 1) == 0
+
+    def test_fill_clipped_at_edges(self):
+        screen = Screen(4, 4)
+        screen.fill_rect(Rect(2, 2, 10, 10), 5)
+        assert screen.count_cells(5) == 4  # only the 2x2 on-screen part
+
+    def test_fill_fully_offscreen(self):
+        screen = Screen(4, 4)
+        screen.fill_rect(Rect(10, 10, 3, 3), 5)
+        assert screen.count_cells(5) == 0
+
+    def test_draw_border(self):
+        screen = Screen(10, 10)
+        screen.draw_border(Rect(1, 1, 4, 3), 7)
+        # perimeter of 4x3 = 10 cells
+        assert screen.count_cells(7) == 10
+        assert screen.read_cell(2, 2) == 0  # interior untouched
+
+    def test_border_partially_offscreen(self):
+        screen = Screen(5, 5)
+        screen.draw_border(Rect(3, 3, 5, 5), 7)
+        assert screen.read_cell(4, 3) == 7
+        assert screen.count_cells(7) > 0
+
+    def test_clear(self):
+        screen = Screen(6, 6)
+        screen.fill_rect(Rect(0, 0, 6, 6), 3)
+        screen.clear()
+        assert screen.count_cells(0) == 36
+
+    def test_read_cell_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            Screen(4, 4).read_cell(4, 0)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            Screen(0, 5)
+
+    def test_size(self):
+        assert Screen(7, 3).size() == Rect(0, 0, 7, 3)
+
+
+class TestDamageTracking:
+    def test_ops_append_damage(self):
+        screen = Screen(10, 10)
+        screen.fill_rect(Rect(0, 0, 2, 2), 1)
+        screen.draw_border(Rect(3, 3, 3, 3), 2)
+        assert screen.damage_count() == 2
+        assert screen.draw_ops == 2
+
+    def test_offscreen_ops_record_no_damage(self):
+        screen = Screen(4, 4)
+        screen.fill_rect(Rect(9, 9, 2, 2), 1)
+        assert screen.damage_count() == 0
+
+    def test_clear_damage(self):
+        screen = Screen(4, 4)
+        screen.fill_rect(Rect(0, 0, 1, 1), 1)
+        assert screen.clear_damage() == 1
+        assert screen.damage_count() == 0
+
+
+class TestInputPort:
+    @async_test
+    async def test_registered_proc_gets_events(self):
+        screen = Screen()
+        seen = []
+        assert screen.postinput(lambda e: seen.append(e)) is True
+        event = InputEvent(EventKind.MOUSE_DOWN, 3, 4, 1, seq=1)
+        count = await screen.inject_input(event)
+        assert count == 1
+        assert seen == [event]
+
+    @async_test
+    async def test_events_queue_until_registration(self):
+        """§4.1 queue policy: a late layer still sees the backlog."""
+        screen = Screen()
+        early = InputEvent(EventKind.KEY_DOWN, key="a", seq=1)
+        await screen.inject_input(early)
+        seen = []
+        screen.postinput(lambda e: seen.append(e))
+        await screen.inject_input(InputEvent(EventKind.KEY_DOWN, key="b", seq=2))
+        assert [e.key for e in seen] == ["b", "a"] or [e.key for e in seen] == ["a", "b"]
+        assert len(seen) == 2
+
+    def test_render(self):
+        screen = Screen(4, 2)
+        screen.fill_rect(Rect(0, 0, 2, 1), 2)
+        text = screen.render()
+        assert len(text.splitlines()) == 2
+        assert text.splitlines()[0][:2] != "  "

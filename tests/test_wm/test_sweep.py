@@ -1,0 +1,213 @@
+"""Tests for the sweep layer, all-local placement (paper §2.1)."""
+
+import pytest
+
+from repro.wm import BaseWindow, InputScript, Screen, SweepLayer
+from repro.wm.geometry import Point, Rect
+from repro.wm.sweep import SWEEP_BORDER, SWEEP_FILL
+from tests.support import async_test
+
+
+async def make_stack(width=40, height=20, **config):
+    screen = Screen(width, height)
+    base = BaseWindow(screen)
+    sweep = SweepLayer()
+    if config:
+        sweep.configure(**config)
+    await sweep.attach(base, screen)
+    return screen, base, sweep
+
+
+class TestSweepGesture:
+    @async_test
+    async def test_full_drag_creates_window(self):
+        screen, base, sweep = await make_stack()
+        script = InputScript()
+        await script.play(script.drag(Point(2, 2), Point(10, 8), steps=5),
+                          screen.inject_input)
+        assert base.window_count() == 1
+        assert sweep.windows_created() == 1
+        assert not sweep.sweeping()
+
+    @async_test
+    async def test_created_window_spans_drag(self):
+        screen, base, sweep = await make_stack()
+        created = []
+        sweep.on_complete(lambda rect: created.append(rect))
+        script = InputScript()
+        await script.play(script.drag(Point(2, 2), Point(10, 8), steps=4),
+                          screen.inject_input)
+        assert created == [Rect.spanning(Point(2, 2), Point(10, 8))]
+
+    @async_test
+    async def test_single_completion_upcall_per_drag(self):
+        """§2.1: many motion events in, ONE 'window created' event out."""
+        screen, base, sweep = await make_stack()
+        completions = []
+        sweep.on_complete(lambda rect: completions.append(rect))
+        script = InputScript()
+        await script.play(script.drag(Point(1, 1), Point(20, 15), steps=50),
+                          screen.inject_input)
+        assert sweep.motion_count() == 50
+        assert len(completions) == 1
+
+    @async_test
+    async def test_band_visible_during_drag(self):
+        screen, base, sweep = await make_stack()
+        script = InputScript()
+        events = script.drag(Point(2, 2), Point(8, 6), steps=3)
+        # Play everything but the final MOUSE_UP.
+        await script.play(events[:-1], screen.inject_input)
+        assert sweep.sweeping()
+        assert screen.count_cells(SWEEP_BORDER) > 0
+        # Finish: band erased, real window drawn.
+        await script.play(events[-1:], screen.inject_input)
+        assert screen.count_cells(SWEEP_BORDER) == 0
+
+    @async_test
+    async def test_band_erased_and_redrawn_each_motion(self):
+        screen, base, sweep = await make_stack()
+        script = InputScript()
+        events = script.drag(Point(2, 2), Point(12, 10), steps=4)
+        await script.play(events[:-1], screen.inject_input)
+        # Only ONE band on screen: perimeter of current spanning rect.
+        band = Rect.spanning(Point(2, 2), Point(12, 10))
+        assert screen.count_cells(SWEEP_BORDER) == len(list(band.border_cells()))
+
+    @async_test
+    async def test_reverse_drag_normalizes(self):
+        screen, base, sweep = await make_stack()
+        created = []
+        sweep.on_complete(lambda r: created.append(r))
+        script = InputScript()
+        await script.play(script.drag(Point(10, 8), Point(2, 2), steps=3),
+                          screen.inject_input)
+        assert created[0] == Rect.spanning(Point(2, 2), Point(10, 8))
+
+    @async_test
+    async def test_two_consecutive_drags(self):
+        screen, base, sweep = await make_stack()
+        script = InputScript()
+        await script.play(script.drag(Point(1, 1), Point(5, 5), steps=2),
+                          screen.inject_input)
+        await script.play(script.drag(Point(10, 10), Point(15, 15), steps=2),
+                          screen.inject_input)
+        assert base.window_count() == 2
+
+
+class TestSweepOptions:
+    @async_test
+    async def test_grid_alignment(self):
+        """§2.1: window alignment is a client-chosen option."""
+        screen, base, sweep = await make_stack(grid=4, transparent=True)
+        created = []
+        sweep.on_complete(lambda r: created.append(r))
+        script = InputScript()
+        await script.play(script.drag(Point(3, 3), Point(9, 7), steps=3),
+                          screen.inject_input)
+        rect = created[0]
+        assert rect.x % 4 == 0 and rect.y % 4 == 0
+        assert rect.width % 4 == 0 and rect.height % 4 == 0
+        assert rect.contains_rect(Rect.spanning(Point(3, 3), Point(9, 7)))
+
+    @async_test
+    async def test_opaque_band_fills_interior(self):
+        """§2.1: transparency of the sweep window is an option."""
+        screen, base, sweep = await make_stack(grid=1, transparent=False)
+        script = InputScript()
+        events = script.drag(Point(2, 2), Point(10, 8), steps=3)
+        await script.play(events[:-1], screen.inject_input)
+        assert screen.count_cells(SWEEP_FILL) > 0
+
+    @async_test
+    async def test_transparent_band_interior_untouched(self):
+        screen, base, sweep = await make_stack(grid=1, transparent=True)
+        script = InputScript()
+        events = script.drag(Point(2, 2), Point(10, 8), steps=3)
+        await script.play(events[:-1], screen.inject_input)
+        assert screen.count_cells(SWEEP_FILL) == 0
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(ValueError):
+            SweepLayer().configure(grid=0, transparent=True)
+
+
+class TestSweepRobustness:
+    @async_test
+    async def test_events_before_attach_ignored(self):
+        sweep = SweepLayer()
+        from repro.wm.events import EventKind, InputEvent
+
+        await sweep.mouse(InputEvent(EventKind.MOUSE_DOWN, 1, 1, 1, seq=1))
+        assert not sweep.sweeping()
+
+    @async_test
+    async def test_motion_without_press_ignored(self):
+        screen, base, sweep = await make_stack()
+        from repro.wm.events import EventKind, InputEvent
+
+        await sweep.mouse(InputEvent(EventKind.MOUSE_MOVE, 5, 5, 0, seq=1))
+        assert sweep.motion_count() == 0
+
+    @async_test
+    async def test_keyboard_ignored(self):
+        screen, base, sweep = await make_stack()
+        from repro.wm.events import EventKind, InputEvent
+
+        await sweep.mouse(InputEvent(EventKind.KEY_DOWN, key="x", seq=1))
+        assert not sweep.sweeping()
+
+    @async_test
+    async def test_second_press_during_drag_ignored(self):
+        screen, base, sweep = await make_stack()
+        from repro.wm.events import EventKind, InputEvent
+
+        await sweep.mouse(InputEvent(EventKind.MOUSE_DOWN, 2, 2, 1, seq=1))
+        anchor_band = screen.count_cells(SWEEP_BORDER)
+        await sweep.mouse(InputEvent(EventKind.MOUSE_DOWN, 9, 9, 1, seq=2))
+        assert screen.count_cells(SWEEP_BORDER) == anchor_band
+
+
+class TestInputScript:
+    def test_drag_shape(self):
+        script = InputScript()
+        events = script.drag(Point(0, 0), Point(10, 0), steps=5)
+        from repro.wm.events import EventKind
+
+        assert events[0].kind is EventKind.MOUSE_DOWN
+        assert events[-1].kind is EventKind.MOUSE_UP
+        assert [e.kind for e in events[1:-1]] == [EventKind.MOUSE_MOVE] * 5
+        assert events[-2].x == 10  # last move reaches the end point
+
+    def test_sequence_numbers_increase(self):
+        script = InputScript()
+        events = script.click(1, 1) + script.drag(Point(0, 0), Point(2, 2), steps=2)
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_type_text(self):
+        script = InputScript()
+        events = script.type_text("ab")
+        assert [e.key for e in events] == ["a", "a", "b", "b"]
+
+    def test_bad_steps(self):
+        with pytest.raises(ValueError):
+            InputScript().drag(Point(0, 0), Point(1, 1), steps=0)
+
+    @async_test
+    async def test_play_through_pool(self):
+        """Each event handled by a reused task (§4.4)."""
+        from repro.tasks import TaskPool
+
+        screen, base, sweep = await make_stack()
+        script = InputScript()
+        async with TaskPool(max_tasks=4) as pool:
+            count = await script.play(
+                script.drag(Point(1, 1), Point(8, 8), steps=6),
+                screen.inject_input,
+                pool=pool,
+            )
+            assert count == 8
+            assert pool.workers_spawned == 1  # strictly sequential → reuse
+        assert base.window_count() == 1

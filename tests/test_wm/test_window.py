@@ -1,0 +1,156 @@
+"""Tests for Window/BaseWindow routing (paper §4.2, Figure 4.1)."""
+
+import pytest
+
+from repro.wm import BaseWindow, EventKind, InputEvent, Screen, Window
+from repro.wm.geometry import Point, Rect
+from tests.support import async_test
+
+
+def mouse_at(x, y, kind=EventKind.MOUSE_DOWN, seq=1):
+    return InputEvent(kind, x, y, 1, seq=seq)
+
+
+class TestWindow:
+    @async_test
+    async def test_draw_paints_fill_and_border(self):
+        screen = Screen(10, 10)
+        window = Window(screen, Rect(1, 1, 4, 4))
+        await window.draw()
+        from repro.wm.window import DEFAULT_BORDER, DEFAULT_FILL
+
+        assert screen.read_cell(1, 1) == DEFAULT_BORDER       # corner = border
+        assert screen.read_cell(2, 2) == DEFAULT_FILL         # interior = fill
+        assert screen.read_cell(6, 6) == 0                    # outside untouched
+
+    @async_test
+    async def test_erase(self):
+        screen = Screen(10, 10)
+        window = Window(screen, Rect(1, 1, 4, 4))
+        await window.draw()
+        await window.erase()
+        assert screen.count_cells(0) == 100
+
+    @async_test
+    async def test_move_by(self):
+        screen = Screen(10, 10)
+        window = Window(screen, Rect(0, 0, 3, 3))
+        await window.draw()
+        await window.move_by(4, 4)
+        assert window.bounds() == Rect(4, 4, 3, 3)
+        assert screen.read_cell(0, 0) == 0      # old spot erased
+        assert screen.read_cell(5, 5) != 0      # new spot drawn
+
+    def test_ids_unique(self):
+        screen = Screen()
+        assert Window(screen).window_id() != Window(screen).window_id()
+
+    @async_test
+    async def test_window_input_port(self):
+        screen = Screen()
+        window = Window(screen, Rect(0, 0, 5, 5))
+        seen = []
+        window.postinput(lambda e: seen.append(e))
+        await window.mouse(mouse_at(2, 2))
+        assert len(seen) == 1
+
+
+class TestBaseWindowRouting:
+    @async_test
+    async def test_base_registers_with_screen(self):
+        """§4.2: creating BaseW registers window::mouse with S."""
+        screen = Screen(20, 10)
+        base = BaseWindow(screen)
+        assert screen.input.registrant_count == 1
+        await screen.inject_input(mouse_at(3, 3))
+        assert base.events_routed == 1
+
+    @async_test
+    async def test_event_in_child_routes_to_child(self):
+        screen = Screen(20, 10)
+        base = BaseWindow(screen)
+        child = await base.create_window(Rect(2, 2, 5, 5))
+        seen = []
+        child.postinput(lambda e: seen.append(e))
+        await screen.inject_input(mouse_at(4, 4))
+        assert len(seen) == 1
+
+    @async_test
+    async def test_event_outside_children_goes_to_base_port(self):
+        screen = Screen(20, 10)
+        base = BaseWindow(screen)
+        await base.create_window(Rect(2, 2, 3, 3))
+        background = []
+        base.postinput(lambda e: background.append(e))
+        await screen.inject_input(mouse_at(15, 8))
+        assert len(background) == 1
+
+    @async_test
+    async def test_topmost_window_wins(self):
+        screen = Screen(20, 10)
+        base = BaseWindow(screen)
+        bottom = await base.create_window(Rect(2, 2, 6, 6))
+        top = await base.create_window(Rect(4, 4, 6, 6))  # overlaps, created later
+        hits = []
+        bottom.postinput(lambda e: hits.append("bottom"))
+        top.postinput(lambda e: hits.append("top"))
+        await screen.inject_input(mouse_at(5, 5))  # inside both
+        assert hits == ["top"]
+
+    @async_test
+    async def test_raise_window_changes_routing(self):
+        screen = Screen(20, 10)
+        base = BaseWindow(screen)
+        first = await base.create_window(Rect(2, 2, 6, 6))
+        second = await base.create_window(Rect(4, 4, 6, 6))
+        hits = []
+        first.postinput(lambda e: hits.append("first"))
+        second.postinput(lambda e: hits.append("second"))
+        assert await base.raise_window(first) is True
+        await screen.inject_input(mouse_at(5, 5))
+        assert hits == ["first"]
+
+    @async_test
+    async def test_keyboard_goes_to_base_port(self):
+        screen = Screen(20, 10)
+        base = BaseWindow(screen)
+        await base.create_window(Rect(0, 0, 20, 10))  # covers everything
+        keys = []
+        base.postinput(lambda e: keys.append(e.key))
+        await screen.inject_input(InputEvent(EventKind.KEY_DOWN, key="q", seq=1))
+        assert keys == ["q"]
+
+    @async_test
+    async def test_remove_window(self):
+        screen = Screen(20, 10)
+        base = BaseWindow(screen)
+        child = await base.create_window(Rect(2, 2, 4, 4))
+        assert base.window_count() == 1
+        assert await base.remove_window(child) is True
+        assert base.window_count() == 0
+        assert await base.remove_window(child) is False
+        # Events where the window was now reach the background.
+        background = []
+        base.postinput(lambda e: background.append(e))
+        await screen.inject_input(mouse_at(3, 3))
+        assert len(background) == 1
+
+    @async_test
+    async def test_adopt_existing_window(self):
+        screen = Screen(20, 10)
+        base = BaseWindow(screen)
+        stray = Window(screen, Rect(1, 1, 3, 3))
+        assert base.adopt(stray) is True
+        seen = []
+        stray.postinput(lambda e: seen.append(e))
+        await screen.inject_input(mouse_at(2, 2))
+        assert len(seen) == 1
+
+    @async_test
+    async def test_create_window_draws_it(self):
+        screen = Screen(20, 10)
+        base = BaseWindow(screen)
+        await base.create_window(Rect(1, 1, 4, 4))
+        from repro.wm.window import DEFAULT_FILL
+
+        assert screen.count_cells(DEFAULT_FILL) == 4  # 2x2 interior

@@ -1,0 +1,56 @@
+"""Tests for the unbound XDR filters and type-driven lookup."""
+
+import pytest
+
+from repro.errors import XdrError
+from repro.xdr import decode_with, encode_with, xdr_filter_for
+from repro.xdr import filters
+
+
+@pytest.mark.parametrize(
+    "filter_fn,value",
+    [
+        (filters.xint, -5),
+        (filters.xuint, 5),
+        (filters.xhyper, -(2**40)),
+        (filters.xuhyper, 2**40),
+        (filters.xshort, 12),
+        (filters.xbool, True),
+        (filters.xfloat, 0.5),
+        (filters.xdouble, 1.75),
+        (filters.xopaque, b"raw"),
+        (filters.xstring, "text"),
+        (filters.xvoid, None),
+    ],
+)
+def test_filter_roundtrip(filter_fn, value):
+    assert decode_with(filter_fn, encode_with(filter_fn, value)) == value
+
+
+def test_decode_with_rejects_trailing_bytes():
+    data = encode_with(filters.xint, 1) + b"\x00\x00\x00\x00"
+    with pytest.raises(XdrError):
+        decode_with(filters.xint, data)
+
+
+class TestFilterLookup:
+    def test_int_maps_to_hyper(self):
+        # Python ints exceed 32 bits routinely; the canonical filter is 64-bit.
+        assert xdr_filter_for(int) is filters.xhyper
+
+    def test_bool_maps_to_xbool_not_int(self):
+        assert xdr_filter_for(bool) is filters.xbool
+
+    def test_float_str_bytes_none(self):
+        assert xdr_filter_for(float) is filters.xdouble
+        assert xdr_filter_for(str) is filters.xstring
+        assert xdr_filter_for(bytes) is filters.xopaque
+        assert xdr_filter_for(type(None)) is filters.xvoid
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(XdrError):
+            xdr_filter_for(dict)
+
+    def test_non_type_raises(self):
+        with pytest.raises(XdrError):
+            xdr_filter_for("int")  # type: ignore[arg-type]

@@ -1,0 +1,147 @@
+"""Property-based tests for the XDR codec.
+
+Invariants:
+- decode(encode(x)) == x for every supported type and composition,
+- encoded size is always a multiple of 4 (RFC 1014 alignment),
+- concatenated encodings decode field-by-field in order.
+"""
+
+import struct
+
+from hypothesis import given, strategies as st
+
+from repro.xdr import XdrStream
+from repro.xdr import filters
+
+int32s = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+uint32s = st.integers(min_value=0, max_value=2**32 - 1)
+int64s = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+shorts = st.integers(min_value=-(2**15), max_value=2**15 - 1)
+doubles = st.floats(allow_nan=False)
+blobs = st.binary(max_size=512)
+texts = st.text(max_size=256)
+
+
+def roundtrip_value(filter_fn, value):
+    enc = XdrStream.encoder()
+    filter_fn(enc, value)
+    data = enc.getvalue()
+    assert len(data) % 4 == 0, "XDR items must be 4-byte aligned"
+    dec = XdrStream.decoder(data)
+    out = filter_fn(dec, None)
+    dec.expect_exhausted()
+    return out
+
+
+@given(int32s)
+def test_int_roundtrip(v):
+    assert roundtrip_value(filters.xint, v) == v
+
+
+@given(uint32s)
+def test_uint_roundtrip(v):
+    assert roundtrip_value(filters.xuint, v) == v
+
+
+@given(int64s)
+def test_hyper_roundtrip(v):
+    assert roundtrip_value(filters.xhyper, v) == v
+
+
+@given(shorts)
+def test_short_roundtrip(v):
+    assert roundtrip_value(filters.xshort, v) == v
+
+
+@given(doubles)
+def test_double_roundtrip(v):
+    assert roundtrip_value(filters.xdouble, v) == v
+
+
+@given(blobs)
+def test_opaque_roundtrip(v):
+    assert roundtrip_value(filters.xopaque, v) == v
+
+
+@given(texts)
+def test_string_roundtrip(v):
+    assert roundtrip_value(filters.xstring, v) == v
+
+
+@given(st.lists(int32s, max_size=64))
+def test_int_array_roundtrip(values):
+    enc = XdrStream.encoder()
+    enc.xarray(filters.xint, values)
+    dec = XdrStream.decoder(enc.getvalue())
+    assert dec.xarray(filters.xint) == values
+
+
+@given(st.lists(texts, max_size=16))
+def test_string_array_roundtrip(values):
+    enc = XdrStream.encoder()
+    enc.xarray(filters.xstring, values)
+    dec = XdrStream.decoder(enc.getvalue())
+    assert dec.xarray(filters.xstring) == values
+
+
+@given(st.one_of(st.none(), int64s))
+def test_optional_roundtrip(value):
+    enc = XdrStream.encoder()
+    enc.xoptional(filters.xhyper, value)
+    dec = XdrStream.decoder(enc.getvalue())
+    assert dec.xoptional(filters.xhyper) == value
+
+
+@given(st.lists(st.tuples(int32s, texts, st.booleans()), max_size=32))
+def test_concatenated_fields_decode_in_order(fields):
+    """Independent encodings concatenate into one decodable stream.
+
+    This is the property RPC batching (§3.4) relies on: several bundled
+    calls share one message and are unbundled strictly in order.
+    """
+    enc = XdrStream.encoder()
+    for i, s, b in fields:
+        enc.xint(i)
+        enc.xstring(s)
+        enc.xbool(b)
+    dec = XdrStream.decoder(enc.getvalue())
+    for i, s, b in fields:
+        assert dec.xint() == i
+        assert dec.xstring() == s
+        assert dec.xbool() is b
+    dec.expect_exhausted()
+
+
+@given(st.binary(max_size=256))
+def test_decoder_never_overreads(data):
+    """Arbitrary bytes either decode or raise XdrError — never hang or crash."""
+    from repro.errors import XdrError
+
+    dec = XdrStream.decoder(data)
+    try:
+        dec.xstring()
+    except XdrError:
+        pass
+
+
+@given(st.lists(st.one_of(int32s.map(lambda v: ("i", v)),
+                           texts.map(lambda v: ("s", v)),
+                           doubles.map(lambda v: ("d", v))),
+                max_size=24))
+def test_heterogeneous_sequence_roundtrip(items):
+    enc = XdrStream.encoder()
+    for kind, value in items:
+        if kind == "i":
+            enc.xint(value)
+        elif kind == "s":
+            enc.xstring(value)
+        else:
+            enc.xdouble(value)
+    dec = XdrStream.decoder(enc.getvalue())
+    for kind, value in items:
+        if kind == "i":
+            assert dec.xint() == value
+        elif kind == "s":
+            assert dec.xstring() == value
+        else:
+            assert dec.xdouble() == value

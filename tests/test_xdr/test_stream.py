@@ -1,0 +1,323 @@
+"""Unit tests for the bidirectional XDR stream (paper §3.3, Fig 3.2)."""
+
+import math
+import struct
+
+import pytest
+
+from repro.errors import XdrError
+from repro.xdr import XdrOp, XdrStream
+
+
+def roundtrip(write, read=None):
+    """Encode with ``write(enc)``, decode the bytes with ``read(dec)``."""
+    enc = XdrStream.encoder()
+    write(enc)
+    dec = XdrStream.decoder(enc.getvalue())
+    result = (read or write)(dec)
+    dec.expect_exhausted()
+    return result
+
+
+class TestIntegers:
+    def test_int_roundtrip(self):
+        assert roundtrip(lambda s: s.xint(-42)) == -42
+
+    def test_int_wire_format_is_bigendian_4_bytes(self):
+        enc = XdrStream.encoder()
+        enc.xint(1)
+        assert enc.getvalue() == b"\x00\x00\x00\x01"
+
+    def test_int_negative_wire_format(self):
+        enc = XdrStream.encoder()
+        enc.xint(-1)
+        assert enc.getvalue() == b"\xff\xff\xff\xff"
+
+    @pytest.mark.parametrize("value", [-(2**31), 2**31 - 1, 0])
+    def test_int_bounds(self, value):
+        assert roundtrip(lambda s: s.xint(value)) == value
+
+    @pytest.mark.parametrize("value", [2**31, -(2**31) - 1])
+    def test_int_out_of_range(self, value):
+        with pytest.raises(XdrError):
+            XdrStream.encoder().xint(value)
+
+    def test_int_rejects_bool(self):
+        # bool is a subclass of int; XDR booleans use xbool.
+        with pytest.raises(XdrError):
+            XdrStream.encoder().xint(True)
+
+    def test_int_rejects_float(self):
+        with pytest.raises(XdrError):
+            XdrStream.encoder().xint(1.5)
+
+    def test_uint_roundtrip(self):
+        assert roundtrip(lambda s: s.xuint(2**32 - 1)) == 2**32 - 1
+
+    def test_uint_rejects_negative(self):
+        with pytest.raises(XdrError):
+            XdrStream.encoder().xuint(-1)
+
+    def test_hyper_roundtrip(self):
+        assert roundtrip(lambda s: s.xhyper(-(2**62))) == -(2**62)
+
+    def test_hyper_is_8_bytes(self):
+        enc = XdrStream.encoder()
+        enc.xhyper(1)
+        assert len(enc.getvalue()) == 8
+
+    def test_uhyper_roundtrip(self):
+        assert roundtrip(lambda s: s.xuhyper(2**64 - 1)) == 2**64 - 1
+
+    def test_short_roundtrip_occupies_4_bytes(self):
+        enc = XdrStream.encoder()
+        enc.xshort(-7)
+        assert len(enc.getvalue()) == 4
+        dec = XdrStream.decoder(enc.getvalue())
+        assert dec.xshort() == -7
+
+    def test_short_range_checked_on_encode(self):
+        with pytest.raises(XdrError):
+            XdrStream.encoder().xshort(2**15)
+
+    def test_short_range_checked_on_decode(self):
+        enc = XdrStream.encoder()
+        enc.xint(2**20)
+        with pytest.raises(XdrError):
+            XdrStream.decoder(enc.getvalue()).xshort()
+
+
+class TestBoolEnum:
+    def test_bool_roundtrip(self):
+        assert roundtrip(lambda s: s.xbool(True)) is True
+        assert roundtrip(lambda s: s.xbool(False)) is False
+
+    def test_bool_wire_is_int32(self):
+        enc = XdrStream.encoder()
+        enc.xbool(True)
+        assert enc.getvalue() == b"\x00\x00\x00\x01"
+
+    def test_bool_decode_rejects_other_values(self):
+        with pytest.raises(XdrError):
+            XdrStream.decoder(b"\x00\x00\x00\x02").xbool()
+
+    def test_bool_encode_rejects_int(self):
+        with pytest.raises(XdrError):
+            XdrStream.encoder().xbool(1)
+
+    def test_enum_allowed_values(self):
+        assert roundtrip(lambda s: s.xenum(3, allowed=(1, 2, 3))) == 3
+
+    def test_enum_rejects_unlisted_on_encode(self):
+        with pytest.raises(XdrError):
+            XdrStream.encoder().xenum(4, allowed=(1, 2, 3))
+
+    def test_enum_rejects_unlisted_on_decode(self):
+        enc = XdrStream.encoder()
+        enc.xint(9)
+        with pytest.raises(XdrError):
+            XdrStream.decoder(enc.getvalue()).xenum(allowed=(1, 2))
+
+
+class TestFloats:
+    def test_double_roundtrip_exact(self):
+        assert roundtrip(lambda s: s.xdouble(math.pi)) == math.pi
+
+    def test_float_roundtrip_single_precision(self):
+        value = struct.unpack(">f", struct.pack(">f", 1.25))[0]
+        assert roundtrip(lambda s: s.xfloat(value)) == value
+
+    def test_float_accepts_int(self):
+        assert roundtrip(lambda s: s.xfloat(2)) == 2.0
+
+    def test_double_rejects_string(self):
+        with pytest.raises(XdrError):
+            XdrStream.encoder().xdouble("1.0")
+
+    def test_double_nan_roundtrip(self):
+        assert math.isnan(roundtrip(lambda s: s.xdouble(math.nan)))
+
+    def test_double_inf_roundtrip(self):
+        assert roundtrip(lambda s: s.xdouble(math.inf)) == math.inf
+
+
+class TestOpaqueAndString:
+    def test_opaque_roundtrip(self):
+        assert roundtrip(lambda s: s.xopaque(b"hello")) == b"hello"
+
+    def test_opaque_padding_to_4(self):
+        enc = XdrStream.encoder()
+        enc.xopaque(b"abcde")  # 4 length + 5 data + 3 pad
+        assert len(enc.getvalue()) == 12
+        assert enc.getvalue()[9:] == b"\x00\x00\x00"
+
+    def test_opaque_empty(self):
+        assert roundtrip(lambda s: s.xopaque(b"")) == b""
+
+    def test_opaque_nonzero_padding_rejected(self):
+        enc = XdrStream.encoder()
+        enc.xopaque(b"a")
+        corrupt = bytearray(enc.getvalue())
+        corrupt[-1] = 0xFF
+        with pytest.raises(XdrError):
+            XdrStream.decoder(bytes(corrupt)).xopaque()
+
+    def test_opaque_length_limit_on_decode(self):
+        # A hostile length prefix must not cause a huge allocation.
+        data = struct.pack(">I", 2**31)
+        with pytest.raises(XdrError):
+            XdrStream.decoder(data).xopaque()
+
+    def test_opaque_truncated_data(self):
+        data = struct.pack(">I", 100) + b"short"
+        with pytest.raises(XdrError):
+            XdrStream.decoder(data).xopaque()
+
+    def test_opaque_fixed_roundtrip(self):
+        enc = XdrStream.encoder()
+        enc.xopaque_fixed(b"abc", size=3)
+        dec = XdrStream.decoder(enc.getvalue())
+        assert dec.xopaque_fixed(size=3) == b"abc"
+
+    def test_opaque_fixed_wrong_size(self):
+        with pytest.raises(XdrError):
+            XdrStream.encoder().xopaque_fixed(b"abc", size=4)
+
+    def test_string_roundtrip(self):
+        assert roundtrip(lambda s: s.xstring("sweep")) == "sweep"
+
+    def test_string_unicode(self):
+        assert roundtrip(lambda s: s.xstring("fenêtre λ ✓")) == "fenêtre λ ✓"
+
+    def test_string_invalid_utf8_rejected_on_decode(self):
+        enc = XdrStream.encoder()
+        enc.xopaque(b"\xff\xfe")
+        with pytest.raises(XdrError):
+            XdrStream.decoder(enc.getvalue()).xstring()
+
+    def test_string_rejects_bytes_on_encode(self):
+        with pytest.raises(XdrError):
+            XdrStream.encoder().xstring(b"bytes")
+
+
+class TestComposites:
+    def test_array_roundtrip(self):
+        values = [1, 2, 3, -4]
+        out = roundtrip(lambda s: s.xarray(lambda st, v: st.xint(v), values),
+                        lambda s: s.xarray(lambda st, v: st.xint(v)))
+        assert out == values
+
+    def test_array_empty(self):
+        out = roundtrip(lambda s: s.xarray(lambda st, v: st.xint(v), []),
+                        lambda s: s.xarray(lambda st, v: st.xint(v)))
+        assert out == []
+
+    def test_array_encode_none_rejected(self):
+        with pytest.raises(XdrError):
+            XdrStream.encoder().xarray(lambda st, v: st.xint(v), None)
+
+    def test_array_hostile_length(self):
+        data = struct.pack(">I", 2**31)
+        with pytest.raises(XdrError):
+            XdrStream.decoder(data).xarray(lambda st, v: st.xint(v))
+
+    def test_array_fixed_roundtrip(self):
+        enc = XdrStream.encoder()
+        enc.xarray_fixed(lambda st, v: st.xint(v), [7, 8], size=2)
+        dec = XdrStream.decoder(enc.getvalue())
+        assert dec.xarray_fixed(lambda st, v: st.xint(v), size=2) == [7, 8]
+
+    def test_array_fixed_wrong_count(self):
+        with pytest.raises(XdrError):
+            XdrStream.encoder().xarray_fixed(lambda st, v: st.xint(v), [1], size=2)
+
+    def test_optional_present(self):
+        out = roundtrip(lambda s: s.xoptional(lambda st, v: st.xint(v), 9),
+                        lambda s: s.xoptional(lambda st, v: st.xint(v)))
+        assert out == 9
+
+    def test_optional_absent(self):
+        out = roundtrip(lambda s: s.xoptional(lambda st, v: st.xint(v), None),
+                        lambda s: s.xoptional(lambda st, v: st.xint(v)))
+        assert out is None
+
+    def test_void_writes_nothing(self):
+        enc = XdrStream.encoder()
+        enc.xvoid()
+        assert enc.getvalue() == b""
+
+
+class TestStreamDiscipline:
+    def test_op_property(self):
+        assert XdrStream.encoder().op is XdrOp.ENCODE
+        assert XdrStream.decoder(b"").op is XdrOp.DECODE
+
+    def test_encoding_decoding_flags(self):
+        assert XdrStream.encoder().encoding
+        assert XdrStream.decoder(b"").decoding
+
+    def test_getvalue_only_on_encoder(self):
+        with pytest.raises(XdrError):
+            XdrStream.decoder(b"").getvalue()
+
+    def test_remaining_only_on_decoder(self):
+        with pytest.raises(XdrError):
+            XdrStream.encoder().remaining()
+
+    def test_expect_exhausted_trailing(self):
+        dec = XdrStream.decoder(b"\x00\x00\x00\x01")
+        with pytest.raises(XdrError):
+            dec.expect_exhausted()
+
+    def test_bidirectional_single_body(self):
+        """A single bundler body serves both directions (Fig 3.2)."""
+
+        def point_bundler(stream, p):
+            if p is None and stream.decoding:
+                p = {}
+            p["x"] = stream.xshort(p.get("x"))
+            p["y"] = stream.xshort(p.get("y"))
+            p["z"] = stream.xshort(p.get("z"))
+            return p
+
+        point = {"x": 1, "y": -2, "z": 3}
+        enc = XdrStream.encoder()
+        point_bundler(enc, dict(point))
+        dec = XdrStream.decoder(enc.getvalue())
+        assert point_bundler(dec, None) == point
+
+    def test_sequence_of_mixed_fields(self):
+        enc = XdrStream.encoder()
+        enc.xint(5)
+        enc.xstring("title")
+        enc.xbool(True)
+        enc.xdouble(0.5)
+        dec = XdrStream.decoder(enc.getvalue())
+        assert dec.xint() == 5
+        assert dec.xstring() == "title"
+        assert dec.xbool() is True
+        assert dec.xdouble() == 0.5
+        dec.expect_exhausted()
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(XdrError):
+            XdrStream("encode")  # type: ignore[arg-type]
+
+    def test_custom_max_length_enforced_on_decode(self):
+        enc = XdrStream.encoder()
+        enc.xopaque(b"x" * 64)
+        dec = XdrStream.decoder(enc.getvalue(), max_length=16)
+        with pytest.raises(XdrError, match="exceeds max"):
+            dec.xopaque()
+
+    def test_custom_max_length_enforced_on_encode(self):
+        enc = XdrStream(XdrOp.ENCODE, max_length=8)
+        with pytest.raises(XdrError, match="exceeds max"):
+            enc.xopaque(b"too long for the limit")
+
+    def test_custom_max_length_enforced_on_arrays(self):
+        enc = XdrStream.encoder()
+        enc.xuint(1000)  # array length prefix
+        dec = XdrStream.decoder(enc.getvalue(), max_length=100)
+        with pytest.raises(XdrError, match="exceeds max"):
+            dec.xarray(lambda st, v: st.xint(v))
