@@ -33,4 +33,6 @@ def bench_loop():
 def per_op(benchmark, batch: int) -> None:
     """Record the per-operation cost computed from the measured mean."""
     benchmark.extra_info["batch"] = batch
+    if benchmark.stats is None:  # --benchmark-disable smoke runs
+        return
     benchmark.extra_info["per_op_us"] = benchmark.stats.stats.mean / batch * 1e6

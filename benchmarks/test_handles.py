@@ -4,7 +4,6 @@ Not a paper table, but the handle path sits under every remote object
 operation in Fig 5.1's remote rows; these benchmarks isolate it.
 """
 
-import pytest
 
 from repro.errors import ForgedHandleError
 from repro.handles import Handle, ObjectTable

@@ -5,7 +5,6 @@
 
 import asyncio
 
-import pytest
 
 from repro.tasks import Task, TaskPool
 from benchmarks.conftest import per_op

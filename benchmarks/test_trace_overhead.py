@@ -1,0 +1,71 @@
+"""The zero-overhead contract of the tracing facility.
+
+An unsubscribed tracer's ``span``/``point`` must short-circuit before
+building event objects or reading clocks — callers leave tracing
+compiled in on every hot path (calls, batches, upcalls) precisely
+because it costs ~a counter bump when nobody is watching.  The
+benchmarks put a number on both sides of the contract; the plain test
+asserts the ordering so a regression fails the suite, not just the
+eyeball.
+"""
+
+import time
+
+from repro.trace import KIND_CALL, Tracer
+
+SPANS = 2000
+
+
+def _run_spans(tracer: Tracer, n: int) -> None:
+    for _ in range(n):
+        with tracer.span(KIND_CALL, "op"):
+            pass
+
+
+def _time_spans(tracer: Tracer, n: int) -> float:
+    start = time.perf_counter()
+    _run_spans(tracer, n)
+    return time.perf_counter() - start
+
+
+def _record_per_span(benchmark):
+    if benchmark.stats is None:  # --benchmark-disable smoke runs
+        return
+    benchmark.extra_info["per_span_us"] = (
+        benchmark.stats.stats.mean / SPANS * 1e6
+    )
+
+
+def test_span_inactive(benchmark):
+    tracer = Tracer()
+    benchmark(lambda: _run_spans(tracer, SPANS))
+    _record_per_span(benchmark)
+
+
+def test_span_active(benchmark):
+    tracer = Tracer()
+    tracer.subscribe(lambda event: None)
+    benchmark(lambda: _run_spans(tracer, SPANS))
+    _record_per_span(benchmark)
+
+
+def test_inactive_spans_are_cheaper_than_active(benchmark):
+    """The contract itself: with no subscriber a span must cost less
+    than a subscribed one (it skips two event constructions and three
+    clock reads).  Best-of-5 on each side damps scheduler noise."""
+    inactive, active = Tracer(), Tracer()
+    active.subscribe(lambda event: None)
+    _run_spans(inactive, SPANS)  # warm both paths
+    _run_spans(active, SPANS)
+    inactive_s = min(_time_spans(inactive, SPANS) for _ in range(5))
+    active_s = min(_time_spans(active, SPANS) for _ in range(5))
+    assert inactive_s < active_s
+    benchmark.extra_info["inactive_per_span_us"] = inactive_s / SPANS * 1e6
+    benchmark.extra_info["active_per_span_us"] = active_s / SPANS * 1e6
+    benchmark(lambda: _run_spans(inactive, SPANS))
+
+
+def test_point_inactive_only_counts(benchmark):
+    tracer = Tracer()
+    benchmark(lambda: tracer.point(KIND_CALL, "mark"))
+    assert tracer.counters[(KIND_CALL, "point")] > 0

@@ -6,7 +6,6 @@ can be attributed (wire time vs marshalling time).
 
 from dataclasses import dataclass
 
-import pytest
 
 from repro.bundlers import BundlerRegistry
 from repro.bundlers.auto import structural_resolver

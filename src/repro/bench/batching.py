@@ -30,6 +30,10 @@ class BatchingResult:
     calls: int
     per_call_us: float
     frames_sent: int
+    #: From the client's ``rpc.client.batch_flush_size`` histogram —
+    #: the registry's view of the same experiment.
+    mean_flush_size: float = 0.0
+    p95_flush_size: float = 0.0
 
     @property
     def calls_per_frame(self) -> float:
@@ -64,12 +68,15 @@ async def measure_batching(
             elapsed = time.perf_counter() - start
             best = min(best, elapsed / calls)
             frames = client.rpc.batch.frames_sent - before
+        flush_sizes = client.metrics.histogram("rpc.client.batch_flush_size")
         results.append(
             BatchingResult(
                 max_batch=max_batch,
                 calls=calls,
                 per_call_us=best * 1e6,
                 frames_sent=frames,
+                mean_flush_size=flush_sizes.mean,
+                p95_flush_size=flush_sizes.quantile(0.95),
             )
         )
         await client.close()
@@ -81,17 +88,18 @@ def format_table(results: list[BatchingResult]) -> str:
     lines = [
         "S3.4 ablation: batching asynchronous calls (UNIX domain, "
         f"{results[0].calls} void calls + 1 sync fence)",
-        f"{'max_batch':>10}{'per-call (us)':>16}{'frames':>9}{'calls/frame':>13}",
-        "-" * 48,
+        f"{'max_batch':>10}{'per-call (us)':>16}{'frames':>9}{'calls/frame':>13}"
+        f"{'mean flush':>12}",
+        "-" * 60,
     ]
     for r in results:
         lines.append(
             f"{r.max_batch:>10}{r.per_call_us:>16.2f}{r.frames_sent:>9}"
-            f"{r.calls_per_frame:>13.1f}"
+            f"{r.calls_per_frame:>13.1f}{r.mean_flush_size:>12.1f}"
         )
     baseline = results[0].per_call_us
     best = min(r.per_call_us for r in results)
-    lines.append("-" * 48)
+    lines.append("-" * 60)
     lines.append(
         f"speedup of best batch size over no batching: {baseline / best:.1f}x"
     )

@@ -193,6 +193,10 @@ class ConcurrencyResult:
     max_active: int
     burst: int
     total_ms: float
+    #: From the server's ``upcall.server.rtt_us`` histogram — the
+    #: per-upcall round trip the registry observed during the burst.
+    rtt_mean_us: float = 0.0
+    rtt_p95_us: float = 0.0
 
 
 async def measure_concurrency(
@@ -215,11 +219,16 @@ async def measure_concurrency(
         start = time.perf_counter()
         await fanout.blast(burst)
         elapsed = time.perf_counter() - start
+        rtt = server.metrics.histogram("upcall.server.rtt_us")
         await client.close()
         await server.shutdown()
         results.append(
             ConcurrencyResult(
-                max_active=max_active, burst=burst, total_ms=elapsed * 1e3
+                max_active=max_active,
+                burst=burst,
+                total_ms=elapsed * 1e3,
+                rtt_mean_us=rtt.mean,
+                rtt_p95_us=rtt.quantile(0.95),
             )
         )
     return results
@@ -229,12 +238,16 @@ def format_concurrency_table(results: list[ConcurrencyResult]) -> str:
     lines = [
         "S4.4 future work: relaxing one-active-upcall-per-client "
         f"(burst of {results[0].burst} upcalls, ~1ms handler)",
-        f"{'max_active':>11}{'burst total (ms)':>18}",
-        "-" * 29,
+        f"{'max_active':>11}{'burst total (ms)':>18}{'rtt mean (us)':>15}"
+        f"{'rtt p95 (us)':>14}",
+        "-" * 58,
     ]
     for r in results:
-        lines.append(f"{r.max_active:>11}{r.total_ms:>18.1f}")
-    lines.append("-" * 29)
+        lines.append(
+            f"{r.max_active:>11}{r.total_ms:>18.1f}{r.rtt_mean_us:>15.0f}"
+            f"{r.rtt_p95_us:>14.0f}"
+        )
+    lines.append("-" * 58)
     first, last = results[0], results[-1]
     lines.append(
         f"relaxing 1 -> {last.max_active} overlaps handler latency: "

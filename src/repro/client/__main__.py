@@ -8,6 +8,7 @@
     python -m repro.client URL versions CLASSNAME
     python -m repro.client URL load NAME FILE.py
     python -m repro.client URL sync
+    python -m repro.client URL metrics
 """
 
 from __future__ import annotations
@@ -30,6 +31,7 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
     sub.add_parser("classes", help="list loaded classes")
     sub.add_parser("modules", help="list loaded modules")
     sub.add_parser("sync", help="flush + fence; prints the call count")
+    sub.add_parser("metrics", help="scrape the server's metrics registry")
     versions = sub.add_parser("versions", help="list versions of a class")
     versions.add_argument("class_name")
     load = sub.add_parser("load", help="dynamically load a module from a file")
@@ -53,6 +55,9 @@ async def run(args: argparse.Namespace) -> int:
             print(" ".join(map(str, await client.versions_of(args.class_name))))
         elif args.command == "sync":
             print(await client.sync())
+        elif args.command == "metrics":
+            for name, value in sorted((await client.server_metrics()).items()):
+                print(f"{name} = {value:g}")
         elif args.command == "load":
             exported = await client.load_module(
                 args.name, args.file.read_text(encoding="utf-8")

@@ -26,11 +26,12 @@ from repro.core import CallbackTable, install_client_callbacks
 from repro.handles import Handle
 from repro.ipc import MessageChannel, dial
 from repro.loader import source_of
+from repro.obs.metrics import MetricsRegistry
 from repro.rpc import RpcConnection, install_client_objects
 from repro.client.upcall_task import UpcallService
 from repro.server.builtin import BUILTIN_HANDLE, ClamServerInterface
 from repro.stubs import Proxy, build_proxy, interface_spec
-from repro.wire import ChannelRole, HelloMessage
+from repro.wire import PROTOCOL_VERSION, ChannelRole, HelloMessage
 
 
 class ClamClient:
@@ -44,6 +45,7 @@ class ClamClient:
         callbacks: CallbackTable,
         session: str,
         tracer=None,
+        metrics=None,
     ):
         from repro.trace import Tracer
 
@@ -52,6 +54,8 @@ class ClamClient:
         self.session = session
         #: Measurement surface (see repro.trace); zero cost unsubscribed.
         self.tracer = tracer if tracer is not None else Tracer()
+        #: Client-side instruments (batch sizes, call latencies).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._upcall_service = upcall_service
         self._upcall_task = upcall_task  # None in single-stream mode
         self._builtin = build_proxy(ClamServerInterface, rpc, BUILTIN_HANDLE)
@@ -68,6 +72,7 @@ class ClamClient:
         max_active_upcalls: int = 1,
         channels: str = "two",
         call_timeout: float | None = None,
+        protocol_version: int = PROTOCOL_VERSION,
     ) -> "ClamClient":
         """Connect to the server at ``url``.
 
@@ -81,24 +86,36 @@ class ClamClient:
         because our messages are typed).  Single-stream constraint:
         server code must make upcalls from server *tasks*, never
         inline in an RPC handler, or the shared stream deadlocks.
+
+        ``protocol_version`` caps what this client offers in its HELLO;
+        the wire speaks ``min(offered, server's answer)``.  Lowering it
+        below :data:`~repro.wire.TRACE_CONTEXT_VERSION` makes this
+        client behave like a pre-trace-context peer — useful for
+        interop tests.
         """
         if channels not in ("one", "two"):
             raise ValueError(f"channels must be 'one' or 'two', not {channels!r}")
         from repro.trace import Tracer
 
         tracer = Tracer()
+        metrics = MetricsRegistry()
         registry = BundlerRegistry()
         registry.add_resolver(structural_resolver)
         callbacks = CallbackTable()
         install_client_callbacks(registry, callbacks)
 
-        # Channel one: RPC.  HELLO exchange yields the session token.
+        # Channel one: RPC.  HELLO exchange yields the session token
+        # and the protocol version both ends will speak.
         rpc_channel = MessageChannel(await dial(url))
-        await rpc_channel.send(HelloMessage(role=ChannelRole.RPC))
+        await rpc_channel.send(
+            HelloMessage(role=ChannelRole.RPC, protocol_version=protocol_version)
+        )
         ack = await rpc_channel.recv()
         if not isinstance(ack, HelloMessage) or not ack.session:
             raise ProtocolError(f"bad HELLO reply from server: {ack!r}")
         session = ack.session
+        negotiated = min(protocol_version, ack.protocol_version)
+        rpc_channel.protocol_version = negotiated
 
         rpc = RpcConnection(
             rpc_channel,
@@ -107,17 +124,27 @@ class ClamClient:
             flush_delay=flush_delay,
             call_timeout=call_timeout,
             tracer=tracer,
+            metrics=metrics,
         )
         install_client_objects(registry, rpc)
 
         if channels == "two":
             # Channel two: upcalls, tied to the session by its token.
             upcall_channel = MessageChannel(await dial(url))
+            upcall_channel.protocol_version = negotiated
             await upcall_channel.send(
-                HelloMessage(role=ChannelRole.UPCALL, session=session)
+                HelloMessage(
+                    role=ChannelRole.UPCALL,
+                    session=session,
+                    protocol_version=negotiated,
+                )
             )
             service = UpcallService(
-                upcall_channel, callbacks, max_active=max_active_upcalls
+                upcall_channel,
+                callbacks,
+                max_active=max_active_upcalls,
+                tracer=tracer,
+                metrics=metrics,
             )
             upcall_task = asyncio.get_running_loop().create_task(
                 service.run(), name="clam-client-upcalls"
@@ -127,7 +154,11 @@ class ClamClient:
             # replies go back on it; the reader hands them to the
             # service, which runs each on its own task.
             service = UpcallService(
-                rpc.channel, callbacks, max_active=max_active_upcalls
+                rpc.channel,
+                callbacks,
+                max_active=max_active_upcalls,
+                tracer=tracer,
+                metrics=metrics,
             )
             upcall_task = None
         # Accept upcalls multiplexed onto the RPC stream in BOTH modes:
@@ -137,7 +168,10 @@ class ClamClient:
         rpc.set_upcall_sink(
             lambda message: service.accept(message, reply_channel=rpc.channel)
         )
-        return cls(rpc, service, upcall_task, callbacks, session, tracer=tracer)
+        return cls(
+            rpc, service, upcall_task, callbacks, session,
+            tracer=tracer, metrics=metrics,
+        )
 
     async def close(self) -> None:
         await self.rpc.close()
@@ -240,3 +274,13 @@ class ClamClient:
     async def server_stats(self) -> dict[str, int]:
         """Server health counters (see the builtin ``stats``)."""
         return await self._builtin.stats()
+
+    async def server_metrics(self) -> dict[str, float]:
+        """Scrape the server's metrics registry (see the builtin
+        ``metrics``): counters, gauges, and histogram summaries."""
+        return await self._builtin.metrics()
+
+    @property
+    def protocol_version(self) -> int:
+        """The protocol version negotiated with the server."""
+        return self.rpc.channel.protocol_version

@@ -18,11 +18,13 @@ RPCs back into the server).
 from __future__ import annotations
 
 import asyncio
+import time
 import traceback
 
 from repro.errors import ConnectionClosedError, ProtocolError
 from repro.core import CallbackTable
 from repro.ipc import MessageChannel
+from repro.obs.context import SpanContext, using_context
 from repro.tasks import Slots
 from repro.wire import UpcallExceptionMessage, UpcallMessage, UpcallReplyMessage
 
@@ -36,11 +38,15 @@ class UpcallService:
         callbacks: CallbackTable,
         *,
         max_active: int = 1,
+        tracer=None,
+        metrics=None,
     ):
         if max_active < 1:
             raise ValueError("max_active must be >= 1")
         self._channel = channel
         self._callbacks = callbacks
+        self._tracer = tracer
+        self._metrics = metrics
         self._max_active = max_active
         self._slots = Slots(max_active)
         self._handlers: set[asyncio.Task] = set()
@@ -118,12 +124,7 @@ class UpcallService:
         self._active += 1
         self.max_concurrency_seen = max(self.max_concurrency_seen, self._active)
         try:
-            proc, signature = self._callbacks.look_up(message.ruc_id)
-            args = signature.unbundle_args(message.args)
-            result = proc(*args)
-            if hasattr(result, "__await__"):
-                result = await result
-            payload = signature.bundle_result(result)
+            payload = await self._execute(message)
         except Exception as exc:
             self.upcalls_failed += 1
             if message.expects_reply:
@@ -145,6 +146,46 @@ class UpcallService:
                 UpcallReplyMessage(serial=message.serial, results=payload),
                 reply_channel,
             )
+
+    async def _execute(self, message: UpcallMessage) -> bytes:
+        """Run the RUC procedure inside the server's trace context.
+
+        The span opened here is the leaf of the distributed tree: its
+        parent is the server's upcall span, carried over by protocol
+        v2's ``trace_id``/``parent_span`` wire fields.  A handler that
+        makes RPCs back into the server extends the same trace further.
+        """
+        remote = (
+            SpanContext(trace_id=message.trace_id, span_id=message.parent_span)
+            if message.trace_id
+            else None
+        )
+        started = time.perf_counter() if self._metrics is not None else 0.0
+        if self._tracer is not None and self._tracer.active:
+            from repro.trace import KIND_UPCALL_EXEC
+
+            with self._tracer.span(
+                KIND_UPCALL_EXEC, f"ruc-{message.ruc_id}", parent=remote
+            ):
+                payload = await self._execute_inner(message)
+        elif remote is not None:
+            with using_context(remote):
+                payload = await self._execute_inner(message)
+        else:
+            payload = await self._execute_inner(message)
+        if self._metrics is not None:
+            self._metrics.histogram("upcall.client.exec_us").observe(
+                (time.perf_counter() - started) * 1e6
+            )
+        return payload
+
+    async def _execute_inner(self, message: UpcallMessage) -> bytes:
+        proc, signature = self._callbacks.look_up(message.ruc_id)
+        args = signature.unbundle_args(message.args)
+        result = proc(*args)
+        if hasattr(result, "__await__"):
+            result = await result
+        return signature.bundle_result(result)
 
     async def _send_safely(self, message, reply_channel: MessageChannel | None = None) -> None:
         try:

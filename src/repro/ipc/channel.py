@@ -10,20 +10,31 @@ channel, each its own stream.
 from __future__ import annotations
 
 from repro.ipc.transport import Connection
-from repro.wire import Message, decode_message, encode_message
+from repro.wire import PROTOCOL_VERSION, Message, decode_message, encode_message
 
 
 class MessageChannel:
-    """Frame pipe specialized to typed wire messages."""
+    """Frame pipe specialized to typed wire messages.
+
+    ``protocol_version`` is the version both ends agreed on during the
+    HELLO exchange; every message after the HELLO is encoded and
+    decoded at that version, which is how a v2 process talks to a v1
+    peer without either side misparsing trace-context fields.
+    """
 
     def __init__(self, connection: Connection):
         self._connection = connection
+        self.protocol_version = PROTOCOL_VERSION
 
     async def send(self, message: Message) -> None:
-        await self._connection.send(encode_message(message))
+        await self._connection.send(
+            encode_message(message, version=self.protocol_version)
+        )
 
     async def recv(self) -> Message:
-        return decode_message(await self._connection.recv())
+        return decode_message(
+            await self._connection.recv(), version=self.protocol_version
+        )
 
     async def close(self) -> None:
         await self._connection.close()

@@ -47,6 +47,8 @@ class ArqEndpoint:
         *,
         window: int = 8,
         retransmit_timeout: float = 0.02,
+        metrics=None,
+        metrics_prefix: str = "arq",
     ):
         if window < 1:
             raise ArqError("window must be >= 1")
@@ -54,6 +56,8 @@ class ArqEndpoint:
         self._deliver = deliver
         self._window = window
         self._timeout = retransmit_timeout
+        self._metrics = metrics
+        self._metrics_prefix = metrics_prefix
         # sender state
         self._next_seq = 0
         self._unacked: dict[int, str] = {}
@@ -71,6 +75,13 @@ class ArqEndpoint:
         self.acks_sent = 0
         self.delivered_in_order = 0
         self.discarded_out_of_order = 0
+        # RTT estimation (Karn's rule: a frame that was retransmitted
+        # yields no sample — its ACK can't be matched to a send).
+        self.rtt_samples = 0
+        self.rtt_total_us = 0.0
+        self.last_rtt_us = 0.0
+        self._send_times: dict[int, float] = {}
+        self._retransmitted: set[int] = set()
 
     # -- sending ------------------------------------------------------------------
 
@@ -92,6 +103,9 @@ class ArqEndpoint:
         self._next_seq += 1
         self._unacked[seq] = payload
         self.frames_sent += 1
+        self._send_times[seq] = asyncio.get_running_loop().time()
+        if self._metrics is not None:
+            self._metrics.counter(f"{self._metrics_prefix}.frames_sent").inc()
         await self._send(f"D|{seq}|{payload}")
         self._ensure_retransmitter()
         return seq
@@ -128,14 +142,20 @@ class ArqEndpoint:
                 # cannot stay aligned with the window forever (a
                 # fixed-length burst vs. drop-every-2nd livelocks).
                 oldest = outstanding[0]
-                self.retransmissions += 1
+                self._count_retransmission(oldest)
                 await self._send(f"D|{oldest}|{self._unacked[oldest]}")
             # Go-back-N: resend every outstanding frame, oldest first.
             for seq in outstanding:
                 if seq not in self._unacked:
                     continue  # acked while this round was sending
-                self.retransmissions += 1
+                self._count_retransmission(seq)
                 await self._send(f"D|{seq}|{self._unacked[seq]}")
+
+    def _count_retransmission(self, seq: int) -> None:
+        self.retransmissions += 1
+        self._retransmitted.add(seq)
+        if self._metrics is not None:
+            self._metrics.counter(f"{self._metrics_prefix}.retransmissions").inc()
 
     # -- receiving -----------------------------------------------------------------
 
@@ -175,9 +195,23 @@ class ArqEndpoint:
         await self._send(f"A|{self._rx_expected - 1}")
 
     def _on_ack(self, through_seq: int) -> None:
+        now = asyncio.get_running_loop().time()
         for seq in list(self._unacked):
             if seq <= through_seq:
                 del self._unacked[seq]
+                sent_at = self._send_times.pop(seq, None)
+                if sent_at is not None and seq not in self._retransmitted:
+                    # Karn's rule: only never-retransmitted frames give
+                    # an unambiguous send→ack round-trip sample.
+                    rtt_us = (now - sent_at) * 1e6
+                    self.rtt_samples += 1
+                    self.rtt_total_us += rtt_us
+                    self.last_rtt_us = rtt_us
+                    if self._metrics is not None:
+                        self._metrics.histogram(
+                            f"{self._metrics_prefix}.rtt_us"
+                        ).observe(rtt_us)
+                self._retransmitted.discard(seq)
         if len(self._unacked) < self._window:
             self._window_free.set()
 
@@ -197,6 +231,10 @@ class ArqEndpoint:
             except (asyncio.CancelledError, Exception):
                 pass
 
+    @property
+    def mean_rtt_us(self) -> float:
+        return self.rtt_total_us / self.rtt_samples if self.rtt_samples else 0.0
+
     def stats(self) -> dict[str, int]:
         return {
             "sent": self.frames_sent,
@@ -205,4 +243,6 @@ class ArqEndpoint:
             "delivered": self.delivered_in_order,
             "discarded": self.discarded_out_of_order,
             "outstanding": len(self._unacked),
+            "rtt_samples": self.rtt_samples,
+            "mean_rtt_us": int(self.mean_rtt_us),
         }

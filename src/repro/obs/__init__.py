@@ -1,0 +1,60 @@
+"""Observability: distributed trace context, metrics, and exporters.
+
+The paper's group measured CLAM-style layered servers with IPS (their
+reference [8]); this package is the reproduction's production-grade
+counterpart.  Three pieces:
+
+- :mod:`repro.obs.context` — the W3C-traceparent-style span context
+  that rides the wire (``trace_id``/``parent_span`` on call, batch,
+  and upcall messages, protocol v2), carried between layers inside a
+  process by a :mod:`contextvars` variable so a synchronous call →
+  server handler → distributed upcall → client RUC execution forms
+  one tree;
+- :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  log-bucketed histograms that every runtime (batching, ARQ, task
+  pools, dispatch) reports through; scrapeable remotely via the
+  builtin ``metrics`` RPC;
+- :mod:`repro.obs.export` — subscribers for the
+  :class:`repro.trace.Tracer` fan-out: a JSONL event log, a Chrome
+  ``trace_event`` file loadable in ``chrome://tracing``/Perfetto, and
+  a plain-text distributed-trace tree renderer.
+
+See ``docs/OBSERVABILITY.md`` for the wire format, metric names, and
+exporter walkthroughs.
+"""
+
+from repro.obs.context import (
+    SpanContext,
+    current_context,
+    new_span_id,
+    new_trace_id,
+    using_context,
+)
+from repro.obs.export import (
+    ChromeTraceExporter,
+    JsonlExporter,
+    render_trace_tree,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "SpanContext",
+    "current_context",
+    "new_span_id",
+    "new_trace_id",
+    "using_context",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_US",
+    "JsonlExporter",
+    "ChromeTraceExporter",
+    "render_trace_tree",
+]

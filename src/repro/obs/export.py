@@ -1,0 +1,253 @@
+"""Exporters: turn Tracer event streams into files and pictures.
+
+All three consumers here are ordinary :class:`repro.trace.Tracer`
+subscribers — the runtimes never know they exist:
+
+- :class:`JsonlExporter` writes one JSON object per event, the
+  greppable archival format;
+- :class:`ChromeTraceExporter` collects Chrome ``trace_event``
+  records; the output of :meth:`ChromeTraceExporter.to_json` loads
+  directly in ``chrome://tracing`` or https://ui.perfetto.dev, with
+  one process lane per attached tracer;
+- :func:`render_trace_tree` prints a distributed trace as an indented
+  tree, following ``parent_id`` edges across processes — the quickest
+  way to *see* that a call, its server handler, the distributed
+  upcall, and the client RUC execution are one operation.
+
+Exporters identify events structurally (``kind``/``phase``/``ts_us``
+attributes), so anything shaped like a :class:`repro.trace.TraceEvent`
+can be fed to them.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
+
+if TYPE_CHECKING:  # avoid a cycle: repro.trace imports repro.obs.context
+    from repro.trace import TraceEvent
+
+
+def event_to_dict(event: "TraceEvent", process: str = "") -> dict:
+    """The JSON-ready form of one trace event."""
+    out = {
+        "kind": event.kind,
+        "name": event.name,
+        "phase": event.phase,
+        "ts_us": event.ts_us,
+    }
+    if process:
+        out["process"] = process
+    if event.span_id:
+        out["span_id"] = event.span_id
+    if event.trace_id:
+        out["trace_id"] = event.trace_id
+    if event.parent_id:
+        out["parent_id"] = event.parent_id
+    if event.duration_us:
+        out["duration_us"] = event.duration_us
+    if event.detail:
+        out["detail"] = event.detail
+    return out
+
+
+class JsonlExporter:
+    """Append every event to a JSON-lines sink as it happens.
+
+    ``sink`` is a path (opened and owned by the exporter) or any
+    writable text stream (borrowed).  Attach to as many tracers as
+    take part in the operation; the ``process`` label tells the lines
+    apart.
+    """
+
+    def __init__(self, sink: str | io.TextIOBase):
+        if isinstance(sink, str):
+            self._stream: io.TextIOBase = open(sink, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = sink
+            self._owns_stream = False
+        self._unsubscribes: list[Callable[[], None]] = []
+        self.events_written = 0
+
+    def attach(self, tracer, process: str = "") -> Callable[[], None]:
+        """Subscribe to ``tracer``; returns the unsubscribe function."""
+
+        def write(event: "TraceEvent") -> None:
+            self._stream.write(json.dumps(event_to_dict(event, process)) + "\n")
+            self.events_written += 1
+
+        unsubscribe = tracer.subscribe(write)
+        self._unsubscribes.append(unsubscribe)
+        return unsubscribe
+
+    def close(self) -> None:
+        for unsubscribe in self._unsubscribes:
+            unsubscribe()
+        self._unsubscribes.clear()
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class ChromeTraceExporter:
+    """Collect Chrome ``trace_event`` records from one or more tracers.
+
+    Each attached tracer becomes one process lane (``pid``), named by
+    the ``process`` argument — so attaching the client's tracer, the
+    server's tracer, and a second client's tracer yields the
+    three-lane picture of a distributed upcall.  Rows within a lane
+    (``tid``) are traces, so concurrent operations do not interleave.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[dict] = []
+        self._pids: dict[str, int] = {}
+        self._tids: dict[str, int] = {}
+        self._unsubscribes: list[Callable[[], None]] = []
+
+    def attach(self, tracer, process: str) -> Callable[[], None]:
+        pid = self._pids.get(process)
+        if pid is None:
+            pid = self._pids[process] = len(self._pids) + 1
+            self._records.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": process},
+            })
+        unsubscribe = tracer.subscribe(lambda event: self._on_event(pid, event))
+        self._unsubscribes.append(unsubscribe)
+        return unsubscribe
+
+    def _tid_for(self, trace_id: str) -> int:
+        tid = self._tids.get(trace_id)
+        if tid is None:
+            tid = self._tids[trace_id] = len(self._tids) + 1
+        return tid
+
+    def _on_event(self, pid: int, event: "TraceEvent") -> None:
+        tid = self._tid_for(event.trace_id) if event.trace_id else 0
+        args = {}
+        if event.trace_id:
+            args["trace_id"] = event.trace_id
+            args["span_id"] = event.span_id
+            args["parent_id"] = event.parent_id
+        if event.detail:
+            args["detail"] = event.detail
+        if event.phase in ("end", "error"):
+            # One complete ("X") slice per finished span; the start
+            # event carries no duration, so the end event is the record.
+            self._records.append({
+                "name": event.name, "cat": event.kind, "ph": "X",
+                "ts": event.ts_us - event.duration_us,
+                "dur": event.duration_us,
+                "pid": pid, "tid": tid, "args": args,
+            })
+        elif event.phase == "point":
+            self._records.append({
+                "name": event.name, "cat": event.kind, "ph": "i",
+                "ts": event.ts_us, "s": "p",
+                "pid": pid, "tid": tid, "args": args,
+            })
+
+    def detach_all(self) -> None:
+        for unsubscribe in self._unsubscribes:
+            unsubscribe()
+        self._unsubscribes.clear()
+
+    @property
+    def records(self) -> list[dict]:
+        return list(self._records)
+
+    def process_count(self) -> int:
+        return len(self._pids)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"traceEvents": self._records, "displayTimeUnit": "ms"}
+        )
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(self.to_json())
+
+
+def render_trace_tree(
+    sources: Mapping[str, Iterable["TraceEvent"]]
+) -> str:
+    """Render distributed traces as indented trees.
+
+    ``sources`` maps a process label (e.g. ``"client"``, ``"server"``)
+    to that process's recorded events (a
+    :class:`repro.trace.TimelineRecorder`'s ``events`` works as-is).
+    Spans from every process are joined on ``trace_id`` and nested by
+    ``parent_id``; spans with no known parent are roots.
+    """
+    spans: dict[int, dict] = {}
+    points: list[dict] = []
+    for process, events in sources.items():
+        for event in events:
+            if not event.trace_id:
+                continue
+            if event.phase in ("end", "error"):
+                spans[event.span_id] = {
+                    "event": event,
+                    "process": process,
+                    "start_us": event.ts_us - event.duration_us,
+                }
+            elif event.phase == "point":
+                points.append({
+                    "event": event,
+                    "process": process,
+                    "start_us": event.ts_us,
+                })
+
+    children: dict[int, list[dict]] = {}
+    roots: dict[str, list[dict]] = {}
+    for node in spans.values():
+        event = node["event"]
+        if event.parent_id and event.parent_id in spans:
+            children.setdefault(event.parent_id, []).append(node)
+        else:
+            roots.setdefault(event.trace_id, []).append(node)
+    for node in points:
+        event = node["event"]
+        if event.parent_id and event.parent_id in spans:
+            children.setdefault(event.parent_id, []).append(node)
+
+    def describe(node: dict) -> str:
+        event = node["event"]
+        if event.phase == "point":
+            detail = f" {event.detail}" if event.detail else ""
+            return f"* {event.kind} {event.name} [{node['process']}]{detail}"
+        mark = " !error" if event.phase == "error" else ""
+        return (
+            f"{event.kind} {event.name} [{node['process']}] "
+            f"{event.duration_us:.0f}us{mark}"
+        )
+
+    lines: list[str] = []
+
+    def walk(node: dict, prefix: str, is_last: bool) -> None:
+        branch = "`- " if is_last else "|- "
+        lines.append(prefix + branch + describe(node))
+        kids = sorted(
+            children.get(node["event"].span_id, []), key=lambda n: n["start_us"]
+        )
+        for i, kid in enumerate(kids):
+            walk(kid, prefix + ("   " if is_last else "|  "), i == len(kids) - 1)
+
+    for trace_id in sorted(roots):
+        lines.append(f"trace {trace_id}")
+        top = sorted(roots[trace_id], key=lambda n: n["start_us"])
+        for i, node in enumerate(top):
+            walk(node, "", i == len(top) - 1)
+    if not lines:
+        lines.append("(no traced spans)")
+    return "\n".join(lines)

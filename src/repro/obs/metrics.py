@@ -1,0 +1,187 @@
+"""Metrics: counters, gauges, and log-bucketed histograms.
+
+The lightweight-instrumentation spirit of HAM's RPC cost accounting:
+every instrument is a plain Python object updated with one or two
+arithmetic operations, safe on any hot path, with no locks (the
+runtimes are single-threaded asyncio).  A :class:`MetricsRegistry`
+names the instruments; :meth:`MetricsRegistry.snapshot` flattens
+everything to ``dict[str, float]`` so the builtin ``metrics`` RPC can
+ship it to a remote scraper, and :meth:`MetricsRegistry.render`
+pretty-prints it for the CLIs.
+
+Histogram buckets are fixed and log-spaced (three per decade over
+1 µs – 10 s by default) so latency distributions from different
+processes merge bucket-for-bucket.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+
+def log_spaced_buckets(
+    low: float = 1.0, high: float = 1e7, per_decade: int = 3
+) -> tuple[float, ...]:
+    """Bucket upper bounds spaced evenly in log10 from ``low`` to ``high``."""
+    if low <= 0 or high <= low or per_decade < 1:
+        raise ValueError("need 0 < low < high and per_decade >= 1")
+    bounds: list[float] = []
+    exponent = 0
+    while True:
+        value = round(low * 10 ** (exponent / per_decade), 6)
+        if value > high:
+            break
+        bounds.append(value)
+        exponent += 1
+    return tuple(bounds)
+
+
+#: 1 µs .. 10 s, three buckets per decade — the shared latency scale.
+DEFAULT_LATENCY_BUCKETS_US: tuple[float, ...] = log_spaced_buckets()
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, live workers)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/max and quantile estimates.
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]``; the
+    final slot counts overflow.  Quantiles are read from the bucket
+    boundaries (the classic Prometheus-style estimate), which is exact
+    enough for latency reporting and costs O(buckets).
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "max")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_US):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("bucket bounds must be a sorted non-empty sequence")
+        self.name = name
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket containing the q-quantile (0..1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, bucket in enumerate(self.bucket_counts):
+            seen += bucket
+            if seen >= rank and bucket:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and found by name after."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_US
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        return instrument
+
+    def snapshot(self) -> dict[str, float]:
+        """Every instrument flattened to floats, for remote scraping.
+
+        Histograms contribute ``.count``/``.sum``/``.mean``/``.p50``/
+        ``.p95``/``.max`` keys; bucket-level detail stays local (see
+        :meth:`render`) to bound the payload.
+        """
+        out: dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            out[f"{name}.count"] = float(histogram.count)
+            out[f"{name}.sum"] = histogram.total
+            out[f"{name}.mean"] = histogram.mean
+            out[f"{name}.p50"] = histogram.quantile(0.5)
+            out[f"{name}.p95"] = histogram.quantile(0.95)
+            out[f"{name}.max"] = histogram.max
+        return out
+
+    def render(self) -> str:
+        """Human-readable dump for the CLIs (``--metrics``)."""
+        lines = ["metrics:"]
+        for name in sorted(self._counters):
+            lines.append(f"  {name} = {self._counters[name].value:g}")
+        for name in sorted(self._gauges):
+            lines.append(f"  {name} = {self._gauges[name].value:g}")
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            lines.append(
+                f"  {name}: count={h.count} mean={h.mean:.1f} "
+                f"p50={h.quantile(0.5):g} p95={h.quantile(0.95):g} "
+                f"max={h.max:.1f}"
+            )
+        if len(lines) == 1:
+            lines.append("  (none recorded)")
+        return "\n".join(lines)

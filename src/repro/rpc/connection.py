@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
+
 from repro.errors import (
     CallTimeoutError,
     ConnectionClosedError,
@@ -30,6 +32,7 @@ from repro.errors import (
 from repro.bundlers.base import BundlerRegistry
 from repro.handles import Handle
 from repro.ipc import MessageChannel
+from repro.obs.context import SpanContext, current_context
 from repro.rpc.batch import BatchQueue
 from repro.wire import (
     BatchMessage,
@@ -53,11 +56,13 @@ class RpcConnection:
         flush_delay: float | None = 0.0,
         call_timeout: float | None = None,
         tracer=None,
+        metrics=None,
     ):
         self._channel = channel
         self._registry = registry
         self._call_timeout = call_timeout
         self._tracer = tracer
+        self._metrics = metrics
         self._serials = itertools.count(1)
         self._waiting: dict[int, asyncio.Future] = {}
         self._batch = BatchQueue(
@@ -82,11 +87,17 @@ class RpcConnection:
         if self._tracer is not None and self._tracer.active:
             from repro.trace import KIND_CLIENT_CALL
 
-            with self._tracer.span(KIND_CLIENT_CALL, method):
-                return await self._call_inner(handle, method, args)
-        return await self._call_inner(handle, method, args)
+            with self._tracer.span(KIND_CLIENT_CALL, method) as ctx:
+                return await self._call_inner(handle, method, args, ctx)
+        return await self._call_inner(handle, method, args, current_context())
 
-    async def _call_inner(self, handle: Handle, method: str, args: bytes) -> bytes:
+    async def _call_inner(
+        self,
+        handle: Handle,
+        method: str,
+        args: bytes,
+        ctx: SpanContext | None,
+    ) -> bytes:
         if self._closed:
             raise ConnectionClosedError("RPC connection is closed")
         # Ordering: everything queued before this call must arrive first.
@@ -95,6 +106,7 @@ class RpcConnection:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._waiting[serial] = future
         self.sync_calls += 1
+        started = time.perf_counter() if self._metrics is not None else 0.0
         message = CallMessage(
             serial=serial,
             oid=handle.oid,
@@ -102,19 +114,27 @@ class RpcConnection:
             method=method,
             args=args,
             expects_reply=True,
+            trace_id=ctx.trace_id if ctx else "",
+            parent_span=ctx.span_id if ctx else 0,
         )
         try:
             await self._channel.send(message)
             if self._call_timeout is None:
-                return await future
-            try:
-                return await asyncio.wait_for(future, self._call_timeout)
-            except asyncio.TimeoutError:
-                # The reply may still arrive; with the serial dropped
-                # from the table it will be discarded.
-                raise CallTimeoutError(
-                    f"no reply to {method!r} within {self._call_timeout}s"
-                ) from None
+                results = await future
+            else:
+                try:
+                    results = await asyncio.wait_for(future, self._call_timeout)
+                except asyncio.TimeoutError:
+                    # The reply may still arrive; with the serial dropped
+                    # from the table it will be discarded.
+                    raise CallTimeoutError(
+                        f"no reply to {method!r} within {self._call_timeout}s"
+                    ) from None
+            if self._metrics is not None:
+                self._metrics.histogram(f"rpc.client.call_us.{method}").observe(
+                    (time.perf_counter() - started) * 1e6
+                )
+            return results
         finally:
             self._waiting.pop(serial, None)
 
@@ -123,6 +143,7 @@ class RpcConnection:
         if self._closed:
             raise ConnectionClosedError("RPC connection is closed")
         self.async_calls += 1
+        ctx = current_context()
         message = CallMessage(
             serial=next(self._serials),
             oid=handle.oid,
@@ -130,6 +151,8 @@ class RpcConnection:
             method=method,
             args=args,
             expects_reply=False,
+            trace_id=ctx.trace_id if ctx else "",
+            parent_span=ctx.span_id if ctx else 0,
         )
         await self._batch.post(message)
 
@@ -144,6 +167,11 @@ class RpcConnection:
             from repro.trace import KIND_FLUSH
 
             self._tracer.point(KIND_FLUSH, "batch", detail=str(len(batch.calls)))
+        if self._metrics is not None:
+            self._metrics.histogram(
+                "rpc.client.batch_flush_size",
+                bounds=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+            ).observe(float(len(batch.calls)))
         await self._channel.send(batch)
 
     async def _read_loop(self) -> None:

@@ -22,6 +22,7 @@ isolation for dynamically loaded classes.
 
 from __future__ import annotations
 
+import time
 import traceback
 from typing import Any, Awaitable, Callable, Optional
 
@@ -29,6 +30,7 @@ from repro.errors import ClamError, HandleError
 from repro.bundlers.base import BundlerRegistry
 from repro.handles import Descriptor, Handle, ObjectTable
 from repro.ipc import MessageChannel
+from repro.obs.context import SpanContext, using_context
 from repro.stubs import InterfaceSpec, Skeleton, interface_spec
 from repro.wire import (
     BatchMessage,
@@ -94,8 +96,10 @@ class Dispatcher:
         call_guard: CallGuard | None = None,
         call_failed: CallFailed | None = None,
         tracer=None,
+        metrics=None,
     ):
         self._tracer = tracer
+        self._metrics = metrics
         self._registry = registry
         self._exports = exports if exports is not None else Exports()
         self._skeletons: dict[int, Skeleton] = {}
@@ -165,6 +169,16 @@ class Dispatcher:
     async def _run_call(self, call: CallMessage, channel: MessageChannel) -> None:
         self.calls_executed += 1
         descriptor: Descriptor | None = None
+        # The caller's span, carried in on the wire (protocol v2); it
+        # becomes the parent of the handler span — or, when nobody is
+        # tracing here, merely the ambient context, so the trace still
+        # flows through to any distributed upcalls this call makes.
+        remote = (
+            SpanContext(trace_id=call.trace_id, span_id=call.parent_span)
+            if call.trace_id
+            else None
+        )
+        started = time.perf_counter() if self._metrics is not None else 0.0
         try:
             skeleton, descriptor = self.skeleton_for(Handle(oid=call.oid, tag=call.tag))
             if self._call_guard is not None:
@@ -173,11 +187,19 @@ class Dispatcher:
                 from repro.trace import KIND_CALL
 
                 with self._tracer.span(
-                    KIND_CALL, f"{descriptor.class_name}.{call.method}"
+                    KIND_CALL, f"{descriptor.class_name}.{call.method}",
+                    parent=remote,
                 ):
+                    reply_payload = await skeleton.dispatch(call.method, call.args)
+            elif remote is not None:
+                with using_context(remote):
                     reply_payload = await skeleton.dispatch(call.method, call.args)
             else:
                 reply_payload = await skeleton.dispatch(call.method, call.args)
+            if self._metrics is not None:
+                self._metrics.histogram(
+                    f"rpc.server.call_us.{descriptor.class_name}.{call.method}"
+                ).observe((time.perf_counter() - started) * 1e6)
         except Exception as exc:
             if descriptor is not None and self._call_failed is not None:
                 result = self._call_failed(descriptor, call.method, exc)

@@ -61,6 +61,12 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         action="store_true",
         help="print one line per call/upcall/load/fault event",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry (latencies, batch sizes, "
+             "queue depths) at shutdown",
+    )
     return parser.parse_args(argv)
 
 
@@ -97,6 +103,8 @@ async def run(args: argparse.Namespace) -> None:
     await stop.wait()
     print("shutting down", flush=True)
     await server.shutdown()
+    if args.metrics:
+        print(server.metrics.render(), flush=True)
 
 
 def main(argv: list[str] | None = None) -> int:

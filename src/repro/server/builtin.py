@@ -39,6 +39,7 @@ class ClamServerInterface(RemoteInterface):
     def versions_of(self, class_name: str) -> list[int]: ...
     def sync(self) -> int: ...
     def stats(self) -> dict[str, int]: ...
+    def metrics(self) -> dict[str, float]: ...
     def register_error_handler(
         self, handler: Callable[[str, int, str, str], None]
     ) -> None: ...
@@ -151,6 +152,15 @@ class BuiltinImpl(ClamServerInterface):
             "async_call_errors": len(server.async_errors),
             "fault_records": len(server.isolator.fault_records),
         }
+
+    def metrics(self) -> dict[str, float]:
+        """Flattened snapshot of the server's metrics registry.
+
+        Counters and gauges appear by name; histograms contribute
+        ``.count``/``.sum``/``.mean``/``.p50``/``.p95``/``.max`` keys
+        (see :meth:`repro.obs.metrics.MetricsRegistry.snapshot`).
+        """
+        return self._server.metrics.snapshot()
 
     def register_error_handler(self, handler) -> None:
         """Register for §4.3 error-reporting upcalls.

@@ -27,6 +27,7 @@ from repro.bundlers.auto import structural_resolver
 from repro.handles import Descriptor, Handle
 from repro.ipc import Connection, Listener, MessageChannel, serve
 from repro.loader import FaultIsolator, ModuleLoader
+from repro.obs.metrics import MetricsRegistry
 from repro.rpc import Exports
 from repro.server.builtin import BUILTIN_HANDLE, BuiltinImpl, ClamServerInterface
 from repro.server.session import Session
@@ -34,11 +35,11 @@ from repro.stubs import InterfaceSpec, Skeleton, interface_spec
 from repro.tasks import TaskSystem
 from repro.trace import KIND_FAULT, Tracer
 from repro.wire import (
-    PROTOCOL_VERSION,
     ChannelRole,
     HelloMessage,
     UpcallExceptionMessage,
     UpcallReplyMessage,
+    negotiate_version,
 )
 
 
@@ -69,7 +70,12 @@ class ClamServer:
         self.exports = Exports()
         self.loader = ModuleLoader()
         self.isolator = FaultIsolator(quarantine_after=quarantine_after)
-        self.tasks = TaskSystem("clam-server", pool_size=pool_size)
+        #: Aggregated instruments (see repro.obs.metrics); scraped
+        #: remotely via the builtin ``metrics`` RPC.
+        self.metrics = MetricsRegistry()
+        self.tasks = TaskSystem(
+            "clam-server", pool_size=pool_size, metrics=self.metrics
+        )
         self.published: dict[str, Handle] = {}
         self.sessions: dict[str, Session] = {}
         self.builtin = BuiltinImpl(self)
@@ -135,11 +141,10 @@ class ClamServer:
         hello = await channel.recv()
         if not isinstance(hello, HelloMessage):
             raise ProtocolError(f"expected HELLO, got {hello!r}")
-        if hello.protocol_version != PROTOCOL_VERSION:
-            raise ProtocolError(
-                f"protocol version mismatch: client speaks "
-                f"{hello.protocol_version}, server speaks {PROTOCOL_VERSION}"
-            )
+        # The HELLO layout never changes across versions, so it can be
+        # read before agreeing on one; everything after it is encoded
+        # at the negotiated version (min of the two ends).
+        channel.protocol_version = negotiate_version(hello.protocol_version)
         if hello.role is ChannelRole.RPC:
             await self._run_rpc_channel(channel)
         else:
@@ -153,7 +158,16 @@ class ClamServer:
             _builtin_descriptor(self.builtin),
         )
         self.sessions[session.token] = session
-        await channel.send(HelloMessage(role=ChannelRole.RPC, session=session.token))
+        # Acknowledge with the negotiated version: the client takes the
+        # min of what it asked for and what we answer, so both ends of
+        # the channel agree without a second round trip.
+        await channel.send(
+            HelloMessage(
+                role=ChannelRole.RPC,
+                session=session.token,
+                protocol_version=channel.protocol_version,
+            )
+        )
         try:
             while True:
                 message = await channel.recv()

@@ -22,11 +22,13 @@ from __future__ import annotations
 import asyncio
 import itertools
 import secrets
+import time
 from typing import TYPE_CHECKING
 
 from repro.errors import ConnectionClosedError, RemoteError, UpcallError
 from repro.core import install_server_callbacks
 from repro.ipc import MessageChannel
+from repro.obs.context import SpanContext, current_context
 from repro.rpc import Dispatcher, install_server_objects
 from repro.tasks import Slots
 from repro.wire import (
@@ -56,6 +58,7 @@ class Session:
             call_guard=server.guard_call,
             call_failed=server.call_failed,
             tracer=server.tracer,
+            metrics=server.metrics,
         )
         self._upcall_channel: MessageChannel | None = None
         self.rpc_channel: MessageChannel | None = None  # set by the server
@@ -142,32 +145,54 @@ class Session:
         if tracer.active:
             from repro.trace import KIND_UPCALL
 
-            with tracer.span(KIND_UPCALL, f"ruc-{callback_id}"):
-                return await self._send_upcall_locked(callback_id, args, channel)
-        return await self._send_upcall_locked(callback_id, args, channel)
+            with tracer.span(KIND_UPCALL, f"ruc-{callback_id}") as ctx:
+                return await self._send_upcall_locked(callback_id, args, channel, ctx)
+        return await self._send_upcall_locked(
+            callback_id, args, channel, current_context()
+        )
 
-    async def _send_upcall_locked(self, callback_id: int, args: bytes, channel) -> bytes:
+    async def _send_upcall_locked(
+        self,
+        callback_id: int,
+        args: bytes,
+        channel,
+        ctx: SpanContext | None = None,
+    ) -> bytes:
         async with self._upcall_slots:
             serial = next(self._upcall_serials)
             future: asyncio.Future = asyncio.get_running_loop().create_future()
             self._waiting[serial] = future
             self.upcalls_sent += 1
+            metrics = self.server.metrics
+            started = time.perf_counter() if metrics is not None else 0.0
             try:
                 await channel.send(
-                    UpcallMessage(serial=serial, ruc_id=callback_id, args=args)
+                    UpcallMessage(
+                        serial=serial,
+                        ruc_id=callback_id,
+                        args=args,
+                        trace_id=ctx.trace_id if ctx else "",
+                        parent_span=ctx.span_id if ctx else 0,
+                    )
                 )
                 timeout = self.server.upcall_timeout
                 if timeout is None:
-                    return await future
-                try:
-                    return await asyncio.wait_for(future, timeout)
-                except asyncio.TimeoutError:
-                    # A late reply will find no waiter and be dropped.
-                    raise UpcallError(
-                        f"client did not complete the upcall within "
-                        f"{timeout}s; releasing the server task (§4.3 "
-                        f"blocking bounded by upcall_timeout)"
-                    ) from None
+                    results = await future
+                else:
+                    try:
+                        results = await asyncio.wait_for(future, timeout)
+                    except asyncio.TimeoutError:
+                        # A late reply will find no waiter and be dropped.
+                        raise UpcallError(
+                            f"client did not complete the upcall within "
+                            f"{timeout}s; releasing the server task (§4.3 "
+                            f"blocking bounded by upcall_timeout)"
+                        ) from None
+                if metrics is not None:
+                    metrics.histogram("upcall.server.rtt_us").observe(
+                        (time.perf_counter() - started) * 1e6
+                    )
+                return results
             finally:
                 self._waiting.pop(serial, None)
 

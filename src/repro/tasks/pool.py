@@ -30,7 +30,7 @@ class TaskPool:
     delivered there too and never kills the worker.
     """
 
-    def __init__(self, max_tasks: int = 32, name: str = "pool"):
+    def __init__(self, max_tasks: int = 32, name: str = "pool", *, metrics=None):
         if max_tasks < 1:
             raise TaskError("max_tasks must be >= 1")
         self._max_tasks = max_tasks
@@ -40,7 +40,14 @@ class TaskPool:
         self._idle = 0
         self._spawned = 0
         self._dispatched = 0
+        self._queued = 0
         self._closed = False
+        self._metrics = metrics
+
+    def _gauge(self) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge(f"tasks.{self._name}.queue_depth").set(self._queued)
+            self._metrics.gauge(f"tasks.{self._name}.workers").set(len(self._workers))
 
     # -- metrics ---------------------------------------------------------------
 
@@ -62,6 +69,11 @@ class TaskPool:
     def worker_count(self) -> int:
         return sum(1 for w in self._workers if w.alive)
 
+    @property
+    def queue_depth(self) -> int:
+        """Jobs submitted but not yet picked up by a worker."""
+        return self._queued
+
     # -- operation --------------------------------------------------------------
 
     def submit(self, job: Job) -> asyncio.Future:
@@ -70,9 +82,11 @@ class TaskPool:
             raise TaskError(f"{self._name} is closed")
         future = asyncio.get_running_loop().create_future()
         self._dispatched += 1
+        self._queued += 1
         self._mailbox.post((job, future))
         if self._idle == 0 and len(self._workers) < self._max_tasks:
             self._spawn_worker()
+        self._gauge()
         return future
 
     async def run(self, job: Job) -> Any:
@@ -93,6 +107,8 @@ class TaskPool:
                 return
             finally:
                 self._idle -= 1
+            self._queued -= 1
+            self._gauge()
             try:
                 result = await job()
             except asyncio.CancelledError:

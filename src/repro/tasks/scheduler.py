@@ -18,10 +18,12 @@ from repro.tasks.task import Task, TaskState
 class TaskSystem:
     """Spawns and tracks tasks; owns the input-event task pool."""
 
-    def __init__(self, name: str = "clam", *, pool_size: int = 32):
+    def __init__(self, name: str = "clam", *, pool_size: int = 32, metrics=None):
         self.name = name
         self._tasks: list[Task] = []
-        self._pool = TaskPool(max_tasks=pool_size, name=f"{name}-events")
+        self._pool = TaskPool(
+            max_tasks=pool_size, name=f"{name}-events", metrics=metrics
+        )
 
     def spawn(self, coro: Coroutine[Any, Any, Any], name: str | None = None) -> Task:
         """Start a tracked task."""

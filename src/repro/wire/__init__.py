@@ -12,7 +12,9 @@ Messages encode to XDR with :func:`encode_message` and decode with
 """
 
 from repro.wire.messages import (
+    MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
+    TRACE_CONTEXT_VERSION,
     BatchMessage,
     CallMessage,
     ChannelRole,
@@ -25,10 +27,13 @@ from repro.wire.messages import (
     UpcallExceptionMessage,
     decode_message,
     encode_message,
+    negotiate_version,
 )
 
 __all__ = [
+    "MIN_PROTOCOL_VERSION",
     "PROTOCOL_VERSION",
+    "TRACE_CONTEXT_VERSION",
     "BatchMessage",
     "CallMessage",
     "ChannelRole",
@@ -41,4 +46,5 @@ __all__ = [
     "UpcallExceptionMessage",
     "decode_message",
     "encode_message",
+    "negotiate_version",
 ]

@@ -20,6 +20,16 @@ Design notes mapping to the paper:
   RPC channel or the server→client upcall channel (§4.4).
 - Method arguments and results travel as opaque XDR payloads produced
   by the stub layer; the transport does not interpret them.
+
+Versioning: the codecs are parameterized by the *negotiated* protocol
+version of the channel they run on.  ``HelloMessage`` itself encodes
+identically in every version (it is the negotiation), and each side
+settles on ``min(its version, the peer's version)`` — see
+:func:`negotiate_version`.  Version 2 appends the distributed-trace
+context (``trace_id``/``parent_span``) to ``CallMessage`` (and hence
+every ``BatchMessage`` member) and ``UpcallMessage``; on a v1 channel
+those fields are simply not encoded, so a context-unaware peer keeps
+working and the trace tree loses only the hop it cannot see.
 """
 
 from __future__ import annotations
@@ -31,8 +41,27 @@ from typing import ClassVar, Type
 from repro.errors import ProtocolError, XdrError
 from repro.xdr import XdrStream
 
-#: Bumped when the frame layout changes; checked in HELLO.
-PROTOCOL_VERSION = 1
+#: Bumped when the frame layout changes; negotiated in HELLO.
+PROTOCOL_VERSION = 2
+
+#: Oldest version this peer still speaks.
+MIN_PROTOCOL_VERSION = 1
+
+#: First version whose frames carry trace context.
+TRACE_CONTEXT_VERSION = 2
+
+
+def negotiate_version(peer_version: int) -> int:
+    """The version a channel should speak given the peer's HELLO.
+
+    Raises :class:`ProtocolError` when no common version exists.
+    """
+    if peer_version < MIN_PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"peer speaks protocol {peer_version}, "
+            f"older than minimum supported {MIN_PROTOCOL_VERSION}"
+        )
+    return min(peer_version, PROTOCOL_VERSION)
 
 
 class ChannelRole(enum.IntEnum):
@@ -59,11 +88,13 @@ class Message:
 
     TYPE_CODE: ClassVar[_TypeCode]
 
-    def bundle(self, stream: XdrStream) -> None:
+    def bundle(self, stream: XdrStream, version: int = PROTOCOL_VERSION) -> None:
         raise NotImplementedError
 
     @classmethod
-    def unbundle(cls, stream: XdrStream) -> "Message":
+    def unbundle(
+        cls, stream: XdrStream, version: int = PROTOCOL_VERSION
+    ) -> "Message":
         raise NotImplementedError
 
 
@@ -83,17 +114,21 @@ class HelloMessage(Message):
     session: str = ""
     protocol_version: int = PROTOCOL_VERSION
 
-    def bundle(self, stream: XdrStream) -> None:
+    def bundle(self, stream: XdrStream, version: int = PROTOCOL_VERSION) -> None:
+        # The HELLO layout never changes — it must be readable by any
+        # peer before negotiation has happened.
         stream.xenum(int(self.role), allowed=(1, 2))
         stream.xstring(self.session)
         stream.xuint(self.protocol_version)
 
     @classmethod
-    def unbundle(cls, stream: XdrStream) -> "HelloMessage":
+    def unbundle(
+        cls, stream: XdrStream, version: int = PROTOCOL_VERSION
+    ) -> "HelloMessage":
         role = ChannelRole(stream.xenum(allowed=(1, 2)))
         session = stream.xstring()
-        version = stream.xuint()
-        return cls(role=role, session=session, protocol_version=version)
+        peer_version = stream.xuint()
+        return cls(role=role, session=session, protocol_version=peer_version)
 
 
 @dataclass(frozen=True)
@@ -103,6 +138,9 @@ class CallMessage(Message):
     ``oid``/``tag`` form the handle (§3.5.1).  The builtin server
     interface lives at oid 0 with tag 0.  ``args`` is the opaque XDR
     payload the client stub bundled.
+
+    ``trace_id``/``parent_span`` (protocol v2) tie the call into the
+    caller's distributed trace; empty/0 means "untraced".
     """
 
     TYPE_CODE: ClassVar[_TypeCode] = _TypeCode.CALL
@@ -113,24 +151,44 @@ class CallMessage(Message):
     method: str
     args: bytes
     expects_reply: bool
+    trace_id: str = ""
+    parent_span: int = 0
 
-    def bundle(self, stream: XdrStream) -> None:
+    def bundle(self, stream: XdrStream, version: int = PROTOCOL_VERSION) -> None:
         stream.xuint(self.serial)
         stream.xuhyper(self.oid)
         stream.xuhyper(self.tag)
         stream.xstring(self.method)
         stream.xopaque(self.args)
         stream.xbool(self.expects_reply)
+        if version >= TRACE_CONTEXT_VERSION:
+            stream.xstring(self.trace_id)
+            stream.xuhyper(self.parent_span)
 
     @classmethod
-    def unbundle(cls, stream: XdrStream) -> "CallMessage":
+    def unbundle(
+        cls, stream: XdrStream, version: int = PROTOCOL_VERSION
+    ) -> "CallMessage":
+        serial = stream.xuint()
+        oid = stream.xuhyper()
+        tag = stream.xuhyper()
+        method = stream.xstring()
+        args = stream.xopaque()
+        expects_reply = stream.xbool()
+        trace_id = ""
+        parent_span = 0
+        if version >= TRACE_CONTEXT_VERSION:
+            trace_id = stream.xstring()
+            parent_span = stream.xuhyper()
         return cls(
-            serial=stream.xuint(),
-            oid=stream.xuhyper(),
-            tag=stream.xuhyper(),
-            method=stream.xstring(),
-            args=stream.xopaque(),
-            expects_reply=stream.xbool(),
+            serial=serial,
+            oid=oid,
+            tag=tag,
+            method=method,
+            args=args,
+            expects_reply=expects_reply,
+            trace_id=trace_id,
+            parent_span=parent_span,
         )
 
 
@@ -143,12 +201,14 @@ class ReplyMessage(Message):
     serial: int
     results: bytes
 
-    def bundle(self, stream: XdrStream) -> None:
+    def bundle(self, stream: XdrStream, version: int = PROTOCOL_VERSION) -> None:
         stream.xuint(self.serial)
         stream.xopaque(self.results)
 
     @classmethod
-    def unbundle(cls, stream: XdrStream) -> "ReplyMessage":
+    def unbundle(
+        cls, stream: XdrStream, version: int = PROTOCOL_VERSION
+    ) -> "ReplyMessage":
         return cls(serial=stream.xuint(), results=stream.xopaque())
 
 
@@ -163,14 +223,16 @@ class ExceptionMessage(Message):
     message: str
     traceback: str = ""
 
-    def bundle(self, stream: XdrStream) -> None:
+    def bundle(self, stream: XdrStream, version: int = PROTOCOL_VERSION) -> None:
         stream.xuint(self.serial)
         stream.xstring(self.remote_type)
         stream.xstring(self.message)
         stream.xstring(self.traceback)
 
     @classmethod
-    def unbundle(cls, stream: XdrStream) -> "ExceptionMessage":
+    def unbundle(
+        cls, stream: XdrStream, version: int = PROTOCOL_VERSION
+    ) -> "ExceptionMessage":
         return cls(
             serial=stream.xuint(),
             remote_type=stream.xstring(),
@@ -196,15 +258,17 @@ class BatchMessage(Message):
             if call.expects_reply:
                 raise ProtocolError("batched calls must not expect replies")
 
-    def bundle(self, stream: XdrStream) -> None:
+    def bundle(self, stream: XdrStream, version: int = PROTOCOL_VERSION) -> None:
         stream.xuint(len(self.calls))
         for call in self.calls:
-            call.bundle(stream)
+            call.bundle(stream, version)
 
     @classmethod
-    def unbundle(cls, stream: XdrStream) -> "BatchMessage":
+    def unbundle(
+        cls, stream: XdrStream, version: int = PROTOCOL_VERSION
+    ) -> "BatchMessage":
         count = stream.xuint()
-        calls = tuple(CallMessage.unbundle(stream) for _ in range(count))
+        calls = tuple(CallMessage.unbundle(stream, version) for _ in range(count))
         return cls(calls=calls)
 
 
@@ -223,20 +287,38 @@ class UpcallMessage(Message):
     ruc_id: int
     args: bytes
     expects_reply: bool = True
+    trace_id: str = ""
+    parent_span: int = 0
 
-    def bundle(self, stream: XdrStream) -> None:
+    def bundle(self, stream: XdrStream, version: int = PROTOCOL_VERSION) -> None:
         stream.xuint(self.serial)
         stream.xuhyper(self.ruc_id)
         stream.xopaque(self.args)
         stream.xbool(self.expects_reply)
+        if version >= TRACE_CONTEXT_VERSION:
+            stream.xstring(self.trace_id)
+            stream.xuhyper(self.parent_span)
 
     @classmethod
-    def unbundle(cls, stream: XdrStream) -> "UpcallMessage":
+    def unbundle(
+        cls, stream: XdrStream, version: int = PROTOCOL_VERSION
+    ) -> "UpcallMessage":
+        serial = stream.xuint()
+        ruc_id = stream.xuhyper()
+        args = stream.xopaque()
+        expects_reply = stream.xbool()
+        trace_id = ""
+        parent_span = 0
+        if version >= TRACE_CONTEXT_VERSION:
+            trace_id = stream.xstring()
+            parent_span = stream.xuhyper()
         return cls(
-            serial=stream.xuint(),
-            ruc_id=stream.xuhyper(),
-            args=stream.xopaque(),
-            expects_reply=stream.xbool(),
+            serial=serial,
+            ruc_id=ruc_id,
+            args=args,
+            expects_reply=expects_reply,
+            trace_id=trace_id,
+            parent_span=parent_span,
         )
 
 
@@ -249,12 +331,14 @@ class UpcallReplyMessage(Message):
     serial: int
     results: bytes
 
-    def bundle(self, stream: XdrStream) -> None:
+    def bundle(self, stream: XdrStream, version: int = PROTOCOL_VERSION) -> None:
         stream.xuint(self.serial)
         stream.xopaque(self.results)
 
     @classmethod
-    def unbundle(cls, stream: XdrStream) -> "UpcallReplyMessage":
+    def unbundle(
+        cls, stream: XdrStream, version: int = PROTOCOL_VERSION
+    ) -> "UpcallReplyMessage":
         return cls(serial=stream.xuint(), results=stream.xopaque())
 
 
@@ -269,14 +353,16 @@ class UpcallExceptionMessage(Message):
     message: str
     traceback: str = ""
 
-    def bundle(self, stream: XdrStream) -> None:
+    def bundle(self, stream: XdrStream, version: int = PROTOCOL_VERSION) -> None:
         stream.xuint(self.serial)
         stream.xstring(self.remote_type)
         stream.xstring(self.message)
         stream.xstring(self.traceback)
 
     @classmethod
-    def unbundle(cls, stream: XdrStream) -> "UpcallExceptionMessage":
+    def unbundle(
+        cls, stream: XdrStream, version: int = PROTOCOL_VERSION
+    ) -> "UpcallExceptionMessage":
         return cls(
             serial=stream.xuint(),
             remote_type=stream.xstring(),
@@ -300,16 +386,16 @@ _MESSAGE_TYPES: dict[int, Type[Message]] = {
 }
 
 
-def encode_message(message: Message) -> bytes:
-    """Bundle one message into a frame payload."""
+def encode_message(message: Message, *, version: int = PROTOCOL_VERSION) -> bytes:
+    """Bundle one message into a frame payload at ``version``."""
     stream = XdrStream.encoder()
     stream.xuint(int(message.TYPE_CODE))
-    message.bundle(stream)
+    message.bundle(stream, version)
     return stream.getvalue()
 
 
-def decode_message(data: bytes) -> Message:
-    """Unbundle one frame payload into a message.
+def decode_message(data: bytes, *, version: int = PROTOCOL_VERSION) -> Message:
+    """Unbundle one frame payload encoded at ``version`` into a message.
 
     Raises :class:`ProtocolError` for unknown type codes and
     propagates :class:`XdrError` for malformed bodies.
@@ -319,7 +405,7 @@ def decode_message(data: bytes) -> Message:
     cls = _MESSAGE_TYPES.get(code)
     if cls is None:
         raise ProtocolError(f"unknown message type code {code}")
-    message = cls.unbundle(stream)
+    message = cls.unbundle(stream, version)
     try:
         stream.expect_exhausted()
     except XdrError as exc:

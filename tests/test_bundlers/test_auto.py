@@ -1,7 +1,7 @@
 """Tests for automatic bundler derivation (paper §3.1: the Lupine side)."""
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import pytest

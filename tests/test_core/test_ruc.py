@@ -6,7 +6,7 @@ real runtimes replace the fake with the upcall MessageChannel.
 """
 
 from dataclasses import dataclass
-from typing import Awaitable, Callable, Optional
+from typing import Awaitable, Callable
 
 import pytest
 

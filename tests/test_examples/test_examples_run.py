@@ -42,6 +42,11 @@ EXPECTATIONS = {
         "right window saw keys: vi",
         "moves applied by the move layer: 8",
     ],
+    "tracing_demo.py": [
+        "share one trace: yes",
+        "distributed upcalls that crossed the wire: 1",
+        "upcall.server.rtt_us.count = 1",
+    ],
     "chat.py": [
         "three clients joined",
         "[bob's screen] alice: anyone seen the 1988 proceedings?",

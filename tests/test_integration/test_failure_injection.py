@@ -163,11 +163,13 @@ class TestHostileBytes:
         await server.shutdown()
 
     @async_test
-    async def test_protocol_version_mismatch_rejected(self):
+    async def test_protocol_version_below_minimum_rejected(self):
+        """Peers older than MIN_PROTOCOL_VERSION cannot negotiate;
+        newer peers are fine (the wire downgrades to our version)."""
         server, address = await start()
         channel = MessageChannel(await dial(address))
         await channel.send(
-            HelloMessage(role=ChannelRole.RPC, protocol_version=99)
+            HelloMessage(role=ChannelRole.RPC, protocol_version=0)
         )
         with pytest.raises(ConnectionClosedError):
             for _ in range(3):

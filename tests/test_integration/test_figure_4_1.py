@@ -16,7 +16,6 @@ inside the server: screen::mouse → BaseW.mouse → U2.mouse.
 
 import itertools
 
-import pytest
 
 from repro import ClamClient, ClamServer, RemoteInterface
 from repro.wm import BaseWindow, EventKind, InputEvent, Screen, Window

@@ -7,7 +7,6 @@ through the full client/server stack, including user bundlers.
 
 import itertools
 
-import pytest
 
 from repro import ClamClient, ClamServer, RemoteInterface, Ref
 from repro.bundlers import InOut, Out

@@ -19,7 +19,6 @@ from repro import (
     RemoteInterface,
     UnknownClassError,
 )
-from repro.loader import source_of
 from tests.support import async_test, eventually
 
 _ids = itertools.count(1)

@@ -6,11 +6,9 @@ registrations while the server fans events out to all of them; the
 test asserts global counters reconcile exactly.
 """
 
-import asyncio
 import itertools
 from typing import Callable
 
-import pytest
 
 from repro import ClamClient, ClamServer, RemoteInterface
 from tests.support import async_test, gather_with_timeout

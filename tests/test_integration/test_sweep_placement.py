@@ -20,12 +20,11 @@ session's RPC loop.
 
 import itertools
 
-import pytest
 
 from repro import ClamClient, ClamServer
 from repro.tasks import TaskPool
 from repro.wm import BaseWindow, InputScript, Screen, SweepLayer
-from repro.wm.geometry import Point, Rect
+from repro.wm.geometry import Point
 from tests.support import async_test, eventually
 
 _ids = itertools.count(1)

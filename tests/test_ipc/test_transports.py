@@ -11,8 +11,8 @@ import asyncio
 import pytest
 
 from repro.errors import ConnectionClosedError, TransportError
-from repro.ipc import MemoryTransport, dial, serve
-from tests.support import async_test, eventually
+from repro.ipc import dial, serve
+from tests.support import async_test
 
 pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
 

@@ -229,3 +229,93 @@ class TestArqValidation:
         with pytest.raises(ArqError):
             await a.send_reliable("late")
         await b.close()
+
+
+class TestArqStatsAndMetrics:
+    """Coverage for stats(), RTT estimation, and registry mirroring."""
+
+    @async_test
+    async def test_stats_keys_and_counts_lossless(self):
+        a, b, _a_rx, b_rx = build_pair(LossyLink())
+        for i in range(5):
+            await a.send_reliable(f"p{i}")
+        await a.wait_all_acked()
+        stats = a.stats()
+        assert stats["sent"] == 5
+        assert stats["retransmissions"] == 0
+        assert stats["delivered"] == 0       # a received nothing
+        assert stats["outstanding"] == 0
+        assert b.stats()["delivered"] == 5
+        assert b.stats()["acks_sent"] == 5
+        assert len(b_rx) == 5
+        await a.close()
+        await b.close()
+
+    @async_test
+    async def test_rtt_sampled_on_clean_exchanges(self):
+        a, b, *_ = build_pair(LossyLink())
+        for i in range(4):
+            await a.send_reliable(f"p{i}")
+        await a.wait_all_acked()
+        stats = a.stats()
+        assert stats["rtt_samples"] == 4
+        assert stats["mean_rtt_us"] >= 0
+        assert a.mean_rtt_us >= 0
+        assert a.last_rtt_us >= 0
+        await a.close()
+        await b.close()
+
+    @async_test
+    async def test_karns_rule_excludes_retransmitted_frames(self):
+        """On a lossy link, retransmitted frames give no RTT sample —
+        their ACK cannot be matched to a specific transmission."""
+        link = LossyLink(drop_every_nth=2)  # drop frames 2, 4, 6, ...
+        a, b, *_ = build_pair(link, timeout=0.005)
+        for i in range(6):
+            await a.send_reliable(f"p{i}")
+        await a.wait_all_acked()
+        stats = a.stats()
+        assert stats["retransmissions"] > 0
+        # every sample that exists came from a never-retransmitted frame
+        assert stats["rtt_samples"] < stats["sent"] + stats["retransmissions"]
+        await a.close()
+        await b.close()
+
+    @async_test
+    async def test_metrics_registry_mirrors_counters_lossy(self):
+        """The retransmit counter and RTT histogram reach the shared
+        registry; the lossy-link scenario of the observability PR."""
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        link = LossyLink(drop_every_nth=3)
+        a_rx, b_rx = [], []
+
+        async def deliver_a(payload):
+            a_rx.append(payload)
+
+        async def deliver_b(payload):
+            b_rx.append(payload)
+
+        a = ArqEndpoint(link.send_from_a, deliver_a, window=4,
+                        retransmit_timeout=0.005, metrics=registry)
+        b = ArqEndpoint(link.send_from_b, deliver_b, window=4,
+                        retransmit_timeout=0.005, metrics=registry,
+                        metrics_prefix="arq.b")
+        link.attach_a(a.on_wire)
+        link.attach_b(b.on_wire)
+        for i in range(10):
+            await a.send_reliable(f"p{i}")
+        await a.wait_all_acked()
+        assert b_rx == [f"p{i}" for i in range(10)]
+        snap = registry.snapshot()
+        assert snap["arq.frames_sent"] == 10.0
+        # the drops forced retransmissions, and they were counted
+        assert snap["arq.retransmissions"] >= 1.0
+        assert snap["arq.retransmissions"] == float(a.retransmissions)
+        # RTT histogram exists whenever any clean sample was taken
+        if a.rtt_samples:
+            assert snap["arq.rtt_us.count"] == float(a.rtt_samples)
+            assert snap["arq.rtt_us.mean"] > 0
+        await a.close()
+        await b.close()

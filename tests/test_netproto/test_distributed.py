@@ -6,11 +6,9 @@ as distributed upcalls — per-fragment traffic never crosses the wire.
 """
 
 import itertools
-from typing import Callable
 
-import pytest
 
-from repro import ClamClient, ClamServer, RemoteInterface
+from repro import ClamClient, ClamServer
 from repro.netproto import NetworkDevice, SessionLayer, TransportLayer, fragment_message
 from repro.tasks import TaskPool
 from tests.support import async_test, eventually

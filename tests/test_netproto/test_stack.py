@@ -1,9 +1,6 @@
 """Tests for the device → transport → session stack, all local."""
 
-import pytest
-
 from repro.netproto import (
-    Fragment,
     NetworkDevice,
     SessionLayer,
     TransportLayer,

@@ -1,0 +1,138 @@
+"""Unit tests for the trace exporters and the tree renderer."""
+
+import io
+import json
+
+from repro.obs.export import (
+    ChromeTraceExporter,
+    JsonlExporter,
+    event_to_dict,
+    render_trace_tree,
+)
+from repro.trace import KIND_CALL, KIND_FLUSH, TimelineRecorder, Tracer
+
+
+def traced_pair():
+    """A tracer wired to a recorder, for driving exporters."""
+    tracer = Tracer()
+    recorder = TimelineRecorder()
+    tracer.subscribe(recorder)
+    return tracer, recorder
+
+
+class TestEventToDict:
+    def test_minimal_event_omits_empty_fields(self):
+        tracer, recorder = traced_pair()
+        tracer.point(KIND_FLUSH, "batch")
+        # points outside any span carry no trace identity
+        d = event_to_dict(recorder.events[0])
+        assert d["kind"] == KIND_FLUSH
+        assert "trace_id" not in d
+        assert "process" not in d
+
+    def test_span_event_carries_identity(self):
+        tracer, recorder = traced_pair()
+        with tracer.span(KIND_CALL, "x") as ctx:
+            pass
+        d = event_to_dict(recorder.events[-1], process="client")
+        assert d["trace_id"] == ctx.trace_id
+        assert d["span_id"] == ctx.span_id
+        assert d["process"] == "client"
+
+
+class TestJsonlExporter:
+    def test_writes_one_json_object_per_event(self):
+        sink = io.StringIO()
+        tracer = Tracer()
+        with JsonlExporter(sink) as exporter:
+            exporter.attach(tracer, process="client")
+            with tracer.span(KIND_CALL, "x"):
+                pass
+        lines = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert [d["phase"] for d in lines] == ["start", "end"]
+        assert all(d["process"] == "client" for d in lines)
+        assert exporter.events_written == 2
+
+    def test_close_unsubscribes(self):
+        sink = io.StringIO()
+        tracer = Tracer()
+        exporter = JsonlExporter(sink)
+        exporter.attach(tracer, process="p")
+        exporter.close()
+        assert not tracer.active
+
+    def test_owns_path_sink(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        tracer = Tracer()
+        with JsonlExporter(path) as exporter:
+            exporter.attach(tracer)
+            tracer.point(KIND_FLUSH, "batch")
+        with open(path, encoding="utf-8") as stream:
+            assert json.loads(stream.readline())["name"] == "batch"
+
+
+class TestChromeTraceExporter:
+    def test_complete_slices_and_process_lanes(self):
+        client, server = Tracer(), Tracer()
+        exporter = ChromeTraceExporter()
+        exporter.attach(client, "client")
+        exporter.attach(server, "server")
+        with client.span(KIND_CALL, "call") as ctx:
+            with server.span(KIND_CALL, "handler", parent=ctx):
+                pass
+        exporter.detach_all()
+        records = exporter.records
+        slices = [r for r in records if r["ph"] == "X"]
+        metas = [r for r in records if r["ph"] == "M"]
+        assert exporter.process_count() == 2
+        assert len(metas) == 2
+        assert len(slices) == 2
+        # both spans belong to one trace, so they share a tid
+        assert len({r["tid"] for r in slices}) == 1
+        assert {r["pid"] for r in slices} == {1, 2}
+        for r in slices:
+            assert r["dur"] >= 0
+            assert r["args"]["trace_id"] == ctx.trace_id
+
+    def test_to_json_is_loadable(self):
+        tracer = Tracer()
+        exporter = ChromeTraceExporter()
+        exporter.attach(tracer, "p")
+        with tracer.span(KIND_CALL, "x"):
+            pass
+        doc = json.loads(exporter.to_json())
+        assert "traceEvents" in doc
+
+    def test_write_file(self, tmp_path):
+        tracer = Tracer()
+        exporter = ChromeTraceExporter()
+        exporter.attach(tracer, "p")
+        with tracer.span(KIND_CALL, "x"):
+            pass
+        path = str(tmp_path / "trace.json")
+        exporter.write(path)
+        with open(path, encoding="utf-8") as stream:
+            assert json.load(stream)["traceEvents"]
+
+
+class TestRenderTraceTree:
+    def test_cross_process_nesting(self):
+        client, server = traced_pair(), traced_pair()
+        with client[0].span(KIND_CALL, "call") as ctx:
+            with server[0].span(KIND_CALL, "handler", parent=ctx):
+                server[0].point(KIND_FLUSH, "mark")
+        text = render_trace_tree(
+            {"client": client[1].events, "server": server[1].events}
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("trace ")
+        call_line = next(line for line in lines if "call [client]" in line)
+        handler_line = next(line for line in lines if "handler [server]" in line)
+        point_line = next(line for line in lines if "* " in line)
+        # nesting shows as increasing indentation
+        assert lines.index(call_line) < lines.index(handler_line)
+        assert len(handler_line) - len(handler_line.lstrip("|` -")) > 0
+        assert "mark" in point_line
+
+    def test_empty(self):
+        assert render_trace_tree({}) == "(no traced spans)"

@@ -1,0 +1,110 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_spaced_buckets,
+)
+
+
+class TestBuckets:
+    def test_log_spaced_shape(self):
+        bounds = log_spaced_buckets(1.0, 1000.0, per_decade=1)
+        assert bounds == (1.0, 10.0, 100.0, 1000.0)
+
+    def test_default_scale_spans_us_to_seconds(self):
+        assert DEFAULT_LATENCY_BUCKETS_US[0] == 1.0
+        assert DEFAULT_LATENCY_BUCKETS_US[-1] == 1e7
+        assert len(DEFAULT_LATENCY_BUCKETS_US) == 22  # 7 decades * 3 + 1
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            log_spaced_buckets(0.0, 10.0)
+        with pytest.raises(ValueError):
+            log_spaced_buckets(10.0, 1.0)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_gauge(self):
+        g = Gauge("depth")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3.0
+
+    def test_histogram_count_sum_max_mean(self):
+        h = Histogram("lat", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            h.observe(value)
+        assert h.count == 4
+        assert h.total == 555.5
+        assert h.max == 500.0
+        assert h.mean == pytest.approx(138.875)
+        # one observation per bucket, overflow included
+        assert h.bucket_counts == [1, 1, 1, 1]
+
+    def test_histogram_quantiles_from_bucket_bounds(self):
+        h = Histogram("lat", bounds=(1.0, 10.0, 100.0))
+        for _ in range(98):
+            h.observe(5.0)
+        h.observe(50.0)
+        h.observe(5000.0)
+        assert h.quantile(0.5) == 10.0
+        assert h.quantile(0.99) == 100.0
+        # the top quantile reports the observed max, not a bound
+        assert h.quantile(1.0) == 5000.0
+
+    def test_histogram_empty_quantile(self):
+        assert Histogram("lat").quantile(0.5) == 0.0
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", bounds=(10.0, 1.0))
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").quantile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_snapshot_flattens_to_floats(self):
+        reg = MetricsRegistry()
+        reg.counter("calls").inc(3)
+        reg.gauge("depth").set(2)
+        reg.histogram("lat").observe(42.0)
+        snap = reg.snapshot()
+        assert snap["calls"] == 3.0
+        assert snap["depth"] == 2.0
+        assert snap["lat.count"] == 1.0
+        assert snap["lat.sum"] == 42.0
+        assert snap["lat.mean"] == 42.0
+        assert snap["lat.max"] == 42.0
+        assert all(isinstance(v, float) for v in snap.values())
+
+    def test_render_mentions_every_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("calls").inc()
+        reg.histogram("lat").observe(1.0)
+        text = reg.render()
+        assert "calls" in text
+        assert "lat" in text
+
+    def test_render_empty(self):
+        assert "(none recorded)" in MetricsRegistry().render()

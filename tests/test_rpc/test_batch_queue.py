@@ -5,7 +5,7 @@ import asyncio
 import pytest
 
 from repro.rpc import BatchQueue
-from repro.wire import BatchMessage, CallMessage
+from repro.wire import CallMessage
 from tests.support import async_test, eventually
 
 

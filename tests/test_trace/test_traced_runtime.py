@@ -15,7 +15,7 @@ from repro.trace import (
     KIND_UPCALL,
     TimelineRecorder,
 )
-from tests.support import async_test, eventually
+from tests.support import async_test
 
 _ids = itertools.count(1)
 

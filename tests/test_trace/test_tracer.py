@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.obs.context import SpanContext, current_context, using_context
 from repro.trace import (
     KIND_CALL,
     TimelineRecorder,
@@ -69,6 +70,78 @@ class TestTracer:
         tracer.point("x", "y")
         assert len(a) == len(b) == 1
 
+    def test_inactive_span_yields_none_and_only_counts(self):
+        tracer = Tracer()
+        with tracer.span(KIND_CALL, "Window.draw") as ctx:
+            assert ctx is None
+        assert tracer.counters[(KIND_CALL, "start")] == 1
+        assert tracer.counters[(KIND_CALL, "end")] == 1
+        assert tracer.counters[(KIND_CALL, "error")] == 0
+
+    def test_inactive_span_counts_errors(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span(KIND_CALL, "Window.draw"):
+                raise ValueError("nope")
+        assert tracer.counters[(KIND_CALL, "error")] == 1
+        assert tracer.counters[(KIND_CALL, "end")] == 0
+
+
+class TestSpanContextLinkage:
+    def test_nested_spans_share_trace_and_link_parent(self):
+        tracer = Tracer()
+        events = []
+        tracer.subscribe(events.append)
+        with tracer.span(KIND_CALL, "outer") as outer:
+            with tracer.span(KIND_CALL, "inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.span_id != outer.span_id
+        inner_start = [e for e in events if e.name == "inner"][0]
+        assert inner_start.parent_id == outer.span_id
+
+    def test_sibling_roots_get_distinct_traces(self):
+        tracer = Tracer()
+        tracer.subscribe(lambda e: None)
+        with tracer.span(KIND_CALL, "a") as a:
+            pass
+        with tracer.span(KIND_CALL, "b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+    def test_explicit_remote_parent_joins_its_trace(self):
+        tracer = Tracer()
+        events = []
+        tracer.subscribe(events.append)
+        remote = SpanContext(trace_id="cafe" * 4, span_id=77)
+        with tracer.span(KIND_CALL, "handler", parent=remote) as ctx:
+            pass
+        assert ctx.trace_id == remote.trace_id
+        assert events[0].parent_id == 77
+
+    def test_span_restores_previous_context(self):
+        tracer = Tracer()
+        tracer.subscribe(lambda e: None)
+        assert current_context() is None
+        with tracer.span(KIND_CALL, "x") as ctx:
+            assert current_context() == ctx
+        assert current_context() is None
+
+    def test_point_attributes_to_current_span(self):
+        tracer = Tracer()
+        events = []
+        tracer.subscribe(events.append)
+        with tracer.span(KIND_CALL, "outer") as ctx:
+            tracer.point("flush", "batch")
+        point = [e for e in events if e.phase == "point"][0]
+        assert point.trace_id == ctx.trace_id
+        assert point.parent_id == ctx.span_id
+
+    def test_using_context_propagates_without_tracing(self):
+        remote = SpanContext(trace_id="beef" * 4, span_id=9)
+        with using_context(remote):
+            assert current_context() == remote
+        assert current_context() is None
+
 
 class TestTimelineRecorder:
     def test_records_and_summarizes(self):
@@ -83,7 +156,25 @@ class TestTimelineRecorder:
         summary = recorder.summary()
         assert summary["call"]["count"] == 2
         assert summary["call"]["mean_us"] >= 0
-        assert summary["flush"]["count"] == 1
+        # Points are not completed spans: they count separately.
+        assert summary["flush"]["count"] == 0
+        assert summary["flush"]["points"] == 1
+
+    def test_summary_separates_errors_from_mean(self):
+        tracer = Tracer()
+        recorder = TimelineRecorder()
+        tracer.subscribe(recorder)
+        with tracer.span("call", "ok"):
+            pass
+        with pytest.raises(RuntimeError):
+            with tracer.span("call", "boom"):
+                raise RuntimeError("x")
+        summary = recorder.summary()
+        assert summary["call"]["count"] == 1
+        assert summary["call"]["errors"] == 1
+        # mean_us reflects only the successful span.
+        ok_end = [e for e in recorder.events if e.phase == "end"][0]
+        assert summary["call"]["mean_us"] == pytest.approx(ok_end.duration_us)
 
     def test_of_kind(self):
         recorder = TimelineRecorder()

@@ -5,7 +5,6 @@ removed window's hole), :meth:`BaseWindow.repair` restores the
 windows underneath in stacking order.
 """
 
-import pytest
 
 from repro.wm import BaseWindow, InputScript, Screen, SweepLayer, Window
 from repro.wm.geometry import Point, Rect

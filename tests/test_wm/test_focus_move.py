@@ -1,6 +1,5 @@
 """Tests for the focus and move layers, titles, tap, and hit-testing."""
 
-import pytest
 
 from repro.wm import (
     BaseWindow,

@@ -1,9 +1,8 @@
 """Tests for Window/BaseWindow routing (paper §4.2, Figure 4.1)."""
 
-import pytest
 
 from repro.wm import BaseWindow, EventKind, InputEvent, Screen, Window
-from repro.wm.geometry import Point, Rect
+from repro.wm.geometry import Rect
 from tests.support import async_test
 
 

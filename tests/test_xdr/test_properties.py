@@ -6,7 +6,6 @@ Invariants:
 - concatenated encodings decode field-by-field in order.
 """
 
-import struct
 
 from hypothesis import given, strategies as st
 
