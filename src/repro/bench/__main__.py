@@ -9,6 +9,9 @@ Usage::
     python -m repro.bench sweep      # the §2.1 placement experiment
     python -m repro.bench tasks      # the §4.4 task-reuse ablation
     python -m repro.bench upcalls    # the §4.4 channel-layout + concurrency ablations
+
+    python -m repro.bench --json BENCH_rpc.json           # perf record
+    python -m repro.bench --json BENCH_rpc.json --quick   # CI smoke mode
 """
 
 from __future__ import annotations
@@ -38,7 +41,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "suite", nargs="?", choices=SUITES + ("all",), default="all"
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write a machine-readable marshalling perf record (median/p95 "
+        "per benchmark, git SHA, date) instead of the evaluation tables",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="with --json: fewer repeats, for CI smoke runs",
+    )
     args = parser.parse_args(argv)
+
+    if args.json:
+        from repro.bench import perf_record
+
+        perf_record.write_record(args.json, quick=args.quick)
+        return 0
+
     selected = SUITES if args.suite == "all" else (args.suite,)
 
     with tempfile.TemporaryDirectory(prefix="clam-bench-") as base_dir:

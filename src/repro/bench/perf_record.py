@@ -1,0 +1,178 @@
+"""Machine-readable perf record for the marshalling hot path.
+
+``python -m repro.bench --json BENCH_rpc.json`` times the
+encode→wire→decode pipeline with plain ``time.perf_counter`` loops and
+writes one JSON document: per-benchmark median/p95 microseconds, the
+git SHA and date, and the derived compiled-vs-interpreted speedups.
+Committing the file per PR gives the ROADMAP its tracked perf
+trajectory — numbers are comparable run over run on the same machine,
+and the *ratios* (speedups, per-call overheads) are comparable across
+machines.
+
+The benchmarks here deliberately measure the same operations as
+``benchmarks/test_bundlers.py``/``test_xdr.py`` but without the
+pytest-benchmark dependency, so the record can be produced in CI smoke
+mode and on developer machines with one command.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import json
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from typing import Any, Callable
+
+from repro.bundlers.auto import derive_bundler
+from repro.wire import CallMessage, decode_message, encode_message
+from repro.xdr import XdrStream
+
+#: Bump when the record layout changes incompatibly.
+SCHEMA = 1
+
+
+# -- workloads ----------------------------------------------------------------
+
+@dataclasses.dataclass
+class _Point:
+    x: int
+    y: int
+
+
+@dataclasses.dataclass
+class _Reading:
+    sensor: int
+    seq: int
+    value: float
+    scale: float
+
+
+def _xdr_primitives() -> None:
+    enc = XdrStream.encoder()
+    for i in range(50):
+        enc.xint(i)
+        enc.xdouble(i * 0.5)
+        enc.xstring("label")
+    data = enc.getvalue()
+    enc.release()
+    dec = XdrStream.decoder(data)
+    for _ in range(50):
+        dec.xint()
+        dec.xdouble()
+        dec.xstring()
+
+
+def _record_roundtrip(bundler, items) -> None:
+    enc = XdrStream.encoder()
+    enc.xarray(bundler, items)
+    data = enc.getvalue()
+    enc.release()
+    XdrStream.decoder(data).xarray(bundler)
+
+
+def _message_roundtrip() -> None:
+    message = CallMessage(
+        serial=7, oid=3, tag=9, method="move", args=b"\x01\x02\x03" * 10,
+        expects_reply=True, trace_id="t-abc", parent_span=77,
+    )
+    for _ in range(20):
+        decode_message(encode_message(message))
+
+
+def _workloads() -> dict[str, Callable[[], None]]:
+    compiled_point = derive_bundler(_Point)
+    compiled_reading = derive_bundler(_Reading)
+    interp_point = getattr(compiled_point, "interpreted", compiled_point)
+    interp_reading = getattr(compiled_reading, "interpreted", compiled_reading)
+    points = [_Point(i, -i) for i in range(100)]
+    readings = [_Reading(i, i * 2, i * 0.5, 1.5) for i in range(100)]
+    return {
+        "xdr_primitives_x50": _xdr_primitives,
+        "bundle_point_x100_compiled": lambda: _record_roundtrip(compiled_point, points),
+        "bundle_point_x100_interpreted": lambda: _record_roundtrip(interp_point, points),
+        "bundle_reading_x100_compiled": lambda: _record_roundtrip(compiled_reading, readings),
+        "bundle_reading_x100_interpreted": lambda: _record_roundtrip(interp_reading, readings),
+        "wire_call_message_x20": _message_roundtrip,
+    }
+
+
+# -- measurement --------------------------------------------------------------
+
+def _measure(fn: Callable[[], None], repeats: int) -> dict[str, float]:
+    fn()  # warm caches (compiled plans, struct objects, buffer pool)
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1e6)
+    samples.sort()
+    p95_index = min(len(samples) - 1, round(0.95 * (len(samples) - 1)))
+    return {
+        "median_us": round(statistics.median(samples), 3),
+        "p95_us": round(samples[p95_index], 3),
+        "min_us": round(samples[0], 3),
+        "repeats": repeats,
+    }
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        )
+        return out.stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def collect(quick: bool = False) -> dict[str, Any]:
+    """Run the suite and return the perf record as a plain dict."""
+    repeats = 20 if quick else 200
+    benchmarks = {
+        name: _measure(fn, repeats) for name, fn in _workloads().items()
+    }
+
+    def speedup(kind: str) -> float:
+        interp = benchmarks[f"bundle_{kind}_x100_interpreted"]["median_us"]
+        comp = benchmarks[f"bundle_{kind}_x100_compiled"]["median_us"]
+        return round(interp / comp, 2) if comp else 0.0
+
+    return {
+        "schema": SCHEMA,
+        "git_sha": _git_sha(),
+        "date": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "quick": quick,
+        "benchmarks": benchmarks,
+        "derived": {
+            "compiled_speedup_point": speedup("point"),
+            "compiled_speedup_reading": speedup("reading"),
+        },
+    }
+
+
+def write_record(path: str, quick: bool = False) -> dict[str, Any]:
+    """Collect, write ``path``, print a short table; returns the record."""
+    record = collect(quick=quick)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    width = max(len(name) for name in record["benchmarks"])
+    print(f"perf record -> {path}  (git {record['git_sha'][:12]}, "
+          f"{'quick' if quick else 'full'} mode)")
+    for name, stats in record["benchmarks"].items():
+        print(f"  {name:<{width}}  median {stats['median_us']:>9.1f}us  "
+              f"p95 {stats['p95_us']:>9.1f}us")
+    for name, value in record["derived"].items():
+        print(f"  {name}: {value}x")
+    return record
+
+
+if __name__ == "__main__":
+    write_record(sys.argv[1] if len(sys.argv) > 1 else "BENCH_rpc.json")

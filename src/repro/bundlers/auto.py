@@ -147,17 +147,35 @@ def structural_resolver(annotation: Any, registry: BundlerRegistry) -> Bundler |
     return None
 
 
+#: One wrapper per canonical filter, so the compiled-plan cache (keyed
+#: by the resolved bundler objects) hits across registries and the
+#: ``filter_fn`` identity check in :mod:`repro.bundlers.compiled` sees
+#: a stable object.
+_FILTER_WRAPPERS: dict[Filter, Bundler] = {}
+
+
 def _wrap_filter(filter_fn: Filter) -> Bundler:
     """Adapt an XDR filter (which ignores extra args) to the bundler shape."""
+    cached = _FILTER_WRAPPERS.get(filter_fn)
+    if cached is not None:
+        return cached
 
     def bundler(stream: XdrStream, value, *extra):
         return filter_fn(stream, value)
 
     bundler.__name__ = f"auto_{filter_fn.__name__}"
+    bundler.filter_fn = filter_fn
+    _FILTER_WRAPPERS[filter_fn] = bundler
     return bundler
 
 
+_ENUM_BUNDLERS: dict[type, Bundler] = {}
+
+
 def _enum_bundler(enum_cls: type[enum.Enum]) -> Bundler:
+    cached = _ENUM_BUNDLERS.get(enum_cls)
+    if cached is not None:
+        return cached
     values = []
     for member in enum_cls:
         if not isinstance(member.value, int):
@@ -177,6 +195,9 @@ def _enum_bundler(enum_cls: type[enum.Enum]) -> Bundler:
         return enum_cls(stream.xenum(allowed=allowed))
 
     enum_bundler.__name__ = f"auto_enum_{enum_cls.__name__}"
+    enum_bundler.enum_cls = enum_cls
+    enum_bundler.allowed = allowed
+    _ENUM_BUNDLERS[enum_cls] = enum_bundler
     return enum_bundler
 
 
@@ -215,4 +236,12 @@ def _dataclass_bundler(cls: type, registry: BundlerRegistry) -> Bundler:
         return cls(**kwargs)
 
     struct_bundler.__name__ = f"auto_struct_{cls.__name__}"
-    return struct_bundler
+
+    # Fuse runs of fixed-size primitive fields into one struct.Struct
+    # (see repro.bundlers.compiled).  Falls back to struct_bundler when
+    # fewer than two fields fuse; the compiled wrapper itself replays
+    # struct_bundler for anything its fast path declines.
+    from repro.bundlers.compiled import make_compiled_bundler
+
+    compiled = make_compiled_bundler(cls, field_bundlers, struct_bundler)
+    return compiled if compiled is not None else struct_bundler

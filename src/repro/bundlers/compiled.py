@@ -1,0 +1,460 @@
+"""Compiled bundler plans: one C call per record (HAM-style fast path).
+
+The automatic struct bundler of :mod:`repro.bundlers.auto` walks a
+record field by field: one Python call chain and one ``struct.pack``
+per field.  For the common case the paper leans on — pointer-free
+records of fixed-size primitives (§3.1's ``Point``) — that interpreted
+walk is pure overhead: the wire layout is known at derivation time.
+
+This module *compiles* such field plans.  A run of consecutive
+fixed-size primitive filters (int/uint/hyper/uhyper/float/double/
+bool/short/enum, plus nested records that themselves compiled fully)
+is fused into a single precompiled :class:`struct.Struct`, so encoding
+a record is one attribute gather + one ``pack`` and decoding is one
+``unpack_from`` + one constructor call.  Variable-length fields
+(strings, opaques, lists, optionals) break the run: the record plan
+interleaves fused segments with per-field interpreted steps, and a
+record with fewer than two fusable scalars simply keeps the
+interpreted bundler.
+
+Correctness contract (tested property-style in
+``tests/test_bundlers/test_compiled.py``):
+
+- wire output is byte-identical to the interpreted path for every
+  value the interpreted path accepts;
+- any value or wire input the fast path cannot handle is replayed
+  through the interpreted bundler from a rewind point, so error
+  behaviour (exception type and message) matches exactly;
+- compilation only recognizes the *canonical* filters, by function
+  identity — a registry with a user bundler registered for a field
+  type resolves that field to an unknown callable, which breaks the
+  run and preserves §3.2's precedence rules.
+
+Plans are cached per record class (keyed by the exact resolved field
+bundlers), so repeated derivation across registries is one dict hit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import struct
+from operator import attrgetter, itemgetter
+from typing import Any, Callable, Optional
+
+from repro.errors import BundleError
+from repro.bundlers.base import Bundler
+from repro.xdr import filters as _filters
+from repro.xdr.stream import XdrOp
+
+_ENCODE = XdrOp.ENCODE
+
+#: Kill switch: set False to always use the interpreted path (bench
+#: comparisons, debugging).  Affects derivations from then on.
+ENABLED = True
+
+_INT16_MIN, _INT16_MAX = -(2**15), 2**15 - 1
+
+
+class _Reject(Exception):
+    """Internal: the fast path declines; replay through the interpreted path."""
+
+
+# -- leaf recognition ---------------------------------------------------------
+
+#: Canonical fixed-size filters → (struct format char, leaf kind).
+#: Recognition is by function identity: anything else breaks the run.
+_PRIMITIVE_FORMATS: dict[Callable, tuple[str, str]] = {
+    _filters.xint: ("i", "int"),
+    _filters.xuint: ("I", "int"),
+    _filters.xhyper: ("q", "int"),
+    _filters.xuhyper: ("Q", "int"),
+    _filters.xfloat: ("f", "float"),
+    _filters.xdouble: ("d", "float"),
+    _filters.xbool: ("i", "bool"),
+    _filters.xshort: ("i", "short"),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class _Leaf:
+    """One fused scalar: where it lives and how to check/convert it."""
+
+    path: tuple[str, ...]
+    fmt: str
+    kind: str                       # int | float | bool | short | enum
+    enum_cls: type | None = None
+
+    def encode_check(self) -> Callable[[Any], Any] | None:
+        """Converter applied before pack, or None when pack's own
+        validation suffices.
+
+        ``struct`` already rejects non-ints and out-of-range values
+        for integer formats and non-numbers for float formats; the
+        checks here cover only what it would silently accept but the
+        interpreted path rejects (bools in int/float slots, int16
+        range inside an int32 slot, enum typing).  A check that fails
+        raises :class:`_Reject`, triggering the interpreted replay.
+        """
+        kind = self.kind
+        if kind in ("int", "float"):
+            def check(v):
+                if type(v) is bool:
+                    raise _Reject
+                return v
+        elif kind == "bool":
+            def check(v):
+                if type(v) is not bool:
+                    raise _Reject
+                return 1 if v else 0
+        elif kind == "short":
+            def check(v):
+                if type(v) is bool or not isinstance(v, int) \
+                        or not _INT16_MIN <= v <= _INT16_MAX:
+                    raise _Reject
+                return v
+        else:  # enum
+            enum_cls = self.enum_cls
+            def check(v):
+                if not isinstance(v, enum_cls):
+                    raise _Reject
+                return v.value
+        return check
+
+    def decode_convert(self) -> Callable[[Any], Any] | None:
+        """Converter applied after unpack, or None for raw values."""
+        kind = self.kind
+        if kind in ("int", "float"):
+            return None
+        if kind == "bool":
+            def conv(v):
+                if v not in (0, 1):
+                    raise _Reject
+                return bool(v)
+            return conv
+        if kind == "short":
+            def conv(v):
+                if not _INT16_MIN <= v <= _INT16_MAX:
+                    raise _Reject
+                return v
+            return conv
+        members = {m.value: m for m in self.enum_cls}
+        def conv(v):
+            member = members.get(v)
+            if member is None:
+                raise _Reject
+            return member
+        return conv
+
+
+def _leaf_for(bundler: Bundler, path: tuple[str, ...]) -> Optional[_Leaf]:
+    """Recognize one field bundler as a fused scalar, or None."""
+    fn = getattr(bundler, "filter_fn", bundler)
+    spec = _PRIMITIVE_FORMATS.get(fn)
+    if spec is not None:
+        return _Leaf(path=path, fmt=spec[0], kind=spec[1])
+    enum_cls = getattr(bundler, "enum_cls", None)
+    if isinstance(enum_cls, type) and issubclass(enum_cls, enum.Enum):
+        return _Leaf(path=path, fmt="i", kind="enum", enum_cls=enum_cls)
+    return None
+
+
+# -- plan structure -----------------------------------------------------------
+
+#: A segment "shape" describes, per constructor argument the segment
+#: contributes, either the int 1 (one scalar leaf) or a tuple
+#: ``(nested_cls, nested_shapes, leaf_count)`` for a sub-record.
+Shape = Any
+
+
+def _arg_makers(shapes: list[Shape], convs: list, start: int) -> list[Callable[[tuple], Any]]:
+    """Per constructor argument, a callable ``raw_tuple -> value``.
+
+    Indices into the raw tuple are absolute, precomputed at compile
+    time; nested records recurse.  ``convs`` is the slice of decode
+    converters covering exactly these shapes.
+    """
+    makers: list[Callable[[tuple], Any]] = []
+    i = start
+    for shape in shapes:
+        if shape == 1:
+            conv = convs[i - start]
+            if conv is None:
+                makers.append(itemgetter(i))
+            else:
+                makers.append(lambda raw, _i=i, _c=conv: _c(raw[_i]))
+            i += 1
+        else:
+            nested_cls, nested_shapes, count = shape
+            nested = tuple(_arg_makers(nested_shapes, convs[i - start:i - start + count], i))
+            makers.append(
+                lambda raw, _cls=nested_cls, _ms=nested: _cls(*[m(raw) for m in _ms])
+            )
+            i += count
+    return makers
+
+
+class _FusedSegment:
+    """A maximal run of fused scalars: one Struct, one pack/unpack."""
+
+    __slots__ = ("struct", "leaves", "shapes", "getters", "checks", "arg_makers",
+                 "flat_ctor", "simple_getall")
+
+    def __init__(self, flat_cls: type | None, leaves: list[_Leaf], shapes: list[Shape]):
+        self.leaves = leaves
+        self.shapes = shapes
+        self.struct = struct.Struct(">" + "".join(leaf.fmt for leaf in leaves))
+        self.getters = [attrgetter(".".join(leaf.path)) for leaf in leaves]
+        self.checks = [leaf.encode_check() for leaf in leaves]
+        #: For all-int/float segments of ≥2 leaves the whole gather is
+        #: one multi-attribute ``attrgetter`` call, and the only check
+        #: struct.pack does not already perform is rejecting bools —
+        #: done in one C pass with ``bool in map(type, vals)``.
+        self.simple_getall = (
+            attrgetter(*(".".join(leaf.path) for leaf in leaves))
+            if len(leaves) >= 2 and all(leaf.kind in ("int", "float") for leaf in leaves)
+            else None
+        )
+        convs = [leaf.decode_convert() for leaf in leaves]
+        self.arg_makers = _arg_makers(shapes, convs, start=0)
+        #: When the segment is an entire flat record with no decode
+        #: conversions, decoding is literally ``cls(*raw)``.
+        self.flat_ctor = (
+            flat_cls
+            if flat_cls is not None
+            and all(s == 1 for s in shapes)
+            and all(c is None for c in convs)
+            else None
+        )
+
+
+class CompiledPlan:
+    """The compiled layout of one record class."""
+
+    def __init__(self, cls: type, steps: list, field_count: int):
+        self.cls = cls
+        #: Alternating ("fused", _FusedSegment) / ("field", name, bundler)
+        #: entries in declaration order.
+        self.steps = steps
+        self.field_count = field_count
+
+    @property
+    def fused_leaves(self) -> int:
+        return sum(len(s[1].leaves) for s in self.steps if s[0] == "fused")
+
+    @property
+    def fully_fused(self) -> bool:
+        """True when the whole record is one Struct (spliceable into a
+        parent record's run)."""
+        return len(self.steps) == 1 and self.steps[0][0] == "fused"
+
+    def describe(self) -> str:
+        """Human-readable plan, for docs/tests/debugging."""
+        parts = []
+        for step in self.steps:
+            if step[0] == "fused":
+                parts.append(f"fused[>{''.join(lf.fmt for lf in step[1].leaves)}]")
+            else:
+                parts.append(f"interpreted[{step[1]}]")
+        return f"{self.cls.__name__}: " + " + ".join(parts)
+
+
+def _constructible_positionally(cls: type) -> bool:
+    """True when ``cls(*field_values_in_order)`` equals ``cls(**kwargs)``."""
+    try:
+        fields = dataclasses.fields(cls)
+    except TypeError:
+        return False
+    return all(f.init and not getattr(f, "kw_only", False) for f in fields)
+
+
+# -- compilation --------------------------------------------------------------
+
+_PLAN_CACHE: dict[tuple, Optional[CompiledPlan]] = {}
+_PLAN_CACHE_MAX = 1024
+
+
+def compile_plan(cls: type, field_bundlers: list[tuple[str, Bundler]]) -> Optional[CompiledPlan]:
+    """Compile ``cls``'s field plan, or return None when nothing fuses.
+
+    ``field_bundlers`` are the bundlers the registry actually resolved,
+    so a user registration for any field type is honoured by falling
+    back — the unknown bundler breaks the run.
+    """
+    if not ENABLED or not _constructible_positionally(cls):
+        return None
+    key = (cls, tuple(bundler for _name, bundler in field_bundlers))
+    if key in _PLAN_CACHE:
+        return _PLAN_CACHE[key]
+
+    steps: list = []
+    run_leaves: list[_Leaf] = []
+    run_shapes: list[Shape] = []
+
+    def close_run(flat_cls: type | None = None) -> None:
+        if run_leaves:
+            steps.append(("fused", _FusedSegment(flat_cls, list(run_leaves), list(run_shapes))))
+            run_leaves.clear()
+            run_shapes.clear()
+
+    for name, bundler in field_bundlers:
+        leaf = _leaf_for(bundler, (name,))
+        if leaf is not None:
+            run_leaves.append(leaf)
+            run_shapes.append(1)
+            continue
+        nested = getattr(bundler, "plan", None)
+        if isinstance(nested, CompiledPlan) and nested.fully_fused:
+            seg = nested.steps[0][1]
+            for sub in seg.leaves:
+                run_leaves.append(dataclasses.replace(sub, path=(name,) + sub.path))
+            run_shapes.append((nested.cls, seg.shapes, len(seg.leaves)))
+            continue
+        close_run()
+        steps.append(("field", name, bundler))
+    # A run closed only now, with no interpreted steps before it,
+    # covers the whole record.
+    close_run(flat_cls=cls if not steps else None)
+
+    fused = sum(len(s[1].leaves) for s in steps if s[0] == "fused")
+    plan = CompiledPlan(cls, steps, len(field_bundlers)) if fused >= 2 else None
+    if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+        _PLAN_CACHE.clear()
+    _PLAN_CACHE[key] = plan
+    return plan
+
+
+# -- the compiled bundler -----------------------------------------------------
+
+def make_compiled_bundler(
+    cls: type,
+    field_bundlers: list[tuple[str, Bundler]],
+    interpreted: Bundler,
+) -> Optional[Bundler]:
+    """Wrap ``interpreted`` with the compiled fast path, if one compiles.
+
+    Returns None when the plan does not fuse at least two scalars, in
+    which case the caller keeps the interpreted bundler.  The returned
+    bundler exposes ``.plan`` (the :class:`CompiledPlan`) and
+    ``.interpreted`` (the exact slow path it shadows).
+    """
+    plan = compile_plan(cls, field_bundlers)
+    if plan is None:
+        return None
+
+    # Precompute per-step closures once, outside the hot path.
+    enc_steps: list = []
+    dec_steps: list = []
+    for step in plan.steps:
+        if step[0] == "fused":
+            seg = step[1]
+            enc_steps.append(("fused", seg.struct,
+                              tuple(zip(seg.getters, seg.checks)), seg.simple_getall))
+            dec_steps.append(("fused", seg.struct, tuple(seg.arg_makers), seg.flat_ctor))
+        else:
+            _tag, name, bundler = step
+            enc_steps.append(("field", attrgetter(name), bundler))
+            dec_steps.append(("field", bundler))
+
+    if plan.fully_fused:
+        seg = plan.steps[0][1]
+        s = seg.struct
+        pack = s.pack
+        unpack_from = s.unpack_from
+        size = s.size
+        pairs = tuple(zip(seg.getters, seg.checks))
+        getall = seg.simple_getall
+        arg_makers = tuple(seg.arg_makers)
+        flat_ctor = seg.flat_ctor
+
+        # The hot path touches XdrStream internals directly (``_buffer``,
+        # ``_view``, ``_pos``) instead of mark()/write_packed()/read_struct():
+        # at one Struct call per record, three Python method calls per op
+        # would be most of the remaining cost.  The semantics mirror those
+        # methods exactly; ``struct`` raises on underflow or bad values and
+        # the except clause rewinds and replays the interpreted bundler.
+        def compiled_bundler(stream, value, *extra):
+            if stream._op is _ENCODE:
+                if value.__class__ is not cls and not isinstance(value, cls):
+                    raise BundleError(f"expected {cls.__name__}, got {value!r}")
+                buf = stream._buffer
+                marker = len(buf)
+                try:
+                    if getall is not None:
+                        vals = getall(value)
+                        if bool in map(type, vals):
+                            raise _Reject
+                        buf += pack(*vals)
+                    else:
+                        buf += pack(*[c(g(value)) if c else g(value)
+                                      for g, c in pairs])
+                    return value
+                except Exception:
+                    del buf[marker:]
+                    return interpreted(stream, value, *extra)
+            pos = stream._pos
+            try:
+                raw = unpack_from(stream._view, pos)
+                stream._pos = pos + size
+                if flat_ctor is not None:
+                    return flat_ctor(*raw)
+                return cls(*[m(raw) for m in arg_makers])
+            except Exception:
+                stream._pos = pos
+                return interpreted(stream, None, *extra)
+    else:
+        def compiled_bundler(stream, value, *extra):
+            if stream.encoding:
+                if value.__class__ is not cls and not isinstance(value, cls):
+                    raise BundleError(f"expected {cls.__name__}, got {value!r}")
+                marker = stream.mark()
+                try:
+                    for step in enc_steps:
+                        if step[0] == "fused":
+                            _t, st, st_pairs, st_getall = step
+                            if st_getall is not None:
+                                vals = st_getall(value)
+                                if bool in map(type, vals):
+                                    raise _Reject
+                                stream.write_packed(st.pack(*vals))
+                            else:
+                                stream.write_packed(
+                                    st.pack(*[c(g(value)) if c else g(value)
+                                              for g, c in st_pairs])
+                                )
+                        else:
+                            _t, getter, bundler = step
+                            bundler(stream, getter(value))
+                    return value
+                except BundleError:
+                    raise
+                except Exception:
+                    stream.reset_to(marker)
+                    return interpreted(stream, value, *extra)
+            marker = stream.mark()
+            try:
+                args: list = []
+                for step in dec_steps:
+                    if step[0] == "fused":
+                        _t, st, makers, _flat = step
+                        raw = stream.read_struct(st)
+                        args.extend(m(raw) for m in makers)
+                    else:
+                        args.append(step[1](stream, None))
+                return cls(*args)
+            except BundleError:
+                raise
+            except Exception:
+                stream.reset_to(marker)
+                return interpreted(stream, None, *extra)
+
+    compiled_bundler.__name__ = f"compiled_struct_{cls.__name__}"
+    compiled_bundler.plan = plan
+    compiled_bundler.interpreted = interpreted
+    return compiled_bundler
+
+
+def plan_for(bundler: Bundler) -> Optional[CompiledPlan]:
+    """The compiled plan behind a derived bundler, if any (introspection)."""
+    plan = getattr(bundler, "plan", None)
+    return plan if isinstance(plan, CompiledPlan) else None

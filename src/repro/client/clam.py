@@ -69,12 +69,17 @@ class ClamClient:
         *,
         max_batch: int = 64,
         flush_delay: float | None = 0.0,
+        adaptive_batch: bool = False,
         max_active_upcalls: int = 1,
         channels: str = "two",
         call_timeout: float | None = None,
         protocol_version: int = PROTOCOL_VERSION,
     ) -> "ClamClient":
         """Connect to the server at ``url``.
+
+        ``adaptive_batch`` lets the batch queue resize ``max_batch``
+        from observed flush occupancy (see
+        :class:`~repro.rpc.batch.BatchQueue`).
 
         ``max_active_upcalls`` relaxes the §4.4 one-upcall-at-a-time
         discipline on the client side; it only matters when the server
@@ -122,6 +127,7 @@ class ClamClient:
             registry,
             max_batch=max_batch,
             flush_delay=flush_delay,
+            adaptive_batch=adaptive_batch,
             call_timeout=call_timeout,
             tracer=tracer,
             metrics=metrics,

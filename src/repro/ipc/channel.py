@@ -31,6 +31,13 @@ class MessageChannel:
             encode_message(message, version=self.protocol_version)
         )
 
+    async def send_many(self, messages) -> None:
+        """Send several messages in one coalesced connection write."""
+        version = self.protocol_version
+        await self._connection.send_many(
+            [encode_message(message, version=version) for message in messages]
+        )
+
     async def recv(self) -> Message:
         return decode_message(
             await self._connection.recv(), version=self.protocol_version

@@ -18,7 +18,7 @@ import asyncio
 from typing import Awaitable, Callable
 
 from repro.errors import ConnectionClosedError
-from repro.ipc.framing import read_frame, write_frame
+from repro.ipc.framing import read_frame, write_frame, write_frames
 
 #: Signature of the callback a listener invokes per accepted connection.
 ConnectionHandler = Callable[["Connection"], Awaitable[None]]
@@ -30,6 +30,16 @@ class Connection(abc.ABC):
     @abc.abstractmethod
     async def send(self, frame: bytes) -> None:
         """Send one frame; raises :class:`ConnectionClosedError` if closed."""
+
+    async def send_many(self, frames) -> None:
+        """Send several frames back to back (writev-style when supported).
+
+        The default just loops over :meth:`send`; stream transports
+        override it to coalesce everything into one buffer write.
+        Frame boundaries are identical either way.
+        """
+        for frame in frames:
+            await self.send(frame)
 
     @abc.abstractmethod
     async def recv(self) -> bytes:
@@ -107,6 +117,13 @@ class StreamConnection(Connection):
         # Serialize writers so concurrent tasks cannot interleave frames.
         async with self._send_lock:
             await write_frame(self._writer, frame)
+
+    async def send_many(self, frames) -> None:
+        if self._closed:
+            raise ConnectionClosedError("connection is closed")
+        # One lock acquisition, one write+drain for the whole run.
+        async with self._send_lock:
+            await write_frames(self._writer, frames)
 
     async def recv(self) -> bytes:
         if self._closed:

@@ -54,6 +54,7 @@ class RpcConnection:
         *,
         max_batch: int = 64,
         flush_delay: float | None = 0.0,
+        adaptive_batch: bool = False,
         call_timeout: float | None = None,
         tracer=None,
         metrics=None,
@@ -66,7 +67,11 @@ class RpcConnection:
         self._serials = itertools.count(1)
         self._waiting: dict[int, asyncio.Future] = {}
         self._batch = BatchQueue(
-            self._send_batch, max_batch=max_batch, flush_delay=flush_delay
+            self._send_batch,
+            max_batch=max_batch,
+            flush_delay=flush_delay,
+            adaptive=adaptive_batch,
+            send_many=self._send_batches,
         )
         self._upcall_sink = None
         self._closed = False
@@ -173,6 +178,20 @@ class RpcConnection:
                 bounds=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
             ).observe(float(len(batch.calls)))
         await self._channel.send(batch)
+
+    async def _send_batches(self, batches) -> None:
+        """Coalesced flush: several batch messages, one channel write."""
+        for batch in batches:
+            if self._tracer is not None and self._tracer.active:
+                from repro.trace import KIND_FLUSH
+
+                self._tracer.point(KIND_FLUSH, "batch", detail=str(len(batch.calls)))
+            if self._metrics is not None:
+                self._metrics.histogram(
+                    "rpc.client.batch_flush_size",
+                    bounds=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+                ).observe(float(len(batch.calls)))
+        await self._channel.send_many(batches)
 
     async def _read_loop(self) -> None:
         try:

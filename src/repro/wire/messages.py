@@ -389,9 +389,12 @@ _MESSAGE_TYPES: dict[int, Type[Message]] = {
 def encode_message(message: Message, *, version: int = PROTOCOL_VERSION) -> bytes:
     """Bundle one message into a frame payload at ``version``."""
     stream = XdrStream.encoder()
-    stream.xuint(int(message.TYPE_CODE))
-    message.bundle(stream, version)
-    return stream.getvalue()
+    try:
+        stream.xuint(int(message.TYPE_CODE))
+        message.bundle(stream, version)
+        return stream.getvalue()
+    finally:
+        stream.release()
 
 
 def decode_message(data: bytes, *, version: int = PROTOCOL_VERSION) -> Message:

@@ -55,6 +55,11 @@ def xopaque(stream: XdrStream, value: bytes | None = None) -> bytes:
     return stream.xopaque(value)
 
 
+def xopaque_view(stream: XdrStream, value: bytes | None = None):
+    """Zero-copy opaque: DECODE returns a memoryview into the buffer."""
+    return stream.xopaque_view(value)
+
+
 def xstring(stream: XdrStream, value: str | None = None) -> str:
     return stream.xstring(value)
 
@@ -91,13 +96,17 @@ def xdr_filter_for(py_type: type) -> Filter:
 def encode_with(filter_fn: Filter, value: Any) -> bytes:
     """Run one filter over one value on a fresh ENCODE stream."""
     stream = XdrStream(XdrOp.ENCODE)
-    filter_fn(stream, value)
-    return stream.getvalue()
+    try:
+        filter_fn(stream, value)
+        return stream.getvalue()
+    finally:
+        stream.release()
 
 
-def decode_with(filter_fn: Filter, data: bytes) -> Any:
+def decode_with(filter_fn: Filter, data) -> Any:
     """Run one filter over ``data`` on a fresh DECODE stream.
 
+    ``data`` may be bytes, bytearray or memoryview (not copied).
     Raises :class:`XdrError` if the filter leaves trailing bytes.
     """
     stream = XdrStream(XdrOp.DECODE, data)

@@ -15,6 +15,22 @@ Wire format (RFC 1014):
   zero-padded),
 - booleans and enums are 4-byte integers,
 - variable-length data is preceded by a 4-byte unsigned length.
+
+Hot-path design (see docs/PERFORMANCE.md):
+
+- every fixed-size format is a module-level precompiled
+  :class:`struct.Struct`, so no per-call format parsing;
+- DECODE streams read through a :class:`memoryview` — primitives
+  unpack straight out of the received buffer (``unpack_from``), and
+  variable-length items copy at most once, at the API boundary
+  (:meth:`xopaque_view` skips even that copy);
+- ENCODE streams draw their ``bytearray`` from a small free list;
+  callers on the hot path :meth:`release` the stream when done so the
+  next message reuses the (already grown) buffer instead of
+  reallocating;
+- :meth:`write_packed` / :meth:`read_struct` let a compiled bundler
+  plan (:mod:`repro.bundlers.compiled`) move a whole record with one
+  C call.
 """
 
 from __future__ import annotations
@@ -33,10 +49,49 @@ _UINT32_MAX = 2**32 - 1
 _INT64_MIN = -(2**63)
 _INT64_MAX = 2**63 - 1
 _UINT64_MAX = 2**64 - 1
+_INT16_MIN = -(2**15)
+_INT16_MAX = 2**15 - 1
 
 # A guard against hostile or corrupt length prefixes: no single
 # variable-length item may claim more than this many bytes/elements.
 DEFAULT_MAX_LENGTH = 64 * 1024 * 1024
+
+# Precompiled fixed-size codecs: one C-level Struct per wire form.
+_S_INT = struct.Struct(">i")
+_S_UINT = struct.Struct(">I")
+_S_HYPER = struct.Struct(">q")
+_S_UHYPER = struct.Struct(">Q")
+_S_FLOAT = struct.Struct(">f")
+_S_DOUBLE = struct.Struct(">d")
+
+#: Zero padding for a payload of n bytes is ``_PAD[n & 3]``.
+_PAD = (b"", b"\x00\x00\x00", b"\x00\x00", b"\x00")
+
+#: Free list of encode buffers; bounded so a burst of huge messages
+#: cannot pin memory forever.
+_BUFFER_POOL: list[bytearray] = []
+_BUFFER_POOL_MAX = 32
+_BUFFER_KEEP_BYTES = 1 << 20  # don't pool buffers that grew past 1 MiB
+
+#: ``allowed=`` tuples seen by :meth:`XdrStream.xenum`, hoisted to
+#: frozensets once instead of being rebuilt on every call.
+_ALLOWED_CACHE: dict[tuple, frozenset] = {}
+_ALLOWED_CACHE_MAX = 1024
+
+
+def _allowed_set(allowed: Iterable[int] | None) -> frozenset | None:
+    if allowed is None:
+        return None
+    if type(allowed) is frozenset:
+        return allowed
+    if type(allowed) is tuple:
+        cached = _ALLOWED_CACHE.get(allowed)
+        if cached is None:
+            if len(_ALLOWED_CACHE) >= _ALLOWED_CACHE_MAX:
+                _ALLOWED_CACHE.clear()
+            cached = _ALLOWED_CACHE[allowed] = frozenset(allowed)
+        return cached
+    return frozenset(allowed)
 
 
 class XdrOp(enum.Enum):
@@ -51,6 +106,17 @@ def _pad(n: int) -> int:
     return (4 - (n & 3)) & 3
 
 
+def _as_byte_view(data) -> memoryview:
+    """A flat read-only byte view over ``data`` without copying."""
+    if isinstance(data, memoryview):
+        if data.format != "B" or data.ndim != 1:
+            data = data.cast("B")
+        return data
+    if isinstance(data, (bytes, bytearray)):
+        return memoryview(data)
+    return memoryview(bytes(data))
+
+
 class XdrStream:
     """A bidirectional XDR encoder/decoder.
 
@@ -63,7 +129,14 @@ class XdrStream:
     stream.xint(value_in)``.  On ENCODE, ``value_in`` is written and
     returned; on DECODE, ``value_in`` is ignored (conventionally
     ``None``) and the decoded value is returned.
+
+    A DECODE stream does not copy its input: it reads through a
+    ``memoryview``, so the buffer handed to :meth:`decoder` must stay
+    alive (and unmutated) for the stream's lifetime.  Received frames
+    satisfy this trivially — they are immutable ``bytes``.
     """
+
+    __slots__ = ("_op", "_max_length", "_buffer", "_view", "_pos")
 
     def __init__(self, op: XdrOp, data: bytes = b"", *, max_length: int = DEFAULT_MAX_LENGTH):
         if not isinstance(op, XdrOp):
@@ -71,23 +144,31 @@ class XdrStream:
         self._op = op
         self._max_length = max_length
         if op is XdrOp.ENCODE:
-            self._buffer = bytearray()
-            self._view = b""
+            self._buffer = _BUFFER_POOL.pop() if _BUFFER_POOL else bytearray()
+            self._view = memoryview(b"")
         else:
-            self._buffer = bytearray()
-            self._view = bytes(data)
+            self._buffer = None
+            self._view = _as_byte_view(data)
         self._pos = 0
 
     # -- construction helpers ------------------------------------------------
 
     @classmethod
     def encoder(cls) -> "XdrStream":
-        """Create a stream that bundles values into wire bytes."""
+        """Create a stream that bundles values into wire bytes.
+
+        Hot paths should :meth:`release` the stream after
+        :meth:`getvalue` so its buffer returns to the pool.
+        """
         return cls(XdrOp.ENCODE)
 
     @classmethod
-    def decoder(cls, data: bytes, *, max_length: int = DEFAULT_MAX_LENGTH) -> "XdrStream":
-        """Create a stream that unbundles values from ``data``."""
+    def decoder(cls, data, *, max_length: int = DEFAULT_MAX_LENGTH) -> "XdrStream":
+        """Create a stream that unbundles values from ``data``.
+
+        ``data`` may be ``bytes``, ``bytearray`` or ``memoryview``; it
+        is *not* copied.
+        """
         return cls(XdrOp.DECODE, data, max_length=max_length)
 
     # -- introspection --------------------------------------------------------
@@ -109,7 +190,24 @@ class XdrStream:
         """Return the bytes bundled so far (ENCODE streams only)."""
         if self._op is not XdrOp.ENCODE:
             raise XdrError("getvalue() is only valid on an ENCODE stream")
+        if self._buffer is None:
+            raise XdrError("stream has been released")
         return bytes(self._buffer)
+
+    def release(self) -> None:
+        """Return an ENCODE stream's buffer to the pool (idempotent).
+
+        After release the stream is dead: :meth:`getvalue` raises.
+        Only worth calling on hot paths; an unreleased buffer is
+        simply garbage-collected.
+        """
+        buf = self._buffer
+        if buf is None or self._op is not XdrOp.ENCODE:
+            return
+        self._buffer = None
+        if len(_BUFFER_POOL) < _BUFFER_POOL_MAX and len(buf) <= _BUFFER_KEEP_BYTES:
+            buf.clear()
+            _BUFFER_POOL.append(buf)
 
     def remaining(self) -> int:
         """Bytes left to consume (DECODE streams only)."""
@@ -124,10 +222,11 @@ class XdrStream:
 
     # -- raw primitives -------------------------------------------------------
 
-    def _write(self, data: bytes) -> None:
+    def _write(self, data) -> None:
         self._buffer += data
 
-    def _read(self, n: int) -> bytes:
+    def _read(self, n: int) -> memoryview:
+        """Consume ``n`` bytes; returns a view aliasing the input buffer."""
         if n < 0:
             raise XdrError(f"negative read length {n}")
         end = self._pos + n
@@ -140,86 +239,129 @@ class XdrStream:
         self._pos = end
         return data
 
-    def _pack(self, fmt: str, value) -> None:
-        try:
-            self._write(struct.pack(fmt, value))
-        except struct.error as exc:
-            raise XdrError(f"cannot pack {value!r} as {fmt!r}: {exc}") from exc
-
-    def _unpack(self, fmt: str):
-        size = struct.calcsize(fmt)
-        (value,) = struct.unpack(fmt, self._read(size))
+    def _unpack(self, s: struct.Struct):
+        end = self._pos + s.size
+        if end > len(self._view):
+            raise XdrError(
+                f"XDR underflow: need {s.size} bytes at offset {self._pos}, "
+                f"have {len(self._view) - self._pos}"
+            )
+        (value,) = s.unpack_from(self._view, self._pos)
+        self._pos = end
         return value
+
+    # -- compiled-plan fast path ----------------------------------------------
+
+    def write_packed(self, data: bytes) -> None:
+        """Append pre-packed bytes (compiled bundler plans; ENCODE only).
+
+        The caller vouches that ``data`` is valid XDR — this is the
+        single-C-call record write of :mod:`repro.bundlers.compiled`.
+        """
+        if self._op is not XdrOp.ENCODE:
+            raise XdrError("write_packed() is only valid on an ENCODE stream")
+        self._buffer += data
+
+    def read_struct(self, s: struct.Struct) -> tuple:
+        """Unpack one precompiled Struct straight from the buffer (DECODE)."""
+        if self._op is not XdrOp.DECODE:
+            raise XdrError("read_struct() is only valid on a DECODE stream")
+        end = self._pos + s.size
+        if end > len(self._view):
+            raise XdrError(
+                f"XDR underflow: need {s.size} bytes at offset {self._pos}, "
+                f"have {len(self._view) - self._pos}"
+            )
+        values = s.unpack_from(self._view, self._pos)
+        self._pos = end
+        return values
+
+    def mark(self) -> int:
+        """Current position (DECODE) or length (ENCODE), for :meth:`reset_to`."""
+        if self._op is XdrOp.ENCODE:
+            return len(self._buffer)
+        return self._pos
+
+    def reset_to(self, marker: int) -> None:
+        """Rewind to a :meth:`mark`; the compiled-plan fallback mechanism."""
+        if self._op is XdrOp.ENCODE:
+            del self._buffer[marker:]
+        else:
+            self._pos = marker
 
     # -- integer filters -------------------------------------------------------
 
     def xint(self, value: int | None = None) -> int:
         """Signed 32-bit integer."""
-        if self.encoding:
+        if self._op is XdrOp.ENCODE:
             value = self._check_int(value, _INT32_MIN, _INT32_MAX, "int32")
-            self._pack(">i", value)
+            self._buffer += _S_INT.pack(value)
             return value
-        return self._unpack(">i")
+        return self._unpack(_S_INT)
 
     def xuint(self, value: int | None = None) -> int:
         """Unsigned 32-bit integer."""
-        if self.encoding:
+        if self._op is XdrOp.ENCODE:
             value = self._check_int(value, 0, _UINT32_MAX, "uint32")
-            self._pack(">I", value)
+            self._buffer += _S_UINT.pack(value)
             return value
-        return self._unpack(">I")
+        return self._unpack(_S_UINT)
 
     def xhyper(self, value: int | None = None) -> int:
         """Signed 64-bit integer."""
-        if self.encoding:
+        if self._op is XdrOp.ENCODE:
             value = self._check_int(value, _INT64_MIN, _INT64_MAX, "int64")
-            self._pack(">q", value)
+            self._buffer += _S_HYPER.pack(value)
             return value
-        return self._unpack(">q")
+        return self._unpack(_S_HYPER)
 
     def xuhyper(self, value: int | None = None) -> int:
         """Unsigned 64-bit integer."""
-        if self.encoding:
+        if self._op is XdrOp.ENCODE:
             value = self._check_int(value, 0, _UINT64_MAX, "uint64")
-            self._pack(">Q", value)
+            self._buffer += _S_UHYPER.pack(value)
             return value
-        return self._unpack(">Q")
+        return self._unpack(_S_UHYPER)
 
     def xshort(self, value: int | None = None) -> int:
         """16-bit integer, carried as an int32 per XDR convention.
 
         The paper's ``Point`` members are C ``short``s bundled with
-        ``xint``-style filters; this filter adds the range check.
+        ``xint``-style filters; this filter adds the range check.  The
+        check is symmetric: both directions enforce the same int16
+        bounds, so any wire value this filter produced it also accepts.
         """
-        if self.encoding:
-            value = self._check_int(value, -(2**15), 2**15 - 1, "short")
-            self._pack(">i", value)
+        if self._op is XdrOp.ENCODE:
+            value = self._check_int(value, _INT16_MIN, _INT16_MAX, "short")
+            self._buffer += _S_INT.pack(value)
             return value
-        decoded = self._unpack(">i")
-        return self._check_int(decoded, -(2**15), 2**15 - 1, "short")
+        decoded = self._unpack(_S_INT)
+        if not _INT16_MIN <= decoded <= _INT16_MAX:
+            raise XdrError(f"short out of range: {decoded}")
+        return decoded
 
     def xbool(self, value: bool | None = None) -> bool:
         """Boolean, carried as an int32 of value 0 or 1."""
-        if self.encoding:
+        if self._op is XdrOp.ENCODE:
             if not isinstance(value, bool):
                 raise XdrError(f"expected bool, got {type(value).__name__}")
-            self._pack(">i", 1 if value else 0)
+            self._buffer += _S_INT.pack(1 if value else 0)
             return value
-        decoded = self._unpack(">i")
+        decoded = self._unpack(_S_INT)
         if decoded not in (0, 1):
             raise XdrError(f"invalid XDR boolean {decoded}")
         return bool(decoded)
 
     def xenum(self, value: int | None = None, *, allowed: Iterable[int] | None = None) -> int:
         """Enumeration: an int32 restricted to ``allowed`` values."""
-        allowed_set = None if allowed is None else frozenset(allowed)
-        if self.encoding:
+        allowed_set = _allowed_set(allowed)
+        if self._op is XdrOp.ENCODE:
             value = self._check_int(value, _INT32_MIN, _INT32_MAX, "enum")
             if allowed_set is not None and value not in allowed_set:
                 raise XdrError(f"enum value {value} not in {sorted(allowed_set)}")
-            self._pack(">i", value)
+            self._buffer += _S_INT.pack(value)
             return value
-        decoded = self._unpack(">i")
+        decoded = self._unpack(_S_INT)
         if allowed_set is not None and decoded not in allowed_set:
             raise XdrError(f"enum value {decoded} not in {sorted(allowed_set)}")
         return decoded
@@ -228,72 +370,113 @@ class XdrStream:
 
     def xfloat(self, value: float | None = None) -> float:
         """IEEE single-precision float."""
-        if self.encoding:
+        if self._op is XdrOp.ENCODE:
             value = self._check_float(value)
-            self._pack(">f", value)
+            try:
+                self._buffer += _S_FLOAT.pack(value)
+            except (struct.error, OverflowError) as exc:
+                raise XdrError(f"cannot pack {value!r} as single float: {exc}") from exc
             return value
-        return self._unpack(">f")
+        return self._unpack(_S_FLOAT)
 
     def xdouble(self, value: float | None = None) -> float:
         """IEEE double-precision float."""
-        if self.encoding:
+        if self._op is XdrOp.ENCODE:
             value = self._check_float(value)
-            self._pack(">d", value)
+            self._buffer += _S_DOUBLE.pack(value)
             return value
-        return self._unpack(">d")
+        return self._unpack(_S_DOUBLE)
 
     # -- opaque data and strings -------------------------------------------------
 
-    def xopaque_fixed(self, value: bytes | None = None, *, size: int = 0) -> bytes:
-        """Fixed-length opaque data of exactly ``size`` bytes."""
-        if size < 0:
-            raise XdrError(f"negative opaque size {size}")
-        if self.encoding:
-            if not isinstance(value, (bytes, bytearray, memoryview)):
-                raise XdrError(f"expected bytes, got {type(value).__name__}")
-            value = bytes(value)
-            if len(value) != size:
-                raise XdrError(f"fixed opaque needs {size} bytes, got {len(value)}")
-            self._write(value)
-            self._write(b"\x00" * _pad(size))
-            return value
+    def _encode_opaque_body(self, value) -> int:
+        """Append opaque payload + padding; returns the payload length."""
+        if not isinstance(value, (bytes, bytearray, memoryview)):
+            raise XdrError(f"expected bytes, got {type(value).__name__}")
+        if isinstance(value, memoryview) and (value.format != "B" or value.ndim != 1):
+            value = value.cast("B")
+        n = len(value)
+        self._buffer += value
+        self._buffer += _PAD[n & 3]
+        return n
+
+    def _read_opaque_body(self, size: int) -> memoryview:
+        """Consume payload + padding; returns a view of the payload."""
         data = self._read(size)
-        pad = self._read(_pad(size))
-        if pad.strip(b"\x00"):
+        pad = size & 3
+        if pad and self._read(4 - pad) != _PAD[pad]:
             raise XdrError("nonzero XDR padding")
         return data
 
-    def xopaque(self, value: bytes | None = None) -> bytes:
-        """Variable-length opaque data (length-prefixed)."""
-        if self.encoding:
-            if not isinstance(value, (bytes, bytearray, memoryview)):
-                raise XdrError(f"expected bytes, got {type(value).__name__}")
-            value = bytes(value)
-            if len(value) > self._max_length:
-                raise XdrError(f"opaque of {len(value)} bytes exceeds max {self._max_length}")
-            self.xuint(len(value))
-            self._write(value)
-            self._write(b"\x00" * _pad(len(value)))
+    def xopaque_fixed(self, value: bytes | None = None, *, size: int = 0) -> bytes:
+        """Fixed-length opaque data of exactly ``size`` bytes.
+
+        On ENCODE, ``bytes``/``bytearray``/``memoryview`` are written
+        directly — no intermediate copy — and the caller's value is
+        returned unchanged.
+        """
+        if size < 0:
+            raise XdrError(f"negative opaque size {size}")
+        if self._op is XdrOp.ENCODE:
+            marker = len(self._buffer)
+            n = self._encode_opaque_body(value)
+            if n != size:
+                del self._buffer[marker:]
+                raise XdrError(f"fixed opaque needs {size} bytes, got {n}")
             return value
-        length = self.xuint()
+        return bytes(self._read_opaque_body(size))
+
+    def xopaque(self, value: bytes | None = None) -> bytes:
+        """Variable-length opaque data (length-prefixed).
+
+        Decoding copies once, at this API boundary; use
+        :meth:`xopaque_view` to skip even that copy.
+        """
+        if self._op is XdrOp.ENCODE:
+            self._encode_opaque(value)
+            return value
+        return bytes(self._read_opaque())
+
+    def xopaque_view(self, value: bytes | None = None):
+        """Zero-copy variant of :meth:`xopaque`.
+
+        On DECODE returns a ``memoryview`` aliasing the stream's input
+        buffer — valid only as long as that buffer is.  On ENCODE it is
+        identical to :meth:`xopaque`.
+        """
+        if self._op is XdrOp.ENCODE:
+            self._encode_opaque(value)
+            return value
+        return self._read_opaque()
+
+    def _encode_opaque(self, value) -> None:
+        # Length prefix first; the length check needs len(value), which
+        # _encode_opaque_body validates, so do a cheap pre-check here.
+        if not isinstance(value, (bytes, bytearray, memoryview)):
+            raise XdrError(f"expected bytes, got {type(value).__name__}")
+        n = len(value)
+        if n > self._max_length:
+            raise XdrError(f"opaque of {n} bytes exceeds max {self._max_length}")
+        self.xuint(n)
+        self._encode_opaque_body(value)
+
+    def _read_opaque(self) -> memoryview:
+        length = self._unpack(_S_UINT)
         if length > self._max_length:
             raise XdrError(f"opaque length {length} exceeds max {self._max_length}")
-        data = self._read(length)
-        pad = self._read(_pad(length))
-        if pad.strip(b"\x00"):
-            raise XdrError("nonzero XDR padding")
-        return data
+        return self._read_opaque_body(length)
 
     def xstring(self, value: str | None = None) -> str:
         """UTF-8 string carried as variable-length opaque data."""
-        if self.encoding:
+        if self._op is XdrOp.ENCODE:
             if not isinstance(value, str):
                 raise XdrError(f"expected str, got {type(value).__name__}")
-            self.xopaque(value.encode("utf-8"))
+            self._encode_opaque(value.encode("utf-8"))
             return value
-        raw = self.xopaque()
+        raw = self._read_opaque()
         try:
-            return raw.decode("utf-8")
+            # str() decodes a memoryview directly: no bytes() copy.
+            return str(raw, "utf-8")
         except UnicodeDecodeError as exc:
             raise XdrError(f"invalid UTF-8 in XDR string: {exc}") from exc
 
@@ -310,14 +493,14 @@ class XdrStream:
         must itself be bidirectional.  This is the composite the
         paper's ``pt_array_bundler`` builds by hand.
         """
-        if self.encoding:
+        if self._op is XdrOp.ENCODE:
             if value is None:
                 raise XdrError("cannot encode None as an array")
             self.xuint(len(value))
             for element in value:
                 filter_fn(self, element)
             return list(value)
-        length = self.xuint()
+        length = self._unpack(_S_UINT)
         if length > self._max_length:
             raise XdrError(f"array length {length} exceeds max {self._max_length}")
         return [filter_fn(self, None) for _ in range(length)]
@@ -332,7 +515,7 @@ class XdrStream:
         """Fixed-length array of exactly ``size`` elements."""
         if size < 0:
             raise XdrError(f"negative array size {size}")
-        if self.encoding:
+        if self._op is XdrOp.ENCODE:
             if value is None or len(value) != size:
                 got = "None" if value is None else str(len(value))
                 raise XdrError(f"fixed array needs {size} elements, got {got}")
@@ -352,7 +535,7 @@ class XdrStream:
         block for the default pointer bundler of §3.5 and for the
         recursive structures of §3.1.
         """
-        if self.encoding:
+        if self._op is XdrOp.ENCODE:
             present = value is not None
             self.xbool(present)
             if present:

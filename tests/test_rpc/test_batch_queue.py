@@ -121,3 +121,152 @@ class TestAccounting:
         assert len(queue) == 1
         await queue.flush()
         assert len(queue) == 0
+
+
+class TestAdaptiveSizing:
+    @async_test
+    async def test_sustained_full_flushes_grow_max_batch(self):
+        sent, send = collector()
+        queue = BatchQueue(send, max_batch=4, flush_delay=None, adaptive=True)
+        # Size-triggered flushes have occupancy 1.0; the EWMA crosses
+        # the grow threshold after a few of them.
+        for i in range(40):
+            await queue.post(call(i))
+        assert queue.max_batch > 4
+        assert queue.grow_events >= 1
+
+    @async_test
+    async def test_sustained_empty_flushes_shrink_max_batch(self):
+        sent, send = collector()
+        queue = BatchQueue(send, max_batch=64, flush_delay=None,
+                           adaptive=True, min_batch=4)
+        serial = 0
+        for _ in range(20):
+            await queue.post(call(serial))
+            serial += 1
+            await queue.flush()  # occupancy 1/64 every time
+        assert queue.max_batch < 64
+        assert queue.shrink_events >= 1
+
+    @async_test
+    async def test_max_batch_respects_bounds(self):
+        sent, send = collector()
+        queue = BatchQueue(send, max_batch=4, flush_delay=None,
+                           adaptive=True, min_batch=2, max_batch_limit=8)
+        for i in range(200):
+            await queue.post(call(i))
+        assert queue.max_batch <= 8
+        serial = 1000
+        for _ in range(50):
+            await queue.post(call(serial))
+            serial += 1
+            await queue.flush()
+        assert queue.max_batch >= 2
+
+    @async_test
+    async def test_non_adaptive_size_is_fixed(self):
+        sent, send = collector()
+        queue = BatchQueue(send, max_batch=4, flush_delay=None)
+        for i in range(40):
+            await queue.post(call(i))
+        assert queue.max_batch == 4
+        assert queue.grow_events == 0 and queue.shrink_events == 0
+
+    def test_bad_adaptive_bounds(self):
+        async def send(batch):
+            pass
+
+        with pytest.raises(ValueError):
+            BatchQueue(send, max_batch=4, adaptive=True, min_batch=8)
+
+
+class TestCoalescedWrites:
+    @async_test
+    async def test_oversized_backlog_goes_out_as_one_coalesced_write(self):
+        """Calls racing an in-flight flush pile past max_batch; the next
+        flush drains them as several chunks through send_many."""
+        writes = []
+
+        async def send(batch):
+            writes.append([batch])
+
+        async def send_many(batches):
+            writes.append(list(batches))
+
+        queue = BatchQueue(send, max_batch=4, flush_delay=None,
+                           send_many=send_many)
+        # Simulate the race by loading pending directly past the cap.
+        for i in range(10):
+            queue._pending.append(call(i))
+            queue.calls_queued += 1
+        await queue.flush()
+        assert len(writes) == 1  # one channel write...
+        assert [len(b.calls) for b in writes[0]] == [4, 4, 2]  # ...three frames
+        assert queue.frames_sent == 3
+        assert queue.coalesced_writes == 1
+        serials = [c.serial for b in writes[0] for c in b.calls]
+        assert serials == list(range(10))
+
+    @async_test
+    async def test_single_chunk_uses_plain_send(self):
+        writes = []
+
+        async def send(batch):
+            writes.append("send")
+
+        async def send_many(batches):
+            writes.append("send_many")
+
+        queue = BatchQueue(send, max_batch=4, flush_delay=None,
+                           send_many=send_many)
+        await queue.post(call(1))
+        await queue.flush()
+        assert writes == ["send"]
+        assert queue.coalesced_writes == 0
+
+    @async_test
+    async def test_without_send_many_chunks_are_sent_sequentially(self):
+        sent, send = collector()
+        queue = BatchQueue(send, max_batch=4, flush_delay=None)
+        for i in range(10):
+            queue._pending.append(call(i))
+        await queue.flush()
+        assert [len(b.calls) for b in sent] == [4, 4, 2]
+        assert queue.frames_sent == 3
+
+
+class TestTimerTaskLifecycle:
+    @async_test
+    async def test_timer_flush_task_is_referenced(self):
+        sent, send = collector()
+        queue = BatchQueue(send, flush_delay=0.005)
+        await queue.post(call(1))
+        await asyncio.sleep(0.01)
+        # The timer fired and created a tracked task (it may have
+        # already finished and been discarded — but it must have sent).
+        await eventually(lambda: len(sent) == 1)
+        await eventually(lambda: not queue._timer_tasks)
+
+    @async_test
+    async def test_timer_flush_error_is_surfaced(self):
+        boom = RuntimeError("transport exploded")
+
+        async def send(batch):
+            raise boom
+
+        queue = BatchQueue(send, flush_delay=0.005)
+        await queue.post(call(1))
+        await eventually(lambda: queue.last_timer_error is boom)
+
+    @async_test
+    async def test_timer_flush_connection_closed_is_quiet(self):
+        from repro.errors import ConnectionClosedError
+
+        async def send(batch):
+            raise ConnectionClosedError("gone")
+
+        queue = BatchQueue(send, flush_delay=0.005)
+        await queue.post(call(1))
+        await asyncio.sleep(0.02)
+        await eventually(lambda: not queue._timer_tasks)
+        assert queue.last_timer_error is None

@@ -1,0 +1,155 @@
+"""Zero-copy decode paths, buffer pooling, and memoryview encode.
+
+The decode stream reads through a ``memoryview``; ``xopaque_view``
+returns slices that *alias* the input buffer; encode streams draw
+their ``bytearray`` from a pool and return it on ``release()``.
+These tests pin down the aliasing and lifetime rules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XdrError
+from repro.xdr import XdrStream
+
+
+# -- decode aliasing ----------------------------------------------------------
+
+def test_xopaque_view_aliases_the_input_buffer():
+    enc = XdrStream.encoder()
+    enc.xopaque(b"hello world")
+    data = bytearray(enc.getvalue())
+    enc.release()
+
+    dec = XdrStream.decoder(data)
+    view = dec.xopaque_view()
+    assert isinstance(view, memoryview)
+    assert bytes(view) == b"hello world"
+    # Mutating the source buffer shows through the view: no copy
+    # happened.  Body starts after the 4-byte length prefix, so
+    # data[8] is the body's fifth byte.
+    data[8] = ord("X")
+    assert bytes(view) == b"hellX world"
+
+
+def test_xopaque_returns_independent_bytes():
+    enc = XdrStream.encoder()
+    enc.xopaque(b"payload")
+    data = bytearray(enc.getvalue())
+    enc.release()
+
+    dec = XdrStream.decoder(data)
+    out = dec.xopaque()
+    assert isinstance(out, bytes)
+    data[0] = 0
+    assert out == b"payload"  # the API boundary copy protects the caller
+
+
+def test_xopaque_view_roundtrip_parity_with_xopaque():
+    enc = XdrStream.encoder()
+    enc.xopaque(b"abc")
+    enc.xopaque(b"defg")
+    data = enc.getvalue()
+    enc.release()
+
+    d1 = XdrStream.decoder(data)
+    d2 = XdrStream.decoder(data)
+    assert bytes(d1.xopaque_view()) == d2.xopaque()
+    assert bytes(d1.xopaque_view()) == d2.xopaque()
+    d1.expect_exhausted()
+    d2.expect_exhausted()
+
+
+# -- memoryview encode --------------------------------------------------------
+
+def test_xopaque_encodes_memoryview_without_copy_semantics_change():
+    payload = bytearray(b"0123456789")
+    direct = XdrStream.encoder()
+    direct.xopaque(bytes(payload))
+    expected = direct.getvalue()
+    direct.release()
+
+    via_view = XdrStream.encoder()
+    via_view.xopaque(memoryview(payload))
+    assert via_view.getvalue() == expected
+    via_view.release()
+
+
+def test_xopaque_fixed_accepts_memoryview_and_bytearray():
+    for value in (memoryview(b"abcd"), bytearray(b"abcd"), b"abcd"):
+        enc = XdrStream.encoder()
+        enc.xopaque_fixed(value, size=4)
+        data = enc.getvalue()
+        enc.release()
+        dec = XdrStream.decoder(data)
+        assert dec.xopaque_fixed(size=4) == b"abcd"
+
+
+def test_xopaque_rejects_wrong_types():
+    enc = XdrStream.encoder()
+    with pytest.raises(XdrError):
+        enc.xopaque("not bytes")
+    enc.release()
+
+
+# -- xshort symmetry ----------------------------------------------------------
+
+def test_xshort_decode_range_matches_encode_range():
+    for value in (-(2**15), 2**15 - 1, 0, -1):
+        enc = XdrStream.encoder()
+        enc.xshort(value)
+        data = enc.getvalue()
+        enc.release()
+        assert XdrStream.decoder(data).xshort() == value
+
+    # A wire int32 outside int16 range must be rejected on decode,
+    # exactly as it would be on encode.
+    enc = XdrStream.encoder()
+    enc.xint(2**15)  # same wire size, out-of-range payload
+    data = enc.getvalue()
+    enc.release()
+    with pytest.raises(XdrError):
+        XdrStream.decoder(data).xshort()
+
+
+# -- buffer pooling -----------------------------------------------------------
+
+def test_release_returns_buffer_to_pool_and_invalidates_stream():
+    enc = XdrStream.encoder()
+    enc.xint(42)
+    assert enc.getvalue() == (42).to_bytes(4, "big")
+    enc.release()
+    with pytest.raises(XdrError):
+        enc.getvalue()
+
+
+def test_pooled_buffer_reuse_starts_empty():
+    first = XdrStream.encoder()
+    first.xstring("leftover contents")
+    first.release()
+
+    second = XdrStream.encoder()
+    assert second.getvalue() == b""
+    second.xint(1)
+    assert second.getvalue() == (1).to_bytes(4, "big")
+    second.release()
+
+
+def test_release_is_idempotent():
+    enc = XdrStream.encoder()
+    enc.release()
+    enc.release()
+
+
+def test_decode_stream_accepts_bytes_bytearray_memoryview():
+    enc = XdrStream.encoder()
+    enc.xhyper(-5)
+    enc.xstring("zx")
+    data = enc.getvalue()
+    enc.release()
+    for source in (data, bytearray(data), memoryview(data)):
+        dec = XdrStream.decoder(source)
+        assert dec.xhyper() == -5
+        assert dec.xstring() == "zx"
+        dec.expect_exhausted()
