@@ -38,7 +38,9 @@ from repro.errors import (
     BadCallError,
     BundleError,
     ClamError,
+    CallTimeoutError,
     ConnectionClosedError,
+    DeadlineExpiredError,
     FaultyClassError,
     ForgedHandleError,
     HandleError,
@@ -47,6 +49,7 @@ from repro.errors import (
     ProtocolError,
     RegistrationError,
     RemoteError,
+    RemoteStaleError,
     RpcError,
     StaleHandleError,
     TaskError,
@@ -58,7 +61,8 @@ from repro.errors import (
 from repro.bundlers import Bundled, In, InOut, Out
 from repro.core import UnhandledPolicy, UpcallPort
 from repro.handles import Handle
-from repro.stubs import RemoteInterface, Ref
+from repro.rpc import RetryPolicy, deadline_scope
+from repro.stubs import RemoteInterface, Ref, idempotent
 from repro.server import ClamServer
 from repro.client import ClamClient
 
@@ -78,6 +82,10 @@ __all__ = [
     # upcalls
     "UpcallPort",
     "UnhandledPolicy",
+    # resilience
+    "RetryPolicy",
+    "deadline_scope",
+    "idempotent",
     # handles
     "Handle",
     # errors
@@ -89,7 +97,10 @@ __all__ = [
     "ProtocolError",
     "RpcError",
     "RemoteError",
+    "RemoteStaleError",
     "BadCallError",
+    "CallTimeoutError",
+    "DeadlineExpiredError",
     "HandleError",
     "ForgedHandleError",
     "StaleHandleError",

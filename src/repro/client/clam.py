@@ -12,14 +12,29 @@ From there the paper's workflow reads directly:
     await client.load_class(SweepLayer)            # dynamic loading (§2)
     sweep = await client.create(SweepLayer)        # instance + handle
     await sweep.postinput(my_mouse_handler)        # upcall registration (§4.1)
+
+Resilience: ``connect(..., reconnect=True)`` starts a supervisor that
+re-establishes both streams when the connection dies, offering the old
+session token so a server configured with ``session_linger`` resumes
+the same session (dispatcher, duplicate-call cache, RUC bindings).
+After reconnecting, recorded name lookups are replayed; a name whose
+handle changed (or vanished) marks the old proxy stale, so its next
+use raises :class:`~repro.errors.RemoteStaleError` instead of hitting
+a dead capability.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
+import weakref
 from typing import Any, Callable
 
-from repro.errors import ProtocolError
+from repro.errors import (
+    ConnectionClosedError,
+    ProtocolError,
+    TransportError,
+)
 from repro.bundlers.base import BundlerRegistry
 from repro.bundlers.auto import structural_resolver
 from repro.core import CallbackTable, install_client_callbacks
@@ -27,11 +42,14 @@ from repro.handles import Handle
 from repro.ipc import MessageChannel, dial
 from repro.loader import source_of
 from repro.obs.metrics import MetricsRegistry
-from repro.rpc import RpcConnection, install_client_objects
+from repro.rpc import RetryPolicy, RpcConnection, install_client_objects
 from repro.client.upcall_task import UpcallService
 from repro.server.builtin import BUILTIN_HANDLE, ClamServerInterface
 from repro.stubs import Proxy, build_proxy, interface_spec
 from repro.wire import PROTOCOL_VERSION, ChannelRole, HelloMessage
+
+#: Default bound on connection establishment (dial + HELLO exchange).
+DEFAULT_CONNECT_TIMEOUT = 5.0
 
 
 class ClamClient:
@@ -46,6 +64,13 @@ class ClamClient:
         session: str,
         tracer=None,
         metrics=None,
+        *,
+        url: str = "",
+        channels: str = "two",
+        offered_version: int = PROTOCOL_VERSION,
+        max_active_upcalls: int = 1,
+        connect_timeout: float | None = DEFAULT_CONNECT_TIMEOUT,
+        reconnect_policy: RetryPolicy | None = None,
     ):
         from repro.trace import Tracer
 
@@ -59,6 +84,25 @@ class ClamClient:
         self._upcall_service = upcall_service
         self._upcall_task = upcall_task  # None in single-stream mode
         self._builtin = build_proxy(ClamServerInterface, rpc, BUILTIN_HANDLE)
+        self._url = url
+        self._channels = channels
+        self._offered_version = offered_version
+        self._max_active_upcalls = max_active_upcalls
+        self._connect_timeout = connect_timeout
+        self._closing = False
+        #: Looked-up names, replayed after reconnect to revalidate the
+        #: proxies they produced: name -> (iface, weak proxy ref).
+        self._lookups: dict[str, tuple[type, weakref.ref]] = {}
+        self._supervisor: asyncio.Task | None = None
+        self._replay_task: asyncio.Task | None = None
+        if reconnect_policy is not None:
+            self._reconnect_policy = reconnect_policy
+            rpc.set_reconnector(self._reconnect_once)
+            self._supervisor = asyncio.get_running_loop().create_task(
+                self._supervise(), name="clam-client-reconnect"
+            )
+        else:
+            self._reconnect_policy = None
 
     # -- connection setup -----------------------------------------------------------
 
@@ -73,6 +117,10 @@ class ClamClient:
         max_active_upcalls: int = 1,
         channels: str = "two",
         call_timeout: float | None = None,
+        connect_timeout: float | None = DEFAULT_CONNECT_TIMEOUT,
+        retry: RetryPolicy | None = None,
+        reconnect: bool = False,
+        reconnect_policy: RetryPolicy | None = None,
         protocol_version: int = PROTOCOL_VERSION,
     ) -> "ClamClient":
         """Connect to the server at ``url``.
@@ -92,11 +140,29 @@ class ClamClient:
         server code must make upcalls from server *tasks*, never
         inline in an RPC handler, or the shared stream deadlocks.
 
+        ``connect_timeout`` bounds connection establishment — the dial
+        plus the HELLO exchange — raising
+        :class:`~repro.errors.TransportError` when the server does not
+        answer in time; ``None`` waits forever.
+
+        ``retry`` enables client-side retries of synchronous calls
+        declared :func:`~repro.stubs.idempotent`; retries reuse the
+        call's serial, so the server's duplicate cache keeps execution
+        at-most-once even when a retry crosses its original.
+
+        ``reconnect=True`` supervises the connection: when it dies the
+        client re-dials ``url`` (backoff per ``reconnect_policy``,
+        default :class:`~repro.rpc.RetryPolicy`), offers its old
+        session token (resumed when the server lingers sessions), and
+        replays recorded lookups — proxies whose handles changed go
+        locally stale.
+
         ``protocol_version`` caps what this client offers in its HELLO;
         the wire speaks ``min(offered, server's answer)``.  Lowering it
         below :data:`~repro.wire.TRACE_CONTEXT_VERSION` makes this
-        client behave like a pre-trace-context peer — useful for
-        interop tests.
+        client behave like a pre-trace-context peer, and below
+        :data:`~repro.wire.DEADLINE_VERSION` like a pre-deadline one —
+        useful for interop tests.
         """
         if channels not in ("one", "two"):
             raise ValueError(f"channels must be 'one' or 'two', not {channels!r}")
@@ -111,16 +177,11 @@ class ClamClient:
 
         # Channel one: RPC.  HELLO exchange yields the session token
         # and the protocol version both ends will speak.
-        rpc_channel = MessageChannel(await dial(url))
-        await rpc_channel.send(
-            HelloMessage(role=ChannelRole.RPC, protocol_version=protocol_version)
+        rpc_channel, ack = await cls._bounded(
+            cls._hello_rpc(url, protocol_version), connect_timeout, url
         )
-        ack = await rpc_channel.recv()
-        if not isinstance(ack, HelloMessage) or not ack.session:
-            raise ProtocolError(f"bad HELLO reply from server: {ack!r}")
         session = ack.session
-        negotiated = min(protocol_version, ack.protocol_version)
-        rpc_channel.protocol_version = negotiated
+        negotiated = rpc_channel.protocol_version
 
         rpc = RpcConnection(
             rpc_channel,
@@ -129,6 +190,7 @@ class ClamClient:
             flush_delay=flush_delay,
             adaptive_batch=adaptive_batch,
             call_timeout=call_timeout,
+            retry=retry,
             tracer=tracer,
             metrics=metrics,
         )
@@ -136,14 +198,8 @@ class ClamClient:
 
         if channels == "two":
             # Channel two: upcalls, tied to the session by its token.
-            upcall_channel = MessageChannel(await dial(url))
-            upcall_channel.protocol_version = negotiated
-            await upcall_channel.send(
-                HelloMessage(
-                    role=ChannelRole.UPCALL,
-                    session=session,
-                    protocol_version=negotiated,
-                )
+            upcall_channel = await cls._bounded(
+                cls._hello_upcall(url, negotiated, session), connect_timeout, url
             )
             service = UpcallService(
                 upcall_channel,
@@ -174,12 +230,182 @@ class ClamClient:
         rpc.set_upcall_sink(
             lambda message: service.accept(message, reply_channel=rpc.channel)
         )
+        if reconnect and reconnect_policy is None:
+            reconnect_policy = RetryPolicy()
         return cls(
             rpc, service, upcall_task, callbacks, session,
             tracer=tracer, metrics=metrics,
+            url=url,
+            channels=channels,
+            offered_version=protocol_version,
+            max_active_upcalls=max_active_upcalls,
+            connect_timeout=connect_timeout,
+            reconnect_policy=reconnect_policy if reconnect else None,
         )
 
+    @staticmethod
+    async def _bounded(awaitable, timeout: float | None, url: str):
+        """Bound connection establishment; timeouts become TransportError."""
+        if timeout is None:
+            return await awaitable
+        try:
+            return await asyncio.wait_for(awaitable, timeout)
+        except asyncio.TimeoutError:
+            raise TransportError(
+                f"connecting to {url!r} timed out after {timeout}s"
+            ) from None
+
+    @staticmethod
+    async def _hello_rpc(
+        url: str, protocol_version: int, resume: str = ""
+    ) -> tuple[MessageChannel, HelloMessage]:
+        """Dial and perform the RPC-role HELLO exchange.
+
+        ``resume`` offers an old session token; a lingering server
+        resumes that session and echoes the token back.
+        """
+        channel = MessageChannel(await dial(url))
+        try:
+            await channel.send(
+                HelloMessage(
+                    role=ChannelRole.RPC,
+                    session=resume,
+                    protocol_version=protocol_version,
+                )
+            )
+            ack = await channel.recv()
+        except BaseException:
+            await channel.close()
+            raise
+        if not isinstance(ack, HelloMessage) or not ack.session:
+            await channel.close()
+            raise ProtocolError(f"bad HELLO reply from server: {ack!r}")
+        channel.protocol_version = min(protocol_version, ack.protocol_version)
+        return channel, ack
+
+    @staticmethod
+    async def _hello_upcall(
+        url: str, negotiated: int, session: str
+    ) -> MessageChannel:
+        """Dial the second stream and bind it to the session by token."""
+        channel = MessageChannel(await dial(url))
+        channel.protocol_version = negotiated
+        await channel.send(
+            HelloMessage(
+                role=ChannelRole.UPCALL,
+                session=session,
+                protocol_version=negotiated,
+            )
+        )
+        return channel
+
+    # -- reconnect supervision ---------------------------------------------------------
+
+    async def _reconnect_once(self) -> None:
+        """Re-establish both streams; called under the rpc reconnect lock.
+
+        Offers the old session token.  If the server resumed it, all
+        session state (dispatcher dedup cache, RUC bindings) survived;
+        otherwise we adopt the fresh token.  Either way, recorded
+        lookups are replayed to revalidate proxies.
+        """
+        rpc_channel, ack = await self._bounded(
+            self._hello_rpc(self._url, self._offered_version, resume=self.session),
+            self._connect_timeout,
+            self._url,
+        )
+        resumed = ack.session == self.session
+        self.session = ack.session
+        if self._channels == "two":
+            try:
+                upcall_channel = await self._bounded(
+                    self._hello_upcall(
+                        self._url, rpc_channel.protocol_version, self.session
+                    ),
+                    self._connect_timeout,
+                    self._url,
+                )
+            except BaseException:
+                await rpc_channel.close()
+                raise
+            self._upcall_service.adopt_channel(upcall_channel)
+            if self._upcall_task is not None and not self._upcall_task.done():
+                self._upcall_task.cancel()
+            self._upcall_task = asyncio.get_running_loop().create_task(
+                self._upcall_service.run(), name="clam-client-upcalls"
+            )
+        self.rpc.adopt_channel(rpc_channel)
+        # Replay on a task of its own, OUTSIDE the rpc reconnect lock
+        # this coroutine runs under — a replay lookup that hits another
+        # disconnect must be able to take that lock again.
+        self._replay_task = asyncio.get_running_loop().create_task(
+            self._replay_lookups(resumed), name="clam-client-replay"
+        )
+
+    async def _supervise(self) -> None:
+        """Proactively reconnect whenever the RPC stream drops."""
+        while not self._closing:
+            await self.rpc.disconnected.wait()
+            if self._closing:
+                return
+            reconnected = False
+            for delay in itertools.chain([0.0], self._reconnect_policy.delays()):
+                if delay:
+                    await asyncio.sleep(delay)
+                if self._closing:
+                    return
+                try:
+                    await self.rpc._reconnect()
+                    reconnected = True
+                    break
+                except ConnectionClosedError:
+                    if self._closing:
+                        return
+                except Exception:
+                    pass
+            if not reconnected:
+                return  # policy exhausted; the connection stays down
+
+    async def _replay_lookups(self, resumed: bool) -> None:
+        """Revalidate proxies produced by :meth:`lookup`.
+
+        A name that now resolves to a different handle — or no longer
+        resolves — means the old proxy's capability is dead: it is
+        marked stale so its next use raises
+        :class:`~repro.errors.RemoteStaleError` instead of shipping a
+        dead tag to the server.  ``resumed`` is informational; exports
+        are server-wide, so names are checked in both cases.
+        """
+        from repro.errors import RemoteError
+
+        for name, (iface, ref) in list(self._lookups.items()):
+            proxy = ref()
+            if proxy is None:
+                del self._lookups[name]
+                continue
+            old = proxy._clam_handle_
+            try:
+                fresh = await self._builtin.lookup(name)
+            except RemoteError:
+                # The server answered: the name is gone.
+                self.rpc.mark_stale(old)
+                continue
+            except Exception:
+                # Transport trouble — no verdict; the next reconnect
+                # replays again.
+                return
+            if fresh != old:
+                self.rpc.mark_stale(old)
+
     async def close(self) -> None:
+        self._closing = True
+        for task in (self._supervisor, self._replay_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
         await self.rpc.close()
         await self._upcall_service.close()
         if self._upcall_task is not None:
@@ -236,9 +462,16 @@ class ClamClient:
         return build_proxy(iface, self.rpc, handle)
 
     async def lookup(self, iface: type, name: str) -> Proxy:
-        """Fetch a published object by name; returns its proxy."""
+        """Fetch a published object by name; returns its proxy.
+
+        The lookup is recorded: after a reconnect it is replayed, and
+        the proxy goes locally stale if the name no longer resolves to
+        the same handle.
+        """
         handle = await self._builtin.lookup(name)
-        return build_proxy(iface, self.rpc, handle)
+        proxy = build_proxy(iface, self.rpc, handle)
+        self._lookups[name] = (iface, weakref.ref(proxy))
+        return proxy
 
     async def publish(self, name: str, proxy: Proxy) -> None:
         """Publish an object this client holds a proxy for."""
@@ -290,3 +523,8 @@ class ClamClient:
     def protocol_version(self) -> int:
         """The protocol version negotiated with the server."""
         return self.rpc.channel.protocol_version
+
+    @property
+    def reconnects(self) -> int:
+        """How many times this client's RPC channel was re-adopted."""
+        return self.rpc.reconnects

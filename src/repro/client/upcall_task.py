@@ -59,6 +59,19 @@ class UpcallService:
     def max_active(self) -> int:
         return self._max_active
 
+    def adopt_channel(self, channel: MessageChannel) -> None:
+        """Point the service at a freshly opened upcall stream.
+
+        Used on reconnect: the old stream is dead (its :meth:`run` loop
+        has returned or soon will), registrations in the callback table
+        survive, and a new ``run()`` task should be started on the new
+        channel by the caller.  The old stream is closed so its server
+        end detaches promptly.
+        """
+        old, self._channel = self._channel, channel
+        if old is not None and not old.closed:
+            asyncio.get_running_loop().create_task(old.close())
+
     async def close(self) -> None:
         await self._channel.close()
         for task in list(self._handlers):

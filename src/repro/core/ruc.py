@@ -138,6 +138,16 @@ class RemoteUpcall:
     arguments with the upcall stub, ship them with the callback
     identifier over the client's upcall channel, block until the
     client task finishes, unbundle the result.
+
+    Failure containment: when the upcall cannot complete — the client
+    is gone, its handler raised, the reply timed out — and the sender
+    exposes ``report_upcall_failure``, the failure is offered to it
+    first.  If the sender accepts (returns True) *and* the upcall
+    returns no value, the call degrades to ``None`` instead of
+    propagating — the §4 error-handler route instead of wedging the
+    layer that happened to hold the pointer.  Value-returning upcalls
+    never degrade: the caller needs the result, so it must see the
+    error.
     """
 
     __slots__ = ("callback_id", "signature", "sender")
@@ -149,7 +159,17 @@ class RemoteUpcall:
 
     async def __call__(self, *args: Any) -> Any:
         payload = self.signature.bundle_args(args)
-        reply = await self.sender.send_upcall(self.callback_id, payload)
+        try:
+            reply = await self.sender.send_upcall(self.callback_id, payload)
+        except Exception as exc:
+            report = getattr(self.sender, "report_upcall_failure", None)
+            if (
+                report is not None
+                and self.signature.result_type is type(None)
+                and report(self.callback_id, exc)
+            ):
+                return None
+            raise
         return self.signature.unbundle_result(reply)
 
     def __repr__(self) -> str:

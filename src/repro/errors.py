@@ -72,6 +72,16 @@ class CallTimeoutError(RpcError):
     """
 
 
+class DeadlineExpiredError(RpcError):
+    """The call's propagated deadline expired before (or during) execution.
+
+    Raised server-side when a call arrives with its wire deadline
+    (protocol v3 ``deadline_ms``) already spent, or when execution
+    overruns the remaining budget; the client sees it as the remote
+    type of the resulting :class:`RemoteError`.
+    """
+
+
 class RemoteError(RpcError):
     """An exception escaped the remote procedure.
 
@@ -104,6 +114,20 @@ class StaleHandleError(HandleError):
 
 class UnknownClassError(HandleError):
     """The handle's class identifier names a class not loaded in the server."""
+
+
+class RemoteStaleError(RemoteError, StaleHandleError):
+    """A remote handle fault, surfaced locally as a stale handle.
+
+    Raised client-side when the server reports ``StaleHandleError`` or
+    ``ForgedHandleError`` for a handle this client holds — whether on a
+    synchronous call, on a batched post (reported out-of-band, protocol
+    v3), or when a lookup replayed across a reconnect finds the name
+    rebound to a different tag.  It inherits from *both*
+    :class:`RemoteError` (it describes a server-side rejection) and
+    :class:`StaleHandleError` (the handle is dead; drop it and look the
+    object up again), so callers may catch either.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,52 @@
+"""Deterministic fault injection for the CLAM stack.
+
+The paper's layers are built for an asynchronous, failure-prone world
+— stale handles are caught by tag checks (§3.5.1), upcall errors are
+routed to registered error handlers (§4), the network protocol layer
+assumes loss (§4.4) — but failure paths that are never *provoked* are
+never exercised.  This package provokes them, deterministically:
+
+- :mod:`repro.faults.schedule` decides *when* to inject *what*, from
+  an explicit script or a seeded random stream;
+- :mod:`repro.faults.channel` applies the decisions to any
+  :class:`~repro.ipc.transport.Connection`, and exposes chaos URLs so
+  the whole client/server stack (including reconnects) runs through
+  the injector.
+
+Quick chaos recipe::
+
+    injector = FaultInjector(SeededSchedule(seed=7), metrics=metrics)
+    chaos_address = injector.wrap_url(real_address)
+    client = await ClamClient.connect(chaos_address, reconnect=True, ...)
+
+Every injected fault is recorded (``injector.records``), counted
+(``faults.injected.*``), and traced, so a chaos run is auditable.
+"""
+
+from repro.faults.schedule import (
+    FaultDecision,
+    FaultKind,
+    FaultRates,
+    FaultRule,
+    ScriptedSchedule,
+    SeededSchedule,
+)
+from repro.faults.channel import (
+    FaultInjector,
+    FaultyConnection,
+    FaultyTransport,
+    InjectedFault,
+)
+
+__all__ = [
+    "FaultDecision",
+    "FaultKind",
+    "FaultRates",
+    "FaultRule",
+    "ScriptedSchedule",
+    "SeededSchedule",
+    "FaultInjector",
+    "FaultyConnection",
+    "FaultyTransport",
+    "InjectedFault",
+]

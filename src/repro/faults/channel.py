@@ -1,0 +1,270 @@
+"""Fault-injecting wrappers for connections and transports.
+
+:class:`FaultyConnection` decorates any
+:class:`repro.ipc.transport.Connection` — socket, memory pair, or
+latency-injected — and mistreats frames according to a schedule:
+drop, delay, duplicate, reorder, corrupt, abrupt close, slow peer.
+The wrapped endpoint sees exactly what a real flaky network would
+show it; the layers above (RPC retry, reconnect, upcall degradation)
+are what this package exists to exercise.
+
+Every injected fault is *audited*: counted in a
+:class:`repro.obs.metrics.MetricsRegistry` (``faults.injected.<kind>``),
+emitted as a :data:`repro.trace.KIND_FAULT_INJECT` trace point, and
+appended to the injector's record list — a chaos run can therefore
+assert exactly which faults it survived.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import ConnectionClosedError
+from repro.ipc.registry import register_scheme, unregister_scheme, transport_for_url
+from repro.ipc.transport import (
+    Connection,
+    ConnectionHandler,
+    Listener,
+    Transport,
+)
+from repro.faults.schedule import FaultDecision, FaultKind, ScheduleFn
+
+_scheme_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """Audit record of one injected fault."""
+
+    kind: FaultKind
+    direction: str
+    index: int
+    peer: str
+
+
+class FaultInjector:
+    """Shared brain of a set of faulty connections.
+
+    Holds the schedule plus the audit surfaces.  One injector is
+    typically shared by every connection of a chaos run (including
+    reconnect attempts), so a single seeded schedule governs the whole
+    experiment and ``records`` is its complete fault log.
+    """
+
+    def __init__(self, schedule, *, metrics=None, tracer=None):
+        self._schedule: ScheduleFn | object = schedule
+        self.metrics = metrics
+        self.tracer = tracer
+        self.records: list[InjectedFault] = []
+        self._scheme: str | None = None
+
+    def decide(
+        self, direction: str, index: int, frame: bytes, peer: str
+    ) -> FaultDecision | None:
+        decide = getattr(self._schedule, "decide", self._schedule)
+        decision = decide(direction, index, frame)
+        if decision is None:
+            return None
+        self.records.append(
+            InjectedFault(
+                kind=decision.kind, direction=direction, index=index, peer=peer
+            )
+        )
+        if self.metrics is not None:
+            self.metrics.counter(f"faults.injected.{decision.kind.value}").inc()
+            self.metrics.counter("faults.injected.total").inc()
+        if self.tracer is not None and self.tracer.active:
+            from repro.trace import KIND_FAULT_INJECT
+
+            self.tracer.point(
+                KIND_FAULT_INJECT,
+                decision.kind.value,
+                detail=f"{direction}#{index} {peer}",
+            )
+        return decision
+
+    @property
+    def injected(self) -> int:
+        return len(self.records)
+
+    def counts(self) -> dict[str, int]:
+        """Injected faults per kind (audit convenience)."""
+        out: dict[str, int] = {}
+        for record in self.records:
+            out[record.kind.value] = out.get(record.kind.value, 0) + 1
+        return out
+
+    # -- URL integration ---------------------------------------------------------
+
+    def wrap_url(self, url: str) -> str:
+        """Register a chaos URL scheme routing ``url`` through this injector.
+
+        The returned URL dials the same listener as ``url`` but every
+        connection is fault-injected; hand it to
+        :meth:`repro.client.ClamClient.connect` and reconnect attempts
+        stay under the same schedule.  Call :meth:`release_url` when
+        done (tests) to drop the scheme registration.
+        """
+        inner_transport, native = transport_for_url(url)
+        faulty = FaultyTransport(inner_transport, self)
+        scheme = f"chaos{next(_scheme_ids)}"
+        register_scheme(scheme, lambda _url: (faulty, native))
+        self._scheme = scheme
+        return f"{scheme}://{native.partition('://')[2]}"
+
+    def release_url(self) -> None:
+        if self._scheme is not None:
+            unregister_scheme(self._scheme)
+            self._scheme = None
+
+
+def _corrupted(frame: bytes, offset: int) -> bytes:
+    if not frame:
+        return frame
+    mutated = bytearray(frame)
+    mutated[offset % len(mutated)] ^= 0xFF
+    return bytes(mutated)
+
+
+class FaultyConnection(Connection):
+    """A connection that mistreats frames per the injector's schedule.
+
+    Faults apply independently to the send and receive paths, each
+    with its own frame index — a schedule sees ("send", 0), ("send", 1)
+    ... and ("recv", 0), ("recv", 1) ... per connection.  Order-
+    preserving faults (DELAY, SLOW) stall inline; REORDER holds one
+    frame back until its successor has passed, exactly one frame deep
+    — a point-to-point pipe cannot shuffle arbitrarily.
+    """
+
+    def __init__(self, inner: Connection, injector: FaultInjector):
+        self._inner = inner
+        self._injector = injector
+        self._send_index = 0
+        self._recv_index = 0
+        self._reorder_send: bytes | None = None
+        self._reorder_recv: bytes | None = None
+        self._pending_recv: collections.deque[bytes] = collections.deque()
+
+    # -- send path ---------------------------------------------------------------
+
+    async def send(self, frame: bytes) -> None:
+        index = self._send_index
+        self._send_index += 1
+        decision = self._injector.decide("send", index, frame, self.peer)
+        kind = decision.kind if decision is not None else None
+        if kind is FaultKind.DROP:
+            return
+        if kind is FaultKind.CLOSE:
+            await self._inner.close()
+            raise ConnectionClosedError("injected fault: abrupt close")
+        if kind is FaultKind.REORDER and self._reorder_send is None:
+            self._reorder_send = frame
+            return
+        if kind in (FaultKind.DELAY, FaultKind.SLOW):
+            await asyncio.sleep(decision.delay)
+        if kind is FaultKind.CORRUPT:
+            frame = _corrupted(frame, decision.offset)
+        await self._inner.send(frame)
+        if kind is FaultKind.DUPLICATE:
+            await self._inner.send(frame)
+        if self._reorder_send is not None:
+            held, self._reorder_send = self._reorder_send, None
+            await self._inner.send(held)
+
+    # -- receive path -------------------------------------------------------------
+
+    async def recv(self) -> bytes:
+        while True:
+            if self._pending_recv:
+                return self._pending_recv.popleft()
+            try:
+                frame = await self._inner.recv()
+            except ConnectionClosedError:
+                # A frame held for reordering still gets delivered —
+                # it had already arrived before the close.
+                if self._reorder_recv is not None:
+                    held, self._reorder_recv = self._reorder_recv, None
+                    return held
+                raise
+            index = self._recv_index
+            self._recv_index += 1
+            decision = self._injector.decide("recv", index, frame, self.peer)
+            kind = decision.kind if decision is not None else None
+            if kind is FaultKind.DROP:
+                continue
+            if kind is FaultKind.CLOSE:
+                await self._inner.close()
+                raise ConnectionClosedError("injected fault: abrupt close")
+            if kind is FaultKind.REORDER and self._reorder_recv is None:
+                self._reorder_recv = frame
+                continue
+            if kind in (FaultKind.DELAY, FaultKind.SLOW):
+                await asyncio.sleep(decision.delay)
+            if kind is FaultKind.CORRUPT:
+                frame = _corrupted(frame, decision.offset)
+            if kind is FaultKind.DUPLICATE:
+                self._pending_recv.append(frame)
+            if self._reorder_recv is not None:
+                self._pending_recv.append(self._reorder_recv)
+                self._reorder_recv = None
+            return frame
+
+    # -- passthrough --------------------------------------------------------------
+
+    async def close(self) -> None:
+        await self._inner.close()
+
+    @property
+    def peer(self) -> str:
+        return self._inner.peer
+
+    @property
+    def closed(self) -> bool:
+        return self._inner.closed
+
+
+class _FaultyListener(Listener):
+    def __init__(self, inner: Listener):
+        self._inner = inner
+
+    @property
+    def address(self) -> str:
+        return self._inner.address
+
+    async def close(self) -> None:
+        await self._inner.close()
+
+
+class FaultyTransport(Transport):
+    """Wraps a transport so its connections are fault-injected.
+
+    ``sides`` selects where faults land: ``"connect"`` (default)
+    wraps only dialled connections — both directions of each, which
+    already covers loss either way — while ``"both"`` also wraps the
+    accept side, doubling injection pressure per frame.
+    """
+
+    def __init__(
+        self, inner: Transport, injector: FaultInjector, *, sides: str = "connect"
+    ):
+        if sides not in ("connect", "both"):
+            raise ValueError(f"sides must be 'connect' or 'both', not {sides!r}")
+        self._inner = inner
+        self._injector = injector
+        self._sides = sides
+
+    async def listen(self, address: str, handler: ConnectionHandler) -> Listener:
+        if self._sides == "both":
+            inner_handler = handler
+
+            async def handler(conn: Connection) -> None:  # noqa: F811
+                await inner_handler(FaultyConnection(conn, self._injector))
+
+        return _FaultyListener(await self._inner.listen(address, handler))
+
+    async def connect(self, address: str) -> Connection:
+        return FaultyConnection(await self._inner.connect(address), self._injector)

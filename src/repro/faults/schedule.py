@@ -1,0 +1,162 @@
+"""Deterministic fault schedules: *when* to inject *what*.
+
+A schedule is consulted once per frame crossing a fault-injected
+connection and answers with zero or one :class:`FaultDecision`.  Two
+flavours:
+
+- :class:`ScriptedSchedule` — an explicit list of (frame index, kind)
+  rules, for tests that pin down one precise failure ("drop the reply
+  to the third call");
+- :class:`SeededSchedule` — per-kind probabilities drawn from a
+  ``random.Random(seed)``, for chaos runs.  The same seed always
+  produces the same fault sequence against the same workload, which
+  is what makes a chaos failure *reproducible*: re-run with the seed
+  from the failing CI job and watch the identical schedule unfold.
+
+Schedules are deliberately transport-agnostic: they see only a
+monotonically increasing frame index per direction and the frame
+bytes, never message types — faults land on whatever happens to be
+in flight, exactly like a misbehaving network.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+
+class FaultKind(enum.Enum):
+    """Every way the injector can mistreat a frame."""
+
+    DROP = "drop"            # frame silently lost
+    DELAY = "delay"          # frame delivered late (order preserved)
+    DUPLICATE = "duplicate"  # frame delivered twice
+    REORDER = "reorder"      # frame held back past its successor
+    CORRUPT = "corrupt"      # frame bytes flipped
+    CLOSE = "close"          # connection abruptly closed instead
+    SLOW = "slow"            # peer drains slowly (stall before read)
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """One injected fault: the kind plus its parameter.
+
+    ``delay`` is the stall in seconds for DELAY/SLOW; ``offset`` the
+    byte position to corrupt for CORRUPT (clamped to the frame).
+    """
+
+    kind: FaultKind
+    delay: float = 0.0
+    offset: int = 0
+
+
+#: Signature every schedule implements: (direction, frame_index,
+#: frame) -> FaultDecision | None.  ``direction`` is "send" or "recv"
+#: relative to the wrapped endpoint.
+ScheduleFn = Callable[[str, int, bytes], "FaultDecision | None"]
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scripted rule: fire ``kind`` at frame ``index`` (a
+    direction of None matches both)."""
+
+    index: int
+    kind: FaultKind
+    direction: str | None = None
+    delay: float = 0.0
+    offset: int = 0
+
+    def matches(self, direction: str, index: int) -> bool:
+        return index == self.index and self.direction in (None, direction)
+
+
+class ScriptedSchedule:
+    """Fault injection from an explicit rule list (surgical tests)."""
+
+    def __init__(self, rules: Iterable[FaultRule]):
+        self._rules = list(rules)
+
+    def decide(self, direction: str, index: int, frame: bytes) -> FaultDecision | None:
+        for rule in self._rules:
+            if rule.matches(direction, index):
+                return FaultDecision(
+                    kind=rule.kind, delay=rule.delay, offset=rule.offset
+                )
+        return None
+
+
+@dataclass
+class FaultRates:
+    """Per-kind injection probabilities for a seeded schedule.
+
+    Probabilities are per frame and evaluated in field order; at most
+    one fault fires per frame.  The defaults are a mild chaos mix —
+    mostly delivery with occasional loss and latency — tuned so a
+    retrying client makes steady progress.
+    """
+
+    drop: float = 0.02
+    delay: float = 0.05
+    duplicate: float = 0.02
+    reorder: float = 0.02
+    corrupt: float = 0.0
+    close: float = 0.0
+    slow: float = 0.02
+    max_delay: float = 0.01
+
+    def items(self) -> list[tuple[FaultKind, float]]:
+        return [
+            (FaultKind.DROP, self.drop),
+            (FaultKind.DELAY, self.delay),
+            (FaultKind.DUPLICATE, self.duplicate),
+            (FaultKind.REORDER, self.reorder),
+            (FaultKind.CORRUPT, self.corrupt),
+            (FaultKind.CLOSE, self.close),
+            (FaultKind.SLOW, self.slow),
+        ]
+
+
+@dataclass
+class SeededSchedule:
+    """Seeded random fault injection (chaos runs).
+
+    One ``random.Random(seed)`` drives every decision, so the fault
+    sequence is a pure function of (seed, frame sequence).  ``warmup``
+    frames pass untouched so connection establishment (HELLO
+    exchanges) is never the victim — chaos aims at the steady state;
+    cold-start faults are the scripted schedules' job.  ``max_faults``
+    bounds total injections so a run always drains.
+    """
+
+    seed: int
+    rates: FaultRates = field(default_factory=FaultRates)
+    warmup: int = 4
+    max_faults: int | None = None
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self.injected = 0
+
+    def decide(self, direction: str, index: int, frame: bytes) -> FaultDecision | None:
+        if index < self.warmup:
+            return None
+        if self.max_faults is not None and self.injected >= self.max_faults:
+            return None
+        # One uniform draw per frame keeps the stream aligned across
+        # kinds: the decision depends only on how many frames this
+        # schedule has seen, not on which kinds previously fired.
+        roll = self._rng.random()
+        cumulative = 0.0
+        for kind, rate in self.rates.items():
+            cumulative += rate
+            if roll < cumulative:
+                self.injected += 1
+                delay = 0.0
+                if kind in (FaultKind.DELAY, FaultKind.SLOW):
+                    delay = self._rng.uniform(0.0, self.rates.max_delay)
+                offset = self._rng.randrange(1 << 16)
+                return FaultDecision(kind=kind, delay=delay, offset=offset)
+        return None

@@ -109,6 +109,19 @@ class ObjectTable:
         self._by_identity.pop(id(descriptor.obj), None)
         return descriptor.obj
 
+    def rotate_tag(self, handle: Handle) -> Handle:
+        """Re-issue the object under a fresh tag; the old handle is dead.
+
+        This is release-and-republish in one step: the descriptor (and
+        the object) survive, but every previously distributed copy of
+        the handle now fails tag validation — the §3.5.1 check turning
+        a dangling reference into :class:`ForgedHandleError` instead of
+        a call on the wrong incarnation.
+        """
+        descriptor = self.descriptor(handle)
+        descriptor.tag = secrets.randbits(64)
+        return Handle(oid=descriptor.oid, tag=descriptor.tag)
+
     def handle_for(self, obj: Any) -> Handle | None:
         """The handle previously issued for ``obj``, if any."""
         oid = self._by_identity.get(id(obj))

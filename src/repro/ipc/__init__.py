@@ -29,7 +29,13 @@ from repro.ipc.unix import UnixTransport
 from repro.ipc.tcp import TcpTransport
 from repro.ipc.latency import LatencyConnection, LatencyTransport
 from repro.ipc.channel import MessageChannel
-from repro.ipc.registry import dial, serve, transport_for_url
+from repro.ipc.registry import (
+    dial,
+    register_scheme,
+    serve,
+    transport_for_url,
+    unregister_scheme,
+)
 
 __all__ = [
     "Connection",
@@ -45,6 +51,8 @@ __all__ = [
     "LatencyTransport",
     "MessageChannel",
     "dial",
+    "register_scheme",
     "serve",
     "transport_for_url",
+    "unregister_scheme",
 ]

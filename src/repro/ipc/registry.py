@@ -13,6 +13,7 @@ tests, and benchmarks can switch configurations with a string:
 from __future__ import annotations
 
 import urllib.parse
+from typing import Callable
 
 from repro.errors import TransportError
 from repro.ipc.latency import DEFAULT_ONE_WAY_DELAY, LatencyTransport
@@ -21,12 +22,41 @@ from repro.ipc.tcp import TcpTransport
 from repro.ipc.transport import Connection, ConnectionHandler, Listener, Transport
 from repro.ipc.unix import UnixTransport
 
+#: Dynamically registered schemes (fault injection, future overlays):
+#: scheme -> resolver(full url) -> (transport, native address).
+_EXTRA_SCHEMES: dict[str, Callable[[str], tuple[Transport, str]]] = {}
+
+
+def register_scheme(
+    scheme: str, resolver: Callable[[str], tuple[Transport, str]]
+) -> None:
+    """Install a URL scheme resolving to (transport, native address).
+
+    This is how overlay transports — notably :mod:`repro.faults` chaos
+    wrappers — make themselves dialable by URL, which matters because
+    reconnect logic re-dials by URL and must come back through the
+    same overlay.  Built-in schemes cannot be shadowed.
+    """
+    if not scheme or "://" in scheme:
+        raise TransportError(f"bad scheme {scheme!r}")
+    if scheme in ("memory", "unix", "tcp", "wan"):
+        raise TransportError(f"cannot shadow built-in scheme {scheme!r}")
+    _EXTRA_SCHEMES[scheme] = resolver
+
+
+def unregister_scheme(scheme: str) -> None:
+    """Drop a dynamically registered scheme (no-op when absent)."""
+    _EXTRA_SCHEMES.pop(scheme, None)
+
 
 def transport_for_url(url: str) -> tuple[Transport, str]:
     """Map a URL to (transport, transport-native address)."""
     scheme, sep, _rest = url.partition("://")
     if not sep:
         raise TransportError(f"address {url!r} has no scheme")
+    resolver = _EXTRA_SCHEMES.get(scheme)
+    if resolver is not None:
+        return resolver(url)
     if scheme == "memory":
         return MemoryTransport.default(), url
     if scheme == "unix":

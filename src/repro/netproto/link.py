@@ -11,6 +11,7 @@ link does not have.
 from __future__ import annotations
 
 import enum
+import random
 from typing import Awaitable, Callable, Optional
 
 from repro.errors import ClamError
@@ -33,12 +34,33 @@ class LinkError(ClamError):
 class LossyLink:
     """Two attached endpoints and a drop policy between them."""
 
-    def __init__(self, *, drop_fn: DropFn | None = None, drop_every_nth: int = 0):
-        if drop_fn is not None and drop_every_nth:
-            raise LinkError("choose drop_fn or drop_every_nth, not both")
+    def __init__(
+        self,
+        *,
+        drop_fn: DropFn | None = None,
+        drop_every_nth: int = 0,
+        drop_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        policies = sum(
+            1 for chosen in (drop_fn is not None, bool(drop_every_nth), drop_rate > 0)
+            if chosen
+        )
+        if policies > 1:
+            raise LinkError("choose one of drop_fn, drop_every_nth, drop_rate")
+        if not 0.0 <= drop_rate < 1.0:
+            raise LinkError(f"drop_rate must be in [0, 1), got {drop_rate}")
         if drop_every_nth:
             def drop_fn(direction, index, frame, _n=drop_every_nth):
                 return index % _n == _n - 1
+        elif drop_rate > 0:
+            # Seeded so a chaos run replays the same loss pattern; one
+            # generator shared by both directions, consumed in the
+            # (deterministic, single-loop) transmit order.
+            rng = random.Random(seed)
+
+            def drop_fn(direction, index, frame, _rng=rng, _p=drop_rate):
+                return _rng.random() < _p
 
         self._drop_fn = drop_fn
         self._receivers: dict[Direction, Optional[Receiver]] = {

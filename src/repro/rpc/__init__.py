@@ -22,12 +22,16 @@ from repro.rpc.batch import BatchQueue
 from repro.rpc.connection import RpcConnection
 from repro.rpc.dispatcher import Dispatcher, Exports
 from repro.rpc.objects import install_client_objects, install_server_objects
+from repro.rpc.resilience import RetryPolicy, deadline_scope, remaining_deadline
 
 __all__ = [
     "BatchQueue",
     "RpcConnection",
     "Dispatcher",
     "Exports",
+    "RetryPolicy",
+    "deadline_scope",
+    "remaining_deadline",
     "install_client_objects",
     "install_server_objects",
 ]

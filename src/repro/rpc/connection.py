@@ -15,12 +15,31 @@ proxy built over it turns method calls into wire traffic:
 A background reader task delivers replies and surfaces remote
 exceptions as :class:`~repro.errors.RemoteError` on the waiting
 future.
+
+Resilience (this layer's contribution to the fault story):
+
+- synchronous calls propagate the remaining ambient deadline
+  (:func:`repro.rpc.resilience.deadline_scope`) on the wire when the
+  negotiated protocol speaks v3, so the server can abort expired work;
+- calls flagged ``idempotent`` retry under a :class:`RetryPolicy`,
+  reusing the *same serial* each attempt — the server's duplicate
+  cache then guarantees at-most-once execution even when a retry
+  crosses its original in flight;
+- a channel that dies can be *re-adopted*: :meth:`adopt_channel`
+  swaps in a freshly negotiated channel without invalidating the
+  proxies that point at this endpoint (their queued batch survives);
+- handles the server reports stale/forged are remembered, so every
+  later use fails fast locally with
+  :class:`~repro.errors.RemoteStaleError` — which is how *batched*
+  posts against a dead handle surface their error on the next use.
 """
 
 from __future__ import annotations
 
 import asyncio
+import collections
 import itertools
+import logging
 import time
 
 from repro.errors import (
@@ -28,13 +47,20 @@ from repro.errors import (
     ConnectionClosedError,
     ProtocolError,
     RemoteError,
+    RemoteStaleError,
 )
 from repro.bundlers.base import BundlerRegistry
 from repro.handles import Handle
 from repro.ipc import MessageChannel
 from repro.obs.context import SpanContext, current_context
 from repro.rpc.batch import BatchQueue
+from repro.rpc.resilience import (
+    STALE_REMOTE_TYPES,
+    RetryPolicy,
+    remaining_deadline,
+)
 from repro.wire import (
+    DEADLINE_VERSION,
     BatchMessage,
     CallMessage,
     ExceptionMessage,
@@ -42,6 +68,12 @@ from repro.wire import (
     ReplyMessage,
     UpcallMessage,
 )
+
+logger = logging.getLogger(__name__)
+
+#: How many posted-call serials we remember for out-of-band error
+#: attribution (server stale notifications for batched posts).
+_POSTED_MEMORY = 1024
 
 
 class RpcConnection:
@@ -56,12 +88,14 @@ class RpcConnection:
         flush_delay: float | None = 0.0,
         adaptive_batch: bool = False,
         call_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
         tracer=None,
         metrics=None,
     ):
         self._channel = channel
         self._registry = registry
         self._call_timeout = call_timeout
+        self._retry = retry
         self._tracer = tracer
         self._metrics = metrics
         self._serials = itertools.count(1)
@@ -75,11 +109,22 @@ class RpcConnection:
         )
         self._upcall_sink = None
         self._closed = False
+        self._shutdown = False
+        self._reconnector = None
+        self._reconnect_lock = asyncio.Lock()
+        self._disconnected = asyncio.Event()
+        self._stale: set[tuple[int, int]] = set()
+        self._posted: collections.OrderedDict[int, tuple[int, int]] = (
+            collections.OrderedDict()
+        )
+        self._late_reply_logged = False
         self._reader = asyncio.get_running_loop().create_task(
             self._read_loop(), name="rpc-reader"
         )
         self.sync_calls = 0
         self.async_calls = 0
+        self.reconnects = 0
+        self.late_replies = 0
 
     # -- CallEndpoint protocol ---------------------------------------------------
 
@@ -87,14 +132,22 @@ class RpcConnection:
     def registry(self) -> BundlerRegistry:
         return self._registry
 
-    async def call(self, handle: Handle, method: str, args: bytes) -> bytes:
-        """Synchronous remote call; returns the bundled reply payload."""
+    async def call(
+        self, handle: Handle, method: str, args: bytes, *, idempotent: bool = False
+    ) -> bytes:
+        """Synchronous remote call; returns the bundled reply payload.
+
+        ``idempotent`` is the stub layer's declaration that re-sending
+        this call is safe; only then does the retry policy apply.
+        """
         if self._tracer is not None and self._tracer.active:
             from repro.trace import KIND_CLIENT_CALL
 
             with self._tracer.span(KIND_CLIENT_CALL, method) as ctx:
-                return await self._call_inner(handle, method, args, ctx)
-        return await self._call_inner(handle, method, args, current_context())
+                return await self._call_inner(handle, method, args, ctx, idempotent)
+        return await self._call_inner(
+            handle, method, args, current_context(), idempotent
+        )
 
     async def _call_inner(
         self,
@@ -102,16 +155,47 @@ class RpcConnection:
         method: str,
         args: bytes,
         ctx: SpanContext | None,
+        idempotent: bool,
+    ) -> bytes:
+        self._check_stale(handle)
+        # One serial for the whole logical call: every retry re-sends
+        # it, and the server deduplicates on it, so a duplicated or
+        # crossed retry can never execute twice.
+        serial = next(self._serials)
+        delays = (
+            self._retry.delays() if (idempotent and self._retry is not None) else iter(())
+        )
+        while True:
+            try:
+                return await self._attempt(serial, handle, method, args, ctx)
+            except (CallTimeoutError, ConnectionClosedError):
+                delay = next(delays, None)
+                if delay is None or self._shutdown:
+                    raise
+                budget = remaining_deadline()
+                if budget is not None and budget <= delay:
+                    raise  # no budget left to wait out the backoff
+                if self._metrics is not None:
+                    self._metrics.counter("rpc.client.retries").inc()
+                await asyncio.sleep(delay)
+
+    async def _attempt(
+        self,
+        serial: int,
+        handle: Handle,
+        method: str,
+        args: bytes,
+        ctx: SpanContext | None,
     ) -> bytes:
         if self._closed:
-            raise ConnectionClosedError("RPC connection is closed")
+            await self._reconnect()
         # Ordering: everything queued before this call must arrive first.
         await self._batch.flush()
-        serial = next(self._serials)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._waiting[serial] = future
         self.sync_calls += 1
         started = time.perf_counter() if self._metrics is not None else 0.0
+        timeout, deadline_ms = self._effective_timeout(method)
         message = CallMessage(
             serial=serial,
             oid=handle.oid,
@@ -121,36 +205,44 @@ class RpcConnection:
             expects_reply=True,
             trace_id=ctx.trace_id if ctx else "",
             parent_span=ctx.span_id if ctx else 0,
+            deadline_ms=deadline_ms,
         )
         try:
             await self._channel.send(message)
-            if self._call_timeout is None:
+            if timeout is None:
                 results = await future
             else:
                 try:
-                    results = await asyncio.wait_for(future, self._call_timeout)
+                    results = await asyncio.wait_for(future, timeout)
                 except asyncio.TimeoutError:
                     # The reply may still arrive; with the serial dropped
-                    # from the table it will be discarded.
+                    # from the table it will be counted as late and
+                    # discarded.
                     raise CallTimeoutError(
-                        f"no reply to {method!r} within {self._call_timeout}s"
+                        f"no reply to {method!r} within {timeout}s"
                     ) from None
             if self._metrics is not None:
                 self._metrics.histogram(f"rpc.client.call_us.{method}").observe(
                     (time.perf_counter() - started) * 1e6
                 )
             return results
+        except RemoteError as exc:
+            raise self._surface_remote(handle, exc) from None
         finally:
             self._waiting.pop(serial, None)
 
     async def post(self, handle: Handle, method: str, args: bytes) -> None:
         """Asynchronous remote call; queued for batching, no reply."""
+        if self._closed and not self._shutdown and self._reconnector is not None:
+            await self._reconnect()
         if self._closed:
             raise ConnectionClosedError("RPC connection is closed")
+        self._check_stale(handle)
         self.async_calls += 1
         ctx = current_context()
+        serial = next(self._serials)
         message = CallMessage(
-            serial=next(self._serials),
+            serial=serial,
             oid=handle.oid,
             tag=handle.tag,
             method=method,
@@ -159,11 +251,64 @@ class RpcConnection:
             trace_id=ctx.trace_id if ctx else "",
             parent_span=ctx.span_id if ctx else 0,
         )
+        # Remember where this serial was aimed so an out-of-band server
+        # error (stale handle on a batched post, protocol v3) can be
+        # pinned back on the right handle.
+        self._posted[serial] = (handle.oid, handle.tag)
+        while len(self._posted) > _POSTED_MEMORY:
+            self._posted.popitem(last=False)
         await self._batch.post(message)
 
     async def flush(self) -> None:
         """The special synchronization procedure of §3.4."""
         await self._batch.flush()
+
+    # -- deadlines and stale handles ----------------------------------------------
+
+    def _effective_timeout(self, method: str) -> tuple[float | None, int]:
+        """Local wait bound and its wire form (``deadline_ms``, v3+)."""
+        timeout = self._call_timeout
+        budget = remaining_deadline()
+        if budget is not None:
+            if budget <= 0:
+                raise CallTimeoutError(
+                    f"deadline already expired before calling {method!r}"
+                )
+            timeout = budget if timeout is None else min(timeout, budget)
+        deadline_ms = 0
+        if timeout is not None and self._channel.protocol_version >= DEADLINE_VERSION:
+            deadline_ms = max(1, int(timeout * 1000))
+        return timeout, deadline_ms
+
+    def _check_stale(self, handle: Handle) -> None:
+        if (handle.oid, handle.tag) in self._stale:
+            raise RemoteStaleError(
+                "StaleHandleError",
+                f"handle (oid={handle.oid}) is stale on this client",
+            )
+
+    def mark_stale(self, handle: Handle) -> None:
+        """Locally invalidate ``handle``; every later use fails fast.
+
+        The builtin handle (0, 0) is never marked — it is not subject
+        to revocation, and server-side ``StaleHandleError`` raised by a
+        builtin procedure describes one of its *arguments*.
+        """
+        if handle.oid == 0 and handle.tag == 0:
+            return
+        self._stale.add((handle.oid, handle.tag))
+
+    def is_stale(self, handle: Handle) -> bool:
+        return (handle.oid, handle.tag) in self._stale
+
+    def _surface_remote(self, handle: Handle, exc: RemoteError) -> RemoteError:
+        """Fold remote handle faults into :class:`RemoteStaleError`."""
+        if exc.remote_type not in STALE_REMOTE_TYPES:
+            return exc
+        self.mark_stale(handle)
+        return RemoteStaleError(
+            exc.remote_type, exc.remote_message, exc.remote_traceback
+        )
 
     # -- internals -----------------------------------------------------------------
 
@@ -200,6 +345,8 @@ class RpcConnection:
                 self._dispatch_reply(message)
         except ConnectionClosedError as exc:
             self._fail_all(exc)
+        except asyncio.CancelledError:
+            raise
         except Exception as exc:  # decoding errors poison the connection
             self._fail_all(ProtocolError(f"RPC channel corrupted: {exc}"))
 
@@ -221,11 +368,15 @@ class RpcConnection:
     def _dispatch_reply(self, message: Message) -> None:
         if isinstance(message, ReplyMessage):
             future = self._waiting.get(message.serial)
-            if future is not None and not future.done():
+            if future is None:
+                self._note_late_reply(message.serial)
+            elif not future.done():
                 future.set_result(message.results)
         elif isinstance(message, ExceptionMessage):
             future = self._waiting.get(message.serial)
-            if future is not None and not future.done():
+            if future is None:
+                self._note_async_failure(message)
+            elif not future.done():
                 future.set_exception(
                     RemoteError(message.remote_type, message.message, message.traceback)
                 )
@@ -236,12 +387,103 @@ class RpcConnection:
                 ProtocolError(f"unexpected message on RPC channel: {message!r}")
             )
 
+    def _note_late_reply(self, serial: int) -> None:
+        """A reply for a call nobody is waiting on any more.
+
+        Most commonly the call timed out (its serial was popped from the
+        table) and the reply straggled in afterwards.  Silently eating
+        it hides real latency problems, so it is counted — and logged
+        once per connection, not once per straggler.
+        """
+        self.late_replies += 1
+        if self._metrics is not None:
+            self._metrics.counter("rpc.client.late_replies").inc()
+        if not self._late_reply_logged:
+            self._late_reply_logged = True
+            logger.warning(
+                "discarding late reply for serial %d on %s "
+                "(further late replies are counted, not logged)",
+                serial,
+                self._channel.peer,
+            )
+
+    def _note_async_failure(self, message: ExceptionMessage) -> None:
+        """Out-of-band server error for a call with no waiting future.
+
+        Protocol v3 servers report handle faults in *batched posts*
+        this way; the serial maps back to the handle the post targeted,
+        which is then marked stale so the next use of that proxy raises
+        :class:`~repro.errors.RemoteStaleError`.  Anything else is a
+        straggler from a timed-out call.
+        """
+        target = self._posted.pop(message.serial, None)
+        if target is not None and message.remote_type in STALE_REMOTE_TYPES:
+            self.mark_stale(Handle(oid=target[0], tag=target[1]))
+            if self._metrics is not None:
+                self._metrics.counter("rpc.client.stale_posts").inc()
+        else:
+            self._note_late_reply(message.serial)
+
     def _fail_all(self, exc: Exception) -> None:
         self._closed = True
+        self._disconnected.set()
         for future in self._waiting.values():
             if not future.done():
                 future.set_exception(exc)
         self._waiting.clear()
+
+    # -- reconnect ----------------------------------------------------------------
+
+    def set_reconnector(self, reconnector) -> None:
+        """Install the coroutine that re-establishes this connection.
+
+        ``reconnector()`` must re-dial, redo the HELLO exchange, and
+        call :meth:`adopt_channel` with the fresh channel (raising on
+        failure).  The client runtime owns that logic; installing it
+        here lets a call-path retry trigger reconnection on demand.
+        """
+        self._reconnector = reconnector
+
+    def adopt_channel(self, channel: MessageChannel) -> None:
+        """Swap in a freshly negotiated channel after a reconnect.
+
+        Proxies keep pointing at this endpoint, so they survive the
+        swap; so does the queued batch — posts accepted before the
+        disconnect flush to the new channel.
+        """
+        if self._reader is not None and not self._reader.done():
+            self._reader.cancel()
+        self._channel = channel
+        self._closed = False
+        self._disconnected.clear()
+        self.reconnects += 1
+        if self._metrics is not None:
+            self._metrics.counter("rpc.client.reconnects").inc()
+        if self._tracer is not None and self._tracer.active:
+            from repro.trace import KIND_RECONNECT
+
+            self._tracer.point(KIND_RECONNECT, "rpc", detail=channel.peer)
+        self._reader = asyncio.get_running_loop().create_task(
+            self._read_loop(), name="rpc-reader"
+        )
+
+    async def _reconnect(self) -> None:
+        """Bring the connection back up, or raise why we cannot."""
+        async with self._reconnect_lock:
+            if self._shutdown:
+                raise ConnectionClosedError("RPC connection closed")
+            if not self._closed:
+                return  # somebody else already reconnected
+            if self._reconnector is None:
+                raise ConnectionClosedError("RPC connection is closed")
+            await self._reconnector()
+            if self._closed:
+                raise ConnectionClosedError("reconnect did not produce a channel")
+
+    @property
+    def disconnected(self) -> asyncio.Event:
+        """Set while the connection is down (used by supervisors)."""
+        return self._disconnected
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -255,6 +497,7 @@ class RpcConnection:
 
     async def close(self) -> None:
         """Flush what we can, stop the reader, close the channel."""
+        self._shutdown = True
         if not self._closed:
             try:
                 await self._batch.flush()

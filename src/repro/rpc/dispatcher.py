@@ -22,17 +22,20 @@ isolation for dynamically loaded classes.
 
 from __future__ import annotations
 
+import asyncio
+import collections
 import time
 import traceback
 from typing import Any, Awaitable, Callable, Optional
 
-from repro.errors import ClamError, HandleError
+from repro.errors import ClamError, DeadlineExpiredError, HandleError
 from repro.bundlers.base import BundlerRegistry
 from repro.handles import Descriptor, Handle, ObjectTable
 from repro.ipc import MessageChannel
 from repro.obs.context import SpanContext, using_context
 from repro.stubs import InterfaceSpec, Skeleton, interface_spec
 from repro.wire import (
+    DEADLINE_VERSION,
     BatchMessage,
     CallMessage,
     ExceptionMessage,
@@ -97,6 +100,7 @@ class Dispatcher:
         call_failed: CallFailed | None = None,
         tracer=None,
         metrics=None,
+        dedup_window: int = 512,
     ):
         self._tracer = tracer
         self._metrics = metrics
@@ -107,7 +111,18 @@ class Dispatcher:
         self._async_error = async_error
         self._call_guard = call_guard
         self._call_failed = call_failed
+        # Completed synchronous calls, serial -> answer already sent.
+        # Client retries re-send the same serial, so a duplicate that
+        # slips past a flaky network re-sends the cached answer instead
+        # of executing again — at-most-once per logical call (§3.4's
+        # exactly-once intent under our retry extension).
+        self._dedup_window = dedup_window
+        self._completed: collections.OrderedDict[int, Message] = (
+            collections.OrderedDict()
+        )
         self.calls_executed = 0
+        self.duplicate_calls = 0
+        self.deadline_expired = 0
 
     def set_builtin(self, skeleton: Skeleton, descriptor: Descriptor) -> None:
         """Install the object served at the well-known handle (oid 0, tag 0).
@@ -156,17 +171,46 @@ class Dispatcher:
 
     async def handle_message(self, message: Message, channel: MessageChannel) -> None:
         """Execute one inbound RPC-channel message, replying as needed."""
+        # Deadlines are relative wire budgets (no clock sync); the
+        # server measures them from its own receipt of the message.
+        arrived = time.monotonic()
         if isinstance(message, CallMessage):
-            await self._run_call(message, channel)
+            await self._run_call(message, channel, arrived)
         elif isinstance(message, BatchMessage):
             # "batched calls will arrive in the correct order" — and
             # they execute in that order too.
             for call in message.calls:
-                await self._run_call(call, channel)
+                await self._run_call(call, channel, arrived)
         else:
             raise ClamError(f"unexpected message on RPC channel: {message!r}")
 
-    async def _run_call(self, call: CallMessage, channel: MessageChannel) -> None:
+    def _remaining_budget(self, call: CallMessage, arrived: float) -> float | None:
+        """Seconds left of the call's wire deadline; None when it has none.
+
+        Raises :class:`DeadlineExpiredError` when the budget is already
+        spent — work nobody will wait for is aborted before it starts.
+        """
+        if not call.deadline_ms:
+            return None
+        budget = call.deadline_ms / 1000.0 - (time.monotonic() - arrived)
+        if budget <= 0:
+            raise DeadlineExpiredError(
+                f"deadline of {call.deadline_ms}ms expired before "
+                f"{call.method!r} started"
+            )
+        return budget
+
+    async def _run_call(
+        self, call: CallMessage, channel: MessageChannel, arrived: float
+    ) -> None:
+        if call.expects_reply and call.serial in self._completed:
+            # A retry of a call that already completed: answer from the
+            # cache, execute nothing.
+            self.duplicate_calls += 1
+            if self._metrics is not None:
+                self._metrics.counter("rpc.server.duplicate_calls").inc()
+            await channel.send(self._completed[call.serial])
+            return
         self.calls_executed += 1
         descriptor: Descriptor | None = None
         # The caller's span, carried in on the wire (protocol v2); it
@@ -180,27 +224,43 @@ class Dispatcher:
         )
         started = time.perf_counter() if self._metrics is not None else 0.0
         try:
+            budget = self._remaining_budget(call, arrived)
             skeleton, descriptor = self.skeleton_for(Handle(oid=call.oid, tag=call.tag))
             if self._call_guard is not None:
                 self._call_guard(descriptor)
-            if self._tracer is not None and self._tracer.active:
-                from repro.trace import KIND_CALL
+            try:
+                if self._tracer is not None and self._tracer.active:
+                    from repro.trace import KIND_CALL
 
-                with self._tracer.span(
-                    KIND_CALL, f"{descriptor.class_name}.{call.method}",
-                    parent=remote,
-                ):
-                    reply_payload = await skeleton.dispatch(call.method, call.args)
-            elif remote is not None:
-                with using_context(remote):
-                    reply_payload = await skeleton.dispatch(call.method, call.args)
-            else:
-                reply_payload = await skeleton.dispatch(call.method, call.args)
+                    with self._tracer.span(
+                        KIND_CALL, f"{descriptor.class_name}.{call.method}",
+                        parent=remote,
+                    ):
+                        reply_payload = await self._dispatch_bounded(
+                            skeleton, call, budget
+                        )
+                elif remote is not None:
+                    with using_context(remote):
+                        reply_payload = await self._dispatch_bounded(
+                            skeleton, call, budget
+                        )
+                else:
+                    reply_payload = await self._dispatch_bounded(skeleton, call, budget)
+            except asyncio.TimeoutError:
+                if budget is None:  # raised by the body, not by our bound
+                    raise
+                raise DeadlineExpiredError(
+                    f"{call.method!r} overran its {call.deadline_ms}ms deadline"
+                ) from None
             if self._metrics is not None:
                 self._metrics.histogram(
                     f"rpc.server.call_us.{descriptor.class_name}.{call.method}"
                 ).observe((time.perf_counter() - started) * 1e6)
         except Exception as exc:
+            if isinstance(exc, DeadlineExpiredError):
+                self.deadline_expired += 1
+                if self._metrics is not None:
+                    self._metrics.counter("rpc.server.deadline_expired").inc()
             if descriptor is not None and self._call_failed is not None:
                 result = self._call_failed(descriptor, call.method, exc)
                 if result is not None:
@@ -208,23 +268,64 @@ class Dispatcher:
             await self._report_failure(call, exc, channel)
             return
         if call.expects_reply:
-            await channel.send(
-                ReplyMessage(serial=call.serial, results=reply_payload or b"")
+            await self._answer(
+                call, ReplyMessage(serial=call.serial, results=reply_payload or b""),
+                channel,
             )
+
+    @staticmethod
+    async def _dispatch_bounded(
+        skeleton: Skeleton, call: CallMessage, budget: float | None
+    ) -> bytes | None:
+        """Run the call body, bounded by what remains of its deadline."""
+        if budget is None:
+            return await skeleton.dispatch(call.method, call.args)
+        return await asyncio.wait_for(
+            skeleton.dispatch(call.method, call.args), budget
+        )
+
+    async def _answer(
+        self, call: CallMessage, message: Message, channel: MessageChannel
+    ) -> None:
+        """Send a synchronous call's answer and cache it for retries."""
+        self._completed[call.serial] = message
+        while len(self._completed) > self._dedup_window:
+            self._completed.popitem(last=False)
+        await channel.send(message)
 
     async def _report_failure(
         self, call: CallMessage, exc: Exception, channel: MessageChannel
     ) -> None:
         if call.expects_reply:
-            await channel.send(
+            await self._answer(
+                call,
                 ExceptionMessage(
                     serial=call.serial,
                     remote_type=type(exc).__name__,
                     message=str(exc),
                     traceback=traceback.format_exc(),
+                ),
+                channel,
+            )
+            return
+        # Batched posts have nobody waiting, but a handle fault is
+        # actionable on the client (drop the proxy): v3 peers get an
+        # out-of-band notification keyed by the post's serial.  Older
+        # clients ignore unknown serials, so this is interop-safe — but
+        # only v3 clients are sent it at all.
+        if (
+            isinstance(exc, HandleError)
+            and channel.protocol_version >= DEADLINE_VERSION
+        ):
+            await channel.send(
+                ExceptionMessage(
+                    serial=call.serial,
+                    remote_type=type(exc).__name__,
+                    message=str(exc),
+                    traceback="",
                 )
             )
-        elif self._async_error is not None:
+        if self._async_error is not None:
             result = self._async_error(call, exc)
             if result is not None:
                 await result

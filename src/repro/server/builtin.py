@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.errors import LoaderError
 from repro.handles import Handle
-from repro.stubs import RemoteInterface, interface_spec
+from repro.stubs import RemoteInterface, idempotent, interface_spec
 
 if TYPE_CHECKING:
     from repro.server.clam import ClamServer
@@ -28,17 +28,31 @@ class ClamServerInterface(RemoteInterface):
 
     __clam_class__ = "clam.server"
 
+    # Read-only methods are marked idempotent so clients configured
+    # with a RetryPolicy may re-send them after a timeout or transport
+    # failure.  Mutators (create/publish/release/load_module/
+    # register_error_handler) are deliberately unmarked: even with the
+    # server's duplicate-serial guard, retrying them is a policy the
+    # application must opt into per call site.
+    @idempotent
     def ping(self) -> int: ...
     def load_module(self, name: str, source: str) -> list[str]: ...
     def create(self, class_name: str, version: int) -> Handle: ...
+    @idempotent
     def lookup(self, name: str) -> Handle: ...
     def publish(self, name: str, target: Handle) -> bool: ...
     def release(self, target: Handle) -> bool: ...
+    @idempotent
     def list_classes(self) -> list[str]: ...
+    @idempotent
     def list_modules(self) -> list[str]: ...
+    @idempotent
     def versions_of(self, class_name: str) -> list[int]: ...
+    @idempotent
     def sync(self) -> int: ...
+    @idempotent
     def stats(self) -> dict[str, int]: ...
+    @idempotent
     def metrics(self) -> dict[str, float]: ...
     def register_error_handler(
         self, handler: Callable[[str, int, str, str], None]

@@ -15,6 +15,8 @@ stream of §4.4 to the session named by its token.
 
 from __future__ import annotations
 
+import asyncio
+import collections
 from typing import Any
 
 from repro.errors import (
@@ -53,10 +55,14 @@ class ClamServer:
         pool_size: int = 32,
         max_active_upcalls: int = 1,
         upcall_timeout: float | None = None,
+        session_linger: float = 0.0,
+        degrade_upcalls: bool = False,
         registry: BundlerRegistry | None = None,
     ):
         if max_active_upcalls < 1:
             raise ValueError("max_active_upcalls must be >= 1")
+        if session_linger < 0:
+            raise ValueError("session_linger must be >= 0")
         if registry is None:
             registry = BundlerRegistry()
             registry.add_resolver(structural_resolver)
@@ -65,6 +71,24 @@ class ClamServer:
         #: Bound on how long a server task stays blocked in a
         #: distributed upcall (§4.3); None = wait forever (the paper).
         self.upcall_timeout = upcall_timeout
+        #: How long a disconnected session survives for resumption.  0
+        #: (the default) retires sessions the moment their RPC stream
+        #: dies — the seed behaviour.  Positive values let a client
+        #: reconnect with its old token and find its dispatcher (and
+        #: its duplicate-call cache, and its RUC bindings) intact.
+        self.session_linger = session_linger
+        #: When True, a *void* distributed upcall that fails — dead
+        #: client, raising handler, timeout — degrades to a no-op: the
+        #: failure is queued here and reported through the §4.3 error
+        #: port instead of propagating into the server layer that held
+        #: the procedure pointer.  Off by default: the paper's RUC
+        #: surfaces handler failures to the caller.
+        self.degrade_upcalls = degrade_upcalls
+        #: Audit trail of degraded upcalls: (session token, callback
+        #: id, error type, message).  Bounded — old entries fall off.
+        self.degraded_upcalls: collections.deque[tuple[str, int, str, str]] = (
+            collections.deque(maxlen=256)
+        )
         #: Sessions derive their registries from this one.
         self.base_registry = registry
         self.exports = Exports()
@@ -146,21 +170,49 @@ class ClamServer:
         # at the negotiated version (min of the two ends).
         channel.protocol_version = negotiate_version(hello.protocol_version)
         if hello.role is ChannelRole.RPC:
-            await self._run_rpc_channel(channel)
+            await self._run_rpc_channel(channel, hello)
         else:
             await self._run_upcall_channel(channel, hello.session)
 
-    async def _run_rpc_channel(self, channel: MessageChannel) -> None:
-        session = Session(self)
+    def _resumable_session(self, token: str) -> Session | None:
+        """The lingering session a reconnecting client may resume.
+
+        Resumable means: the token names a session we kept and its RPC
+        stream is dead.  A token for a session whose stream still looks
+        alive gets a *fresh* session instead — the client compares the
+        token in the HELLO ack and knows its old state is gone.
+        """
+        if not token:
+            return None
+        session = self.sessions.get(token)
+        if session is None:
+            return None
+        if session.rpc_channel is not None and not session.rpc_channel.closed:
+            return None
+        return session
+
+    async def _run_rpc_channel(
+        self, channel: MessageChannel, hello: HelloMessage
+    ) -> None:
+        session = self._resumable_session(hello.session)
+        if session is None:
+            session = Session(self)
+            session.dispatcher.set_builtin(
+                Skeleton(self.builtin, session.registry, spec=self.builtin_spec),
+                _builtin_descriptor(self.builtin),
+            )
+            self.sessions[session.token] = session
+        else:
+            # Resumed: a new upcall stream from this client may now
+            # *replace* the old one (which may not have noticed the
+            # disconnect yet) instead of being rejected as a duplicate.
+            session.generation += 1
         session.rpc_channel = channel
-        session.dispatcher.set_builtin(
-            Skeleton(self.builtin, session.registry, spec=self.builtin_spec),
-            _builtin_descriptor(self.builtin),
-        )
-        self.sessions[session.token] = session
         # Acknowledge with the negotiated version: the client takes the
         # min of what it asked for and what we answer, so both ends of
-        # the channel agree without a second round trip.
+        # the channel agree without a second round trip.  A resuming
+        # client recognizes its old token in the ack; a different token
+        # tells it the old session (and its state) lingered out.
         await channel.send(
             HelloMessage(
                 role=ChannelRole.RPC,
@@ -180,6 +232,30 @@ class ClamServer:
         except ConnectionClosedError:
             pass
         finally:
+            await self._release_rpc_channel(session, channel)
+
+    async def _release_rpc_channel(
+        self, session: Session, channel: MessageChannel
+    ) -> None:
+        """The RPC stream died: retire the session now, or let it linger.
+
+        With ``session_linger > 0`` the session stays resumable for
+        that long; a reaper retires it if no reconnect claims it.  A
+        session already resumed by a newer stream (its ``rpc_channel``
+        is no longer ours) is left alone.
+        """
+        if session.rpc_channel is not channel:
+            return
+        session.rpc_channel = None
+        if self.session_linger <= 0:
+            await self._retire_session(session)
+            return
+        if session.token in self.sessions:
+            self.tasks.spawn(self._reap_after_linger(session), name="session-reaper")
+
+    async def _reap_after_linger(self, session: Session) -> None:
+        await asyncio.sleep(self.session_linger)
+        if session.rpc_channel is None or session.rpc_channel.closed:
             await self._retire_session(session)
 
     async def _run_upcall_channel(self, channel: MessageChannel, token: str) -> None:
@@ -227,6 +303,37 @@ class ClamServer:
     def async_call_failed(self, call, exc: Exception) -> None:
         """Failures of batched calls have nobody waiting; keep them visible."""
         self.async_errors.append((call.method, exc))
+
+    def absorb_upcall_failure(
+        self, token: str, callback_id: int, exc: Exception
+    ) -> bool:
+        """Degradation policy for failed void upcalls (§4 error route).
+
+        Returns True when the failure was absorbed: recorded in the
+        bounded :attr:`degraded_upcalls` queue, counted, and reported
+        through the §4.3 error port on a fresh task — so the RUC call
+        site degrades to a no-op instead of raising.  With
+        ``degrade_upcalls=False`` (default) nothing is absorbed and the
+        RUC propagates the failure, the paper's behaviour.
+        """
+        if not self.degrade_upcalls:
+            return False
+        entry = (token, callback_id, type(exc).__name__, str(exc))
+        self.degraded_upcalls.append(entry)
+        self.metrics.counter("upcall.server.degraded").inc()
+        if self.tracer.active:
+            self.tracer.point(
+                KIND_FAULT,
+                f"upcall-degraded ruc-{callback_id}",
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+        self.tasks.spawn(
+            self.isolator.error_port.deliver(
+                "<upcall>", 0, type(exc).__name__, str(exc)
+            ),
+            name="upcall-degrade-report",
+        )
+        return True
 
     def schedule_fault_replay(self) -> None:
         """Replay queued fault reports to a newly registered handler."""

@@ -62,6 +62,12 @@ class Session:
         )
         self._upcall_channel: MessageChannel | None = None
         self.rpc_channel: MessageChannel | None = None  # set by the server
+        #: Bumped by the server each time the RPC stream is *resumed*;
+        #: an upcall stream remembers the generation it attached in, so
+        #: a post-reconnect attachment can tell itself apart from an
+        #: illegal duplicate (§4.4: at most one live upcall stream).
+        self.generation = 0
+        self._upcall_generation = -1
         # §4.4: "we allow only one upcall to be active per client
         # process.  This limitation ... may be relaxed in future
         # designs."  The relaxation is the server-wide
@@ -84,8 +90,13 @@ class Session:
         back to the server tasks blocked in :meth:`send_upcall`.
         """
         if self.has_upcall_channel:
-            raise UpcallError("session already has an upcall channel")
+            if self._upcall_generation == self.generation:
+                raise UpcallError("session already has an upcall channel")
+            # The RPC stream was resumed since the old upcall stream
+            # attached: this is the reconnecting client's replacement.
+            await self._upcall_channel.close()
         self._upcall_channel = channel
+        self._upcall_generation = self.generation
         try:
             while True:
                 message = await channel.recv()
@@ -95,7 +106,11 @@ class Session:
         except Exception as exc:
             self._fail_waiting(UpcallError(f"upcall channel corrupted: {exc}"))
         finally:
-            self._upcall_channel = None
+            # A reconnecting client may already have attached its new
+            # upcall stream before this (dead) one's loop unwound; only
+            # detach if the slot still holds our channel.
+            if self._upcall_channel is channel:
+                self._upcall_channel = None
 
     def _dispatch_reply(self, message: Message) -> None:
         if isinstance(message, UpcallReplyMessage):
@@ -200,6 +215,16 @@ class Session:
         """Route an upcall reply that arrived on the RPC stream
         (single-stream mode)."""
         self._dispatch_reply(message)
+
+    def report_upcall_failure(self, callback_id: int, exc: Exception) -> bool:
+        """RUC degradation hook (see :class:`repro.core.RemoteUpcall`).
+
+        Returns True when the server's policy absorbed the failure —
+        it was recorded and routed to the §4 error-report port — so a
+        void upcall may degrade to no-op instead of raising into
+        whatever server layer held the procedure pointer.
+        """
+        return self.server.absorb_upcall_failure(self.token, callback_id, exc)
 
     # -- teardown -----------------------------------------------------------------------
 

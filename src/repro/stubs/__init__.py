@@ -21,7 +21,13 @@ types, directions, and in-place bundlers via ``typing.Annotated``.
   the implementation, bundles the reply.
 """
 
-from repro.stubs.signature import BoundMethod, MethodSignature, ParamInfo, Ref
+from repro.stubs.signature import (
+    BoundMethod,
+    MethodSignature,
+    ParamInfo,
+    Ref,
+    idempotent,
+)
 from repro.stubs.interface import InterfaceSpec, RemoteInterface, interface_spec
 from repro.stubs.client import CallEndpoint, Proxy, build_proxy
 from repro.stubs.server import Skeleton
@@ -31,6 +37,7 @@ __all__ = [
     "MethodSignature",
     "ParamInfo",
     "Ref",
+    "idempotent",
     "InterfaceSpec",
     "RemoteInterface",
     "interface_spec",

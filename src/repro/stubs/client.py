@@ -31,7 +31,12 @@ class CallEndpoint(Protocol):
         ...
 
     async def call(self, handle: Handle, method: str, args: bytes) -> bytes:
-        """Synchronous call: flushes pending batch, waits for the reply."""
+        """Synchronous call: flushes pending batch, waits for the reply.
+
+        Methods declared :func:`~repro.stubs.idempotent` are called
+        with an extra ``idempotent=True`` keyword; endpoints that
+        support retries accept it, and it is never passed otherwise.
+        """
         ...
 
     async def post(self, handle: Handle, method: str, args: bytes) -> None:
@@ -98,7 +103,14 @@ def _make_method(signature: MethodSignature):
         if signature.is_async_eligible:
             await endpoint.post(self._clam_handle_, signature.name, payload)
             return None
-        reply = await endpoint.call(self._clam_handle_, signature.name, payload)
+        # The idempotent flag is only passed when set, so endpoints
+        # predating the retry contract keep working unchanged.
+        if signature.idempotent:
+            reply = await endpoint.call(
+                self._clam_handle_, signature.name, payload, idempotent=True
+            )
+        else:
+            reply = await endpoint.call(self._clam_handle_, signature.name, payload)
         return bound.unbundle_reply(reply, values)
 
     remote_method.__name__ = signature.name

@@ -37,6 +37,29 @@ from repro.xdr import XdrStream
 T = TypeVar("T")
 
 
+def idempotent(fn: T) -> T:
+    """Declare a remote method safe to re-send (retry contract).
+
+    An idempotent method may execute zero or more wire deliveries per
+    logical call without changing the outcome — reads, lookups, pings,
+    absolute writes.  Only methods carrying this mark are retried by
+    the client's :class:`~repro.rpc.resilience.RetryPolicy`; everything
+    else fails fast on a lost reply, because the runtime cannot know
+    whether the call took effect.  (The server's duplicate-serial cache
+    additionally suppresses re-execution when a retry and its original
+    both arrive, so the mark governs *re-sending*, not correctness of
+    the dedup layer.)
+
+    Apply it inside a :class:`~repro.stubs.RemoteInterface` declaration::
+
+        class Store(RemoteInterface):
+            @idempotent
+            def get(self, key: str) -> bytes: ...
+    """
+    fn.__clam_idempotent__ = True
+    return fn
+
+
 class Ref(Generic[T]):
     """A mutable cell for ``out``/``inout`` parameters.
 
@@ -106,6 +129,8 @@ class MethodSignature:
     params: list[ParamInfo]
     return_type: Any
     return_inplace_bundler: Bundler | None
+    #: Declared retry-safe via :func:`idempotent`.
+    idempotent: bool = False
 
     _bound_cache: dict[int, "BoundMethod"] = field(default_factory=dict, repr=False)
 
@@ -194,6 +219,7 @@ class MethodSignature:
             params=params,
             return_type=return_base,
             return_inplace_bundler=return_marker.bundler if return_marker else None,
+            idempotent=bool(getattr(fn, "__clam_idempotent__", False)),
         )
 
     def bind(self, registry: BundlerRegistry) -> "BoundMethod":

@@ -48,6 +48,8 @@ KIND_CLIENT_POST = "client-post"   # client queueing an async call
 KIND_FLUSH = "flush"          # a batch leaving the client
 KIND_LOAD = "load"            # a module dynamically loaded
 KIND_FAULT = "fault"          # a loaded class fault recorded
+KIND_FAULT_INJECT = "fault-inject"  # repro.faults injected a fault
+KIND_RECONNECT = "reconnect"  # client re-established its channels
 
 
 @dataclass(frozen=True)

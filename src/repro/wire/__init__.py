@@ -12,6 +12,7 @@ Messages encode to XDR with :func:`encode_message` and decode with
 """
 
 from repro.wire.messages import (
+    DEADLINE_VERSION,
     MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     TRACE_CONTEXT_VERSION,
@@ -31,6 +32,7 @@ from repro.wire.messages import (
 )
 
 __all__ = [
+    "DEADLINE_VERSION",
     "MIN_PROTOCOL_VERSION",
     "PROTOCOL_VERSION",
     "TRACE_CONTEXT_VERSION",

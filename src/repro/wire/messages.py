@@ -30,6 +30,10 @@ context (``trace_id``/``parent_span``) to ``CallMessage`` (and hence
 every ``BatchMessage`` member) and ``UpcallMessage``; on a v1 channel
 those fields are simply not encoded, so a context-unaware peer keeps
 working and the trace tree loses only the hop it cannot see.
+Version 3 appends ``deadline_ms`` to ``CallMessage`` — the caller's
+remaining time budget, letting the server abort work nobody is
+waiting for; a v2 peer never sees the field and simply runs every
+call to completion, so deadlines degrade to client-side timeouts.
 """
 
 from __future__ import annotations
@@ -42,13 +46,16 @@ from repro.errors import ProtocolError, XdrError
 from repro.xdr import XdrStream
 
 #: Bumped when the frame layout changes; negotiated in HELLO.
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
 #: Oldest version this peer still speaks.
 MIN_PROTOCOL_VERSION = 1
 
 #: First version whose frames carry trace context.
 TRACE_CONTEXT_VERSION = 2
+
+#: First version whose calls carry a propagated deadline.
+DEADLINE_VERSION = 3
 
 
 def negotiate_version(peer_version: int) -> int:
@@ -141,6 +148,11 @@ class CallMessage(Message):
 
     ``trace_id``/``parent_span`` (protocol v2) tie the call into the
     caller's distributed trace; empty/0 means "untraced".
+
+    ``deadline_ms`` (protocol v3) is the caller's *remaining* time
+    budget in milliseconds at send time — relative, so no clock
+    synchronization is assumed; 0 means "no deadline".  The server
+    measures the budget from its own receipt of the frame.
     """
 
     TYPE_CODE: ClassVar[_TypeCode] = _TypeCode.CALL
@@ -153,6 +165,7 @@ class CallMessage(Message):
     expects_reply: bool
     trace_id: str = ""
     parent_span: int = 0
+    deadline_ms: int = 0
 
     def bundle(self, stream: XdrStream, version: int = PROTOCOL_VERSION) -> None:
         stream.xuint(self.serial)
@@ -164,6 +177,8 @@ class CallMessage(Message):
         if version >= TRACE_CONTEXT_VERSION:
             stream.xstring(self.trace_id)
             stream.xuhyper(self.parent_span)
+        if version >= DEADLINE_VERSION:
+            stream.xuint(self.deadline_ms)
 
     @classmethod
     def unbundle(
@@ -177,9 +192,12 @@ class CallMessage(Message):
         expects_reply = stream.xbool()
         trace_id = ""
         parent_span = 0
+        deadline_ms = 0
         if version >= TRACE_CONTEXT_VERSION:
             trace_id = stream.xstring()
             parent_span = stream.xuhyper()
+        if version >= DEADLINE_VERSION:
+            deadline_ms = stream.xuint()
         return cls(
             serial=serial,
             oid=oid,
@@ -189,6 +207,7 @@ class CallMessage(Message):
             expects_reply=expects_reply,
             trace_id=trace_id,
             parent_span=parent_span,
+            deadline_ms=deadline_ms,
         )
 
 

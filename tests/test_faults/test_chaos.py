@@ -1,0 +1,163 @@
+"""Seeded chaos runs: the whole resilience stack under random faults.
+
+One run per seed (``CHAOS_SEED`` env var, else 1-5): a seeded fault
+schedule mistreats every frame of a live client/server conversation —
+drops, delays, duplicates, reorders, slow reads, abrupt closes — while
+the workload pushes hundreds of idempotent calls and a batch of
+distributed upcalls through it.  The run must drain with:
+
+- every call completed (retries + reconnects absorb the faults),
+- **exactly-once** execution server-side (the duplicate-serial cache:
+  executed counters equal logical call counts, no more, no less),
+- every upcall either handled by the client or degraded into the §4
+  error-report path (never a wedged server task),
+- every injected fault visible in the obs counters (the audit trail).
+
+Re-running with the seed from a failing CI job replays the same fault
+schedule — that is what makes a chaos failure debuggable.
+"""
+
+import os
+import itertools
+from typing import Callable
+
+import pytest
+
+from repro import ClamClient, ClamServer, RemoteInterface
+from repro.faults import FaultInjector, FaultRates, SeededSchedule
+from repro.obs.metrics import MetricsRegistry
+from repro.rpc import RetryPolicy
+from repro.stubs import idempotent
+from tests.support import async_test
+
+_ids = itertools.count(1)
+
+SEEDS = [int(s) for s in os.environ.get("CHAOS_SEED", "").split(",") if s] or [
+    1,
+    2,
+    3,
+    4,
+    5,
+]
+
+N_CALLS = 200
+N_UPCALLS = 30
+
+WORKLOAD_SOURCE = '''
+from typing import Callable
+
+from repro.stubs import RemoteInterface
+
+
+class Chaos(RemoteInterface):
+    def __init__(self):
+        self.bumps = 0
+        self.pokes = 0
+        self.proc = None
+
+    def bump(self) -> int:
+        self.bumps += 1
+        return self.bumps
+
+    def watch(self, proc: Callable[[int], None]) -> None:
+        self.proc = proc
+
+    async def poke(self, value: int) -> int:
+        self.pokes += 1
+        if self.proc is not None:
+            await self.proc(value)
+        return self.pokes
+
+    def counts(self) -> list[int]:
+        return [self.bumps, self.pokes]
+'''
+
+
+class Chaos(RemoteInterface):
+    @idempotent
+    def bump(self) -> int: ...
+    def watch(self, proc: Callable[[int], None]) -> None: ...
+    @idempotent
+    def poke(self, value: int) -> int: ...
+    @idempotent
+    def counts(self) -> list[int]: ...
+
+
+def chaos_rates() -> FaultRates:
+    """A mild mix: mostly latency, some loss, occasional closes."""
+    return FaultRates(
+        drop=0.015,
+        delay=0.04,
+        duplicate=0.015,
+        reorder=0.015,
+        corrupt=0.0,
+        close=0.004,
+        slow=0.02,
+        max_delay=0.004,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@async_test
+async def test_chaos_run(seed):
+    fault_metrics = MetricsRegistry()
+    schedule = SeededSchedule(seed, rates=chaos_rates(), warmup=16, max_faults=120)
+    injector = FaultInjector(schedule, metrics=fault_metrics)
+
+    # Budget ordering matters: the upcall timeout (after which a dead
+    # upcall degrades) must be shorter than the call deadline, or a
+    # poke stuck on a faulted upcall frame is aborted by its own
+    # propagated deadline before degradation can rescue it.
+    server = ClamServer(
+        session_linger=60.0, degrade_upcalls=True, upcall_timeout=0.3
+    )
+    address = await server.start(f"memory://chaos-{seed}-{next(_ids)}")
+    chaos_url = injector.wrap_url(address)
+    try:
+        client = await ClamClient.connect(
+            chaos_url,
+            call_timeout=0.75,
+            retry=RetryPolicy(attempts=8, base_delay=0.01, max_delay=0.1, seed=seed),
+            reconnect=True,
+            reconnect_policy=RetryPolicy(
+                attempts=10, base_delay=0.01, max_delay=0.1, seed=seed
+            ),
+        )
+        await client.load_module("chaos", WORKLOAD_SOURCE)
+        target = await client.create(Chaos)
+
+        seen = []
+        await target.watch(seen.append)
+        await client.flush()
+
+        # -- the workload: every call must complete -------------------------
+        for i in range(N_CALLS):
+            assert await target.bump() >= 1
+        for i in range(N_UPCALLS):
+            assert await target.poke(i) >= 1
+
+        # -- exactly-once: executed == logical, despite retries and
+        #    duplicated request frames --------------------------------------
+        bumps, pokes = await target.counts()
+        assert bumps == N_CALLS, f"seed {seed}: {bumps} bumps for {N_CALLS} calls"
+        assert pokes == N_UPCALLS, f"seed {seed}: {pokes} pokes for {N_UPCALLS} calls"
+
+        # -- upcalls: handled or degraded, never lost in a wedged task ------
+        degraded = len(server.degraded_upcalls)
+        assert len(seen) >= N_UPCALLS - degraded
+        assert client.upcalls_handled + degraded >= N_UPCALLS
+
+        # -- audit: the run actually suffered, and every injected fault
+        #    is visible in the obs counters ---------------------------------
+        assert injector.injected > 0, f"seed {seed}: no faults injected"
+        assert (
+            fault_metrics.counter("faults.injected.total").value
+            == injector.injected
+        )
+        for kind, count in injector.counts().items():
+            assert fault_metrics.counter(f"faults.injected.{kind}").value == count
+
+        await client.close()
+    finally:
+        await server.shutdown()
+        injector.release_url()

@@ -1,0 +1,256 @@
+"""Unit tests for the fault-injection layer itself.
+
+Every :class:`~repro.faults.FaultKind` is exercised over a raw memory
+connection pair, pinned down by a scripted schedule; the seeded
+schedule is checked for determinism (the whole point of seeds: a chaos
+failure replays); and the audit surfaces (records, counters, trace
+points) are checked so a chaos run can prove faults actually fired.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConnectionClosedError, TransportError
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultRates,
+    FaultRule,
+    FaultyConnection,
+    ScriptedSchedule,
+    SeededSchedule,
+)
+from repro.ipc import register_scheme, transport_for_url, unregister_scheme
+from repro.ipc.memory import MemoryConnection
+from repro.netproto.link import LinkError, LossyLink
+from repro.obs.metrics import MetricsRegistry
+from repro.trace import KIND_FAULT_INJECT, Tracer
+from tests.support import async_test
+
+
+def faulty_pipe(rules, **injector_kwargs):
+    """A (faulty, plain) connection pair driven by scripted rules."""
+    a, b = MemoryConnection.pipe()
+    injector = FaultInjector(ScriptedSchedule(rules), **injector_kwargs)
+    return FaultyConnection(a, injector), b, injector
+
+
+class TestFaultKinds:
+    @async_test
+    async def test_drop_on_send(self):
+        faulty, plain, injector = faulty_pipe(
+            [FaultRule(index=0, kind=FaultKind.DROP, direction="send")]
+        )
+        await faulty.send(b"lost")
+        await faulty.send(b"kept")
+        assert await plain.recv() == b"kept"
+        assert injector.counts() == {"drop": 1}
+
+    @async_test
+    async def test_drop_on_recv(self):
+        faulty, plain, injector = faulty_pipe(
+            [FaultRule(index=0, kind=FaultKind.DROP, direction="recv")]
+        )
+        await plain.send(b"lost")
+        await plain.send(b"kept")
+        assert await faulty.recv() == b"kept"
+        assert injector.counts() == {"drop": 1}
+
+    @async_test
+    async def test_delay_preserves_order(self):
+        faulty, plain, injector = faulty_pipe(
+            [FaultRule(index=0, kind=FaultKind.DELAY, direction="send", delay=0.01)]
+        )
+        await faulty.send(b"one")
+        await faulty.send(b"two")
+        assert await plain.recv() == b"one"
+        assert await plain.recv() == b"two"
+        assert injector.counts() == {"delay": 1}
+
+    @async_test
+    async def test_duplicate_on_send(self):
+        faulty, plain, injector = faulty_pipe(
+            [FaultRule(index=0, kind=FaultKind.DUPLICATE, direction="send")]
+        )
+        await faulty.send(b"twice")
+        assert await plain.recv() == b"twice"
+        assert await plain.recv() == b"twice"
+        assert injector.counts() == {"duplicate": 1}
+
+    @async_test
+    async def test_duplicate_on_recv(self):
+        faulty, plain, injector = faulty_pipe(
+            [FaultRule(index=0, kind=FaultKind.DUPLICATE, direction="recv")]
+        )
+        await plain.send(b"twice")
+        assert await faulty.recv() == b"twice"
+        assert await faulty.recv() == b"twice"
+
+    @async_test
+    async def test_reorder_swaps_adjacent_frames(self):
+        faulty, plain, injector = faulty_pipe(
+            [FaultRule(index=0, kind=FaultKind.REORDER, direction="send")]
+        )
+        await faulty.send(b"first")
+        await faulty.send(b"second")
+        assert await plain.recv() == b"second"
+        assert await plain.recv() == b"first"
+
+    @async_test
+    async def test_reorder_on_recv(self):
+        faulty, plain, injector = faulty_pipe(
+            [FaultRule(index=0, kind=FaultKind.REORDER, direction="recv")]
+        )
+        await plain.send(b"first")
+        await plain.send(b"second")
+        assert await faulty.recv() == b"second"
+        assert await faulty.recv() == b"first"
+
+    @async_test
+    async def test_reordered_frame_survives_close(self):
+        faulty, plain, injector = faulty_pipe(
+            [FaultRule(index=0, kind=FaultKind.REORDER, direction="recv")]
+        )
+        await plain.send(b"held")
+        await plain.close()
+        assert await faulty.recv() == b"held"
+        with pytest.raises(ConnectionClosedError):
+            await faulty.recv()
+
+    @async_test
+    async def test_corrupt_flips_bytes(self):
+        faulty, plain, injector = faulty_pipe(
+            [FaultRule(index=0, kind=FaultKind.CORRUPT, direction="send", offset=1)]
+        )
+        await faulty.send(b"abc")
+        mangled = await plain.recv()
+        assert mangled != b"abc" and len(mangled) == 3
+        assert mangled[0] == ord("a") and mangled[2] == ord("c")
+
+    @async_test
+    async def test_close_is_abrupt(self):
+        faulty, plain, injector = faulty_pipe(
+            [FaultRule(index=1, kind=FaultKind.CLOSE, direction="send")]
+        )
+        await faulty.send(b"fine")
+        with pytest.raises(ConnectionClosedError, match="injected"):
+            await faulty.send(b"doomed")
+        assert faulty.closed
+
+    @async_test
+    async def test_slow_stalls_the_reader(self):
+        faulty, plain, injector = faulty_pipe(
+            [FaultRule(index=0, kind=FaultKind.SLOW, direction="recv", delay=0.02)]
+        )
+        await plain.send(b"late")
+        loop = asyncio.get_running_loop()
+        before = loop.time()
+        assert await faulty.recv() == b"late"
+        assert loop.time() - before >= 0.015
+
+
+class TestAudit:
+    @async_test
+    async def test_records_counters_and_trace_points(self):
+        metrics = MetricsRegistry()
+        tracer = Tracer()
+        seen = []
+        tracer.subscribe(seen.append)
+        faulty, plain, injector = faulty_pipe(
+            [
+                FaultRule(index=0, kind=FaultKind.DROP, direction="send"),
+                FaultRule(index=1, kind=FaultKind.DUPLICATE, direction="send"),
+            ],
+            metrics=metrics,
+            tracer=tracer,
+        )
+        await faulty.send(b"lost")
+        await faulty.send(b"twice")
+        assert metrics.counter("faults.injected.drop").value == 1
+        assert metrics.counter("faults.injected.duplicate").value == 1
+        assert metrics.counter("faults.injected.total").value == 2
+        assert [r.kind for r in injector.records] == [
+            FaultKind.DROP,
+            FaultKind.DUPLICATE,
+        ]
+        assert [e.kind for e in seen] == [KIND_FAULT_INJECT, KIND_FAULT_INJECT]
+        assert injector.injected == 2
+
+
+class TestSeededSchedule:
+    def _sequence(self, seed, frames=400):
+        schedule = SeededSchedule(
+            seed, rates=FaultRates(corrupt=0.01, close=0.01), warmup=0
+        )
+        return [
+            (i, d.kind) if (d := schedule.decide("send", i, b"x")) else None
+            for i in range(frames)
+        ]
+
+    def test_same_seed_same_faults(self):
+        assert self._sequence(7) == self._sequence(7)
+
+    def test_different_seeds_differ(self):
+        assert self._sequence(7) != self._sequence(8)
+
+    def test_warmup_frames_pass_untouched(self):
+        schedule = SeededSchedule(1, rates=FaultRates(drop=1.0), warmup=3)
+        decisions = [schedule.decide("send", i, b"x") for i in range(5)]
+        assert decisions[:3] == [None, None, None]
+        assert all(d is not None for d in decisions[3:])
+
+    def test_max_faults_bounds_injection(self):
+        schedule = SeededSchedule(1, rates=FaultRates(drop=1.0), warmup=0, max_faults=2)
+        decisions = [schedule.decide("send", i, b"x") for i in range(10)]
+        assert sum(d is not None for d in decisions) == 2
+
+
+class TestChaosUrl:
+    @async_test
+    async def test_wrap_url_round_trips_through_injector(self):
+        injector = FaultInjector(ScriptedSchedule([]))
+        url = injector.wrap_url("memory://wrap-url-test")
+        try:
+            scheme = url.partition("://")[0]
+            assert scheme.startswith("chaos")
+            _transport, native = transport_for_url(url)
+            assert native == "memory://wrap-url-test"
+        finally:
+            injector.release_url()
+        with pytest.raises(TransportError):
+            transport_for_url(url)
+
+    def test_builtin_schemes_cannot_be_shadowed(self):
+        with pytest.raises(TransportError):
+            register_scheme("memory", lambda url: None)
+        with pytest.raises(TransportError):
+            register_scheme("bad://", lambda url: None)
+        unregister_scheme("never-registered")  # no-op, no raise
+
+
+class TestLossyLinkSeededDrop:
+    @async_test
+    async def test_drop_rate_is_deterministic_per_seed(self):
+        async def run(seed):
+            link = LossyLink(drop_rate=0.3, seed=seed)
+            got = []
+
+            async def receive(frame):
+                got.append(frame)
+
+            link.attach_b(receive)
+            for i in range(100):
+                await link.send_from_a(str(i))
+            return got
+
+        first, second, other = await run(5), await run(5), await run(6)
+        assert first == second
+        assert first != other
+        assert 0 < len(first) < 100
+
+    def test_policies_are_exclusive(self):
+        with pytest.raises(LinkError):
+            LossyLink(drop_rate=0.5, drop_every_nth=2)
+        with pytest.raises(LinkError):
+            LossyLink(drop_rate=1.5)

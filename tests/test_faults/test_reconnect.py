@@ -1,0 +1,342 @@
+"""Supervised reconnect, session resume, and upcall degradation.
+
+The connection between a ``reconnect=True`` client and a
+``session_linger`` server is dropped mid-conversation and the tests
+check what survives: the session (token, dispatcher state, RUC
+bindings), the proxies (revalidated by lookup replay), and the upcall
+path (a fresh second stream replacing the dead one).  Upcall
+degradation is exercised separately: a failing void upcall on a
+``degrade_upcalls=True`` server becomes an error report, not a wedged
+server layer.
+"""
+
+import asyncio
+import itertools
+from typing import Callable
+
+import pytest
+
+from repro import ClamClient, ClamServer, RemoteInterface
+from repro.errors import RemoteError, RemoteStaleError, StaleHandleError
+from repro.rpc import RetryPolicy
+from repro.stubs import idempotent
+from tests.support import async_test, eventually
+
+_ids = itertools.count(1)
+
+WORKER_SOURCE = '''
+from repro.stubs import RemoteInterface
+
+
+class Worker(RemoteInterface):
+    def __init__(self):
+        self.executed = 0
+
+    def bump(self) -> int:
+        self.executed += 1
+        return self.executed
+
+    def total(self) -> int:
+        return self.executed
+'''
+
+
+class Worker(RemoteInterface):
+    @idempotent
+    def bump(self) -> int: ...
+    @idempotent
+    def total(self) -> int: ...
+
+
+WATCHED_SOURCE = '''
+from typing import Callable
+
+from repro.stubs import RemoteInterface
+
+
+class Watched(RemoteInterface):
+    def __init__(self):
+        self.proc = None
+
+    def watch(self, proc: Callable[[int], None]) -> None:
+        self.proc = proc
+
+    async def poke(self, value: int) -> int:
+        await self.proc(value)
+        return value
+'''
+
+
+class Watched(RemoteInterface):
+    def watch(self, proc: Callable[[int], None]) -> None: ...
+    def poke(self, value: int) -> int: ...
+
+
+async def start(server=None, **client_kwargs):
+    if server is None:
+        server = ClamServer(session_linger=30.0)
+    address = await server.start(f"memory://reconnect-{next(_ids)}")
+    client_kwargs.setdefault(
+        "reconnect_policy", RetryPolicy(attempts=8, base_delay=0.01, seed=1)
+    )
+    client = await ClamClient.connect(address, reconnect=True, **client_kwargs)
+    await client.load_module("worker", WORKER_SOURCE)
+    worker = await client.create(Worker)
+    return server, client, worker
+
+
+async def drop_connection(client):
+    """Sever the RPC stream as a network failure would."""
+    await client.rpc.channel.close()
+    await client.rpc.disconnected.wait()
+
+
+class TestReconnect:
+    @async_test
+    async def test_supervisor_reestablishes_the_connection(self):
+        server, client, worker = await start()
+        assert await worker.bump() == 1
+        token = client.session
+        await drop_connection(client)
+        await eventually(lambda: client.reconnects == 1)
+        # Same session: the token survived and so did the worker state.
+        assert client.session == token
+        assert await worker.bump() == 2
+        assert server.session_count == 1
+        assert client.metrics.counter("rpc.client.reconnects").value == 1
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_call_path_reconnects_on_demand(self):
+        """A call arriving while the stream is down rides the retry
+        loop through a reconnect instead of failing."""
+        server, client, worker = await start(
+            retry=RetryPolicy(attempts=5, base_delay=0.02, seed=2),
+            call_timeout=1.0,
+        )
+        assert await worker.bump() == 1
+        await drop_connection(client)
+        assert await worker.bump() == 2  # no sleep in between
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_without_linger_the_session_is_fresh(self):
+        server, client, worker = await start(server=ClamServer())
+        assert await worker.bump() == 1
+        token = client.session
+        await drop_connection(client)
+        await eventually(lambda: client.reconnects == 1)
+        await eventually(lambda: client.session != token)
+        # Fresh token: the server retired the old session immediately.
+        # Exports are server-wide, so the worker object itself survived.
+        assert await worker.bump() == 2
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_reconnect_is_traced(self):
+        server, client, worker = await start()
+        from repro.trace import KIND_RECONNECT
+
+        events = []
+        client.tracer.subscribe(events.append)
+        await drop_connection(client)
+        await eventually(lambda: client.reconnects == 1)
+        assert any(e.kind == KIND_RECONNECT for e in events)
+        await client.close()
+        await server.shutdown()
+
+
+class TestLookupReplay:
+    @async_test
+    async def test_republished_name_marks_old_proxy_stale(self):
+        server, client, worker = await start()
+        await client.publish("the-worker", worker)
+        looked_up = await client.lookup(Worker, "the-worker")
+        assert await looked_up.bump() == 1
+
+        # Server side: the object is released and the name republished
+        # with a different incarnation while the client is away.
+        replacement = await client.create(Worker)
+        await client.release(looked_up)
+        await client.publish("the-worker", replacement)
+
+        await drop_connection(client)
+        await eventually(lambda: client.reconnects == 1)
+        await eventually(lambda: client.rpc.is_stale(looked_up._clam_handle_))
+
+        with pytest.raises(StaleHandleError):
+            await looked_up.bump()
+        # A fresh lookup reaches the replacement.
+        fresh = await client.lookup(Worker, "the-worker")
+        assert await fresh.bump() == 1
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_vanished_name_marks_old_proxy_stale(self):
+        server, client, worker = await start()
+        await client.publish("ghost", worker)
+        looked_up = await client.lookup(Worker, "ghost")
+        await client.release(looked_up)
+
+        await drop_connection(client)
+        await eventually(lambda: client.reconnects == 1)
+        await eventually(lambda: client.rpc.is_stale(looked_up._clam_handle_))
+        with pytest.raises(StaleHandleError):
+            await looked_up.total()
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_stable_name_survives_replay(self):
+        server, client, worker = await start()
+        await client.publish("stable", worker)
+        looked_up = await client.lookup(Worker, "stable")
+        await drop_connection(client)
+        await eventually(lambda: client.reconnects == 1)
+        await asyncio.sleep(0.05)  # let the replay task finish
+        assert not client.rpc.is_stale(looked_up._clam_handle_)
+        assert await looked_up.bump() == 1
+        await client.close()
+        await server.shutdown()
+
+
+class TestUpcallsAcrossReconnect:
+    @async_test
+    async def test_ruc_binding_survives_session_resume(self):
+        server, client, worker = await start()
+        await client.load_module("watched", WATCHED_SOURCE)
+        watched = await client.create(Watched)
+        seen = []
+        await watched.watch(seen.append)
+        assert await watched.poke(1) == 1
+        assert seen == [1]
+
+        await drop_connection(client)
+        await eventually(lambda: client.reconnects == 1)
+        # The RUC object in the server still points at this client's
+        # callback table entry; the upcall rides the *new* second
+        # stream.
+        assert await watched.poke(2) == 2
+        assert seen == [1, 2]
+        await client.close()
+        await server.shutdown()
+
+
+class TestUpcallDegradation:
+    async def _watched(self, server):
+        address = await server.start(f"memory://degrade-{next(_ids)}")
+        client = await ClamClient.connect(address)
+        await client.load_module("watched", WATCHED_SOURCE)
+        watched = await client.create(Watched)
+        return client, watched
+
+    @async_test
+    async def test_failed_void_upcall_degrades_to_error_report(self):
+        server = ClamServer(degrade_upcalls=True)
+        client, watched = await self._watched(server)
+
+        def bad_watcher(value: int) -> None:
+            raise RuntimeError(f"handler exploded on {value}")
+
+        await watched.watch(bad_watcher)
+        # The poke completes: the dead upcall degraded to a no-op
+        # instead of failing the RPC that happened to trigger it.
+        assert await watched.poke(7) == 7
+        assert len(server.degraded_upcalls) == 1
+        _token, _cb, error_type, message = server.degraded_upcalls[0]
+        assert error_type == "RemoteError"
+        assert "handler exploded on 7" in message
+        assert server.metrics.counter("upcall.server.degraded").value == 1
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_degraded_upcall_reaches_error_port(self):
+        server = ClamServer(degrade_upcalls=True)
+        client, watched = await self._watched(server)
+        reports = []
+        await client.register_error_handler(
+            lambda cls, version, error_type, message: reports.append(
+                (cls, error_type)
+            )
+        )
+
+        def bad_watcher(value: int) -> None:
+            raise RuntimeError("boom")
+
+        await watched.watch(bad_watcher)
+        await watched.poke(1)
+        await eventually(lambda: len(reports) == 1)
+        assert reports[0][0] == "<upcall>"
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_default_server_still_propagates(self):
+        """Degradation is opt-in: the seed behaviour is unchanged."""
+        server = ClamServer()
+        client, watched = await self._watched(server)
+
+        def bad_watcher(value: int) -> None:
+            raise RuntimeError("boom")
+
+        await watched.watch(bad_watcher)
+        with pytest.raises(RemoteError, match="boom"):
+            await watched.poke(1)
+        assert len(server.degraded_upcalls) == 0
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_value_returning_upcall_never_degrades(self):
+        server = ClamServer(degrade_upcalls=True)
+        address = await server.start(f"memory://degrade-{next(_ids)}")
+        client = await ClamClient.connect(address)
+        await client.load_module(
+            "consult",
+            '''
+from typing import Callable
+
+from repro.stubs import RemoteInterface
+
+
+class Consult(RemoteInterface):
+    def __init__(self):
+        self.proc = None
+
+    def watch(self, proc: Callable[[int], int]) -> None:
+        self.proc = proc
+
+    async def ask(self, value: int) -> int:
+        return await self.proc(value)
+''',
+        )
+
+        class Consult(RemoteInterface):
+            def watch(self, proc: Callable[[int], int]) -> None: ...
+            def ask(self, value: int) -> int: ...
+
+        consult = await client.create(Consult)
+
+        def bad_oracle(value: int) -> int:
+            raise RuntimeError("no answer")
+
+        await consult.watch(bad_oracle)
+        # The caller needs the result, so the failure must surface.
+        with pytest.raises(RemoteError, match="no answer"):
+            await consult.ask(5)
+        assert len(server.degraded_upcalls) == 0
+        await client.close()
+        await server.shutdown()
+
+
+class TestRemoteStaleErrorShape:
+    def test_is_both_remote_and_stale(self):
+        exc = RemoteStaleError("StaleHandleError", "gone")
+        assert isinstance(exc, RemoteError)
+        assert isinstance(exc, StaleHandleError)
+        assert exc.remote_type == "StaleHandleError"

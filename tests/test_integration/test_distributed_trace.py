@@ -22,7 +22,7 @@ from repro.trace import (
     KIND_UPCALL_EXEC,
     TimelineRecorder,
 )
-from repro.wire import TRACE_CONTEXT_VERSION
+from repro.wire import PROTOCOL_VERSION, TRACE_CONTEXT_VERSION
 from tests.support import async_test
 
 _ids = itertools.count(1)
@@ -176,9 +176,18 @@ class TestVersionNegotiation:
         await teardown(server, client_a, client_b)
 
     @async_test
-    async def test_v2_client_on_v2_server_reports_v2(self):
+    async def test_current_client_reports_current_version(self):
         server, client_a, client_b, _poker_b = await poker_fixture()
+        assert client_b.protocol_version == PROTOCOL_VERSION
+        await teardown(server, client_a, client_b)
+
+    @async_test
+    async def test_v2_client_negotiates_v2(self):
+        server, client_a, client_b, poker_b = await poker_fixture(
+            protocol_version=TRACE_CONTEXT_VERSION,
+        )
         assert client_b.protocol_version == TRACE_CONTEXT_VERSION
+        assert await poker_b.poke(1) == 0
         await teardown(server, client_a, client_b)
 
     @async_test
@@ -186,7 +195,7 @@ class TestVersionNegotiation:
         server, client_a, client_b, poker_b = await poker_fixture(
             protocol_version=99,
         )
-        assert client_b.protocol_version == TRACE_CONTEXT_VERSION
+        assert client_b.protocol_version == PROTOCOL_VERSION
         assert await poker_b.poke(1) == 0
         await teardown(server, client_a, client_b)
 
