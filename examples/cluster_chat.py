@@ -1,0 +1,155 @@
+"""A chat service that outgrows one server: the repro.cluster tour.
+
+Three pieces, each an ordinary CLAM program:
+
+1. a **directory** — a ClamServer whose one published object speaks
+   ``clam.directory``; replicas advertise themselves under leases;
+2. two **replicas** of a room-registry service, found through the
+   directory and load-balanced by a :class:`ClusterClient`;
+3. a **chat hub** carrying an :class:`UpcallGroup` — one ``post``
+   fans out to every member over that member's own upcall stream.
+
+Run with::
+
+    python examples/cluster_chat.py
+"""
+
+import asyncio
+from typing import Callable
+
+from repro import ClamClient, ClamServer, RemoteInterface
+from repro.cluster import (
+    Advertiser,
+    ClusterClient,
+    DirectoryServer,
+    UpcallGroup,
+)
+from repro.stubs import idempotent
+
+
+# -- the replicated half: a room registry, two replicas ---------------------
+
+class Registry(RemoteInterface):
+    """Which rooms exist — replicated, read-mostly, lease-advertised."""
+
+    __clam_class__ = "chat.registry"
+
+    @idempotent
+    def rooms(self) -> list[str]: ...
+    @idempotent
+    def whoami(self) -> str: ...
+
+
+class RegistryImpl(Registry):
+    def __init__(self, name: str, rooms: list[str]):
+        self._name = name
+        self._rooms = rooms
+
+    def rooms(self) -> list[str]:
+        return sorted(self._rooms)
+
+    def whoami(self) -> str:
+        return self._name
+
+
+# -- the fan-out half: one hub, many members --------------------------------
+
+class ChatHub(RemoteInterface):
+    """The room itself: members join with a procedure pointer."""
+
+    def __init__(self):
+        self.group = UpcallGroup("room", queue_limit=64, slow_policy="drop")
+
+    def join(self, nick: str, receive: Callable[[str, str], None]) -> int:
+        key = self.group.subscribe(receive)
+        return key
+
+    def post(self, nick: str, text: str) -> int:
+        return self.group.post(nick, text)
+
+    async def drain(self) -> int:
+        await self.group.flush()
+        return self.group.delivered
+
+
+class ChatHubIface(RemoteInterface):
+    __clam_class__ = "ChatHub"
+
+    def join(self, nick: str, receive: Callable[[str, str], None]) -> int: ...
+    def post(self, nick: str, text: str) -> int: ...
+    def drain(self) -> int: ...
+
+
+async def main() -> None:
+    # -- raise the cluster --------------------------------------------------
+    directory = DirectoryServer()
+    directory_url = await directory.start("memory://cluster-chat-dir")
+
+    replicas, advertisers = [], []
+    for i, name in enumerate(["registry-east", "registry-west"]):
+        url = f"memory://cluster-chat-replica-{i}"
+        server = ClamServer()
+        server.publish(
+            "chat.registry", RegistryImpl(name, ["lobby", "icdcs-1988"])
+        )
+        await server.start(url)
+        advertiser = Advertiser.for_server(
+            directory_url, "chat.registry", server, url, lease=5.0
+        )
+        await advertiser.start()
+        replicas.append(server)
+        advertisers.append(advertiser)
+    print(f"directory up, {len(replicas)} registry replicas advertised")
+
+    hub_server = ClamServer(degrade_upcalls=True)
+    hub = ChatHub()
+    hub_server.publish("chat.hub", hub)
+    hub_url = await hub_server.start("memory://cluster-chat-hub")
+
+    # -- a client finds the registry through the directory ------------------
+    cluster = await ClusterClient.connect(directory_url, policy="round-robin")
+    registry = await cluster.bind("chat.registry", Registry)
+    rooms = await registry.rooms()
+    print(f"rooms (resolved via directory): {rooms}")
+    served_by = {await registry.whoami() for _ in range(4)}
+    print(f"registry calls balanced across: {sorted(served_by)}")
+
+    # -- three members join the hub; posts fan out to all of them -----------
+    members = {}
+    screens: dict[str, list[str]] = {}
+    for nick in ("alice", "bob", "carol"):
+        client = await ClamClient.connect(hub_url)
+        proxy = await client.lookup(ChatHubIface, "chat.hub")
+        screen: list[str] = []
+
+        def receive(author: str, text: str, nick=nick, screen=screen) -> None:
+            screen.append(f"{author}: {text}")
+
+        await proxy.join(nick, receive)
+        members[nick] = (client, proxy)
+        screens[nick] = screen
+    print(f"{len(members)} members joined the fan-out room")
+
+    _, alice_proxy = members["alice"]
+    await alice_proxy.post("alice", "anyone seen the 1988 proceedings?")
+    await alice_proxy.post("alice", "asking for a friend")
+    delivered = await alice_proxy.drain()
+    print(f"[bob's screen] {screens['bob'][0]}")
+    print(f"fan-out deliveries: {delivered} "
+          f"({hub.group.posts} posts x {len(members)} members)")
+
+    # -- teardown -----------------------------------------------------------
+    for client, _ in members.values():
+        await client.close()
+    await cluster.close()
+    await hub_server.shutdown()
+    for advertiser in advertisers:
+        await advertiser.stop()
+    for server in replicas:
+        await server.shutdown()
+    await directory.shutdown()
+    print("done")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

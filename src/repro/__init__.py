@@ -39,6 +39,7 @@ from repro.errors import (
     BundleError,
     ClamError,
     CallTimeoutError,
+    ClusterError,
     ConnectionClosedError,
     DeadlineExpiredError,
     FaultyClassError,
@@ -46,11 +47,13 @@ from repro.errors import (
     HandleError,
     LoaderError,
     ModuleVersionError,
+    NoReplicasError,
     ProtocolError,
     RegistrationError,
     RemoteError,
     RemoteStaleError,
     RpcError,
+    SlowSubscriberError,
     StaleHandleError,
     TaskError,
     TransportError,
@@ -111,5 +114,8 @@ __all__ = [
     "ModuleVersionError",
     "FaultyClassError",
     "TaskError",
+    "ClusterError",
+    "NoReplicasError",
+    "SlowSubscriberError",
     "__version__",
 ]

@@ -9,6 +9,7 @@ Usage::
     python -m repro.bench sweep      # the §2.1 placement experiment
     python -m repro.bench tasks      # the §4.4 task-reuse ablation
     python -m repro.bench upcalls    # the §4.4 channel-layout + concurrency ablations
+    python -m repro.bench fanout     # cluster fan-out: 1 publisher, N subscribers
 
     python -m repro.bench --json BENCH_rpc.json           # perf record
     python -m repro.bench --json BENCH_rpc.json --quick   # CI smoke mode
@@ -24,13 +25,16 @@ from repro.bench import (
     arq_bench,
     batching,
     bundlers_bench,
+    fanout_bench,
     fig51,
     sweep_bench,
     tasks_bench,
     upcall_bench,
 )
 
-SUITES = ("fig51", "batching", "bundlers", "sweep", "tasks", "upcalls", "arq")
+SUITES = (
+    "fig51", "batching", "bundlers", "sweep", "tasks", "upcalls", "arq", "fanout",
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -80,6 +84,8 @@ def main(argv: list[str] | None = None) -> int:
                 upcall_bench.main(base_dir)
             elif suite == "arq":
                 arq_bench.main()
+            elif suite == "fanout":
+                fanout_bench.main(base_dir)
     return 0
 
 

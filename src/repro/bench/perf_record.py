@@ -130,12 +130,24 @@ def _git_sha() -> str:
         return "unknown"
 
 
+def _collect_fanout(quick: bool) -> dict[str, dict[str, float]]:
+    """The cluster fan-out scenario (1 publisher, N subscribers)."""
+    import asyncio
+    import tempfile
+
+    from repro.bench import fanout_bench
+
+    with tempfile.TemporaryDirectory(prefix="clam-fanout-") as base_dir:
+        return asyncio.run(fanout_bench.record(base_dir, quick=quick))
+
+
 def collect(quick: bool = False) -> dict[str, Any]:
     """Run the suite and return the perf record as a plain dict."""
     repeats = 20 if quick else 200
     benchmarks = {
         name: _measure(fn, repeats) for name, fn in _workloads().items()
     }
+    fanout = _collect_fanout(quick)
 
     def speedup(kind: str) -> float:
         interp = benchmarks[f"bundle_{kind}_x100_interpreted"]["median_us"]
@@ -150,6 +162,7 @@ def collect(quick: bool = False) -> dict[str, Any]:
         "python": platform.python_version(),
         "quick": quick,
         "benchmarks": benchmarks,
+        "fanout": fanout,
         "derived": {
             "compiled_speedup_point": speedup("point"),
             "compiled_speedup_reading": speedup("reading"),
@@ -169,6 +182,9 @@ def write_record(path: str, quick: bool = False) -> dict[str, Any]:
     for name, stats in record["benchmarks"].items():
         print(f"  {name:<{width}}  median {stats['median_us']:>9.1f}us  "
               f"p95 {stats['p95_us']:>9.1f}us")
+    for name, stats in record.get("fanout", {}).items():
+        print(f"  {name:<{width}}  {stats['posts_per_sec']:>9.0f} posts/s  "
+              f"p95 {stats['p95_delivery_us']:>9.1f}us")
     for name, value in record["derived"].items():
         print(f"  {name}: {value}x")
     return record

@@ -474,8 +474,21 @@ class ClamClient:
         return proxy
 
     async def publish(self, name: str, proxy: Proxy) -> None:
-        """Publish an object this client holds a proxy for."""
+        """Publish an object this client holds a proxy for.
+
+        Publishing over an existing name deliberately overwrites it;
+        clients that looked the old binding up see their proxies go
+        stale after their next reconnect replay.
+        """
         await self._builtin.publish(name, proxy._clam_handle_)
+
+    async def unpublish(self, name: str) -> bool:
+        """Retract a published name (the object itself stays valid)."""
+        return await self._builtin.unpublish(name)
+
+    async def list_names(self) -> list[str]:
+        """Enumerate the server's published namespace."""
+        return await self._builtin.list_names()
 
     async def release(self, proxy: Proxy) -> None:
         """Revoke the object behind ``proxy``; all copies of its handle

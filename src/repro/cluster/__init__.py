@@ -1,0 +1,65 @@
+"""repro.cluster — many servers behind one namespace, one event to many.
+
+The paper stops at one server per conversation: naming is the single
+server's builtin ``lookup``/``publish`` (§2), and each registered
+procedure pointer feeds exactly one client (§3.5.2, §4).  This package
+is the step beyond, built entirely on the layers underneath (client,
+server, rpc, handles, resilience):
+
+- :class:`DirectoryServer` / :class:`DirectoryImpl` — a ClamServer
+  hosting the ``clam.directory`` interface: replicas ``advertise``
+  under a lease and heartbeat it; entries expire when heartbeats stop.
+- :class:`Advertiser` — the replica-side heartbeat loop, composed from
+  the resilience layer (supervised reconnect + idempotent retries).
+- :class:`ClusterClient` / :class:`ReplicaPool` — resolve a service
+  through the directory, cache endpoints, and balance synchronous
+  calls across live replicas (:class:`RoundRobin` /
+  :class:`LeastLoaded`), failing over on transport errors.
+- :class:`UpcallGroup` — server-side fan-out: many RUCs under one
+  topic, one ``post()`` delivered to every subscriber over its own
+  upcall stream, with bounded queues and a slow-subscriber policy.
+
+See ``docs/CLUSTER.md`` for protocol and timing details, and
+``examples/cluster_chat.py`` for the whole story in one file.
+"""
+
+from repro.cluster.advertise import Advertiser
+from repro.cluster.directory import (
+    DEFAULT_LEASE,
+    DIRECTORY_SERVICE,
+    DirectoryImpl,
+    DirectoryInterface,
+    DirectoryServer,
+)
+from repro.cluster.endpoints import Endpoint
+from repro.cluster.group import SLOW_POLICIES, UpcallGroup
+from repro.cluster.pool import (
+    POLICIES,
+    BalancingPolicy,
+    ClusterClient,
+    ClusterProxy,
+    LeastLoaded,
+    Replica,
+    ReplicaPool,
+    RoundRobin,
+)
+
+__all__ = [
+    "DEFAULT_LEASE",
+    "DIRECTORY_SERVICE",
+    "DirectoryImpl",
+    "DirectoryInterface",
+    "DirectoryServer",
+    "Advertiser",
+    "Endpoint",
+    "ClusterClient",
+    "ClusterProxy",
+    "ReplicaPool",
+    "Replica",
+    "BalancingPolicy",
+    "RoundRobin",
+    "LeastLoaded",
+    "POLICIES",
+    "UpcallGroup",
+    "SLOW_POLICIES",
+]

@@ -1,0 +1,199 @@
+"""Replica-side advertising: keep one (service, url) lease alive.
+
+An :class:`Advertiser` is what turns an ordinary ClamServer into a
+cluster replica: it connects a plain ClamClient to the directory,
+advertises the replica's address under a lease, and heartbeats it on
+a timer until stopped.  Everything hard — redialing a dropped
+directory connection, retrying a timed-out heartbeat — is *composed*
+from the resilience layer, not re-implemented: the directory client
+runs with ``reconnect=True`` and a :class:`~repro.rpc.RetryPolicy`,
+and every directory method is ``@idempotent``, so the heartbeat loop
+itself stays a dozen lines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import TYPE_CHECKING, Callable
+
+from repro.cluster.directory import DIRECTORY_SERVICE, DirectoryInterface
+from repro.rpc import RetryPolicy
+
+if TYPE_CHECKING:
+    from repro.server import ClamServer
+
+logger = logging.getLogger(__name__)
+
+
+class Advertiser:
+    """Advertise one service endpoint and heartbeat its lease.
+
+    ``load`` is a zero-argument callable sampled at every heartbeat —
+    the advertised load is therefore at most one heartbeat interval
+    stale.  :meth:`for_server` wires it to the server's live session
+    count, the simplest honest load signal; richer deployments can
+    scrape the server's ``metrics()`` instead.
+    """
+
+    def __init__(
+        self,
+        directory_url: str,
+        service: str,
+        url: str,
+        *,
+        load: Callable[[], float] | None = None,
+        lease: float = 0.0,
+        interval: float | None = None,
+        retry: RetryPolicy | None = None,
+        connect_timeout: float | None = 5.0,
+    ):
+        if interval is not None and interval <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        self.directory_url = directory_url
+        self.service = service
+        self.url = url
+        self._load = load if load is not None else (lambda: 0.0)
+        self._lease = lease
+        # A lease must outlive the gap between heartbeats with margin;
+        # one third is the classic choice (two heartbeats may be lost
+        # before the entry lapses).
+        self._interval = interval
+        self._retry = retry if retry is not None else RetryPolicy(
+            attempts=5, base_delay=0.05, max_delay=0.5
+        )
+        self._connect_timeout = connect_timeout
+        self._client = None
+        self._directory = None
+        self._task: asyncio.Task | None = None
+        self._stopped = asyncio.Event()
+        #: Lease generation from the latest advertise.
+        self.generation = 0
+        #: Successful heartbeats sent.
+        self.heartbeats = 0
+        #: Times the lease lapsed and had to be re-advertised.
+        self.renewals = 0
+        #: Heartbeats that failed outright (transport down, retries spent).
+        self.misses = 0
+
+    @classmethod
+    def for_server(
+        cls,
+        directory_url: str,
+        service: str,
+        server: "ClamServer",
+        url: str,
+        **options,
+    ) -> "Advertiser":
+        """An advertiser whose load signal is the server's session count."""
+        options.setdefault("load", lambda: float(server.session_count))
+        return cls(directory_url, service, url, **options)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> int:
+        """Connect, advertise, and start the heartbeat task.
+
+        Returns the lease generation the directory issued.  Raises if
+        the *initial* advertisement cannot be placed — a replica that
+        never made it into the namespace should fail loudly at startup,
+        not silently heartbeat into the void.
+        """
+        from repro.client import ClamClient
+
+        if self._task is not None:
+            raise RuntimeError("advertiser already started")
+        self._client = await ClamClient.connect(
+            self.directory_url,
+            retry=self._retry,
+            reconnect=True,
+            reconnect_policy=self._retry,
+            connect_timeout=self._connect_timeout,
+        )
+        try:
+            self._directory = await self._client.lookup(
+                DirectoryInterface, DIRECTORY_SERVICE
+            )
+            self.generation = await self._directory.advertise(
+                self.service, self.url, self._load(), self._lease
+            )
+        except BaseException:
+            await self._client.close()
+            self._client = None
+            raise
+        self._stopped.clear()
+        self._task = asyncio.get_running_loop().create_task(
+            self._heartbeat_loop(), name=f"advertiser-{self.service}"
+        )
+        return self.generation
+
+    async def stop(self, *, withdraw: bool = True) -> None:
+        """Stop heartbeating; by default also retract the entry now.
+
+        ``withdraw=False`` leaves the lease to lapse on its own — the
+        shape of a crash, useful in tests.
+        """
+        self._stopped.set()
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._task = None
+        if self._client is not None:
+            if withdraw and self._directory is not None:
+                try:
+                    await self._directory.withdraw(self.service, self.url)
+                except Exception:
+                    pass  # the lease lapses anyway
+            await self._client.close()
+            self._client = None
+            self._directory = None
+
+    async def __aenter__(self) -> "Advertiser":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.stop()
+
+    # -- the loop -----------------------------------------------------------------
+
+    @property
+    def interval(self) -> float:
+        if self._interval is not None:
+            return self._interval
+        from repro.cluster.directory import DEFAULT_LEASE
+
+        lease = self._lease if self._lease > 0 else DEFAULT_LEASE
+        return lease / 3.0
+
+    async def _heartbeat_loop(self) -> None:
+        while not self._stopped.is_set():
+            await asyncio.sleep(self.interval)
+            if self._stopped.is_set():
+                return
+            try:
+                alive = await self._directory.heartbeat(
+                    self.service, self.url, self._load()
+                )
+                if alive:
+                    self.heartbeats += 1
+                else:
+                    # The lease lapsed under us (directory restarted,
+                    # or we were partitioned past it): re-advertise.
+                    self.generation = await self._directory.advertise(
+                        self.service, self.url, self._load(), self._lease
+                    )
+                    self.renewals += 1
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                # Transport trouble beyond what retry+reconnect absorbed;
+                # count it and try again next interval — the client's
+                # supervisor is re-dialing underneath us.
+                self.misses += 1
+                logger.debug(
+                    "heartbeat for %s@%s missed: %s", self.service, self.url, exc
+                )

@@ -1,0 +1,267 @@
+"""The directory service: one namespace over many servers.
+
+CLAM's naming story is a single server's builtin ``lookup``/``publish``
+(§2) — one process, one namespace.  The cluster layer splits the two:
+a *directory* is a ClamServer whose only published object speaks the
+``clam.directory`` interface, and ordinary servers become *replicas*
+by advertising ``(service, url, load)`` entries under a lease.
+
+Liveness is lease-based, the classic broker shape (ODP channel
+objects resolve services the same way): an advertisement is good for
+``lease`` seconds; heartbeats refresh it; an entry whose heartbeats
+stop simply expires out of every later resolution.  No failure
+detector, no callbacks — the directory never dials anybody.
+
+All methods are declared ``@idempotent``: re-advertising a lease,
+re-refreshing it, or re-withdrawing an entry converges to the same
+directory state, so clients configured with a
+:class:`~repro.rpc.RetryPolicy` may retry every directory call across
+timeouts and reconnects.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from repro.cluster.endpoints import Endpoint
+from repro.stubs import RemoteInterface, idempotent
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+
+#: The name the directory object is published under in its own server —
+#: the one well-known name of the cluster layer.
+DIRECTORY_SERVICE = "clam.directory"
+
+#: Lease granted when the advertiser does not ask for a specific one.
+DEFAULT_LEASE = 2.0
+
+
+class DirectoryInterface(RemoteInterface):
+    """Declaration of the directory protocol (clients build proxies on it)."""
+
+    __clam_class__ = "clam.directory"
+
+    # Every method is idempotent by construction (leases converge), so
+    # the whole protocol is retry-safe under a client RetryPolicy.
+    @idempotent
+    def advertise(self, service: str, url: str, load: float, lease: float) -> int: ...
+    @idempotent
+    def heartbeat(self, service: str, url: str, load: float) -> bool: ...
+    @idempotent
+    def withdraw(self, service: str, url: str) -> bool: ...
+    @idempotent
+    def resolve(self, service: str) -> list[Endpoint]: ...
+    @idempotent
+    def list_services(self) -> list[str]: ...
+    @idempotent
+    def entry_count(self) -> int: ...
+
+
+class _Lease:
+    """One advertised (service, url) pair and when it lapses."""
+
+    __slots__ = ("service", "url", "load", "generation", "lease", "expires_at")
+
+    def __init__(self, service: str, url: str, load: float, lease: float, now: float):
+        self.service = service
+        self.url = url
+        self.load = load
+        self.generation = 1
+        self.lease = lease
+        self.expires_at = now + lease
+
+    def refresh(self, load: float, now: float) -> None:
+        self.load = load
+        self.expires_at = now + self.lease
+
+    def endpoint(self) -> Endpoint:
+        return Endpoint(
+            service=self.service,
+            url=self.url,
+            load=self.load,
+            generation=self.generation,
+        )
+
+
+class DirectoryImpl(DirectoryInterface):
+    """Server-side implementation of the directory protocol.
+
+    Expiry is *lazy*: every entry carries its deadline and is swept on
+    the next read or write that touches its service.  A directory with
+    no traffic holds stale entries in memory but never serves them —
+    and needs no reaper task of its own.
+    """
+
+    __clam_local__ = ("sweep_now",)
+
+    def __init__(
+        self,
+        *,
+        default_lease: float = DEFAULT_LEASE,
+        max_lease: float = 60.0,
+        metrics: "MetricsRegistry | None" = None,
+        clock=time.monotonic,
+    ):
+        if default_lease <= 0:
+            raise ValueError("default_lease must be positive")
+        self._default_lease = default_lease
+        self._max_lease = max_lease
+        self._metrics = metrics
+        self._clock = clock
+        self._services: dict[str, dict[str, _Lease]] = {}
+        self.expired = 0
+
+    # -- the protocol ------------------------------------------------------------
+
+    def advertise(self, service: str, url: str, load: float, lease: float) -> int:
+        """Register (or re-register) a replica; returns its generation.
+
+        ``lease`` <= 0 asks for the directory's default; anything above
+        ``max_lease`` is clamped — a replica cannot park itself in the
+        namespace forever by asking for an enormous lease.
+        """
+        if not service or not url:
+            raise ValueError("advertise needs a service name and a url")
+        now = self._clock()
+        lease = self._default_lease if lease <= 0 else min(lease, self._max_lease)
+        entries = self._sweep(service, now)
+        existing = entries.get(url)
+        if existing is not None:
+            # Re-advertising a live entry bumps the generation: the
+            # replica restarted (or believes it did), and resolvers may
+            # want to drop cached connections to it.
+            existing.generation += 1
+            existing.lease = lease
+            existing.refresh(load, now)
+            generation = existing.generation
+        else:
+            entry = _Lease(service, url, load, lease, now)
+            entries[url] = entry
+            # _sweep unregisters a service whose every lease lapsed (and
+            # hands back an unregistered dict) — re-register it now that
+            # it holds a live entry again.
+            self._services[service] = entries
+            generation = entry.generation
+        if self._metrics is not None:
+            self._metrics.counter("cluster.directory.advertised").inc()
+            self._metrics.gauge("cluster.directory.entries").set(
+                float(sum(len(v) for v in self._services.values()))
+            )
+        return generation
+
+    def heartbeat(self, service: str, url: str, load: float) -> bool:
+        """Refresh a lease; False means it lapsed — re-advertise."""
+        now = self._clock()
+        entry = self._sweep(service, now).get(url)
+        if entry is None:
+            return False
+        entry.refresh(load, now)
+        if self._metrics is not None:
+            self._metrics.counter("cluster.directory.heartbeats").inc()
+        return True
+
+    def withdraw(self, service: str, url: str) -> bool:
+        """Retract an entry immediately (clean shutdown beats lease expiry)."""
+        entries = self._services.get(service)
+        if entries is None or entries.pop(url, None) is None:
+            return False
+        if not entries:
+            del self._services[service]
+        if self._metrics is not None:
+            self._metrics.counter("cluster.directory.withdrawn").inc()
+            self._metrics.gauge("cluster.directory.entries").set(
+                float(sum(len(v) for v in self._services.values()))
+            )
+        return True
+
+    def resolve(self, service: str) -> list[Endpoint]:
+        """The live replicas of ``service``, in stable (url) order.
+
+        An empty list is an answer, not an error: a service whose every
+        lease lapsed resolves to nothing until a replica heartbeats
+        back in.
+        """
+        entries = self._sweep(service, self._clock())
+        return [entries[url].endpoint() for url in sorted(entries)]
+
+    def list_services(self) -> list[str]:
+        now = self._clock()
+        return sorted(
+            service
+            for service in list(self._services)
+            if self._sweep(service, now)
+        )
+
+    def entry_count(self) -> int:
+        now = self._clock()
+        return sum(len(self._sweep(service, now)) for service in list(self._services))
+
+    # -- host-side helpers (not remote) ------------------------------------------
+
+    def sweep_now(self) -> int:
+        """Expire every lapsed lease immediately; returns how many fell."""
+        before = self.expired
+        now = self._clock()
+        for service in list(self._services):
+            self._sweep(service, now)
+        return self.expired - before
+
+    def _sweep(self, service: str, now: float) -> dict[str, _Lease]:
+        entries = self._services.setdefault(service, {})
+        lapsed = [url for url, entry in entries.items() if entry.expires_at <= now]
+        for url in lapsed:
+            del entries[url]
+        if lapsed:
+            self.expired += len(lapsed)
+            if self._metrics is not None:
+                self._metrics.counter("cluster.directory.expired").inc(len(lapsed))
+                self._metrics.gauge("cluster.directory.entries").set(
+                    float(sum(len(v) for v in self._services.values()))
+                )
+        if not entries:
+            self._services.pop(service, None)
+            return {}
+        return entries
+
+
+class DirectoryServer:
+    """A ClamServer whose published namespace is the directory itself.
+
+    The embedding pattern of §4.2 (the server creates its screen before
+    clients arrive), applied to naming: the directory object is created
+    host-side and published under :data:`DIRECTORY_SERVICE` before the
+    listener opens, so the first advertiser already finds it.
+    """
+
+    def __init__(
+        self,
+        *,
+        default_lease: float = DEFAULT_LEASE,
+        max_lease: float = 60.0,
+        **server_options,
+    ):
+        from repro.server import ClamServer
+
+        self.server = ClamServer(**server_options)
+        self.directory = DirectoryImpl(
+            default_lease=default_lease,
+            max_lease=max_lease,
+            metrics=self.server.metrics,
+        )
+        self.server.publish(DIRECTORY_SERVICE, self.directory)
+        self.address = ""
+
+    async def start(self, url: str) -> str:
+        self.address = await self.server.start(url)
+        return self.address
+
+    async def shutdown(self) -> None:
+        await self.server.shutdown()
+
+    async def __aenter__(self) -> "DirectoryServer":
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.shutdown()

@@ -1,0 +1,30 @@
+"""Wire-level records of the cluster layer.
+
+The directory protocol speaks plain dataclasses so both ends derive
+their bundlers structurally (§3.1 — "the compiler has sufficient
+information to generate the stubs directly").  Nothing here knows
+about leases or liveness; an :class:`Endpoint` is simply what a
+resolution returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One live replica of a service, as the directory reports it.
+
+    ``load`` is whatever the replica last advertised (its heartbeat
+    refreshes it) — typically its session count or a scrape of its
+    builtin ``metrics()``.  ``generation`` counts advertisements of
+    this (service, url) pair: a replica that lapsed and re-advertised
+    shows a higher generation, which lets clients tell "same endpoint,
+    restarted" from "same endpoint, uninterrupted".
+    """
+
+    service: str
+    url: str
+    load: float
+    generation: int

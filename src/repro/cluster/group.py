@@ -1,0 +1,355 @@
+"""Fan-out upcall groups: one event source, many subscribers.
+
+The paper's RUC is strictly one procedure pointer per registration
+(§3.5.2, §4) — one event, one client.  An :class:`UpcallGroup` holds
+*many* RUCs registered under one topic and turns one :meth:`post` into
+one delivery per subscriber, each over that subscriber's own upcall
+stream, without ever blocking the publisher on the slowest client:
+
+- ``post()`` only *enqueues* — per-subscriber bounded queues decouple
+  the publisher from delivery;
+- one pump task per subscriber drains its queue in order, preserving
+  the per-connection ordering guarantee subscribers already get from
+  single RUCs;
+- a subscriber whose queue overflows is handled by the group's
+  ``slow_policy``: ``"drop"`` the new event for it, ``"coalesce"`` the
+  backlog down to the newest event, or ``"evict"`` the subscriber
+  entirely;
+- a subscriber whose *delivery* dies (client gone, channel dead) is
+  always evicted — a queue aimed at nobody only grows.
+
+Evictions are surfaced the way failed void upcalls already are: the
+RUC's sender exposes ``report_upcall_failure`` (the §4.3 error-port
+degradation path, ``ClamServer(degrade_upcalls=True)``), and the
+group offers every eviction to it.  Counters:
+``cluster.fanout.delivered`` / ``dropped`` / ``coalesced`` /
+``evicted`` / ``posts``.
+
+The group is transport-agnostic: anything awaitable can subscribe —
+a :class:`~repro.core.RemoteUpcall`, a local coroutine function, or a
+plain callable — so a layer can be tested locally and deployed
+distributed, the paper's layering promise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import itertools
+from typing import Any, Callable
+
+from repro.errors import SlowSubscriberError, TransportError, UpcallError
+
+#: Accepted slow-subscriber policies.
+SLOW_POLICIES = ("drop", "coalesce", "evict")
+
+
+class _Subscriber:
+    """One registered procedure: queue, pump task, counters."""
+
+    __slots__ = (
+        "key", "proc", "queue", "wakeup", "idle", "task",
+        "delivered", "dropped", "coalesced", "alive",
+    )
+
+    def __init__(self, key: int, proc: Callable[..., Any]):
+        self.key = key
+        self.proc = proc
+        self.queue: list[tuple] = []
+        self.wakeup = asyncio.Event()
+        self.idle = asyncio.Event()
+        self.idle.set()
+        self.task: asyncio.Task | None = None
+        self.delivered = 0
+        self.dropped = 0
+        self.coalesced = 0
+        self.alive = True
+
+
+class UpcallGroup:
+    """Server-side fan-out over many registered upcall procedures."""
+
+    def __init__(
+        self,
+        topic: str = "fanout",
+        *,
+        queue_limit: int = 32,
+        slow_policy: str = "drop",
+        metrics=None,
+        tracer=None,
+        on_evict: Callable[[int, Exception], Any] | None = None,
+    ):
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if slow_policy not in SLOW_POLICIES:
+            raise ValueError(
+                f"slow_policy must be one of {SLOW_POLICIES}, not {slow_policy!r}"
+            )
+        self.topic = topic
+        self.queue_limit = queue_limit
+        self.slow_policy = slow_policy
+        self._metrics = metrics
+        self._tracer = tracer
+        self._on_evict = on_evict
+        self._keys = itertools.count(1)
+        self._subscribers: dict[int, _Subscriber] = {}
+        self._closed = False
+        #: Aggregate counters (per-subscriber ones live on the entries).
+        self.posts = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.coalesced = 0
+        self.evicted = 0
+        self.errors = 0
+
+    # -- membership ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._subscribers)
+
+    @property
+    def subscriber_keys(self) -> list[int]:
+        return list(self._subscribers)
+
+    def subscribe(self, proc: Callable[..., Any]) -> int:
+        """Add a procedure to the topic; returns its subscription key.
+
+        ``proc`` is awaited per event if it returns an awaitable (a
+        RemoteUpcall or coroutine function) and called plainly
+        otherwise.  The pump task starts immediately.
+        """
+        if self._closed:
+            raise UpcallError(f"upcall group {self.topic!r} is closed")
+        if not callable(proc):
+            raise UpcallError(f"subscriber must be callable, got {proc!r}")
+        key = next(self._keys)
+        subscriber = _Subscriber(key, proc)
+        self._subscribers[key] = subscriber
+        subscriber.task = asyncio.get_running_loop().create_task(
+            self._pump(subscriber), name=f"fanout-{self.topic}-{key}"
+        )
+        return key
+
+    def unsubscribe(self, key: int) -> bool:
+        """Remove a subscriber; pending events for it are discarded."""
+        subscriber = self._subscribers.pop(key, None)
+        if subscriber is None:
+            return False
+        self._detach(subscriber)
+        return True
+
+    def _detach(self, subscriber: _Subscriber) -> None:
+        subscriber.alive = False
+        subscriber.queue.clear()
+        subscriber.idle.set()
+        subscriber.wakeup.set()  # let the pump observe alive=False and exit
+        if subscriber.task is not None and not subscriber.task.done():
+            subscriber.task.cancel()
+
+    # -- publishing ---------------------------------------------------------------
+
+    def post(self, *args: Any) -> int:
+        """Enqueue one event to every subscriber; returns how many got it.
+
+        Never blocks and never raises for subscriber trouble — slow
+        queues hit the ``slow_policy``, dead deliveries evict from the
+        pump.  Synchronous on purpose: any server layer (an RPC
+        handler, a timer task) can post without being coupled to the
+        slowest client.
+        """
+        if self._closed:
+            raise UpcallError(f"upcall group {self.topic!r} is closed")
+        self.posts += 1
+        enqueued = 0
+        for subscriber in list(self._subscribers.values()):
+            if not subscriber.alive:
+                continue
+            if len(subscriber.queue) >= self.queue_limit:
+                if not self._handle_slow(subscriber):
+                    continue  # event not enqueued for this subscriber
+            subscriber.queue.append(args)
+            subscriber.idle.clear()
+            subscriber.wakeup.set()
+            enqueued += 1
+        if self._metrics is not None:
+            self._metrics.counter("cluster.fanout.posts").inc()
+        return enqueued
+
+    def _handle_slow(self, subscriber: _Subscriber) -> bool:
+        """Apply the slow policy; True means the new event may enqueue."""
+        if self.slow_policy == "drop":
+            subscriber.dropped += 1
+            self.dropped += 1
+            if self._metrics is not None:
+                self._metrics.counter("cluster.fanout.dropped").inc()
+            return False
+        if self.slow_policy == "coalesce":
+            # Collapse the backlog: the newest event supersedes it.
+            removed = len(subscriber.queue)
+            subscriber.queue.clear()
+            subscriber.coalesced += removed
+            self.coalesced += removed
+            if self._metrics is not None:
+                self._metrics.counter("cluster.fanout.coalesced").inc(removed)
+            return True
+        # evict
+        self._evict(
+            subscriber,
+            SlowSubscriberError(
+                f"subscriber {subscriber.key} on topic {self.topic!r} fell "
+                f"{len(subscriber.queue)} events behind (queue_limit="
+                f"{self.queue_limit})"
+            ),
+        )
+        return False
+
+    # -- delivery -----------------------------------------------------------------
+
+    async def _pump(self, subscriber: _Subscriber) -> None:
+        """Drain one subscriber's queue in order, one delivery at a time."""
+        try:
+            while subscriber.alive:
+                if not subscriber.queue:
+                    subscriber.idle.set()
+                    subscriber.wakeup.clear()
+                    await subscriber.wakeup.wait()
+                    continue
+                args = subscriber.queue.pop(0)
+                # Probe the delivery path first: a RUC whose session
+                # lost its channels would *degrade* the failed send to
+                # a silent no-op (void upcall + degrade_upcalls), and
+                # the group would keep feeding a dead subscriber.
+                sender = getattr(subscriber.proc, "sender", None)
+                if sender is not None and getattr(sender, "can_upcall", True) is False:
+                    self._evict(
+                        subscriber,
+                        UpcallError(
+                            f"subscriber {subscriber.key} on topic "
+                            f"{self.topic!r} has no live upcall channel"
+                        ),
+                    )
+                    return
+                try:
+                    result = subscriber.proc(*args)
+                    if inspect.isawaitable(result):
+                        await result
+                except asyncio.CancelledError:
+                    raise
+                except (UpcallError, TransportError) as exc:
+                    # The delivery path itself is dead (client gone, no
+                    # channel): keeping the subscription only accretes
+                    # an undeliverable backlog.
+                    self._evict(subscriber, exc)
+                    return
+                except Exception as exc:
+                    # The handler raised but the path is alive; count
+                    # it, offer it to the degradation route, move on.
+                    self.errors += 1
+                    if self._metrics is not None:
+                        self._metrics.counter("cluster.fanout.errors").inc()
+                    self._offer_report(subscriber, exc)
+                else:
+                    subscriber.delivered += 1
+                    self.delivered += 1
+                    if self._metrics is not None:
+                        self._metrics.counter("cluster.fanout.delivered").inc()
+        finally:
+            subscriber.idle.set()
+
+    def _evict(self, subscriber: _Subscriber, exc: Exception) -> None:
+        self._subscribers.pop(subscriber.key, None)
+        self.evicted += 1
+        if self._metrics is not None:
+            self._metrics.counter("cluster.fanout.evicted").inc()
+        if self._tracer is not None and self._tracer.active:
+            from repro.trace import KIND_FANOUT
+
+            self._tracer.point(
+                KIND_FANOUT,
+                f"evict {self.topic}#{subscriber.key}",
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+        self._offer_report(subscriber, exc)
+        if self._on_evict is not None:
+            try:
+                self._on_evict(subscriber.key, exc)
+            except Exception:
+                pass
+        self._detach(subscriber)
+
+    def _offer_report(self, subscriber: _Subscriber, exc: Exception) -> None:
+        """Route a failure into the §4.3 error-port degradation path.
+
+        A RemoteUpcall carries its session as ``sender``; when the
+        server runs with ``degrade_upcalls=True`` the session absorbs
+        the report (counted, traced, replayed to the registered error
+        handler).  Local subscribers have no sender — nothing to do.
+        """
+        sender = getattr(subscriber.proc, "sender", None)
+        report = getattr(sender, "report_upcall_failure", None)
+        if report is None:
+            return
+        try:
+            report(getattr(subscriber.proc, "callback_id", 0), exc)
+        except Exception:
+            pass
+
+    # -- draining and teardown ----------------------------------------------------
+
+    async def flush(self, timeout: float | None = 10.0) -> None:
+        """Wait until every live subscriber's queue has fully drained.
+
+        Publishers that need a delivery fence (benchmarks, the §3.4
+        ``sync`` idiom applied to fan-out) await this after posting.
+        """
+        waiters = [
+            subscriber.idle.wait()
+            for subscriber in list(self._subscribers.values())
+            if subscriber.alive
+        ]
+        if not waiters:
+            return
+        gathered = asyncio.gather(*waiters)
+        try:
+            if timeout is None:
+                await gathered
+            else:
+                await asyncio.wait_for(gathered, timeout)
+        finally:
+            gathered.cancel()
+
+    async def close(self) -> None:
+        """Detach every subscriber and stop the pumps."""
+        self._closed = True
+        subscribers = list(self._subscribers.values())
+        self._subscribers.clear()
+        for subscriber in subscribers:
+            self._detach(subscriber)
+        for subscriber in subscribers:
+            if subscriber.task is not None:
+                try:
+                    await subscriber.task
+                except (asyncio.CancelledError, Exception):
+                    pass
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate and per-subscriber delivery counters."""
+        return {
+            "topic": self.topic,
+            "subscribers": len(self._subscribers),
+            "posts": self.posts,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "coalesced": self.coalesced,
+            "evicted": self.evicted,
+            "errors": self.errors,
+            "per_subscriber": {
+                key: {
+                    "delivered": subscriber.delivered,
+                    "dropped": subscriber.dropped,
+                    "coalesced": subscriber.coalesced,
+                    "queued": len(subscriber.queue),
+                }
+                for key, subscriber in self._subscribers.items()
+            },
+        }

@@ -1,0 +1,472 @@
+"""Replica pools: one service name, many servers, balanced calls.
+
+A :class:`ClusterClient` is the client half of the directory story:
+``bind("kv", KvIface)`` resolves the service through the directory,
+connects to its replicas lazily, and returns a proxy-shaped object
+whose every method call is routed by a pluggable
+:class:`BalancingPolicy` — round-robin by default, or least-loaded on
+the load each replica last advertised.
+
+Failure handling composes with the resilience layer instead of
+duplicating it:
+
+- a call that dies with :class:`~repro.errors.TransportError` marks
+  that endpoint *down* for ``down_ttl`` seconds, forces a fresh
+  resolution, and fails over to another replica;
+- a reply of :class:`~repro.errors.RemoteStaleError` (the replica
+  restarted and re-published its object under a new tag) drops the
+  cached per-replica proxy and looks the name up again, once;
+- per-call retries of ``@idempotent`` methods and ambient deadlines
+  still come from the underlying :class:`~repro.rpc.RpcConnection` —
+  pass ``client_options=dict(retry=..., call_timeout=...)``.
+
+Failover caveat: a call that fails in transport *may already have
+executed* on the dying replica.  The default (``failover="transport"``)
+re-routes every such call, which is at-least-once for non-idempotent
+methods; set ``failover="idempotent"`` to re-route only calls the
+interface declares safe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any
+
+from repro.errors import (
+    CallTimeoutError,
+    NoReplicasError,
+    RemoteStaleError,
+    TransportError,
+)
+from repro.cluster.directory import DIRECTORY_SERVICE, DirectoryInterface
+from repro.cluster.endpoints import Endpoint
+from repro.obs.metrics import MetricsRegistry
+from repro.rpc import RetryPolicy
+from repro.stubs import interface_spec
+
+
+class BalancingPolicy:
+    """Chooses the replica for one call from the live candidates."""
+
+    def choose(self, candidates: "list[Replica]") -> "Replica":
+        raise NotImplementedError
+
+
+class RoundRobin(BalancingPolicy):
+    """Rotate through the candidates in url order."""
+
+    def __init__(self) -> None:
+        self._next = itertools.count()
+
+    def choose(self, candidates: "list[Replica]") -> "Replica":
+        return candidates[next(self._next) % len(candidates)]
+
+
+class LeastLoaded(BalancingPolicy):
+    """Pick the lowest advertised load; break ties round-robin.
+
+    The load figure is whatever the replica's advertiser samples —
+    session count by default, or any scrape of the builtin
+    ``metrics()`` — refreshed every heartbeat, so it is coarse but
+    honest.
+    """
+
+    def __init__(self) -> None:
+        self._tiebreak = itertools.count()
+
+    def choose(self, candidates: "list[Replica]") -> "Replica":
+        lowest = min(replica.load for replica in candidates)
+        tied = [replica for replica in candidates if replica.load == lowest]
+        return tied[next(self._tiebreak) % len(tied)]
+
+
+#: Named policies accepted by :meth:`ClusterClient.connect`.
+POLICIES = {"round-robin": RoundRobin, "least-loaded": LeastLoaded}
+
+
+class Replica:
+    """One endpoint as the pool sees it: connection, proxies, health."""
+
+    def __init__(self, endpoint: Endpoint):
+        self.url = endpoint.url
+        self.load = endpoint.load
+        self.generation = endpoint.generation
+        self.client = None  # lazily connected ClamClient
+        self.proxies: dict[tuple[type, str], Any] = {}
+        self.down_until = 0.0
+        self.calls = 0
+        self.failures = 0
+
+    def is_down(self, now: float) -> bool:
+        return now < self.down_until
+
+    async def retire(self) -> None:
+        self.proxies.clear()
+        client, self.client = self.client, None
+        if client is not None:
+            try:
+                await client.close()
+            except Exception:
+                pass
+
+
+class ReplicaPool:
+    """The live endpoints of one service and the machinery to call them."""
+
+    def __init__(
+        self,
+        service: str,
+        directory,
+        *,
+        policy: BalancingPolicy,
+        resolve_ttl: float,
+        down_ttl: float,
+        failover: str,
+        client_options: dict | None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.service = service
+        self._directory = directory
+        self._policy = policy
+        self._resolve_ttl = resolve_ttl
+        self._down_ttl = down_ttl
+        self._failover = failover
+        self._client_options = dict(client_options or {})
+        self._metrics = metrics
+        self._replicas: dict[str, Replica] = {}
+        self._resolved_at = -1e9
+        self._resolve_lock = asyncio.Lock()
+        self._closed = False
+
+    # -- resolution ----------------------------------------------------------------
+
+    @property
+    def replicas(self) -> list[Replica]:
+        return list(self._replicas.values())
+
+    async def refresh(self, *, force: bool = False) -> None:
+        """Bring the endpoint set up to date with the directory.
+
+        Serialized so a burst of failing calls produces one resolution,
+        not a stampede; within ``resolve_ttl`` the cache answers.
+        """
+        async with self._resolve_lock:
+            now = asyncio.get_running_loop().time()
+            if not force and now - self._resolved_at < self._resolve_ttl:
+                return
+            endpoints = await self._directory.resolve(self.service)
+            self._resolved_at = asyncio.get_running_loop().time()
+            if self._metrics is not None:
+                self._metrics.counter("cluster.pool.resolves").inc()
+            seen = set()
+            for endpoint in endpoints:
+                seen.add(endpoint.url)
+                replica = self._replicas.get(endpoint.url)
+                if replica is None:
+                    self._replicas[endpoint.url] = Replica(endpoint)
+                    continue
+                if endpoint.generation != replica.generation:
+                    # The replica re-advertised: assume it restarted and
+                    # drop our connection to the old incarnation.
+                    await replica.retire()
+                    replica.generation = endpoint.generation
+                    replica.down_until = 0.0
+                replica.load = endpoint.load
+            for url in [u for u in self._replicas if u not in seen]:
+                await self._replicas.pop(url).retire()
+
+    async def _candidates(self) -> list[Replica]:
+        await self.refresh()
+        now = asyncio.get_running_loop().time()
+        live = [r for r in self._replicas.values() if not r.is_down(now)]
+        if live:
+            return live
+        # Everything is down or unknown: pay for a forced resolution —
+        # the directory may already have expired the dead and admitted
+        # fresh replicas.
+        await self.refresh(force=True)
+        now = asyncio.get_running_loop().time()
+        live = [r for r in self._replicas.values() if not r.is_down(now)]
+        if not live:
+            raise NoReplicasError(
+                f"service {self.service!r} has no live replica "
+                f"({len(self._replicas)} known, all down)"
+            )
+        return live
+
+    # -- calling -------------------------------------------------------------------
+
+    async def _proxy_for(self, replica: Replica, iface: type, published: str):
+        if replica.client is None:
+            from repro.client import ClamClient
+
+            replica.client = await ClamClient.connect(
+                replica.url, **self._client_options
+            )
+            if self._metrics is not None:
+                self._metrics.counter("cluster.pool.connects").inc()
+        key = (iface, published)
+        proxy = replica.proxies.get(key)
+        if proxy is None:
+            proxy = await replica.client.lookup(iface, published)
+            replica.proxies[key] = proxy
+        return proxy
+
+    async def mark_down(self, replica: Replica) -> None:
+        """Take an endpoint out of rotation for ``down_ttl`` seconds."""
+        replica.failures += 1
+        replica.down_until = asyncio.get_running_loop().time() + self._down_ttl
+        if self._metrics is not None:
+            self._metrics.counter("cluster.pool.marked_down").inc()
+        await replica.retire()
+        # The set has visibly changed; make the next call re-resolve.
+        self._resolved_at = -1e9
+
+    def _may_failover(self, exc: Exception, idempotent: bool) -> bool:
+        if isinstance(exc, TransportError):
+            return self._failover == "transport" or idempotent
+        if isinstance(exc, CallTimeoutError):
+            # The call may be mid-execution on a live replica; only a
+            # declared-idempotent method is safe to run elsewhere too.
+            return idempotent
+        return False
+
+    async def invoke(
+        self, iface: type, published: str, method: str, args: tuple, kwargs: dict
+    ) -> Any:
+        """One balanced call with failover; the pooled proxies call this."""
+        idempotent = bool(interface_spec(iface).method(method).idempotent)
+        attempts = max(2, len(self._replicas) + 1)
+        last_exc: Exception | None = None
+        for _ in range(attempts):
+            candidates = await self._candidates()
+            replica = self._policy.choose(candidates)
+            try:
+                proxy = await self._proxy_for(replica, iface, published)
+            except TransportError as exc:
+                await self.mark_down(replica)
+                last_exc = exc
+                continue
+            replica.calls += 1
+            if self._metrics is not None:
+                self._metrics.counter("cluster.pool.calls").inc()
+            try:
+                return await getattr(proxy, method)(*args, **kwargs)
+            except RemoteStaleError:
+                # The name re-resolved to a fresh object on that
+                # replica (restart, republish): drop the cached proxy
+                # and look it up again — once per attempt.
+                replica.proxies.pop((iface, published), None)
+                proxy = await self._proxy_for(replica, iface, published)
+                return await getattr(proxy, method)(*args, **kwargs)
+            except (TransportError, CallTimeoutError) as exc:
+                last_exc = exc
+                if not self._may_failover(exc, idempotent):
+                    raise
+                await self.mark_down(replica)
+                if self._metrics is not None:
+                    self._metrics.counter("cluster.pool.failovers").inc()
+        assert last_exc is not None
+        raise last_exc
+
+    async def close(self) -> None:
+        self._closed = True
+        for replica in self._replicas.values():
+            await replica.retire()
+        self._replicas.clear()
+
+    def stats(self) -> dict[str, dict[str, float]]:
+        """Per-endpoint health counters, for tests and consoles."""
+        return {
+            replica.url: {
+                "calls": replica.calls,
+                "failures": replica.failures,
+                "load": replica.load,
+                "generation": replica.generation,
+                "connected": 1.0 if replica.client is not None else 0.0,
+            }
+            for replica in self._replicas.values()
+        }
+
+
+class ClusterProxy:
+    """Proxy-shaped front of a :class:`ReplicaPool`.
+
+    It deliberately is *not* a :class:`~repro.stubs.Proxy` — a real
+    proxy carries one handle, and handles are per-server capabilities
+    (§3.5.1); a pooled call resolves to a different handle on every
+    replica.  Methods are validated against the interface spec, then
+    routed through the pool.
+    """
+
+    def __init__(self, pool: ReplicaPool, iface: type, published: str):
+        self._pool = pool
+        self._iface = iface
+        self._published = published
+        self._spec = interface_spec(iface)
+
+    @property
+    def pool(self) -> ReplicaPool:
+        return self._pool
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        self._spec.method(name)  # raises BadCallError for unknown methods
+
+        async def pooled_method(*args: Any, **kwargs: Any) -> Any:
+            return await self._pool.invoke(
+                self._iface, self._published, name, args, kwargs
+            )
+
+        pooled_method.__name__ = name
+        # Cache so repeated access returns the same callable.
+        object.__setattr__(self, name, pooled_method)
+        return pooled_method
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClusterProxy {self._spec.class_name} service="
+            f"{self._pool.service!r} replicas={len(self._pool.replicas)}>"
+        )
+
+
+class ClusterClient:
+    """Client-side entry to the cluster: resolve, bind, balance.
+
+    One ClamClient connects to the directory (supervised, retrying —
+    directory methods are all idempotent); each bound service gets a
+    :class:`ReplicaPool` that dials replicas on demand.
+    """
+
+    def __init__(
+        self,
+        directory_client,
+        directory_proxy,
+        *,
+        policy: str | BalancingPolicy = "round-robin",
+        resolve_ttl: float = 0.5,
+        down_ttl: float = 1.0,
+        failover: str = "transport",
+        client_options: dict | None = None,
+    ):
+        if failover not in ("transport", "idempotent"):
+            raise ValueError(
+                f"failover must be 'transport' or 'idempotent', not {failover!r}"
+            )
+        self._client = directory_client
+        self._directory = directory_proxy
+        self._policy_spec = policy
+        self._resolve_ttl = resolve_ttl
+        self._down_ttl = down_ttl
+        self._failover = failover
+        self._client_options = dict(client_options or {})
+        self.metrics = MetricsRegistry()
+        self._pools: dict[str, ReplicaPool] = {}
+
+    @classmethod
+    async def connect(
+        cls,
+        directory_url: str,
+        *,
+        policy: str | BalancingPolicy = "round-robin",
+        resolve_ttl: float = 0.5,
+        down_ttl: float = 1.0,
+        failover: str = "transport",
+        retry: RetryPolicy | None = None,
+        connect_timeout: float | None = 5.0,
+        client_options: dict | None = None,
+    ) -> "ClusterClient":
+        """Connect to the directory at ``directory_url``.
+
+        ``client_options`` are passed through to every per-replica
+        ``ClamClient.connect`` (retry policies, timeouts, batching).
+        """
+        from repro.client import ClamClient
+
+        retry = retry if retry is not None else RetryPolicy(
+            attempts=4, base_delay=0.05, max_delay=0.5
+        )
+        directory_client = await ClamClient.connect(
+            directory_url,
+            retry=retry,
+            reconnect=True,
+            reconnect_policy=retry,
+            connect_timeout=connect_timeout,
+        )
+        try:
+            directory_proxy = await directory_client.lookup(
+                DirectoryInterface, DIRECTORY_SERVICE
+            )
+        except BaseException:
+            await directory_client.close()
+            raise
+        return cls(
+            directory_client,
+            directory_proxy,
+            policy=policy,
+            resolve_ttl=resolve_ttl,
+            down_ttl=down_ttl,
+            failover=failover,
+            client_options=client_options,
+        )
+
+    def _make_policy(self) -> BalancingPolicy:
+        if isinstance(self._policy_spec, BalancingPolicy):
+            return self._policy_spec
+        factory = POLICIES.get(self._policy_spec)
+        if factory is None:
+            raise ValueError(
+                f"unknown balancing policy {self._policy_spec!r}; "
+                f"pick one of {sorted(POLICIES)} or pass a BalancingPolicy"
+            )
+        return factory()
+
+    async def resolve(self, service: str) -> list[Endpoint]:
+        """Raw directory resolution (no pool, no cache)."""
+        return await self._directory.resolve(service)
+
+    async def services(self) -> list[str]:
+        return await self._directory.list_services()
+
+    async def bind(
+        self, service: str, iface: type, *, published: str | None = None
+    ) -> ClusterProxy:
+        """Bind a service name to an interface; returns the pooled proxy.
+
+        ``published`` is the name each replica published its object
+        under (defaults to the service name — the recommended
+        convention).  Binding resolves eagerly so a missing service
+        fails here, not on the first call.
+        """
+        pool = self._pools.get(service)
+        if pool is None:
+            pool = ReplicaPool(
+                service,
+                self._directory,
+                policy=self._make_policy(),
+                resolve_ttl=self._resolve_ttl,
+                down_ttl=self._down_ttl,
+                failover=self._failover,
+                client_options=self._client_options,
+                metrics=self.metrics,
+            )
+            self._pools[service] = pool
+            await pool.refresh(force=True)
+        return ClusterProxy(pool, iface, published if published is not None else service)
+
+    def pool(self, service: str) -> ReplicaPool:
+        return self._pools[service]
+
+    async def close(self) -> None:
+        for pool in self._pools.values():
+            await pool.close()
+        self._pools.clear()
+        await self._client.close()
+
+    async def __aenter__(self) -> "ClusterClient":
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()

@@ -168,3 +168,30 @@ class FaultyClassError(LoaderError):
 
 class TaskError(ClamError):
     """Misuse of the cooperative task system."""
+
+
+# ---------------------------------------------------------------------------
+# Cluster layer (repro.cluster: directory, replica pools, fan-out groups)
+
+
+class ClusterError(ClamError):
+    """Base class for failures in the cluster layer."""
+
+
+class NoReplicasError(ClusterError):
+    """A service name resolved to no live replica.
+
+    Raised by a :class:`~repro.cluster.ReplicaPool` when every known
+    endpoint is down (or the directory has no entry) even after a
+    forced re-resolution.  Transient by nature: a replica heartbeating
+    back into the directory makes the next call succeed.
+    """
+
+
+class SlowSubscriberError(ClusterError):
+    """A fan-out subscriber fell too far behind and was evicted.
+
+    Never raised into the publisher — :meth:`~repro.cluster.UpcallGroup.post`
+    does not block on slow subscribers.  It is the exception *reported*
+    for the evicted subscriber (through the §4.3 error-port degradation
+    path when the server enables ``degrade_upcalls``)."""

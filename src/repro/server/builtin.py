@@ -41,7 +41,10 @@ class ClamServerInterface(RemoteInterface):
     @idempotent
     def lookup(self, name: str) -> Handle: ...
     def publish(self, name: str, target: Handle) -> bool: ...
+    def unpublish(self, name: str) -> bool: ...
     def release(self, target: Handle) -> bool: ...
+    @idempotent
+    def list_names(self) -> list[str]: ...
     @idempotent
     def list_classes(self) -> list[str]: ...
     @idempotent
@@ -114,12 +117,35 @@ class BuiltinImpl(ClamServerInterface):
     def publish(self, name: str, target: Handle) -> bool:
         """Publish an existing object under a name for other clients.
 
+        Publishing over an existing name is a *deliberate overwrite*:
+        the name now resolves to the new handle, the old binding is
+        gone, and clients replaying lookups after a reconnect see the
+        change and mark their old proxies stale.  Each overwrite is
+        counted (``naming.republished``) and traced, so a namespace
+        fight between two publishers is visible, not silent.
+
         Returns True so the call is synchronous: by the time the
         client's ``publish`` returns, other clients can look it up.
         """
         self._server.exports.table.descriptor(target)  # validates
+        self._server.note_republish(name, target)
         self._server.published[name] = target
         return True
+
+    def unpublish(self, name: str) -> bool:
+        """Retract a published name without revoking the object.
+
+        The inverse of ``publish`` and the naming half of ``release``:
+        the name stops resolving (later ``lookup`` raises, and lookup
+        replay after a reconnect marks proxies obtained under the name
+        stale), but handles already held stay valid — the object
+        itself was not revoked.  Returns False when the name was not
+        published, so retraction is idempotent in effect.
+        """
+        removed = self._server.published.pop(name, None) is not None
+        if removed:
+            self._server.note_unpublish(name)
+        return removed
 
     def release(self, target: Handle) -> bool:
         """Revoke an exported object: later use of any copy of the
@@ -134,6 +160,15 @@ class BuiltinImpl(ClamServerInterface):
             if published == target:
                 del self._server.published[name]
         return True
+
+    def list_names(self) -> list[str]:
+        """Enumerate the published namespace (sorted).
+
+        The read half the paper's directory lacked: names could be
+        published and looked up but never listed.  Read-only, hence
+        idempotent and retry-safe.
+        """
+        return sorted(self._server.published)
 
     def list_classes(self) -> list[str]:
         return sorted({entry.class_name for entry in self._server.loader.classes})

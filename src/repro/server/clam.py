@@ -152,11 +152,43 @@ class ClamServer:
 
         This is how an embedding program provides base objects — the
         paper's server creates its screen instance S and base window
-        BaseW before clients arrive (§4.2).
+        BaseW before clients arrive (§4.2).  Like the builtin
+        ``publish``, reusing a name is a deliberate overwrite and is
+        counted and traced.
         """
         handle = self.exports.export(obj, spec=spec)
+        self.note_republish(name, handle)
         self.published[name] = handle
         return handle
+
+    def note_republish(self, name: str, target: Handle) -> None:
+        """Account for a publish that overwrites an existing binding.
+
+        Lookup replay on reconnecting clients is what turns this event
+        into :class:`~repro.errors.RemoteStaleError` on their old
+        proxies; counting and tracing it here makes the overwrite
+        observable on the server too.
+        """
+        old = self.published.get(name)
+        if old is None or old == target:
+            return
+        self.metrics.counter("naming.republished").inc()
+        if self.tracer.active:
+            from repro.trace import KIND_NAMING
+
+            self.tracer.point(
+                KIND_NAMING,
+                f"republish {name}",
+                detail=f"oid {old.oid} -> {target.oid}",
+            )
+
+    def note_unpublish(self, name: str) -> None:
+        """Account for a name retracted from the directory."""
+        self.metrics.counter("naming.unpublished").inc()
+        if self.tracer.active:
+            from repro.trace import KIND_NAMING
+
+            self.tracer.point(KIND_NAMING, f"unpublish {name}")
 
     # -- connection handling --------------------------------------------------------------
 

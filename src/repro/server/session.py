@@ -83,6 +83,19 @@ class Session:
     def has_upcall_channel(self) -> bool:
         return self._upcall_channel is not None and not self._upcall_channel.closed
 
+    @property
+    def can_upcall(self) -> bool:
+        """True while some live channel could carry an upcall.
+
+        False during a linger window (client dropped, may reconnect)
+        and after teardown.  Layers that hold many procedure pointers
+        (fan-out groups) probe this before delivering, so a dead
+        subscriber is detected even when ``degrade_upcalls`` would
+        silently absorb the failed send.
+        """
+        channel = self._upcall_channel if self.has_upcall_channel else self.rpc_channel
+        return channel is not None and not channel.closed
+
     async def run_upcall_channel(self, channel: MessageChannel) -> None:
         """Service the second stream (HELLO role=UPCALL already consumed).
 

@@ -50,6 +50,8 @@ KIND_LOAD = "load"            # a module dynamically loaded
 KIND_FAULT = "fault"          # a loaded class fault recorded
 KIND_FAULT_INJECT = "fault-inject"  # repro.faults injected a fault
 KIND_RECONNECT = "reconnect"  # client re-established its channels
+KIND_NAMING = "naming"        # the name directory changed (publish/unpublish)
+KIND_FANOUT = "fanout"        # an upcall group delivered/dropped/evicted
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,160 @@
+"""Seeded chaos with a directory in the loop.
+
+The resolution path (ClusterClient -> directory) and one replica's
+data path both ride faulted transports.  Because every directory
+method is idempotent and the directory client runs retry + supervised
+reconnect, resolution must keep working; because the pool marks
+faulted endpoints down and fails over, the workload must complete on
+whichever replicas answer.
+"""
+
+import itertools
+import os
+
+import pytest
+
+from repro.cluster import Advertiser, ClusterClient, DirectoryServer
+from repro.errors import NoReplicasError
+from repro.faults import FaultInjector, FaultRates, SeededSchedule
+from repro.obs.metrics import MetricsRegistry
+from repro.rpc import RetryPolicy
+from repro.server import ClamServer
+from repro.stubs import RemoteInterface, idempotent
+from tests.support import async_test
+
+_ids = itertools.count(1)
+
+SEEDS = [int(s) for s in os.environ.get("CHAOS_SEED", "").split(",") if s] or [1, 2, 3]
+
+N_CALLS = 120
+
+
+class Work(RemoteInterface):
+    __clam_class__ = "chaos.work"
+
+    @idempotent
+    def compute(self, value: int) -> int: ...
+    @idempotent
+    def whoami(self) -> str: ...
+
+
+class WorkImpl(Work):
+    def __init__(self, name: str):
+        self._name = name
+        self.computed = 0
+
+    def compute(self, value: int) -> int:
+        self.computed += 1
+        return value + 1000
+
+    def whoami(self) -> str:
+        return self._name
+
+
+def chaos_rates() -> FaultRates:
+    return FaultRates(
+        drop=0.012,
+        delay=0.04,
+        duplicate=0.012,
+        reorder=0.012,
+        corrupt=0.0,
+        close=0.003,
+        slow=0.02,
+        max_delay=0.003,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@async_test
+async def test_cluster_workload_survives_chaos(seed):
+    run = next(_ids)
+    fault_metrics = MetricsRegistry()
+    # One injector per wrapped url (an injector owns one chaos scheme).
+    directory_injector = FaultInjector(
+        SeededSchedule(seed, rates=chaos_rates(), warmup=16, max_faults=80),
+        metrics=fault_metrics,
+    )
+    replica_injector = FaultInjector(
+        SeededSchedule(seed + 100, rates=chaos_rates(), warmup=16, max_faults=80),
+        metrics=fault_metrics,
+    )
+
+    directory = DirectoryServer(max_lease=60.0)
+    directory_url = await directory.start(f"memory://chaos-dir-{seed}-{run}")
+    chaos_directory_url = directory_injector.wrap_url(directory_url)
+
+    servers, advertisers, impls = [], [], []
+    urls = []
+    try:
+        for i in range(2):
+            url = f"memory://chaos-{seed}-{run}-replica-{i}"
+            server = ClamServer(session_linger=60.0)
+            impl = WorkImpl(f"replica-{i}")
+            server.publish("chaos.work", impl)
+            await server.start(url)
+            # Replica 1's data path is the chaotic one.  Both replicas
+            # advertise their wrapped/clean url — the one clients dial.
+            advertised = replica_injector.wrap_url(url) if i == 1 else url
+            advertiser = Advertiser.for_server(
+                directory_url, "chaos.work", server, advertised,
+                lease=30.0, interval=0.2,
+            )
+            await advertiser.start()
+            servers.append(server)
+            impls.append(impl)
+            advertisers.append(advertiser)
+            urls.append(advertised)
+
+        retry = RetryPolicy(attempts=8, base_delay=0.01, max_delay=0.1, seed=seed)
+        cluster_client = await ClusterClient.connect(
+            chaos_directory_url,
+            retry=retry,
+            resolve_ttl=0.1,
+            down_ttl=0.3,
+            client_options=dict(
+                call_timeout=0.75,
+                retry=retry,
+                reconnect=True,
+                reconnect_policy=retry,
+            ),
+        )
+        work = await cluster_client.bind("chaos.work", Work)
+
+        completed = 0
+        for i in range(N_CALLS):
+            # The pool may momentarily see every replica down (marked
+            # down faster than the ttl expires); that surfaces as
+            # NoReplicasError, and the *next* call re-resolves.  What
+            # must never happen is a wrong answer or a stall.
+            try:
+                assert await work.compute(i) == i + 1000
+                completed += 1
+            except NoReplicasError:
+                continue
+        assert completed >= N_CALLS * 0.9, (
+            f"seed {seed}: only {completed}/{N_CALLS} calls completed"
+        )
+
+        # The audit trail: chaos actually happened and was counted.
+        injected = directory_injector.injected + replica_injector.injected
+        assert injected > 0, f"seed {seed}: no faults injected"
+        assert fault_metrics.counter("faults.injected.total").value == injected
+
+        # Every executed call executed exactly once (idempotent dedup
+        # under retries): the replicas together never ran a compute
+        # more often than the client completed... plus the retried
+        # duplicates the dedup cache absorbed, which do not re-execute.
+        executed = sum(impl.computed for impl in impls)
+        assert executed == completed, (
+            f"seed {seed}: {executed} executions for {completed} completed calls"
+        )
+
+        await cluster_client.close()
+    finally:
+        for advertiser in advertisers:
+            await advertiser.stop()
+        for server in servers:
+            await server.shutdown()
+        await directory.shutdown()
+        directory_injector.release_url()
+        replica_injector.release_url()

@@ -1,0 +1,249 @@
+"""The directory service: leases, heartbeats, expiry, withdrawal.
+
+Unit tests drive :class:`DirectoryImpl` with an injectable clock so
+lease timing is deterministic; wire tests put the same object behind a
+:class:`DirectoryServer` and speak the ``clam.directory`` protocol
+through real proxies.
+"""
+
+import itertools
+
+import pytest
+
+from repro.client import ClamClient
+from repro.cluster import (
+    DEFAULT_LEASE,
+    DIRECTORY_SERVICE,
+    Advertiser,
+    DirectoryImpl,
+    DirectoryInterface,
+    DirectoryServer,
+    Endpoint,
+)
+from repro.obs.metrics import MetricsRegistry
+from tests.support import async_test, eventually
+
+_ids = itertools.count(1)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDirectoryImpl:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        kwargs.setdefault("clock", clock)
+        return DirectoryImpl(**kwargs), clock
+
+    def test_advertise_then_resolve(self):
+        directory, _ = self.make()
+        generation = directory.advertise("kv", "memory://a", 0.5, 2.0)
+        assert generation == 1
+        endpoints = directory.resolve("kv")
+        assert endpoints == [
+            Endpoint(service="kv", url="memory://a", load=0.5, generation=1)
+        ]
+
+    def test_resolve_unknown_service_is_empty_not_error(self):
+        directory, _ = self.make()
+        assert directory.resolve("nothing") == []
+
+    def test_lease_expires_without_heartbeat(self):
+        directory, clock = self.make()
+        directory.advertise("kv", "memory://a", 0.0, 2.0)
+        clock.advance(1.9)
+        assert len(directory.resolve("kv")) == 1
+        clock.advance(0.2)
+        assert directory.resolve("kv") == []
+        assert directory.expired == 1
+
+    def test_heartbeat_extends_lease(self):
+        directory, clock = self.make()
+        directory.advertise("kv", "memory://a", 0.0, 2.0)
+        for _ in range(5):
+            clock.advance(1.5)
+            assert directory.heartbeat("kv", "memory://a", 1.0) is True
+        # 7.5 simulated seconds on a 2 second lease, still alive.
+        assert len(directory.resolve("kv")) == 1
+
+    def test_heartbeat_reports_lapsed_lease(self):
+        directory, clock = self.make()
+        directory.advertise("kv", "memory://a", 0.0, 2.0)
+        clock.advance(2.1)
+        assert directory.heartbeat("kv", "memory://a", 0.0) is False
+
+    def test_heartbeat_refreshes_load(self):
+        directory, _ = self.make()
+        directory.advertise("kv", "memory://a", 0.0, 2.0)
+        directory.heartbeat("kv", "memory://a", 7.0)
+        assert directory.resolve("kv")[0].load == 7.0
+
+    def test_withdraw_removes_immediately(self):
+        directory, _ = self.make()
+        directory.advertise("kv", "memory://a", 0.0, 2.0)
+        assert directory.withdraw("kv", "memory://a") is True
+        assert directory.resolve("kv") == []
+        assert directory.withdraw("kv", "memory://a") is False
+
+    def test_readvertise_bumps_generation(self):
+        """A live entry re-advertised means the replica restarted."""
+        directory, _ = self.make()
+        assert directory.advertise("kv", "memory://a", 0.0, 2.0) == 1
+        assert directory.advertise("kv", "memory://a", 0.0, 2.0) == 2
+        assert directory.resolve("kv")[0].generation == 2
+
+    def test_advertise_after_full_expiry_registers_again(self):
+        """A service whose every lease lapsed accepts new entries.
+
+        (Regression: the lazy sweep unregisters an emptied service and
+        a later advertise must re-register it, not mutate an orphan.)
+        """
+        directory, clock = self.make()
+        directory.advertise("kv", "memory://a", 0.0, 2.0)
+        clock.advance(5.0)
+        assert directory.resolve("kv") == []
+        directory.advertise("kv", "memory://b", 0.0, 2.0)
+        assert [e.url for e in directory.resolve("kv")] == ["memory://b"]
+
+    def test_lease_default_and_clamp(self):
+        directory, clock = self.make(default_lease=1.0, max_lease=3.0)
+        directory.advertise("kv", "memory://default", 0.0, 0.0)
+        directory.advertise("kv", "memory://greedy", 0.0, 9999.0)
+        clock.advance(1.1)  # past default, inside clamp
+        assert [e.url for e in directory.resolve("kv")] == ["memory://greedy"]
+        clock.advance(2.0)  # past the 3 second clamp
+        assert directory.resolve("kv") == []
+
+    def test_advertise_rejects_empty_names(self):
+        directory, _ = self.make()
+        with pytest.raises(ValueError):
+            directory.advertise("", "memory://a", 0.0, 2.0)
+        with pytest.raises(ValueError):
+            directory.advertise("kv", "", 0.0, 2.0)
+
+    def test_resolve_is_sorted_by_url(self):
+        directory, _ = self.make()
+        directory.advertise("kv", "memory://b", 0.0, 2.0)
+        directory.advertise("kv", "memory://a", 0.0, 2.0)
+        assert [e.url for e in directory.resolve("kv")] == [
+            "memory://a",
+            "memory://b",
+        ]
+
+    def test_list_services_and_entry_count_sweep(self):
+        directory, clock = self.make()
+        directory.advertise("kv", "memory://a", 0.0, 2.0)
+        directory.advertise("kv", "memory://b", 0.0, 2.0)
+        directory.advertise("queue", "memory://q", 0.0, 60.0)
+        assert directory.list_services() == ["kv", "queue"]
+        assert directory.entry_count() == 3
+        clock.advance(3.0)
+        assert directory.list_services() == ["queue"]
+        assert directory.entry_count() == 1
+
+    def test_sweep_now_counts_the_fallen(self):
+        directory, clock = self.make()
+        directory.advertise("kv", "memory://a", 0.0, 2.0)
+        directory.advertise("queue", "memory://q", 0.0, 2.0)
+        clock.advance(3.0)
+        assert directory.sweep_now() == 2
+        assert directory.sweep_now() == 0
+
+    def test_metrics_counters(self):
+        metrics = MetricsRegistry()
+        directory, clock = self.make(metrics=metrics)
+        directory.advertise("kv", "memory://a", 0.0, 2.0)
+        directory.heartbeat("kv", "memory://a", 0.0)
+        clock.advance(3.0)
+        directory.sweep_now()
+        directory.advertise("kv", "memory://b", 0.0, 2.0)
+        directory.withdraw("kv", "memory://b")
+        assert metrics.counter("cluster.directory.advertised").value == 2
+        assert metrics.counter("cluster.directory.heartbeats").value == 1
+        assert metrics.counter("cluster.directory.expired").value == 1
+        assert metrics.counter("cluster.directory.withdrawn").value == 1
+        assert metrics.gauge("cluster.directory.entries").value == 0.0
+
+
+class TestDirectoryOverWire:
+    @async_test
+    async def test_protocol_round_trip(self):
+        async with DirectoryServer() as directory:
+            address = await directory.start(f"memory://dir-{next(_ids)}")
+            client = await ClamClient.connect(address)
+            proxy = await client.lookup(DirectoryInterface, DIRECTORY_SERVICE)
+
+            generation = await proxy.advertise("kv", "memory://a", 0.25, 5.0)
+            assert generation == 1
+            assert await proxy.heartbeat("kv", "memory://a", 0.5) is True
+            endpoints = await proxy.resolve("kv")
+            assert endpoints == [
+                Endpoint(service="kv", url="memory://a", load=0.5, generation=1)
+            ]
+            assert await proxy.list_services() == ["kv"]
+            assert await proxy.entry_count() == 1
+            assert await proxy.withdraw("kv", "memory://a") is True
+            assert await proxy.resolve("kv") == []
+            await client.close()
+
+    @async_test
+    async def test_advertiser_keeps_lease_alive(self):
+        async with DirectoryServer(default_lease=0.3) as directory:
+            address = await directory.start(f"memory://dir-{next(_ids)}")
+            advertiser = Advertiser(
+                address, "kv", "memory://replica", lease=0.3, interval=0.05
+            )
+            await advertiser.start()
+            try:
+                await eventually(lambda: advertiser.heartbeats >= 10, timeout=5.0)
+                # Far past the original lease, still resolvable.
+                assert directory.directory.resolve("kv") != []
+                assert advertiser.misses == 0
+            finally:
+                await advertiser.stop()
+            # A clean stop withdraws the entry immediately.
+            assert directory.directory.resolve("kv") == []
+
+    @async_test
+    async def test_lease_lapses_when_advertiser_stops_heartbeating(self):
+        """stop(withdraw=False) is the shape of a crash."""
+        async with DirectoryServer() as directory:
+            address = await directory.start(f"memory://dir-{next(_ids)}")
+            advertiser = Advertiser(
+                address, "kv", "memory://replica", lease=0.2, interval=0.05
+            )
+            await advertiser.start()
+            await advertiser.stop(withdraw=False)
+            assert directory.directory.resolve("kv") != []
+            await eventually(
+                lambda: directory.directory.resolve("kv") == [], timeout=5.0
+            )
+
+    @async_test
+    async def test_advertiser_renews_after_directory_loses_the_lease(self):
+        """A lapsed lease is re-advertised on the next heartbeat."""
+        async with DirectoryServer() as directory:
+            address = await directory.start(f"memory://dir-{next(_ids)}")
+            advertiser = Advertiser(
+                address, "kv", "memory://replica", lease=5.0, interval=0.05
+            )
+            await advertiser.start()
+            try:
+                # Simulate the directory forgetting us (restart shape).
+                directory.directory.withdraw("kv", "memory://replica")
+                await eventually(lambda: advertiser.renewals >= 1, timeout=5.0)
+                endpoints = directory.directory.resolve("kv")
+                assert [e.url for e in endpoints] == ["memory://replica"]
+            finally:
+                await advertiser.stop()
+
+    def test_default_lease_is_sane(self):
+        assert 0.0 < DEFAULT_LEASE <= 60.0

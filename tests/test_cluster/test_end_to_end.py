@@ -1,0 +1,190 @@
+"""The acceptance run: a directory, three replicas, fifty subscribers.
+
+One publisher posts through an :class:`UpcallGroup` on a hub server
+while a :class:`ClusterClient` balances RPC traffic across three
+replicas found through the directory.  Every live subscriber receives
+every post exactly once (per-subscriber counters prove it), and
+killing one replica mid-run neither loses the namespace nor stalls
+the pool — calls fail over within the lease window.
+"""
+
+import itertools
+from typing import Callable
+
+from repro import ClamClient, ClamServer, RemoteInterface
+from repro.cluster import Advertiser, ClusterClient, DirectoryServer
+from repro.stubs import idempotent
+from tests.support import async_test, eventually
+
+_ids = itertools.count(1)
+
+N_REPLICAS = 3
+N_SUBSCRIBERS = 50
+N_EVENTS = 30
+
+HUB_SOURCE = '''
+from typing import Callable
+
+from repro.stubs import RemoteInterface
+from repro.cluster import UpcallGroup
+
+
+class Hub(RemoteInterface):
+    def __init__(self):
+        self.group = UpcallGroup("e2e", queue_limit=256)
+
+    def join(self, proc: Callable[[str], None]) -> int:
+        return self.group.subscribe(proc)
+
+    def post(self, text: str) -> int:
+        return self.group.post(text)
+
+    async def drain(self) -> int:
+        await self.group.flush()
+        return self.group.delivered
+
+    def delivered_per_subscriber(self) -> dict[str, int]:
+        return {
+            str(key): stats["delivered"]
+            for key, stats in self.group.stats()["per_subscriber"].items()
+        }
+'''
+
+
+class Hub(RemoteInterface):
+    def join(self, proc: Callable[[str], None]) -> int: ...
+    def post(self, text: str) -> int: ...
+    def drain(self) -> int: ...
+    def delivered_per_subscriber(self) -> dict[str, int]: ...
+
+
+class Work(RemoteInterface):
+    __clam_class__ = "e2e.work"
+
+    @idempotent
+    def compute(self, value: int) -> int: ...
+    @idempotent
+    def whoami(self) -> str: ...
+
+
+class WorkImpl(Work):
+    def __init__(self, name: str):
+        self._name = name
+        self.computed = 0
+
+    def compute(self, value: int) -> int:
+        self.computed += 1
+        return value * 2
+
+    def whoami(self) -> str:
+        return self._name
+
+
+@async_test
+async def test_directory_three_replicas_fifty_subscribers():
+    run = next(_ids)
+    directory = DirectoryServer()
+    directory_url = await directory.start(f"memory://e2e-dir-{run}")
+
+    # -- three replicas of the work service, advertised under leases ----
+    servers, impls, advertisers = [], [], []
+    for i in range(N_REPLICAS):
+        url = f"memory://e2e-{run}-replica-{i}"
+        server = ClamServer()
+        impl = WorkImpl(f"replica-{i}")
+        server.publish("e2e.work", impl)
+        await server.start(url)
+        advertiser = Advertiser.for_server(
+            directory_url, "e2e.work", server, url, lease=0.4, interval=0.1
+        )
+        await advertiser.start()
+        servers.append(server)
+        impls.append(impl)
+        advertisers.append(advertiser)
+
+    # -- the hub carrying the fan-out group, itself in the directory ----
+    hub_server = ClamServer(degrade_upcalls=True)
+    hub_url = await hub_server.start(f"memory://e2e-{run}-hub")
+    owner = await ClamClient.connect(hub_url)
+    await owner.load_module("hub", HUB_SOURCE)
+    hub = await owner.create(Hub)
+    await owner.publish("hub", hub)
+    hub_advertiser = Advertiser(directory_url, "e2e.hub", hub_url, lease=5.0)
+    await hub_advertiser.start()
+
+    # -- fifty subscribers, a handful of clients each -------------------
+    subscriber_clients = []
+    logs: list[list[str]] = []
+    for i in range(N_SUBSCRIBERS):
+        client = await ClamClient.connect(hub_url)
+        log: list[str] = []
+        proxy = await client.lookup(Hub, "hub")
+        await proxy.join(log.append)
+        subscriber_clients.append(client)
+        logs.append(log)
+
+    cluster_client = await ClusterClient.connect(
+        directory_url, resolve_ttl=0.05, down_ttl=0.2
+    )
+    work = await cluster_client.bind("e2e.work", Work)
+
+    # The hosted group object, for server-side counter assertions.
+    hub_impl = next(
+        descriptor.obj
+        for descriptor in hub_server.exports.table
+        if hasattr(descriptor.obj, "group")
+    )
+
+    try:
+        # -- phase 1: posts fan out while calls balance -----------------
+        for i in range(N_EVENTS // 2):
+            assert await hub.post(f"event-{i}") == N_SUBSCRIBERS
+            assert await work.compute(i) == i * 2
+
+        # -- kill one replica mid-run, the hard way (no withdraw) -------
+        victim = 0
+        await advertisers[victim].stop(withdraw=False)
+        await servers[victim].shutdown()
+
+        # -- phase 2: the pool must keep serving without a stall --------
+        for i in range(N_EVENTS // 2, N_EVENTS):
+            assert await hub.post(f"event-{i}") == N_SUBSCRIBERS
+            assert await work.compute(i) == i * 2
+
+        # Failover happened within the lease window: the survivors
+        # absorbed the traffic and the directory expired the corpse.
+        await eventually(
+            lambda: len(
+                directory.directory.resolve("e2e.work")
+            ) == N_REPLICAS - 1,
+            timeout=5.0,
+        )
+        assert "e2e.work" in directory.directory.list_services()  # namespace intact
+        survivors = {await work.whoami() for _ in range(8)}
+        assert survivors == {"replica-1", "replica-2"}
+
+        # -- exactly once, to every subscriber --------------------------
+        await hub.drain()
+        expected = [f"event-{i}" for i in range(N_EVENTS)]
+        for log in logs:
+            assert log == expected  # every event, once, in order
+        per_subscriber = await hub.delivered_per_subscriber()
+        assert len(per_subscriber) == N_SUBSCRIBERS
+        assert all(count == N_EVENTS for count in per_subscriber.values())
+        assert hub_impl.group.delivered == N_EVENTS * N_SUBSCRIBERS
+        assert hub_impl.group.evicted == 0 and hub_impl.group.dropped == 0
+
+        # Every compute ran exactly once somewhere in the pool.
+        assert sum(impl.computed for impl in impls) >= N_EVENTS
+    finally:
+        await cluster_client.close()
+        for client in subscriber_clients:
+            await client.close()
+        await owner.close()
+        await hub_advertiser.stop()
+        await hub_server.shutdown()
+        for i, (advertiser, server) in enumerate(zip(advertisers, servers)):
+            if i != 0:
+                await advertiser.stop()
+                await server.shutdown()
+        await directory.shutdown()

@@ -1,0 +1,319 @@
+"""UpcallGroup: fan-out delivery, ordering, slow-subscriber policies.
+
+Local-subscriber tests pin the queueing semantics deterministically;
+the wire tests register real RUCs from ClamClients and check eviction
+rides the §4.3 degradation path.
+"""
+
+import asyncio
+import itertools
+from typing import Callable
+
+import pytest
+
+from repro import ClamClient, ClamServer, RemoteInterface
+from repro.cluster import SLOW_POLICIES, UpcallGroup
+from repro.errors import SlowSubscriberError, UpcallError
+from repro.obs.metrics import MetricsRegistry
+from tests.support import async_test, eventually
+
+_ids = itertools.count(1)
+
+
+class TestLocalFanout:
+    @async_test
+    async def test_post_reaches_every_subscriber(self):
+        group = UpcallGroup("t")
+        a, b, c = [], [], []
+        group.subscribe(a.append)
+        group.subscribe(b.append)
+
+        async def async_sub(value):
+            c.append(value)
+
+        group.subscribe(async_sub)
+        assert group.post(1) == 3
+        assert group.post(2) == 3
+        await group.flush()
+        assert a == b == c == [1, 2]
+        assert group.delivered == 6
+        await group.close()
+
+    @async_test
+    async def test_per_subscriber_ordering_preserved(self):
+        group = UpcallGroup("t", queue_limit=1000)
+        seen = []
+
+        async def slow(value):
+            await asyncio.sleep(0.0005)
+            seen.append(value)
+
+        group.subscribe(slow)
+        for i in range(50):
+            group.post(i)
+        await group.flush()
+        assert seen == list(range(50))
+        await group.close()
+
+    @async_test
+    async def test_multi_arg_events(self):
+        group = UpcallGroup("t")
+        seen = []
+        group.subscribe(lambda who, what: seen.append((who, what)))
+        group.post("alice", "hi")
+        await group.flush()
+        assert seen == [("alice", "hi")]
+        await group.close()
+
+    @async_test
+    async def test_unsubscribe_stops_delivery(self):
+        group = UpcallGroup("t")
+        seen = []
+        key = group.subscribe(seen.append)
+        group.post(1)
+        await group.flush()
+        assert group.unsubscribe(key) is True
+        assert group.unsubscribe(key) is False
+        group.post(2)
+        await group.flush()
+        assert seen == [1]
+        assert len(group) == 0
+        await group.close()
+
+    @async_test
+    async def test_subscriber_exception_counted_not_fatal(self):
+        group = UpcallGroup("t")
+        seen = []
+
+        def flaky(value):
+            if value == 1:
+                raise RuntimeError("boom")
+            seen.append(value)
+
+        group.subscribe(flaky)
+        for i in range(3):
+            group.post(i)
+        await group.flush()
+        assert seen == [0, 2]
+        assert group.errors == 1
+        assert len(group) == 1  # still subscribed
+        await group.close()
+
+    @async_test
+    async def test_closed_group_rejects_everything(self):
+        group = UpcallGroup("t")
+        group.subscribe(lambda v: None)
+        await group.close()
+        with pytest.raises(UpcallError):
+            group.post(1)
+        with pytest.raises(UpcallError):
+            group.subscribe(lambda v: None)
+
+    @async_test
+    async def test_non_callable_subscriber_rejected(self):
+        group = UpcallGroup("t")
+        with pytest.raises(UpcallError):
+            group.subscribe("not callable")
+        await group.close()
+
+
+class TestSlowPolicies:
+    def test_policy_names(self):
+        assert set(SLOW_POLICIES) == {"drop", "coalesce", "evict"}
+        with pytest.raises(ValueError):
+            UpcallGroup("t", slow_policy="punish")
+        with pytest.raises(ValueError):
+            UpcallGroup("t", queue_limit=0)
+
+    @async_test
+    async def test_drop_policy_sheds_newest_for_slow_subscriber(self):
+        metrics = MetricsRegistry()
+        group = UpcallGroup("t", queue_limit=2, slow_policy="drop", metrics=metrics)
+        gate = asyncio.Event()
+        seen = []
+
+        async def blocked(value):
+            await gate.wait()
+            seen.append(value)
+
+        group.subscribe(blocked)
+        await asyncio.sleep(0)  # pump picks up event 0 immediately
+        for i in range(6):
+            group.post(i)
+        assert group.dropped > 0
+        gate.set()
+        await group.flush()
+        # Oldest events kept, newest shed — and nothing reordered.
+        assert seen == sorted(seen)
+        assert len(seen) + group.dropped == 6
+        assert metrics.counter("cluster.fanout.dropped").value == group.dropped
+        await group.close()
+
+    @async_test
+    async def test_coalesce_policy_keeps_only_newest(self):
+        metrics = MetricsRegistry()
+        group = UpcallGroup(
+            "t", queue_limit=2, slow_policy="coalesce", metrics=metrics
+        )
+        gate = asyncio.Event()
+        seen = []
+
+        async def blocked(value):
+            await gate.wait()
+            seen.append(value)
+
+        group.subscribe(blocked)
+        await asyncio.sleep(0)
+        for i in range(10):
+            group.post(i)
+        gate.set()
+        await group.flush()
+        # The final event always survives coalescing.
+        assert seen[-1] == 9
+        assert group.coalesced > 0
+        assert len(seen) < 10
+        assert metrics.counter("cluster.fanout.coalesced").value == group.coalesced
+        await group.close()
+
+    @async_test
+    async def test_evict_policy_removes_the_laggard(self):
+        metrics = MetricsRegistry()
+        group = UpcallGroup("t", queue_limit=2, slow_policy="evict", metrics=metrics)
+        evictions = []
+        group._on_evict = lambda key, exc: evictions.append((key, exc))
+        gate = asyncio.Event()
+        fast, slow_seen = [], []
+
+        async def slow(value):
+            await gate.wait()
+            slow_seen.append(value)
+
+        group.subscribe(fast.append)
+        slow_key = group.subscribe(slow)
+        # Yield between posts: the fast pump keeps up, the gated one
+        # backs up past queue_limit and is evicted.
+        for i in range(5):
+            group.post(i)
+            await asyncio.sleep(0.005)
+        gate.set()
+        await group.flush()
+        assert fast == [0, 1, 2, 3, 4]
+        assert slow_key not in group.subscriber_keys
+        assert group.evicted == 1
+        assert len(evictions) == 1
+        assert isinstance(evictions[0][1], SlowSubscriberError)
+        assert metrics.counter("cluster.fanout.evicted").value == 1
+        await group.close()
+
+    @async_test
+    async def test_stats_shape(self):
+        group = UpcallGroup("room", queue_limit=4)
+        group.subscribe(lambda v: None)
+        group.post(1)
+        await group.flush()
+        stats = group.stats()
+        assert stats["topic"] == "room"
+        assert stats["subscribers"] == 1
+        assert stats["posts"] == 1
+        assert stats["delivered"] == 1
+        (per,) = stats["per_subscriber"].values()
+        assert per["delivered"] == 1
+        await group.close()
+
+
+ROOM_SOURCE = '''
+from typing import Callable
+
+from repro.stubs import RemoteInterface
+from repro.cluster import UpcallGroup
+
+
+class Room(RemoteInterface):
+    def __init__(self):
+        self.group = UpcallGroup("room", queue_limit=64)
+
+    def join(self, proc: Callable[[str], None]) -> int:
+        return self.group.subscribe(proc)
+
+    def say(self, text: str) -> int:
+        return self.group.post(text)
+
+    async def drain(self) -> int:
+        await self.group.flush()
+        return self.group.delivered
+'''
+
+
+class Room(RemoteInterface):
+    def join(self, proc: Callable[[str], None]) -> int: ...
+    def say(self, text: str) -> int: ...
+    def drain(self) -> int: ...
+
+
+class TestFanoutOverWire:
+    @async_test
+    async def test_one_post_reaches_every_client(self):
+        server = ClamServer(degrade_upcalls=True)
+        address = await server.start(f"memory://group-{next(_ids)}")
+        publisher = await ClamClient.connect(address)
+        await publisher.load_module("room", ROOM_SOURCE)
+        room = await publisher.create(Room)
+        await publisher.publish("room", room)
+
+        clients, logs = [], []
+        for i in range(4):
+            client = await ClamClient.connect(address)
+            log = []
+            proxy = await client.lookup(Room, "room")
+            await proxy.join(log.append)
+            clients.append(client)
+            logs.append(log)
+
+        assert await room.say("hello") == 4
+        await room.drain()
+        assert all(log == ["hello"] for log in logs)
+
+        for client in clients:
+            await client.close()
+        await publisher.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_dead_client_evicted_and_reported(self):
+        """A gone subscriber is evicted and the failure degraded (§4.3)."""
+        server = ClamServer(degrade_upcalls=True, upcall_timeout=0.5)
+        address = await server.start(f"memory://group-{next(_ids)}")
+        publisher = await ClamClient.connect(address)
+        await publisher.load_module("room", ROOM_SOURCE)
+        room = await publisher.create(Room)
+        await publisher.publish("room", room)
+
+        keeper = await ClamClient.connect(address)
+        keeper_log = []
+        keeper_room = await keeper.lookup(Room, "room")
+        await keeper_room.join(keeper_log.append)
+
+        goner = await ClamClient.connect(address)
+        goner_room = await goner.lookup(Room, "room")
+        await goner_room.join(lambda text: None)
+        await goner.close()  # takes its upcall stream with it
+
+        await room.say("anyone there?")
+
+        # The group notices the dead delivery path and evicts.
+        def evicted():
+            return any(
+                descriptor.obj.group.evicted >= 1
+                for descriptor in server.exports.table
+                if hasattr(descriptor.obj, "group")
+            )
+
+        await eventually(evicted, timeout=5.0)
+        # The keeper still receives everything afterwards.
+        await room.say("still here")
+        await room.drain()
+        assert "still here" in keeper_log
+
+        await keeper.close()
+        await publisher.close()
+        await server.shutdown()

@@ -1,0 +1,352 @@
+"""Replica pools: balancing policies, failover, re-resolution.
+
+Each test raises a small cluster — a directory plus a few replicas all
+publishing the same interface under the service name — and drives it
+through a :class:`ClusterClient`.
+"""
+
+import asyncio
+import itertools
+
+import pytest
+
+from repro.cluster import (
+    Advertiser,
+    ClusterClient,
+    DirectoryServer,
+    LeastLoaded,
+    Replica,
+    RoundRobin,
+)
+from repro.errors import BadCallError, NoReplicasError
+from repro.server import ClamServer
+from repro.stubs import RemoteInterface, idempotent
+from tests.support import async_test
+
+_ids = itertools.count(1)
+
+
+class Kv(RemoteInterface):
+    __clam_class__ = "test.kv"
+
+    @idempotent
+    def get(self, key: str) -> str: ...
+    def put(self, key: str, value: str) -> bool: ...
+    @idempotent
+    def whoami(self) -> str: ...
+
+
+class KvImpl(Kv):
+    def __init__(self, name: str):
+        self._name = name
+        self._data: dict[str, str] = {}
+
+    def get(self, key: str) -> str:
+        return self._data.get(key, "")
+
+    def put(self, key: str, value: str) -> bool:
+        self._data[key] = value
+        return True
+
+    def whoami(self) -> str:
+        return self._name
+
+
+class Cluster:
+    """Directory + N replicas + their advertisers, as one fixture."""
+
+    def __init__(self, n: int, *, lease: float = 5.0, interval: float = 0.05):
+        self.n = n
+        self.lease = lease
+        self.interval = interval
+        self.directory = DirectoryServer()
+        self.directory_url = ""
+        self.servers: list[ClamServer] = []
+        self.impls: list[KvImpl] = []
+        self.advertisers: list[Advertiser] = []
+        self.urls: list[str] = []
+
+    async def start(self) -> "Cluster":
+        run = next(_ids)
+        self.directory_url = await self.directory.start(f"memory://pool-dir-{run}")
+        for i in range(self.n):
+            url = f"memory://pool-{run}-replica-{i}"
+            server = ClamServer(session_linger=5.0)
+            impl = KvImpl(f"replica-{i}")
+            server.publish("kv", impl)
+            await server.start(url)
+            advertiser = Advertiser.for_server(
+                self.directory_url, "kv", server, url,
+                lease=self.lease, interval=self.interval,
+            )
+            await advertiser.start()
+            self.servers.append(server)
+            self.impls.append(impl)
+            self.advertisers.append(advertiser)
+            self.urls.append(url)
+        return self
+
+    async def kill(self, index: int, *, withdraw: bool = False) -> None:
+        """Take a replica down the hard way (no clean directory exit)."""
+        await self.advertisers[index].stop(withdraw=withdraw)
+        await self.servers[index].shutdown()
+
+    async def stop(self) -> None:
+        for advertiser in self.advertisers:
+            await advertiser.stop()
+        for server in self.servers:
+            await server.shutdown()
+        await self.directory.shutdown()
+
+
+class TestBalancing:
+    @async_test
+    async def test_round_robin_spreads_calls(self):
+        cluster = await Cluster(3).start()
+        try:
+            async with await ClusterClient.connect(
+                cluster.directory_url, policy="round-robin"
+            ) as cc:
+                proxy = await cc.bind("kv", Kv)
+                names = [await proxy.whoami() for _ in range(9)]
+                assert sorted(set(names)) == [
+                    "replica-0", "replica-1", "replica-2"
+                ]
+                stats = cc.pool("kv").stats()
+                assert all(s["calls"] == 3 for s in stats.values())
+        finally:
+            await cluster.stop()
+
+    @async_test
+    async def test_least_loaded_prefers_idle_replica(self):
+        cluster = await Cluster(2).start()
+        try:
+            # Pin unequal loads directly in the directory.
+            directory = cluster.directory.directory
+            directory.heartbeat("kv", cluster.urls[0], 10.0)
+            directory.heartbeat("kv", cluster.urls[1], 1.0)
+            async with await ClusterClient.connect(
+                cluster.directory_url, policy="least-loaded", resolve_ttl=60.0
+            ) as cc:
+                proxy = await cc.bind("kv", Kv)
+                names = {await proxy.whoami() for _ in range(6)}
+                assert names == {"replica-1"}
+        finally:
+            await cluster.stop()
+
+    @async_test
+    async def test_policy_objects_and_unknown_policy_name(self):
+        cluster = await Cluster(1).start()
+        try:
+            async with await ClusterClient.connect(
+                cluster.directory_url, policy=RoundRobin()
+            ) as cc:
+                proxy = await cc.bind("kv", Kv)
+                assert await proxy.whoami() == "replica-0"
+            cc_bad = await ClusterClient.connect(
+                cluster.directory_url, policy="fastest"
+            )
+            with pytest.raises(ValueError, match="unknown balancing policy"):
+                await cc_bad.bind("kv", Kv)
+            await cc_bad.close()
+        finally:
+            await cluster.stop()
+
+    def test_least_loaded_breaks_ties_round_robin(self):
+        policy = LeastLoaded()
+        replicas = [
+            Replica.__new__(Replica) for _ in range(3)
+        ]
+        for i, replica in enumerate(replicas):
+            replica.load = 1.0 if i < 2 else 9.0
+            replica.url = f"memory://r{i}"
+        chosen = {policy.choose(replicas[:3]).url for _ in range(4)}
+        assert chosen == {"memory://r0", "memory://r1"}
+
+
+class TestFailover:
+    @async_test
+    async def test_dead_replica_marked_down_and_calls_fail_over(self):
+        cluster = await Cluster(2, lease=0.3).start()
+        try:
+            async with await ClusterClient.connect(
+                cluster.directory_url, down_ttl=30.0
+            ) as cc:
+                proxy = await cc.bind("kv", Kv)
+                assert await proxy.put("k", "v") is True
+                await cluster.kill(0)
+                # Every later call lands on the survivor, including the
+                # ones the policy would have routed to the corpse.
+                for _ in range(6):
+                    assert await proxy.whoami() == "replica-1"
+                assert cc.metrics.counter("cluster.pool.marked_down").value >= 1
+        finally:
+            await cluster.stop()
+
+    @async_test
+    async def test_no_replicas_error_when_service_empty(self):
+        cluster = await Cluster(0).start()
+        try:
+            cc = await ClusterClient.connect(cluster.directory_url)
+            proxy = await cc.bind("kv", Kv)
+            with pytest.raises(NoReplicasError):
+                await proxy.whoami()
+            await cc.close()
+        finally:
+            await cluster.stop()
+
+    @async_test
+    async def test_pool_recovers_when_replica_returns(self):
+        """All-down forces a fresh resolution past the cache TTL."""
+        cluster = await Cluster(1, lease=0.3).start()
+        try:
+            async with await ClusterClient.connect(
+                cluster.directory_url, resolve_ttl=0.05, down_ttl=0.1
+            ) as cc:
+                proxy = await cc.bind("kv", Kv)
+                assert await proxy.whoami() == "replica-0"
+                await cluster.kill(0, withdraw=True)
+                with pytest.raises(NoReplicasError):
+                    await proxy.whoami()
+                # A fresh replica joins under the same service name.
+                run = next(_ids)
+                url = f"memory://pool-return-{run}"
+                server = ClamServer()
+                server.publish("kv", KvImpl("replica-next"))
+                await server.start(url)
+                advertiser = Advertiser(
+                    cluster.directory_url, "kv", url, lease=5.0, interval=0.05
+                )
+                await advertiser.start()
+                try:
+                    async def recovered():
+                        try:
+                            return (await proxy.whoami()) == "replica-next"
+                        except NoReplicasError:
+                            return False
+                    deadline = asyncio.get_running_loop().time() + 5.0
+                    while not await recovered():
+                        assert (
+                            asyncio.get_running_loop().time() < deadline
+                        ), "pool never recovered"
+                        await asyncio.sleep(0.02)
+                finally:
+                    await advertiser.stop()
+                    await server.shutdown()
+        finally:
+            await cluster.stop()
+
+    @async_test
+    async def test_generation_bump_retires_stale_connection(self):
+        """A restarted replica re-advertises; the pool redials it."""
+        cluster = await Cluster(1).start()
+        try:
+            async with await ClusterClient.connect(
+                cluster.directory_url, resolve_ttl=0.05
+            ) as cc:
+                proxy = await cc.bind("kv", Kv)
+                assert await proxy.whoami() == "replica-0"
+                pool = cc.pool("kv")
+                old_client = pool.replicas[0].client
+                assert old_client is not None
+
+                # Restart the replica in place: same url, new server.
+                await cluster.kill(0)
+                server = ClamServer()
+                server.publish("kv", KvImpl("replica-0-reborn"))
+                await server.start(cluster.urls[0])
+                advertiser = Advertiser(
+                    cluster.directory_url, "kv", cluster.urls[0],
+                    lease=5.0, interval=0.05,
+                )
+                await advertiser.start()  # generation bumps to 2
+                try:
+                    # The pool refreshes on the next call past the TTL,
+                    # sees the new generation, and redials.
+                    async def reborn():
+                        try:
+                            return (await proxy.whoami()) == "replica-0-reborn"
+                        except Exception:
+                            return False
+
+                    deadline = asyncio.get_running_loop().time() + 5.0
+                    while not await reborn():
+                        assert asyncio.get_running_loop().time() < deadline
+                        await asyncio.sleep(0.02)
+                    assert pool.replicas[0].client is not old_client
+                    assert pool.replicas[0].generation >= 2
+                finally:
+                    await advertiser.stop()
+                    await server.shutdown()
+        finally:
+            await cluster.stop()
+
+    @async_test
+    async def test_idempotent_only_failover_refuses_mutators(self):
+        """failover='idempotent' re-routes get but not put."""
+        from repro.errors import TransportError
+
+        cluster = await Cluster(2, lease=60.0).start()
+        try:
+            async with await ClusterClient.connect(
+                cluster.directory_url,
+                failover="idempotent",
+                policy="round-robin",
+                resolve_ttl=60.0,
+            ) as cc:
+                proxy = await cc.bind("kv", Kv)
+                # Learn both replicas, then kill one without telling
+                # the directory (lease far in the future).
+                assert await proxy.whoami() in ("replica-0", "replica-1")
+                assert await proxy.whoami() in ("replica-0", "replica-1")
+                await cluster.kill(1)
+                # A mutator that lands on the corpse surfaces the
+                # transport error instead of silently re-executing
+                # (and does not mark the replica down — the call may
+                # have run, the application must decide).
+                with pytest.raises(TransportError):
+                    for _ in range(4):
+                        await proxy.put("k", "v")
+                # Idempotent reads fail over and always complete.
+                for _ in range(4):
+                    assert await proxy.get("missing") == ""
+        finally:
+            await cluster.stop()
+
+
+class TestClusterProxy:
+    @async_test
+    async def test_unknown_method_rejected_locally(self):
+        cluster = await Cluster(1).start()
+        try:
+            async with await ClusterClient.connect(cluster.directory_url) as cc:
+                proxy = await cc.bind("kv", Kv)
+                with pytest.raises(BadCallError):
+                    proxy.no_such_method
+        finally:
+            await cluster.stop()
+
+    @async_test
+    async def test_data_flows_to_the_replica_that_served_the_call(self):
+        cluster = await Cluster(2).start()
+        try:
+            async with await ClusterClient.connect(cluster.directory_url) as cc:
+                proxy = await cc.bind("kv", Kv)
+                for i in range(4):
+                    await proxy.put(f"k{i}", f"v{i}")
+                total = sum(len(impl._data) for impl in cluster.impls)
+                assert total == 4  # every put executed exactly once
+        finally:
+            await cluster.stop()
+
+    @async_test
+    async def test_repr_and_services(self):
+        cluster = await Cluster(2).start()
+        try:
+            async with await ClusterClient.connect(cluster.directory_url) as cc:
+                proxy = await cc.bind("kv", Kv)
+                await proxy.whoami()
+                assert "test.kv" in repr(proxy)
+                assert await cc.services() == ["kv"]
+        finally:
+            await cluster.stop()

@@ -53,6 +53,13 @@ EXPECTATIONS = {
         "messages in room history: 7",
         "carol received 2 (left early)",
     ],
+    "cluster_chat.py": [
+        "2 registry replicas advertised",
+        "registry calls balanced across: ['registry-east', 'registry-west']",
+        "3 members joined the fan-out room",
+        "fan-out deliveries: 6 (2 posts x 3 members)",
+        "done",
+    ],
 }
 
 

@@ -1,0 +1,222 @@
+"""The naming half of the builtin interface: list, unpublish, overwrite.
+
+``publish`` over an existing name is a *deliberate overwrite* — it is
+counted (``naming.republished``), traced (KIND_NAMING), and clients
+replaying lookups after a reconnect see their old proxies go stale.
+``unpublish`` retracts a name without revoking the object;
+``list_names`` enumerates the namespace.
+"""
+
+import itertools
+
+import pytest
+
+from repro import ClamClient, ClamServer, RemoteInterface
+from repro.errors import RemoteError, RemoteStaleError, StaleHandleError
+from repro.rpc import RetryPolicy
+from repro.stubs import idempotent
+from repro.trace import KIND_NAMING, TimelineRecorder
+from tests.support import async_test, eventually
+
+_ids = itertools.count(1)
+
+COUNTER_SOURCE = '''
+from repro.stubs import RemoteInterface
+
+
+class Counter(RemoteInterface):
+    def __init__(self):
+        self.value = 0
+
+    def add(self, amount: int) -> None:
+        self.value += amount
+
+    def total(self) -> int:
+        return self.value
+'''
+
+
+class Counter(RemoteInterface):
+    def add(self, amount: int) -> None: ...
+    @idempotent
+    def total(self) -> int: ...
+
+
+async def start(server=None):
+    if server is None:
+        server = ClamServer()
+    address = await server.start(f"memory://naming-{next(_ids)}")
+    client = await ClamClient.connect(address)
+    await client.load_module("counter", COUNTER_SOURCE)
+    return server, address, client
+
+
+async def drop_connection(client):
+    """Sever the RPC stream as a network failure would."""
+    await client.rpc.channel.close()
+    await client.rpc.disconnected.wait()
+
+
+class TestListNames:
+    @async_test
+    async def test_names_appear_and_disappear(self):
+        server, _, client = await start()
+        assert await client.list_names() == []
+        counter = await client.create(Counter)
+        await client.publish("b-name", counter)
+        await client.publish("a-name", counter)
+        assert await client.list_names() == ["a-name", "b-name"]
+        assert await client.unpublish("b-name") is True
+        assert await client.list_names() == ["a-name"]
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_host_published_objects_listed_too(self):
+        server = ClamServer()
+        server.publish("host-object", _HostThing())
+        _, _, client = (None, None, None)
+        address = await server.start(f"memory://naming-{next(_ids)}")
+        client = await ClamClient.connect(address)
+        assert await client.list_names() == ["host-object"]
+        await client.close()
+        await server.shutdown()
+
+
+class _HostThing(RemoteInterface):
+    def nop(self) -> int:
+        return 0
+
+
+class TestUnpublish:
+    @async_test
+    async def test_unpublished_name_stops_resolving(self):
+        server, _, client = await start()
+        counter = await client.create(Counter)
+        await client.publish("short-lived", counter)
+        assert await client.unpublish("short-lived") is True
+        with pytest.raises(RemoteError):
+            await client.lookup(Counter, "short-lived")
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_unpublish_missing_name_is_false_not_error(self):
+        server, _, client = await start()
+        assert await client.unpublish("never-was") is False
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_handles_stay_valid_after_unpublish(self):
+        """Retraction is not revocation: release's naming half only."""
+        server, _, client = await start()
+        counter = await client.create(Counter)
+        await client.publish("temp", counter)
+        looked_up = await client.lookup(Counter, "temp")
+        assert await client.unpublish("temp") is True
+        # Both the creator's proxy and the looked-up one still work.
+        await counter.add(2)
+        assert await looked_up.total() == 2
+        assert server.metrics.counter("naming.unpublished").value == 1
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_release_still_revokes(self):
+        """Contrast: release revokes the object and clears its names."""
+        server, _, client = await start()
+        counter = await client.create(Counter)
+        await client.publish("doomed", counter)
+        await client.release(counter)
+        with pytest.raises(RemoteError):
+            await client.lookup(Counter, "doomed")
+        with pytest.raises((RemoteError, StaleHandleError)):
+            await counter.total()
+        await client.close()
+        await server.shutdown()
+
+
+class TestRepublish:
+    @async_test
+    async def test_overwrite_counted_and_traced(self):
+        server = ClamServer()
+        recorder = TimelineRecorder()
+        server.tracer.subscribe(recorder)
+        _, _, client = await start(server)
+
+        first = await client.create(Counter)
+        second = await client.create(Counter)
+        await client.publish("the-name", first)
+        assert server.metrics.counter("naming.republished").value == 0
+        await client.publish("the-name", second)  # deliberate overwrite
+        assert server.metrics.counter("naming.republished").value == 1
+        points = [
+            e for e in recorder.of_kind(KIND_NAMING)
+            if e.name == "republish the-name"
+        ]
+        assert len(points) == 1
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_republishing_same_handle_is_not_an_overwrite(self):
+        server, _, client = await start()
+        counter = await client.create(Counter)
+        await client.publish("idem", counter)
+        await client.publish("idem", counter)
+        assert server.metrics.counter("naming.republished").value == 0
+        await client.close()
+        await server.shutdown()
+
+    @async_test
+    async def test_host_side_publish_overwrite_counted(self):
+        server = ClamServer()
+        server.publish("spot", _HostThing())
+        server.publish("spot", _HostThing())
+        assert server.metrics.counter("naming.republished").value == 1
+
+    @async_test
+    async def test_overwrite_marks_reconnecting_clients_proxies_stale(self):
+        """Pin the composition with PR 3's lookup replay.
+
+        A client that looked a name up, then lost its connection while
+        another publisher overwrote the name, must find its old proxy
+        *stale* after reconnecting — the replay observes the changed
+        handle — rather than silently calling the old object.
+        """
+        server = ClamServer(session_linger=30.0)
+        address = await server.start(f"memory://naming-{next(_ids)}")
+        observer = await ClamClient.connect(
+            address,
+            reconnect=True,
+            reconnect_policy=RetryPolicy(attempts=8, base_delay=0.01, seed=1),
+        )
+        publisher = await ClamClient.connect(address)
+        await publisher.load_module("counter", COUNTER_SOURCE)
+
+        original = await publisher.create(Counter)
+        await original.add(7)
+        await publisher.publish("contested", original)
+
+        observed = await observer.lookup(Counter, "contested")
+        assert await observed.total() == 7
+
+        # The observer's wires drop; meanwhile the name is overwritten.
+        await drop_connection(observer)
+        replacement = await publisher.create(Counter)
+        await publisher.publish("contested", replacement)
+        assert server.metrics.counter("naming.republished").value == 1
+
+        await eventually(lambda: observer.reconnects == 1)
+        await eventually(lambda: observer.rpc.is_stale(observed._clam_handle_))
+        with pytest.raises((RemoteStaleError, StaleHandleError)):
+            await observed.total()
+
+        # A fresh lookup reaches the replacement (value 0, not 7).
+        fresh = await observer.lookup(Counter, "contested")
+        assert await fresh.total() == 0
+
+        await observer.close()
+        await publisher.close()
+        await server.shutdown()
