@@ -10,6 +10,7 @@ Usage::
     python -m repro.bench tasks      # the §4.4 task-reuse ablation
     python -m repro.bench upcalls    # the §4.4 channel-layout + concurrency ablations
     python -m repro.bench fanout     # cluster fan-out: 1 publisher, N subscribers
+    python -m repro.bench overload   # open-loop overload, with/without admission
 
     python -m repro.bench --json BENCH_rpc.json           # perf record
     python -m repro.bench --json BENCH_rpc.json --quick   # CI smoke mode
@@ -27,13 +28,15 @@ from repro.bench import (
     bundlers_bench,
     fanout_bench,
     fig51,
+    overload_bench,
     sweep_bench,
     tasks_bench,
     upcall_bench,
 )
 
 SUITES = (
-    "fig51", "batching", "bundlers", "sweep", "tasks", "upcalls", "arq", "fanout",
+    "fig51", "batching", "bundlers", "sweep", "tasks", "upcalls", "arq",
+    "fanout", "overload",
 )
 
 
@@ -86,6 +89,8 @@ def main(argv: list[str] | None = None) -> int:
                 arq_bench.main()
             elif suite == "fanout":
                 fanout_bench.main(base_dir)
+            elif suite == "overload":
+                overload_bench.main(base_dir)
     return 0
 
 

@@ -141,6 +141,17 @@ def _collect_fanout(quick: bool) -> dict[str, dict[str, float]]:
         return asyncio.run(fanout_bench.record(base_dir, quick=quick))
 
 
+def _collect_overload(quick: bool) -> dict[str, dict[str, float]]:
+    """Open-loop overload, with and without admission control."""
+    import asyncio
+    import tempfile
+
+    from repro.bench import overload_bench
+
+    with tempfile.TemporaryDirectory(prefix="clam-overload-") as base_dir:
+        return asyncio.run(overload_bench.record(base_dir, quick=quick))
+
+
 def collect(quick: bool = False) -> dict[str, Any]:
     """Run the suite and return the perf record as a plain dict."""
     repeats = 20 if quick else 200
@@ -148,6 +159,7 @@ def collect(quick: bool = False) -> dict[str, Any]:
         name: _measure(fn, repeats) for name, fn in _workloads().items()
     }
     fanout = _collect_fanout(quick)
+    overload = _collect_overload(quick)
 
     def speedup(kind: str) -> float:
         interp = benchmarks[f"bundle_{kind}_x100_interpreted"]["median_us"]
@@ -163,6 +175,7 @@ def collect(quick: bool = False) -> dict[str, Any]:
         "quick": quick,
         "benchmarks": benchmarks,
         "fanout": fanout,
+        "overload": overload,
         "derived": {
             "compiled_speedup_point": speedup("point"),
             "compiled_speedup_reading": speedup("reading"),
@@ -185,6 +198,10 @@ def write_record(path: str, quick: bool = False) -> dict[str, Any]:
     for name, stats in record.get("fanout", {}).items():
         print(f"  {name:<{width}}  {stats['posts_per_sec']:>9.0f} posts/s  "
               f"p95 {stats['p95_delivery_us']:>9.1f}us")
+    for name, stats in record.get("overload", {}).items():
+        print(f"  {name:<{width}}  {stats['goodput_per_sec']:>9.0f} good/s  "
+              f"shed {stats['shed_rate']:>5.0%}  "
+              f"p95 {stats['p95_latency_us']:>9.1f}us")
     for name, value in record["derived"].items():
         print(f"  {name}: {value}x")
     return record

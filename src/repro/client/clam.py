@@ -46,7 +46,12 @@ from repro.rpc import RetryPolicy, RpcConnection, install_client_objects
 from repro.client.upcall_task import UpcallService
 from repro.server.builtin import BUILTIN_HANDLE, ClamServerInterface
 from repro.stubs import Proxy, build_proxy, interface_spec
-from repro.wire import PROTOCOL_VERSION, ChannelRole, HelloMessage
+from repro.wire import (
+    FLOW_CONTROL_VERSION,
+    PROTOCOL_VERSION,
+    ChannelRole,
+    HelloMessage,
+)
 
 #: Default bound on connection establishment (dial + HELLO exchange).
 DEFAULT_CONNECT_TIMEOUT = 5.0
@@ -193,6 +198,7 @@ class ClamClient:
             retry=retry,
             tracer=tracer,
             metrics=metrics,
+            flow_credits=True,
         )
         install_client_objects(registry, rpc)
 
@@ -208,6 +214,12 @@ class ClamClient:
                 tracer=tracer,
                 metrics=metrics,
             )
+            if negotiated >= FLOW_CONTROL_VERSION:
+                # Grant the server its upcall window (roles reversed
+                # from the RPC stream); the first grant engages the
+                # session's gate.
+                service.enable_credits()
+                await service.announce_credits()
             upcall_task = asyncio.get_running_loop().create_task(
                 service.run(), name="clam-client-upcalls"
             )
@@ -329,6 +341,11 @@ class ClamClient:
                 await rpc_channel.close()
                 raise
             self._upcall_service.adopt_channel(upcall_channel)
+            if upcall_channel.protocol_version >= FLOW_CONTROL_VERSION:
+                # Fresh channel, fresh cumulative grant arithmetic on
+                # both ends: rebuild the ledger and re-announce.
+                self._upcall_service.enable_credits()
+                await self._upcall_service.announce_credits()
             if self._upcall_task is not None and not self._upcall_task.done():
                 self._upcall_task.cancel()
             self._upcall_task = asyncio.get_running_loop().create_task(

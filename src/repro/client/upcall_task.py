@@ -18,15 +18,27 @@ RPCs back into the server).
 from __future__ import annotations
 
 import asyncio
+import collections
 import time
 import traceback
 
 from repro.errors import ConnectionClosedError, ProtocolError
 from repro.core import CallbackTable
+from repro.flow import (
+    DEFAULT_WINDOW_BYTES,
+    DEFAULT_WINDOW_MSGS,
+    CreditLedger,
+    message_cost,
+)
 from repro.ipc import MessageChannel
 from repro.obs.context import SpanContext, using_context
 from repro.tasks import Slots
-from repro.wire import UpcallExceptionMessage, UpcallMessage, UpcallReplyMessage
+from repro.wire import (
+    CreditMessage,
+    UpcallExceptionMessage,
+    UpcallMessage,
+    UpcallReplyMessage,
+)
 
 
 class UpcallService:
@@ -50,14 +62,56 @@ class UpcallService:
         self._max_active = max_active
         self._slots = Slots(max_active)
         self._handlers: set[asyncio.Task] = set()
+        self._ledger: CreditLedger | None = None
+        # Serials recently accepted, the upcall mirror of the server
+        # dispatcher's duplicate cache: a frame duplicated in flight
+        # must not run the handler twice.  Bounded; old entries age out.
+        self._seen_serials: collections.OrderedDict[int, None] = (
+            collections.OrderedDict()
+        )
+        self._dedup_window = 512
         self.upcalls_handled = 0
         self.upcalls_failed = 0
+        self.duplicate_upcalls = 0
         self.max_concurrency_seen = 0
         self._active = 0
 
     @property
     def max_active(self) -> int:
         return self._max_active
+
+    # -- upcall-stream credits (protocol v4, dedicated stream only) -----------------
+
+    def enable_credits(
+        self,
+        *,
+        window_msgs: int = DEFAULT_WINDOW_MSGS,
+        window_bytes: int = DEFAULT_WINDOW_BYTES,
+    ) -> None:
+        """Start granting the server an upcall window on this stream.
+
+        Called (and re-called after every reconnect: cumulative credit
+        arithmetic restarts with the channel) by the client runtime on
+        v4 two-stream connections; :meth:`announce_credits` must follow
+        to send the initial grant that engages the server's gate.
+        """
+        self._ledger = CreditLedger(
+            self._send_grant,
+            window_msgs=window_msgs,
+            window_bytes=window_bytes,
+            metrics=self._metrics,
+            tracer=self._tracer,
+            name="flow.credit.upcall",
+        )
+
+    async def announce_credits(self) -> None:
+        if self._ledger is not None:
+            await self._ledger.announce()
+
+    async def _send_grant(self, msg_credit: int, byte_credit: int) -> None:
+        await self._send_safely(
+            CreditMessage(msg_credit=msg_credit, byte_credit=byte_credit)
+        )
 
     def adopt_channel(self, channel: MessageChannel) -> None:
         """Point the service at a freshly opened upcall stream.
@@ -69,6 +123,9 @@ class UpcallService:
         end detaches promptly.
         """
         old, self._channel = self._channel, channel
+        # A non-resumed reconnect restarts the server's serial counter,
+        # so remembered serials would wrongly shadow fresh upcalls.
+        self._seen_serials.clear()
         if old is not None and not old.closed:
             asyncio.get_running_loop().create_task(old.close())
 
@@ -87,6 +144,23 @@ class UpcallService:
         try:
             while True:
                 message = await self._channel.recv()
+                if isinstance(message, CreditMessage):
+                    # The server probing for a possibly-lost grant; the
+                    # answer (current cumulative grant) is idempotent.
+                    if message.probe:
+                        if self._ledger is not None:
+                            # Write off upcall frames lost in transit so
+                            # dropped frames cannot strangle the window.
+                            # Handlers mid-flight (``_active``) are held,
+                            # not lost; their byte share is small enough
+                            # to write off early (they drain right after).
+                            self._ledger.reconcile(
+                                message.msg_credit,
+                                message.byte_credit,
+                                held_msgs=self._active,
+                            )
+                        await self.announce_credits()
+                    continue
                 if not isinstance(message, UpcallMessage):
                     raise ProtocolError(
                         f"unexpected message on upcall channel: {message!r}"
@@ -134,31 +208,49 @@ class UpcallService:
         as a RemoteError.  The reply goes back on ``reply_channel``
         when given (shared-stream arrivals), else the service's own.
         """
+        if message.serial in self._seen_serials:
+            # A duplicated frame (flaky transport): the first copy runs
+            # (or ran) the handler and owns the reply; this one is noise.
+            self.duplicate_upcalls += 1
+            if self._metrics is not None:
+                self._metrics.counter("upcall.client.duplicates").inc()
+            return
+        self._seen_serials[message.serial] = None
+        while len(self._seen_serials) > self._dedup_window:
+            self._seen_serials.popitem(last=False)
         self._active += 1
         self.max_concurrency_seen = max(self.max_concurrency_seen, self._active)
         try:
-            payload = await self._execute(message)
-        except Exception as exc:
-            self.upcalls_failed += 1
+            try:
+                payload = await self._execute(message)
+            except Exception as exc:
+                self.upcalls_failed += 1
+                if message.expects_reply:
+                    await self._send_safely(
+                        UpcallExceptionMessage(
+                            serial=message.serial,
+                            remote_type=type(exc).__name__,
+                            message=str(exc),
+                            traceback=traceback.format_exc(),
+                        ),
+                        reply_channel,
+                    )
+                return
+            finally:
+                self._active -= 1
+            self.upcalls_handled += 1
             if message.expects_reply:
                 await self._send_safely(
-                    UpcallExceptionMessage(
-                        serial=message.serial,
-                        remote_type=type(exc).__name__,
-                        message=str(exc),
-                        traceback=traceback.format_exc(),
-                    ),
+                    UpcallReplyMessage(serial=message.serial, results=payload),
                     reply_channel,
                 )
-            return
         finally:
-            self._active -= 1
-        self.upcalls_handled += 1
-        if message.expects_reply:
-            await self._send_safely(
-                UpcallReplyMessage(serial=message.serial, results=payload),
-                reply_channel,
-            )
+            # The upcall is absorbed either way (handled or failed):
+            # re-grant the server's window.  Only arrivals on the
+            # credited dedicated stream count — shared-stream upcalls
+            # (``reply_channel`` set) were never gated.
+            if self._ledger is not None and reply_channel is None:
+                await self._ledger.drained(message_cost(message.args))
 
     async def _execute(self, message: UpcallMessage) -> bytes:
         """Run the RUC procedure inside the server's trace context.

@@ -21,9 +21,17 @@ stream, without ever blocking the publisher on the slowest client:
 Evictions are surfaced the way failed void upcalls already are: the
 RUC's sender exposes ``report_upcall_failure`` (the §4.3 error-port
 degradation path, ``ClamServer(degrade_upcalls=True)``), and the
-group offers every eviction to it.  Counters:
+group offers every eviction to it.
+
+The per-subscriber queue is a :class:`repro.flow.BoundedQueue` — the
+shared overflow primitive — so the policies here are exactly the ones
+tested there.  Counters are consistently in *event* units:
 ``cluster.fanout.delivered`` / ``dropped`` / ``coalesced`` /
-``evicted`` / ``posts``.
+``evicted_events`` (backlog discarded when a subscriber is evicted),
+plus ``cluster.fanout.evicted_subscribers`` for the eviction count
+itself.  The old ``cluster.fanout.evicted`` name (which counted
+subscribers) is still emitted as a deprecated alias of
+``evicted_subscribers`` for one release.
 
 The group is transport-agnostic: anything awaitable can subscribe —
 a :class:`~repro.core.RemoteUpcall`, a local coroutine function, or a
@@ -39,8 +47,9 @@ import itertools
 from typing import Any, Callable
 
 from repro.errors import SlowSubscriberError, TransportError, UpcallError
+from repro.flow import BoundedQueue, Outcome
 
-#: Accepted slow-subscriber policies.
+#: Accepted slow-subscriber policies (the :mod:`repro.flow.bounded` set).
 SLOW_POLICIES = ("drop", "coalesce", "evict")
 
 
@@ -49,21 +58,29 @@ class _Subscriber:
 
     __slots__ = (
         "key", "proc", "queue", "wakeup", "idle", "task",
-        "delivered", "dropped", "coalesced", "alive",
+        "delivered", "alive",
     )
 
-    def __init__(self, key: int, proc: Callable[..., Any]):
+    def __init__(
+        self, key: int, proc: Callable[..., Any], limit: int, policy: str
+    ):
         self.key = key
         self.proc = proc
-        self.queue: list[tuple] = []
+        self.queue: BoundedQueue[tuple] = BoundedQueue(limit, policy=policy)
         self.wakeup = asyncio.Event()
         self.idle = asyncio.Event()
         self.idle.set()
         self.task: asyncio.Task | None = None
         self.delivered = 0
-        self.dropped = 0
-        self.coalesced = 0
         self.alive = True
+
+    @property
+    def dropped(self) -> int:
+        return self.queue.dropped
+
+    @property
+    def coalesced(self) -> int:
+        return self.queue.coalesced
 
 
 class UpcallGroup:
@@ -99,8 +116,14 @@ class UpcallGroup:
         self.delivered = 0
         self.dropped = 0
         self.coalesced = 0
-        self.evicted = 0
+        self.evicted_subscribers = 0
+        self.evicted_events = 0
         self.errors = 0
+
+    @property
+    def evicted(self) -> int:
+        """Deprecated alias of :attr:`evicted_subscribers` (one release)."""
+        return self.evicted_subscribers
 
     # -- membership ---------------------------------------------------------------
 
@@ -123,7 +146,7 @@ class UpcallGroup:
         if not callable(proc):
             raise UpcallError(f"subscriber must be callable, got {proc!r}")
         key = next(self._keys)
-        subscriber = _Subscriber(key, proc)
+        subscriber = _Subscriber(key, proc, self.queue_limit, self.slow_policy)
         self._subscribers[key] = subscriber
         subscriber.task = asyncio.get_running_loop().create_task(
             self._pump(subscriber), name=f"fanout-{self.topic}-{key}"
@@ -164,44 +187,33 @@ class UpcallGroup:
         for subscriber in list(self._subscribers.values()):
             if not subscriber.alive:
                 continue
-            if len(subscriber.queue) >= self.queue_limit:
-                if not self._handle_slow(subscriber):
-                    continue  # event not enqueued for this subscriber
-            subscriber.queue.append(args)
+            outcome, discarded = subscriber.queue.offer(args)
+            if outcome is Outcome.DROPPED:
+                self.dropped += discarded
+                if self._metrics is not None:
+                    self._metrics.counter("cluster.fanout.dropped").inc(discarded)
+                continue
+            if outcome is Outcome.EVICT:
+                self._evict(
+                    subscriber,
+                    SlowSubscriberError(
+                        f"subscriber {subscriber.key} on topic {self.topic!r} "
+                        f"fell {len(subscriber.queue)} events behind "
+                        f"(queue_limit={self.queue_limit})"
+                    ),
+                )
+                continue
+            if outcome is Outcome.COALESCED:
+                # The backlog collapsed; the new event superseded it.
+                self.coalesced += discarded
+                if self._metrics is not None:
+                    self._metrics.counter("cluster.fanout.coalesced").inc(discarded)
             subscriber.idle.clear()
             subscriber.wakeup.set()
             enqueued += 1
         if self._metrics is not None:
             self._metrics.counter("cluster.fanout.posts").inc()
         return enqueued
-
-    def _handle_slow(self, subscriber: _Subscriber) -> bool:
-        """Apply the slow policy; True means the new event may enqueue."""
-        if self.slow_policy == "drop":
-            subscriber.dropped += 1
-            self.dropped += 1
-            if self._metrics is not None:
-                self._metrics.counter("cluster.fanout.dropped").inc()
-            return False
-        if self.slow_policy == "coalesce":
-            # Collapse the backlog: the newest event supersedes it.
-            removed = len(subscriber.queue)
-            subscriber.queue.clear()
-            subscriber.coalesced += removed
-            self.coalesced += removed
-            if self._metrics is not None:
-                self._metrics.counter("cluster.fanout.coalesced").inc(removed)
-            return True
-        # evict
-        self._evict(
-            subscriber,
-            SlowSubscriberError(
-                f"subscriber {subscriber.key} on topic {self.topic!r} fell "
-                f"{len(subscriber.queue)} events behind (queue_limit="
-                f"{self.queue_limit})"
-            ),
-        )
-        return False
 
     # -- delivery -----------------------------------------------------------------
 
@@ -214,7 +226,7 @@ class UpcallGroup:
                     subscriber.wakeup.clear()
                     await subscriber.wakeup.wait()
                     continue
-                args = subscriber.queue.pop(0)
+                args = subscriber.queue.pop()
                 # Probe the delivery path first: a RUC whose session
                 # lost its channels would *degrade* the failed send to
                 # a silent no-op (void upcall + degrade_upcalls), and
@@ -258,9 +270,15 @@ class UpcallGroup:
 
     def _evict(self, subscriber: _Subscriber, exc: Exception) -> None:
         self._subscribers.pop(subscriber.key, None)
-        self.evicted += 1
+        discarded = subscriber.queue.clear()
+        self.evicted_subscribers += 1
+        self.evicted_events += discarded
         if self._metrics is not None:
+            self._metrics.counter("cluster.fanout.evicted_subscribers").inc()
+            # Deprecated alias of evicted_subscribers; drop next release.
             self._metrics.counter("cluster.fanout.evicted").inc()
+            if discarded:
+                self._metrics.counter("cluster.fanout.evicted_events").inc(discarded)
         if self._tracer is not None and self._tracer.active:
             from repro.trace import KIND_FANOUT
 
@@ -341,7 +359,9 @@ class UpcallGroup:
             "delivered": self.delivered,
             "dropped": self.dropped,
             "coalesced": self.coalesced,
-            "evicted": self.evicted,
+            "evicted_subscribers": self.evicted_subscribers,
+            "evicted_events": self.evicted_events,
+            "evicted": self.evicted_subscribers,  # deprecated alias
             "errors": self.errors,
             "per_subscriber": {
                 key: {

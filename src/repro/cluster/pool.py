@@ -16,6 +16,13 @@ duplicating it:
 - a reply of :class:`~repro.errors.RemoteStaleError` (the replica
   restarted and re-published its object under a new tag) drops the
   cached per-replica proxy and looks the name up again, once;
+- a shed (:class:`~repro.errors.ServerOverloadedError`) *soft-downs*
+  the replica: out of rotation for the server's ``retry_after`` hint,
+  connection kept (the server is healthy, just full), and the call
+  fails over immediately — always safe, a shed happens before
+  execution.  Each shed also adds a decaying penalty to the replica's
+  load figure, so :class:`LeastLoaded` steers around recently
+  overloaded replicas even after they rejoin the rotation;
 - per-call retries of ``@idempotent`` methods and ambient deadlines
   still come from the underlying :class:`~repro.rpc.RpcConnection` —
   pass ``client_options=dict(retry=..., call_timeout=...)``.
@@ -31,12 +38,14 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from typing import Any
 
 from repro.errors import (
     CallTimeoutError,
     NoReplicasError,
     RemoteStaleError,
+    ServerOverloadedError,
     TransportError,
 )
 from repro.cluster.directory import DIRECTORY_SERVICE, DirectoryInterface
@@ -64,20 +73,32 @@ class RoundRobin(BalancingPolicy):
 
 
 class LeastLoaded(BalancingPolicy):
-    """Pick the lowest advertised load; break ties round-robin.
+    """Pick the lowest *effective* load; break ties round-robin.
 
-    The load figure is whatever the replica's advertiser samples —
+    The base load figure is whatever the replica's advertiser samples —
     session count by default, or any scrape of the builtin
     ``metrics()`` — refreshed every heartbeat, so it is coarse but
-    honest.
+    honest.  On top of it sits the replica's decaying shed penalty:
+    a replica that recently answered with
+    :class:`~repro.errors.ServerOverloadedError` looks heavier than
+    its advertisement for a few seconds, so traffic drains away from
+    it *before* the next heartbeat can say so.
     """
 
     def __init__(self) -> None:
         self._tiebreak = itertools.count()
 
     def choose(self, candidates: "list[Replica]") -> "Replica":
-        lowest = min(replica.load for replica in candidates)
-        tied = [replica for replica in candidates if replica.load == lowest]
+        # time.monotonic() is the same clock asyncio's loop.time() reads,
+        # and unlike the loop it is reachable from synchronous callers.
+        now = time.monotonic()
+        loads = [replica.effective_load(now) for replica in candidates]
+        lowest = min(loads)
+        tied = [
+            replica
+            for replica, load in zip(candidates, loads)
+            if load <= lowest + 1e-9
+        ]
         return tied[next(self._tiebreak) % len(tied)]
 
 
@@ -85,8 +106,20 @@ class LeastLoaded(BalancingPolicy):
 POLICIES = {"round-robin": RoundRobin, "least-loaded": LeastLoaded}
 
 
+#: Half-life of a replica's shed penalty, seconds.  Long enough that
+#: LeastLoaded remembers a shed across a few heartbeats, short enough
+#: that a recovered replica re-earns full traffic within seconds.
+PENALTY_HALF_LIFE = 5.0
+
+
 class Replica:
     """One endpoint as the pool sees it: connection, proxies, health."""
+
+    # Class-level defaults so partially built replicas (tests, future
+    # subclasses) still answer effective_load() honestly.
+    overloads = 0
+    shed_penalty = 0.0
+    _penalty_at = 0.0
 
     def __init__(self, endpoint: Endpoint):
         self.url = endpoint.url
@@ -97,9 +130,28 @@ class Replica:
         self.down_until = 0.0
         self.calls = 0
         self.failures = 0
+        self.overloads = 0
+        self.shed_penalty = 0.0
+        self._penalty_at = 0.0
 
     def is_down(self, now: float) -> bool:
         return now < self.down_until
+
+    def _decayed_penalty(self, now: float) -> float:
+        if self.shed_penalty <= 0.0:
+            return 0.0
+        age = max(0.0, now - self._penalty_at)
+        return self.shed_penalty * 0.5 ** (age / PENALTY_HALF_LIFE)
+
+    def note_overloaded(self, now: float) -> None:
+        """Record one shed: bump the decaying penalty."""
+        self.overloads += 1
+        self.shed_penalty = self._decayed_penalty(now) + 1.0
+        self._penalty_at = now
+
+    def effective_load(self, now: float) -> float:
+        """Advertised load plus the decaying shed penalty."""
+        return self.load + self._decayed_penalty(now)
 
     async def retire(self) -> None:
         self.proxies.clear()
@@ -223,6 +275,21 @@ class ReplicaPool:
         # The set has visibly changed; make the next call re-resolve.
         self._resolved_at = -1e9
 
+    def mark_overloaded(self, replica: Replica, retry_after_ms: int) -> None:
+        """Soft-down: out of rotation for the server's hint, connection kept.
+
+        An overloaded replica is healthy — it answered, promptly, with
+        a verdict — so unlike :meth:`mark_down` this neither retires
+        the client nor forces a re-resolution; it just respects the
+        ``retry_after`` hint and weights the balancer away.
+        """
+        now = asyncio.get_running_loop().time()
+        hold = max(retry_after_ms / 1000.0, 0.05)
+        replica.down_until = max(replica.down_until, now + hold)
+        replica.note_overloaded(now)
+        if self._metrics is not None:
+            self._metrics.counter("cluster.pool.overloaded").inc()
+
     def _may_failover(self, exc: Exception, idempotent: bool) -> bool:
         if isinstance(exc, TransportError):
             return self._failover == "transport" or idempotent
@@ -240,7 +307,15 @@ class ReplicaPool:
         attempts = max(2, len(self._replicas) + 1)
         last_exc: Exception | None = None
         for _ in range(attempts):
-            candidates = await self._candidates()
+            try:
+                candidates = await self._candidates()
+            except NoReplicasError:
+                # Everything soft-downed because every replica shed:
+                # surface the real verdict — an overload error carries
+                # the retry_after hint the caller's RetryPolicy honors.
+                if isinstance(last_exc, ServerOverloadedError):
+                    raise last_exc from None
+                raise
             replica = self._policy.choose(candidates)
             try:
                 proxy = await self._proxy_for(replica, iface, published)
@@ -260,6 +335,13 @@ class ReplicaPool:
                 replica.proxies.pop((iface, published), None)
                 proxy = await self._proxy_for(replica, iface, published)
                 return await getattr(proxy, method)(*args, **kwargs)
+            except ServerOverloadedError as exc:
+                # A shed happens before execution, so rerouting is safe
+                # no matter the method's idempotency.
+                last_exc = exc
+                self.mark_overloaded(replica, exc.retry_after_ms)
+                if self._metrics is not None:
+                    self._metrics.counter("cluster.pool.failovers").inc()
             except (TransportError, CallTimeoutError) as exc:
                 last_exc = exc
                 if not self._may_failover(exc, idempotent):
@@ -282,6 +364,7 @@ class ReplicaPool:
             replica.url: {
                 "calls": replica.calls,
                 "failures": replica.failures,
+                "overloads": replica.overloads,
                 "load": replica.load,
                 "generation": replica.generation,
                 "connected": 1.0 if replica.client is not None else 0.0,

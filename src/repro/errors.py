@@ -82,6 +82,34 @@ class DeadlineExpiredError(RpcError):
     """
 
 
+class ServerOverloadedError(RpcError):
+    """The server's admission control shed the call before executing it.
+
+    Always safe to retry — shedding happens *before* dispatch, so the
+    call had no remote effect.  ``retry_after_ms`` is the server's
+    hint for how long to back off; :class:`~repro.rpc.RetryPolicy`
+    honors it (waiting at least that long) even for methods not
+    declared idempotent, precisely because nothing executed.
+
+    The hint is carried inside the exception message on the wire
+    (``... [retry_after_ms=N]``) so v1–v3 peers see a plain remote
+    error while flow-aware clients recover the structured field — see
+    :func:`repro.flow.pack_retry_after` / ``parse_retry_after``.
+    """
+
+    def __init__(self, message: str, retry_after_ms: int = 0):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class CreditExhaustedError(RpcError):
+    """A ``post(nowait=True)`` found the credit window empty.
+
+    The peer has not granted room for another asynchronous call; the
+    caller chose failing fast over blocking until the window reopens
+    (see :class:`repro.flow.CreditGate`)."""
+
+
 class RemoteError(RpcError):
     """An exception escaped the remote procedure.
 

@@ -1,0 +1,105 @@
+"""Bounded queues with explicit overflow outcomes.
+
+Every layer that decouples a producer from a consumer needs the same
+three answers to "the queue is full": drop the new item, coalesce the
+backlog down to the newest item, or declare the consumer beyond help.
+PR 4's :class:`~repro.cluster.UpcallGroup` implemented those inline;
+:class:`BoundedQueue` is that logic extracted so fan-out queues,
+tests, and future layers share one audited primitive.
+
+``offer`` is synchronous and never blocks — the producer-side
+counterpart of :class:`~repro.flow.CreditGate`'s blocking ``acquire``
+for paths (like fan-out ``post``) that must stay non-blocking and
+instead shed locally.  Each offer reports exactly what happened
+through an :class:`Outcome`, so the caller's counters stay truthful.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Any, Deque, Generic, TypeVar
+
+T = TypeVar("T")
+
+#: Accepted overflow policies.
+POLICIES = ("drop", "coalesce", "evict")
+
+
+class Outcome(enum.Enum):
+    """What :meth:`BoundedQueue.offer` did with the item."""
+
+    ENQUEUED = "enqueued"     # appended; queue had room
+    DROPPED = "dropped"       # policy "drop": the NEW item was discarded
+    COALESCED = "coalesced"   # policy "coalesce": backlog collapsed, item appended
+    EVICT = "evict"           # policy "evict": consumer should be removed
+
+
+class BoundedQueue(Generic[T]):
+    """A FIFO with a hard size limit and a declared overflow policy.
+
+    - ``drop``: a full queue discards the *new* item (old items are
+      already promised to the consumer; §3.4 ordering favours them);
+    - ``coalesce``: a full queue discards the *backlog* — the new item
+      supersedes it (right for state-snapshot events where only the
+      latest matters);
+    - ``evict``: a full queue means the consumer is unsalvageable; the
+      caller removes it.  The queue itself only reports the verdict.
+    """
+
+    def __init__(self, limit: int, *, policy: str = "drop"):
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, not {policy!r}")
+        self.limit = limit
+        self.policy = policy
+        self._items: Deque[T] = deque()
+        #: Lifetime counters, in *event* units across all outcomes.
+        self.enqueued = 0
+        self.dropped = 0
+        self.coalesced = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def offer(self, item: T) -> tuple[Outcome, int]:
+        """Try to enqueue; returns (outcome, events discarded by it)."""
+        if len(self._items) < self.limit:
+            self._items.append(item)
+            self.enqueued += 1
+            return Outcome.ENQUEUED, 0
+        if self.policy == "drop":
+            self.dropped += 1
+            return Outcome.DROPPED, 1
+        if self.policy == "coalesce":
+            removed = len(self._items)
+            self._items.clear()
+            self._items.append(item)
+            self.enqueued += 1
+            self.coalesced += removed
+            return Outcome.COALESCED, removed
+        return Outcome.EVICT, 0
+
+    def pop(self) -> T:
+        """Dequeue the oldest item; raises IndexError when empty."""
+        return self._items.popleft()
+
+    def clear(self) -> int:
+        """Discard the backlog; returns how many events it held."""
+        removed = len(self._items)
+        self._items.clear()
+        return removed
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "depth": len(self._items),
+            "limit": self.limit,
+            "policy": self.policy,
+            "enqueued": self.enqueued,
+            "dropped": self.dropped,
+            "coalesced": self.coalesced,
+        }

@@ -41,6 +41,7 @@ import logging
 from typing import Awaitable, Callable, Sequence
 
 from repro.errors import ConnectionClosedError
+from repro.flow import CreditGate, message_cost
 from repro.wire import BatchMessage, CallMessage
 
 logger = logging.getLogger(__name__)
@@ -70,6 +71,8 @@ class BatchQueue:
         min_batch: int = 4,
         max_batch_limit: int = 1024,
         send_many: SendManyFn | None = None,
+        credit_gate: CreditGate | None = None,
+        metrics=None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -79,6 +82,8 @@ class BatchQueue:
             )
         self._send = send
         self._send_many = send_many
+        self._credit_gate = credit_gate
+        self._metrics = metrics
         self._max_batch = max_batch
         self._flush_delay = flush_delay
         self._adaptive = adaptive
@@ -107,8 +112,19 @@ class BatchQueue:
         """Current batch-size cap (varies when ``adaptive=True``)."""
         return self._max_batch
 
-    async def post(self, call: CallMessage) -> None:
-        """Queue one asynchronous call; may trigger a size-based flush."""
+    async def post(self, call: CallMessage, *, nowait: bool = False) -> None:
+        """Queue one asynchronous call; may trigger a size-based flush.
+
+        With a credit gate attached (protocol v4), the post first
+        acquires window for the call — blocking while the server's
+        grant is exhausted, which is how a slow server stalls the
+        producer instead of queueing unboundedly.  ``nowait=True``
+        turns that stall into an immediate
+        :class:`~repro.errors.CreditExhaustedError` for callers that
+        prefer to shed locally.
+        """
+        if self._credit_gate is not None:
+            await self._credit_gate.acquire(message_cost(call.args), nowait=nowait)
         self._pending.append(call)
         self.calls_queued += 1
         if len(self._pending) >= self._max_batch:
@@ -138,6 +154,8 @@ class BatchQueue:
             # A timer racing connection teardown is expected noise.
             return
         self.last_timer_error = exc
+        if self._metrics is not None:
+            self._metrics.counter("flow.batch.timer_errors").inc()
         logger.error("batch timer flush failed", exc_info=exc)
 
     async def flush(self) -> None:

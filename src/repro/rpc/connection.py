@@ -48,8 +48,15 @@ from repro.errors import (
     ProtocolError,
     RemoteError,
     RemoteStaleError,
+    ServerOverloadedError,
 )
 from repro.bundlers.base import BundlerRegistry
+from repro.flow import (
+    CreditGate,
+    PriorityClass,
+    parse_retry_after,
+    wire_priority,
+)
 from repro.handles import Handle
 from repro.ipc import MessageChannel
 from repro.obs.context import SpanContext, current_context
@@ -61,8 +68,10 @@ from repro.rpc.resilience import (
 )
 from repro.wire import (
     DEADLINE_VERSION,
+    FLOW_CONTROL_VERSION,
     BatchMessage,
     CallMessage,
+    CreditMessage,
     ExceptionMessage,
     Message,
     ReplyMessage,
@@ -91,6 +100,7 @@ class RpcConnection:
         retry: RetryPolicy | None = None,
         tracer=None,
         metrics=None,
+        flow_credits: bool = False,
     ):
         self._channel = channel
         self._registry = registry
@@ -100,12 +110,26 @@ class RpcConnection:
         self._metrics = metrics
         self._serials = itertools.count(1)
         self._waiting: dict[int, asyncio.Future] = {}
+        # The credit gate throttles batched posts to the server's grant.
+        # It engages only when the caller opts in AND the channel speaks
+        # v4 — a bare RpcConnection (tests, pre-flow peers) stays
+        # unlimited and behaves exactly as before.
+        self._flow_credits = flow_credits
+        self._credit_gate = CreditGate(
+            unlimited=not self._gate_active(channel),
+            send_probe=self._send_credit_probe,
+            metrics=metrics,
+            tracer=tracer,
+            name="flow.credit.rpc",
+        )
         self._batch = BatchQueue(
             self._send_batch,
             max_batch=max_batch,
             flush_delay=flush_delay,
             adaptive=adaptive_batch,
             send_many=self._send_batches,
+            credit_gate=self._credit_gate,
+            metrics=metrics,
         )
         self._upcall_sink = None
         self._closed = False
@@ -125,6 +149,20 @@ class RpcConnection:
         self.async_calls = 0
         self.reconnects = 0
         self.late_replies = 0
+        self.overload_retries = 0
+        self.overload_posts = 0
+
+    def _gate_active(self, channel: MessageChannel) -> bool:
+        return self._flow_credits and channel.protocol_version >= FLOW_CONTROL_VERSION
+
+    async def _send_credit_probe(self, used_msgs: int, used_bytes: int) -> None:
+        await self._channel.send(
+            CreditMessage(msg_credit=used_msgs, byte_credit=used_bytes, probe=True)
+        )
+
+    @property
+    def credit_gate(self) -> CreditGate:
+        return self._credit_gate
 
     # -- CallEndpoint protocol ---------------------------------------------------
 
@@ -165,6 +203,10 @@ class RpcConnection:
         delays = (
             self._retry.delays() if (idempotent and self._retry is not None) else iter(())
         )
+        # Overload sheds happen *before* execution, so retrying them is
+        # safe regardless of idempotency declarations — they get their
+        # own backoff budget, stretched to the server's hint.
+        overload_delays = self._retry.delays() if self._retry is not None else iter(())
         while True:
             try:
                 return await self._attempt(serial, handle, method, args, ctx)
@@ -177,6 +219,18 @@ class RpcConnection:
                     raise  # no budget left to wait out the backoff
                 if self._metrics is not None:
                     self._metrics.counter("rpc.client.retries").inc()
+                await asyncio.sleep(delay)
+            except ServerOverloadedError as exc:
+                delay = next(overload_delays, None)
+                if delay is None or self._shutdown:
+                    raise
+                delay = max(delay, exc.retry_after_ms / 1000.0)
+                budget = remaining_deadline()
+                if budget is not None and budget <= delay:
+                    raise  # the hint outlives our deadline; give up now
+                self.overload_retries += 1
+                if self._metrics is not None:
+                    self._metrics.counter("rpc.client.overload_retries").inc()
                 await asyncio.sleep(delay)
 
     async def _attempt(
@@ -206,6 +260,7 @@ class RpcConnection:
             trace_id=ctx.trace_id if ctx else "",
             parent_span=ctx.span_id if ctx else 0,
             deadline_ms=deadline_ms,
+            priority=wire_priority(PriorityClass.SYNC),
         )
         try:
             await self._channel.send(message)
@@ -231,8 +286,15 @@ class RpcConnection:
         finally:
             self._waiting.pop(serial, None)
 
-    async def post(self, handle: Handle, method: str, args: bytes) -> None:
-        """Asynchronous remote call; queued for batching, no reply."""
+    async def post(
+        self, handle: Handle, method: str, args: bytes, *, nowait: bool = False
+    ) -> None:
+        """Asynchronous remote call; queued for batching, no reply.
+
+        On a credit-gated connection (protocol v4), the post blocks
+        while the server's window is exhausted; ``nowait=True`` raises
+        :class:`~repro.errors.CreditExhaustedError` instead.
+        """
         if self._closed and not self._shutdown and self._reconnector is not None:
             await self._reconnect()
         if self._closed:
@@ -250,6 +312,7 @@ class RpcConnection:
             expects_reply=False,
             trace_id=ctx.trace_id if ctx else "",
             parent_span=ctx.span_id if ctx else 0,
+            priority=wire_priority(PriorityClass.BATCH),
         )
         # Remember where this serial was aimed so an out-of-band server
         # error (stale handle on a batched post, protocol v3) can be
@@ -257,7 +320,7 @@ class RpcConnection:
         self._posted[serial] = (handle.oid, handle.tag)
         while len(self._posted) > _POSTED_MEMORY:
             self._posted.popitem(last=False)
-        await self._batch.post(message)
+        await self._batch.post(message, nowait=nowait)
 
     async def flush(self) -> None:
         """The special synchronization procedure of §3.4."""
@@ -301,8 +364,20 @@ class RpcConnection:
     def is_stale(self, handle: Handle) -> bool:
         return (handle.oid, handle.tag) in self._stale
 
-    def _surface_remote(self, handle: Handle, exc: RemoteError) -> RemoteError:
-        """Fold remote handle faults into :class:`RemoteStaleError`."""
+    def _surface_remote(self, handle: Handle, exc: RemoteError) -> Exception:
+        """Fold remote faults into their typed local forms.
+
+        Handle faults become :class:`RemoteStaleError`; server sheds
+        become a local :class:`~repro.errors.ServerOverloadedError`
+        with the ``retry_after_ms`` hint recovered from the message
+        text, so the retry loop (and any caller) sees the typed error
+        even across pre-v4 wires.
+        """
+        if exc.remote_type == "ServerOverloadedError":
+            return ServerOverloadedError(
+                exc.remote_message,
+                retry_after_ms=parse_retry_after(exc.remote_message),
+            )
         if exc.remote_type not in STALE_REMOTE_TYPES:
             return exc
         self.mark_stale(handle)
@@ -380,6 +455,12 @@ class RpcConnection:
                 future.set_exception(
                     RemoteError(message.remote_type, message.message, message.traceback)
                 )
+        elif isinstance(message, CreditMessage):
+            # The server's grant for our batched-call window.  A probe
+            # echoing back (should not happen on this stream) carries
+            # usage, not a grant — merging it would inflate the window.
+            if not message.probe:
+                self._credit_gate.update(message.msg_credit, message.byte_credit)
         elif isinstance(message, UpcallMessage) and self._upcall_sink is not None:
             self._upcall_sink(message)
         else:
@@ -421,12 +502,20 @@ class RpcConnection:
             self.mark_stale(Handle(oid=target[0], tag=target[1]))
             if self._metrics is not None:
                 self._metrics.counter("rpc.client.stale_posts").inc()
+        elif target is not None and message.remote_type == "ServerOverloadedError":
+            # A batched post shed by admission control.  Nothing waits on
+            # it, so the loss is counted rather than raised; the handle
+            # stays healthy (the server never executed anything).
+            self.overload_posts += 1
+            if self._metrics is not None:
+                self._metrics.counter("rpc.client.overload_posts").inc()
         else:
             self._note_late_reply(message.serial)
 
     def _fail_all(self, exc: Exception) -> None:
         self._closed = True
         self._disconnected.set()
+        self._credit_gate.fail(exc)
         for future in self._waiting.values():
             if not future.done():
                 future.set_exception(exc)
@@ -456,6 +545,9 @@ class RpcConnection:
         self._channel = channel
         self._closed = False
         self._disconnected.clear()
+        # The server's flow state restarted with the channel; cumulative
+        # credit arithmetic starts over (a fresh grant follows HELLO).
+        self._credit_gate.reset(unlimited=not self._gate_active(channel))
         self.reconnects += 1
         if self._metrics is not None:
             self._metrics.counter("rpc.client.reconnects").inc()

@@ -28,7 +28,12 @@ import time
 import traceback
 from typing import Any, Awaitable, Callable, Optional
 
-from repro.errors import ClamError, DeadlineExpiredError, HandleError
+from repro.errors import (
+    ClamError,
+    DeadlineExpiredError,
+    HandleError,
+    ServerOverloadedError,
+)
 from repro.bundlers.base import BundlerRegistry
 from repro.handles import Descriptor, Handle, ObjectTable
 from repro.ipc import MessageChannel
@@ -38,6 +43,7 @@ from repro.wire import (
     DEADLINE_VERSION,
     BatchMessage,
     CallMessage,
+    CreditMessage,
     ExceptionMessage,
     Message,
     ReplyMessage,
@@ -120,9 +126,20 @@ class Dispatcher:
         self._completed: collections.OrderedDict[int, Message] = (
             collections.OrderedDict()
         )
+        # Asynchronous posts carry no reply to cache, but their serials
+        # are just as unique per connection: a duplicated frame (flaky
+        # transport) must not run the handler twice.
+        self._seen_posts: collections.OrderedDict[int, None] = (
+            collections.OrderedDict()
+        )
         self.calls_executed = 0
         self.duplicate_calls = 0
         self.deadline_expired = 0
+        #: Per-channel flow state (:class:`repro.flow.ChannelFlow`),
+        #: installed by the server runtime after HELLO.  When None —
+        #: bare dispatchers, pre-flow servers — every call is admitted
+        #: and no credits are granted.
+        self.flow = None
 
     def set_builtin(self, skeleton: Skeleton, descriptor: Descriptor) -> None:
         """Install the object served at the well-known handle (oid 0, tag 0).
@@ -175,12 +192,28 @@ class Dispatcher:
         # server measures them from its own receipt of the message.
         arrived = time.monotonic()
         if isinstance(message, CallMessage):
+            if self.flow is not None:
+                self.flow.note_received(message)
             await self._run_call(message, channel, arrived)
         elif isinstance(message, BatchMessage):
+            # The whole batch is in server memory now — account for it
+            # all before draining it call by call, so the in-flight
+            # figure the credit window bounds is honest.
+            if self.flow is not None:
+                for call in message.calls:
+                    self.flow.note_received(call)
             # "batched calls will arrive in the correct order" — and
             # they execute in that order too.
             for call in message.calls:
                 await self._run_call(call, channel, arrived)
+        elif isinstance(message, CreditMessage):
+            # A producer stalled long enough to suspect a lost grant is
+            # probing.  The probe carries the producer's cumulative
+            # usage so lost frames can be written off, and the answer —
+            # the current cumulative grant — is idempotent, so a
+            # duplicated probe is harmless.
+            if self.flow is not None and message.probe:
+                await self.flow.probed(message)
         else:
             raise ClamError(f"unexpected message on RPC channel: {message!r}")
 
@@ -211,7 +244,22 @@ class Dispatcher:
                 self._metrics.counter("rpc.server.duplicate_calls").inc()
             await channel.send(self._completed[call.serial])
             return
-        self.calls_executed += 1
+        if not call.expects_reply:
+            if call.serial in self._seen_posts:
+                # A duplicated post frame: the first copy ran (or will).
+                self.duplicate_calls += 1
+                if self._metrics is not None:
+                    self._metrics.counter("rpc.server.duplicate_calls").inc()
+                if self.flow is not None:
+                    # The duplicate arrival was counted; drain it.
+                    await self.flow.note_drained(call)
+                return
+            self._seen_posts[call.serial] = None
+            while len(self._seen_posts) > self._dedup_window:
+                self._seen_posts.popitem(last=False)
+        flow = self.flow
+        queue_wait = time.monotonic() - arrived
+        admitted = False
         descriptor: Descriptor | None = None
         # The caller's span, carried in on the wire (protocol v2); it
         # becomes the parent of the handler span — or, when nobody is
@@ -224,6 +272,12 @@ class Dispatcher:
         )
         started = time.perf_counter() if self._metrics is not None else 0.0
         try:
+            # Admission first: a shed call must cost nothing but the
+            # verdict — no skeleton lookup, no guard, no execution.
+            if flow is not None:
+                flow.admit(call, arrived)
+            admitted = True
+            self.calls_executed += 1
             budget = self._remaining_budget(call, arrived)
             skeleton, descriptor = self.skeleton_for(Handle(oid=call.oid, tag=call.tag))
             if self._call_guard is not None:
@@ -267,6 +321,13 @@ class Dispatcher:
                     await result
             await self._report_failure(call, exc, channel)
             return
+        finally:
+            if flow is not None:
+                if admitted:
+                    flow.finish(call, queue_wait)
+                # Credits were consumed by the *arrival*, so drain (and
+                # possibly re-grant) whether the call ran or was shed.
+                await flow.note_drained(call)
         if call.expects_reply:
             await self._answer(
                 call, ReplyMessage(serial=call.serial, results=reply_payload or b""),
@@ -297,16 +358,20 @@ class Dispatcher:
         self, call: CallMessage, exc: Exception, channel: MessageChannel
     ) -> None:
         if call.expects_reply:
-            await self._answer(
-                call,
-                ExceptionMessage(
-                    serial=call.serial,
-                    remote_type=type(exc).__name__,
-                    message=str(exc),
-                    traceback=traceback.format_exc(),
-                ),
-                channel,
+            answer = ExceptionMessage(
+                serial=call.serial,
+                remote_type=type(exc).__name__,
+                message=str(exc),
+                traceback=traceback.format_exc(),
             )
+            if isinstance(exc, ServerOverloadedError):
+                # A shed is a verdict about *this moment*, not about the
+                # call: it must not enter the duplicate cache, so a
+                # retried serial is judged afresh instead of being
+                # bounced with the stale verdict.
+                await channel.send(answer)
+            else:
+                await self._answer(call, answer, channel)
             return
         # Batched posts have nobody waiting, but a handle fault is
         # actionable on the client (drop the proxy): v3 peers get an
@@ -314,7 +379,7 @@ class Dispatcher:
         # clients ignore unknown serials, so this is interop-safe — but
         # only v3 clients are sent it at all.
         if (
-            isinstance(exc, HandleError)
+            isinstance(exc, (HandleError, ServerOverloadedError))
             and channel.protocol_version >= DEADLINE_VERSION
         ):
             await channel.send(
@@ -325,7 +390,10 @@ class Dispatcher:
                     traceback="",
                 )
             )
-        if self._async_error is not None:
+        # Shed posts are expected behaviour under overload — they are
+        # counted by the flow metrics, not funnelled into the server's
+        # async-failure hook (which would flood the logs).
+        if self._async_error is not None and not isinstance(exc, ServerOverloadedError):
             result = self._async_error(call, exc)
             if result is not None:
                 await result

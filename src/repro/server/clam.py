@@ -26,6 +26,12 @@ from repro.errors import (
 )
 from repro.bundlers.base import BundlerRegistry
 from repro.bundlers.auto import structural_resolver
+from repro.flow import (
+    DEFAULT_WINDOW_BYTES,
+    DEFAULT_WINDOW_MSGS,
+    AdmissionPolicy,
+    FlowController,
+)
 from repro.handles import Descriptor, Handle
 from repro.ipc import Connection, Listener, MessageChannel, serve
 from repro.loader import FaultIsolator, ModuleLoader
@@ -58,6 +64,9 @@ class ClamServer:
         session_linger: float = 0.0,
         degrade_upcalls: bool = False,
         registry: BundlerRegistry | None = None,
+        admission: AdmissionPolicy | None = None,
+        credit_window: int = DEFAULT_WINDOW_MSGS,
+        credit_bytes: int = DEFAULT_WINDOW_BYTES,
     ):
         if max_active_upcalls < 1:
             raise ValueError("max_active_upcalls must be >= 1")
@@ -106,6 +115,17 @@ class ClamServer:
         self.builtin_spec: InterfaceSpec = interface_spec(ClamServerInterface)
         #: Measurement surface (see repro.trace); zero cost unsubscribed.
         self.tracer = Tracer()
+        #: End-to-end flow control (see repro.flow): the admission
+        #: chain judging every inbound call, and the credit windows
+        #: granted to v4 clients' batched-call streams.  ``admission``
+        #: None means admit everything — the seed behaviour.
+        self.flow = FlowController(
+            admission=admission,
+            window_msgs=credit_window,
+            window_bytes=credit_bytes,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
         self.async_errors: list[tuple[str, Exception]] = []
         self._listeners: list[Listener] = []
         self._retired_calls = 0
@@ -252,6 +272,11 @@ class ClamServer:
                 protocol_version=channel.protocol_version,
             )
         )
+        # Flow state is per channel (credit arithmetic restarts with
+        # it); on a v4 stream the initial grant follows the HELLO ack
+        # immediately, so the client's gate opens before its first post.
+        session.dispatcher.flow = self.flow.channel_flow(channel)
+        await session.dispatcher.flow.announce()
         try:
             while True:
                 message = await channel.recv()

@@ -27,11 +27,13 @@ from typing import TYPE_CHECKING
 
 from repro.errors import ConnectionClosedError, RemoteError, UpcallError
 from repro.core import install_server_callbacks
+from repro.flow import CreditGate, message_cost
 from repro.ipc import MessageChannel
 from repro.obs.context import SpanContext, current_context
 from repro.rpc import Dispatcher, install_server_objects
 from repro.tasks import Slots
 from repro.wire import (
+    CreditMessage,
     Message,
     UpcallExceptionMessage,
     UpcallMessage,
@@ -76,6 +78,19 @@ class Session:
         self._upcall_serials = itertools.count(1)
         self._waiting: dict[int, asyncio.Future] = {}
         self.upcalls_sent = 0
+        # The upcall stream's credit window, roles reversed from the
+        # RPC stream: the *server* produces, the client grants.  The
+        # gate starts unlimited and engages only when the client sends
+        # its first grant (a v4 two-stream client does so right after
+        # HELLO), so anything that never grants — old clients,
+        # single-stream mode, bare tests — behaves exactly as before.
+        self.upcall_gate = CreditGate(
+            unlimited=True,
+            send_probe=self._send_upcall_probe,
+            metrics=server.metrics,
+            tracer=server.tracer,
+            name="flow.credit.upcall",
+        )
 
     # -- upcall channel attachment -----------------------------------------------
 
@@ -110,6 +125,9 @@ class Session:
             await self._upcall_channel.close()
         self._upcall_channel = channel
         self._upcall_generation = self.generation
+        # Fresh channel, fresh credit arithmetic: unlimited until this
+        # channel's client announces its first grant.
+        self.upcall_gate.reset(unlimited=True)
         try:
             while True:
                 message = await channel.recv()
@@ -124,8 +142,30 @@ class Session:
             # detach if the slot still holds our channel.
             if self._upcall_channel is channel:
                 self._upcall_channel = None
+                # Wake producers stalled on this channel's window; they
+                # proceed to the send, which then reports the real
+                # failure (dead channel), instead of probing forever.
+                self.upcall_gate.reset(unlimited=True)
+
+    async def _send_upcall_probe(self, used_msgs: int, used_bytes: int) -> None:
+        channel = self._upcall_channel
+        if channel is not None and not channel.closed:
+            await channel.send(
+                CreditMessage(
+                    msg_credit=used_msgs, byte_credit=used_bytes, probe=True
+                )
+            )
 
     def _dispatch_reply(self, message: Message) -> None:
+        if isinstance(message, CreditMessage):
+            # The client's grant for our upcall window.  The first one
+            # engages the gate; after that, max-merge makes duplicated
+            # or reordered grants harmless.
+            if not message.probe:
+                if self.upcall_gate.unlimited:
+                    self.upcall_gate.reset(unlimited=False)
+                self.upcall_gate.update(message.msg_credit, message.byte_credit)
+            return
         if isinstance(message, UpcallReplyMessage):
             future = self._waiting.get(message.serial)
             if future is not None and not future.done():
@@ -187,6 +227,11 @@ class Session:
         ctx: SpanContext | None = None,
     ) -> bytes:
         async with self._upcall_slots:
+            # Interactive traffic still honours the client's window: a
+            # client that stopped draining upcalls stalls the server
+            # task here (bounded by upcall_timeout via the send below)
+            # rather than ballooning the client's queue.
+            await self.upcall_gate.acquire(message_cost(args))
             serial = next(self._upcall_serials)
             future: asyncio.Future = asyncio.get_running_loop().create_future()
             self._waiting[serial] = future

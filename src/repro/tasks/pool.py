@@ -8,6 +8,12 @@ and only spawns a new worker when none is free (up to ``max_tasks``).
 The pool counts spawned workers versus reused dispatches so the
 benchmark suite can quantify the design choice (see
 ``benchmarks/test_tasks.py``).
+
+With ``prioritized=True`` the pool's mailbox becomes a
+:class:`~repro.flow.PriorityMailbox`: submissions carry a
+:class:`~repro.flow.PriorityClass` and workers dequeue by weighted
+round-robin — urgent work (interactive upcalls) jumps the queue while
+per-class FIFO order and cross-class fairness both hold.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ import asyncio
 from typing import Any, Awaitable, Callable
 
 from repro.errors import TaskError
+from repro.flow.priority import PriorityClass, PriorityMailbox
 from repro.tasks.sync import Mailbox
 from repro.tasks.task import Task
 
@@ -30,12 +37,27 @@ class TaskPool:
     delivered there too and never kills the worker.
     """
 
-    def __init__(self, max_tasks: int = 32, name: str = "pool", *, metrics=None):
+    def __init__(
+        self,
+        max_tasks: int = 32,
+        name: str = "pool",
+        *,
+        metrics=None,
+        prioritized: bool = False,
+        weights: dict[PriorityClass, int] | None = None,
+    ):
         if max_tasks < 1:
             raise TaskError("max_tasks must be >= 1")
+        if weights is not None and not prioritized:
+            raise TaskError("weights require prioritized=True")
         self._max_tasks = max_tasks
         self._name = name
-        self._mailbox: Mailbox[tuple[Job, asyncio.Future]] = Mailbox()
+        self._prioritized = prioritized
+        self._mailbox: Mailbox[tuple[Job, asyncio.Future]] | PriorityMailbox
+        if prioritized:
+            self._mailbox = PriorityMailbox(weights)
+        else:
+            self._mailbox = Mailbox()
         self._workers: list[Task] = []
         self._idle = 0
         self._spawned = 0
@@ -76,14 +98,29 @@ class TaskPool:
 
     # -- operation --------------------------------------------------------------
 
-    def submit(self, job: Job) -> asyncio.Future:
-        """Queue ``job``; returns a future for its result."""
+    def submit(
+        self, job: Job, *, priority: PriorityClass | None = None
+    ) -> asyncio.Future:
+        """Queue ``job``; returns a future for its result.
+
+        ``priority`` selects the scheduling class on a prioritized
+        pool (default SYNC); it is rejected on a plain FIFO pool so a
+        caller cannot believe priority is in force when it is not.
+        """
         if self._closed:
             raise TaskError(f"{self._name} is closed")
+        if priority is not None and not self._prioritized:
+            raise TaskError(f"{self._name} is not prioritized")
         future = asyncio.get_running_loop().create_future()
         self._dispatched += 1
         self._queued += 1
-        self._mailbox.post((job, future))
+        if self._prioritized:
+            self._mailbox.post(
+                (job, future),
+                priority=priority if priority is not None else PriorityClass.SYNC,
+            )
+        else:
+            self._mailbox.post((job, future))
         if self._idle == 0 and len(self._workers) < self._max_tasks:
             self._spawn_worker()
         self._gauge()

@@ -52,6 +52,7 @@ KIND_FAULT_INJECT = "fault-inject"  # repro.faults injected a fault
 KIND_RECONNECT = "reconnect"  # client re-established its channels
 KIND_NAMING = "naming"        # the name directory changed (publish/unpublish)
 KIND_FANOUT = "fanout"        # an upcall group delivered/dropped/evicted
+KIND_FLOW = "flow"            # flow control: grant/stall/probe/shed
 
 
 @dataclass(frozen=True)

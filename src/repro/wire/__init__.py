@@ -13,12 +13,14 @@ Messages encode to XDR with :func:`encode_message` and decode with
 
 from repro.wire.messages import (
     DEADLINE_VERSION,
+    FLOW_CONTROL_VERSION,
     MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     TRACE_CONTEXT_VERSION,
     BatchMessage,
     CallMessage,
     ChannelRole,
+    CreditMessage,
     ExceptionMessage,
     HelloMessage,
     Message,
@@ -33,12 +35,14 @@ from repro.wire.messages import (
 
 __all__ = [
     "DEADLINE_VERSION",
+    "FLOW_CONTROL_VERSION",
     "MIN_PROTOCOL_VERSION",
     "PROTOCOL_VERSION",
     "TRACE_CONTEXT_VERSION",
     "BatchMessage",
     "CallMessage",
     "ChannelRole",
+    "CreditMessage",
     "ExceptionMessage",
     "HelloMessage",
     "Message",

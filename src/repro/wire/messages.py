@@ -34,6 +34,12 @@ Version 3 appends ``deadline_ms`` to ``CallMessage`` — the caller's
 remaining time budget, letting the server abort work nobody is
 waiting for; a v2 peer never sees the field and simply runs every
 call to completion, so deadlines degrade to client-side timeouts.
+Version 4 adds flow control (see :mod:`repro.flow`): a new
+``CreditMessage`` granting the peer a cumulative message/byte window
+on a stream, and a ``priority`` class on ``CallMessage``.  A v3 peer
+never receives CREDIT frames and posts without a window — credits
+degrade to the pre-v4 unbounded behaviour, while server-side
+admission control (which needs no wire support) still applies.
 """
 
 from __future__ import annotations
@@ -46,7 +52,7 @@ from repro.errors import ProtocolError, XdrError
 from repro.xdr import XdrStream
 
 #: Bumped when the frame layout changes; negotiated in HELLO.
-PROTOCOL_VERSION = 3
+PROTOCOL_VERSION = 4
 
 #: Oldest version this peer still speaks.
 MIN_PROTOCOL_VERSION = 1
@@ -56,6 +62,9 @@ TRACE_CONTEXT_VERSION = 2
 
 #: First version whose calls carry a propagated deadline.
 DEADLINE_VERSION = 3
+
+#: First version with credit-based flow control and call priorities.
+FLOW_CONTROL_VERSION = 4
 
 
 def negotiate_version(peer_version: int) -> int:
@@ -87,6 +96,7 @@ class _TypeCode(enum.IntEnum):
     UPCALL = 6
     UPCALL_REPLY = 7
     UPCALL_EXCEPTION = 8
+    CREDIT = 9
 
 
 @dataclass(frozen=True)
@@ -153,6 +163,11 @@ class CallMessage(Message):
     budget in milliseconds at send time — relative, so no clock
     synchronization is assumed; 0 means "no deadline".  The server
     measures the budget from its own receipt of the frame.
+
+    ``priority`` (protocol v4) is the call's scheduling class — one of
+    the :class:`repro.flow.PriorityClass` values, or 0 for
+    "unspecified", which the receiver maps to the natural class of the
+    call shape (sync → SYNC, batched post → BATCH).
     """
 
     TYPE_CODE: ClassVar[_TypeCode] = _TypeCode.CALL
@@ -166,6 +181,7 @@ class CallMessage(Message):
     trace_id: str = ""
     parent_span: int = 0
     deadline_ms: int = 0
+    priority: int = 0
 
     def bundle(self, stream: XdrStream, version: int = PROTOCOL_VERSION) -> None:
         stream.xuint(self.serial)
@@ -179,6 +195,8 @@ class CallMessage(Message):
             stream.xuhyper(self.parent_span)
         if version >= DEADLINE_VERSION:
             stream.xuint(self.deadline_ms)
+        if version >= FLOW_CONTROL_VERSION:
+            stream.xuint(self.priority)
 
     @classmethod
     def unbundle(
@@ -193,11 +211,14 @@ class CallMessage(Message):
         trace_id = ""
         parent_span = 0
         deadline_ms = 0
+        priority = 0
         if version >= TRACE_CONTEXT_VERSION:
             trace_id = stream.xstring()
             parent_span = stream.xuhyper()
         if version >= DEADLINE_VERSION:
             deadline_ms = stream.xuint()
+        if version >= FLOW_CONTROL_VERSION:
+            priority = stream.xuint()
         return cls(
             serial=serial,
             oid=oid,
@@ -208,6 +229,7 @@ class CallMessage(Message):
             trace_id=trace_id,
             parent_span=parent_span,
             deadline_ms=deadline_ms,
+            priority=priority,
         )
 
 
@@ -390,6 +412,47 @@ class UpcallExceptionMessage(Message):
         )
 
 
+@dataclass(frozen=True)
+class CreditMessage(Message):
+    """Flow-control window announcement for one stream (protocol v4).
+
+    Credits are *cumulative absolutes*, not deltas: the consumer says
+    "you may have sent up to ``msg_credit`` messages / ``byte_credit``
+    payload bytes in total on this stream".  The producer takes the
+    max of what it holds and what arrives, which makes duplicated or
+    reordered CREDIT frames harmless — a stale grant can never shrink
+    the window, only a newer one can widen it (see
+    :class:`repro.flow.CreditGate`).
+
+    ``probe=True`` reverses the direction: a *producer* that has been
+    stalled with an exhausted window asks the consumer to re-announce
+    its current grant (recovering a dropped CREDIT frame); the counts
+    then carry the producer's cumulative *usage* for the consumer's
+    audit.  Probes are never themselves grants.
+    """
+
+    TYPE_CODE: ClassVar[_TypeCode] = _TypeCode.CREDIT
+
+    msg_credit: int
+    byte_credit: int
+    probe: bool = False
+
+    def bundle(self, stream: XdrStream, version: int = PROTOCOL_VERSION) -> None:
+        stream.xuhyper(self.msg_credit)
+        stream.xuhyper(self.byte_credit)
+        stream.xbool(self.probe)
+
+    @classmethod
+    def unbundle(
+        cls, stream: XdrStream, version: int = PROTOCOL_VERSION
+    ) -> "CreditMessage":
+        return cls(
+            msg_credit=stream.xuhyper(),
+            byte_credit=stream.xuhyper(),
+            probe=stream.xbool(),
+        )
+
+
 _MESSAGE_TYPES: dict[int, Type[Message]] = {
     int(cls.TYPE_CODE): cls
     for cls in (
@@ -401,6 +464,7 @@ _MESSAGE_TYPES: dict[int, Type[Message]] = {
         UpcallMessage,
         UpcallReplyMessage,
         UpcallExceptionMessage,
+        CreditMessage,
     )
 }
 

@@ -199,10 +199,17 @@ class TestSlowPolicies:
         await group.flush()
         assert fast == [0, 1, 2, 3, 4]
         assert slow_key not in group.subscriber_keys
-        assert group.evicted == 1
+        assert group.evicted_subscribers == 1
+        assert group.evicted == 1  # deprecated alias, kept for one release
+        assert group.evicted_events >= 1  # the laggard's backlog was discarded
         assert len(evictions) == 1
         assert isinstance(evictions[0][1], SlowSubscriberError)
-        assert metrics.counter("cluster.fanout.evicted").value == 1
+        assert metrics.counter("cluster.fanout.evicted_subscribers").value == 1
+        assert metrics.counter("cluster.fanout.evicted").value == 1  # alias
+        assert (
+            metrics.counter("cluster.fanout.evicted_events").value
+            == group.evicted_events
+        )
         await group.close()
 
     @async_test
@@ -218,6 +225,9 @@ class TestSlowPolicies:
         assert stats["delivered"] == 1
         (per,) = stats["per_subscriber"].values()
         assert per["delivered"] == 1
+        assert stats["evicted_subscribers"] == 0
+        assert stats["evicted_events"] == 0
+        assert stats["evicted"] == 0  # deprecated alias of evicted_subscribers
         await group.close()
 
 

@@ -55,10 +55,18 @@ class KvImpl(Kv):
 class Cluster:
     """Directory + N replicas + their advertisers, as one fixture."""
 
-    def __init__(self, n: int, *, lease: float = 5.0, interval: float = 0.05):
+    def __init__(
+        self,
+        n: int,
+        *,
+        lease: float = 5.0,
+        interval: float = 0.05,
+        server_kwargs: dict[int, dict] | None = None,
+    ):
         self.n = n
         self.lease = lease
         self.interval = interval
+        self.server_kwargs = server_kwargs or {}
         self.directory = DirectoryServer()
         self.directory_url = ""
         self.servers: list[ClamServer] = []
@@ -71,7 +79,7 @@ class Cluster:
         self.directory_url = await self.directory.start(f"memory://pool-dir-{run}")
         for i in range(self.n):
             url = f"memory://pool-{run}-replica-{i}"
-            server = ClamServer(session_linger=5.0)
+            server = ClamServer(session_linger=5.0, **self.server_kwargs.get(i, {}))
             impl = KvImpl(f"replica-{i}")
             server.publish("kv", impl)
             await server.start(url)
@@ -163,6 +171,36 @@ class TestBalancing:
         chosen = {policy.choose(replicas[:3]).url for _ in range(4)}
         assert chosen == {"memory://r0", "memory://r1"}
 
+    def test_least_loaded_steers_around_a_shedding_replica(self):
+        import time
+
+        policy = LeastLoaded()
+        replicas = [Replica.__new__(Replica) for _ in range(2)]
+        for i, replica in enumerate(replicas):
+            replica.load = 1.0
+            replica.url = f"memory://r{i}"
+        now = time.monotonic()
+        # r0 shed a call: its penalty outweighs the load tie for a while.
+        replicas[0].note_overloaded(now)
+        assert replicas[0].effective_load(now) > replicas[1].effective_load(now)
+        chosen = {policy.choose(replicas).url for _ in range(4)}
+        assert chosen == {"memory://r1"}
+        # The penalty decays: half gone at one half-life, and far enough
+        # out the replicas tie again.
+        assert replicas[0].effective_load(now + 5.0) == pytest.approx(1.5)
+        assert replicas[0].effective_load(now + 60.0) == pytest.approx(1.0, abs=1e-3)
+
+    def test_overload_penalty_accumulates_on_repeat_sheds(self):
+        import time
+
+        replica = Replica.__new__(Replica)
+        replica.load = 0.0
+        now = time.monotonic()
+        replica.note_overloaded(now)
+        replica.note_overloaded(now)
+        assert replica.overloads == 2
+        assert replica.effective_load(now) == pytest.approx(2.0)
+
 
 class TestFailover:
     @async_test
@@ -180,6 +218,38 @@ class TestFailover:
                 for _ in range(6):
                     assert await proxy.whoami() == "replica-1"
                 assert cc.metrics.counter("cluster.pool.marked_down").value >= 1
+        finally:
+            await cluster.stop()
+
+    @async_test
+    async def test_overloaded_replica_is_soft_downed_and_calls_reroute(self):
+        """A shed is retryable before execution: the pool reroutes it
+        (even a mutator) and holds the shedding replica out of rotation
+        for the server's retry-after hint."""
+        from repro.flow import TokenBucket
+
+        cluster = await Cluster(
+            2,
+            # Replica 0 admits a couple of setup calls, then sheds
+            # everything: the refill rate is effectively zero.
+            server_kwargs={0: {"admission": TokenBucket(0.001, burst=2)}},
+        ).start()
+        try:
+            async with await ClusterClient.connect(
+                cluster.directory_url, policy="round-robin"
+            ) as cc:
+                proxy = await cc.bind("kv", Kv)
+                # Round-robin would alternate replicas; every call still
+                # lands somewhere and succeeds.
+                assert await proxy.put("k", "v") is True
+                names = [await proxy.whoami() for _ in range(8)]
+                assert "replica-1" in names
+                stats = cc.pool("kv").stats()
+                overloads = {
+                    url: s["overloads"] for url, s in stats.items()
+                }
+                assert overloads.get(cluster.urls[0], 0) >= 1
+                assert cc.metrics.counter("cluster.pool.overloaded").value >= 1
         finally:
             await cluster.stop()
 

@@ -53,6 +53,13 @@ EXPECTATIONS = {
         "messages in room history: 7",
         "carol received 2 (left early)",
     ],
+    "overload_demo.py": [
+        "no admission control:",
+        "served 300/300, shed 0 (0%)",
+        "token bucket (150/s, burst 40, interactive floor):",
+        "interactive-floored call served immediately",
+        "(credit window 32)",
+    ],
     "cluster_chat.py": [
         "2 registry replicas advertised",
         "registry calls balanced across: ['registry-east', 'registry-west']",

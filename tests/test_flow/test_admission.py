@@ -1,0 +1,185 @@
+"""Unit tests for the admission policies (shed-before-execute)."""
+
+import pytest
+
+from repro.errors import ServerOverloadedError
+from repro.flow import (
+    AdmissionChain,
+    AdmissionRequest,
+    ConcurrencyLimit,
+    DeadlineAware,
+    PriorityClass,
+    TokenBucket,
+    overloaded,
+    pack_retry_after,
+    parse_retry_after,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def request(priority=PriorityClass.SYNC, **kwargs):
+    return AdmissionRequest(method="m", priority=priority, **kwargs)
+
+
+class TestRetryAfterWire:
+    def test_roundtrip_through_message_text(self):
+        message = pack_retry_after("server shed 'm'", 125)
+        assert parse_retry_after(message) == 125
+
+    def test_absent_hint_parses_to_zero(self):
+        assert parse_retry_after("plain remote error") == 0
+
+    def test_overloaded_builds_typed_error(self):
+        exc = overloaded("m", 0.05)
+        assert isinstance(exc, ServerOverloadedError)
+        assert exc.retry_after_ms == 50
+        assert parse_retry_after(str(exc)) == 50
+
+    def test_overloaded_sub_millisecond_hint_rounds_up(self):
+        assert overloaded("m", 0.0001).retry_after_ms == 1
+
+    def test_overloaded_zero_hint_stays_zero(self):
+        assert overloaded("m", 0.0).retry_after_ms == 0
+
+
+class TestTokenBucket:
+    def test_burst_admits_then_sheds(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, burst=3, clock=clock)
+        verdicts = [bucket.judge(request()) for _ in range(4)]
+        assert verdicts[:3] == [None, None, None]
+        assert verdicts[3] is not None and verdicts[3] > 0
+
+    def test_hint_is_time_to_next_token(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, burst=1, clock=clock)
+        assert bucket.judge(request()) is None
+        hint = bucket.judge(request())
+        assert hint == pytest.approx(0.1)  # 1 token / 10 per second
+
+    def test_refill_restores_admission(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, burst=1, clock=clock)
+        bucket.judge(request())
+        assert bucket.judge(request()) is not None
+        clock.advance(0.2)
+        assert bucket.judge(request()) is None
+
+    def test_floor_exempts_urgent_traffic(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, burst=1, clock=clock, floor=PriorityClass.INTERACTIVE)
+        assert not bucket.applies_to(request(priority=PriorityClass.INTERACTIVE))
+        assert bucket.applies_to(request(priority=PriorityClass.SYNC))
+        assert bucket.applies_to(request(priority=PriorityClass.BATCH))
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0)
+
+
+class TestConcurrencyLimit:
+    def test_sheds_at_the_limit(self):
+        limit = ConcurrencyLimit(initial=2, clock=FakeClock())
+        limit.note_start(request())
+        limit.note_start(request())
+        assert limit.judge(request()) is not None
+        limit.note_finish(request(), queue_wait=0.0, service_time=0.001)
+        assert limit.judge(request()) is None
+
+    def test_slow_queue_wait_shrinks_multiplicatively(self):
+        clock = FakeClock()
+        limit = ConcurrencyLimit(initial=100, target_wait=0.05, beta=0.5, clock=clock)
+        limit.note_start(request())
+        limit.note_finish(request(), queue_wait=0.5, service_time=0.001)
+        assert limit.limit == pytest.approx(50.0)
+        assert limit.shrinks == 1
+
+    def test_cooldown_bounds_shrink_rate(self):
+        clock = FakeClock()
+        limit = ConcurrencyLimit(
+            initial=100, target_wait=0.05, beta=0.5, cooldown=1.0, clock=clock
+        )
+        for _ in range(5):
+            limit.note_start(request())
+            limit.note_finish(request(), queue_wait=0.5, service_time=0.001)
+        assert limit.shrinks == 1  # one burst, one shrink
+        clock.advance(2.0)
+        limit.note_start(request())
+        limit.note_finish(request(), queue_wait=0.5, service_time=0.001)
+        assert limit.shrinks == 2
+
+    def test_on_target_completions_regrow_additively(self):
+        clock = FakeClock()
+        limit = ConcurrencyLimit(initial=4, max_limit=8, clock=clock)
+        before = limit.limit
+        for _ in range(16):
+            limit.note_start(request())
+            limit.note_finish(request(), queue_wait=0.0, service_time=0.001)
+        assert before < limit.limit <= 8.0
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ConcurrencyLimit(initial=0)
+        with pytest.raises(ValueError):
+            ConcurrencyLimit(beta=1.5)
+
+
+class TestDeadlineAware:
+    def test_no_deadline_never_judged(self):
+        policy = DeadlineAware(initial_service_time=10.0)
+        assert policy.judge(request(deadline_ms=0, queue_depth=100)) is None
+
+    def test_unmeetable_deadline_sheds(self):
+        policy = DeadlineAware(initial_service_time=0.1)
+        # 10 queued ahead × 100ms each ≫ a 50ms deadline.
+        verdict = policy.judge(request(deadline_ms=50, queue_depth=10))
+        assert verdict is not None and verdict > 0
+
+    def test_meetable_deadline_admits(self):
+        policy = DeadlineAware(initial_service_time=0.001)
+        assert policy.judge(request(deadline_ms=1000, queue_depth=3)) is None
+
+    def test_service_time_is_learned(self):
+        policy = DeadlineAware(initial_service_time=0.001, alpha=0.5)
+        policy.note_finish(request(), queue_wait=0.0, service_time=1.0)
+        assert policy.service_ewma == pytest.approx(0.5005)
+
+
+class TestAdmissionChain:
+    def test_first_shed_wins(self):
+        clock = FakeClock()
+        empty = TokenBucket(1.0, burst=1, clock=clock)
+        empty.judge(request())  # drain the only token
+        chain = AdmissionChain(empty, DeadlineAware())
+        verdict = chain.judge(request())
+        assert verdict == pytest.approx(1.0)  # the bucket's hint
+
+    def test_notes_fan_out_to_all_members(self):
+        clock = FakeClock()
+        limit_a = ConcurrencyLimit(initial=10, clock=clock)
+        limit_b = ConcurrencyLimit(initial=10, clock=clock)
+        chain = AdmissionChain(limit_a, limit_b)
+        chain.note_start(request())
+        assert limit_a.active == 1 and limit_b.active == 1
+        chain.note_finish(request(), queue_wait=0.0, service_time=0.001)
+        assert limit_a.active == 0 and limit_b.active == 0
+
+    def test_floor_respected_per_member(self):
+        clock = FakeClock()
+        batch_only = TokenBucket(
+            1.0, burst=1, clock=clock, floor=PriorityClass.SYNC
+        )
+        batch_only.judge(request(priority=PriorityClass.BATCH))  # drain
+        chain = AdmissionChain(batch_only)
+        assert chain.judge(request(priority=PriorityClass.SYNC)) is None
+        assert chain.judge(request(priority=PriorityClass.BATCH)) is not None

@@ -1,0 +1,82 @@
+"""Unit tests for the shared bounded-queue overflow primitive."""
+
+import pytest
+
+from repro.flow import BoundedQueue, Outcome
+
+
+class TestDropPolicy:
+    def test_enqueues_until_limit(self):
+        queue = BoundedQueue(2, policy="drop")
+        assert queue.offer("a") == (Outcome.ENQUEUED, 0)
+        assert queue.offer("b") == (Outcome.ENQUEUED, 0)
+        assert len(queue) == 2
+
+    def test_drops_the_new_item_at_limit(self):
+        queue = BoundedQueue(1, policy="drop")
+        queue.offer("old")
+        outcome, discarded = queue.offer("new")
+        assert outcome is Outcome.DROPPED
+        assert discarded == 1
+        assert queue.pop() == "old"  # the backlog survived
+
+    def test_counters(self):
+        queue = BoundedQueue(1, policy="drop")
+        queue.offer("a")
+        queue.offer("b")
+        queue.offer("c")
+        assert queue.enqueued == 1
+        assert queue.dropped == 2
+        assert queue.stats()["dropped"] == 2
+
+
+class TestCoalescePolicy:
+    def test_backlog_collapses_to_newest(self):
+        queue = BoundedQueue(2, policy="coalesce")
+        queue.offer("a")
+        queue.offer("b")
+        outcome, discarded = queue.offer("c")
+        assert outcome is Outcome.COALESCED
+        assert discarded == 2
+        assert len(queue) == 1
+        assert queue.pop() == "c"
+        assert queue.coalesced == 2
+
+
+class TestEvictPolicy:
+    def test_evict_outcome_leaves_queue_for_caller(self):
+        queue = BoundedQueue(1, policy="evict")
+        queue.offer("a")
+        outcome, discarded = queue.offer("b")
+        assert outcome is Outcome.EVICT
+        assert discarded == 0
+        # The caller owns eviction; the backlog is still inspectable.
+        assert len(queue) == 1
+        assert queue.clear() == 1
+        assert len(queue) == 0
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        queue = BoundedQueue(4)
+        for item in (1, 2, 3):
+            queue.offer(item)
+        assert [queue.pop(), queue.pop(), queue.pop()] == [1, 2, 3]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            BoundedQueue(1).pop()
+
+    def test_bool(self):
+        queue = BoundedQueue(1)
+        assert not queue
+        queue.offer("x")
+        assert queue
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(1, policy="explode")
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0)

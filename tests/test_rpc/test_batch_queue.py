@@ -235,6 +235,52 @@ class TestCoalescedWrites:
         assert queue.frames_sent == 3
 
 
+class TestCreditGatedPosts:
+    @async_test
+    async def test_post_consumes_gate_window(self):
+        from repro.flow import CreditGate, message_cost
+
+        sent, send = collector()
+        gate = CreditGate()
+        gate.update(2, 1 << 20)
+        queue = BatchQueue(send, flush_delay=None, credit_gate=gate)
+        await queue.post(call(1))
+        await queue.post(call(2))
+        assert gate.used_msgs == 2
+        assert gate.used_bytes == 2 * message_cost(b"")
+
+    @async_test
+    async def test_exhausted_gate_fails_fast_with_nowait(self):
+        from repro.errors import CreditExhaustedError
+        from repro.flow import CreditGate
+
+        sent, send = collector()
+        gate = CreditGate()
+        gate.update(1, 1 << 20)
+        queue = BatchQueue(send, flush_delay=None, credit_gate=gate)
+        await queue.post(call(1), nowait=True)
+        with pytest.raises(CreditExhaustedError):
+            await queue.post(call(2), nowait=True)
+        # The rejected call never entered the queue.
+        assert len(queue) == 1
+
+    @async_test
+    async def test_blocked_post_resumes_when_the_window_widens(self):
+        from repro.flow import CreditGate
+
+        sent, send = collector()
+        gate = CreditGate()
+        gate.update(1, 1 << 20)
+        queue = BatchQueue(send, flush_delay=None, credit_gate=gate)
+        await queue.post(call(1))
+        blocked = asyncio.ensure_future(queue.post(call(2)))
+        await asyncio.sleep(0.01)
+        assert not blocked.done()
+        gate.update(2, 2 << 20)
+        await asyncio.wait_for(blocked, 1)
+        assert len(queue) == 2
+
+
 class TestTimerTaskLifecycle:
     @async_test
     async def test_timer_flush_task_is_referenced(self):
@@ -257,6 +303,20 @@ class TestTimerTaskLifecycle:
         queue = BatchQueue(send, flush_delay=0.005)
         await queue.post(call(1))
         await eventually(lambda: queue.last_timer_error is boom)
+
+    @async_test
+    async def test_timer_flush_error_bumps_the_flow_counter(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+
+        async def send(batch):
+            raise RuntimeError("transport exploded")
+
+        queue = BatchQueue(send, flush_delay=0.005, metrics=metrics)
+        await queue.post(call(1))
+        await eventually(lambda: queue.last_timer_error is not None)
+        assert metrics.counter("flow.batch.timer_errors").value >= 1
 
     @async_test
     async def test_timer_flush_connection_closed_is_quiet(self):

@@ -16,6 +16,7 @@ from repro.wire import (
     BatchMessage,
     CallMessage,
     ChannelRole,
+    CreditMessage,
     ExceptionMessage,
     HelloMessage,
     ReplyMessage,
@@ -49,6 +50,19 @@ def _messages():
         "upcall_reply": UpcallReplyMessage(serial=4, results=b"OK"),
         "upcall_exc": UpcallExceptionMessage(serial=4, remote_type="E",
                                              message="m", traceback=""),
+        # v3 adds deadline_ms; v4 adds priority (and the CREDIT type,
+        # whose encoding is version-independent).
+        "call_v3": CallMessage(serial=9, oid=3, tag=9, method="move",
+                               args=b"\x01\x02\x03", expects_reply=True,
+                               trace_id="t-abc", parent_span=77,
+                               deadline_ms=1500),
+        "call_v4": CallMessage(serial=10, oid=3, tag=9, method="move",
+                               args=b"\x01\x02\x03", expects_reply=True,
+                               trace_id="t-abc", parent_span=77,
+                               deadline_ms=1500, priority=1),
+        "credit": CreditMessage(msg_credit=256, byte_credit=4 << 20),
+        "credit_probe": CreditMessage(msg_credit=12, byte_credit=900,
+                                      probe=True),
     }
 
 
@@ -82,6 +96,18 @@ GOLDEN = {
     ("upcall_reply", 2): "0000000700000004000000024f4b0000",
     ("upcall_exc", 1): "00000008000000040000000145000000000000016d00000000000000",
     ("upcall_exc", 2): "00000008000000040000000145000000000000016d00000000000000",
+    ("call_v3", 3): "000000020000000900000000000000030000000000000009"
+                    "000000046d6f766500000003010203000000000100000005"
+                    "742d616263000000000000000000004d000005dc",
+    ("call_v3", 4): "000000020000000900000000000000030000000000000009"
+                    "000000046d6f766500000003010203000000000100000005"
+                    "742d616263000000000000000000004d000005dc00000000",
+    ("call_v4", 4): "000000020000000a00000000000000030000000000000009"
+                    "000000046d6f766500000003010203000000000100000005"
+                    "742d616263000000000000000000004d000005dc00000001",
+    ("credit", 1): "000000090000000000000100000000000040000000000000",
+    ("credit", 4): "000000090000000000000100000000000040000000000000",
+    ("credit_probe", 4): "00000009000000000000000c000000000000038400000001",
 }
 
 
