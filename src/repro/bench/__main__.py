@@ -11,6 +11,7 @@ Usage::
     python -m repro.bench upcalls    # the §4.4 channel-layout + concurrency ablations
     python -m repro.bench fanout     # cluster fan-out: 1 publisher, N subscribers
     python -m repro.bench overload   # open-loop overload, with/without admission
+    python -m repro.bench pipeline   # fan-out latency decomposed into stage budgets
 
     python -m repro.bench --json BENCH_rpc.json           # perf record
     python -m repro.bench --json BENCH_rpc.json --quick   # CI smoke mode
@@ -29,6 +30,7 @@ from repro.bench import (
     fanout_bench,
     fig51,
     overload_bench,
+    pipeline_bench,
     sweep_bench,
     tasks_bench,
     upcall_bench,
@@ -36,7 +38,7 @@ from repro.bench import (
 
 SUITES = (
     "fig51", "batching", "bundlers", "sweep", "tasks", "upcalls", "arq",
-    "fanout", "overload",
+    "fanout", "overload", "pipeline",
 )
 
 
@@ -91,6 +93,8 @@ def main(argv: list[str] | None = None) -> int:
                 fanout_bench.main(base_dir)
             elif suite == "overload":
                 overload_bench.main(base_dir)
+            elif suite == "pipeline":
+                pipeline_bench.main(base_dir)
     return 0
 
 

@@ -549,6 +549,17 @@ class ClamClient:
         ``metrics``): counters, gauges, and histogram summaries."""
         return await self._builtin.metrics()
 
+    async def server_profile(self) -> dict[str, float]:
+        """The server's per-layer profile (see the builtin ``profile``):
+        flat ``<layer>.<metric>`` floats — call counts, execution time,
+        argument volume, and distributed-upcall cost per layer."""
+        return await self._builtin.profile()
+
+    async def flight_dump(self, reason: str = "") -> str:
+        """Cut a flight-recorder dump on the server (see the builtin
+        ``dump``); returns the JSONL artifact as a string."""
+        return await self._builtin.dump(reason)
+
     @property
     def protocol_version(self) -> int:
         """The protocol version negotiated with the server."""

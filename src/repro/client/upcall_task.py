@@ -32,6 +32,7 @@ from repro.flow import (
 )
 from repro.ipc import MessageChannel
 from repro.obs.context import SpanContext, using_context
+from repro.obs.stages import STAGE_DISPATCH, STAGE_HANDLER, StageTimer
 from repro.tasks import Slots
 from repro.wire import (
     CreditMessage,
@@ -59,6 +60,9 @@ class UpcallService:
         self._callbacks = callbacks
         self._tracer = tracer
         self._metrics = metrics
+        # Client halves of the stage clocks (repro.obs.stages): frame
+        # arrival → RUC procedure entry, and the procedure body itself.
+        self._stages = StageTimer(metrics) if metrics is not None else None
         self._max_active = max_active
         self._slots = Slots(max_active)
         self._handlers: set[asyncio.Task] = set()
@@ -101,7 +105,8 @@ class UpcallService:
             window_bytes=window_bytes,
             metrics=self._metrics,
             tracer=self._tracer,
-            name="flow.credit.upcall",
+            name="flow.credit",
+            channel="upcall",
         )
 
     async def announce_credits(self) -> None:
@@ -165,12 +170,15 @@ class UpcallService:
                     raise ProtocolError(
                         f"unexpected message on upcall channel: {message!r}"
                     )
+                received_at = (
+                    time.perf_counter() if self._stages is not None else 0.0
+                )
                 if self._max_active == 1:
                     # The paper's discipline: handle, reply, block again.
-                    await self._handle(message)
+                    await self._handle(message, received_at=received_at)
                 else:
                     task = asyncio.get_running_loop().create_task(
-                        self._handle_guarded(message)
+                        self._handle_guarded(message, received_at=received_at)
                     )
                     self._handlers.add(task)
                     task.add_done_callback(self._handlers.discard)
@@ -186,20 +194,29 @@ class UpcallService:
         its own task so the stream's reader never blocks, and the
         reply returns on the stream the upcall arrived on.
         """
+        received_at = time.perf_counter() if self._stages is not None else 0.0
         task = asyncio.get_running_loop().create_task(
-            self._handle_guarded(message, reply_channel)
+            self._handle_guarded(message, reply_channel, received_at=received_at)
         )
         self._handlers.add(task)
         task.add_done_callback(self._handlers.discard)
 
     async def _handle_guarded(
-        self, message: UpcallMessage, reply_channel: MessageChannel | None = None
+        self,
+        message: UpcallMessage,
+        reply_channel: MessageChannel | None = None,
+        *,
+        received_at: float = 0.0,
     ) -> None:
         async with self._slots:
-            await self._handle(message, reply_channel)
+            await self._handle(message, reply_channel, received_at=received_at)
 
     async def _handle(
-        self, message: UpcallMessage, reply_channel: MessageChannel | None = None
+        self,
+        message: UpcallMessage,
+        reply_channel: MessageChannel | None = None,
+        *,
+        received_at: float = 0.0,
     ) -> None:
         """One upcall: look up the procedure, run it, send the result back.
 
@@ -222,7 +239,7 @@ class UpcallService:
         self.max_concurrency_seen = max(self.max_concurrency_seen, self._active)
         try:
             try:
-                payload = await self._execute(message)
+                payload = await self._execute(message, received_at)
             except Exception as exc:
                 self.upcalls_failed += 1
                 if message.expects_reply:
@@ -252,7 +269,9 @@ class UpcallService:
             if self._ledger is not None and reply_channel is None:
                 await self._ledger.drained(message_cost(message.args))
 
-    async def _execute(self, message: UpcallMessage) -> bytes:
+    async def _execute(
+        self, message: UpcallMessage, received_at: float = 0.0
+    ) -> bytes:
         """Run the RUC procedure inside the server's trace context.
 
         The span opened here is the leaf of the distributed tree: its
@@ -272,24 +291,38 @@ class UpcallService:
             with self._tracer.span(
                 KIND_UPCALL_EXEC, f"ruc-{message.ruc_id}", parent=remote
             ):
-                payload = await self._execute_inner(message)
+                payload = await self._execute_inner(message, received_at)
         elif remote is not None:
             with using_context(remote):
-                payload = await self._execute_inner(message)
+                payload = await self._execute_inner(message, received_at)
         else:
-            payload = await self._execute_inner(message)
+            payload = await self._execute_inner(message, received_at)
         if self._metrics is not None:
             self._metrics.histogram("upcall.client.exec_us").observe(
                 (time.perf_counter() - started) * 1e6
             )
         return payload
 
-    async def _execute_inner(self, message: UpcallMessage) -> bytes:
+    async def _execute_inner(
+        self, message: UpcallMessage, received_at: float = 0.0
+    ) -> bytes:
         proc, signature = self._callbacks.look_up(message.ruc_id)
         args = signature.unbundle_args(message.args)
+        stages = self._stages
+        if stages is not None:
+            # Dispatch stage ends where the RUC procedure begins; the
+            # handler stage is the procedure body itself (§4.3: the
+            # server task stays blocked for exactly this long).
+            t_entry = time.perf_counter()
+            if received_at:
+                stages.observe(STAGE_DISPATCH, (t_entry - received_at) * 1e6)
         result = proc(*args)
         if hasattr(result, "__await__"):
             result = await result
+        if stages is not None:
+            stages.observe(
+                STAGE_HANDLER, (time.perf_counter() - t_entry) * 1e6
+            )
         return signature.bundle_result(result)
 
     async def _send_safely(self, message, reply_channel: MessageChannel | None = None) -> None:

@@ -44,10 +44,13 @@ from __future__ import annotations
 import asyncio
 import inspect
 import itertools
+import time
 from typing import Any, Callable
 
 from repro.errors import SlowSubscriberError, TransportError, UpcallError
 from repro.flow import BoundedQueue, Outcome
+from repro.obs.profile import set_layer
+from repro.obs.stages import STAGE_ENQUEUE, STAGE_QUEUE, StageTimer
 
 #: Accepted slow-subscriber policies (the :mod:`repro.flow.bounded` set).
 SLOW_POLICIES = ("drop", "coalesce", "evict")
@@ -108,6 +111,11 @@ class UpcallGroup:
         self._metrics = metrics
         self._tracer = tracer
         self._on_evict = on_evict
+        # Stage clocks (see repro.obs.stages): post() stamps each event
+        # so the pump can report queue wait per delivery.  The timer
+        # shares the registry's interned histograms, so many groups on
+        # one server feed the same upcall.stage.* series.
+        self._stages = StageTimer(metrics) if metrics is not None else None
         self._keys = itertools.count(1)
         self._subscribers: dict[int, _Subscriber] = {}
         self._closed = False
@@ -184,10 +192,15 @@ class UpcallGroup:
             raise UpcallError(f"upcall group {self.topic!r} is closed")
         self.posts += 1
         enqueued = 0
+        # Events carry their enqueue stamp so the pump can attribute
+        # queue wait (the dominant fan-out stage) per delivery.  The
+        # stamp rides in the queued tuple — opaque to the overflow
+        # policies, which treat entries whole.
+        t_post = time.perf_counter() if self._stages is not None else 0.0
         for subscriber in list(self._subscribers.values()):
             if not subscriber.alive:
                 continue
-            outcome, discarded = subscriber.queue.offer(args)
+            outcome, discarded = subscriber.queue.offer((args, t_post))
             if outcome is Outcome.DROPPED:
                 self.dropped += discarded
                 if self._metrics is not None:
@@ -213,12 +226,21 @@ class UpcallGroup:
             enqueued += 1
         if self._metrics is not None:
             self._metrics.counter("cluster.fanout.posts").inc()
+        if self._stages is not None:
+            self._stages.observe(
+                STAGE_ENQUEUE, (time.perf_counter() - t_post) * 1e6
+            )
         return enqueued
 
     # -- delivery -----------------------------------------------------------------
 
     async def _pump(self, subscriber: _Subscriber) -> None:
         """Drain one subscriber's queue in order, one delivery at a time."""
+        # Everything this pump does — deliveries, and the upcall RTTs
+        # the session records under them — is attributed to this topic
+        # in the per-layer profile.  One contextvar store per pump
+        # lifetime; the task's context is private, so no reset needed.
+        set_layer(f"fanout.{self.topic}")
         try:
             while subscriber.alive:
                 if not subscriber.queue:
@@ -226,7 +248,11 @@ class UpcallGroup:
                     subscriber.wakeup.clear()
                     await subscriber.wakeup.wait()
                     continue
-                args = subscriber.queue.pop()
+                args, t_enq = subscriber.queue.pop()
+                if self._stages is not None and t_enq:
+                    self._stages.observe(
+                        STAGE_QUEUE, (time.perf_counter() - t_enq) * 1e6
+                    )
                 # Probe the delivery path first: a RUC whose session
                 # lost its channels would *degrade* the failed send to
                 # a silent no-op (void upcall + degrade_upcalls), and

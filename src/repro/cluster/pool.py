@@ -210,7 +210,9 @@ class ReplicaPool:
             endpoints = await self._directory.resolve(self.service)
             self._resolved_at = asyncio.get_running_loop().time()
             if self._metrics is not None:
-                self._metrics.counter("cluster.pool.resolves").inc()
+                self._metrics.counter(
+                    "cluster.pool.resolves", service=self.service
+                ).inc()
             seen = set()
             for endpoint in endpoints:
                 seen.add(endpoint.url)
@@ -257,7 +259,9 @@ class ReplicaPool:
                 replica.url, **self._client_options
             )
             if self._metrics is not None:
-                self._metrics.counter("cluster.pool.connects").inc()
+                self._metrics.counter(
+                    "cluster.pool.connects", service=self.service
+                ).inc()
         key = (iface, published)
         proxy = replica.proxies.get(key)
         if proxy is None:
@@ -270,7 +274,9 @@ class ReplicaPool:
         replica.failures += 1
         replica.down_until = asyncio.get_running_loop().time() + self._down_ttl
         if self._metrics is not None:
-            self._metrics.counter("cluster.pool.marked_down").inc()
+            self._metrics.counter(
+                "cluster.pool.marked_down", service=self.service
+            ).inc()
         await replica.retire()
         # The set has visibly changed; make the next call re-resolve.
         self._resolved_at = -1e9
@@ -288,7 +294,9 @@ class ReplicaPool:
         replica.down_until = max(replica.down_until, now + hold)
         replica.note_overloaded(now)
         if self._metrics is not None:
-            self._metrics.counter("cluster.pool.overloaded").inc()
+            self._metrics.counter(
+                "cluster.pool.overloaded", service=self.service
+            ).inc()
 
     def _may_failover(self, exc: Exception, idempotent: bool) -> bool:
         if isinstance(exc, TransportError):
@@ -325,7 +333,9 @@ class ReplicaPool:
                 continue
             replica.calls += 1
             if self._metrics is not None:
-                self._metrics.counter("cluster.pool.calls").inc()
+                self._metrics.counter(
+                    "cluster.pool.calls", service=self.service
+                ).inc()
             try:
                 return await getattr(proxy, method)(*args, **kwargs)
             except RemoteStaleError:
@@ -341,14 +351,18 @@ class ReplicaPool:
                 last_exc = exc
                 self.mark_overloaded(replica, exc.retry_after_ms)
                 if self._metrics is not None:
-                    self._metrics.counter("cluster.pool.failovers").inc()
+                    self._metrics.counter(
+                        "cluster.pool.failovers", service=self.service
+                    ).inc()
             except (TransportError, CallTimeoutError) as exc:
                 last_exc = exc
                 if not self._may_failover(exc, idempotent):
                     raise
                 await self.mark_down(replica)
                 if self._metrics is not None:
-                    self._metrics.counter("cluster.pool.failovers").inc()
+                    self._metrics.counter(
+                        "cluster.pool.failovers", service=self.service
+                    ).inc()
         assert last_exc is not None
         raise last_exc
 

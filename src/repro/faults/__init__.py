@@ -20,7 +20,7 @@ Quick chaos recipe::
     client = await ClamClient.connect(chaos_address, reconnect=True, ...)
 
 Every injected fault is recorded (``injector.records``), counted
-(``faults.injected.*``), and traced, so a chaos run is auditable.
+(``faults.injected{kind=...}``), and traced, so a chaos run is auditable.
 """
 
 from repro.faults.schedule import (

@@ -9,7 +9,7 @@ show it; the layers above (RPC retry, reconnect, upcall degradation)
 are what this package exists to exercise.
 
 Every injected fault is *audited*: counted in a
-:class:`repro.obs.metrics.MetricsRegistry` (``faults.injected.<kind>``),
+:class:`repro.obs.metrics.MetricsRegistry` (``faults.injected{kind=...}``),
 emitted as a :data:`repro.trace.KIND_FAULT_INJECT` trace point, and
 appended to the injector's record list — a chaos run can therefore
 assert exactly which faults it survived.
@@ -54,10 +54,14 @@ class FaultInjector:
     experiment and ``records`` is its complete fault log.
     """
 
-    def __init__(self, schedule, *, metrics=None, tracer=None):
+    def __init__(self, schedule, *, metrics=None, tracer=None, flight=None):
         self._schedule: ScheduleFn | object = schedule
         self.metrics = metrics
         self.tracer = tracer
+        #: Optional :class:`repro.obs.flight.FlightRecorder`: every
+        #: injected fault leaves a note in the ring, so an incident
+        #: dump shows the chaos that preceded the failure.
+        self.flight = flight
         self.records: list[InjectedFault] = []
         self._scheme: str | None = None
 
@@ -74,8 +78,14 @@ class FaultInjector:
             )
         )
         if self.metrics is not None:
-            self.metrics.counter(f"faults.injected.{decision.kind.value}").inc()
+            self.metrics.counter(
+                "faults.injected", kind=decision.kind.value
+            ).inc()
             self.metrics.counter("faults.injected.total").inc()
+        if self.flight is not None:
+            self.flight.note(
+                "fault-inject", decision.kind.value, f"{direction}#{index} {peer}"
+            )
         if self.tracer is not None and self.tracer.active:
             from repro.trace import KIND_FAULT_INJECT
 

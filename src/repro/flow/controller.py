@@ -146,7 +146,8 @@ class ChannelFlow:
             window_bytes=controller.window_bytes,
             metrics=controller.metrics,
             tracer=controller.tracer,
-            name="flow.credit.rpc",
+            name="flow.credit",
+            channel="rpc",
         )
         #: Asynchronous calls received minus drained, and the peak —
         #: the bound the credit window enforces on this channel.

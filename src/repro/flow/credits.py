@@ -75,13 +75,34 @@ class CreditGate:
         metrics=None,
         tracer=None,
         name: str = "flow.credit",
+        channel: str = "",
     ):
         self._unlimited = unlimited
         self._send_probe = send_probe
         self._probe_interval = probe_interval
         self._metrics = metrics
         self._tracer = tracer
-        self._name = name
+        # ``channel`` labels the metric series (flow.credit.stalls
+        # {channel=rpc} vs {channel=upcall}) while keeping one metric
+        # name per quantity; the display name used in errors and trace
+        # details still reads "flow.credit.rpc".  Instruments are
+        # resolved once here so the hot path never formats or probes.
+        self._name = f"{name}.{channel}" if channel else name
+        labels = {"channel": channel} if channel else {}
+        if metrics is not None:
+            self._stall_counter = metrics.counter(f"{name}.stalls", **labels)
+            self._stall_hist = metrics.histogram(f"{name}.stall_us", **labels)
+            self._probe_counter = metrics.counter(f"{name}.probes", **labels)
+            # Window occupancy, for live consoles: how many message
+            # slots of the peer's grant remain unspent right now.
+            self._window_gauge = metrics.gauge(
+                f"{name}.available_msgs", **labels
+            )
+        else:
+            self._stall_counter = None
+            self._stall_hist = None
+            self._probe_counter = None
+            self._window_gauge = None
         self._granted_msgs = 0
         self._granted_bytes = 0
         self._used_msgs = 0
@@ -139,6 +160,8 @@ class CreditGate:
             widened = True
         if widened:
             self._window.set()
+        if self._window_gauge is not None:
+            self._window_gauge.set(self.available_msgs)
 
     def reset(self, *, unlimited: bool) -> None:
         """Start over for a fresh channel (reconnect).
@@ -172,6 +195,8 @@ class CreditGate:
             return False
         self._used_msgs += 1
         self._used_bytes += nbytes
+        if self._window_gauge is not None:
+            self._window_gauge.set(self._granted_msgs - self._used_msgs)
         return True
 
     async def acquire(self, nbytes: int, *, nowait: bool = False) -> None:
@@ -191,8 +216,8 @@ class CreditGate:
                 f"available, need 1 msg / {nbytes} bytes)"
             )
         self.stalls += 1
-        if self._metrics is not None:
-            self._metrics.counter(f"{self._name}.stalls").inc()
+        if self._stall_counter is not None:
+            self._stall_counter.inc()
         if self._tracer is not None and self._tracer.active:
             from repro.trace import KIND_FLOW
 
@@ -208,17 +233,15 @@ class CreditGate:
                 await asyncio.wait_for(self._window.wait(), self._probe_interval)
             except asyncio.TimeoutError:
                 await self._probe()
-        if self._metrics is not None:
-            self._metrics.histogram(f"{self._name}.stall_us").observe(
-                (time.perf_counter() - stalled_at) * 1e6
-            )
+        if self._stall_hist is not None:
+            self._stall_hist.observe((time.perf_counter() - stalled_at) * 1e6)
 
     async def _probe(self) -> None:
         if self._send_probe is None:
             return
         self.probes += 1
-        if self._metrics is not None:
-            self._metrics.counter(f"{self._name}.probes").inc()
+        if self._probe_counter is not None:
+            self._probe_counter.inc()
         try:
             await self._send_probe(self._used_msgs, self._used_bytes)
         except Exception:
@@ -247,15 +270,22 @@ class CreditLedger:
         metrics=None,
         tracer=None,
         name: str = "flow.credit",
+        channel: str = "",
     ):
         if window_msgs < 1 or window_bytes < 1:
             raise ValueError("credit windows must be >= 1")
         self._send = send
         self.window_msgs = window_msgs
         self.window_bytes = window_bytes
-        self._metrics = metrics
         self._tracer = tracer
-        self._name = name
+        self._name = f"{name}.{channel}" if channel else name
+        labels = {"channel": channel} if channel else {}
+        if metrics is not None:
+            self._grant_counter = metrics.counter(f"{name}.grants", **labels)
+            self._lost_counter = metrics.counter(f"{name}.lost", **labels)
+        else:
+            self._grant_counter = None
+            self._lost_counter = None
         self.drained_msgs = 0
         self.drained_bytes = 0
         self._announced_msgs = 0
@@ -265,8 +295,8 @@ class CreditLedger:
         """Send the current cumulative grant (initial grant, probe answer)."""
         self._announced_msgs = self.drained_msgs
         self.grants_sent += 1
-        if self._metrics is not None:
-            self._metrics.counter(f"{self._name}.grants").inc()
+        if self._grant_counter is not None:
+            self._grant_counter.inc()
         if self._tracer is not None and self._tracer.active:
             from repro.trace import KIND_FLOW
 
@@ -313,7 +343,7 @@ class CreditLedger:
             return
         if lost_msgs > 0:
             self.drained_msgs += lost_msgs
-            if self._metrics is not None:
-                self._metrics.counter(f"{self._name}.lost").inc(lost_msgs)
+            if self._lost_counter is not None:
+                self._lost_counter.inc(lost_msgs)
         if lost_bytes > 0:
             self.drained_bytes += lost_bytes

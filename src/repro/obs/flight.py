@@ -1,0 +1,119 @@
+"""The flight recorder: an always-on bounded ring of recent events.
+
+Tracing (:mod:`repro.trace`) is opt-in and therefore *off* exactly
+when a production incident happens.  The flight recorder is the
+complement: it is always on, bounded, and cheap enough to stay on —
+so when a deadline expires, an upcall degrades through the §4.3 error
+port, or a chaos schedule finally breaks something, the last few
+thousand boundary crossings are still in memory and can be dumped as
+a JSONL postmortem artifact.
+
+The cost discipline mirrors the Tracer's short-circuit: :meth:`note`
+allocates nothing.  The ring's slots are preallocated mutable lists
+and an append is one clock read plus four slot stores — measured by
+the ``telemetry_overhead`` entry of BENCH_rpc.json, which pins the
+always-on recorder plus stage clocks under 3% of the wire hot path.
+
+Timestamps are ``time.perf_counter`` readings, not wall time: the
+dispatch paths already hold a fresh reading for their latency
+histograms and pass it in, so most notes cost *no* clock read at all.
+The dump header records a ``(dumped_at, clock)`` anchor pair — wall
+time of an event is ``dumped_at - (clock - ts)``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+# Bound once: LOAD_FAST beats LOAD_GLOBAL + LOAD_ATTR on the one
+# function that runs on every boundary crossing.
+_now = time.perf_counter
+
+
+class FlightRecorder:
+    """Fixed-capacity ring of ``(ts, kind, name, detail)`` events."""
+
+    __slots__ = ("capacity", "enabled", "dumps", "_ring", "_next", "_filled")
+
+    def __init__(self, capacity: int = 2048, *, enabled: bool = True):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.enabled = enabled
+        self.dumps = 0
+        self._filled = False
+        self._ring: list[list] = [[0.0, "", "", ""] for _ in range(capacity)]
+        self._next = 0
+
+    def __len__(self) -> int:
+        return self.capacity if self._filled else self._next
+
+    def note(self, kind: str, name: str, detail: str = "", ts: float = 0.0) -> None:
+        """Record one event, overwriting the oldest when full.
+
+        Zero-allocation: mutates a preallocated slot in place.  Safe
+        on any hot path; callers do not need to guard on ``enabled``.
+        ``ts`` is a ``time.perf_counter`` reading the caller already
+        holds (dispatchers take one for their latency histograms);
+        omitted, the recorder reads the clock itself.
+        """
+        if not self.enabled:
+            return
+        i = self._next
+        slot = self._ring[i]
+        slot[0] = ts or _now()
+        slot[1] = kind
+        slot[2] = name
+        slot[3] = detail
+        i += 1
+        if i == self.capacity:
+            i = 0
+            self._filled = True
+        self._next = i
+
+    def clear(self) -> None:
+        self._next = 0
+        self._filled = False
+
+    def events(self) -> list[dict]:
+        """Copies of the live slots, oldest first (the ring stays hot)."""
+        count = len(self)
+        start = (self._next - count) % self.capacity
+        out = []
+        for i in range(count):
+            ts, kind, name, detail = self._ring[(start + i) % self.capacity]
+            event = {"ts": ts, "kind": kind, "name": name}
+            if detail:
+                event["detail"] = detail
+            out.append(event)
+        return out
+
+    def dump_jsonl(self, reason: str = "") -> str:
+        """The postmortem artifact: a header line, then one event per line.
+
+        The header records why and when the dump was cut, how many
+        events survived in the ring, and the clock anchor: event wall
+        time is ``dumped_at - (clock - ts)`` (event ``ts`` values are
+        ``time.perf_counter`` readings).  Events follow oldest-first so
+        the file reads as a timeline ending at the incident.
+        """
+        self.dumps += 1
+        header = {
+            "flight": 1,
+            "reason": reason,
+            "dumped_at": time.time(),
+            "clock": time.perf_counter(),
+            "capacity": self.capacity,
+            "events": len(self),
+        }
+        lines = [json.dumps(header)]
+        lines.extend(json.dumps(event) for event in self.events())
+        return "\n".join(lines) + "\n"
+
+    def dump_to(self, path: str, reason: str = "") -> str:
+        """Write :meth:`dump_jsonl` to ``path``; returns the path."""
+        text = self.dump_jsonl(reason)
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        return path

@@ -16,7 +16,8 @@ processes merge bucket-for-bucket.
 
 from __future__ import annotations
 
-import bisect
+import math
+from bisect import bisect_left as _bisect_left
 
 
 def log_spaced_buckets(
@@ -81,7 +82,10 @@ class Histogram:
     enough for latency reporting and costs O(buckets).
     """
 
-    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "max")
+    __slots__ = (
+        "name", "bounds", "bucket_counts", "total", "max",
+        "_hot_i", "_hot_lo", "_hot_hi",
+    )
 
     def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_US):
         if not bounds or list(bounds) != sorted(bounds):
@@ -89,63 +93,140 @@ class Histogram:
         self.name = name
         self.bounds = bounds
         self.bucket_counts = [0] * (len(bounds) + 1)
-        self.count = 0
         self.total = 0.0
         self.max = 0.0
+        # Mode cache: the empty interval forces the first observe to
+        # the bisect path, which then caches its bucket's edges.
+        self._hot_i = 0
+        self._hot_lo = math.inf
+        self._hot_hi = -math.inf
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
-        self.count += 1
+        # Latency streams are bursty around a mode, so consecutive
+        # observations usually land in the bucket the last one did:
+        # two float compares instead of a bisect on that path.
+        if self._hot_lo < value <= self._hot_hi:
+            self.bucket_counts[self._hot_i] += 1
+        else:
+            i = _bisect_left(self.bounds, value)
+            self.bucket_counts[i] += 1
+            bounds = self.bounds
+            self._hot_i = i
+            self._hot_lo = bounds[i - 1] if i else -math.inf
+            self._hot_hi = bounds[i] if i < len(bounds) else math.inf
         self.total += value
         if value > self.max:
             self.max = value
 
     @property
+    def count(self) -> int:
+        """Total observations, derived from the buckets.
+
+        Derived rather than stored so :meth:`observe` — which runs per
+        stage boundary on the upcall pipeline — is one bucket add, not
+        two counter adds; every reader of ``count`` is a cold path.
+        """
+        return sum(self.bucket_counts)
+
+    @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        count = sum(self.bucket_counts)
+        return self.total / count if count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Upper bound of the bucket containing the q-quantile (0..1)."""
+        """Upper bound of the bucket containing the q-quantile (0..1).
+
+        An empty histogram has no quantiles: NaN, not a fake 0.0 that
+        reads as "instant".  A rank landing in the overflow bucket is
+        estimated as the midpoint between the top finite bound and the
+        observed max — the bucket has no upper edge to report, and the
+        raw max alone would let one outlier impersonate a quantile.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be within [0, 1]")
         if self.count == 0:
-            return 0.0
+            return math.nan
         rank = q * self.count
         seen = 0
         for i, bucket in enumerate(self.bucket_counts):
             seen += bucket
             if seen >= rank and bucket:
-                return self.bounds[i] if i < len(self.bounds) else self.max
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return (self.bounds[-1] + self.max) / 2.0
         return self.max
 
 
 class MetricsRegistry:
-    """Named instruments, created on first use and found by name after."""
+    """Named instruments, created on first use and found by name after.
+
+    Instruments may carry labels: ``counter("cluster.pool.calls",
+    service="wm")`` names the series ``cluster.pool.calls{service=wm}``.
+    The label set is interned into that flat key once (label keys
+    sorted, so argument order never forks a series) and the rendered
+    string is cached, so labelled lookups on a hot path cost one extra
+    dict probe, not a string format.
+    """
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._label_keys: dict[tuple, str] = {}
 
-    def counter(self, name: str) -> Counter:
+    def _interned(self, name: str, labels: dict[str, object]) -> str:
+        key = (name, *sorted(labels.items()))
+        interned = self._label_keys.get(key)
+        if interned is None:
+            rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            interned = self._label_keys[key] = f"{name}{{{rendered}}}"
+        return interned
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        if labels:
+            name = self._interned(name, labels)
         instrument = self._counters.get(name)
         if instrument is None:
             instrument = self._counters[name] = Counter(name)
         return instrument
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        if labels:
+            name = self._interned(name, labels)
         instrument = self._gauges.get(name)
         if instrument is None:
             instrument = self._gauges[name] = Gauge(name)
         return instrument
 
     def histogram(
-        self, name: str, bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_US
+        self,
+        name: str,
+        bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_US,
+        **labels: object,
     ) -> Histogram:
+        if labels:
+            name = self._interned(name, labels)
         instrument = self._histograms.get(name)
         if instrument is None:
             instrument = self._histograms[name] = Histogram(name, bounds)
         return instrument
+
+    def reset(self) -> None:
+        """Zero every instrument **in place**.
+
+        Hot paths cache instrument references (pre-resolved stage
+        histograms, credit-gate counters), so the instruments must
+        keep their identity across a reset — benchmarks use this to
+        discard warm-up samples without re-wiring anything.
+        """
+        for counter in self._counters.values():
+            counter.value = 0.0
+        for gauge in self._gauges.values():
+            gauge.value = 0.0
+        for histogram in self._histograms.values():
+            histogram.bucket_counts = [0] * (len(histogram.bounds) + 1)
+            histogram.total = 0.0
+            histogram.max = 0.0
 
     def snapshot(self) -> dict[str, float]:
         """Every instrument flattened to floats, for remote scraping.

@@ -1,0 +1,156 @@
+"""Per-layer profiles: who calls, who upcalls, and what it costs.
+
+The ROADMAP's dynamic-placement question — should a layer live in the
+server or in the client? — needs exactly the data HAM used to move
+code to data: per layer, how often it executes, how much argument
+traffic it moves, and how expensive its *distributed upcalls* are
+(each one blocks a server task for a full client round trip, §4.3).
+
+A :class:`LayerProfiler` accumulates that per registered layer.  The
+layer key is the ObjectTable's class name (the registered layer or
+handle a call dispatched into); a contextvar carries it across the
+call's dynamic extent, so an upcall made *while* ``window.Window``
+handles a call is attributed to ``window.Window`` — even though the
+send happens layers below, in the session.  Upcalls posted from host
+tasks (timers, embedded publishers) fall to the ``_host`` layer, and
+fan-out pumps attribute to ``fanout.<topic>``.
+
+Exposed remotely as the builtin ``profile`` RPC, flattened to
+``dict[str, float]`` with ``<layer>.<metric>`` keys (layer names may
+contain dots; metric names never do, so ``rsplit(".", 1)`` parses).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar, Token
+from typing import Iterator
+
+#: Calls into no registered layer (host tasks, bare test dispatchers).
+HOST_LAYER = "_host"
+
+_current_layer: ContextVar[str] = ContextVar("repro-current-layer", default="")
+
+
+def current_layer() -> str:
+    """The layer executing in this task's context ("" when none)."""
+    return _current_layer.get()
+
+
+def set_layer(name: str) -> Token:
+    """Make ``name`` the current layer; pair with :func:`reset_layer`.
+
+    The raw token API exists for dispatch hot paths where a context
+    manager per call is measurable; everyone else should prefer
+    :func:`layer_scope`.
+    """
+    return _current_layer.set(name)
+
+
+def reset_layer(token: Token) -> None:
+    _current_layer.reset(token)
+
+
+@contextlib.contextmanager
+def layer_scope(name: str) -> Iterator[None]:
+    """Attribute everything in the block (and its awaits) to ``name``."""
+    token = _current_layer.set(name)
+    try:
+        yield
+    finally:
+        _current_layer.reset(token)
+
+
+class _LayerStats:
+    """Accumulators for one layer; plain adds, no instruments."""
+
+    __slots__ = (
+        "calls", "errors", "call_us", "bytes_in", "bytes_out",
+        "upcalls", "upcall_rtt_us", "upcall_bytes",
+    )
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.errors = 0
+        self.call_us = 0.0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.upcalls = 0
+        self.upcall_rtt_us = 0.0
+        self.upcall_bytes = 0
+
+
+class LayerProfiler:
+    """Attribution of execution time, volume, and upcall cost to layers."""
+
+    __slots__ = ("_layers",)
+
+    def __init__(self) -> None:
+        self._layers: dict[str, _LayerStats] = {}
+
+    def _stats(self, layer: str) -> _LayerStats:
+        key = layer or HOST_LAYER
+        stats = self._layers.get(key)
+        if stats is None:
+            stats = self._layers[key] = _LayerStats()
+        return stats
+
+    def record_call(
+        self,
+        layer: str,
+        duration_us: float,
+        bytes_in: int = 0,
+        bytes_out: int = 0,
+        error: bool = False,
+    ) -> None:
+        """One inbound RPC dispatched into ``layer``.
+
+        Positional-friendly and with the stats lookup inlined: the
+        dispatcher calls this on every RPC, and both the keyword
+        passing and the extra method frame are measurable there.
+        """
+        key = layer or HOST_LAYER
+        stats = self._layers.get(key)
+        if stats is None:
+            stats = self._layers[key] = _LayerStats()
+        stats.calls += 1
+        stats.call_us += duration_us
+        stats.bytes_in += bytes_in
+        stats.bytes_out += bytes_out
+        if error:
+            stats.errors += 1
+
+    def record_upcall(self, layer: str, rtt_us: float, nbytes: int) -> None:
+        """One distributed upcall performed on behalf of ``layer``."""
+        stats = self._stats(layer)
+        stats.upcalls += 1
+        stats.upcall_rtt_us += rtt_us
+        stats.upcall_bytes += nbytes
+
+    def layers(self) -> dict[str, dict[str, float]]:
+        """Per-layer profile with derived means, nested (local use)."""
+        out: dict[str, dict[str, float]] = {}
+        for name, s in self._layers.items():
+            out[name] = {
+                "calls": float(s.calls),
+                "errors": float(s.errors),
+                "call_us_total": s.call_us,
+                "call_us_mean": s.call_us / s.calls if s.calls else 0.0,
+                "bytes_in": float(s.bytes_in),
+                "bytes_out": float(s.bytes_out),
+                "upcalls": float(s.upcalls),
+                "upcall_rtt_us_total": s.upcall_rtt_us,
+                "upcall_rtt_us_mean": (
+                    s.upcall_rtt_us / s.upcalls if s.upcalls else 0.0
+                ),
+                "upcall_bytes": float(s.upcall_bytes),
+            }
+        return out
+
+    def snapshot(self) -> dict[str, float]:
+        """The ``profile`` RPC payload: flat ``<layer>.<metric>`` floats."""
+        out: dict[str, float] = {}
+        for layer, metrics in self.layers().items():
+            for metric, value in metrics.items():
+                out[f"{layer}.{metric}"] = value
+        return out

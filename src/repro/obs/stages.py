@@ -1,0 +1,128 @@
+"""Stage clocks for the upcall pipeline (post → pump → write → handler).
+
+BENCH_rpc.json measures fan-out delivery end to end — publisher
+``post()`` stamp to subscriber handler entry — but an endpoint latency
+explains nothing about *where* the time went.  This module names the
+stages of that path and gives every runtime a :class:`StageTimer`, a
+set of pre-resolved histograms under one prefix, so each boundary
+crossing costs one clock read and one bucket increment.
+
+The stages partition the delivery path; their means therefore sum to
+(almost all of) the measured end-to-end mean:
+
+========== ======== ======================================================
+stage      process  interval
+========== ======== ======================================================
+enqueue    server   ``UpcallGroup.post`` — offering the event to every
+                    subscriber queue (publisher-side cost, once per post)
+queue      server   event enqueued → pump task dequeued it
+gate       server   pump handed to the session → §4.4 upcall slot and
+                    credit window acquired
+write      server   ``UpcallMessage`` written to the channel
+dispatch   client   frame received → RUC procedure entered (unbundling,
+                    dedup, client-side slot wait)
+handler    client   RUC procedure entry → exit
+========== ======== ======================================================
+
+The gaps left unmeasured — argument bundling between dequeue and the
+session, and the wire/event-loop hop between the server's write and
+the client's read — are microseconds, which is the point: the bench's
+``pipeline`` section checks that the named stages account for ≥90% of
+the total, so a regression in an unnamed gap is *visible* as coverage
+loss rather than silently absorbed.
+
+``handler`` is outside the delivery total (the benchmark handler
+stamps its latency at entry) but is recorded because a slow handler is
+the usual reason ``queue`` explodes at the *next* event.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+#: Metric-name prefix; stage ``s`` records into ``upcall.stage.<s>_us``.
+STAGE_PREFIX = "upcall.stage"
+
+STAGE_ENQUEUE = "enqueue"
+STAGE_QUEUE = "queue"
+STAGE_GATE = "gate"
+STAGE_WRITE = "write"
+STAGE_DISPATCH = "dispatch"
+STAGE_HANDLER = "handler"
+
+#: The stages whose sum approximates post→handler-entry delivery.
+PIPELINE_STAGES = (
+    STAGE_ENQUEUE, STAGE_QUEUE, STAGE_GATE, STAGE_WRITE, STAGE_DISPATCH,
+)
+ALL_STAGES = PIPELINE_STAGES + (STAGE_HANDLER,)
+
+
+def stage_metric(stage: str, prefix: str = STAGE_PREFIX) -> str:
+    """The registry name of one stage's histogram."""
+    return f"{prefix}.{stage}_us"
+
+
+class StageTimer:
+    """Per-stage histograms resolved once, observed with no lookups.
+
+    One registry may back many timers (the server's sessions, every
+    embedded :class:`~repro.cluster.UpcallGroup`): the registry interns
+    instruments by name, so they all feed the same histograms.
+    """
+
+    __slots__ = ("_histograms",)
+
+    def __init__(self, metrics: MetricsRegistry, prefix: str = STAGE_PREFIX):
+        self._histograms: dict[str, Histogram] = {
+            stage: metrics.histogram(stage_metric(stage, prefix))
+            for stage in ALL_STAGES
+        }
+
+    def observe(self, stage: str, duration_us: float) -> None:
+        self._histograms[stage].observe(duration_us)
+
+    def instrument(self, stage: str) -> Histogram:
+        """The cached histogram itself, for hot paths that want to bind
+        ``instrument(stage).observe`` once and skip this object's frame
+        and dict probe per event."""
+        return self._histograms[stage]
+
+
+def merge_stage(
+    registries, stage: str, prefix: str = STAGE_PREFIX
+) -> Histogram:
+    """One stage's histogram merged across processes.
+
+    The pipeline crosses registries — server stages live in the
+    server's, ``dispatch``/``handler`` in each client's — and the fixed
+    shared bucket scale is what makes them mergeable bucket-for-bucket.
+    """
+    merged = Histogram(stage_metric(stage, prefix))
+    for registry in registries:
+        h = registry.histogram(stage_metric(stage, prefix))
+        if h.bounds != merged.bounds:
+            raise ValueError(
+                f"cannot merge {h.name!r}: bucket bounds differ"
+            )
+        for i, count in enumerate(h.bucket_counts):
+            merged.bucket_counts[i] += count
+        merged.total += h.total
+        if h.max > merged.max:
+            merged.max = h.max
+    return merged
+
+
+def stage_budgets(
+    registries, *, prefix: str = STAGE_PREFIX
+) -> dict[str, dict[str, float]]:
+    """Mean/p50/p95/count per stage, merged across ``registries``."""
+    out: dict[str, dict[str, float]] = {}
+    for stage in ALL_STAGES:
+        merged = merge_stage(registries, stage, prefix)
+        out[stage] = {
+            "count": float(merged.count),
+            "mean_us": merged.mean,
+            "p50_us": merged.quantile(0.5),
+            "p95_us": merged.quantile(0.95),
+        }
+    return out

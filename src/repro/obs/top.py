@@ -1,0 +1,157 @@
+"""``python -m repro.obs.top`` — a live console over pushed telemetry.
+
+The reading end of :mod:`repro.obs.push`: subscribes to one or more
+servers' ``clam.telemetry`` hubs (directly by URL, or a whole
+directory of replicas) and renders a refreshing table of per-node
+rates and health figures — calls/s, upcalls/s, fan-out deliveries,
+queue-wait p95, upcall-window occupancy, incidents.
+
+Usage::
+
+    python -m repro.obs.top tcp://host:9000 [tcp://host:9001 ...]
+    python -m repro.obs.top --directory tcp://dir:9000 --service kv
+    python -m repro.obs.top --once tcp://host:9000    # one frame, exit
+
+``--once`` renders a single frame after the first pushes arrive and
+exits — the CI smoke mode.  :func:`run` is importable so tests can
+drive the same loop in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.obs.push import Collector
+
+#: Snapshot keys rendered as columns: (header, kind, key).  ``rate``
+#: columns difference successive snapshots; ``value`` columns read the
+#: latest one.
+COLUMNS = (
+    ("calls/s", "rate", "flow.admission.admitted"),
+    ("upc/s", "rate", "upcall.server.rtt_us.count"),
+    ("fan/s", "rate", "cluster.fanout.delivered"),
+    ("qwait_p95", "value", "flow.queue_wait_us.p95"),
+    ("upc_win", "value", "flow.credit.available_msgs{channel=upcall}"),
+    ("incidents", "sum_prefix", "flight.incidents"),
+)
+
+
+def _cell(collector: Collector, node: str, kind: str, key: str) -> str:
+    if kind == "rate":
+        return f"{collector.rate(node, key):8.1f}"
+    if kind == "sum_prefix":
+        state = collector.nodes[node]
+        total = sum(
+            v for k, v in state.snapshot.items() if k.startswith(key)
+        )
+        return f"{total:8.0f}"
+    value = collector.value(node, key)
+    return f"{value:8.1f}"
+
+
+def render(collector: Collector) -> str:
+    """One frame: a header plus one row per pushing node."""
+    headers = ["node".ljust(16)] + [h.rjust(8) for h, _, _ in COLUMNS]
+    lines = [
+        f"telemetry: {len(collector.nodes)} node(s), "
+        f"{collector.pushes_received} push(es), "
+        f"{collector.stale_pushes} stale",
+        "  ".join(headers),
+    ]
+    for node in sorted(collector.nodes):
+        row = [node[:16].ljust(16)] + [
+            _cell(collector, node, kind, key) for _, kind, key in COLUMNS
+        ]
+        lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+async def run(
+    urls,
+    *,
+    directory: str | None = None,
+    service: str = "",
+    interval: float = 1.0,
+    once: bool = False,
+    frames: int | None = None,
+    out=None,
+) -> int:
+    """Attach, then render frames until interrupted (or bounded).
+
+    ``frames`` bounds how many frames are rendered (None = forever);
+    ``once`` is shorthand for ``frames=1``.  Returns 0 when at least
+    one node pushed, 2 when nothing could be attached.
+    """
+    emit = out if out is not None else print
+    collector = Collector()
+    try:
+        for url in urls:
+            await collector.attach(url)
+        if directory is not None:
+            await collector.attach_directory(directory, service)
+        if not collector._attached:
+            emit("top: nothing to attach to (no URLs, empty directory)")
+            return 2
+        if once:
+            frames = 1
+        rendered = 0
+        while frames is None or rendered < frames:
+            if rendered:
+                await asyncio.sleep(interval)
+            else:
+                # The hub pushes a first snapshot on subscribe; give
+                # the upcalls one beat to land before the first frame.
+                await asyncio.sleep(0.05)
+            emit(render(collector))
+            rendered += 1
+        return 0 if collector.pushes_received else 1
+    finally:
+        await collector.close()
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.top",
+        description="live console over pushed CLAM telemetry",
+    )
+    parser.add_argument("urls", nargs="*", help="server URLs to attach to")
+    parser.add_argument(
+        "--directory", help="directory URL; attaches every replica of --service"
+    )
+    parser.add_argument(
+        "--service", default="", help="service name to resolve in --directory"
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0, help="refresh period (seconds)"
+    )
+    parser.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
+    args = parser.parse_args(argv)
+    if not args.urls and not args.directory:
+        parser.error("give at least one URL or --directory")
+    if args.directory and not args.service:
+        parser.error("--directory needs --service")
+    return args
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    try:
+        return asyncio.run(
+            run(
+                args.urls,
+                directory=args.directory,
+                service=args.service,
+                interval=args.interval,
+                once=args.once,
+            )
+        )
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -120,7 +120,8 @@ class RpcConnection:
             send_probe=self._send_credit_probe,
             metrics=metrics,
             tracer=tracer,
-            name="flow.credit.rpc",
+            name="flow.credit",
+            channel="rpc",
         )
         self._batch = BatchQueue(
             self._send_batch,

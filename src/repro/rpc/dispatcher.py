@@ -38,6 +38,7 @@ from repro.bundlers.base import BundlerRegistry
 from repro.handles import Descriptor, Handle, ObjectTable
 from repro.ipc import MessageChannel
 from repro.obs.context import SpanContext, using_context
+from repro.obs.profile import reset_layer, set_layer
 from repro.stubs import InterfaceSpec, Skeleton, interface_spec
 from repro.wire import (
     DEADLINE_VERSION,
@@ -106,10 +107,23 @@ class Dispatcher:
         call_failed: CallFailed | None = None,
         tracer=None,
         metrics=None,
+        profiler=None,
+        flight=None,
+        on_incident=None,
         dedup_window: int = 512,
     ):
         self._tracer = tracer
         self._metrics = metrics
+        #: Per-layer attribution (:class:`repro.obs.profile.LayerProfiler`)
+        #: — the exported class name is the layer key, so every layer a
+        #: server hosts gets its own row in the ``profile`` RPC.
+        self._profiler = profiler
+        #: Flight recorder (:class:`repro.obs.flight.FlightRecorder`):
+        #: one bounded note per call, dumped when something goes wrong.
+        self._flight = flight
+        #: Hook ``(reason, detail)`` fired on incidents worth a flight
+        #: dump (currently: a call overrunning its wire deadline).
+        self._on_incident = on_incident
         self._registry = registry
         self._exports = exports if exports is not None else Exports()
         self._skeletons: dict[int, Skeleton] = {}
@@ -270,7 +284,12 @@ class Dispatcher:
             if call.trace_id
             else None
         )
-        started = time.perf_counter() if self._metrics is not None else 0.0
+        started = (
+            time.perf_counter()
+            if self._metrics is not None or self._profiler is not None
+            else 0.0
+        )
+        layer_token = None
         try:
             # Admission first: a shed call must cost nothing but the
             # verdict — no skeleton lookup, no guard, no execution.
@@ -282,6 +301,11 @@ class Dispatcher:
             skeleton, descriptor = self.skeleton_for(Handle(oid=call.oid, tag=call.tag))
             if self._call_guard is not None:
                 self._call_guard(descriptor)
+            if self._profiler is not None:
+                # The exported class name names the layer; everything in
+                # the call's dynamic extent — including distributed
+                # upcalls it makes — is attributed to it.
+                layer_token = set_layer(descriptor.class_name)
             try:
                 if self._tracer is not None and self._tracer.active:
                     from repro.trace import KIND_CALL
@@ -306,15 +330,58 @@ class Dispatcher:
                 raise DeadlineExpiredError(
                     f"{call.method!r} overran its {call.deadline_ms}ms deadline"
                 ) from None
-            if self._metrics is not None:
-                self._metrics.histogram(
-                    f"rpc.server.call_us.{descriptor.class_name}.{call.method}"
-                ).observe((time.perf_counter() - started) * 1e6)
+            if self._metrics is not None or self._profiler is not None:
+                ended = time.perf_counter()
+                elapsed_us = (ended - started) * 1e6
+                if self._metrics is not None:
+                    self._metrics.histogram(
+                        f"rpc.server.call_us.{descriptor.class_name}.{call.method}"
+                    ).observe(elapsed_us)
+                if self._profiler is not None:
+                    self._profiler.record_call(
+                        descriptor.class_name,
+                        elapsed_us,
+                        len(call.args),
+                        len(reply_payload or b""),
+                    )
+            else:
+                ended = 0.0
+            if self._flight is not None:
+                # name/detail as separate slots (an f-string here is a
+                # per-call allocation), reusing the clock reading the
+                # latency math already paid for.
+                self._flight.note(
+                    "call", descriptor.class_name, call.method, ended
+                )
         except Exception as exc:
             if isinstance(exc, DeadlineExpiredError):
                 self.deadline_expired += 1
                 if self._metrics is not None:
                     self._metrics.counter("rpc.server.deadline_expired").inc()
+                if self._on_incident is not None:
+                    # A spent deadline is the §4.3 symptom the flight
+                    # recorder exists for: freeze the recent past now.
+                    self._on_incident(
+                        "deadline-expired",
+                        f"{call.method} ({call.deadline_ms}ms)",
+                    )
+            if self._flight is not None:
+                name = (
+                    f"{descriptor.class_name}.{call.method}"
+                    if descriptor is not None
+                    else call.method
+                )
+                self._flight.note(
+                    "call-error", name, f"{type(exc).__name__}: {exc}"
+                )
+            if self._profiler is not None and descriptor is not None:
+                self._profiler.record_call(
+                    descriptor.class_name,
+                    (time.perf_counter() - started) * 1e6,
+                    len(call.args),
+                    0,
+                    True,
+                )
             if descriptor is not None and self._call_failed is not None:
                 result = self._call_failed(descriptor, call.method, exc)
                 if result is not None:
@@ -322,6 +389,8 @@ class Dispatcher:
             await self._report_failure(call, exc, channel)
             return
         finally:
+            if layer_token is not None:
+                reset_layer(layer_token)
             if flow is not None:
                 if admitted:
                     flow.finish(call, queue_wait)

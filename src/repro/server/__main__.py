@@ -67,6 +67,31 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         help="print the metrics registry (latencies, batch sizes, "
              "queue depths) at shutdown",
     )
+    parser.add_argument(
+        "--telemetry",
+        nargs="?",
+        type=float,
+        const=1.0,
+        default=None,
+        metavar="SECONDS",
+        help="publish the clam.telemetry service and push metric "
+             "snapshots to subscribed collectors every SECONDS "
+             "(default 1.0); see python -m repro.obs.top",
+    )
+    parser.add_argument(
+        "--node",
+        default="",
+        metavar="NAME",
+        help="node name reported in telemetry pushes (default: pid-<pid>)",
+    )
+    parser.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for automatic flight-recorder dumps on "
+             "incidents (deadline expiry, upcall degradation, "
+             "quarantine); without it dumps stay in memory only",
+    )
     return parser.parse_args(argv)
 
 
@@ -74,7 +99,11 @@ async def run(args: argparse.Namespace) -> None:
     server = ClamServer(
         quarantine_after=args.quarantine_after,
         max_active_upcalls=args.max_active_upcalls,
+        flight_dir=args.flight_dir,
     )
+    if args.telemetry is not None:
+        server.enable_telemetry(node=args.node, interval=args.telemetry)
+        print(f"telemetry: pushing every {args.telemetry:g}s", flush=True)
     if args.trace:
         def print_event(event) -> None:
             duration = f" {event.duration_us:.0f}us" if event.duration_us else ""

@@ -57,6 +57,9 @@ class ClamServerInterface(RemoteInterface):
     def stats(self) -> dict[str, int]: ...
     @idempotent
     def metrics(self) -> dict[str, float]: ...
+    @idempotent
+    def profile(self) -> dict[str, float]: ...
+    def dump(self, reason: str) -> str: ...
     def register_error_handler(
         self, handler: Callable[[str, int, str, str], None]
     ) -> None: ...
@@ -210,6 +213,24 @@ class BuiltinImpl(ClamServerInterface):
         (see :meth:`repro.obs.metrics.MetricsRegistry.snapshot`).
         """
         return self._server.metrics.snapshot()
+
+    def profile(self) -> dict[str, float]:
+        """Flattened per-layer profile (see repro.obs.profile).
+
+        Keys are ``<layer>.<metric>`` — the layer being the exported
+        class name the call ran against (or ``fanout.<topic>`` for
+        fan-out pump work, ``_host`` for unattributed host activity).
+        """
+        return self._server.profiler.snapshot()
+
+    def dump(self, reason: str) -> str:
+        """Dump the flight recorder on demand; returns the JSONL text.
+
+        The remote counterpart of the automatic incident dumps: an
+        operator (or `repro.obs.top`) can freeze a server's recent
+        past without waiting for something to go wrong.
+        """
+        return self._server.flight.dump_jsonl(reason or "rpc")
 
     def register_error_handler(self, handler) -> None:
         """Register for §4.3 error-reporting upcalls.

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import asyncio
 import collections
+import os
+import time
 from typing import Any
 
 from repro.errors import (
@@ -35,7 +37,10 @@ from repro.flow import (
 from repro.handles import Descriptor, Handle
 from repro.ipc import Connection, Listener, MessageChannel, serve
 from repro.loader import FaultIsolator, ModuleLoader
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import LayerProfiler
+from repro.obs.stages import StageTimer
 from repro.rpc import Exports
 from repro.server.builtin import BUILTIN_HANDLE, BuiltinImpl, ClamServerInterface
 from repro.server.session import Session
@@ -67,6 +72,8 @@ class ClamServer:
         admission: AdmissionPolicy | None = None,
         credit_window: int = DEFAULT_WINDOW_MSGS,
         credit_bytes: int = DEFAULT_WINDOW_BYTES,
+        flight_capacity: int = 2048,
+        flight_dir: str | None = None,
     ):
         if max_active_upcalls < 1:
             raise ValueError("max_active_upcalls must be >= 1")
@@ -106,6 +113,30 @@ class ClamServer:
         #: Aggregated instruments (see repro.obs.metrics); scraped
         #: remotely via the builtin ``metrics`` RPC.
         self.metrics = MetricsRegistry()
+        #: Stage clocks for the upcall pipeline (repro.obs.stages):
+        #: shared by every fan-out group and session on this server.
+        self.stages = StageTimer(self.metrics)
+        #: Per-layer attribution (repro.obs.profile): RPC time, bytes,
+        #: and upcall round trips keyed by exported class name; read
+        #: remotely via the builtin ``profile`` RPC.
+        self.profiler = LayerProfiler()
+        #: Always-on flight recorder (repro.obs.flight): a bounded ring
+        #: of recent events, dumped as JSONL when something goes wrong
+        #: (deadline expiry, upcall degradation, quarantine trips) or
+        #: on the builtin ``dump`` RPC.
+        self.flight = FlightRecorder(flight_capacity)
+        #: Directory incident dumps are written to; None keeps the
+        #: rendered dump in :attr:`last_flight_dump` only.
+        self.flight_dir = flight_dir
+        #: Paths of incident dumps written so far (when flight_dir set).
+        self.flight_dumps: list[str] = []
+        #: The most recent dump's JSONL text (always kept).
+        self.last_flight_dump: str = ""
+        self._flight_seq = 0
+        self._last_dump_at: dict[str, float] = {}
+        #: Metric-push hub (repro.obs.push), created on demand by
+        #: :meth:`enable_telemetry`.
+        self.telemetry = None
         self.tasks = TaskSystem(
             "clam-server", pool_size=pool_size, metrics=self.metrics
         )
@@ -143,6 +174,9 @@ class ClamServer:
         for listener in self._listeners:
             await listener.close()
         self._listeners.clear()
+        if self.telemetry is not None:
+            await self.telemetry.close()
+            self.telemetry = None
         for session in list(self.sessions.values()):
             await self._retire_session(session)
         await self.tasks.shutdown()
@@ -347,6 +381,16 @@ class ClamServer:
         record = self.isolator.record(
             descriptor.class_name, descriptor.version, method, exc
         )
+        self.flight.note(
+            "fault",
+            f"{descriptor.class_name}.{method}",
+            f"{type(exc).__name__}: {exc}",
+        )
+        if self.isolator.is_faulty(descriptor.class_name, descriptor.version):
+            # The class just crossed (or sits past) the quarantine
+            # threshold — §4.3 fault isolation engaging is exactly the
+            # moment the recent past is worth freezing.
+            self.note_incident("quarantine", descriptor.class_name)
         if self.tracer.active:
             self.tracer.point(
                 KIND_FAULT,
@@ -378,6 +422,10 @@ class ClamServer:
         entry = (token, callback_id, type(exc).__name__, str(exc))
         self.degraded_upcalls.append(entry)
         self.metrics.counter("upcall.server.degraded").inc()
+        self.note_incident(
+            "upcall-degraded",
+            f"ruc-{callback_id}: {type(exc).__name__}: {exc}",
+        )
         if self.tracer.active:
             self.tracer.point(
                 KIND_FAULT,
@@ -391,6 +439,57 @@ class ClamServer:
             name="upcall-degrade-report",
         )
         return True
+
+    # -- telemetry plane (flight recorder, metric push) -----------------------------------
+
+    def note_incident(self, reason: str, detail: str = "") -> str:
+        """Record an incident and freeze the flight recorder's past.
+
+        Notes the incident into the ring, then renders a JSONL dump —
+        to a ``flight-<reason>-<n>.jsonl`` file under :attr:`flight_dir`
+        when one is configured, else only into
+        :attr:`last_flight_dump`.  Dumps are throttled to one per
+        reason per second so a chaos storm (every injected fault is an
+        incident candidate) produces one snapshot, not thousands.
+        """
+        self.flight.note("incident", reason, detail)
+        self.metrics.counter("flight.incidents", reason=reason).inc()
+        now = time.monotonic()
+        last = self._last_dump_at.get(reason, -1.0)
+        if now - last < 1.0:
+            return ""
+        self._last_dump_at[reason] = now
+        self.last_flight_dump = self.flight.dump_jsonl(reason)
+        if self.flight_dir is None:
+            return ""
+        self._flight_seq += 1
+        os.makedirs(self.flight_dir, exist_ok=True)
+        path = os.path.join(
+            self.flight_dir, f"flight-{reason}-{self._flight_seq}.jsonl"
+        )
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(self.last_flight_dump)
+        self.flight_dumps.append(path)
+        return path
+
+    def enable_telemetry(
+        self, *, node: str = "", interval: float = 1.0
+    ) -> "Any":
+        """Publish the ``clam.telemetry`` service and start pushing.
+
+        Collectors connect, look up the service, and subscribe a sink
+        procedure; the hub then pushes this server's full metric
+        snapshot over their upcall streams every ``interval`` seconds
+        (see :mod:`repro.obs.push`).  Returns the hub.
+        """
+        if self.telemetry is None:
+            from repro.obs.push import TELEMETRY_SERVICE, TelemetryHub
+
+            hub = TelemetryHub(self, node=node, interval=interval)
+            self.publish(TELEMETRY_SERVICE, hub)
+            hub.start()
+            self.telemetry = hub
+        return self.telemetry
 
     def schedule_fault_replay(self) -> None:
         """Replay queued fault reports to a newly registered handler."""

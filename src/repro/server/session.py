@@ -30,6 +30,8 @@ from repro.core import install_server_callbacks
 from repro.flow import CreditGate, message_cost
 from repro.ipc import MessageChannel
 from repro.obs.context import SpanContext, current_context
+from repro.obs.profile import HOST_LAYER, current_layer
+from repro.obs.stages import STAGE_GATE, STAGE_WRITE
 from repro.rpc import Dispatcher, install_server_objects
 from repro.tasks import Slots
 from repro.wire import (
@@ -61,6 +63,9 @@ class Session:
             call_failed=server.call_failed,
             tracer=server.tracer,
             metrics=server.metrics,
+            profiler=server.profiler,
+            flight=server.flight,
+            on_incident=server.note_incident,
         )
         self._upcall_channel: MessageChannel | None = None
         self.rpc_channel: MessageChannel | None = None  # set by the server
@@ -89,7 +94,8 @@ class Session:
             send_probe=self._send_upcall_probe,
             metrics=server.metrics,
             tracer=server.tracer,
-            name="flow.credit.upcall",
+            name="flow.credit",
+            channel="upcall",
         )
 
     # -- upcall channel attachment -----------------------------------------------
@@ -226,6 +232,8 @@ class Session:
         channel,
         ctx: SpanContext | None = None,
     ) -> bytes:
+        stages = self.server.stages
+        t_entry = time.perf_counter() if stages is not None else 0.0
         async with self._upcall_slots:
             # Interactive traffic still honours the client's window: a
             # client that stopped draining upcalls stalls the server
@@ -238,6 +246,9 @@ class Session:
             self.upcalls_sent += 1
             metrics = self.server.metrics
             started = time.perf_counter() if metrics is not None else 0.0
+            if stages is not None:
+                # Gate stage: §4.4 slot + credit window acquisition.
+                stages.observe(STAGE_GATE, (started - t_entry) * 1e6)
             try:
                 await channel.send(
                     UpcallMessage(
@@ -248,6 +259,10 @@ class Session:
                         parent_span=ctx.span_id if ctx else 0,
                     )
                 )
+                if stages is not None:
+                    stages.observe(
+                        STAGE_WRITE, (time.perf_counter() - started) * 1e6
+                    )
                 timeout = self.server.upcall_timeout
                 if timeout is None:
                     results = await future
@@ -262,9 +277,16 @@ class Session:
                             f"blocking bounded by upcall_timeout)"
                         ) from None
                 if metrics is not None:
-                    metrics.histogram("upcall.server.rtt_us").observe(
-                        (time.perf_counter() - started) * 1e6
-                    )
+                    rtt_us = (time.perf_counter() - started) * 1e6
+                    metrics.histogram("upcall.server.rtt_us").observe(rtt_us)
+                    profiler = self.server.profiler
+                    if profiler is not None:
+                        # Attribute the round trip to whatever layer's
+                        # dynamic extent we are running in — a fan-out
+                        # pump, an RPC handler's layer, or the host.
+                        profiler.record_upcall(
+                            current_layer() or HOST_LAYER, rtt_us, len(args)
+                        )
                 return results
             finally:
                 self._waiting.pop(serial, None)

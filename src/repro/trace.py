@@ -89,14 +89,22 @@ class Tracer:
         return bool(self._subscribers)
 
     def subscribe(self, subscriber: Subscriber) -> Callable[[], None]:
-        """Add a subscriber; returns an unsubscribe function."""
-        self._subscribers.append(subscriber)
+        """Add a subscriber; returns an unsubscribe function.
+
+        The subscriber list is copy-on-write: :meth:`emit` iterates
+        whatever list object was current when it started, so a
+        subscriber detached *during* an emit (an exporter's
+        ``detach_all`` racing live traffic) still receives the
+        in-flight event instead of shifting its neighbours out from
+        under the iteration.
+        """
+        self._subscribers = [*self._subscribers, subscriber]
 
         def unsubscribe() -> None:
-            try:
-                self._subscribers.remove(subscriber)
-            except ValueError:
-                pass
+            if subscriber in self._subscribers:
+                remaining = list(self._subscribers)
+                remaining.remove(subscriber)
+                self._subscribers = remaining
 
         return unsubscribe
 

@@ -217,7 +217,12 @@ class TestFailover:
                 # ones the policy would have routed to the corpse.
                 for _ in range(6):
                     assert await proxy.whoami() == "replica-1"
-                assert cc.metrics.counter("cluster.pool.marked_down").value >= 1
+                assert (
+                    cc.metrics.counter(
+                        "cluster.pool.marked_down", service="kv"
+                    ).value
+                    >= 1
+                )
         finally:
             await cluster.stop()
 
@@ -249,7 +254,12 @@ class TestFailover:
                     url: s["overloads"] for url, s in stats.items()
                 }
                 assert overloads.get(cluster.urls[0], 0) >= 1
-                assert cc.metrics.counter("cluster.pool.overloaded").value >= 1
+                assert (
+                    cc.metrics.counter(
+                        "cluster.pool.overloaded", service="kv"
+                    ).value
+                    >= 1
+                )
         finally:
             await cluster.stop()
 

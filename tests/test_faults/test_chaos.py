@@ -155,7 +155,9 @@ async def test_chaos_run(seed):
             == injector.injected
         )
         for kind, count in injector.counts().items():
-            assert fault_metrics.counter(f"faults.injected.{kind}").value == count
+            assert (
+                fault_metrics.counter("faults.injected", kind=kind).value == count
+            )
 
         await client.close()
     finally:

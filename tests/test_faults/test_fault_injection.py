@@ -167,8 +167,8 @@ class TestAudit:
         )
         await faulty.send(b"lost")
         await faulty.send(b"twice")
-        assert metrics.counter("faults.injected.drop").value == 1
-        assert metrics.counter("faults.injected.duplicate").value == 1
+        assert metrics.counter("faults.injected", kind="drop").value == 1
+        assert metrics.counter("faults.injected", kind="duplicate").value == 1
         assert metrics.counter("faults.injected.total").value == 2
         assert [r.kind for r in injector.records] == [
             FaultKind.DROP,

@@ -1,0 +1,111 @@
+"""The flight recorder under seeded chaos: incidents cut dumps.
+
+The acceptance scenario for the telemetry plane: a seeded fault
+schedule mistreats the wire while a deadline-scoped call overruns; the
+server's dispatcher reports the expiry as an incident, and the
+always-on flight recorder freezes the recent past into a JSONL
+artifact under ``flight_dir`` — automatically, with no operator in the
+loop.  Re-running with the same seed replays the same schedule.
+"""
+
+import itertools
+import json
+import os
+import tempfile
+
+import pytest
+
+from repro import ClamClient, ClamServer, RemoteInterface
+from repro.errors import CallTimeoutError, RemoteError
+from repro.faults import FaultInjector, FaultRates, SeededSchedule
+from repro.obs.metrics import MetricsRegistry
+from repro.rpc import deadline_scope
+from repro.stubs import idempotent
+from tests.support import async_test, eventually
+
+_ids = itertools.count(1)
+
+NAPPER_SOURCE = '''
+import asyncio
+
+from repro.stubs import RemoteInterface
+
+
+class Napper(RemoteInterface):
+    def __init__(self):
+        self.finished = 0
+
+    async def nap(self, delay_ms: int) -> int:
+        await asyncio.sleep(delay_ms / 1000)
+        self.finished += 1
+        return self.finished
+
+    def ping(self) -> str:
+        return "pong"
+'''
+
+
+class Napper(RemoteInterface):
+    async def nap(self, delay_ms: int) -> int: ...
+    @idempotent
+    def ping(self) -> str: ...
+
+
+def mild_rates() -> FaultRates:
+    """Latency-only chaos: delays stretch the conversation without
+    dropping the frames the deadline machinery rides on."""
+    return FaultRates(
+        drop=0.0, delay=0.2, duplicate=0.0, reorder=0.0,
+        corrupt=0.0, close=0.0, slow=0.05, max_delay=0.01,
+    )
+
+
+@pytest.mark.parametrize("seed", [7, 11])
+@async_test
+async def test_deadline_expiry_under_chaos_cuts_flight_dump(seed):
+    fault_metrics = MetricsRegistry()
+    schedule = SeededSchedule(seed, rates=mild_rates(), warmup=4, max_faults=50)
+    injector = FaultInjector(schedule, metrics=fault_metrics)
+
+    with tempfile.TemporaryDirectory(prefix="clam-chaos-flight-") as flight_dir:
+        server = ClamServer(flight_dir=flight_dir)
+        address = await server.start(f"memory://flight-chaos-{seed}-{next(_ids)}")
+        wrapped = injector.wrap_url(address)
+        client = await ClamClient.connect(wrapped)
+        try:
+            await client.load_module("napper", NAPPER_SOURCE)
+            napper = await client.create(Napper)
+            assert await napper.ping() == "pong"
+
+            # the incident: a call that cannot meet its deadline
+            with pytest.raises((CallTimeoutError, RemoteError)):
+                with deadline_scope(0.05):
+                    await napper.nap(500)
+
+            # the dump is cut by the dispatcher, not by this test
+            await eventually(lambda: len(server.flight_dumps) >= 1)
+            path = server.flight_dumps[0]
+            assert os.path.dirname(path) == flight_dir
+            assert "deadline-expired" in os.path.basename(path)
+
+            lines = open(path, encoding="utf-8").read().splitlines()
+            header = json.loads(lines[0])
+            assert header["flight"] == 1
+            assert header["reason"] == "deadline-expired"
+            events = [json.loads(line) for line in lines[1:]]
+            incident = next(e for e in events if e["kind"] == "incident")
+            assert incident["name"] == "deadline-expired"
+            assert "nap" in incident["detail"]
+            # the frozen past includes the healthy traffic before it
+            assert any(e["kind"] == "call" for e in events)
+
+            # the audit trail agrees: an incident counter ticked and
+            # the injected faults were themselves counted
+            snapshot = server.metrics.snapshot()
+            assert snapshot[
+                "flight.incidents{reason=deadline-expired}"
+            ] >= 1.0
+        finally:
+            await client.close()
+            await server.shutdown()
+            injector.release_url()

@@ -1,5 +1,7 @@
 """Unit tests for the metrics registry and its instruments."""
 
+import math
+
 import pytest
 
 from repro.obs.metrics import (
@@ -62,11 +64,21 @@ class TestInstruments:
         h.observe(5000.0)
         assert h.quantile(0.5) == 10.0
         assert h.quantile(0.99) == 100.0
-        # the top quantile reports the observed max, not a bound
-        assert h.quantile(1.0) == 5000.0
+        # A rank landing in the overflow bucket reports the midpoint of
+        # (top bound, observed max): the true value is somewhere in
+        # that interval, and the midpoint bounds the error symmetric-
+        # ally instead of pinning to either edge.
+        assert h.quantile(1.0) == (100.0 + 5000.0) / 2
 
-    def test_histogram_empty_quantile(self):
-        assert Histogram("lat").quantile(0.5) == 0.0
+    def test_histogram_overflow_only_quantile(self):
+        h = Histogram("lat", bounds=(1.0, 10.0))
+        h.observe(70.0)
+        assert h.quantile(0.5) == (10.0 + 70.0) / 2
+
+    def test_histogram_empty_quantile_is_nan(self):
+        # NaN, not 0.0: an empty histogram has no 50th percentile, and
+        # a hard zero silently drags down any cross-node aggregation.
+        assert math.isnan(Histogram("lat").quantile(0.5))
 
     def test_histogram_rejects_unsorted_bounds(self):
         with pytest.raises(ValueError):
@@ -108,3 +120,29 @@ class TestRegistry:
 
     def test_render_empty(self):
         assert "(none recorded)" in MetricsRegistry().render()
+
+
+class TestLabels:
+    def test_labels_intern_one_instrument_per_label_set(self):
+        reg = MetricsRegistry()
+        a = reg.counter("flow.credit.stalls", channel="rpc")
+        b = reg.counter("flow.credit.stalls", channel="rpc")
+        assert a is b
+        assert a.name == "flow.credit.stalls{channel=rpc}"
+        assert reg.counter("flow.credit.stalls", channel="upcall") is not a
+
+    def test_labels_are_order_insensitive(self):
+        reg = MetricsRegistry()
+        assert reg.gauge("g", a=1, b=2) is reg.gauge("g", b=2, a=1)
+
+    def test_unlabeled_name_is_untouched(self):
+        reg = MetricsRegistry()
+        assert reg.counter("plain").name == "plain"
+
+    def test_labeled_instruments_flatten_into_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("cluster.pool.calls", service="kv").inc(2)
+        reg.histogram("lat", channel="rpc").observe(5.0)
+        snap = reg.snapshot()
+        assert snap["cluster.pool.calls{service=kv}"] == 2.0
+        assert snap["lat{channel=rpc}.count"] == 1.0

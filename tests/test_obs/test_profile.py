@@ -1,0 +1,139 @@
+"""Unit and integration tests for the per-layer profiler."""
+
+import itertools
+from typing import Callable
+
+from repro import ClamClient, ClamServer, RemoteInterface
+from repro.obs import HOST_LAYER, LayerProfiler, current_layer, layer_scope
+from repro.obs.profile import reset_layer, set_layer
+from tests.support import async_test, eventually
+
+_ids = itertools.count(1)
+
+
+class TestLayerContext:
+    def test_default_is_empty(self):
+        assert current_layer() == ""
+
+    def test_scope_sets_and_restores(self):
+        with layer_scope("wm.Window"):
+            assert current_layer() == "wm.Window"
+            with layer_scope("inner"):
+                assert current_layer() == "inner"
+            assert current_layer() == "wm.Window"
+        assert current_layer() == ""
+
+    def test_raw_token_api(self):
+        token = set_layer("raw")
+        assert current_layer() == "raw"
+        reset_layer(token)
+        assert current_layer() == ""
+
+
+class TestLayerProfiler:
+    def test_record_call_accumulates(self):
+        profiler = LayerProfiler()
+        profiler.record_call("wm.Window", 100.0, 3, 10)
+        profiler.record_call("wm.Window", 300.0, 1, 0, True)
+        layers = profiler.layers()
+        stats = layers["wm.Window"]
+        assert stats["calls"] == 2.0
+        assert stats["errors"] == 1.0
+        assert stats["call_us_total"] == 400.0
+        assert stats["call_us_mean"] == 200.0
+        assert stats["bytes_in"] == 4.0
+        assert stats["bytes_out"] == 10.0
+
+    def test_empty_layer_falls_to_host(self):
+        profiler = LayerProfiler()
+        profiler.record_call("", 50.0)
+        profiler.record_upcall("", 80.0, 12)
+        assert set(profiler.layers()) == {HOST_LAYER}
+
+    def test_record_upcall_accumulates(self):
+        profiler = LayerProfiler()
+        profiler.record_upcall("fanout.ticks", 500.0, 64)
+        profiler.record_upcall("fanout.ticks", 700.0, 64)
+        stats = profiler.layers()["fanout.ticks"]
+        assert stats["upcalls"] == 2.0
+        assert stats["upcall_rtt_us_mean"] == 600.0
+        assert stats["upcall_bytes"] == 128.0
+
+    def test_snapshot_flattens_and_parses_back(self):
+        """Layer names may contain dots; metric names never do."""
+        profiler = LayerProfiler()
+        profiler.record_call("wm.base.Window", 10.0)
+        snapshot = profiler.snapshot()
+        key = "wm.base.Window.calls"
+        assert snapshot[key] == 1.0
+        layer, metric = key.rsplit(".", 1)
+        assert layer == "wm.base.Window" and metric == "calls"
+
+
+class Echo(RemoteInterface):
+    __clam_class__ = "profile.echo"
+
+    def echo(self, value: str) -> str: ...
+
+
+class EchoImpl(Echo):
+    def echo(self, value: str) -> str:
+        return value
+
+
+class Notifier(RemoteInterface):
+    __clam_class__ = "profile.notifier"
+
+    def register(self, proc: Callable[[str], None]) -> bool: ...
+
+
+class NotifierImpl(Notifier):
+    """A layer whose call performs a distributed upcall: the upcall's
+    RTT must be attributed to *this* layer, not the session below."""
+
+    async def register(self, proc: Callable[[str], None]) -> bool:
+        await proc("hello")
+        return True
+
+
+class TestServerIntegration:
+    @async_test
+    async def test_profile_rpc_attributes_calls_to_class(self):
+        server = ClamServer()
+        server.publish("echo", EchoImpl())
+        address = await server.start(f"memory://profile-{next(_ids)}")
+        client = await ClamClient.connect(address)
+        try:
+            proxy = await client.lookup(Echo, "echo")
+            for _ in range(3):
+                await proxy.echo("x")
+            profile = await client.server_profile()
+            assert profile["EchoImpl.calls"] == 3.0
+            assert profile["EchoImpl.call_us_total"] > 0.0
+            # the builtin interface's own calls are attributed too
+            assert profile["clam.server.calls"] >= 1.0
+        finally:
+            await client.close()
+            await server.shutdown()
+
+    @async_test
+    async def test_upcall_rtt_attributed_to_calling_layer(self):
+        server = ClamServer(degrade_upcalls=True)
+        server.publish("notifier", NotifierImpl())
+        address = await server.start(f"memory://profile-{next(_ids)}")
+        client = await ClamClient.connect(address)
+        try:
+            got = []
+            proxy = await client.lookup(Notifier, "notifier")
+            await proxy.register(got.append)
+            await eventually(lambda: got == ["hello"])
+            await eventually(
+                lambda: server.profiler.layers()
+                .get("NotifierImpl", {})
+                .get("upcalls", 0.0) >= 1.0
+            )
+            stats = server.profiler.layers()["NotifierImpl"]
+            assert stats["upcall_rtt_us_total"] > 0.0
+        finally:
+            await client.close()
+            await server.shutdown()

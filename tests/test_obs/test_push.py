@@ -1,0 +1,174 @@
+"""The telemetry push plane: hub, collector, and cluster e2e."""
+
+import itertools
+import math
+
+import pytest
+
+from repro import ClamClient, ClamServer
+from repro.cluster import Advertiser, DirectoryServer
+from repro.obs.push import TELEMETRY_SERVICE, Collector, TelemetryInterface
+from tests.support import async_test, eventually
+
+_ids = itertools.count(1)
+
+
+class TestCollectorIngest:
+    def test_aggregates_across_nodes(self):
+        collector = Collector()
+        collector.ingest("a", 1, {"calls": 2.0, "telemetry.seq": 1.0})
+        collector.ingest("b", 1, {"calls": 3.0, "other": 1.0})
+        total = collector.aggregate()
+        assert total["calls"] == 5.0
+        assert total["other"] == 1.0
+        assert "telemetry.seq" not in total
+
+    def test_aggregate_skips_non_finite(self):
+        collector = Collector()
+        collector.ingest("a", 1, {"lat.p50": math.nan, "ok": 1.0})
+        assert collector.aggregate() == {"ok": 1.0}
+
+    def test_stale_and_duplicate_pushes_dropped(self):
+        collector = Collector()
+        collector.ingest("a", 5, {"calls": 10.0})
+        collector.ingest("a", 5, {"calls": 99.0})   # duplicate
+        collector.ingest("a", 3, {"calls": 99.0})   # reordered/stale
+        assert collector.stale_pushes == 2
+        assert collector.value("a", "calls") == 10.0
+        assert collector.pushes_received == 1
+
+    def test_rate_differences_successive_snapshots(self):
+        collector = Collector()
+        collector.ingest("a", 1, {"calls": 10.0, "telemetry.ts": 100.0})
+        collector.ingest("a", 2, {"calls": 40.0, "telemetry.ts": 103.0})
+        assert collector.rate("a", "calls") == pytest.approx(10.0)
+        assert collector.rate("a", "missing") == 0.0
+        assert collector.rate("ghost", "calls") == 0.0
+
+    def test_rate_needs_two_snapshots(self):
+        collector = Collector()
+        collector.ingest("a", 1, {"calls": 10.0, "telemetry.ts": 100.0})
+        assert collector.rate("a", "calls") == 0.0
+
+
+class TestHub:
+    @async_test
+    async def test_subscribe_pushes_first_snapshot_immediately(self):
+        server = ClamServer(degrade_upcalls=True)
+        address = await server.start(f"memory://push-{next(_ids)}")
+        server.enable_telemetry(node="alpha", interval=30.0)
+        client = await ClamClient.connect(address)
+        try:
+            collector = Collector()
+            name = await collector.attach(address)
+            assert name == "alpha"
+            # no interval has elapsed, yet the first snapshot arrives
+            await eventually(lambda: collector.pushes_received >= 1)
+            assert collector.value("alpha", "telemetry.seq") >= 1.0
+            await collector.close()
+        finally:
+            await client.close()
+            await server.shutdown()
+
+    @async_test
+    async def test_periodic_pushes_and_unsubscribe(self):
+        server = ClamServer(degrade_upcalls=True)
+        address = await server.start(f"memory://push-{next(_ids)}")
+        server.enable_telemetry(node="beta", interval=0.05)
+        try:
+            collector = Collector()
+            await collector.attach(address)
+            await eventually(lambda: collector.pushes_received >= 3)
+            assert collector.value("beta", "telemetry.interval_s") == 0.05
+            await collector.close()
+            hub = server.telemetry
+            await eventually(lambda: hub.subscriber_count == 0)
+        finally:
+            await server.shutdown()
+
+    @async_test
+    async def test_pull_fallback(self):
+        server = ClamServer()
+        address = await server.start(f"memory://push-{next(_ids)}")
+        server.enable_telemetry(node="gamma")
+        client = await ClamClient.connect(address)
+        try:
+            hub = await client.lookup(TelemetryInterface, TELEMETRY_SERVICE)
+            snapshot = await hub.pull()
+            assert snapshot["telemetry.sessions"] >= 1.0
+            assert await hub.node() == "gamma"
+        finally:
+            await client.close()
+            await server.shutdown()
+
+    @async_test
+    async def test_enable_telemetry_is_idempotent(self):
+        import asyncio
+
+        server = ClamServer()
+        await server.start(f"memory://push-{next(_ids)}")
+        try:
+            first = server.enable_telemetry(node="x")
+            second = server.enable_telemetry(node="ignored")
+            assert first is second
+            await asyncio.sleep(0)  # let the pusher task get scheduled
+        finally:
+            await server.shutdown()
+
+
+class TestClusterE2E:
+    @async_test
+    async def test_collector_receives_pushes_from_three_replicas(self):
+        """The acceptance scenario: a directory full of replicas, each
+        pushing telemetry; one collector aggregates all of them."""
+        run = next(_ids)
+        directory = DirectoryServer()
+        directory_url = await directory.start(f"memory://push-dir-{run}")
+        servers, advertisers = [], []
+        try:
+            for i in range(3):
+                url = f"memory://push-{run}-replica-{i}"
+                server = ClamServer(degrade_upcalls=True)
+                await server.start(url)
+                server.enable_telemetry(node=f"replica-{i}", interval=0.05)
+                advertiser = Advertiser.for_server(
+                    directory_url, "kv", server, url,
+                    lease=5.0, interval=0.05,
+                )
+                await advertiser.start()
+                servers.append(server)
+                advertisers.append(advertiser)
+
+            collector = Collector()
+            names = await collector.attach_directory(directory_url, "kv")
+            assert sorted(names) == [
+                "replica-0", "replica-1", "replica-2"
+            ]
+            # every replica pushes: at least two rounds from each
+            await eventually(
+                lambda: all(
+                    state.received >= 2
+                    for state in collector.nodes.values()
+                ) and len(collector.nodes) == 3,
+                timeout=10.0,
+            )
+            # every node reached at least seq 2 and the aggregate sums
+            # finite, non-meta keys across all three snapshots
+            for i in range(3):
+                assert collector.value(f"replica-{i}", "telemetry.seq") >= 2.0
+            total = collector.aggregate()
+            assert total and all(math.isfinite(v) for v in total.values())
+            assert not any(k.startswith("telemetry.") for k in total)
+            await collector.close()
+            # unsubscribing quiesces every hub
+            await eventually(
+                lambda: all(
+                    s.telemetry.subscriber_count == 0 for s in servers
+                )
+            )
+        finally:
+            for advertiser in advertisers:
+                await advertiser.stop()
+            for server in servers:
+                await server.shutdown()
+            await directory.shutdown()

@@ -1,0 +1,168 @@
+"""Unit and integration tests for the upcall-pipeline stage clocks."""
+
+import itertools
+import math
+from typing import Callable
+
+import pytest
+
+from repro import ClamClient, ClamServer
+from repro.cluster import UpcallGroup
+from repro.obs import (
+    ALL_STAGES,
+    PIPELINE_STAGES,
+    StageTimer,
+    merge_stage,
+    stage_budgets,
+    stage_metric,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.stubs import RemoteInterface
+from tests.support import async_test, eventually
+
+_ids = itertools.count(1)
+
+
+class TestStageTimer:
+    def test_stage_metric_names(self):
+        assert stage_metric("gate") == "upcall.stage.gate_us"
+        assert stage_metric("gate", "x") == "x.gate_us"
+
+    def test_observations_land_in_registry(self):
+        registry = MetricsRegistry()
+        timer = StageTimer(registry)
+        timer.observe("gate", 12.0)
+        timer.observe("gate", 14.0)
+        hist = registry.histogram(stage_metric("gate"))
+        assert hist.count == 2
+        assert hist.total == 26.0
+
+    def test_timers_on_one_registry_share_instruments(self):
+        registry = MetricsRegistry()
+        a, b = StageTimer(registry), StageTimer(registry)
+        a.observe("queue", 5.0)
+        b.observe("queue", 7.0)
+        assert registry.histogram(stage_metric("queue")).count == 2
+
+    def test_instrument_returns_the_cached_histogram(self):
+        registry = MetricsRegistry()
+        timer = StageTimer(registry)
+        hist = timer.instrument("write")
+        assert hist is registry.histogram(stage_metric("write"))
+        hist.observe(3.0)
+        assert registry.histogram(stage_metric("write")).count == 1
+
+    def test_all_stages_preresolved(self):
+        registry = MetricsRegistry()
+        StageTimer(registry)
+        snapshot = registry.snapshot()
+        for stage in ALL_STAGES:
+            assert f"{stage_metric(stage)}.count" in snapshot
+        assert set(PIPELINE_STAGES) < set(ALL_STAGES)
+
+
+class TestMerging:
+    def test_merge_across_registries(self):
+        server_side, client_side = MetricsRegistry(), MetricsRegistry()
+        StageTimer(server_side).observe("gate", 10.0)
+        StageTimer(client_side).observe("gate", 30.0)
+        merged = merge_stage([server_side, client_side], "gate")
+        assert merged.count == 2
+        assert merged.mean == 20.0
+        assert merged.max == 30.0
+
+    def test_merge_rejects_differing_bounds(self):
+        registry = MetricsRegistry()
+        registry.histogram(stage_metric("gate"), bounds=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            merge_stage([registry], "gate")
+
+    def test_stage_budgets_shape(self):
+        registry = MetricsRegistry()
+        timer = StageTimer(registry)
+        for stage in ALL_STAGES:
+            timer.observe(stage, 100.0)
+        budgets = stage_budgets([registry])
+        assert set(budgets) == set(ALL_STAGES)
+        for stats in budgets.values():
+            assert stats["count"] == 1.0
+            assert stats["mean_us"] == 100.0
+            assert math.isfinite(stats["p50_us"])
+            assert math.isfinite(stats["p95_us"])
+
+    def test_stage_budgets_empty_quantiles_are_nan(self):
+        budgets = stage_budgets([MetricsRegistry()])
+        for stats in budgets.values():
+            assert stats["count"] == 0.0
+            assert math.isnan(stats["p50_us"])
+
+
+class Hub(RemoteInterface):
+    __clam_local__ = ("arm",)
+
+    def __init__(self):
+        self.group = None
+
+    def arm(self, metrics) -> None:
+        self.group = UpcallGroup("stages", queue_limit=64, metrics=metrics)
+
+    def join(self, proc: Callable[[str], None]) -> int:
+        return self.group.subscribe(proc)
+
+
+class TestPipelineIntegration:
+    @async_test
+    async def test_delivery_populates_every_stage(self):
+        """One fan-out delivery must tick every named stage clock."""
+        server = ClamServer(degrade_upcalls=True)
+        hub = Hub()
+        hub.arm(server.metrics)
+        server.publish("hub", hub)
+        address = await server.start(f"memory://stages-{next(_ids)}")
+        client = await ClamClient.connect(address)
+        try:
+            seen = []
+            proxy = await client.lookup(Hub, "hub")
+            await proxy.join(seen.append)
+            hub.group.post("event")
+            await hub.group.flush(timeout=10.0)
+            await eventually(lambda: len(seen) == 1)
+
+            registries = [server.metrics, client.metrics]
+            budgets = stage_budgets(registries)
+            for stage in PIPELINE_STAGES:
+                assert budgets[stage]["count"] >= 1.0, stage
+            # server-side stages live in the server's registry,
+            # dispatch in the client's
+            assert server.metrics.histogram(
+                stage_metric("gate")
+            ).count >= 1
+            assert client.metrics.histogram(
+                stage_metric("dispatch")
+            ).count >= 1
+        finally:
+            await client.close()
+            await server.shutdown()
+
+    @async_test
+    async def test_handler_stage_clocks_ruc_execution(self):
+        server = ClamServer(degrade_upcalls=True)
+        hub = Hub()
+        hub.arm(server.metrics)
+        server.publish("hub", hub)
+        address = await server.start(f"memory://stages-{next(_ids)}")
+        client = await ClamClient.connect(address)
+        try:
+            done = []
+            proxy = await client.lookup(Hub, "hub")
+            await proxy.join(done.append)
+            hub.group.post("x")
+            await hub.group.flush(timeout=10.0)
+            await eventually(
+                lambda: client.metrics.histogram(
+                    stage_metric("handler")
+                ).count >= 1
+            )
+        finally:
+            await client.close()
+            await server.shutdown()

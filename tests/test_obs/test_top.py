@@ -1,0 +1,95 @@
+"""The telemetry console: rendering and the in-process run loop."""
+
+import itertools
+import io
+
+import pytest
+
+from repro import ClamServer
+from repro.obs.push import Collector
+from repro.obs.top import parse_args, render, run
+from tests.support import async_test
+
+_ids = itertools.count(1)
+
+
+class TestRender:
+    def test_empty_collector(self):
+        frame = render(Collector())
+        assert "0 node(s), 0 push(es), 0 stale" in frame
+        assert "node" in frame and "calls/s" in frame
+
+    def test_one_row_per_node_sorted(self):
+        collector = Collector()
+        collector.ingest("zeta", 1, {"flow.queue_wait_us.p95": 42.0})
+        collector.ingest("alpha", 1, {})
+        lines = render(collector).splitlines()
+        assert lines[0].startswith("telemetry: 2 node(s), 2 push(es)")
+        assert lines[2].startswith("alpha")
+        assert lines[3].startswith("zeta")
+        assert "42.0" in lines[3]
+
+    def test_incident_column_sums_labeled_counters(self):
+        collector = Collector()
+        collector.ingest("n", 1, {
+            "flight.incidents{reason=deadline-expired}": 2.0,
+            "flight.incidents{reason=upcall-error}": 3.0,
+        })
+        row = render(collector).splitlines()[-1]
+        assert row.split()[-1] == "5"
+
+
+class TestRun:
+    @async_test
+    async def test_once_against_live_server(self):
+        server = ClamServer(degrade_upcalls=True)
+        address = await server.start(f"memory://top-{next(_ids)}")
+        server.enable_telemetry(node="live-node")
+        out = io.StringIO()
+        try:
+            code = await run(
+                [address], once=True,
+                out=lambda s: out.write(s + "\n"),
+            )
+            assert code == 0
+            frame = out.getvalue()
+            assert "live-node" in frame
+            assert "1 node(s)" in frame
+        finally:
+            await server.shutdown()
+
+    @async_test
+    async def test_bounded_frames(self):
+        server = ClamServer(degrade_upcalls=True)
+        address = await server.start(f"memory://top-{next(_ids)}")
+        server.enable_telemetry(node="n", interval=0.05)
+        frames = []
+        try:
+            code = await run(
+                [address], frames=3, interval=0.05, out=frames.append,
+            )
+            assert code == 0
+            assert len(frames) == 3
+        finally:
+            await server.shutdown()
+
+    @async_test
+    async def test_nothing_to_attach_is_exit_2(self):
+        out = io.StringIO()
+        code = await run([], out=lambda s: out.write(s))
+        assert code == 2
+        assert "nothing to attach" in out.getvalue()
+
+
+class TestArgs:
+    def test_urls(self):
+        args = parse_args(["tcp://h:1", "--once"])
+        assert args.urls == ["tcp://h:1"] and args.once
+
+    def test_directory_requires_service(self):
+        with pytest.raises(SystemExit):
+            parse_args(["--directory", "tcp://d:1"])
+
+    def test_no_target_errors(self):
+        with pytest.raises(SystemExit):
+            parse_args([])
