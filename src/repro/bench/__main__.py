@@ -12,9 +12,11 @@ Usage::
     python -m repro.bench fanout     # cluster fan-out: 1 publisher, N subscribers
     python -m repro.bench overload   # open-loop overload, with/without admission
     python -m repro.bench pipeline   # fan-out latency decomposed into stage budgets
+    python -m repro.bench pipelined  # sync calls: sequential vs in-flight window
 
     python -m repro.bench --json BENCH_rpc.json           # perf record
     python -m repro.bench --json BENCH_rpc.json --quick   # CI smoke mode
+    python -m repro.bench --uvloop fanout                 # same, on uvloop
 """
 
 from __future__ import annotations
@@ -31,6 +33,7 @@ from repro.bench import (
     fig51,
     overload_bench,
     pipeline_bench,
+    pipelined_bench,
     sweep_bench,
     tasks_bench,
     upcall_bench,
@@ -38,7 +41,7 @@ from repro.bench import (
 
 SUITES = (
     "fig51", "batching", "bundlers", "sweep", "tasks", "upcalls", "arq",
-    "fanout", "overload", "pipeline",
+    "fanout", "overload", "pipeline", "pipelined",
 )
 
 
@@ -61,7 +64,18 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="with --json: fewer repeats, for CI smoke runs",
     )
+    parser.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="run on uvloop (requires the optional repro[uvloop] extra)",
+    )
     args = parser.parse_args(argv)
+
+    if args.uvloop:
+        from repro.ipc import install_uvloop, loop_mode
+
+        install_uvloop(strict=True)
+        print(f"event loop: {loop_mode()}", flush=True)
 
     if args.json:
         from repro.bench import perf_record
@@ -95,6 +109,8 @@ def main(argv: list[str] | None = None) -> int:
                 overload_bench.main(base_dir)
             elif suite == "pipeline":
                 pipeline_bench.main(base_dir)
+            elif suite == "pipelined":
+                pipelined_bench.main()
     return 0
 
 

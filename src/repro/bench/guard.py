@@ -1,0 +1,98 @@
+"""Perf regression guard for CI.
+
+Runs the benchmark suite in quick mode and compares the hot-path
+numbers against the committed ``BENCH_rpc.json`` baseline::
+
+    python -m repro.bench.guard BENCH_rpc.json
+
+Exit status 1 when a guarded metric regressed past its threshold.
+The guard is deliberately loose (default 2x) because CI machines are
+shared and quick mode is noisy: it will not catch a 20% drift, but it
+*will* catch the class of bug this repo has actually had — a fan-out
+path that quietly went per-event serial again and got an order of
+magnitude slower.  Lower-is-better metrics only; throughput metrics
+are too machine-dependent to gate on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+
+#: (section, benchmark, metric) guarded against *increase*.
+GUARDED_METRICS: tuple[tuple[str, str, str], ...] = (
+    ("fanout", "fanout_subs_1", "p50_delivery_us"),
+    ("fanout", "fanout_subs_50", "p50_delivery_us"),
+)
+
+
+def check(
+    baseline: dict, current: dict, *, threshold: float = 2.0
+) -> list[str]:
+    """Failures, as human-readable lines; empty means the guard passes.
+
+    A metric missing from the baseline is skipped (the baseline
+    predates it); a metric missing from the current run is itself a
+    failure (the benchmark silently disappeared).
+    """
+    failures: list[str] = []
+    for section, bench, metric in GUARDED_METRICS:
+        base = baseline.get(section, {}).get(bench, {}).get(metric)
+        if base is None:
+            continue
+        now = current.get(section, {}).get(bench, {}).get(metric)
+        if now is None:
+            failures.append(f"{bench}.{metric}: missing from current run")
+            continue
+        if base > 0 and now > base * threshold:
+            failures.append(
+                f"{bench}.{metric}: {now:.1f} vs baseline {base:.1f} "
+                f"({now / base:.1f}x, threshold {threshold:g}x)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.guard",
+        description="Fail when hot-path benchmarks regress vs a baseline.",
+    )
+    parser.add_argument(
+        "baseline", metavar="BASELINE_JSON",
+        help="committed perf record to compare against (BENCH_rpc.json)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=2.0, metavar="X",
+        help="fail when a guarded metric exceeds baseline * X (default 2)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+
+    from repro.bench import perf_record
+
+    with tempfile.NamedTemporaryFile(
+        mode="w", suffix=".json", prefix="bench-guard-", delete=False
+    ) as fh:
+        current = perf_record.write_record(fh.name, quick=True)
+
+    failures = check(baseline, current, threshold=args.threshold)
+    if failures:
+        print("bench-guard: FAIL", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    checked = sum(
+        1
+        for section, bench, metric in GUARDED_METRICS
+        if baseline.get(section, {}).get(bench, {}).get(metric) is not None
+    )
+    print(f"bench-guard: OK ({checked} guarded metrics within threshold)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -119,6 +119,12 @@ def _measure(fn: Callable[[], None], repeats: int) -> dict[str, float]:
     }
 
 
+def _loop_mode() -> str:
+    from repro.ipc import loop_mode
+
+    return loop_mode()
+
+
 def _git_sha() -> str:
     try:
         out = subprocess.run(
@@ -161,6 +167,15 @@ def _collect_pipeline(quick: bool) -> dict[str, dict[str, float]]:
 
     with tempfile.TemporaryDirectory(prefix="clam-pipeline-") as base_dir:
         return asyncio.run(pipeline_bench.record(base_dir, quick=quick))
+
+
+def _collect_pipelined(quick: bool) -> dict[str, dict[str, float]]:
+    """Pipelined sync calls: sequential vs in-flight windows."""
+    import asyncio
+
+    from repro.bench import pipelined_bench
+
+    return asyncio.run(pipelined_bench.record(quick=quick))
 
 
 def _collect_telemetry_overhead(quick: bool) -> dict[str, float]:
@@ -238,6 +253,7 @@ def collect(quick: bool = False) -> dict[str, Any]:
     fanout = _collect_fanout(quick)
     overload = _collect_overload(quick)
     pipeline = _collect_pipeline(quick)
+    pipelined_call = _collect_pipelined(quick)
     telemetry_overhead = _collect_telemetry_overhead(quick)
 
     def speedup(kind: str) -> float:
@@ -251,11 +267,13 @@ def collect(quick: bool = False) -> dict[str, Any]:
         "date": datetime.datetime.now(datetime.timezone.utc)
         .isoformat(timespec="seconds"),
         "python": platform.python_version(),
+        "loop": _loop_mode(),
         "quick": quick,
         "benchmarks": benchmarks,
         "fanout": fanout,
         "overload": overload,
         "pipeline": pipeline,
+        "pipelined_call": pipelined_call,
         "telemetry_overhead": telemetry_overhead,
         "derived": {
             "compiled_speedup_point": speedup("point"),
@@ -287,6 +305,9 @@ def write_record(path: str, quick: bool = False) -> dict[str, Any]:
         print(f"  {name:<{width}}  total {stats['total_mean_us']:>9.1f}us  "
               f"stages {stats['stage_sum_mean_us']:>9.1f}us  "
               f"coverage {stats['coverage_mean']:>5.0%}")
+    for name, stats in record.get("pipelined_call", {}).items():
+        print(f"  {name:<{width}}  {stats['calls_per_sec']:>9.0f} calls/s  "
+              f"{stats['speedup_vs_seq']:>5.1f}x vs sequential")
     overhead = record.get("telemetry_overhead")
     if overhead:
         print(f"  {'telemetry_overhead':<{width}}  "

@@ -1,0 +1,137 @@
+"""Pipelined synchronous calls: sequential vs in-flight window.
+
+A sequence of synchronous calls pays one round trip each; the
+:class:`~repro.rpc.CallPipeline` keeps ``depth`` of them in flight on
+the same channel (replies match by serial, out of order), so N
+independent calls cost about ``N/depth`` round trips.  The effect is
+invisible on a loopback socket — the round trip *is* the dispatch — so
+this benchmark runs over the ``wan://`` transport, whose injected
+one-way delay reproduces the paper's "processes on different machines"
+row (Figure 5.1): with real wire latency in the loop, pipelining is
+the difference between latency-bound and throughput-bound.
+
+Reported: calls/second sequential, calls/second pipelined at each
+depth, and the speedup.  The expected shape is speedup ≈ depth until
+the channel saturates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.client import ClamClient
+from repro.rpc import CallPipeline
+from repro.server import ClamServer
+from repro.stubs import RemoteInterface
+
+#: Injected one-way wire delay (seconds) — the Figure 5.1 WAN row's
+#: scale.  Big enough to dominate dispatch cost, small enough that a
+#: bench case finishes in well under a second.
+ONE_WAY_DELAY = 0.002
+
+DEPTHS = (4, 16)
+
+ECHO_SOURCE = '''
+from repro.stubs import RemoteInterface
+
+
+class Echo(RemoteInterface):
+    def echo(self, value: int) -> int:
+        return value
+'''
+
+
+class Echo(RemoteInterface):
+    def echo(self, value: int) -> int: ...
+
+
+@dataclass
+class PipelinedResult:
+    depth: int          # 1 = sequential
+    calls: int
+    elapsed_s: float
+
+    @property
+    def calls_per_sec(self) -> float:
+        return self.calls / self.elapsed_s if self.elapsed_s else 0.0
+
+
+async def _run_case(proxy, depth: int, n_calls: int) -> PipelinedResult:
+    start = time.perf_counter()
+    if depth == 1:
+        for i in range(n_calls):
+            assert await proxy.echo(i) == i
+    else:
+        pipe = CallPipeline(depth)
+        for i in range(n_calls):
+            pipe.submit(proxy.echo(i))
+        results = await pipe.gather()
+        assert results == list(range(n_calls))
+    elapsed = time.perf_counter() - start
+    return PipelinedResult(depth=depth, calls=n_calls, elapsed_s=elapsed)
+
+
+async def run(*, n_calls: int = 64, depths=DEPTHS) -> list[PipelinedResult]:
+    server = ClamServer()
+    address = await server.start(f"wan://127.0.0.1:0?delay={ONE_WAY_DELAY}")
+    address = "wan://" + address.removeprefix("tcp://") + f"?delay={ONE_WAY_DELAY}"
+    client = await ClamClient.connect(address)
+    try:
+        await client.load_module("echo", ECHO_SOURCE)
+        service = await client.create(Echo)
+        # Warm the path (bundler plans, dispatch caches) off-clock.
+        await service.echo(0)
+
+        results = [await _run_case(service, 1, n_calls)]
+        for depth in depths:
+            results.append(await _run_case(service, depth, n_calls))
+        return results
+    finally:
+        await client.close()
+        await server.shutdown()
+
+
+async def record(quick: bool = False) -> dict[str, dict[str, float]]:
+    """The machine-readable slice for ``BENCH_rpc.json``."""
+    n_calls = 32 if quick else 64
+    results = await run(n_calls=n_calls)
+    sequential = results[0]
+    out: dict[str, dict[str, float]] = {}
+    for result in results:
+        name = (
+            "pipelined_call_seq"
+            if result.depth == 1
+            else f"pipelined_call_depth_{result.depth}"
+        )
+        out[name] = {
+            "calls": result.calls,
+            "calls_per_sec": round(result.calls_per_sec, 1),
+            "elapsed_ms": round(result.elapsed_s * 1e3, 2),
+            "speedup_vs_seq": round(
+                result.calls_per_sec / sequential.calls_per_sec, 2
+            )
+            if sequential.calls_per_sec
+            else 0.0,
+        }
+    return out
+
+
+def main() -> None:
+    print("== pipelined sync calls: sequential vs in-flight window ==")
+    print(f"   (wan:// transport, {ONE_WAY_DELAY * 1e3:g}ms one-way delay)")
+    results = asyncio.run(run())
+    sequential = results[0]
+    print(f"{'depth':>6} {'calls':>6} {'calls/s':>9} {'speedup':>8}")
+    for result in results:
+        speedup = (
+            result.calls_per_sec / sequential.calls_per_sec
+            if sequential.calls_per_sec
+            else 0.0
+        )
+        label = "seq" if result.depth == 1 else str(result.depth)
+        print(
+            f"{label:>6} {result.calls:>6} "
+            f"{result.calls_per_sec:>9.0f} {speedup:>7.1f}x"
+        )

@@ -66,6 +66,14 @@ class UpcallService:
         self._max_active = max_active
         self._slots = Slots(max_active)
         self._handlers: set[asyncio.Task] = set()
+        # Sequential mode reads eagerly and drains this backlog on one
+        # task: the reader stamps honest arrival times (a coalesced
+        # batch lands all at once) while the single drainer preserves
+        # the §4.4 handle-reply-block discipline.
+        self._backlog: collections.deque[tuple[UpcallMessage, float]] = (
+            collections.deque()
+        )
+        self._drainer: asyncio.Task | None = None
         self._ledger: CreditLedger | None = None
         # Serials recently accepted, the upcall mirror of the server
         # dispatcher's duplicate cache: a frame duplicated in flight
@@ -136,9 +144,12 @@ class UpcallService:
 
     async def close(self) -> None:
         await self._channel.close()
-        for task in list(self._handlers):
+        tasks = list(self._handlers)
+        if self._drainer is not None and not self._drainer.done():
+            tasks.append(self._drainer)
+        for task in tasks:
             task.cancel()
-        for task in list(self._handlers):
+        for task in tasks:
             try:
                 await task
             except (asyncio.CancelledError, Exception):
@@ -174,8 +185,17 @@ class UpcallService:
                     time.perf_counter() if self._stages is not None else 0.0
                 )
                 if self._max_active == 1:
-                    # The paper's discipline: handle, reply, block again.
-                    await self._handle(message, received_at=received_at)
+                    # The paper's discipline — handle, reply, block
+                    # again — lives in the single drainer task; the
+                    # reader keeps consuming so a coalesced batch's
+                    # frames get arrival stamps when they *arrive*,
+                    # not when their turn comes (the wait in between
+                    # is the dispatch stage).
+                    self._backlog.append((message, received_at))
+                    if self._drainer is None or self._drainer.done():
+                        self._drainer = asyncio.get_running_loop().create_task(
+                            self._drain_backlog()
+                        )
                 else:
                     task = asyncio.get_running_loop().create_task(
                         self._handle_guarded(message, received_at=received_at)
@@ -184,6 +204,12 @@ class UpcallService:
                     task.add_done_callback(self._handlers.discard)
         except ConnectionClosedError:
             return
+
+    async def _drain_backlog(self) -> None:
+        """Sequential-mode worker: one upcall at a time, FIFO."""
+        while self._backlog:
+            message, received_at = self._backlog.popleft()
+            await self._handle(message, received_at=received_at)
 
     def accept(self, message: UpcallMessage, reply_channel: MessageChannel | None = None) -> None:
         """Entry point for upcalls arriving on a *shared* stream.

@@ -10,7 +10,18 @@ stream, without ever blocking the publisher on the slowest client:
   the publisher from delivery;
 - one pump task per subscriber drains its queue in order, preserving
   the per-connection ordering guarantee subscribers already get from
-  single RUCs;
+  single RUCs.  The pump is *batched*: each wakeup drains the whole
+  backlog (:meth:`~repro.flow.BoundedQueue.pop_all`) and, when the
+  subscriber is a :class:`~repro.core.RemoteUpcall` whose session
+  supports it, delivers the batch as one coalesced flush — one §4.4
+  slot, one credit-window pass, one write+drain — so per-event
+  latency tracks the wire cost instead of one scheduler round trip
+  per event;
+- events are marshalled **once** per post: each queued event carries a
+  shared cache mapping upcall signatures to bundled payload bytes and
+  frame templates, so an N-subscriber fan-out encodes the frame one
+  time and each subscriber send patches only the serial/ruc_id header
+  fields (see :func:`repro.wire.patch_upcall_frame`);
 - a subscriber whose queue overflows is handled by the group's
   ``slow_policy``: ``"drop"`` the new event for it, ``"coalesce"`` the
   backlog down to the newest event, or ``"evict"`` the subscriber
@@ -29,9 +40,7 @@ tested there.  Counters are consistently in *event* units:
 ``cluster.fanout.delivered`` / ``dropped`` / ``coalesced`` /
 ``evicted_events`` (backlog discarded when a subscriber is evicted),
 plus ``cluster.fanout.evicted_subscribers`` for the eviction count
-itself.  The old ``cluster.fanout.evicted`` name (which counted
-subscribers) is still emitted as a deprecated alias of
-``evicted_subscribers`` for one release.
+itself.
 
 The group is transport-agnostic: anything awaitable can subscribe —
 a :class:`~repro.core.RemoteUpcall`, a local coroutine function, or a
@@ -56,11 +65,39 @@ from repro.obs.stages import STAGE_ENQUEUE, STAGE_QUEUE, StageTimer
 SLOW_POLICIES = ("drop", "coalesce", "evict")
 
 
+class _Event:
+    """One posted event plus its shared encode-once caches.
+
+    A single ``_Event`` instance is offered to every subscriber queue,
+    so the caches are cross-subscriber: ``payloads`` maps an upcall
+    signature's :attr:`~repro.core.UpcallSignature.payload_key` to the
+    bundled argument bytes, and ``frames`` is handed to the session's
+    batch sender to cache encoded frame templates (keyed by version and
+    trace context there).  First subscriber pays the marshalling, the
+    other N-1 reuse the bytes.
+    """
+
+    __slots__ = ("args", "t_post", "payloads", "frames")
+
+    def __init__(self, args: tuple, t_post: float):
+        self.args = args
+        self.t_post = t_post
+        self.payloads: dict = {}
+        self.frames: dict = {}
+
+    def payload_for(self, signature) -> bytes:
+        key = signature.payload_key
+        payload = self.payloads.get(key)
+        if payload is None:
+            payload = self.payloads[key] = signature.bundle_args(self.args)
+        return payload
+
+
 class _Subscriber:
     """One registered procedure: queue, pump task, counters."""
 
     __slots__ = (
-        "key", "proc", "queue", "wakeup", "idle", "task",
+        "key", "proc", "queue", "wakeup", "idle", "parked", "task",
         "delivered", "alive",
     )
 
@@ -69,10 +106,13 @@ class _Subscriber:
     ):
         self.key = key
         self.proc = proc
-        self.queue: BoundedQueue[tuple] = BoundedQueue(limit, policy=policy)
+        self.queue: BoundedQueue[_Event] = BoundedQueue(limit, policy=policy)
         self.wakeup = asyncio.Event()
         self.idle = asyncio.Event()
         self.idle.set()
+        #: True only while the pump is blocked on ``wakeup`` — posts
+        #: skip the Event.set() dance entirely while the pump is awake.
+        self.parked = False
         self.task: asyncio.Task | None = None
         self.delivered = 0
         self.alive = True
@@ -128,11 +168,6 @@ class UpcallGroup:
         self.evicted_events = 0
         self.errors = 0
 
-    @property
-    def evicted(self) -> int:
-        """Deprecated alias of :attr:`evicted_subscribers` (one release)."""
-        return self.evicted_subscribers
-
     # -- membership ---------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -173,6 +208,7 @@ class UpcallGroup:
         subscriber.alive = False
         subscriber.queue.clear()
         subscriber.idle.set()
+        subscriber.parked = False
         subscriber.wakeup.set()  # let the pump observe alive=False and exit
         if subscriber.task is not None and not subscriber.task.done():
             subscriber.task.cancel()
@@ -193,14 +229,16 @@ class UpcallGroup:
         self.posts += 1
         enqueued = 0
         # Events carry their enqueue stamp so the pump can attribute
-        # queue wait (the dominant fan-out stage) per delivery.  The
-        # stamp rides in the queued tuple — opaque to the overflow
-        # policies, which treat entries whole.
+        # queue wait per delivery, plus the shared encode-once caches
+        # (see :class:`_Event`) — one object offered to every queue, so
+        # the first delivering subscriber marshals for all of them.
+        # Opaque to the overflow policies, which treat entries whole.
         t_post = time.perf_counter() if self._stages is not None else 0.0
+        event = _Event(args, t_post)
         for subscriber in list(self._subscribers.values()):
             if not subscriber.alive:
                 continue
-            outcome, discarded = subscriber.queue.offer((args, t_post))
+            outcome, discarded = subscriber.queue.offer(event)
             if outcome is Outcome.DROPPED:
                 self.dropped += discarded
                 if self._metrics is not None:
@@ -222,7 +260,13 @@ class UpcallGroup:
                 if self._metrics is not None:
                     self._metrics.counter("cluster.fanout.coalesced").inc(discarded)
             subscriber.idle.clear()
-            subscriber.wakeup.set()
+            # Arm the wakeup only when the pump is actually parked on
+            # it; an awake pump re-checks its queue before parking, so
+            # posts during delivery cost two attribute reads, not an
+            # Event.set() per subscriber per event.
+            if subscriber.parked:
+                subscriber.parked = False
+                subscriber.wakeup.set()
             enqueued += 1
         if self._metrics is not None:
             self._metrics.counter("cluster.fanout.posts").inc()
@@ -235,7 +279,7 @@ class UpcallGroup:
     # -- delivery -----------------------------------------------------------------
 
     async def _pump(self, subscriber: _Subscriber) -> None:
-        """Drain one subscriber's queue in order, one delivery at a time."""
+        """Drain one subscriber's queue in order, a whole batch per wakeup."""
         # Everything this pump does — deliveries, and the upcall RTTs
         # the session records under them — is attributed to this topic
         # in the per-layer profile.  One contextvar store per pump
@@ -246,13 +290,16 @@ class UpcallGroup:
                 if not subscriber.queue:
                     subscriber.idle.set()
                     subscriber.wakeup.clear()
+                    subscriber.parked = True
                     await subscriber.wakeup.wait()
                     continue
-                args, t_enq = subscriber.queue.pop()
-                if self._stages is not None and t_enq:
-                    self._stages.observe(
-                        STAGE_QUEUE, (time.perf_counter() - t_enq) * 1e6
-                    )
+                events = subscriber.queue.pop_all()
+                if self._stages is not None:
+                    now = time.perf_counter()
+                    observe = self._stages.instrument(STAGE_QUEUE).observe
+                    for event in events:
+                        if event.t_post:
+                            observe((now - event.t_post) * 1e6)
                 # Probe the delivery path first: a RUC whose session
                 # lost its channels would *degrade* the failed send to
                 # a silent no-op (void upcall + degrade_upcalls), and
@@ -267,32 +314,123 @@ class UpcallGroup:
                         ),
                     )
                     return
-                try:
-                    result = subscriber.proc(*args)
-                    if inspect.isawaitable(result):
-                        await result
-                except asyncio.CancelledError:
-                    raise
-                except (UpcallError, TransportError) as exc:
-                    # The delivery path itself is dead (client gone, no
-                    # channel): keeping the subscription only accretes
-                    # an undeliverable backlog.
-                    self._evict(subscriber, exc)
-                    return
-                except Exception as exc:
-                    # The handler raised but the path is alive; count
-                    # it, offer it to the degradation route, move on.
-                    self.errors += 1
-                    if self._metrics is not None:
-                        self._metrics.counter("cluster.fanout.errors").inc()
-                    self._offer_report(subscriber, exc)
+                batch_send = getattr(sender, "send_upcall_batch", None)
+                signature = getattr(subscriber.proc, "signature", None)
+                if batch_send is not None and signature is not None:
+                    # The hot path: one coalesced flush for the batch.
+                    if not await self._deliver_batch(
+                        subscriber, batch_send, signature, events
+                    ):
+                        return
                 else:
+                    # Local callables, bare senders: the classic one
+                    # awaited delivery per event.
+                    for event in events:
+                        if not subscriber.alive:
+                            break
+                        if not await self._deliver_one(subscriber, event):
+                            return
+        finally:
+            subscriber.idle.set()
+
+    async def _deliver_one(self, subscriber: _Subscriber, event: _Event) -> bool:
+        """One awaited delivery; returns False when the pump must exit."""
+        try:
+            result = subscriber.proc(*event.args)
+            if inspect.isawaitable(result):
+                await result
+        except asyncio.CancelledError:
+            raise
+        except (UpcallError, TransportError) as exc:
+            # The delivery path itself is dead (client gone, no
+            # channel): keeping the subscription only accretes
+            # an undeliverable backlog.
+            self._evict(subscriber, exc)
+            return False
+        except Exception as exc:
+            # The handler raised but the path is alive; count
+            # it, offer it to the degradation route, move on.
+            self.errors += 1
+            if self._metrics is not None:
+                self._metrics.counter("cluster.fanout.errors").inc()
+            self._offer_report(subscriber, exc)
+        else:
+            subscriber.delivered += 1
+            self.delivered += 1
+            if self._metrics is not None:
+                self._metrics.counter("cluster.fanout.delivered").inc()
+        return True
+
+    async def _deliver_batch(
+        self, subscriber: _Subscriber, batch_send, signature, events: list
+    ) -> bool:
+        """One coalesced flush of ``events``; False when the pump must exit.
+
+        Encode-once: each event's payload comes from its shared cache
+        (:meth:`_Event.payload_for`), and the per-event ``frames`` dict
+        rides along so the session can reuse encoded frame templates
+        across subscribers.  Failure classification mirrors the
+        per-event path: a dead delivery path evicts, a per-event
+        failure is degraded (§4.3 error port, void upcalls) or counted.
+        """
+        proc = subscriber.proc
+        callback_id = getattr(proc, "callback_id", 0)
+        try:
+            items = [(event.payload_for(signature), event.frames) for event in events]
+            outcomes = await batch_send(callback_id, items)
+        except asyncio.CancelledError:
+            raise
+        except (UpcallError, TransportError) as exc:
+            self._evict(subscriber, exc)
+            return False
+        except Exception as exc:
+            # Marshalling trouble (or a broken sender): the path is
+            # alive but the whole batch failed before any write.
+            self.errors += len(events)
+            if self._metrics is not None:
+                self._metrics.counter("cluster.fanout.errors").inc(len(events))
+            self._offer_report(subscriber, exc)
+            return True
+        for outcome in outcomes:
+            if isinstance(outcome, Exception):
+                if self._absorbed(subscriber, callback_id, signature, outcome):
+                    # Degraded to a no-op, exactly like a void
+                    # RemoteUpcall would have: counts as delivered.
                     subscriber.delivered += 1
                     self.delivered += 1
                     if self._metrics is not None:
                         self._metrics.counter("cluster.fanout.delivered").inc()
-        finally:
-            subscriber.idle.set()
+                elif isinstance(outcome, (UpcallError, TransportError)):
+                    self._evict(subscriber, outcome)
+                    return False
+                else:
+                    self.errors += 1
+                    if self._metrics is not None:
+                        self._metrics.counter("cluster.fanout.errors").inc()
+                    self._offer_report(subscriber, outcome)
+            else:
+                subscriber.delivered += 1
+                self.delivered += 1
+                if self._metrics is not None:
+                    self._metrics.counter("cluster.fanout.delivered").inc()
+        return True
+
+    def _absorbed(
+        self, subscriber: _Subscriber, callback_id: int, signature, exc: Exception
+    ) -> bool:
+        """The batch-path mirror of :class:`~repro.core.RemoteUpcall`'s
+        void-upcall degradation: offer the failure to the sender's
+        error port, absorb only if it accepts and no result is owed."""
+        if signature.result_type is not type(None):
+            return False
+        sender = getattr(subscriber.proc, "sender", None)
+        report = getattr(sender, "report_upcall_failure", None)
+        if report is None:
+            return False
+        try:
+            return bool(report(callback_id, exc))
+        except Exception:
+            return False
 
     def _evict(self, subscriber: _Subscriber, exc: Exception) -> None:
         self._subscribers.pop(subscriber.key, None)
@@ -301,8 +439,6 @@ class UpcallGroup:
         self.evicted_events += discarded
         if self._metrics is not None:
             self._metrics.counter("cluster.fanout.evicted_subscribers").inc()
-            # Deprecated alias of evicted_subscribers; drop next release.
-            self._metrics.counter("cluster.fanout.evicted").inc()
             if discarded:
                 self._metrics.counter("cluster.fanout.evicted_events").inc(discarded)
         if self._tracer is not None and self._tracer.active:
@@ -387,7 +523,6 @@ class UpcallGroup:
             "coalesced": self.coalesced,
             "evicted_subscribers": self.evicted_subscribers,
             "evicted_events": self.evicted_events,
-            "evicted": self.evicted_subscribers,  # deprecated alias
             "errors": self.errors,
             "per_subscriber": {
                 key: {

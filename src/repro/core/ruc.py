@@ -83,6 +83,21 @@ class UpcallSignature:
 
     # -- the upcall stubs ---------------------------------------------------------
 
+    @property
+    def payload_key(self) -> tuple:
+        """Identity of this signature's *encoding*, for cross-subscriber
+        payload caching.
+
+        Two signatures produce byte-identical ``bundle_args`` output iff
+        they resolved to the same bundler objects (bundlers are pure
+        functions of the value), so the key is the bundler identities —
+        per-session signatures over the same declared types share them
+        via the server's base registry, which is what lets a fan-out
+        group encode an event once for all subscribers.  Valid while the
+        signature is alive (the bundlers are strongly held).
+        """
+        return tuple(map(id, self._arg_bundlers))
+
     def bundle_args(self, args: tuple[Any, ...]) -> bytes:
         if len(args) != len(self._arg_bundlers):
             raise UpcallError(

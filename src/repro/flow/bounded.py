@@ -88,6 +88,18 @@ class BoundedQueue(Generic[T]):
         """Dequeue the oldest item; raises IndexError when empty."""
         return self._items.popleft()
 
+    def pop_all(self) -> list[T]:
+        """Dequeue the whole backlog at once, in FIFO order.
+
+        The batched-pump primitive: one wakeup drains everything that
+        accumulated, so the consumer can amortize its per-delivery
+        overhead (one credit pass, one coalesced write) across the
+        batch instead of paying it per event.
+        """
+        items = list(self._items)
+        self._items.clear()
+        return items
+
     def clear(self) -> int:
         """Discard the backlog; returns how many events it held."""
         removed = len(self._items)

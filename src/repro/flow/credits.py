@@ -236,6 +236,31 @@ class CreditGate:
         if self._stall_hist is not None:
             self._stall_hist.observe((time.perf_counter() - stalled_at) * 1e6)
 
+    async def acquire_batch(self, costs, *, nowait: bool = False) -> int:
+        """Admit a prefix of a coalesced batch in one window pass.
+
+        ``costs`` is the per-message byte cost of each message in the
+        batch, in send order.  Blocks (with the same probe loop as
+        :meth:`acquire`) until at least the *first* message is covered,
+        then greedily admits as many of the rest as the current window
+        holds — no further blocking, no per-message gate round trips.
+        Returns how many messages were admitted (>= 1); the caller
+        sends exactly that many and comes back for the remainder, so a
+        batch wider than the peer's whole window degrades to several
+        window-sized flushes instead of deadlocking.
+        """
+        if not costs:
+            return 0
+        if self._unlimited:
+            return len(costs)
+        await self.acquire(costs[0], nowait=nowait)
+        taken = 1
+        for cost in costs[1:]:
+            if not self.try_acquire(cost):
+                break
+            taken += 1
+        return taken
+
     async def _probe(self) -> None:
         if self._send_probe is None:
             return

@@ -38,6 +38,18 @@ class MessageChannel:
             [encode_message(message, version=version) for message in messages]
         )
 
+    async def send_encoded(self, frames) -> None:
+        """Send pre-encoded frame payloads in one coalesced write.
+
+        The encode-once/write-N fast path: the caller already holds
+        frame bytes (a patched upcall template, see
+        :func:`repro.wire.patch_upcall_frame`) and this skips straight
+        to the transport's single write+drain.  The caller is
+        responsible for having encoded at this channel's negotiated
+        ``protocol_version``.
+        """
+        await self._connection.send_many(frames)
+
     async def recv(self) -> Message:
         return decode_message(
             await self._connection.recv(), version=self.protocol_version

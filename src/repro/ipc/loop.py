@@ -1,0 +1,63 @@
+"""Event-loop policy selection: stock asyncio or uvloop.
+
+Everything above the transport ladder is loop-agnostic — frames are
+written through ``StreamWriter`` and awaited through futures — so
+swapping the selector event loop for uvloop's libuv-based one is a
+pure configuration choice.  On a hot fan-out path the loop *is* a
+measurable cost (wakeups, write drains, timer heap), which is why the
+benchmarks grow a ``--uvloop`` column.
+
+uvloop is an **optional** extra (``pip install repro[uvloop]``); this
+module must import, and :func:`install_uvloop` must fail softly, when
+it is absent — callers that *require* it pass ``strict=True`` and get
+the :class:`RuntimeError` with the install hint instead of a silent
+fallback.
+"""
+
+from __future__ import annotations
+
+__all__ = ["install_uvloop", "loop_mode", "uvloop_available"]
+
+
+def uvloop_available() -> bool:
+    """True when the optional uvloop extra is importable."""
+    try:
+        import uvloop  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def install_uvloop(*, strict: bool = False) -> bool:
+    """Install uvloop's event-loop policy process-wide.
+
+    Returns True on success, False when uvloop is not installed (or
+    raises :class:`RuntimeError` instead when ``strict``).  Must be
+    called before the loop is created — ``asyncio.run`` after this
+    builds a uvloop loop.
+    """
+    try:
+        import uvloop
+    except ImportError:
+        if strict:
+            raise RuntimeError(
+                "uvloop requested but not installed; install the optional "
+                "extra (pip install 'repro[uvloop]') or drop --uvloop"
+            ) from None
+        return False
+    uvloop.install()
+    return True
+
+
+def loop_mode() -> str:
+    """Which loop implementation new loops will use: ``uvloop``/``asyncio``.
+
+    Inspects the installed policy rather than remembering whether
+    :func:`install_uvloop` ran, so it is honest about policies set by
+    embedding applications directly.
+    """
+    import asyncio
+
+    policy = asyncio.get_event_loop_policy()
+    module = type(policy).__module__
+    return "uvloop" if module.split(".")[0] == "uvloop" else "asyncio"

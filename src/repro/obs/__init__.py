@@ -63,6 +63,7 @@ from repro.obs.profile import (
 from repro.obs.stages import (
     ALL_STAGES,
     PIPELINE_STAGES,
+    STAGE_BUCKETS_US,
     STAGE_PREFIX,
     StageTimer,
     merge_stage,
@@ -92,6 +93,7 @@ __all__ = [
     "StageTimer",
     "ALL_STAGES",
     "PIPELINE_STAGES",
+    "STAGE_BUCKETS_US",
     "STAGE_PREFIX",
     "stage_metric",
     "merge_stage",

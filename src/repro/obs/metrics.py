@@ -77,9 +77,11 @@ class Histogram:
     """Fixed-bucket histogram with count/sum/max and quantile estimates.
 
     ``bucket_counts[i]`` counts observations ``<= bounds[i]``; the
-    final slot counts overflow.  Quantiles are read from the bucket
-    boundaries (the classic Prometheus-style estimate), which is exact
-    enough for latency reporting and costs O(buckets).
+    final slot counts overflow.  Quantiles interpolate *within* the
+    bucket containing the rank (geometrically, matching the log bucket
+    spacing), which is exact enough for latency reporting and costs
+    O(buckets) — and, unlike the bare bucket-upper-bound estimate,
+    never reports a round bucket edge as if it were a measurement.
     """
 
     __slots__ = (
@@ -134,13 +136,18 @@ class Histogram:
         return self.total / count if count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Upper bound of the bucket containing the q-quantile (0..1).
+        """Estimated q-quantile (0..1), interpolated within its bucket.
 
         An empty histogram has no quantiles: NaN, not a fake 0.0 that
-        reads as "instant".  A rank landing in the overflow bucket is
-        estimated as the midpoint between the top finite bound and the
-        observed max — the bucket has no upper edge to report, and the
-        raw max alone would let one outlier impersonate a quantile.
+        reads as "instant".  Inside the bucket containing the rank, the
+        estimate interpolates between the bucket's edges by the rank's
+        fractional position — *geometrically* when the lower edge is
+        positive, because the buckets are log-spaced, so a saturated
+        histogram reports a value inside the bucket rather than
+        clamping every quantile to the same round upper bound.  The
+        overflow bucket has no upper edge; the observed max stands in
+        for it, so an overflow-heavy distribution interpolates between
+        the top finite bound and the worst value actually seen.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be within [0, 1]")
@@ -148,12 +155,24 @@ class Histogram:
             return math.nan
         rank = q * self.count
         seen = 0
+        bounds = self.bounds
         for i, bucket in enumerate(self.bucket_counts):
+            if not bucket:
+                continue
+            if seen + bucket >= rank:
+                fraction = (rank - seen) / bucket
+                if fraction < 0.0:
+                    fraction = 0.0
+                if i < len(bounds):
+                    lo = bounds[i - 1] if i else 0.0
+                    hi = bounds[i]
+                else:
+                    lo = bounds[-1]
+                    hi = self.max if self.max > lo else lo
+                if lo > 0.0 and hi > lo:
+                    return lo * (hi / lo) ** fraction
+                return lo + (hi - lo) * fraction
             seen += bucket
-            if seen >= rank and bucket:
-                if i < len(self.bounds):
-                    return self.bounds[i]
-                return (self.bounds[-1] + self.max) / 2.0
         return self.max
 
 

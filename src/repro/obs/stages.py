@@ -38,10 +38,21 @@ the usual reason ``queue`` explodes at the *next* event.
 
 from __future__ import annotations
 
-from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.metrics import Histogram, MetricsRegistry, log_spaced_buckets
 
 #: Metric-name prefix; stage ``s`` records into ``upcall.stage.<s>_us``.
 STAGE_PREFIX = "upcall.stage"
+
+#: Stage histograms use twice the default bucket resolution (six per
+#: decade over 1 µs – 10 s).  Stage intervals are the *decomposition*
+#: of an end-to-end latency: at three per decade a whole stage
+#: distribution can sit inside one bucket and every quantile collapses
+#: onto its edges, which is how the pipeline bench once reported a
+#: queue p95 of exactly 100000.0 µs.  Finer buckets plus within-bucket
+#: interpolation (:meth:`~repro.obs.metrics.Histogram.quantile`) keep
+#: the estimates honest; every creator of a stage histogram must pass
+#: these bounds or :func:`merge_stage` will refuse to merge it.
+STAGE_BUCKETS_US: tuple[float, ...] = log_spaced_buckets(1.0, 1e7, per_decade=6)
 
 STAGE_ENQUEUE = "enqueue"
 STAGE_QUEUE = "queue"
@@ -74,7 +85,7 @@ class StageTimer:
 
     def __init__(self, metrics: MetricsRegistry, prefix: str = STAGE_PREFIX):
         self._histograms: dict[str, Histogram] = {
-            stage: metrics.histogram(stage_metric(stage, prefix))
+            stage: metrics.histogram(stage_metric(stage, prefix), STAGE_BUCKETS_US)
             for stage in ALL_STAGES
         }
 
@@ -97,9 +108,9 @@ def merge_stage(
     server's, ``dispatch``/``handler`` in each client's — and the fixed
     shared bucket scale is what makes them mergeable bucket-for-bucket.
     """
-    merged = Histogram(stage_metric(stage, prefix))
+    merged = Histogram(stage_metric(stage, prefix), STAGE_BUCKETS_US)
     for registry in registries:
-        h = registry.histogram(stage_metric(stage, prefix))
+        h = registry.histogram(stage_metric(stage, prefix), STAGE_BUCKETS_US)
         if h.bounds != merged.bounds:
             raise ValueError(
                 f"cannot merge {h.name!r}: bucket bounds differ"

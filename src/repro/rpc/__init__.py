@@ -16,16 +16,21 @@ message."
 - :class:`Dispatcher` — the server side: owns the object table,
   exports objects as handles, and executes inbound calls in arrival
   order.
+- :class:`CallPipeline` — keeps several *synchronous* calls in flight
+  on one channel (replies match by serial, out of order), the
+  latency-hiding complement to batching for calls that need results.
 """
 
 from repro.rpc.batch import BatchQueue
 from repro.rpc.connection import RpcConnection
 from repro.rpc.dispatcher import Dispatcher, Exports
 from repro.rpc.objects import install_client_objects, install_server_objects
+from repro.rpc.pipeline import CallPipeline
 from repro.rpc.resilience import RetryPolicy, deadline_scope, remaining_deadline
 
 __all__ = [
     "BatchQueue",
+    "CallPipeline",
     "RpcConnection",
     "Dispatcher",
     "Exports",

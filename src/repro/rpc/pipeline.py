@@ -1,0 +1,108 @@
+"""Pipelined synchronous calls on one connection.
+
+The paper's batching (§3.4) hides latency for *asynchronous* calls by
+coalescing them into one message, but a sequence of synchronous calls
+still pays one round trip each: the caller awaits a reply before
+issuing the next request.  The wire protocol never required that —
+every ``CallMessage`` carries a serial and the
+:class:`~repro.rpc.RpcConnection` reader matches replies to waiting
+futures by serial, in any order.  :class:`CallPipeline` exploits this:
+keep up to ``depth`` synchronous calls in flight on the same channel
+and let the replies stream back, so N dependent-free calls cost about
+``ceil(N / depth)`` round trips instead of N.
+
+Usage::
+
+    async with client.pipeline(depth=16) as pipe:
+        futures = [pipe.submit(counter.add(i)) for i in range(100)]
+    totals = [f.result() for f in futures]      # settled at exit
+
+or collect without the context manager::
+
+    pipe = CallPipeline(depth=16)
+    for i in range(100):
+        pipe.submit(counter.add(i))
+    totals = await pipe.gather()
+
+Ordering: calls are *issued* in submission order (the depth gate wakes
+waiters FIFO and the server dispatches per-channel frames in arrival
+order), and :meth:`gather` returns results in submission order — only
+the waiting overlaps.  Calls that must observe a previous call's
+*result* still need a plain ``await``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable
+
+__all__ = ["CallPipeline"]
+
+
+class CallPipeline:
+    """Run synchronous calls concurrently, at most ``depth`` in flight.
+
+    ``submit`` accepts any awaitable — typically a proxy method
+    coroutine, which is lazy, so the call is not *sent* until the
+    pipeline starts it under the depth gate.  Each submission returns
+    an :class:`asyncio.Task`; await it individually, or use
+    :meth:`gather` / the ``async with`` form to settle everything.
+
+    The depth gate is what keeps a pipeline polite: an unbounded burst
+    of calls would queue arbitrarily deep in the server's per-channel
+    dispatch (and, under flow control, stall on the credit window
+    mid-burst); a bounded window keeps the channel busy without
+    monopolizing it.
+    """
+
+    __slots__ = ("_gate", "_tasks")
+
+    def __init__(self, depth: int = 8):
+        if depth < 1:
+            raise ValueError("pipeline depth must be >= 1")
+        self._gate = asyncio.Semaphore(depth)
+        self._tasks: list[asyncio.Task] = []
+
+    def submit(self, call: Awaitable[Any]) -> "asyncio.Task[Any]":
+        """Schedule one call; returns a task that settles with its result."""
+        task = asyncio.ensure_future(self._run(call))
+        self._tasks.append(task)
+        return task
+
+    async def _run(self, call: Awaitable[Any]) -> Any:
+        async with self._gate:
+            return await call
+
+    async def gather(self, *, return_exceptions: bool = False) -> list[Any]:
+        """Await every submitted call; results in submission order.
+
+        With ``return_exceptions`` false (the default) the first failure
+        propagates after all in-flight calls settle — the pipeline never
+        abandons calls it already issued, because their requests are on
+        the wire regardless.
+        """
+        tasks, self._tasks = self._tasks, []
+        if not tasks:
+            return []
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+        if not return_exceptions:
+            for result in results:
+                if isinstance(result, BaseException):
+                    raise result
+        return list(results)
+
+    @property
+    def pending(self) -> int:
+        """Submitted calls not yet collected by :meth:`gather`."""
+        return len(self._tasks)
+
+    async def __aenter__(self) -> "CallPipeline":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            # The caller's body failed: settle what was issued, but let
+            # the caller's exception propagate, not a secondary one.
+            await self.gather(return_exceptions=True)
+            return
+        await self.gather()

@@ -40,6 +40,8 @@ from repro.wire import (
     UpcallExceptionMessage,
     UpcallMessage,
     UpcallReplyMessage,
+    encode_upcall_template,
+    patch_upcall_frame,
 )
 
 if TYPE_CHECKING:
@@ -290,6 +292,153 @@ class Session:
                 return results
             finally:
                 self._waiting.pop(serial, None)
+
+    async def send_upcall_batch(
+        self, callback_id: int, items
+    ) -> list[bytes | Exception]:
+        """Deliver a coalesced batch of upcalls to this client.
+
+        ``items`` is a sequence of ``(payload, frame_cache)`` pairs —
+        the bundled argument bytes of each event plus a per-event dict
+        (shared across subscribers by the fan-out group) that caches
+        encoded frame templates, so an N-subscriber fan-out marshals
+        each event into frame bytes exactly once.  ``frame_cache`` may
+        be ``None`` for one-off callers.
+
+        The batch is the hot-path generalization of :meth:`send_upcall`:
+        one §4.4 slot acquisition, one credit-window pass
+        (:meth:`~repro.flow.CreditGate.acquire_batch`), and one
+        coalesced write+drain cover the whole batch, so per-event cost
+        tracks the wire, not the scheduler.  The §4.4 discipline now
+        bounds active *batches* per client; the client still runs the
+        handlers strictly in order, one at a time.
+
+        Per-event failures (handler raised, reply timed out) come back
+        in the result list as exceptions in event order; a dead
+        delivery path raises — the caller (the pump) treats that as an
+        eviction, exactly as for a single send.
+        """
+        if not items:
+            return []
+        channel = self._upcall_channel if self.has_upcall_channel else self.rpc_channel
+        if channel is None or channel.closed:
+            raise UpcallError(
+                "client has no channel for upcalls (neither a dedicated "
+                "upcall stream nor a live RPC stream)"
+            )
+        tracer = self.server.tracer
+        if tracer.active:
+            from repro.trace import KIND_UPCALL
+
+            with tracer.span(
+                KIND_UPCALL, f"ruc-{callback_id} x{len(items)}"
+            ) as ctx:
+                return await self._send_batch_locked(callback_id, items, channel, ctx)
+        return await self._send_batch_locked(
+            callback_id, items, channel, current_context()
+        )
+
+    async def _send_batch_locked(
+        self,
+        callback_id: int,
+        items,
+        channel,
+        ctx: SpanContext | None = None,
+    ) -> list[bytes | Exception]:
+        stages = self.server.stages
+        metrics = self.server.metrics
+        trace_id = ctx.trace_id if ctx else ""
+        parent_span = ctx.span_id if ctx else 0
+        version = channel.protocol_version
+        results: list[bytes | Exception] = []
+        async with self._upcall_slots:
+            index = 0
+            while index < len(items):
+                pending = items[index:]
+                t_entry = time.perf_counter() if stages is not None else 0.0
+                # One window pass covers the whole chunk; a batch wider
+                # than the client's grant flushes in window-sized slices.
+                taken = await self.upcall_gate.acquire_batch(
+                    [message_cost(payload) for payload, _ in pending]
+                )
+                chunk = pending[:taken]
+                started = time.perf_counter()
+                if stages is not None:
+                    # Amortized per event so the stage histograms keep
+                    # one observation per delivery and their means still
+                    # decompose the per-event latency.
+                    gate_us = (started - t_entry) * 1e6 / taken
+                    for _ in range(taken):
+                        stages.observe(STAGE_GATE, gate_us)
+                serials: list[int] = []
+                futures: list[asyncio.Future] = []
+                frames: list[bytearray] = []
+                loop = asyncio.get_running_loop()
+                for payload, cache in chunk:
+                    serial = next(self._upcall_serials)
+                    serials.append(serial)
+                    future: asyncio.Future = loop.create_future()
+                    futures.append(future)
+                    self._waiting[serial] = future
+                    # Encode once per event (per version/trace context),
+                    # then patch the two per-send header fields.  The
+                    # payload object doubles as the cache key: the
+                    # fan-out group hands every subscriber the same
+                    # bytes object, so hits compare by identity.
+                    key = (version, trace_id, parent_span, payload)
+                    template = cache.get(key) if cache is not None else None
+                    if template is None:
+                        template = encode_upcall_template(
+                            payload,
+                            trace_id=trace_id,
+                            parent_span=parent_span,
+                            version=version,
+                        )
+                        if cache is not None:
+                            cache[key] = template
+                    frames.append(patch_upcall_frame(template, serial, callback_id))
+                self.upcalls_sent += taken
+                try:
+                    await channel.send_encoded(frames)
+                except BaseException:
+                    for serial in serials:
+                        self._waiting.pop(serial, None)
+                    raise
+                if stages is not None:
+                    write_us = (time.perf_counter() - started) * 1e6 / taken
+                    for _ in range(taken):
+                        stages.observe(STAGE_WRITE, write_us)
+                timeout = self.server.upcall_timeout
+                for serial, future in zip(serials, futures):
+                    try:
+                        if timeout is None:
+                            reply = await future
+                        else:
+                            try:
+                                reply = await asyncio.wait_for(future, timeout)
+                            except asyncio.TimeoutError:
+                                raise UpcallError(
+                                    f"client did not complete the upcall within "
+                                    f"{timeout}s; releasing the server task "
+                                    f"(§4.3 blocking bounded by upcall_timeout)"
+                                ) from None
+                    except Exception as exc:
+                        results.append(exc)
+                    else:
+                        results.append(reply)
+                    finally:
+                        self._waiting.pop(serial, None)
+                if metrics is not None:
+                    rtt_us = (time.perf_counter() - started) * 1e6 / taken
+                    rtt_hist = metrics.histogram("upcall.server.rtt_us")
+                    profiler = self.server.profiler
+                    layer = current_layer() or HOST_LAYER
+                    for payload, _ in chunk:
+                        rtt_hist.observe(rtt_us)
+                        if profiler is not None:
+                            profiler.record_upcall(layer, rtt_us, len(payload))
+                index += taken
+        return results
 
     def upcall_reply(self, message: Message) -> None:
         """Route an upcall reply that arrived on the RPC stream

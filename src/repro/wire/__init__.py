@@ -30,7 +30,9 @@ from repro.wire.messages import (
     UpcallExceptionMessage,
     decode_message,
     encode_message,
+    encode_upcall_template,
     negotiate_version,
+    patch_upcall_frame,
 )
 
 __all__ = [
@@ -52,5 +54,7 @@ __all__ = [
     "UpcallExceptionMessage",
     "decode_message",
     "encode_message",
+    "encode_upcall_template",
     "negotiate_version",
+    "patch_upcall_frame",
 ]

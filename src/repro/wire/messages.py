@@ -45,6 +45,7 @@ admission control (which needs no wire support) still applies.
 from __future__ import annotations
 
 import enum
+import struct
 from dataclasses import dataclass, field
 from typing import ClassVar, Type
 
@@ -478,6 +479,72 @@ def encode_message(message: Message, *, version: int = PROTOCOL_VERSION) -> byte
         return stream.getvalue()
     finally:
         stream.release()
+
+
+# -- encode-once/write-N upcall templates --------------------------------------
+#
+# A fan-out post delivers one event to N subscribers.  Everything in
+# the UpcallMessage frame except ``serial`` and ``ruc_id`` is identical
+# across those N sends (same args payload, same trace context, same
+# negotiated version), and both variable fields are fixed-width
+# integers at fixed offsets right behind the type code:
+#
+#   bytes [0:4)   xuint  TYPE_CODE (UPCALL = 6)
+#   bytes [4:8)   xuint  serial
+#   bytes [8:16)  xuhyper ruc_id
+#   ...           xopaque args, xbool expects_reply, v2+ trace fields
+#
+# So the frame is marshalled *once* into a template with both fields
+# zeroed, and each subscriber send is a buffer copy plus two
+# ``struct.pack_into`` patches — no bundler walk, no XDR encode.  The
+# offsets are pinned against ``encode_message`` byte-for-byte in
+# ``tests/test_wire/test_upcall_template.py``.
+
+#: Byte offset of ``serial`` (xuint) in an encoded UpcallMessage frame.
+UPCALL_SERIAL_OFFSET = 4
+#: Byte offset of ``ruc_id`` (xuhyper) in an encoded UpcallMessage frame.
+UPCALL_RUC_OFFSET = 8
+
+_PATCH_SERIAL = struct.Struct(">I")
+_PATCH_RUC = struct.Struct(">Q")
+
+
+def encode_upcall_template(
+    args: bytes,
+    *,
+    expects_reply: bool = True,
+    trace_id: str = "",
+    parent_span: int = 0,
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
+    """Encode an UpcallMessage frame once, with serial/ruc_id zeroed.
+
+    The result is the shared marshalling work of an N-subscriber
+    fan-out; :func:`patch_upcall_frame` specializes a copy per send.
+    """
+    return encode_message(
+        UpcallMessage(
+            serial=0,
+            ruc_id=0,
+            args=args,
+            expects_reply=expects_reply,
+            trace_id=trace_id,
+            parent_span=parent_span,
+        ),
+        version=version,
+    )
+
+
+def patch_upcall_frame(template: bytes, serial: int, ruc_id: int) -> bytearray:
+    """A copy of ``template`` with the per-send header fields patched in.
+
+    Byte-identical to encoding ``UpcallMessage(serial=serial,
+    ruc_id=ruc_id, ...)`` from scratch at the template's version.
+    """
+    frame = bytearray(template)
+    _PATCH_SERIAL.pack_into(frame, UPCALL_SERIAL_OFFSET, serial)
+    _PATCH_RUC.pack_into(frame, UPCALL_RUC_OFFSET, ruc_id)
+    return frame
 
 
 def decode_message(data: bytes, *, version: int = PROTOCOL_VERSION) -> Message:

@@ -1,0 +1,40 @@
+"""The bench-guard comparison logic (CI's perf regression gate)."""
+
+from repro.bench.guard import GUARDED_METRICS, check
+
+
+def _record(p50_1=100.0, p50_50=500.0):
+    return {
+        "fanout": {
+            "fanout_subs_1": {"p50_delivery_us": p50_1},
+            "fanout_subs_50": {"p50_delivery_us": p50_50},
+        }
+    }
+
+
+class TestCheck:
+    def test_within_threshold_passes(self):
+        assert check(_record(), _record(p50_1=180.0, p50_50=900.0)) == []
+
+    def test_regression_past_threshold_fails(self):
+        failures = check(_record(), _record(p50_1=250.0))
+        assert len(failures) == 1
+        assert "fanout_subs_1.p50_delivery_us" in failures[0]
+        assert "2.5x" in failures[0]
+
+    def test_threshold_is_configurable(self):
+        current = _record(p50_1=150.0)
+        assert check(_record(), current, threshold=1.2) != []
+        assert check(_record(), current, threshold=2.0) == []
+
+    def test_improvement_always_passes(self):
+        assert check(_record(), _record(p50_1=5.0, p50_50=20.0)) == []
+
+    def test_metric_missing_from_baseline_is_skipped(self):
+        # An old baseline predating a benchmark must not block CI.
+        assert check({}, _record()) == []
+
+    def test_metric_missing_from_current_run_fails(self):
+        failures = check(_record(), {})
+        assert len(failures) == len(GUARDED_METRICS)
+        assert all("missing from current run" in f for f in failures)

@@ -1,0 +1,186 @@
+"""The batched pump under bursts and under seeded chaos.
+
+The rewritten :meth:`UpcallGroup._pump` drains its whole backlog per
+wakeup and ships it as one coalesced multi-upcall flush
+(``Session.send_upcall_batch``).  These tests pin the properties the
+batching must not cost:
+
+- a burst really coalesces (one batch call, N items — not N calls),
+  and arrives in strict FIFO order, each event exactly once;
+- under seeded fault injection (duplicated / delayed / dropped
+  frames), per-subscriber delivery stays exactly-once — the client's
+  duplicate-serial window absorbs replayed frames of a coalesced
+  write — and a dropped frame degrades that one event instead of
+  poisoning the rest of its batch.
+
+Re-running with a failing seed replays the same fault schedule.
+"""
+
+import asyncio
+import itertools
+from typing import Callable
+
+import pytest
+
+from repro import ClamClient, ClamServer, RemoteInterface
+from repro.cluster import UpcallGroup
+from repro.faults import FaultInjector, FaultRates, SeededSchedule
+from repro.server import session as session_module
+from tests.support import async_test
+
+_ids = itertools.count(1)
+
+
+class Hub(RemoteInterface):
+    """Host-embedded fan-out hub: subscribers join, the test posts."""
+
+    def __init__(self):
+        self.group = UpcallGroup("burst", queue_limit=4096)
+
+    def join(self, proc: Callable[[int], None]) -> int:
+        return self.group.subscribe(proc)
+
+
+@async_test
+async def test_burst_coalesces_into_batches_fifo_exactly_once(monkeypatch):
+    """A synchronous burst of posts becomes few batch flushes, not
+    one flush per event — and ordering/once-ness survive coalescing."""
+    batch_calls = []
+    original = session_module.Session.send_upcall_batch
+
+    async def counting(self, callback_id, items):
+        batch_calls.append(len(items))
+        return await original(self, callback_id, items)
+
+    monkeypatch.setattr(session_module.Session, "send_upcall_batch", counting)
+
+    server = ClamServer()
+    hub = Hub()
+    server.publish("hub", hub)
+    address = await server.start(f"memory://batched-pump-{next(_ids)}")
+    n_events, n_subscribers = 40, 3
+    clients, logs = [], []
+    try:
+        for _ in range(n_subscribers):
+            client = await ClamClient.connect(address)
+            proxy = await client.lookup(Hub, "hub")
+            log: list[int] = []
+            await proxy.join(log.append)
+            clients.append(client)
+            logs.append(log)
+
+        # Burst: no await between posts, so each pump wakes to a
+        # backlog and must drain it as batches.
+        for seq in range(n_events):
+            hub.group.post(seq)
+        await hub.group.flush(timeout=30.0)
+
+        expected = list(range(n_events))
+        for log in logs:
+            assert log == expected  # FIFO, exactly once, nothing lost
+        assert hub.group.delivered == n_events * n_subscribers
+        assert sum(batch_calls) == n_events * n_subscribers
+        # The point of the rewrite: far fewer flushes than deliveries.
+        assert len(batch_calls) < n_events * n_subscribers
+        assert max(batch_calls) > 1, "no multi-event batch ever formed"
+    finally:
+        for client in clients:
+            await client.close()
+        await server.shutdown()
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13])
+@async_test
+async def test_batched_pump_chaos_drops_and_duplicates(seed):
+    """Drop/duplicate/delay faults on the wire: every subscriber's log
+    is a FIFO subsequence of the posts with no duplicates; dropped
+    events are degraded one at a time, never a whole batch."""
+    rates = FaultRates(
+        drop=0.02, delay=0.05, duplicate=0.03, reorder=0.0,
+        corrupt=0.0, close=0.0, slow=0.02, max_delay=0.003,
+    )
+    injector = FaultInjector(SeededSchedule(seed, rates=rates, warmup=8))
+    server = ClamServer(degrade_upcalls=True, upcall_timeout=0.3)
+    hub = Hub()
+    server.publish("hub", hub)
+    address = await server.start(f"memory://batched-chaos-{seed}-{next(_ids)}")
+    chaos_url = injector.wrap_url(address)
+    n_events, n_subscribers = 60, 2
+    clients, logs = [], []
+    try:
+        for _ in range(n_subscribers):
+            client = await ClamClient.connect(chaos_url)
+            proxy = await client.lookup(Hub, "hub")
+            log: list[int] = []
+            await proxy.join(log.append)
+            clients.append(client)
+            logs.append(log)
+
+        # Post in small bursts so batches form while faults fire.
+        for base in range(0, n_events, 8):
+            for seq in range(base, min(base + 8, n_events)):
+                hub.group.post(seq)
+            await asyncio.sleep(0.005)
+        await hub.group.flush(timeout=60.0)
+
+        expected = list(range(n_events))
+        degraded = len(server.degraded_upcalls)
+        total_seen = 0
+        for log in logs:
+            # Exactly-once: duplicated frames never double-deliver.
+            assert len(log) == len(set(log)), f"seed {seed}: duplicates in {log}"
+            # FIFO: a drop may leave a hole, but never reorders.
+            it = iter(expected)
+            assert all(value in it for value in log), (
+                f"seed {seed}: out-of-order delivery {log}"
+            )
+            total_seen += len(log)
+        # Accounting: every posted event was delivered or degraded.
+        assert total_seen >= n_events * n_subscribers - degraded
+        # The group's own view agrees (absorbed events count delivered).
+        assert hub.group.delivered + hub.group.errors >= total_seen
+        assert hub.group.evicted_subscribers == 0
+    finally:
+        for client in clients:
+            await client.close()
+        await server.shutdown()
+        injector.release_url()
+
+
+@pytest.mark.parametrize("seed", [21, 22])
+@async_test
+async def test_batched_pump_chaos_reorder_exactly_once(seed):
+    """Adjacent-frame reorder plus duplicates (no loss): every event
+    still arrives exactly once per subscriber — the serial-dedup
+    window is what makes coalesced writes safe to replay."""
+    rates = FaultRates(
+        drop=0.0, delay=0.04, duplicate=0.04, reorder=0.05,
+        corrupt=0.0, close=0.0, slow=0.02, max_delay=0.002,
+    )
+    injector = FaultInjector(SeededSchedule(seed, rates=rates, warmup=8))
+    server = ClamServer(degrade_upcalls=True, upcall_timeout=2.0)
+    hub = Hub()
+    server.publish("hub", hub)
+    address = await server.start(f"memory://batched-reorder-{seed}-{next(_ids)}")
+    chaos_url = injector.wrap_url(address)
+    n_events = 60
+    try:
+        client = await ClamClient.connect(chaos_url)
+        proxy = await client.lookup(Hub, "hub")
+        log: list[int] = []
+        await proxy.join(log.append)
+
+        for base in range(0, n_events, 6):
+            for seq in range(base, min(base + 6, n_events)):
+                hub.group.post(seq)
+            await asyncio.sleep(0.003)
+        await hub.group.flush(timeout=60.0)
+
+        # Exactly once each — reorder shuffles adjacent frames but the
+        # dedup window drops every duplicate.
+        assert sorted(log) == list(range(n_events)), f"seed {seed}: {sorted(log)}"
+        assert hub.group.evicted_subscribers == 0
+        await client.close()
+    finally:
+        await server.shutdown()
+        injector.release_url()

@@ -172,7 +172,7 @@ async def test_directory_three_replicas_fifty_subscribers():
         assert len(per_subscriber) == N_SUBSCRIBERS
         assert all(count == N_EVENTS for count in per_subscriber.values())
         assert hub_impl.group.delivered == N_EVENTS * N_SUBSCRIBERS
-        assert hub_impl.group.evicted == 0 and hub_impl.group.dropped == 0
+        assert hub_impl.group.evicted_subscribers == 0 and hub_impl.group.dropped == 0
 
         # Every compute ran exactly once somewhere in the pool.
         assert sum(impl.computed for impl in impls) >= N_EVENTS

@@ -200,12 +200,10 @@ class TestSlowPolicies:
         assert fast == [0, 1, 2, 3, 4]
         assert slow_key not in group.subscriber_keys
         assert group.evicted_subscribers == 1
-        assert group.evicted == 1  # deprecated alias, kept for one release
         assert group.evicted_events >= 1  # the laggard's backlog was discarded
         assert len(evictions) == 1
         assert isinstance(evictions[0][1], SlowSubscriberError)
         assert metrics.counter("cluster.fanout.evicted_subscribers").value == 1
-        assert metrics.counter("cluster.fanout.evicted").value == 1  # alias
         assert (
             metrics.counter("cluster.fanout.evicted_events").value
             == group.evicted_events
@@ -227,7 +225,7 @@ class TestSlowPolicies:
         assert per["delivered"] == 1
         assert stats["evicted_subscribers"] == 0
         assert stats["evicted_events"] == 0
-        assert stats["evicted"] == 0  # deprecated alias of evicted_subscribers
+        assert "evicted" not in stats  # the deprecated alias is gone
         await group.close()
 
 
@@ -313,7 +311,7 @@ class TestFanoutOverWire:
         # The group notices the dead delivery path and evicts.
         def evicted():
             return any(
-                descriptor.obj.group.evicted >= 1
+                descriptor.obj.group.evicted_subscribers >= 1
                 for descriptor in server.exports.table
                 if hasattr(descriptor.obj, "group")
             )

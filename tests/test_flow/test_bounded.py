@@ -80,3 +80,25 @@ class TestBasics:
     def test_bad_limit_rejected(self):
         with pytest.raises(ValueError):
             BoundedQueue(0)
+
+
+class TestPopAll:
+    def test_pop_all_drains_fifo(self):
+        queue = BoundedQueue(8)
+        for item in (1, 2, 3, 4):
+            queue.offer(item)
+        assert queue.pop_all() == [1, 2, 3, 4]
+        assert len(queue) == 0
+        assert not queue
+
+    def test_pop_all_empty_returns_empty_list(self):
+        assert BoundedQueue(1).pop_all() == []
+
+    def test_pop_all_then_refill(self):
+        # The batched pump's cycle: drain, deliver, drain again.
+        queue = BoundedQueue(4)
+        queue.offer("a")
+        assert queue.pop_all() == ["a"]
+        queue.offer("b")
+        queue.offer("c")
+        assert queue.pop_all() == ["b", "c"]

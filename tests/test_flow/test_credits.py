@@ -187,3 +187,54 @@ class TestLedger:
 
 async def _update(gate, msgs, nbytes):
     gate.update(msgs, nbytes)
+
+
+class TestBatchAcquire:
+    """`acquire_batch`: one blocking wait per pump batch, then greedy
+    non-blocking takes — the credit arithmetic of a coalesced flush."""
+
+    @async_test
+    async def test_takes_whole_batch_when_window_allows(self):
+        gate = open_gate(msgs=10, nbytes=10_000)
+        taken = await gate.acquire_batch([100, 100, 100])
+        assert taken == 3
+        assert gate.used_msgs == 3
+
+    @async_test
+    async def test_partial_when_window_smaller_than_batch(self):
+        # A batch larger than the window degrades to a window-sized
+        # flush (the caller loops), never a deadlock.
+        gate = open_gate(msgs=2, nbytes=10_000)
+        taken = await gate.acquire_batch([10, 10, 10, 10])
+        assert taken == 2
+        assert gate.used_msgs == 2
+
+    @async_test
+    async def test_blocks_only_for_the_first_message(self):
+        gate = open_gate(msgs=1, nbytes=1000)
+        await gate.acquire(10)  # exhaust
+        waiter = asyncio.ensure_future(gate.acquire_batch([10, 10, 10]))
+        await asyncio.sleep(0.01)
+        assert not waiter.done()
+        gate.update(3, 3000)  # grant covers two more, not the third
+        taken = await asyncio.wait_for(waiter, 1.0)
+        assert taken == 2
+        assert gate.used_msgs == 3
+
+    @async_test
+    async def test_empty_batch_is_free(self):
+        gate = open_gate(msgs=1, nbytes=1000)
+        assert await gate.acquire_batch([]) == 0
+        assert gate.used_msgs == 0
+
+    @async_test
+    async def test_unlimited_gate_takes_everything(self):
+        gate = CreditGate(unlimited=True)  # pre-v4 peer: never engages
+        assert await gate.acquire_batch([10] * 50) == 50
+
+    @async_test
+    async def test_nowait_first_message_raises_when_exhausted(self):
+        gate = open_gate(msgs=1, nbytes=1000)
+        await gate.acquire(10)
+        with pytest.raises(CreditExhaustedError):
+            await gate.acquire_batch([10, 10], nowait=True)

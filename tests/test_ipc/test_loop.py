@@ -1,0 +1,55 @@
+"""Event-loop policy hook: uvloop as a strictly optional extra.
+
+The repository must work — and these tests must pass — with or
+without uvloop installed.  The install test skips itself when the
+extra is absent; the availability/fallback tests run everywhere.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.ipc import install_uvloop, loop_mode, uvloop_available
+
+
+def _uvloop_importable() -> bool:
+    try:
+        import uvloop  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def test_availability_matches_import():
+    assert uvloop_available() == _uvloop_importable()
+
+
+def test_loop_mode_names_a_known_implementation():
+    assert loop_mode() in ("asyncio", "uvloop")
+
+
+@pytest.mark.skipif(_uvloop_importable(), reason="uvloop is installed")
+def test_missing_uvloop_fails_softly():
+    assert install_uvloop() is False
+    assert loop_mode() == "asyncio"
+
+
+@pytest.mark.skipif(_uvloop_importable(), reason="uvloop is installed")
+def test_missing_uvloop_strict_raises_with_hint():
+    with pytest.raises(RuntimeError, match="repro\\[uvloop\\]"):
+        install_uvloop(strict=True)
+
+
+@pytest.mark.skipif(not _uvloop_importable(), reason="uvloop not installed")
+def test_install_uvloop_switches_policy():
+    original = asyncio.get_event_loop_policy()
+    try:
+        assert install_uvloop(strict=True) is True
+        assert loop_mode() == "uvloop"
+
+        async def probe():
+            return type(asyncio.get_running_loop()).__module__
+
+        assert asyncio.run(probe()).split(".")[0] == "uvloop"
+    finally:
+        asyncio.set_event_loop_policy(original)

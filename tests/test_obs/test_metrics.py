@@ -56,24 +56,45 @@ class TestInstruments:
         # one observation per bucket, overflow included
         assert h.bucket_counts == [1, 1, 1, 1]
 
-    def test_histogram_quantiles_from_bucket_bounds(self):
+    def test_histogram_quantiles_interpolate_within_bucket(self):
         h = Histogram("lat", bounds=(1.0, 10.0, 100.0))
         for _ in range(98):
             h.observe(5.0)
         h.observe(50.0)
         h.observe(5000.0)
-        assert h.quantile(0.5) == 10.0
-        assert h.quantile(0.99) == 100.0
-        # A rank landing in the overflow bucket reports the midpoint of
-        # (top bound, observed max): the true value is somewhere in
-        # that interval, and the midpoint bounds the error symmetric-
-        # ally instead of pinning to either edge.
-        assert h.quantile(1.0) == (100.0 + 5000.0) / 2
+        # Rank 50 of 100 lands in the (1, 10] bucket at fractional
+        # position 50/98; geometric interpolation (log-spaced buckets)
+        # puts the estimate *inside* the bucket rather than clamping to
+        # the round upper edge 10.0.
+        assert h.quantile(0.5) == pytest.approx(10.0 ** (50 / 98))
+        # Rank 99 is the last observation of the (10, 100] bucket: the
+        # interpolated estimate reaches the bucket's upper edge.
+        assert h.quantile(0.99) == pytest.approx(100.0)
+        # The overflow bucket has no upper edge; the observed max
+        # stands in, so q=1.0 interpolates up to the max itself.
+        assert h.quantile(1.0) == pytest.approx(5000.0)
+
+    def test_histogram_quantile_never_reports_bare_bucket_edge(self):
+        # The saturation bug this guards against: every observation in
+        # one bucket used to clamp every quantile to that bucket's
+        # upper bound (BENCH_rpc.json once reported a queue p95 of
+        # exactly 100000.0 µs).  With interpolation, distinct quantiles
+        # of a single-bucket distribution are distinct and interior.
+        h = Histogram("lat", bounds=(1.0, 10.0, 100.0))
+        for _ in range(1000):
+            h.observe(50.0)
+        p50, p95 = h.quantile(0.5), h.quantile(0.95)
+        assert 10.0 < p50 < p95 < 100.0
+        assert p50 == pytest.approx(10.0 * 10.0 ** 0.5)
+        assert p95 == pytest.approx(10.0 * 10.0 ** 0.95)
 
     def test_histogram_overflow_only_quantile(self):
         h = Histogram("lat", bounds=(1.0, 10.0))
         h.observe(70.0)
-        assert h.quantile(0.5) == (10.0 + 70.0) / 2
+        # One observation in the overflow bucket: interpolate between
+        # the top finite bound and the observed max (geometrically).
+        assert h.quantile(0.5) == pytest.approx(10.0 * 7.0 ** 0.5)
+        assert h.quantile(1.0) == pytest.approx(70.0)
 
     def test_histogram_empty_quantile_is_nan(self):
         # NaN, not 0.0: an empty histogram has no 50th percentile, and

@@ -1,0 +1,149 @@
+"""CallPipeline: bounded in-flight window over one connection.
+
+Unit tests pin the scheduler semantics (issue order, depth bound,
+result order, failure propagation); the end-to-end test proves the
+wire actually supports it — K concurrent sync calls on one channel,
+replies matched out of order by serial.
+"""
+
+import asyncio
+import itertools
+
+import pytest
+
+from repro import ClamClient, ClamServer, RemoteInterface
+from repro.rpc import CallPipeline
+from tests.support import async_test
+
+_ids = itertools.count(1)
+
+
+class TestScheduler:
+    @async_test
+    async def test_results_in_submission_order(self):
+        async def value(i):
+            await asyncio.sleep(0.01 * (5 - i))  # later submissions finish first
+            return i
+
+        pipe = CallPipeline(depth=8)
+        for i in range(5):
+            pipe.submit(value(i))
+        assert await pipe.gather() == [0, 1, 2, 3, 4]
+
+    @async_test
+    async def test_depth_bounds_concurrency(self):
+        active = 0
+        high_water = 0
+
+        async def tracked():
+            nonlocal active, high_water
+            active += 1
+            high_water = max(high_water, active)
+            await asyncio.sleep(0.005)
+            active -= 1
+
+        pipe = CallPipeline(depth=3)
+        for _ in range(12):
+            pipe.submit(tracked())
+        await pipe.gather()
+        assert high_water == 3
+
+    @async_test
+    async def test_failure_propagates_after_all_settle(self):
+        settled = []
+
+        async def ok(i):
+            await asyncio.sleep(0.005)
+            settled.append(i)
+            return i
+
+        async def boom():
+            raise RuntimeError("pipeline failure")
+
+        pipe = CallPipeline(depth=4)
+        pipe.submit(ok(1))
+        pipe.submit(boom())
+        pipe.submit(ok(2))
+        with pytest.raises(RuntimeError, match="pipeline failure"):
+            await pipe.gather()
+        # The pipeline never abandons issued calls.
+        assert sorted(settled) == [1, 2]
+
+    @async_test
+    async def test_return_exceptions_collects_in_order(self):
+        async def ok(i):
+            return i
+
+        async def boom():
+            raise ValueError("x")
+
+        pipe = CallPipeline(depth=2)
+        pipe.submit(ok(1))
+        pipe.submit(boom())
+        pipe.submit(ok(3))
+        results = await pipe.gather(return_exceptions=True)
+        assert results[0] == 1
+        assert isinstance(results[1], ValueError)
+        assert results[2] == 3
+
+    @async_test
+    async def test_context_manager_settles_on_exit(self):
+        async def value(i):
+            await asyncio.sleep(0.002)
+            return i * 2
+
+        async with CallPipeline(depth=4) as pipe:
+            futures = [pipe.submit(value(i)) for i in range(6)]
+        assert [f.result() for f in futures] == [0, 2, 4, 6, 8, 10]
+        assert pipe.pending == 0
+
+    @async_test
+    async def test_submitted_task_awaitable_individually(self):
+        async def value():
+            return "direct"
+
+        pipe = CallPipeline(depth=1)
+        task = pipe.submit(value())
+        assert await task == "direct"
+        await pipe.gather()
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            CallPipeline(depth=0)
+
+
+ECHO_SOURCE = '''
+import asyncio
+
+from repro.stubs import RemoteInterface
+
+
+class Echo(RemoteInterface):
+    async def echo(self, value: int) -> int:
+        # Later calls finish first: replies leave out of order, which
+        # the serial-matched waiting table must untangle.
+        await asyncio.sleep(0.001 * (value % 5))
+        return value
+'''
+
+
+class Echo(RemoteInterface):
+    def echo(self, value: int) -> int: ...
+
+
+@async_test
+async def test_pipelined_calls_end_to_end():
+    """K sync calls in flight on one channel, replies out of order."""
+    server = ClamServer()
+    address = await server.start(f"memory://pipeline-e2e-{next(_ids)}")
+    client = await ClamClient.connect(address)
+    try:
+        await client.load_module("echo", ECHO_SOURCE)
+        service = await client.create(Echo)
+
+        async with client.pipeline(depth=8) as pipe:
+            futures = [pipe.submit(service.echo(i)) for i in range(32)]
+        assert [f.result() for f in futures] == list(range(32))
+    finally:
+        await client.close()
+        await server.shutdown()
