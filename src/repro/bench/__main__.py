@@ -13,6 +13,7 @@ Usage::
     python -m repro.bench overload   # open-loop overload, with/without admission
     python -m repro.bench pipeline   # fan-out latency decomposed into stage budgets
     python -m repro.bench pipelined  # sync calls: sequential vs in-flight window
+    python -m repro.bench directory  # replicated directory: resolve, watch, failover
 
     python -m repro.bench --json BENCH_rpc.json           # perf record
     python -m repro.bench --json BENCH_rpc.json --quick   # CI smoke mode
@@ -29,6 +30,7 @@ from repro.bench import (
     arq_bench,
     batching,
     bundlers_bench,
+    directory_bench,
     fanout_bench,
     fig51,
     overload_bench,
@@ -41,7 +43,7 @@ from repro.bench import (
 
 SUITES = (
     "fig51", "batching", "bundlers", "sweep", "tasks", "upcalls", "arq",
-    "fanout", "overload", "pipeline", "pipelined",
+    "fanout", "overload", "pipeline", "pipelined", "directory",
 )
 
 
@@ -111,6 +113,8 @@ def main(argv: list[str] | None = None) -> int:
                 pipeline_bench.main(base_dir)
             elif suite == "pipelined":
                 pipelined_bench.main()
+            elif suite == "directory":
+                directory_bench.main()
     return 0
 
 

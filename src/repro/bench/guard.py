@@ -25,6 +25,11 @@ import tempfile
 GUARDED_METRICS: tuple[tuple[str, str, str], ...] = (
     ("fanout", "fanout_subs_1", "p50_delivery_us"),
     ("fanout", "fanout_subs_50", "p50_delivery_us"),
+    # Cached resolve regressing means the endpoint cache stopped being a
+    # cache; watch_propagate collapsing to the TTL (~500ms vs ~1ms) means
+    # the watch plane silently degraded to polling.  Both are far past 2x.
+    ("directory", "resolve_cached", "p50_us"),
+    ("directory", "watch_propagate", "p50_us"),
 )
 
 

@@ -178,6 +178,15 @@ def _collect_pipelined(quick: bool) -> dict[str, dict[str, float]]:
     return asyncio.run(pipelined_bench.record(quick=quick))
 
 
+def _collect_directory(quick: bool) -> dict[str, dict[str, float]]:
+    """Replicated directory: resolve latency, watch, failover."""
+    import asyncio
+
+    from repro.bench import directory_bench
+
+    return asyncio.run(directory_bench.record(quick=quick))
+
+
 def _collect_telemetry_overhead(quick: bool) -> dict[str, float]:
     """Cost of the always-on telemetry relative to the wire hot path.
 
@@ -254,6 +263,7 @@ def collect(quick: bool = False) -> dict[str, Any]:
     overload = _collect_overload(quick)
     pipeline = _collect_pipeline(quick)
     pipelined_call = _collect_pipelined(quick)
+    directory = _collect_directory(quick)
     telemetry_overhead = _collect_telemetry_overhead(quick)
 
     def speedup(kind: str) -> float:
@@ -274,6 +284,7 @@ def collect(quick: bool = False) -> dict[str, Any]:
         "overload": overload,
         "pipeline": pipeline,
         "pipelined_call": pipelined_call,
+        "directory": directory,
         "telemetry_overhead": telemetry_overhead,
         "derived": {
             "compiled_speedup_point": speedup("point"),
@@ -308,6 +319,15 @@ def write_record(path: str, quick: bool = False) -> dict[str, Any]:
     for name, stats in record.get("pipelined_call", {}).items():
         print(f"  {name:<{width}}  {stats['calls_per_sec']:>9.0f} calls/s  "
               f"{stats['speedup_vs_seq']:>5.1f}x vs sequential")
+    for name, stats in record.get("directory", {}).items():
+        if name == "failover":
+            print(f"  {'directory_failover':<{width}}  "
+                  f"write {stats['write_recover_ms_p50']:>7.1f}ms  "
+                  f"watch {stats['watch_recover_ms_p50']:>7.1f}ms")
+        else:
+            print(f"  {'directory_' + name:<{width}}  "
+                  f"median {stats['p50_us']:>9.1f}us  "
+                  f"p95 {stats['p95_us']:>9.1f}us")
     overhead = record.get("telemetry_overhead")
     if overhead:
         print(f"  {'telemetry_overhead':<{width}}  "

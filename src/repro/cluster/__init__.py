@@ -9,12 +9,22 @@ server, rpc, handles, resilience):
 - :class:`DirectoryServer` / :class:`DirectoryImpl` — a ClamServer
   hosting the ``clam.directory`` interface: replicas ``advertise``
   under a lease and heartbeat it; entries expire when heartbeats stop.
+  Every grant carries a monotonic fencing token
+  (:class:`LeaseGrant`), and every change fans out to watchers as a
+  versioned :class:`DirectoryEvent`.
+- :class:`ReplicatedDirectoryServer` — N directory replicas running
+  lease-based leader election (:class:`ElectionManager`) over a
+  replicated log; followers answer writes with a retryable
+  ``NotLeaderError`` + leader hint that :class:`LeaderClient` follows.
 - :class:`Advertiser` — the replica-side heartbeat loop, composed from
-  the resilience layer (supervised reconnect + idempotent retries).
+  the resilience layer (leader-chasing link + idempotent retries).
 - :class:`ClusterClient` / :class:`ReplicaPool` — resolve a service
   through the directory, cache endpoints, and balance synchronous
   calls across live replicas (:class:`RoundRobin` /
   :class:`LeastLoaded`), failing over on transport errors.
+  ``ClusterClient.watch`` swaps TTL polling for directory watch
+  upcalls that patch the cache in place, exactly-once across
+  failovers.
 - :class:`UpcallGroup` — server-side fan-out: many RUCs under one
   topic, one ``post()`` delivered to every subscriber over its own
   upcall stream, with bounded queues and a slow-subscriber policy.
@@ -31,7 +41,14 @@ from repro.cluster.directory import (
     DirectoryInterface,
     DirectoryServer,
 )
-from repro.cluster.endpoints import Endpoint
+from repro.cluster.election import (
+    DEFAULT_ELECTION_TIMEOUT,
+    ROLE_CANDIDATE,
+    ROLE_FOLLOWER,
+    ROLE_LEADER,
+    ElectionManager,
+)
+from repro.cluster.endpoints import DirectoryEvent, Endpoint, LeaseGrant
 from repro.cluster.group import SLOW_POLICIES, UpcallGroup
 from repro.cluster.pool import (
     POLICIES,
@@ -43,15 +60,40 @@ from repro.cluster.pool import (
     ReplicaPool,
     RoundRobin,
 )
+from repro.cluster.replicate import (
+    REPLICA_SERVICE,
+    AppendReply,
+    LeaderClient,
+    LeaseSnapshot,
+    LogRecord,
+    ReplicaInterface,
+    ReplicatedDirectoryServer,
+    VoteReply,
+)
 
 __all__ = [
+    "DEFAULT_ELECTION_TIMEOUT",
     "DEFAULT_LEASE",
     "DIRECTORY_SERVICE",
+    "REPLICA_SERVICE",
     "DirectoryImpl",
     "DirectoryInterface",
     "DirectoryServer",
+    "ReplicatedDirectoryServer",
+    "ReplicaInterface",
+    "ElectionManager",
+    "ROLE_FOLLOWER",
+    "ROLE_CANDIDATE",
+    "ROLE_LEADER",
+    "LeaderClient",
+    "LogRecord",
+    "LeaseSnapshot",
+    "VoteReply",
+    "AppendReply",
     "Advertiser",
     "Endpoint",
+    "LeaseGrant",
+    "DirectoryEvent",
     "ClusterClient",
     "ClusterProxy",
     "ReplicaPool",

@@ -1,24 +1,38 @@
 """Replica-side advertising: keep one (service, url) lease alive.
 
 An :class:`Advertiser` is what turns an ordinary ClamServer into a
-cluster replica: it connects a plain ClamClient to the directory,
-advertises the replica's address under a lease, and heartbeats it on
-a timer until stopped.  Everything hard — redialing a dropped
-directory connection, retrying a timed-out heartbeat — is *composed*
-from the resilience layer, not re-implemented: the directory client
-runs with ``reconnect=True`` and a :class:`~repro.rpc.RetryPolicy`,
-and every directory method is ``@idempotent``, so the heartbeat loop
-itself stays a dozen lines.
+cluster replica: it connects to the directory, advertises the
+replica's address under a lease, and heartbeats it on a timer until
+stopped.  Everything hard — redialing a dropped directory connection,
+retrying a timed-out heartbeat, chasing a moved leader — is *composed*
+from the resilience layer, not re-implemented: directory calls go
+through a :class:`~repro.cluster.replicate.LeaderClient` (which
+follows ``NotLeaderError`` hints across a replicated directory and
+degrades to a plain single-URL dial otherwise) under a
+:class:`~repro.rpc.RetryPolicy`, and every directory write is
+``@idempotent``, so the heartbeat loop itself stays a dozen lines.
+
+Every (re-)advertisement yields a :class:`~repro.cluster.endpoints.LeaseGrant`
+whose fencing token is exposed as :attr:`Advertiser.token`; a server
+that guards its writes (``fence_scope(advertiser.token)``) is thereby
+protected from its own stale incarnations.
+
+A directory that stays unreachable is an *incident*: after
+``miss_threshold`` consecutive failed heartbeats the advertiser
+reports ``directory-unreachable`` to its incident sink —
+:meth:`~repro.server.ClamServer.note_incident` when built with
+:meth:`for_server`, so the flight recorder dumps the window that led
+up to the outage.
 """
 
 from __future__ import annotations
 
 import asyncio
 import logging
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Sequence
 
-from repro.cluster.directory import DIRECTORY_SERVICE, DirectoryInterface
-from repro.rpc import RetryPolicy
+from repro.cluster.replicate import LeaderClient
+from repro.rpc import FencingToken, RetryPolicy
 
 if TYPE_CHECKING:
     from repro.server import ClamServer
@@ -34,11 +48,14 @@ class Advertiser:
     stale.  :meth:`for_server` wires it to the server's live session
     count, the simplest honest load signal; richer deployments can
     scrape the server's ``metrics()`` instead.
+
+    ``directory_url`` may be a single URL or the full replica list of
+    a replicated directory; writes always chase the current leader.
     """
 
     def __init__(
         self,
-        directory_url: str,
+        directory_url: str | Sequence[str],
         service: str,
         url: str,
         *,
@@ -47,6 +64,8 @@ class Advertiser:
         interval: float | None = None,
         retry: RetryPolicy | None = None,
         connect_timeout: float | None = 5.0,
+        miss_threshold: int = 3,
+        incident_sink: Callable[[str, str], object] | None = None,
     ):
         if interval is not None and interval <= 0:
             raise ValueError("heartbeat interval must be positive")
@@ -63,12 +82,17 @@ class Advertiser:
             attempts=5, base_delay=0.05, max_delay=0.5
         )
         self._connect_timeout = connect_timeout
-        self._client = None
-        self._directory = None
+        self._miss_threshold = max(1, miss_threshold)
+        self._incident_sink = incident_sink
+        self._incident_reported = False
+        self._consecutive_misses = 0
+        self._link: LeaderClient | None = None
         self._task: asyncio.Task | None = None
         self._stopped = asyncio.Event()
         #: Lease generation from the latest advertise.
         self.generation = 0
+        #: Fencing token of the current lease (zero before start).
+        self.token = FencingToken()
         #: Successful heartbeats sent.
         self.heartbeats = 0
         #: Times the lease lapsed and had to be re-advertised.
@@ -79,14 +103,16 @@ class Advertiser:
     @classmethod
     def for_server(
         cls,
-        directory_url: str,
+        directory_url: str | Sequence[str],
         service: str,
         server: "ClamServer",
         url: str,
         **options,
     ) -> "Advertiser":
-        """An advertiser whose load signal is the server's session count."""
+        """An advertiser whose load signal is the server's session count
+        and whose outage reports land in the server's flight recorder."""
         options.setdefault("load", lambda: float(server.session_count))
+        options.setdefault("incident_sink", server.note_incident)
         return cls(directory_url, service, url, **options)
 
     # -- lifecycle ----------------------------------------------------------------
@@ -99,33 +125,31 @@ class Advertiser:
         never made it into the namespace should fail loudly at startup,
         not silently heartbeat into the void.
         """
-        from repro.client import ClamClient
-
         if self._task is not None:
             raise RuntimeError("advertiser already started")
-        self._client = await ClamClient.connect(
+        self._link = LeaderClient(
             self.directory_url,
             retry=self._retry,
-            reconnect=True,
-            reconnect_policy=self._retry,
             connect_timeout=self._connect_timeout,
         )
         try:
-            self._directory = await self._client.lookup(
-                DirectoryInterface, DIRECTORY_SERVICE
-            )
-            self.generation = await self._directory.advertise(
-                self.service, self.url, self._load(), self._lease
-            )
+            await self._advertise()
         except BaseException:
-            await self._client.close()
-            self._client = None
+            await self._link.close()
+            self._link = None
             raise
         self._stopped.clear()
         self._task = asyncio.get_running_loop().create_task(
             self._heartbeat_loop(), name=f"advertiser-{self.service}"
         )
         return self.generation
+
+    async def _advertise(self) -> None:
+        grant = await self._link.advertise(
+            self.service, self.url, self._load(), self._lease
+        )
+        self.generation = grant.generation
+        self.token = FencingToken(grant.epoch, grant.counter)
 
     async def stop(self, *, withdraw: bool = True) -> None:
         """Stop heartbeating; by default also retract the entry now.
@@ -141,15 +165,14 @@ class Advertiser:
             except (asyncio.CancelledError, Exception):
                 pass
             self._task = None
-        if self._client is not None:
-            if withdraw and self._directory is not None:
+        if self._link is not None:
+            if withdraw:
                 try:
-                    await self._directory.withdraw(self.service, self.url)
+                    await self._link.withdraw(self.service, self.url)
                 except Exception:
                     pass  # the lease lapses anyway
-            await self._client.close()
-            self._client = None
-            self._directory = None
+            await self._link.close()
+            self._link = None
 
     async def __aenter__(self) -> "Advertiser":
         await self.start()
@@ -175,25 +198,48 @@ class Advertiser:
             if self._stopped.is_set():
                 return
             try:
-                alive = await self._directory.heartbeat(
+                alive = await self._link.heartbeat(
                     self.service, self.url, self._load()
                 )
                 if alive:
                     self.heartbeats += 1
                 else:
                     # The lease lapsed under us (directory restarted,
-                    # or we were partitioned past it): re-advertise.
-                    self.generation = await self._directory.advertise(
-                        self.service, self.url, self._load(), self._lease
-                    )
+                    # failed over, or we were partitioned past it):
+                    # re-advertise — the new grant's token fences the
+                    # old one.
+                    await self._advertise()
                     self.renewals += 1
+                self._note_contact()
             except asyncio.CancelledError:
                 raise
             except Exception as exc:
-                # Transport trouble beyond what retry+reconnect absorbed;
-                # count it and try again next interval — the client's
-                # supervisor is re-dialing underneath us.
+                # Transport trouble beyond what retry + leader chasing
+                # absorbed; count it and try again next interval.
                 self.misses += 1
                 logger.debug(
                     "heartbeat for %s@%s missed: %s", self.service, self.url, exc
                 )
+                self._note_miss(exc)
+
+    def _note_contact(self) -> None:
+        self._consecutive_misses = 0
+        self._incident_reported = False
+
+    def _note_miss(self, exc: Exception) -> None:
+        count = self._consecutive_misses + 1
+        self._consecutive_misses = count
+        if (
+            count >= self._miss_threshold
+            and not self._incident_reported
+            and self._incident_sink is not None
+        ):
+            self._incident_reported = True
+            try:
+                self._incident_sink(
+                    "directory-unreachable",
+                    f"{self.service}@{self.url}: {count} consecutive heartbeat "
+                    f"misses ({type(exc).__name__}: {exc})",
+                )
+            except Exception:
+                pass

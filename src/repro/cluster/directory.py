@@ -9,22 +9,41 @@ by advertising ``(service, url, load)`` entries under a lease.
 Liveness is lease-based, the classic broker shape (ODP channel
 objects resolve services the same way): an advertisement is good for
 ``lease`` seconds; heartbeats refresh it; an entry whose heartbeats
-stop simply expires out of every later resolution.  No failure
-detector, no callbacks — the directory never dials anybody.
+stop simply expires out of every later resolution.
 
-All methods are declared ``@idempotent``: re-advertising a lease,
-re-refreshing it, or re-withdrawing an entry converges to the same
-directory state, so clients configured with a
-:class:`~repro.rpc.RetryPolicy` may retry every directory call across
-timeouts and reconnects.
+Two mechanisms ride on top of the leases:
+
+- **Fencing tokens.**  Every grant carries a monotonic
+  ``(epoch, counter)`` token (:class:`~repro.cluster.endpoints.LeaseGrant`).
+  A lease that lapses and is re-advertised comes back with a strictly
+  greater token, so guarded resources (``FenceGuard``, the builtin
+  ``publish`` path) can refuse writes from the *previous* holder —
+  the classic stop-the-zombie defence.  Standalone, epoch is fixed
+  and the counter is a local monotonic; replicated
+  (:mod:`repro.cluster.replicate`), epoch is the leader's election
+  term and the counter the log index.
+
+- **Watch upcalls.**  ``watch(service, since, sink)`` subscribes the
+  caller's ``sink`` procedure (a RUC, §4) to an
+  :class:`~repro.cluster.group.UpcallGroup`; every directory change
+  fans out as a versioned :class:`~repro.cluster.endpoints.DirectoryEvent`.
+  Missed history is replayed from a bounded event log on subscribe,
+  and ``(epoch, version)`` ordering lets the watcher deduplicate the
+  overlap — at-least-once delivery, exactly-once application.
+
+Write/read methods are declared ``@idempotent`` (leases converge)
+so clients with a :class:`~repro.rpc.RetryPolicy` may retry them;
+``watch`` is *not* idempotent — it mints a new subscription per call.
 """
 
 from __future__ import annotations
 
+import collections
+import itertools
 import time
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
-from repro.cluster.endpoints import Endpoint
+from repro.cluster.endpoints import DirectoryEvent, Endpoint, LeaseGrant
 from repro.stubs import RemoteInterface, idempotent
 
 if TYPE_CHECKING:
@@ -43,10 +62,10 @@ class DirectoryInterface(RemoteInterface):
 
     __clam_class__ = "clam.directory"
 
-    # Every method is idempotent by construction (leases converge), so
-    # the whole protocol is retry-safe under a client RetryPolicy.
     @idempotent
-    def advertise(self, service: str, url: str, load: float, lease: float) -> int: ...
+    def advertise(
+        self, service: str, url: str, load: float, lease: float
+    ) -> LeaseGrant: ...
     @idempotent
     def heartbeat(self, service: str, url: str, load: float) -> bool: ...
     @idempotent
@@ -57,6 +76,17 @@ class DirectoryInterface(RemoteInterface):
     def list_services(self) -> list[str]: ...
     @idempotent
     def entry_count(self) -> int: ...
+    # watch mints a fresh subscription per call — deliberately NOT
+    # idempotent, so a retried watch cannot silently double-subscribe.
+    def watch(
+        self,
+        service: str,
+        since_epoch: int,
+        since_version: int,
+        sink: Callable[[DirectoryEvent], None],
+    ) -> int: ...
+    @idempotent
+    def unwatch(self, key: int) -> bool: ...
 
 
 class _Lease:
@@ -88,13 +118,28 @@ class _Lease:
 class DirectoryImpl(DirectoryInterface):
     """Server-side implementation of the directory protocol.
 
-    Expiry is *lazy*: every entry carries its deadline and is swept on
-    the next read or write that touches its service.  A directory with
-    no traffic holds stale entries in memory but never serves them —
-    and needs no reaper task of its own.
+    Expiry is *lazy* by default: every entry carries its deadline and
+    is swept on the next read or write that touches its service.  The
+    replication layer flips ``expiry_enabled`` off on every node and
+    routes expiry through the log instead (only the leader decides
+    that a lease lapsed, and it says so with a logged ``expire`` op) —
+    otherwise each replica's clock would expire entries independently
+    and the copies would diverge.
     """
 
-    __clam_local__ = ("sweep_now",)
+    __clam_local__ = (
+        "sweep_now",
+        "lapsed",
+        "force_expire",
+        "regrant_all",
+        "set_fence",
+        "note_leader_change",
+        "broadcast_local",
+        "reset_state",
+        "install_lease",
+        "close_watches",
+        "watch_stats",
+    )
 
     def __init__(
         self,
@@ -103,6 +148,7 @@ class DirectoryImpl(DirectoryInterface):
         max_lease: float = 60.0,
         metrics: "MetricsRegistry | None" = None,
         clock=time.monotonic,
+        history_limit: int = 4096,
     ):
         if default_lease <= 0:
             raise ValueError("default_lease must be positive")
@@ -112,15 +158,34 @@ class DirectoryImpl(DirectoryInterface):
         self._clock = clock
         self._services: dict[str, dict[str, _Lease]] = {}
         self.expired = 0
+        #: Fencing state.  Standalone the epoch stays 1 and the version
+        #: is a local monotonic; under replication the apply path calls
+        #: :meth:`set_fence` before each op so the minted token equals
+        #: (term, log index).
+        self.epoch = 1
+        self.version = 0
+        #: False on replicated nodes: leases never lapse locally, they
+        #: leave only via applied ``withdraw``/``expire`` ops.
+        self.expiry_enabled = True
+        # -- watch plane -----------------------------------------------------
+        self._history: collections.deque[DirectoryEvent] = collections.deque(
+            maxlen=history_limit
+        )
+        self._groups: dict[str, object] = {}
+        self._watch_ids = itertools.count(1)
+        #: watch key -> (service, group subscriber key)
+        self._watches: dict[int, tuple[str, int]] = {}
 
     # -- the protocol ------------------------------------------------------------
 
-    def advertise(self, service: str, url: str, load: float, lease: float) -> int:
-        """Register (or re-register) a replica; returns its generation.
+    def advertise(self, service: str, url: str, load: float, lease: float) -> LeaseGrant:
+        """Register (or re-register) a replica; returns its lease grant.
 
         ``lease`` <= 0 asks for the directory's default; anything above
         ``max_lease`` is clamped — a replica cannot park itself in the
-        namespace forever by asking for an enormous lease.
+        namespace forever by asking for an enormous lease.  The grant's
+        fencing token is strictly greater than any token previously
+        granted by this directory (or, replicated, by this cluster).
         """
         if not service or not url:
             raise ValueError("advertise needs a service name and a url")
@@ -135,7 +200,7 @@ class DirectoryImpl(DirectoryInterface):
             existing.generation += 1
             existing.lease = lease
             existing.refresh(load, now)
-            generation = existing.generation
+            entry = existing
         else:
             entry = _Lease(service, url, load, lease, now)
             entries[url] = entry
@@ -143,13 +208,13 @@ class DirectoryImpl(DirectoryInterface):
             # hands back an unregistered dict) — re-register it now that
             # it holds a live entry again.
             self._services[service] = entries
-            generation = entry.generation
+        version = self._emit("advertise", entry.service, entry.url, entry.load,
+                             entry.generation)
         if self._metrics is not None:
             self._metrics.counter("cluster.directory.advertised").inc()
-            self._metrics.gauge("cluster.directory.entries").set(
-                float(sum(len(v) for v in self._services.values()))
-            )
-        return generation
+            self._note_entries()
+        return LeaseGrant(generation=entry.generation, epoch=self.epoch,
+                          counter=version)
 
     def heartbeat(self, service: str, url: str, load: float) -> bool:
         """Refresh a lease; False means it lapsed — re-advertise."""
@@ -165,15 +230,17 @@ class DirectoryImpl(DirectoryInterface):
     def withdraw(self, service: str, url: str) -> bool:
         """Retract an entry immediately (clean shutdown beats lease expiry)."""
         entries = self._services.get(service)
-        if entries is None or entries.pop(url, None) is None:
+        if entries is None:
+            return False
+        entry = entries.pop(url, None)
+        if entry is None:
             return False
         if not entries:
             del self._services[service]
+        self._emit("withdraw", service, url, entry.load, entry.generation)
         if self._metrics is not None:
             self._metrics.counter("cluster.directory.withdrawn").inc()
-            self._metrics.gauge("cluster.directory.entries").set(
-                float(sum(len(v) for v in self._services.values()))
-            )
+            self._note_entries()
         return True
 
     def resolve(self, service: str) -> list[Endpoint]:
@@ -198,6 +265,55 @@ class DirectoryImpl(DirectoryInterface):
         now = self._clock()
         return sum(len(self._sweep(service, now)) for service in list(self._services))
 
+    # -- watch upcalls ------------------------------------------------------------
+
+    def watch(
+        self,
+        service: str,
+        since_epoch: int,
+        since_version: int,
+        sink: Callable[[DirectoryEvent], None],
+    ) -> int:
+        """Subscribe ``sink`` to ``service``'s changes; returns a watch key.
+
+        Events already in the bounded history with ``(epoch, version)``
+        greater than ``(since_epoch, since_version)`` are replayed into
+        the new subscription *before* any live event can land — the
+        method is synchronous, so nothing else runs between subscribe
+        and replay.  A fresh watcher passes ``(0, 0)`` and receives the
+        current state as replayed advertisements.
+        """
+        group = self._group_for(service)
+        key = group.subscribe(sink)
+        wid = next(self._watch_ids)
+        self._watches[wid] = (service, key)
+        mark = (since_epoch, since_version)
+        for event in list(self._history):
+            if event.service != service and event.kind != "leader-change":
+                continue
+            if (event.epoch, event.version) <= mark:
+                continue
+            group.offer_to(key, event)
+        if self._metrics is not None:
+            self._metrics.gauge("cluster.directory.watchers").set(
+                float(len(self._watches))
+            )
+        return wid
+
+    def unwatch(self, key: int) -> bool:
+        entry = self._watches.pop(key, None)
+        if entry is None:
+            return False
+        service, sub_key = entry
+        group = self._groups.get(service)
+        if group is not None:
+            group.unsubscribe(sub_key)
+        if self._metrics is not None:
+            self._metrics.gauge("cluster.directory.watchers").set(
+                float(len(self._watches))
+            )
+        return True
+
     # -- host-side helpers (not remote) ------------------------------------------
 
     def sweep_now(self) -> int:
@@ -208,18 +324,162 @@ class DirectoryImpl(DirectoryInterface):
             self._sweep(service, now)
         return self.expired - before
 
+    def lapsed(self, grace: float = 0.0) -> list[tuple[str, str]]:
+        """(service, url) pairs whose lease deadline has passed.
+
+        Used by the replicated leader's active sweep: it *reports*
+        lapses here, then expires them through the log so every replica
+        (and every watcher) sees the same expiry at the same log index.
+        """
+        now = self._clock() - grace
+        return [
+            (entry.service, entry.url)
+            for entries in self._services.values()
+            for entry in entries.values()
+            if entry.expires_at <= now
+        ]
+
+    def force_expire(self, service: str, url: str) -> bool:
+        """Remove one entry as *expired* (emits an ``expire`` event)."""
+        entries = self._services.get(service)
+        if entries is None:
+            return False
+        entry = entries.pop(url, None)
+        if entry is None:
+            return False
+        if not entries:
+            del self._services[service]
+        self.expired += 1
+        self._emit("expire", service, url, entry.load, entry.generation)
+        if self._metrics is not None:
+            self._metrics.counter("cluster.directory.expired").inc()
+            self._note_entries()
+        return True
+
+    def regrant_all(self, lease: float | None = None) -> int:
+        """Grant every entry a fresh full lease window; returns the count.
+
+        A newly elected leader calls this before it starts sweeping:
+        its lease deadlines are stale (heartbeats refreshed the *old*
+        leader's copies), so every survivor gets one full window to
+        find the new leader and heartbeat — dead entries then expire
+        exactly one window after the election instead of instantly.
+        """
+        now = self._clock()
+        count = 0
+        for entries in self._services.values():
+            for entry in entries.values():
+                if lease is not None:
+                    entry.lease = max(entry.lease, lease)
+                entry.expires_at = now + entry.lease
+                count += 1
+        return count
+
+    def set_fence(self, epoch: int, version: int) -> None:
+        """Pin the fencing state (replication apply path).
+
+        Called with ``(term, index - 1)`` immediately before applying a
+        log record, so the single event that record emits carries
+        exactly ``(term, index)``.
+        """
+        self.epoch = epoch
+        self.version = version
+
+    def note_leader_change(self, leader_url: str) -> int:
+        """Emit a ``leader-change`` event to every watcher of every service."""
+        return self._emit("leader-change", "", leader_url, 0.0, 0)
+
+    def broadcast_local(self, event: DirectoryEvent) -> None:
+        """Post an event to every group *without* minting or history.
+
+        The step-down notification path: a deposed leader tells its
+        still-subscribed watchers to move on, but the event is local
+        soft state — not part of the replicated stream — so it must
+        not consume a version or linger in replayable history.
+        """
+        for group in self._groups.values():
+            group.post(event)
+
+    def reset_state(self) -> None:
+        """Drop all leases and replayable history, keep subscriptions.
+
+        Divergence repair (log truncation, snapshot install): the
+        caller rebuilds state by replaying its corrected log or
+        installing a snapshot.  Watch groups survive so any attached
+        watcher keeps its stream.
+        """
+        self._services.clear()
+        self._history.clear()
+
+    def install_lease(
+        self, service: str, url: str, load: float, generation: int, lease: float
+    ) -> None:
+        """Install one lease verbatim from a snapshot (no event, fresh window)."""
+        entry = _Lease(service, url, load, lease, self._clock())
+        entry.generation = generation
+        self._services.setdefault(service, {})[url] = entry
+
+    async def close_watches(self) -> None:
+        for group in self._groups.values():
+            await group.close()
+        self._groups.clear()
+        self._watches.clear()
+
+    def watch_stats(self) -> dict[str, dict]:
+        return {service: group.stats() for service, group in self._groups.items()}
+
+    # -- internals ---------------------------------------------------------------
+
+    def _group_for(self, service: str):
+        group = self._groups.get(service)
+        if group is None:
+            from repro.cluster.group import UpcallGroup
+
+            group = UpcallGroup(
+                f"directory:{service}", queue_limit=256, metrics=self._metrics
+            )
+            self._groups[service] = group
+        return group
+
+    def _emit(
+        self, kind: str, service: str, url: str, load: float, generation: int
+    ) -> int:
+        self.version += 1
+        event = DirectoryEvent(
+            kind=kind,
+            service=service,
+            url=url,
+            load=load,
+            generation=generation,
+            epoch=self.epoch,
+            version=self.version,
+        )
+        self._history.append(event)
+        if kind == "leader-change":
+            for group in self._groups.values():
+                group.post(event)
+        else:
+            group = self._groups.get(service)
+            if group is not None:
+                group.post(event)
+        return self.version
+
+    def _note_entries(self) -> None:
+        self._metrics.gauge("cluster.directory.entries").set(
+            float(sum(len(v) for v in self._services.values()))
+        )
+
     def _sweep(self, service: str, now: float) -> dict[str, _Lease]:
         entries = self._services.setdefault(service, {})
-        lapsed = [url for url, entry in entries.items() if entry.expires_at <= now]
-        for url in lapsed:
-            del entries[url]
-        if lapsed:
-            self.expired += len(lapsed)
-            if self._metrics is not None:
+        if self.expiry_enabled:
+            lapsed = [url for url, entry in entries.items() if entry.expires_at <= now]
+            for url in lapsed:
+                entry = entries.pop(url)
+                self.expired += 1
+                self._emit("expire", service, url, entry.load, entry.generation)
+            if lapsed and self._metrics is not None:
                 self._metrics.counter("cluster.directory.expired").inc(len(lapsed))
-                self._metrics.gauge("cluster.directory.entries").set(
-                    float(sum(len(v) for v in self._services.values()))
-                )
+                self._note_entries()
         if not entries:
             self._services.pop(service, None)
             return {}
@@ -232,7 +492,9 @@ class DirectoryServer:
     The embedding pattern of §4.2 (the server creates its screen before
     clients arrive), applied to naming: the directory object is created
     host-side and published under :data:`DIRECTORY_SERVICE` before the
-    listener opens, so the first advertiser already finds it.
+    listener opens, so the first advertiser already finds it.  For the
+    replicated, leader-elected variant see
+    :class:`repro.cluster.replicate.ReplicatedDirectoryServer`.
     """
 
     def __init__(
@@ -258,6 +520,7 @@ class DirectoryServer:
         return self.address
 
     async def shutdown(self) -> None:
+        await self.directory.close_watches()
         await self.server.shutdown()
 
     async def __aenter__(self) -> "DirectoryServer":

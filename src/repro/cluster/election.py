@@ -1,0 +1,202 @@
+"""Lease-based leader election: the state machine, minus the IO.
+
+One :class:`ElectionManager` per directory replica tracks the classic
+trio — *term*, *vote*, *role* — plus the leader lease that makes the
+protocol calm: a follower that heard from a live leader recently
+refuses to vote anyone else in (leader stickiness), so a briefly
+slow node cannot depose a healthy leader.  The manager is pure state
+(no tasks, no sockets, injectable clock and seeded RNG), which is
+what makes election edge cases unit-testable without a cluster;
+:mod:`repro.cluster.replicate` drives it over real connections.
+
+The term doubles as the **fencing epoch**: every lease the leader
+grants carries ``epoch = term``, and every replicated write carries
+the leader's term, so "reject the stale leader's writes" and "reject
+the stale lease-holder's writes" are the same comparison
+(:class:`repro.rpc.FencingToken` ordering).
+
+Safety here is the Raft argument, scoped down: a term elects at most
+one leader (each voter votes once per term), and a candidate must
+present a log at least as up-to-date as the voter's.  Commit-before-
+apply is deliberately *not* implemented — the directory is soft state
+that heartbeats regenerate, so the leader applies immediately and
+replicates asynchronously; the window this opens is documented in
+CLUSTER.md's failure-mode table.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+ROLE_FOLLOWER = "follower"
+ROLE_CANDIDATE = "candidate"
+ROLE_LEADER = "leader"
+
+#: Default (min, max) seconds without leader contact before a node
+#: campaigns.  Randomized per deadline so two followers rarely tie.
+DEFAULT_ELECTION_TIMEOUT = (0.15, 0.30)
+
+
+class ElectionManager:
+    """Term/vote/role bookkeeping for one replica."""
+
+    def __init__(
+        self,
+        self_url: str,
+        *,
+        election_timeout: tuple[float, float] = DEFAULT_ELECTION_TIMEOUT,
+        seed: int | None = None,
+        clock=time.monotonic,
+    ):
+        lo, hi = election_timeout
+        if lo <= 0 or hi < lo:
+            raise ValueError("election_timeout must be (min, max) with 0 < min <= max")
+        self.self_url = self_url
+        self.timeout_min = lo
+        self.timeout_max = hi
+        self._rng = random.Random(seed)
+        self._clock = clock
+        self.term = 0
+        self.role = ROLE_FOLLOWER
+        self.voted_for: str | None = None
+        self.leader_url = ""
+        self.votes: set[str] = set()
+        #: Counters the embedding node mirrors into metrics.
+        self.elections = 0
+        self.votes_granted = 0
+        self.leader_changes = 0
+        self._last_leader_contact = -1e9
+        self._deadline = 0.0
+        self.reset_timer()
+
+    # -- timers ------------------------------------------------------------------
+
+    def reset_timer(self) -> None:
+        """Re-arm the election timeout with a fresh randomized deadline."""
+        self._deadline = self._clock() + self._rng.uniform(
+            self.timeout_min, self.timeout_max
+        )
+
+    def timed_out(self) -> bool:
+        """Should this node campaign now?  (Never true for a leader.)"""
+        return self.role != ROLE_LEADER and self._clock() >= self._deadline
+
+    def leader_is_fresh(self) -> bool:
+        """Did a leader speak within one minimum election timeout?"""
+        return (self._clock() - self._last_leader_contact) < self.timeout_min
+
+    # -- follower side -----------------------------------------------------------
+
+    def note_leader(self, term: int, leader_url: str) -> bool:
+        """An append arrived claiming leadership; accept it?
+
+        ``False`` means the claim is *stale* (lower term) and the caller
+        must reject the append — that rejection is the fencing moment.
+        Accepting adopts the term, records the leader, and re-arms the
+        timer; a leader or candidate that accepts steps down.
+        """
+        if term < self.term:
+            return False
+        changed = leader_url != self.leader_url
+        if term > self.term:
+            self.term = term
+            self.voted_for = None
+        self.role = ROLE_FOLLOWER
+        self.leader_url = leader_url
+        self._last_leader_contact = self._clock()
+        self.reset_timer()
+        if changed:
+            self.leader_changes += 1
+        return True
+
+    def on_vote_request(
+        self,
+        term: int,
+        candidate: str,
+        candidate_last_index: int,
+        candidate_last_term: int,
+        our_last_index: int,
+        our_last_term: int,
+    ) -> bool:
+        """Grant or deny one RequestVote; updates term/vote state.
+
+        Leader stickiness comes first and deliberately does *not* adopt
+        the candidate's term: a partitioned node rejoining with an
+        inflated term must not stampede a healthy cluster into an
+        election (the PreVote-lite defence).
+        """
+        if term < self.term:
+            return False
+        if self.leader_is_fresh() and candidate != self.leader_url:
+            return False
+        if term > self.term:
+            self.step_down(term)
+        if self.voted_for not in (None, candidate):
+            return False
+        if (candidate_last_term, candidate_last_index) < (our_last_term, our_last_index):
+            # A candidate missing log suffix we hold could overwrite
+            # applied entries on winning — deny (Raft §5.4.1).
+            return False
+        self.voted_for = candidate
+        self.votes_granted += 1
+        self.reset_timer()
+        return True
+
+    # -- candidate side ----------------------------------------------------------
+
+    def start_election(self) -> int:
+        """Open a new term as candidate, voting for ourselves."""
+        self.term += 1
+        self.role = ROLE_CANDIDATE
+        self.voted_for = self.self_url
+        self.leader_url = ""
+        self.votes = {self.self_url}
+        self.elections += 1
+        self.reset_timer()
+        return self.term
+
+    def note_vote(self, voter: str, term: int, granted: bool) -> None:
+        """Record one RequestVote reply (stale replies are ignored)."""
+        if term > self.term:
+            self.step_down(term)
+            return
+        if granted and term == self.term and self.role == ROLE_CANDIDATE:
+            self.votes.add(voter)
+
+    def has_majority(self, cluster_size: int) -> bool:
+        return len(self.votes) * 2 > cluster_size
+
+    def become_leader(self) -> None:
+        self.role = ROLE_LEADER
+        self.leader_url = self.self_url
+        self._last_leader_contact = self._clock()
+        self.leader_changes += 1
+
+    # -- shared ------------------------------------------------------------------
+
+    def step_down(self, term: int) -> None:
+        """A higher term exists: become its follower (leader unknown)."""
+        if term > self.term:
+            self.term = term
+            self.voted_for = None
+        self.role = ROLE_FOLLOWER
+        self.leader_url = ""
+        self.reset_timer()
+
+    @property
+    def is_leader(self) -> bool:
+        return self.role == ROLE_LEADER
+
+    def snapshot(self) -> dict:
+        """State dump for debugging and the obs plane."""
+        return {
+            "self": self.self_url,
+            "role": self.role,
+            "term": self.term,
+            "leader": self.leader_url,
+            "voted_for": self.voted_for,
+            "votes": sorted(self.votes),
+            "elections": self.elections,
+            "leader_changes": self.leader_changes,
+        }

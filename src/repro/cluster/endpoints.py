@@ -28,3 +28,49 @@ class Endpoint:
     url: str
     load: float
     generation: int
+
+
+@dataclass(frozen=True)
+class LeaseGrant:
+    """What ``advertise`` returns: the generation plus a fencing token.
+
+    ``generation`` is the per-(service, url) advertisement count (as
+    before); ``epoch``/``counter`` form the lease's
+    :class:`~repro.rpc.FencingToken` — epoch is the granting leader's
+    election term, counter the log index (or, standalone, a local
+    monotonic) of the grant.  A lease that lapses and is re-advertised
+    comes back with a strictly greater token, which is what lets
+    guarded resources refuse the *old* holder's writes.
+    """
+
+    generation: int
+    epoch: int
+    counter: int
+
+    @property
+    def token(self):
+        from repro.rpc import FencingToken
+
+        return FencingToken(self.epoch, self.counter)
+
+
+@dataclass(frozen=True)
+class DirectoryEvent:
+    """One versioned directory change, as delivered to watchers.
+
+    ``kind`` is one of ``advertise`` / ``withdraw`` / ``expire`` /
+    ``leader-change``; for ``leader-change`` the ``url`` names the new
+    leader and ``service`` is empty.  ``(epoch, version)`` orders
+    events totally (lexicographically) across leader failovers — a
+    watcher that remembers the last pair it applied and discards
+    anything not greater gets exactly-once semantics from an
+    at-least-once (replayed) stream.
+    """
+
+    kind: str
+    service: str
+    url: str
+    load: float
+    generation: int
+    epoch: int
+    version: int

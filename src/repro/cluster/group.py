@@ -138,6 +138,7 @@ class UpcallGroup:
         metrics=None,
         tracer=None,
         on_evict: Callable[[int, Exception], Any] | None = None,
+        fence=None,
     ):
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
@@ -151,6 +152,12 @@ class UpcallGroup:
         self._metrics = metrics
         self._tracer = tracer
         self._on_evict = on_evict
+        #: Optional :class:`repro.rpc.FenceGuard`.  When set, every
+        #: post() admits the caller's ambient fencing token against the
+        #: topic before enqueueing — a publisher whose lease lapsed
+        #: (and was re-granted to someone else) gets FencedWriteError
+        #: instead of fanning out stale events.
+        self._fence = fence
         # Stage clocks (see repro.obs.stages): post() stamps each event
         # so the pump can report queue wait per delivery.  The timer
         # shares the registry's interned histograms, so many groups on
@@ -226,6 +233,8 @@ class UpcallGroup:
         """
         if self._closed:
             raise UpcallError(f"upcall group {self.topic!r} is closed")
+        if self._fence is not None:
+            self._fence.admit(self.topic)
         self.posts += 1
         enqueued = 0
         # Events carry their enqueue stamp so the pump can attribute
@@ -236,38 +245,8 @@ class UpcallGroup:
         t_post = time.perf_counter() if self._stages is not None else 0.0
         event = _Event(args, t_post)
         for subscriber in list(self._subscribers.values()):
-            if not subscriber.alive:
-                continue
-            outcome, discarded = subscriber.queue.offer(event)
-            if outcome is Outcome.DROPPED:
-                self.dropped += discarded
-                if self._metrics is not None:
-                    self._metrics.counter("cluster.fanout.dropped").inc(discarded)
-                continue
-            if outcome is Outcome.EVICT:
-                self._evict(
-                    subscriber,
-                    SlowSubscriberError(
-                        f"subscriber {subscriber.key} on topic {self.topic!r} "
-                        f"fell {len(subscriber.queue)} events behind "
-                        f"(queue_limit={self.queue_limit})"
-                    ),
-                )
-                continue
-            if outcome is Outcome.COALESCED:
-                # The backlog collapsed; the new event superseded it.
-                self.coalesced += discarded
-                if self._metrics is not None:
-                    self._metrics.counter("cluster.fanout.coalesced").inc(discarded)
-            subscriber.idle.clear()
-            # Arm the wakeup only when the pump is actually parked on
-            # it; an awake pump re-checks its queue before parking, so
-            # posts during delivery cost two attribute reads, not an
-            # Event.set() per subscriber per event.
-            if subscriber.parked:
-                subscriber.parked = False
-                subscriber.wakeup.set()
-            enqueued += 1
+            if self._offer(subscriber, event):
+                enqueued += 1
         if self._metrics is not None:
             self._metrics.counter("cluster.fanout.posts").inc()
         if self._stages is not None:
@@ -275,6 +254,59 @@ class UpcallGroup:
                 STAGE_ENQUEUE, (time.perf_counter() - t_post) * 1e6
             )
         return enqueued
+
+    def offer_to(self, key: int, *args: Any) -> bool:
+        """Enqueue one event to a *single* subscriber; True if it queued.
+
+        The replay half of the watch protocol: a synchronous handler can
+        subscribe and then offer the missed history to just the new
+        subscriber, with no other subscriber seeing the replay and no
+        live post able to interleave (the handler never awaits between
+        subscribe and offers).  Not fenced — replay is server-internal,
+        not a publisher write.
+        """
+        if self._closed:
+            raise UpcallError(f"upcall group {self.topic!r} is closed")
+        subscriber = self._subscribers.get(key)
+        if subscriber is None:
+            return False
+        t_post = time.perf_counter() if self._stages is not None else 0.0
+        return self._offer(subscriber, _Event(args, t_post))
+
+    def _offer(self, subscriber: _Subscriber, event: _Event) -> bool:
+        """Offer one event to one queue, applying the slow policy."""
+        if not subscriber.alive:
+            return False
+        outcome, discarded = subscriber.queue.offer(event)
+        if outcome is Outcome.DROPPED:
+            self.dropped += discarded
+            if self._metrics is not None:
+                self._metrics.counter("cluster.fanout.dropped").inc(discarded)
+            return False
+        if outcome is Outcome.EVICT:
+            self._evict(
+                subscriber,
+                SlowSubscriberError(
+                    f"subscriber {subscriber.key} on topic {self.topic!r} "
+                    f"fell {len(subscriber.queue)} events behind "
+                    f"(queue_limit={self.queue_limit})"
+                ),
+            )
+            return False
+        if outcome is Outcome.COALESCED:
+            # The backlog collapsed; the new event superseded it.
+            self.coalesced += discarded
+            if self._metrics is not None:
+                self._metrics.counter("cluster.fanout.coalesced").inc(discarded)
+        subscriber.idle.clear()
+        # Arm the wakeup only when the pump is actually parked on
+        # it; an awake pump re-checks its queue before parking, so
+        # posts during delivery cost two attribute reads, not an
+        # Event.set() per subscriber per event.
+        if subscriber.parked:
+            subscriber.parked = False
+            subscriber.wakeup.set()
+        return True
 
     # -- delivery -----------------------------------------------------------------
 

@@ -32,6 +32,19 @@ executed* on the dying replica.  The default (``failover="transport"``)
 re-routes every such call, which is at-least-once for non-idempotent
 methods; set ``failover="idempotent"`` to re-route only calls the
 interface declares safe.
+
+Endpoint caches have two freshness regimes.  The default is TTL
+polling: a pool re-resolves at most every ``resolve_ttl`` seconds and
+serves the cache in between (``cluster.client.cache_hit`` /
+``cache_miss`` / ``cache_stale`` count how that works out).  Calling
+:meth:`ClusterClient.watch` upgrades a service to **watch upcalls**:
+a dedicated :class:`~repro.cluster.replicate.LeaderClient` subscribes
+to the directory's event stream and patches the pool *in place* on
+every advertise/expire/withdraw, with ``(epoch, version)`` dedup
+making delivery exactly-once across leader failovers.  While the
+watch is live the TTL stretches to a safety net; if the watch dies
+and cannot resubscribe, the pool falls back to TTL polling until it
+recovers — degraded, never wrong.
 """
 
 from __future__ import annotations
@@ -48,8 +61,7 @@ from repro.errors import (
     ServerOverloadedError,
     TransportError,
 )
-from repro.cluster.directory import DIRECTORY_SERVICE, DirectoryInterface
-from repro.cluster.endpoints import Endpoint
+from repro.cluster.endpoints import DirectoryEvent, Endpoint
 from repro.obs.metrics import MetricsRegistry
 from repro.rpc import RetryPolicy
 from repro.stubs import interface_spec
@@ -190,6 +202,18 @@ class ReplicaPool:
         self._resolved_at = -1e9
         self._resolve_lock = asyncio.Lock()
         self._closed = False
+        #: True while a live directory watch patches this pool in
+        #: place; the TTL stretches to a safety net (see watch_ttl).
+        self.watching = False
+
+    @property
+    def _effective_ttl(self) -> float:
+        if not self.watching:
+            return self._resolve_ttl
+        # Watch mode: events keep the cache fresh, so the TTL only
+        # backstops a silently dead stream (evicted subscriber, lost
+        # event) — generous, but not infinite.
+        return max(self._resolve_ttl * 20.0, 5.0)
 
     # -- resolution ----------------------------------------------------------------
 
@@ -205,13 +229,20 @@ class ReplicaPool:
         """
         async with self._resolve_lock:
             now = asyncio.get_running_loop().time()
-            if not force and now - self._resolved_at < self._resolve_ttl:
+            if not force and now - self._resolved_at < self._effective_ttl:
+                if self._metrics is not None:
+                    self._metrics.counter(
+                        "cluster.client.cache_hit", service=self.service
+                    ).inc()
                 return
             endpoints = await self._directory.resolve(self.service)
             self._resolved_at = asyncio.get_running_loop().time()
             if self._metrics is not None:
                 self._metrics.counter(
                     "cluster.pool.resolves", service=self.service
+                ).inc()
+                self._metrics.counter(
+                    "cluster.client.cache_miss", service=self.service
                 ).inc()
             seen = set()
             for endpoint in endpoints:
@@ -229,6 +260,39 @@ class ReplicaPool:
                 replica.load = endpoint.load
             for url in [u for u in self._replicas if u not in seen]:
                 await self._replicas.pop(url).retire()
+
+    async def apply_event(self, event: DirectoryEvent) -> None:
+        """Patch the endpoint cache in place from one directory event.
+
+        The watch path's replacement for :meth:`refresh`: an advertise
+        upserts (a generation bump retires the stale connection, like
+        a TTL refresh would), a withdraw or expire removes.  The cache
+        is considered freshly resolved afterwards, so the TTL safety
+        net re-arms on every event.
+        """
+        if event.kind == "advertise":
+            endpoint = Endpoint(
+                service=event.service,
+                url=event.url,
+                load=event.load,
+                generation=event.generation,
+            )
+            replica = self._replicas.get(event.url)
+            if replica is None:
+                self._replicas[event.url] = Replica(endpoint)
+            else:
+                if event.generation != replica.generation:
+                    await replica.retire()
+                    replica.generation = event.generation
+                    replica.down_until = 0.0
+                replica.load = event.load
+        elif event.kind in ("withdraw", "expire"):
+            replica = self._replicas.pop(event.url, None)
+            if replica is not None:
+                await replica.retire()
+        else:
+            return
+        self._resolved_at = asyncio.get_running_loop().time()
 
     async def _candidates(self) -> list[Replica]:
         await self.refresh()
@@ -276,6 +340,11 @@ class ReplicaPool:
         if self._metrics is not None:
             self._metrics.counter(
                 "cluster.pool.marked_down", service=self.service
+            ).inc()
+            # The cache served us an endpoint that proved dead: that is
+            # a stale answer, whatever refreshes it next.
+            self._metrics.counter(
+                "cluster.client.cache_stale", service=self.service
             ).inc()
         await replica.retire()
         # The set has visibly changed; make the next call re-resolve.
@@ -429,12 +498,36 @@ class ClusterProxy:
         )
 
 
+class _ServiceWatch:
+    """One service's watch subscription: link, cursor, monitor task."""
+
+    __slots__ = ("service", "link", "queue", "task", "mark", "key", "active", "stopped")
+
+    def __init__(self, service: str, link):
+        self.service = service
+        self.link = link
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.task: asyncio.Task | None = None
+        #: Last ``(epoch, version)`` applied — the exactly-once cursor.
+        self.mark = (0, 0)
+        self.key = 0
+        self.active = False
+        self.stopped = False
+
+    def sink(self, event: DirectoryEvent) -> None:
+        """The RUC the directory calls back; runs on the upcall stream."""
+        self.queue.put_nowait(event)
+
+
 class ClusterClient:
     """Client-side entry to the cluster: resolve, bind, balance.
 
-    One ClamClient connects to the directory (supervised, retrying —
-    directory methods are all idempotent); each bound service gets a
-    :class:`ReplicaPool` that dials replicas on demand.
+    One :class:`~repro.cluster.replicate.LeaderClient` link carries the
+    directory traffic (supervised, retrying, leader-chasing —
+    directory reads and writes are idempotent); each bound service
+    gets a :class:`ReplicaPool` that dials replicas on demand, and
+    :meth:`watch` upgrades a service from TTL polling to directory
+    event upcalls.
     """
 
     def __init__(
@@ -447,6 +540,9 @@ class ClusterClient:
         down_ttl: float = 1.0,
         failover: str = "transport",
         client_options: dict | None = None,
+        directory_urls: "str | list[str] | None" = None,
+        connect_timeout: float | None = 5.0,
+        retry: RetryPolicy | None = None,
     ):
         if failover not in ("transport", "idempotent"):
             raise ValueError(
@@ -459,13 +555,17 @@ class ClusterClient:
         self._down_ttl = down_ttl
         self._failover = failover
         self._client_options = dict(client_options or {})
+        self._directory_urls = directory_urls
+        self._connect_timeout = connect_timeout
+        self._retry = retry
         self.metrics = MetricsRegistry()
         self._pools: dict[str, ReplicaPool] = {}
+        self._watches: dict[str, _ServiceWatch] = {}
 
     @classmethod
     async def connect(
         cls,
-        directory_url: str,
+        directory_url: "str | list[str]",
         *,
         policy: str | BalancingPolicy = "round-robin",
         resolve_ttl: float = 0.5,
@@ -477,36 +577,31 @@ class ClusterClient:
     ) -> "ClusterClient":
         """Connect to the directory at ``directory_url``.
 
+        ``directory_url`` may be one URL or a replicated directory's
+        full replica list; the link chases the leader either way.
         ``client_options`` are passed through to every per-replica
         ``ClamClient.connect`` (retry policies, timeouts, batching).
         """
-        from repro.client import ClamClient
+        from repro.cluster.replicate import LeaderClient
 
         retry = retry if retry is not None else RetryPolicy(
             attempts=4, base_delay=0.05, max_delay=0.5
         )
-        directory_client = await ClamClient.connect(
-            directory_url,
-            retry=retry,
-            reconnect=True,
-            reconnect_policy=retry,
-            connect_timeout=connect_timeout,
+        link = LeaderClient(
+            directory_url, retry=retry, connect_timeout=connect_timeout
         )
-        try:
-            directory_proxy = await directory_client.lookup(
-                DirectoryInterface, DIRECTORY_SERVICE
-            )
-        except BaseException:
-            await directory_client.close()
-            raise
+        await link.ensure()
         return cls(
-            directory_client,
-            directory_proxy,
+            link,
+            link,
             policy=policy,
             resolve_ttl=resolve_ttl,
             down_ttl=down_ttl,
             failover=failover,
             client_options=client_options,
+            directory_urls=directory_url,
+            connect_timeout=connect_timeout,
+            retry=retry,
         )
 
     def _make_policy(self) -> BalancingPolicy:
@@ -537,26 +632,168 @@ class ClusterClient:
         convention).  Binding resolves eagerly so a missing service
         fails here, not on the first call.
         """
-        pool = self._pools.get(service)
-        if pool is None:
-            pool = ReplicaPool(
-                service,
-                self._directory,
-                policy=self._make_policy(),
-                resolve_ttl=self._resolve_ttl,
-                down_ttl=self._down_ttl,
-                failover=self._failover,
-                client_options=self._client_options,
-                metrics=self.metrics,
-            )
-            self._pools[service] = pool
+        pool, created = self._pool_for(service)
+        if created:
             await pool.refresh(force=True)
         return ClusterProxy(pool, iface, published if published is not None else service)
+
+    def _pool_for(self, service: str) -> tuple[ReplicaPool, bool]:
+        pool = self._pools.get(service)
+        if pool is not None:
+            return pool, False
+        pool = ReplicaPool(
+            service,
+            self._directory,
+            policy=self._make_policy(),
+            resolve_ttl=self._resolve_ttl,
+            down_ttl=self._down_ttl,
+            failover=self._failover,
+            client_options=self._client_options,
+            metrics=self.metrics,
+        )
+        self._pools[service] = pool
+        return pool, True
 
     def pool(self, service: str) -> ReplicaPool:
         return self._pools[service]
 
+    # -- the watch plane -----------------------------------------------------------
+
+    async def watch(self, service: str) -> None:
+        """Upgrade ``service`` from TTL polling to watch upcalls.
+
+        Subscribes to the directory's event stream over a dedicated
+        leader link and patches the service's pool in place on every
+        event.  The initial replay *is* the first resolution, so the
+        pool is populated when this returns.  Idempotent; the watch
+        survives leader failover (resubscribing with its cursor, so
+        every event is applied exactly once) and degrades to TTL
+        polling whenever the stream cannot be re-established.
+        """
+        if service in self._watches:
+            return
+        from repro.cluster.replicate import LeaderClient
+
+        pool, _ = self._pool_for(service)
+        urls = self._directory_urls if self._directory_urls is not None else [
+            u for u in [getattr(self._directory, "url", "")] if u
+        ]
+        watch = _ServiceWatch(
+            service,
+            LeaderClient(
+                urls, retry=self._retry, connect_timeout=self._connect_timeout
+            ),
+        )
+        self._watches[service] = watch
+        subscribed = asyncio.Event()
+        watch.task = asyncio.get_running_loop().create_task(
+            self._watch_loop(watch, pool, subscribed),
+            name=f"cluster-watch-{service}",
+        )
+        # Wait for the first subscribe+replay (or its failure) so
+        # callers see a populated pool; later resubscribes are the
+        # task's own business.
+        await subscribed.wait()
+
+    async def unwatch(self, service: str) -> None:
+        """Drop a service back to TTL polling."""
+        watch = self._watches.pop(service, None)
+        if watch is None:
+            return
+        watch.stopped = True
+        if watch.task is not None:
+            watch.task.cancel()
+            try:
+                await watch.task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if watch.active and watch.key:
+            try:
+                await watch.link.unwatch(watch.key)
+            except Exception:
+                pass
+        await watch.link.close()
+        pool = self._pools.get(service)
+        if pool is not None:
+            pool.watching = False
+        self._note_watch_gauge()
+
+    def _note_watch_gauge(self) -> None:
+        self.metrics.gauge("cluster.client.watch_active").set(
+            float(sum(1 for w in self._watches.values() if w.active))
+        )
+
+    async def _watch_loop(
+        self, watch: _ServiceWatch, pool: ReplicaPool, subscribed: asyncio.Event
+    ) -> None:
+        """Subscribe, pump events, resubscribe across failovers forever."""
+        while not watch.stopped:
+            try:
+                watch.key = await watch.link.invoke(
+                    "watch", watch.service, watch.mark[0], watch.mark[1], watch.sink
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # Degraded mode: no leader reachable — the pool's TTL
+                # path carries the load until the stream comes back.
+                watch.active = False
+                pool.watching = False
+                self._note_watch_gauge()
+                subscribed.set()
+                await asyncio.sleep(max(self._resolve_ttl, 0.2))
+                continue
+            watch.active = True
+            pool.watching = True
+            self._note_watch_gauge()
+            subscribed.set()
+            resubscribe = await self._pump_watch(watch, pool)
+            watch.active = False
+            pool.watching = False
+            self._note_watch_gauge()
+            if not resubscribe:
+                return
+
+    async def _pump_watch(self, watch: _ServiceWatch, pool: ReplicaPool) -> bool:
+        """Apply events until the stream dies; True to resubscribe."""
+        health_interval = max(self._resolve_ttl, 0.2)
+        while not watch.stopped:
+            try:
+                event = await asyncio.wait_for(watch.queue.get(), health_interval)
+            except (asyncio.TimeoutError, TimeoutError):
+                if not watch.link.healthy:
+                    # The connection carrying our RUC died (leader
+                    # crash, eviction): resubscribe from the cursor.
+                    await watch.link.reset()
+                    return True
+                continue
+            stamp = (event.epoch, event.version)
+            if stamp <= watch.mark:
+                # Replay overlap (at-least-once below, exactly-once
+                # here): already applied, drop it.
+                self.metrics.counter(
+                    "cluster.client.watch_duplicates", service=watch.service
+                ).inc()
+                continue
+            watch.mark = stamp
+            if event.kind == "leader-change":
+                leader = event.url
+                if leader != watch.link.url:
+                    # The stream we are on is no longer authoritative
+                    # (an empty url means an election is in flight):
+                    # chase the new leader with the cursor we have.
+                    await watch.link.reset(prefer=leader)
+                    return True
+                continue
+            await pool.apply_event(event)
+            self.metrics.counter(
+                "cluster.client.watch_events", service=watch.service
+            ).inc()
+        return False
+
     async def close(self) -> None:
+        for service in list(self._watches):
+            await self.unwatch(service)
         for pool in self._pools.values():
             await pool.close()
         self._pools.clear()

@@ -1,0 +1,1024 @@
+"""The replicated directory: one namespace over N directory servers.
+
+A :class:`ReplicatedDirectoryServer` is a directory replica that runs
+lease-based leader election (:mod:`repro.cluster.election`) over a
+simple replicated log.  The leader sequences every mutating op —
+``advertise`` / ``withdraw`` / ``expire`` / load changes — into
+:class:`LogRecord` entries, applies them immediately, and streams them
+to followers, which apply them in order and serve reads from the
+result.  A follower answering a *write* raises the retryable
+:class:`~repro.errors.NotLeaderError` with a leader hint packed into
+the message (``[leader=url]``); :class:`LeaderClient` — used by both
+:class:`~repro.cluster.advertise.Advertiser` and
+:class:`~repro.cluster.pool.ClusterClient` — follows the hint.
+
+Three deliberate simplifications, tuned to the directory's nature as
+*soft state that heartbeats regenerate*:
+
+- **Apply-before-commit.**  The leader applies and answers without
+  waiting for follower acks.  A leader that dies right after
+  answering can lose the tail of its log; the advertiser's next
+  heartbeat finds its lease missing (``heartbeat -> False``) and
+  re-advertises — the state self-heals within one heartbeat interval.
+- **Leader-only expiry.**  Followers never expire leases on their own
+  clock (``expiry_enabled = False``); only the leader decides a lease
+  lapsed, and it says so with a logged ``expire`` op, so the copies
+  cannot diverge on clock skew and watch streams see every expiry.
+  A fresh leader first re-grants every surviving lease one full
+  window (its deadlines are stale) — dead entries therefore expire
+  one lease window after an election, not instantly.
+- **Term = fencing epoch.**  Every grant and every replicated write
+  carries the leader's term.  A follower rejecting a lower-term
+  ``append_entries`` *is* the fencing comparison, and it is counted
+  as ``cluster.directory.fenced_writes`` — the same counter the
+  :class:`~repro.rpc.FenceGuard` uses for stale lease-holders.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import logging
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.cluster.directory import (
+    DEFAULT_LEASE,
+    DIRECTORY_SERVICE,
+    DirectoryImpl,
+    DirectoryInterface,
+)
+from repro.cluster.election import (
+    DEFAULT_ELECTION_TIMEOUT,
+    ROLE_CANDIDATE,
+    ROLE_LEADER,
+    ElectionManager,
+)
+from repro.cluster.endpoints import DirectoryEvent, Endpoint, LeaseGrant
+from repro.errors import (
+    CallTimeoutError,
+    ConnectionClosedError,
+    NotLeaderError,
+    TransportError,
+)
+from repro.rpc.fencing import pack_leader_hint
+from repro.stubs import RemoteInterface, idempotent
+
+logger = logging.getLogger(__name__)
+
+#: The name each replica publishes its peer-facing port under.
+REPLICA_SERVICE = "clam.directory.replica"
+
+#: Records shipped per append_entries call.
+APPEND_BATCH = 128
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One sequenced directory mutation.
+
+    ``index`` is the record's position (1-based, gapless); ``term`` the
+    leader term that sequenced it.  Together they are the fencing token
+    of whatever the record granted.  ``op`` is one of ``advertise`` /
+    ``withdraw`` / ``expire`` / ``load`` / ``leader``.
+    """
+
+    index: int
+    term: int
+    op: str
+    service: str
+    url: str
+    load: float
+    lease: float
+
+
+@dataclass(frozen=True)
+class LeaseSnapshot:
+    """One lease as shipped in a state snapshot (compacted-log resync)."""
+
+    service: str
+    url: str
+    load: float
+    generation: int
+    lease: float
+
+
+@dataclass(frozen=True)
+class VoteReply:
+    term: int
+    granted: bool
+
+
+@dataclass(frozen=True)
+class AppendReply:
+    """``ok`` acknowledges up to ``match_index``; on rejection
+    ``match_index`` is the follower's resume hint."""
+
+    term: int
+    ok: bool
+    match_index: int
+
+
+class ReplicaInterface(RemoteInterface):
+    """Peer-to-peer protocol between directory replicas.
+
+    Both methods are safe to retry: a vote request re-asks a decided
+    voter (same answer, ``voted_for`` is sticky per term) and a re-sent
+    append re-offers records the follower already holds (skipped by
+    index+term match).
+    """
+
+    __clam_class__ = "clam.directory.replica"
+
+    @idempotent
+    def request_vote(
+        self, term: int, candidate: str, last_index: int, last_term: int
+    ) -> VoteReply: ...
+    @idempotent
+    def append_entries(
+        self,
+        term: int,
+        leader: str,
+        prev_index: int,
+        prev_term: int,
+        entries: list[LogRecord],
+    ) -> AppendReply: ...
+    @idempotent
+    def install_snapshot(
+        self,
+        term: int,
+        leader: str,
+        last_index: int,
+        last_term: int,
+        epoch: int,
+        version: int,
+        leases: list[LeaseSnapshot],
+    ) -> AppendReply: ...
+
+
+class _Peer:
+    """Leader-side view of one follower."""
+
+    __slots__ = (
+        "url",
+        "client",
+        "proxy",
+        "next_index",
+        "match_index",
+        "last_sent",
+        "task",
+    )
+
+    def __init__(self, url: str):
+        self.url = url
+        self.client = None
+        self.proxy = None
+        self.next_index = 1
+        self.match_index = 0
+        self.last_sent = -1e9
+        self.task: asyncio.Task | None = None
+
+    def cancel(self) -> None:
+        if self.task is not None and not self.task.done():
+            self.task.cancel()
+        self.task = None
+
+    async def drop(self) -> None:
+        client, self.client, self.proxy = self.client, None, None
+        if client is not None:
+            try:
+                await client.close()
+            except Exception:
+                pass
+
+
+class _Frontdoor(DirectoryInterface):
+    """The client-facing directory port of one replica.
+
+    Reads are served locally on any node (followers apply in order, so
+    their copy is at most one replication round stale).  Writes and
+    ``watch`` are leader-only; a follower answers them with
+    :class:`NotLeaderError` carrying its current leader hint.
+    """
+
+    def __init__(self, node: "ReplicatedDirectoryServer"):
+        self._node = node
+
+    # -- leader-only ------------------------------------------------------------
+
+    def advertise(self, service: str, url: str, load: float, lease: float) -> LeaseGrant:
+        self._node.require_leader()
+        return self._node.leader_advertise(service, url, load, lease)
+
+    def heartbeat(self, service: str, url: str, load: float) -> bool:
+        self._node.require_leader()
+        return self._node.leader_heartbeat(service, url, load)
+
+    def withdraw(self, service: str, url: str) -> bool:
+        self._node.require_leader()
+        return self._node.leader_withdraw(service, url)
+
+    def watch(
+        self,
+        service: str,
+        since_epoch: int,
+        since_version: int,
+        sink: Callable[[DirectoryEvent], None],
+    ) -> int:
+        self._node.require_leader()
+        return self._node.directory.watch(service, since_epoch, since_version, sink)
+
+    # -- any node ---------------------------------------------------------------
+
+    def unwatch(self, key: int) -> bool:
+        return self._node.directory.unwatch(key)
+
+    def resolve(self, service: str) -> list[Endpoint]:
+        return self._node.directory.resolve(service)
+
+    def list_services(self) -> list[str]:
+        return self._node.directory.list_services()
+
+    def entry_count(self) -> int:
+        return self._node.directory.entry_count()
+
+
+class _ReplicaPort(ReplicaInterface):
+    def __init__(self, node: "ReplicatedDirectoryServer"):
+        self._node = node
+
+    def request_vote(
+        self, term: int, candidate: str, last_index: int, last_term: int
+    ) -> VoteReply:
+        return self._node.on_request_vote(term, candidate, last_index, last_term)
+
+    def append_entries(
+        self,
+        term: int,
+        leader: str,
+        prev_index: int,
+        prev_term: int,
+        entries: list[LogRecord],
+    ) -> AppendReply:
+        return self._node.on_append_entries(term, leader, prev_index, prev_term, entries)
+
+    def install_snapshot(
+        self,
+        term: int,
+        leader: str,
+        last_index: int,
+        last_term: int,
+        epoch: int,
+        version: int,
+        leases: list[LeaseSnapshot],
+    ) -> AppendReply:
+        return self._node.on_install_snapshot(
+            term, leader, last_index, last_term, epoch, version, leases
+        )
+
+
+class ReplicatedDirectoryServer:
+    """One replica of the replicated directory.
+
+    Run N of these (N odd; 3 is the classic) with each node's
+    ``peer_urls`` naming the other N-1, hand clients the full URL list
+    via :class:`LeaderClient`, and the ensemble behaves like one
+    directory that survives any minority of crashes and partitions.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        peer_urls: Sequence[str],
+        *,
+        default_lease: float = DEFAULT_LEASE,
+        max_lease: float = 60.0,
+        election_timeout: tuple[float, float] = DEFAULT_ELECTION_TIMEOUT,
+        heartbeat_interval: float | None = None,
+        seed: int | None = None,
+        connect_timeout: float = 2.0,
+        max_log: int = 65536,
+        **server_options,
+    ):
+        from repro.server import ClamServer
+
+        self.url = url
+        self.server = ClamServer(**server_options)
+        self.directory = DirectoryImpl(
+            default_lease=default_lease,
+            max_lease=max_lease,
+            metrics=self.server.metrics,
+        )
+        # Only applied ops may remove entries on a replica — expiry is
+        # the leader's call, made through the log.
+        self.directory.expiry_enabled = False
+        self._election = ElectionManager(
+            url, election_timeout=election_timeout, seed=seed
+        )
+        self._peers = [_Peer(peer) for peer in peer_urls]
+        self._hb_interval = (
+            heartbeat_interval
+            if heartbeat_interval is not None
+            else election_timeout[0] / 3.0
+        )
+        self._tick = min(self._hb_interval, election_timeout[0] / 3.0)
+        self._vote_timeout = election_timeout[0]
+        self._connect_timeout = connect_timeout
+        self._max_log = max_log
+        self._log: list[LogRecord] = []
+        self._log_start = 0  # index of the last compacted-away record
+        self._snap_term = 0  # term at the compaction boundary
+        self._default_lease = default_lease
+        self._kick = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        self._running = False
+        self.address = ""
+        self.server.publish(DIRECTORY_SERVICE, _Frontdoor(self))
+        self.server.publish(REPLICA_SERVICE, _ReplicaPort(self))
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> str:
+        self.address = await self.server.start(self.url)
+        self._running = True
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name=f"directory-replica-{self.url}"
+        )
+        return self.address
+
+    async def shutdown(self) -> None:
+        self._running = False
+        self._kick.set()
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._task = None
+        for peer in self._peers:
+            peer.cancel()
+            await peer.drop()
+        await self.directory.close_watches()
+        await self.server.shutdown()
+
+    async def __aenter__(self) -> "ReplicatedDirectoryServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.shutdown()
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def is_leader(self) -> bool:
+        return self._election.is_leader
+
+    @property
+    def term(self) -> int:
+        return self._election.term
+
+    @property
+    def leader_url(self) -> str:
+        return self._election.leader_url
+
+    @property
+    def last_index(self) -> int:
+        return self._log_start + len(self._log)
+
+    def election_snapshot(self) -> dict:
+        state = self._election.snapshot()
+        state["last_index"] = self.last_index
+        state["log_start"] = self._log_start
+        return state
+
+    # -- leader write path -------------------------------------------------------
+
+    def require_leader(self) -> None:
+        if self._election.is_leader:
+            return
+        hint = self._election.leader_url
+        raise NotLeaderError(
+            pack_leader_hint(f"{self.url} is a {self._election.role}", hint),
+            leader_url=hint,
+        )
+
+    def leader_advertise(
+        self, service: str, url: str, load: float, lease: float
+    ) -> LeaseGrant:
+        return self._leader_append("advertise", service, url, load, lease)
+
+    def leader_heartbeat(self, service: str, url: str, load: float) -> bool:
+        entries = self.directory._services.get(service)
+        entry = entries.get(url) if entries else None
+        if entry is None:
+            return False
+        if entry.load != load:
+            # Load changes are the only heartbeat payload followers
+            # need (they never expire on their own clock), so a stable
+            # load refreshes locally without touching the log.
+            self._leader_append("load", service, url, load, entry.lease)
+        else:
+            self.directory.heartbeat(service, url, load)
+        return True
+
+    def leader_withdraw(self, service: str, url: str) -> bool:
+        entries = self.directory._services.get(service)
+        if not entries or url not in entries:
+            return False
+        self._leader_append("withdraw", service, url)
+        return True
+
+    def _leader_append(
+        self,
+        op: str,
+        service: str = "",
+        url: str = "",
+        load: float = 0.0,
+        lease: float = 0.0,
+    ):
+        record = LogRecord(
+            index=self.last_index + 1,
+            term=self._election.term,
+            op=op,
+            service=service,
+            url=url,
+            load=load,
+            lease=lease,
+        )
+        self._log.append(record)
+        result = self._apply(record)
+        self._compact()
+        self._kick.set()
+        return result
+
+    def _apply(self, record: LogRecord):
+        """Apply one record to the local state machine.
+
+        ``set_fence`` pins the fencing state to ``(term, index - 1)``
+        first, so the single event the record emits — and the grant it
+        may return — carries exactly ``(term, index)``.
+        """
+        impl = self.directory
+        impl.set_fence(record.term, record.index - 1)
+        if record.op == "advertise":
+            return impl.advertise(record.service, record.url, record.load, record.lease)
+        if record.op == "withdraw":
+            return impl.withdraw(record.service, record.url)
+        if record.op == "expire":
+            return impl.force_expire(record.service, record.url)
+        if record.op == "load":
+            return impl.heartbeat(record.service, record.url, record.load)
+        if record.op == "leader":
+            return impl.note_leader_change(record.url)
+        logger.warning("unknown log op %r at index %d", record.op, record.index)
+        return None
+
+    def _sweep_leases(self) -> None:
+        """Leader-side active sweep: lapses become logged expire ops."""
+        for service, url in self.directory.lapsed():
+            self._leader_append("expire", service, url)
+
+    # -- log bookkeeping ---------------------------------------------------------
+
+    def _record_at(self, index: int) -> LogRecord | None:
+        offset = index - self._log_start - 1
+        if offset < 0 or offset >= len(self._log):
+            return None
+        return self._log[offset]
+
+    def _term_at(self, index: int) -> int:
+        if index <= 0:
+            return 0
+        if index == self._log_start:
+            return self._snap_term
+        record = self._record_at(index)
+        return record.term if record is not None else 0
+
+    def _last_log_term(self) -> int:
+        return self._log[-1].term if self._log else self._snap_term
+
+    def _truncate_from(self, index: int) -> None:
+        """Drop log records at ``index`` and beyond; rebuild the state.
+
+        Divergence repair after a failover: the kept prefix is replayed
+        into a reset state machine.  The replayed events re-enter the
+        watch history with their original ``(term, index)`` versions,
+        so any watcher that saw the divergent suffix deduplicates the
+        overlap and picks up the corrected stream.
+        """
+        keep = max(0, index - self._log_start - 1)
+        if keep >= len(self._log):
+            return
+        self._log = self._log[:keep]
+        self.directory.reset_state()
+        for record in self._log:
+            self._apply(record)
+
+    def _compact(self) -> None:
+        if len(self._log) <= self._max_log:
+            return
+        drop = len(self._log) // 2
+        boundary = self._log_start + drop
+        self._snap_term = self._term_at(boundary)
+        self._log = self._log[drop:]
+        self._log_start = boundary
+
+    # -- peer-facing handlers ----------------------------------------------------
+
+    def on_request_vote(
+        self, term: int, candidate: str, last_index: int, last_term: int
+    ) -> VoteReply:
+        was_leader = self._election.is_leader
+        granted = self._election.on_vote_request(
+            term, candidate, last_index, last_term,
+            self.last_index, self._last_log_term(),
+        )
+        if was_leader and not self._election.is_leader:
+            self._note_leadership_lost("")
+        self._update_gauges()
+        return VoteReply(term=self._election.term, granted=granted)
+
+    def on_append_entries(
+        self,
+        term: int,
+        leader: str,
+        prev_index: int,
+        prev_term: int,
+        entries: list[LogRecord],
+    ) -> AppendReply:
+        election = self._election
+        was_leader = election.is_leader
+        known_leader = election.leader_url
+        if not election.note_leader(term, leader):
+            # A deposed leader is still replicating: this rejection is
+            # the fencing-token comparison (its term < ours), counted
+            # on the same counter FenceGuard uses.
+            self._count_fenced(max(1, len(entries)))
+            return AppendReply(
+                term=election.term, ok=False, match_index=self.last_index
+            )
+        if was_leader and leader != self.url:
+            self._note_leadership_lost(leader)
+        elif known_leader and known_leader != leader:
+            self.server.note_incident(
+                "leader-change", f"term={election.term} leader={leader}"
+            )
+        last = self.last_index
+        if prev_index > last:
+            return AppendReply(term=election.term, ok=False, match_index=last)
+        if prev_index > self._log_start:
+            local = self._record_at(prev_index)
+            if local is None or local.term != prev_term:
+                self._truncate_from(prev_index)
+                return AppendReply(
+                    term=election.term, ok=False, match_index=self.last_index
+                )
+        elif prev_index < self._log_start:
+            # The offered window predates our snapshot boundary; ask
+            # the leader to resume from what we actually hold.
+            return AppendReply(term=election.term, ok=False, match_index=last)
+        for record in entries:
+            if record.index <= self._log_start:
+                continue
+            local = self._record_at(record.index)
+            if local is not None:
+                if local.term == record.term:
+                    continue
+                self._truncate_from(record.index)
+            self._log.append(record)
+            self._apply(record)
+        self._compact()
+        self._update_gauges()
+        return AppendReply(term=election.term, ok=True, match_index=self.last_index)
+
+    def on_install_snapshot(
+        self,
+        term: int,
+        leader: str,
+        last_index: int,
+        last_term: int,
+        epoch: int,
+        version: int,
+        leases: list[LeaseSnapshot],
+    ) -> AppendReply:
+        election = self._election
+        if not election.note_leader(term, leader):
+            self._count_fenced(1)
+            return AppendReply(
+                term=election.term, ok=False, match_index=self.last_index
+            )
+        self.directory.reset_state()
+        for lease in leases:
+            self.directory.install_lease(
+                lease.service, lease.url, lease.load, lease.generation, lease.lease
+            )
+        self.directory.set_fence(epoch, version)
+        self._log = []
+        self._log_start = last_index
+        self._snap_term = last_term
+        self._update_gauges()
+        return AppendReply(term=election.term, ok=True, match_index=last_index)
+
+    # -- the driver task ---------------------------------------------------------
+
+    async def _run(self) -> None:
+        while self._running:
+            try:
+                await asyncio.wait_for(self._kick.wait(), timeout=self._tick)
+            except (asyncio.TimeoutError, TimeoutError):
+                pass
+            self._kick.clear()
+            if not self._running:
+                return
+            try:
+                if self._election.timed_out():
+                    await self._campaign()
+                if self._election.is_leader:
+                    self._sweep_leases()
+                    self._replicate_round()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                logger.exception("directory replica %s driver error", self.url)
+            self._update_gauges()
+
+    async def _campaign(self) -> None:
+        """One election round: count votes *as replies arrive*.
+
+        Waiting for every reply before counting would gate leadership
+        on the slowest peer — behind a partition that is a full connect
+        timeout, longer than the election timeout, so the grantor's
+        own timer fires and deposes the winner before it ever claims
+        the majority it already has (a two-node livelock).  Majority
+        wins immediately; stragglers are cancelled.
+        """
+        election = self._election
+        term = election.start_election()
+        self.server.metrics.counter("cluster.election.elections").inc()
+        last_index, last_term = self.last_index, self._last_log_term()
+        if election.has_majority(len(self._peers) + 1):
+            # Our own vote is already a quorum (single-node ensemble).
+            self._become_leader()
+            return
+        loop = asyncio.get_running_loop()
+        pending = [
+            loop.create_task(self._request_vote(peer, term, last_index, last_term))
+            for peer in self._peers
+        ]
+        try:
+            for future in asyncio.as_completed(pending):
+                vote = await future
+                if vote is not None:
+                    peer_url, reply = vote
+                    election.note_vote(peer_url, reply.term, reply.granted)
+                if election.role != ROLE_CANDIDATE or election.term != term:
+                    return  # deposed or superseded mid-campaign
+                if election.has_majority(len(self._peers) + 1):
+                    self._become_leader()
+                    return
+            # Lost (split vote or unreachable majority).  Re-arm the
+            # randomized timer *now*: the campaign itself can outlast
+            # the timeout drawn at start_election (an unreachable peer
+            # holds it for a full connect timeout), and a deadline that
+            # expired mid-campaign means instant identical-period
+            # retries — two candidates phase-lock into denying each
+            # other forever.  A fresh draw per round breaks the tie.
+            election.reset_timer()
+        finally:
+            for future in pending:
+                future.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    async def _request_vote(self, peer: _Peer, term: int, last_index: int, last_term: int):
+        try:
+            proxy = await self._peer_proxy(peer)
+            reply = await asyncio.wait_for(
+                proxy.request_vote(term, self.url, last_index, last_term),
+                self._vote_timeout,
+            )
+            return (peer.url, reply)
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            await peer.drop()
+            return None
+
+    def _become_leader(self) -> None:
+        election = self._election
+        election.become_leader()
+        for peer in self._peers:
+            # A replicate task lingering from an earlier reign would
+            # race the fresh indices below with a stale term.
+            peer.cancel()
+            peer.next_index = self.last_index + 1
+            peer.match_index = 0
+            peer.last_sent = -1e9
+        # Our lease deadlines are stale — heartbeats refreshed the old
+        # leader's copies.  One full window of grace for every
+        # survivor, then the sweep resumes.
+        self.directory.regrant_all(self._default_lease)
+        self.server.metrics.counter("cluster.election.leader_changes").inc()
+        self.server.note_incident(
+            "leader-change", f"term={election.term} leader={self.url}"
+        )
+        # The no-op that announces the term in the log; applying it
+        # emits the leader-change event every watcher resubscribes on.
+        self._leader_append("leader", url=self.url)
+
+    def _note_leadership_lost(self, new_leader: str) -> None:
+        """We were leader and no longer are: tell our watchers, loudly.
+
+        The local (un-logged) leader-change event rides version 0 of
+        the *new* term — lexicographically above everything we granted,
+        below everything the new leader will — so subscribed watchers
+        resubscribe without poisoning their dedup cursor.
+        """
+        self.server.metrics.counter("cluster.election.leader_changes").inc()
+        self.server.note_incident(
+            "leader-change",
+            f"stepped down at term={self._election.term} leader={new_leader or '?'}",
+        )
+        self.directory.broadcast_local(
+            DirectoryEvent(
+                kind="leader-change",
+                service="",
+                url=new_leader,
+                load=0.0,
+                generation=0,
+                epoch=self._election.term,
+                version=0,
+            )
+        )
+
+    def _replicate_round(self) -> None:
+        """Kick one replication task per idle peer — no barrier.
+
+        Peers advance independently: a healthy follower gets its
+        heartbeat every interval even while an unreachable one is
+        sitting in a connect timeout.  Gathering the peers instead
+        would pace every follower at the slowest link and starve the
+        healthy ones into spurious re-elections.
+        """
+        loop = asyncio.get_running_loop()
+        for peer in self._peers:
+            if peer.task is None or peer.task.done():
+                peer.task = loop.create_task(self._replicate_task(peer))
+
+    async def _replicate_task(self, peer: _Peer) -> None:
+        try:
+            await self._replicate_peer(peer)
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            logger.exception(
+                "directory replica %s replication to %s failed", self.url, peer.url
+            )
+
+    async def _replicate_peer(self, peer: _Peer) -> None:
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        pending = peer.next_index <= self.last_index
+        if not pending and now - peer.last_sent < self._hb_interval:
+            return
+        peer.last_sent = now
+        election = self._election
+        term = election.term
+        try:
+            proxy = await self._peer_proxy(peer)
+            if peer.next_index <= self._log_start:
+                reply = await self._send_snapshot(proxy, term)
+            else:
+                prev = peer.next_index - 1
+                offset = prev - self._log_start
+                entries = self._log[offset : offset + APPEND_BATCH]
+                reply = await asyncio.wait_for(
+                    proxy.append_entries(
+                        term, self.url, prev, self._term_at(prev), entries
+                    ),
+                    self._vote_timeout,
+                )
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            await peer.drop()
+            return
+        if reply.term > election.term:
+            election.step_down(reply.term)
+            self._note_leadership_lost("")
+            return
+        if reply.ok:
+            peer.match_index = reply.match_index
+            peer.next_index = reply.match_index + 1
+        else:
+            peer.next_index = max(
+                1, min(reply.match_index + 1, self.last_index + 1)
+            )
+
+    async def _send_snapshot(self, proxy, term: int) -> AppendReply:
+        leases = [
+            LeaseSnapshot(
+                service=entry.service,
+                url=entry.url,
+                load=entry.load,
+                generation=entry.generation,
+                lease=entry.lease,
+            )
+            for entries in self.directory._services.values()
+            for entry in entries.values()
+        ]
+        return await asyncio.wait_for(
+            proxy.install_snapshot(
+                term,
+                self.url,
+                self.last_index,
+                self._last_log_term(),
+                self.directory.epoch,
+                self.directory.version,
+                leases,
+            ),
+            self._vote_timeout,
+        )
+
+    async def _peer_proxy(self, peer: _Peer):
+        if peer.proxy is not None:
+            return peer.proxy
+        from repro.client import ClamClient
+
+        # Publish to the peer only once fully usable: a vote task
+        # cancelled mid-dial must not leave a half-open client behind.
+        client = await ClamClient.connect(
+            peer.url, connect_timeout=self._connect_timeout
+        )
+        try:
+            proxy = await client.lookup(ReplicaInterface, REPLICA_SERVICE)
+        except BaseException:
+            try:
+                await client.close()
+            except Exception:
+                pass
+            raise
+        peer.client, peer.proxy = client, proxy
+        return proxy
+
+    # -- obs ---------------------------------------------------------------------
+
+    def _count_fenced(self, n: int) -> None:
+        self.server.metrics.counter("cluster.directory.fenced_writes").inc(n)
+
+    def _update_gauges(self) -> None:
+        metrics = self.server.metrics
+        metrics.gauge("cluster.election.term").set(float(self._election.term))
+        metrics.gauge("cluster.election.is_leader").set(
+            1.0 if self._election.role == ROLE_LEADER else 0.0
+        )
+
+
+class LeaderClient:
+    """A directory client that finds — and follows — the leader.
+
+    Speaks :class:`DirectoryInterface` by attribute (``await
+    link.resolve(...)``) like a plain proxy, but over whichever of the
+    candidate ``urls`` currently answers:
+
+    - a :class:`NotLeaderError` reply redials the hinted leader (or
+      rotates, with a short backoff, while an election is in flight);
+    - transport trouble rotates to the next candidate;
+    - reads are served wherever the link happens to point (followers
+      apply in order and serve reads), so only writes chase the leader.
+
+    One link holds one connection, so RUC subscriptions made through
+    it (``watch``) live exactly as long as the link's current dial —
+    which is why :class:`~repro.cluster.pool.ClusterClient` keeps a
+    dedicated link for its watch plane.
+    """
+
+    def __init__(
+        self,
+        urls: str | Sequence[str],
+        *,
+        retry=None,
+        connect_timeout: float | None = 5.0,
+        max_hops: int = 8,
+        hop_backoff: float = 0.05,
+        client_options: dict | None = None,
+    ):
+        self._urls = [urls] if isinstance(urls, str) else list(urls)
+        if not self._urls:
+            raise ValueError("LeaderClient needs at least one directory url")
+        self._retry = retry
+        self._connect_timeout = connect_timeout
+        self._max_hops = max_hops
+        self._hop_backoff = hop_backoff
+        self._client_options = dict(client_options or {})
+        self._client = None
+        self._proxy = None
+        self._rotation = itertools.cycle(self._urls)
+        #: The URL currently dialled ("" while disconnected).
+        self.url = ""
+        #: Preferred next dial (a leader hint outranks rotation).
+        self._preferred: str | None = None
+        self.redirects = 0
+        self.rotations = 0
+
+    @property
+    def healthy(self) -> bool:
+        return self._client is not None and not self._client.rpc.closed
+
+    @property
+    def client(self):
+        """The underlying ClamClient of the current dial (may be None)."""
+        return self._client
+
+    async def ensure(self) -> None:
+        """Connect to some candidate if not already connected."""
+        if self._client is not None and not self._client.rpc.closed:
+            return
+        await self._drop()
+        last_exc: Exception | None = None
+        for _ in range(len(self._urls) + 1):
+            target = self._preferred or next(self._rotation)
+            self._preferred = None
+            try:
+                await self._dial(target)
+                return
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                last_exc = exc
+        raise TransportError(
+            f"no directory replica reachable among {self._urls}"
+        ) from last_exc
+
+    async def _dial(self, target: str) -> None:
+        from repro.client import ClamClient
+
+        client = await ClamClient.connect(
+            target,
+            retry=self._retry,
+            connect_timeout=self._connect_timeout,
+            **self._client_options,
+        )
+        try:
+            self._proxy = await client.lookup(DirectoryInterface, DIRECTORY_SERVICE)
+        except BaseException:
+            await client.close()
+            raise
+        self._client = client
+        self.url = target
+        if target not in self._urls:
+            self._urls.append(target)
+            self._rotation = itertools.cycle(self._urls)
+
+    async def _drop(self) -> None:
+        client, self._client, self._proxy = self._client, None, None
+        self.url = ""
+        if client is not None:
+            try:
+                await client.close()
+            except Exception:
+                pass
+
+    async def reset(self, prefer: str = "") -> None:
+        """Drop the current dial; optionally aim the next one at ``prefer``."""
+        await self._drop()
+        if prefer:
+            self._preferred = prefer
+
+    async def invoke(self, method: str, *args):
+        """One directory call, chasing leader hints up to ``max_hops``."""
+        last_exc: Exception | None = None
+        for hop in range(self._max_hops):
+            try:
+                await self.ensure()
+                return await getattr(self._proxy, method)(*args)
+            except NotLeaderError as exc:
+                last_exc = exc
+                self.redirects += 1
+                await self._drop()
+                if exc.leader_url:
+                    self._preferred = exc.leader_url
+                else:
+                    # Election in flight: give it a beat, then rotate.
+                    await asyncio.sleep(self._hop_backoff * (hop + 1))
+            except (TransportError, ConnectionClosedError, CallTimeoutError) as exc:
+                last_exc = exc
+                self.rotations += 1
+                await self._drop()
+                await asyncio.sleep(self._hop_backoff)
+        assert last_exc is not None
+        raise last_exc
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+
+        async def call(*args):
+            return await self.invoke(name, *args)
+
+        call.__name__ = name
+        return call
+
+    async def close(self) -> None:
+        await self._drop()

@@ -216,6 +216,39 @@ class NoReplicasError(ClusterError):
     """
 
 
+class NotLeaderError(ClusterError):
+    """A directory write landed on a follower replica.
+
+    Always safe to retry against the leader — followers refuse writes
+    *before* touching any state.  ``leader_url`` is the follower's
+    best guess at the current leader ("" when an election is in
+    progress); :class:`~repro.cluster.LeaderClient` follows the hint.
+
+    Like :class:`ServerOverloadedError`'s ``retry_after_ms``, the hint
+    rides inside the exception message on the wire
+    (``... [leader=url]``) so pre-fencing peers see a plain remote
+    error while replication-aware clients recover the structured
+    field — see :func:`repro.rpc.pack_leader_hint` /
+    ``parse_leader_hint``.
+    """
+
+    def __init__(self, message: str, leader_url: str = ""):
+        super().__init__(message)
+        self.leader_url = leader_url
+
+
+class FencedWriteError(ClusterError):
+    """A write carried a fencing token older than one already admitted.
+
+    The canonical split-brain guard (SNIPPETS.md snippet 1): a
+    paused-and-resumed lease holder presents its stale ``(epoch,
+    counter)`` token and the guarded resource refuses the write instead
+    of letting it clobber the successor's.  Never retryable with the
+    same token — the holder must re-acquire its lease (and thereby a
+    fresher token) first.
+    """
+
+
 class SlowSubscriberError(ClusterError):
     """A fan-out subscriber fell too far behind and was evicted.
 

@@ -37,16 +37,19 @@ from repro.faults.channel import (
     FaultyTransport,
     InjectedFault,
 )
+from repro.faults.partition import Partition, normalize_endpoint
 
 __all__ = [
     "FaultDecision",
     "FaultKind",
     "FaultRates",
     "FaultRule",
+    "Partition",
     "ScriptedSchedule",
     "SeededSchedule",
     "FaultInjector",
     "FaultyConnection",
     "FaultyTransport",
     "InjectedFault",
+    "normalize_endpoint",
 ]

@@ -54,7 +54,16 @@ class FaultInjector:
     experiment and ``records`` is its complete fault log.
     """
 
-    def __init__(self, schedule, *, metrics=None, tracer=None, flight=None):
+    def __init__(
+        self,
+        schedule,
+        *,
+        metrics=None,
+        tracer=None,
+        flight=None,
+        endpoint: str | None = None,
+        partition=None,
+    ):
         self._schedule: ScheduleFn | object = schedule
         self.metrics = metrics
         self.tracer = tracer
@@ -62,14 +71,28 @@ class FaultInjector:
         #: injected fault leaves a note in the ring, so an incident
         #: dump shows the chaos that preceded the failure.
         self.flight = flight
+        #: This injector's own endpoint identity plus the shared
+        #: :class:`repro.faults.partition.Partition` controller.  With
+        #: both set, every frame is checked against the active cuts
+        #: between ``endpoint`` and the connection's peer *before* the
+        #: schedule — a partition is a state, not a random event.
+        self.endpoint = endpoint
+        self.partition = partition
         self.records: list[InjectedFault] = []
-        self._scheme: str | None = None
+        self._schemes: list[str] = []
 
     def decide(
         self, direction: str, index: int, frame: bytes, peer: str
     ) -> FaultDecision | None:
-        decide = getattr(self._schedule, "decide", self._schedule)
-        decision = decide(direction, index, frame)
+        if (
+            self.partition is not None
+            and self.endpoint is not None
+            and self.partition.severed(self.endpoint, peer)
+        ):
+            decision = FaultDecision(kind=FaultKind.PARTITION)
+        else:
+            decide = getattr(self._schedule, "decide", self._schedule)
+            decision = decide(direction, index, frame)
         if decision is None:
             return None
         self.records.append(
@@ -122,13 +145,13 @@ class FaultInjector:
         faulty = FaultyTransport(inner_transport, self)
         scheme = f"chaos{next(_scheme_ids)}"
         register_scheme(scheme, lambda _url: (faulty, native))
-        self._scheme = scheme
+        self._schemes.append(scheme)
         return f"{scheme}://{native.partition('://')[2]}"
 
     def release_url(self) -> None:
-        if self._scheme is not None:
-            unregister_scheme(self._scheme)
-            self._scheme = None
+        for scheme in self._schemes:
+            unregister_scheme(scheme)
+        self._schemes.clear()
 
 
 def _corrupted(frame: bytes, offset: int) -> bytes:
@@ -166,7 +189,7 @@ class FaultyConnection(Connection):
         self._send_index += 1
         decision = self._injector.decide("send", index, frame, self.peer)
         kind = decision.kind if decision is not None else None
-        if kind is FaultKind.DROP:
+        if kind is FaultKind.DROP or kind is FaultKind.PARTITION:
             return
         if kind is FaultKind.CLOSE:
             await self._inner.close()
@@ -204,7 +227,7 @@ class FaultyConnection(Connection):
             self._recv_index += 1
             decision = self._injector.decide("recv", index, frame, self.peer)
             kind = decision.kind if decision is not None else None
-            if kind is FaultKind.DROP:
+            if kind is FaultKind.DROP or kind is FaultKind.PARTITION:
                 continue
             if kind is FaultKind.CLOSE:
                 await self._inner.close()

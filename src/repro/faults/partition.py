@@ -1,0 +1,108 @@
+"""Network partitions: bidirectional drop between two endpoints.
+
+The fault kinds in :mod:`repro.faults.schedule` mistreat *individual
+frames*; a partition is a different animal — a persistent cut between
+two named endpoints that drops **every** frame in **both** directions
+until healed.  It is the fault that forces leader elections
+(``cluster/election.py``): a leader partitioned from its followers
+keeps running, its followers time out and elect a successor, and when
+the partition heals the old leader's writes must be fenced off.
+
+A :class:`Partition` is a shared controller consulted by every
+:class:`~repro.faults.channel.FaultInjector` that carries an
+``endpoint`` identity::
+
+    net = Partition()
+    injector_a = FaultInjector(schedule, endpoint=url_a, partition=net)
+    injector_b = FaultInjector(schedule, endpoint=url_b, partition=net)
+    ...
+    net.partition(url_a, url_b)      # a <-/-> b, everything else flows
+    ...
+    net.heal(url_a, url_b)           # traffic resumes
+
+Cuts match on *normalized* URLs — scheme and ``#fragment`` stripped —
+so ``chaos3://node-1``, ``memory://node-1`` and the accept side's
+``memory://node-1#client7`` all name the same endpoint.  Partition
+drops are audited like any other fault (``faults.injected{kind=
+partition}``) but bypass the schedule's warmup and ``max_faults``
+bookkeeping: a cut is a *state*, not a random event, and it stays cut
+however many frames hit it.
+
+Cuts may be timed: ``partition(a, b, duration=2.0)`` heals itself
+(lazily, on the next consultation) after the duration elapses on the
+injectable ``clock`` — which is how seeded chaos runs schedule a
+partition window without a background task.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+def normalize_endpoint(url: str) -> str:
+    """Canonical endpoint identity for partition matching.
+
+    Strips the URL scheme (a chaos-wrapped dial and the native listener
+    are the same endpoint) and any ``#fragment`` (the memory transport
+    labels accepted connections ``memory://name#clientN``).
+    """
+    _, sep, rest = url.partition("://")
+    if sep:
+        url = rest
+    return url.partition("#")[0]
+
+
+class Partition:
+    """A set of healable bidirectional cuts between endpoint pairs."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        #: cut pair -> deadline (None = until healed explicitly)
+        self._cuts: dict[frozenset[str], Optional[float]] = {}
+
+    def partition(self, a: str, b: str, *, duration: float | None = None) -> None:
+        """Cut all traffic between ``a`` and ``b`` (both directions).
+
+        With ``duration`` the cut heals itself after that many seconds;
+        without, it holds until :meth:`heal`.  Re-partitioning an
+        existing cut replaces its deadline.
+        """
+        deadline = None if duration is None else self._clock() + duration
+        self._cuts[self._pair(a, b)] = deadline
+
+    def heal(self, a: str | None = None, b: str | None = None) -> None:
+        """Heal the cut between ``a`` and ``b``, or every cut if unnamed."""
+        if a is None and b is None:
+            self._cuts.clear()
+            return
+        if a is None or b is None:
+            raise ValueError("heal() takes both endpoints or neither")
+        self._cuts.pop(self._pair(a, b), None)
+
+    def severed(self, a: str, b: str) -> bool:
+        """Is traffic between ``a`` and ``b`` currently cut?
+
+        Expired timed cuts are healed here — the consultation *is* the
+        clock tick, so no background task is needed.
+        """
+        pair = self._pair(a, b)
+        deadline = self._cuts.get(pair, _MISSING)
+        if deadline is _MISSING:
+            return False
+        if deadline is not None and self._clock() >= deadline:
+            del self._cuts[pair]
+            return False
+        return True
+
+    @property
+    def active(self) -> int:
+        """Number of cuts currently held (timed cuts may have lapsed)."""
+        return len(self._cuts)
+
+    @staticmethod
+    def _pair(a: str, b: str) -> frozenset[str]:
+        return frozenset((normalize_endpoint(a), normalize_endpoint(b)))
+
+
+_MISSING = object()

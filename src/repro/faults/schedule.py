@@ -37,6 +37,7 @@ class FaultKind(enum.Enum):
     CORRUPT = "corrupt"      # frame bytes flipped
     CLOSE = "close"          # connection abruptly closed instead
     SLOW = "slow"            # peer drains slowly (stall before read)
+    PARTITION = "partition"  # endpoint pair severed (see faults.partition)
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,14 @@ message."
 from repro.rpc.batch import BatchQueue
 from repro.rpc.connection import RpcConnection
 from repro.rpc.dispatcher import Dispatcher, Exports
+from repro.rpc.fencing import (
+    FenceGuard,
+    FencingToken,
+    current_fence,
+    fence_scope,
+    pack_leader_hint,
+    parse_leader_hint,
+)
 from repro.rpc.objects import install_client_objects, install_server_objects
 from repro.rpc.pipeline import CallPipeline
 from repro.rpc.resilience import RetryPolicy, deadline_scope, remaining_deadline
@@ -34,8 +42,14 @@ __all__ = [
     "RpcConnection",
     "Dispatcher",
     "Exports",
+    "FenceGuard",
+    "FencingToken",
     "RetryPolicy",
+    "current_fence",
     "deadline_scope",
+    "fence_scope",
+    "pack_leader_hint",
+    "parse_leader_hint",
     "remaining_deadline",
     "install_client_objects",
     "install_server_objects",

@@ -45,6 +45,8 @@ import time
 from repro.errors import (
     CallTimeoutError,
     ConnectionClosedError,
+    FencedWriteError,
+    NotLeaderError,
     ProtocolError,
     RemoteError,
     RemoteStaleError,
@@ -61,6 +63,7 @@ from repro.handles import Handle
 from repro.ipc import MessageChannel
 from repro.obs.context import SpanContext, current_context
 from repro.rpc.batch import BatchQueue
+from repro.rpc.fencing import current_fence, parse_leader_hint
 from repro.rpc.resilience import (
     STALE_REMOTE_TYPES,
     RetryPolicy,
@@ -68,6 +71,7 @@ from repro.rpc.resilience import (
 )
 from repro.wire import (
     DEADLINE_VERSION,
+    FENCING_VERSION,
     FLOW_CONTROL_VERSION,
     BatchMessage,
     CallMessage,
@@ -251,6 +255,7 @@ class RpcConnection:
         self.sync_calls += 1
         started = time.perf_counter() if self._metrics is not None else 0.0
         timeout, deadline_ms = self._effective_timeout(method)
+        fence_epoch, fence_counter = self._fence_fields()
         message = CallMessage(
             serial=serial,
             oid=handle.oid,
@@ -262,6 +267,8 @@ class RpcConnection:
             parent_span=ctx.span_id if ctx else 0,
             deadline_ms=deadline_ms,
             priority=wire_priority(PriorityClass.SYNC),
+            fence_epoch=fence_epoch,
+            fence_counter=fence_counter,
         )
         try:
             await self._channel.send(message)
@@ -304,6 +311,7 @@ class RpcConnection:
         self.async_calls += 1
         ctx = current_context()
         serial = next(self._serials)
+        fence_epoch, fence_counter = self._fence_fields()
         message = CallMessage(
             serial=serial,
             oid=handle.oid,
@@ -314,6 +322,8 @@ class RpcConnection:
             trace_id=ctx.trace_id if ctx else "",
             parent_span=ctx.span_id if ctx else 0,
             priority=wire_priority(PriorityClass.BATCH),
+            fence_epoch=fence_epoch,
+            fence_counter=fence_counter,
         )
         # Remember where this serial was aimed so an out-of-band server
         # error (stale handle on a batched post, protocol v3) can be
@@ -343,6 +353,20 @@ class RpcConnection:
         if timeout is not None and self._channel.protocol_version >= DEADLINE_VERSION:
             deadline_ms = max(1, int(timeout * 1000))
         return timeout, deadline_ms
+
+    def _fence_fields(self) -> tuple[int, int]:
+        """The ambient fencing token as wire fields (0/0 when unfenced).
+
+        Only stamped when the channel speaks v5 — on an older wire the
+        fields would not be encoded anyway, and keeping them zero makes
+        the message byte-identical to a pre-fencing client's.
+        """
+        if self._channel.protocol_version < FENCING_VERSION:
+            return 0, 0
+        token = current_fence()
+        if token is None:
+            return 0, 0
+        return token.epoch, token.counter
 
     def _check_stale(self, handle: Handle) -> None:
         if (handle.oid, handle.tag) in self._stale:
@@ -379,6 +403,17 @@ class RpcConnection:
                 exc.remote_message,
                 retry_after_ms=parse_retry_after(exc.remote_message),
             )
+        if exc.remote_type == "NotLeaderError":
+            # A directory follower refused a write; the hint names the
+            # leader to retry against (LeaderClient follows it).
+            return NotLeaderError(
+                exc.remote_message,
+                leader_url=parse_leader_hint(exc.remote_message),
+            )
+        if exc.remote_type == "FencedWriteError":
+            # Our token lost the race: the resource admitted a newer
+            # lease holder.  Not retryable with this token.
+            return FencedWriteError(exc.remote_message)
         if exc.remote_type not in STALE_REMOTE_TYPES:
             return exc
         self.mark_stale(handle)

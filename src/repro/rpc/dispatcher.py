@@ -32,6 +32,7 @@ from repro.errors import (
     ClamError,
     DeadlineExpiredError,
     HandleError,
+    NotLeaderError,
     ServerOverloadedError,
 )
 from repro.bundlers.base import BundlerRegistry
@@ -39,6 +40,7 @@ from repro.handles import Descriptor, Handle, ObjectTable
 from repro.ipc import MessageChannel
 from repro.obs.context import SpanContext, using_context
 from repro.obs.profile import reset_layer, set_layer
+from repro.rpc.fencing import FencingToken, fence_scope
 from repro.stubs import InterfaceSpec, Skeleton, interface_spec
 from repro.wire import (
     DEADLINE_VERSION,
@@ -407,12 +409,24 @@ class Dispatcher:
     async def _dispatch_bounded(
         skeleton: Skeleton, call: CallMessage, budget: float | None
     ) -> bytes | None:
-        """Run the call body, bounded by what remains of its deadline."""
-        if budget is None:
-            return await skeleton.dispatch(call.method, call.args)
-        return await asyncio.wait_for(
-            skeleton.dispatch(call.method, call.args), budget
+        """Run the call body, bounded by what remains of its deadline.
+
+        The caller's fencing token (protocol v5, zero when unfenced) is
+        restored as the ambient fence for the handler's dynamic extent,
+        so guarded resources read it via
+        :func:`repro.rpc.current_fence` — no signature changes.
+        """
+        token = (
+            FencingToken(call.fence_epoch, call.fence_counter)
+            if call.fence_epoch or call.fence_counter
+            else None
         )
+        with fence_scope(token):
+            if budget is None:
+                return await skeleton.dispatch(call.method, call.args)
+            return await asyncio.wait_for(
+                skeleton.dispatch(call.method, call.args), budget
+            )
 
     async def _answer(
         self, call: CallMessage, message: Message, channel: MessageChannel
@@ -433,11 +447,12 @@ class Dispatcher:
                 message=str(exc),
                 traceback=traceback.format_exc(),
             )
-            if isinstance(exc, ServerOverloadedError):
-                # A shed is a verdict about *this moment*, not about the
-                # call: it must not enter the duplicate cache, so a
-                # retried serial is judged afresh instead of being
-                # bounced with the stale verdict.
+            if isinstance(exc, (ServerOverloadedError, NotLeaderError)):
+                # A shed — or a follower's refusal — is a verdict about
+                # *this moment*, not about the call: it must not enter
+                # the duplicate cache, so a retried serial is judged
+                # afresh instead of being bounced with the stale verdict
+                # (this server may be the leader by then).
                 await channel.send(answer)
             else:
                 await self._answer(call, answer, channel)

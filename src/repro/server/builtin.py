@@ -129,8 +129,15 @@ class BuiltinImpl(ClamServerInterface):
 
         Returns True so the call is synchronous: by the time the
         client's ``publish`` returns, other clients can look it up.
+
+        Fenced: a caller whose RPC carried a fencing token (its
+        directory lease grant) is admitted against the name's
+        high-water mark — a publisher holding a *lapsed* lease gets
+        :class:`~repro.errors.FencedWriteError` instead of clobbering
+        the successor's binding.  Unfenced callers pass untouched.
         """
         self._server.exports.table.descriptor(target)  # validates
+        self._server.fences.admit(f"publish:{name}")
         self._server.note_republish(name, target)
         self._server.published[name] = target
         return True
@@ -143,8 +150,10 @@ class BuiltinImpl(ClamServerInterface):
         replay after a reconnect marks proxies obtained under the name
         stale), but handles already held stay valid — the object
         itself was not revoked.  Returns False when the name was not
-        published, so retraction is idempotent in effect.
+        published, so retraction is idempotent in effect.  Fenced like
+        ``publish`` — same name key, same high-water mark.
         """
+        self._server.fences.admit(f"publish:{name}")
         removed = self._server.published.pop(name, None) is not None
         if removed:
             self._server.note_unpublish(name)

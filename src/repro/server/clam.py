@@ -116,6 +116,14 @@ class ClamServer:
         #: Stage clocks for the upcall pipeline (repro.obs.stages):
         #: shared by every fan-out group and session on this server.
         self.stages = StageTimer(self.metrics)
+        #: Fencing-token admission (repro.rpc.fencing): the builtin
+        #: publish/unpublish path and any application UpcallGroup that
+        #: opts in admit the caller's ambient token here, so a client
+        #: whose directory lease lapsed (and was re-granted) cannot
+        #: overwrite the successor's writes.
+        from repro.rpc.fencing import FenceGuard
+
+        self.fences = FenceGuard(metrics=self.metrics)
         #: Per-layer attribution (repro.obs.profile): RPC time, bytes,
         #: and upcall round trips keyed by exported class name; read
         #: remotely via the builtin ``profile`` RPC.

@@ -13,6 +13,7 @@ Messages encode to XDR with :func:`encode_message` and decode with
 
 from repro.wire.messages import (
     DEADLINE_VERSION,
+    FENCING_VERSION,
     FLOW_CONTROL_VERSION,
     MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
@@ -37,6 +38,7 @@ from repro.wire.messages import (
 
 __all__ = [
     "DEADLINE_VERSION",
+    "FENCING_VERSION",
     "FLOW_CONTROL_VERSION",
     "MIN_PROTOCOL_VERSION",
     "PROTOCOL_VERSION",

@@ -40,6 +40,13 @@ on a stream, and a ``priority`` class on ``CallMessage``.  A v3 peer
 never receives CREDIT frames and posts without a window — credits
 degrade to the pre-v4 unbounded behaviour, while server-side
 admission control (which needs no wire support) still applies.
+Version 5 appends the fencing token (``fence_epoch``/``fence_counter``,
+see :mod:`repro.rpc.fencing`) to ``CallMessage``: the caller's lease
+credential, checked by guarded resources against a high-water mark so
+a paused-and-resumed lease holder cannot clobber its successor.  0/0
+means "unfenced"; a v4 peer never sees the fields and all its writes
+arrive unfenced, which guards admit — fencing protects fenced writers
+from *each other*, not from legacy peers.
 """
 
 from __future__ import annotations
@@ -53,7 +60,7 @@ from repro.errors import ProtocolError, XdrError
 from repro.xdr import XdrStream
 
 #: Bumped when the frame layout changes; negotiated in HELLO.
-PROTOCOL_VERSION = 4
+PROTOCOL_VERSION = 5
 
 #: Oldest version this peer still speaks.
 MIN_PROTOCOL_VERSION = 1
@@ -66,6 +73,9 @@ DEADLINE_VERSION = 3
 
 #: First version with credit-based flow control and call priorities.
 FLOW_CONTROL_VERSION = 4
+
+#: First version whose calls carry a fencing token.
+FENCING_VERSION = 5
 
 
 def negotiate_version(peer_version: int) -> int:
@@ -169,6 +179,11 @@ class CallMessage(Message):
     the :class:`repro.flow.PriorityClass` values, or 0 for
     "unspecified", which the receiver maps to the natural class of the
     call shape (sync → SYNC, batched post → BATCH).
+
+    ``fence_epoch``/``fence_counter`` (protocol v5) carry the caller's
+    :class:`repro.rpc.FencingToken` — its lease credential, compared
+    lexicographically by fence guards on the server.  0/0 means the
+    call is unfenced.
     """
 
     TYPE_CODE: ClassVar[_TypeCode] = _TypeCode.CALL
@@ -183,6 +198,8 @@ class CallMessage(Message):
     parent_span: int = 0
     deadline_ms: int = 0
     priority: int = 0
+    fence_epoch: int = 0
+    fence_counter: int = 0
 
     def bundle(self, stream: XdrStream, version: int = PROTOCOL_VERSION) -> None:
         stream.xuint(self.serial)
@@ -198,6 +215,9 @@ class CallMessage(Message):
             stream.xuint(self.deadline_ms)
         if version >= FLOW_CONTROL_VERSION:
             stream.xuint(self.priority)
+        if version >= FENCING_VERSION:
+            stream.xuhyper(self.fence_epoch)
+            stream.xuhyper(self.fence_counter)
 
     @classmethod
     def unbundle(
@@ -213,6 +233,8 @@ class CallMessage(Message):
         parent_span = 0
         deadline_ms = 0
         priority = 0
+        fence_epoch = 0
+        fence_counter = 0
         if version >= TRACE_CONTEXT_VERSION:
             trace_id = stream.xstring()
             parent_span = stream.xuhyper()
@@ -220,6 +242,9 @@ class CallMessage(Message):
             deadline_ms = stream.xuint()
         if version >= FLOW_CONTROL_VERSION:
             priority = stream.xuint()
+        if version >= FENCING_VERSION:
+            fence_epoch = stream.xuhyper()
+            fence_counter = stream.xuhyper()
         return cls(
             serial=serial,
             oid=oid,
@@ -231,6 +256,8 @@ class CallMessage(Message):
             parent_span=parent_span,
             deadline_ms=deadline_ms,
             priority=priority,
+            fence_epoch=fence_epoch,
+            fence_counter=fence_counter,
         )
 
 

@@ -3,12 +3,16 @@
 from repro.bench.guard import GUARDED_METRICS, check
 
 
-def _record(p50_1=100.0, p50_50=500.0):
+def _record(p50_1=100.0, p50_50=500.0, cached=3.0, watch=900.0):
     return {
         "fanout": {
             "fanout_subs_1": {"p50_delivery_us": p50_1},
             "fanout_subs_50": {"p50_delivery_us": p50_50},
-        }
+        },
+        "directory": {
+            "resolve_cached": {"p50_us": cached},
+            "watch_propagate": {"p50_us": watch},
+        },
     }
 
 
@@ -29,6 +33,13 @@ class TestCheck:
 
     def test_improvement_always_passes(self):
         assert check(_record(), _record(p50_1=5.0, p50_50=20.0)) == []
+
+    def test_watch_degrading_to_ttl_fails(self):
+        # Watch plane silently falling back to polling: propagation
+        # collapses from ~1ms to the resolve TTL (~500ms).
+        failures = check(_record(), _record(watch=500_000.0))
+        assert len(failures) == 1
+        assert "watch_propagate.p50_us" in failures[0]
 
     def test_metric_missing_from_baseline_is_skipped(self):
         # An old baseline predating a benchmark must not block CI.

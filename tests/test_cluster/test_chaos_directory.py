@@ -1,0 +1,265 @@
+"""Seeded chaos against the replicated directory — the acceptance run.
+
+Three directory replicas whose *peer links* ride faulted transports
+(mild seeded frame chaos plus a :class:`Partition` controller), with
+live advertisers and ten watching clients on clean links.  Mid-run the
+scenario does both of the bad things:
+
+1. **Partition** the leader away from both followers.  The followers
+   elect a successor; the old leader keeps ruling its island.  The cut
+   to the *non-leader* follower heals first, so the deposed leader's
+   stale-term append is deterministically rejected — the rejection IS
+   the fencing comparison, counted on ``cluster.directory.fenced_writes``
+   — before the new leader's traffic can reach it.
+2. **Kill** the then-current leader outright.  The surviving majority
+   elects again and the watch streams resubscribe with their cursors.
+
+Throughout: every watching client applies every directory event at
+most once (asserted by recording ``(epoch, version)`` stamps), and by
+the end every client's cache re-resolves to the full live endpoint
+set via watch upcalls — the polling fallback is pushed out past the
+assertion window, so convergence *must* come from the watch plane.
+"""
+
+import asyncio
+import itertools
+import os
+
+import pytest
+
+from repro.cluster import (
+    Advertiser,
+    ClusterClient,
+    LeaderClient,
+    ReplicatedDirectoryServer,
+)
+from repro.faults import FaultInjector, FaultRates, Partition, SeededSchedule
+from repro.obs.metrics import MetricsRegistry
+from tests.support import async_test, eventually
+
+_ids = itertools.count(1)
+
+SEEDS = [int(s) for s in os.environ.get("CHAOS_SEED", "").split(",") if s] or [1, 2, 3]
+
+N_WATCHERS = 10
+LEASE = 1.0
+
+
+def replica_rates() -> FaultRates:
+    # Mild frame chaos on the replica mesh: enough to exercise retries
+    # and re-elections, low enough that elections still converge.
+    return FaultRates(
+        drop=0.01,
+        delay=0.03,
+        duplicate=0.01,
+        reorder=0.01,
+        corrupt=0.0,
+        close=0.0,
+        slow=0.01,
+        max_delay=0.002,
+    )
+
+
+def the_leader(servers):
+    leaders = [s for s in servers if s.is_leader]
+    return leaders[0] if len(leaders) == 1 else None
+
+
+async def wait_for_leader(servers, timeout=15.0):
+    await eventually(lambda: the_leader(servers) is not None, timeout=timeout)
+    return the_leader(servers)
+
+
+def fenced_total(servers) -> float:
+    return sum(
+        s.server.metrics.counter("cluster.directory.fenced_writes").value
+        for s in servers
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@async_test
+async def test_directory_survives_partition_and_leader_kill(seed):
+    run = next(_ids)
+    urls = [f"memory://cdir-{seed}-{run}-{i}" for i in range(3)]
+    net = Partition()
+    fault_metrics = MetricsRegistry()
+
+    # One injector per *directed* replica link: node A dials node B
+    # through an injector whose endpoint identity is A, so a cut of
+    # the (A, B) pair severs the mesh link both ways.
+    injectors = {}
+    wrapped = {}
+    for i, a in enumerate(urls):
+        for j, b in enumerate(urls):
+            if a == b:
+                continue
+            injector = FaultInjector(
+                SeededSchedule(
+                    seed * 1000 + i * 10 + j,
+                    rates=replica_rates(),
+                    warmup=16,
+                    max_faults=60,
+                ),
+                metrics=fault_metrics,
+                endpoint=a,
+                partition=net,
+            )
+            injectors[(a, b)] = injector
+            wrapped[(a, b)] = injector.wrap_url(b)
+
+    servers = [
+        ReplicatedDirectoryServer(
+            url,
+            [wrapped[(url, peer)] for peer in urls if peer != url],
+            default_lease=LEASE,
+            election_timeout=(0.15, 0.30),
+            connect_timeout=0.3,
+            seed=seed * 31 + i,
+        )
+        for i, url in enumerate(urls)
+    ]
+    advertisers = []
+    clients = []
+    applied = {}  # client index -> list of applied (epoch, version) stamps
+    try:
+        for server in servers:
+            await server.start()
+        await wait_for_leader(servers)
+
+        # Two live advertisers for one service, on clean (unpartitioned)
+        # links — only the replica mesh is chaotic.
+        work_urls = [f"memory://work-{seed}-{run}-{k}" for k in range(2)]
+        for work_url in work_urls:
+            advertiser = Advertiser(
+                urls, "work", work_url,
+                lease=LEASE, interval=0.2, connect_timeout=1.0,
+            )
+            await advertiser.start()
+            advertisers.append(advertiser)
+
+        # Ten watching clients.  resolve_ttl=1.0 pushes the watch-mode
+        # polling safety net out to 20s — past every assertion window —
+        # so cache convergence below must come from watch events.
+        for k in range(N_WATCHERS):
+            client = await ClusterClient.connect(
+                urls, resolve_ttl=1.0, connect_timeout=1.0
+            )
+            await client.watch("work")
+            pool = client.pool("work")
+            stamps = applied[k] = []
+            original = pool.apply_event
+
+            def recording(event, _orig=original, _stamps=stamps):
+                _stamps.append((event.epoch, event.version))
+                return _orig(event)
+
+            pool.apply_event = recording
+            clients.append(client)
+
+        def caches():
+            return [
+                sorted(r.url for r in c.pool("work").replicas) for c in clients
+            ]
+
+        await eventually(
+            lambda: all(cache == sorted(work_urls) for cache in caches()),
+            timeout=10.0,
+        )
+
+        # -- phase 1: partition the leader off its island --------------------
+        # After the heal below, the deposed leader's stale-term append
+        # usually reaches the bystander within a heartbeat and is
+        # rejected — the rejection IS the fencing comparison.  But mesh
+        # chaos can also make the bystander campaign (a dropped
+        # heartbeat from the new leader) and its vote request, arriving
+        # over the freshly healed link, deposes the old leader before
+        # it ever sends a stale append — a legitimate ordering that
+        # fences nothing.  Each cycle is one partition epoch; retry
+        # until the stale append loses the race the observable way.
+        fenced_before = fenced_total(servers)
+        for attempt in range(5):
+            # Find the current leader and cut it off in one event-loop
+            # step (no awaits between the read and the cut):
+            # partitioning a stale leader would test nothing.
+            deadline = asyncio.get_running_loop().time() + 10.0
+            while True:
+                first = the_leader(servers)
+                if first is not None:
+                    followers = [s for s in servers if s is not first]
+                    for follower in followers:
+                        net.partition(first.url, follower.url)
+                    break
+                assert (
+                    asyncio.get_running_loop().time() < deadline
+                ), "no leader to cut"
+                await asyncio.sleep(0.02)
+            new_leader = await wait_for_leader(followers)
+            assert new_leader.term > first.term
+            bystander = next(s for s in followers if s is not new_leader)
+
+            # Heal the cut to the NON-leader follower first: the only
+            # write traffic on that link is the deposed leader's
+            # stale-term replication.
+            net.heal(first.url, bystander.url)
+            try:
+                await eventually(
+                    lambda: fenced_total(servers) > fenced_before, timeout=4.0
+                )
+            except AssertionError:
+                # The vote request won the race this epoch; heal up,
+                # let the mesh settle, and cut again.
+                net.heal()
+                await wait_for_leader(servers)
+                continue
+            break
+        else:
+            pytest.fail(f"seed {seed}: stale append never reached the bystander")
+        await eventually(lambda: not first.is_leader, timeout=15.0)
+        net.heal()  # full mesh back
+
+        await eventually(
+            lambda: all(cache == sorted(work_urls) for cache in caches()),
+            timeout=15.0,
+        )
+
+        # -- phase 2: kill the current leader outright -----------------------
+        victim = await wait_for_leader(servers)
+        survivors = [s for s in servers if s is not victim]
+        await victim.shutdown()
+        await wait_for_leader(survivors, timeout=15.0)
+
+        await eventually(
+            lambda: all(cache == sorted(work_urls) for cache in caches()),
+            timeout=15.0,
+        )
+
+        # -- the audit trail --------------------------------------------------
+        # The stale leader's writes were rejected (acceptance assert).
+        assert fenced_total(servers) > 0, f"seed {seed}: no fenced writes"
+        # Chaos actually happened on the mesh.
+        assert fault_metrics.counter("faults.injected.total").value > 0
+
+        # Every watching client applied every event exactly once: the
+        # at-least-once replay downstream of failovers was deduped by
+        # the (epoch, version) cursor before application.
+        for k, stamps in applied.items():
+            assert stamps, f"seed {seed}: client {k} applied no events"
+            assert len(stamps) == len(set(stamps)), (
+                f"seed {seed}: client {k} applied a duplicate event"
+            )
+
+        # The advertisers kept their leases alive across both failures
+        # (renewals re-placed any lease a failover dropped).
+        for advertiser in advertisers:
+            assert advertiser.heartbeats > 0
+    finally:
+        for client in clients:
+            await client.close()
+        for advertiser in advertisers:
+            await advertiser.stop(withdraw=False)
+        for server in servers:
+            if server._running:
+                await server.shutdown()
+        for injector in injectors.values():
+            injector.release_url()

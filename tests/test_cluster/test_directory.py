@@ -45,8 +45,9 @@ class TestDirectoryImpl:
 
     def test_advertise_then_resolve(self):
         directory, _ = self.make()
-        generation = directory.advertise("kv", "memory://a", 0.5, 2.0)
-        assert generation == 1
+        grant = directory.advertise("kv", "memory://a", 0.5, 2.0)
+        assert grant.generation == 1
+        assert (grant.epoch, grant.counter) == (1, 1)
         endpoints = directory.resolve("kv")
         assert endpoints == [
             Endpoint(service="kv", url="memory://a", load=0.5, generation=1)
@@ -96,8 +97,11 @@ class TestDirectoryImpl:
     def test_readvertise_bumps_generation(self):
         """A live entry re-advertised means the replica restarted."""
         directory, _ = self.make()
-        assert directory.advertise("kv", "memory://a", 0.0, 2.0) == 1
-        assert directory.advertise("kv", "memory://a", 0.0, 2.0) == 2
+        first = directory.advertise("kv", "memory://a", 0.0, 2.0)
+        second = directory.advertise("kv", "memory://a", 0.0, 2.0)
+        assert (first.generation, second.generation) == (1, 2)
+        # The fencing token is strictly monotonic across re-advertises.
+        assert second.token > first.token
         assert directory.resolve("kv")[0].generation == 2
 
     def test_advertise_after_full_expiry_registers_again(self):
@@ -181,8 +185,9 @@ class TestDirectoryOverWire:
             client = await ClamClient.connect(address)
             proxy = await client.lookup(DirectoryInterface, DIRECTORY_SERVICE)
 
-            generation = await proxy.advertise("kv", "memory://a", 0.25, 5.0)
-            assert generation == 1
+            grant = await proxy.advertise("kv", "memory://a", 0.25, 5.0)
+            assert grant.generation == 1
+            assert grant.epoch == 1 and grant.counter >= 1
             assert await proxy.heartbeat("kv", "memory://a", 0.5) is True
             endpoints = await proxy.resolve("kv")
             assert endpoints == [

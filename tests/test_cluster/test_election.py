@@ -1,0 +1,231 @@
+"""Election state machine: terms, votes, stickiness, up-to-date checks.
+
+:class:`ElectionManager` is pure state with an injectable clock, so
+every edge case — vote splitting, leader stickiness, the log
+up-to-date rule — runs deterministically without a cluster.  The
+wired-up protocol (over real connections, with kills and partitions)
+is exercised in ``test_replicate`` and ``test_chaos_directory``.
+"""
+
+import pytest
+
+from repro.cluster import (
+    ROLE_CANDIDATE,
+    ROLE_FOLLOWER,
+    ROLE_LEADER,
+    ElectionManager,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make(url="memory://n1", seed=1, timeout=(0.15, 0.30)):
+    clock = FakeClock()
+    return (
+        ElectionManager(url, election_timeout=timeout, seed=seed, clock=clock),
+        clock,
+    )
+
+
+class TestTimers:
+    def test_starts_as_follower_term_zero(self):
+        manager, _ = make()
+        assert manager.role == ROLE_FOLLOWER
+        assert manager.term == 0
+        assert not manager.is_leader
+
+    def test_times_out_after_election_timeout(self):
+        manager, clock = make()
+        assert not manager.timed_out()
+        clock.advance(0.31)  # past timeout_max
+        assert manager.timed_out()
+
+    def test_leader_never_times_out(self):
+        manager, clock = make()
+        manager.start_election()
+        manager.become_leader()
+        clock.advance(10.0)
+        assert not manager.timed_out()
+
+    def test_leader_contact_rearms_the_timer(self):
+        manager, clock = make()
+        clock.advance(0.14)
+        manager.note_leader(1, "memory://boss")
+        clock.advance(0.14)  # 0.28 total, but timer was re-armed
+        assert not manager.timed_out()
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            ElectionManager("memory://n1", election_timeout=(0.0, 0.1))
+        with pytest.raises(ValueError):
+            ElectionManager("memory://n1", election_timeout=(0.3, 0.1))
+
+
+class TestNoteLeader:
+    def test_stale_term_is_rejected(self):
+        manager, _ = make()
+        manager.note_leader(5, "memory://boss")
+        assert manager.note_leader(4, "memory://usurper") is False
+        assert manager.leader_url == "memory://boss"
+
+    def test_higher_term_adopts_and_clears_vote(self):
+        manager, _ = make()
+        manager.start_election()  # voted for self at term 1
+        assert manager.note_leader(2, "memory://boss") is True
+        assert manager.term == 2
+        assert manager.voted_for is None
+        assert manager.role == ROLE_FOLLOWER
+
+    def test_candidate_steps_down_for_equal_term_leader(self):
+        # Two candidates at the same term; the loser hears the
+        # winner's first append and yields.
+        manager, _ = make()
+        term = manager.start_election()
+        assert manager.note_leader(term, "memory://winner") is True
+        assert manager.role == ROLE_FOLLOWER
+
+    def test_leader_changes_counted_once_per_change(self):
+        manager, _ = make()
+        manager.note_leader(1, "memory://a")
+        manager.note_leader(1, "memory://a")  # heartbeat, not a change
+        manager.note_leader(2, "memory://b")
+        assert manager.leader_changes == 2
+
+
+class TestVoting:
+    def test_grants_to_up_to_date_candidate(self):
+        manager, _ = make()
+        assert manager.on_vote_request(1, "memory://cand", 5, 1, 5, 1) is True
+        assert manager.voted_for == "memory://cand"
+        assert manager.term == 1
+
+    def test_stale_term_denied(self):
+        manager, _ = make()
+        manager.note_leader(3, "memory://boss")
+        manager.leader_is_fresh()  # (freshness does not matter here)
+        assert manager.on_vote_request(2, "memory://cand", 9, 2, 0, 0) is False
+
+    def test_one_vote_per_term(self):
+        manager, _ = make()
+        assert manager.on_vote_request(1, "memory://a", 0, 0, 0, 0) is True
+        assert manager.on_vote_request(1, "memory://b", 0, 0, 0, 0) is False
+        # Same candidate retrying its request is re-granted (the
+        # reply may have been lost).
+        assert manager.on_vote_request(1, "memory://a", 0, 0, 0, 0) is True
+
+    def test_leader_stickiness_denies_without_adopting_term(self):
+        """A rejoining node with an inflated term cannot stampede a
+        healthy cluster into an election (PreVote-lite)."""
+        manager, _ = make()
+        manager.note_leader(2, "memory://boss")
+        assert manager.on_vote_request(99, "memory://rejoiner", 9, 9, 0, 0) is False
+        assert manager.term == 2  # the inflated term was NOT adopted
+
+    def test_stickiness_lapses_with_the_lease(self):
+        manager, clock = make()
+        manager.note_leader(2, "memory://boss")
+        clock.advance(0.31)  # leader contact stale
+        assert manager.on_vote_request(3, "memory://cand", 9, 2, 9, 2) is True
+
+    def test_out_of_date_log_denied(self):
+        manager, clock = make()
+        clock.advance(1.0)  # no fresh leader
+        # Our log: last (term=2, index=10).  Candidate behind on term:
+        assert manager.on_vote_request(3, "memory://c", 99, 1, 10, 2) is False
+        # Behind on index within the same last term:
+        assert manager.on_vote_request(4, "memory://c", 9, 2, 10, 2) is False
+        # Equal is up-to-date enough:
+        assert manager.on_vote_request(5, "memory://c", 10, 2, 10, 2) is True
+
+
+class TestCampaign:
+    def test_start_election_opens_a_term_voting_for_self(self):
+        manager, _ = make("memory://me")
+        term = manager.start_election()
+        assert term == 1
+        assert manager.role == ROLE_CANDIDATE
+        assert manager.voted_for == "memory://me"
+        assert manager.votes == {"memory://me"}
+
+    def test_majority_arithmetic(self):
+        manager, _ = make("memory://me")
+        manager.start_election()
+        assert manager.has_majority(1)
+        assert not manager.has_majority(3)
+        manager.note_vote("memory://peer", manager.term, True)
+        assert manager.has_majority(3)
+        assert not manager.has_majority(5)
+
+    def test_stale_and_denied_votes_ignored(self):
+        manager, _ = make("memory://me")
+        manager.start_election()
+        manager.start_election()  # term 2 — replies from term 1 are stale
+        manager.note_vote("memory://peer", 1, True)
+        manager.note_vote("memory://other", 2, False)
+        assert manager.votes == {"memory://me"}
+
+    def test_higher_term_reply_steps_down(self):
+        manager, _ = make("memory://me")
+        manager.start_election()
+        manager.note_vote("memory://peer", 7, False)
+        assert manager.role == ROLE_FOLLOWER
+        assert manager.term == 7
+
+    def test_become_leader(self):
+        manager, _ = make("memory://me")
+        manager.start_election()
+        manager.become_leader()
+        assert manager.is_leader
+        assert manager.leader_url == "memory://me"
+        assert manager.role == ROLE_LEADER
+
+    def test_snapshot_shape(self):
+        manager, _ = make("memory://me")
+        manager.start_election()
+        snap = manager.snapshot()
+        assert snap["self"] == "memory://me"
+        assert snap["role"] == ROLE_CANDIDATE
+        assert snap["term"] == 1
+        assert snap["votes"] == ["memory://me"]
+
+
+class TestSafetyProperty:
+    def test_at_most_one_leader_per_term(self):
+        """Five nodes, every pairwise vote request at one term: the
+        single-vote rule means at most one candidate can reach a
+        majority — the Raft safety core, checked exhaustively."""
+        urls = [f"memory://n{i}" for i in range(5)]
+        clocks = {}
+        managers = {}
+        for i, url in enumerate(urls):
+            clock = FakeClock()
+            clock.advance(1.0)  # nobody has a fresh leader
+            managers[url] = ElectionManager(
+                url, election_timeout=(0.15, 0.30), seed=i, clock=clock
+            )
+            clocks[url] = clock
+        # Every node campaigns at term 1 simultaneously.
+        for manager in managers.values():
+            manager.start_election()
+        # Every candidate asks every other node for a vote.
+        for candidate in urls:
+            for voter in urls:
+                if voter == candidate:
+                    continue
+                granted = managers[voter].on_vote_request(
+                    1, candidate, 0, 0, 0, 0
+                )
+                managers[candidate].note_vote(voter, 1, granted)
+        winners = [
+            url for url in urls if managers[url].has_majority(len(urls))
+        ]
+        assert len(winners) <= 1

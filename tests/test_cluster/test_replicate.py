@@ -1,0 +1,397 @@
+"""The replicated directory: election, replication, failover, fencing.
+
+Three real replicas over the in-process transport, driven through the
+public surfaces (:class:`LeaderClient`, :class:`Advertiser`,
+:class:`ClusterClient`).  The seeded-chaos version of these scenarios
+— partitions, kills mid-traffic — lives in ``test_chaos_directory``.
+"""
+
+import asyncio
+import itertools
+
+import pytest
+
+from repro.cluster import (
+    DIRECTORY_SERVICE,
+    Advertiser,
+    ClusterClient,
+    DirectoryInterface,
+    LeaderClient,
+    ReplicatedDirectoryServer,
+)
+from repro.client import ClamClient
+from repro.errors import NotLeaderError
+from repro.rpc import FencingToken
+from tests.support import async_test, eventually
+
+_ids = itertools.count(1)
+
+
+def make_cluster(n=3, *, tag="", **options):
+    run = next(_ids)
+    urls = [f"memory://repl-{tag}{run}-{i}" for i in range(n)]
+    options.setdefault("election_timeout", (0.10, 0.25))
+    options.setdefault("default_lease", 1.0)
+    servers = [
+        ReplicatedDirectoryServer(
+            url,
+            [u for u in urls if u != url],
+            seed=17 * run + i,
+            **options,
+        )
+        for i, url in enumerate(urls)
+    ]
+    return urls, servers
+
+
+async def start_all(servers):
+    for server in servers:
+        await server.start()
+
+
+async def stop_all(servers):
+    for server in servers:
+        await server.shutdown()
+
+
+def the_leader(servers):
+    leaders = [s for s in servers if s.is_leader]
+    return leaders[0] if len(leaders) == 1 else None
+
+
+async def wait_for_leader(servers, timeout=10.0):
+    await eventually(lambda: the_leader(servers) is not None, timeout=timeout)
+    return the_leader(servers)
+
+
+@async_test
+async def test_three_replicas_elect_exactly_one_leader():
+    urls, servers = make_cluster()
+    await start_all(servers)
+    try:
+        leader = await wait_for_leader(servers)
+        # Settled: every node agrees on the leader and its term.
+        await eventually(
+            lambda: all(s.leader_url == leader.url for s in servers)
+        )
+        assert sum(1 for s in servers if s.is_leader) == 1
+        assert all(s.term == leader.term for s in servers)
+    finally:
+        await stop_all(servers)
+
+
+@async_test
+async def test_follower_write_raises_not_leader_with_hint():
+    urls, servers = make_cluster()
+    await start_all(servers)
+    try:
+        leader = await wait_for_leader(servers)
+        follower = next(s for s in servers if not s.is_leader)
+        await eventually(lambda: follower.leader_url == leader.url)
+        client = await ClamClient.connect(follower.url)
+        try:
+            proxy = await client.lookup(DirectoryInterface, DIRECTORY_SERVICE)
+            with pytest.raises(NotLeaderError) as info:
+                await proxy.advertise("kv", "memory://kv-a", 0.0, 5.0)
+            assert info.value.leader_url == leader.url
+            # Reads are served anywhere.
+            assert await proxy.resolve("kv") == []
+        finally:
+            await client.close()
+    finally:
+        await stop_all(servers)
+
+
+@async_test
+async def test_leader_client_chases_the_hint_from_any_entry_point():
+    urls, servers = make_cluster()
+    await start_all(servers)
+    try:
+        leader = await wait_for_leader(servers)
+        follower_urls = [s.url for s in servers if not s.is_leader]
+        # Hand the link only follower urls: the first write must be
+        # redirected by hint to the leader and succeed.
+        link = LeaderClient(follower_urls)
+        try:
+            grant = await link.advertise("kv", "memory://kv-a", 0.0, 5.0)
+            assert grant.generation == 1
+            assert link.url == leader.url
+            assert link.redirects >= 1
+        finally:
+            await link.close()
+    finally:
+        await stop_all(servers)
+
+
+@async_test
+async def test_writes_replicate_to_every_follower():
+    urls, servers = make_cluster()
+    await start_all(servers)
+    try:
+        await wait_for_leader(servers)
+        link = LeaderClient(urls)
+        try:
+            await link.advertise("kv", "memory://kv-a", 0.25, 5.0)
+            await link.advertise("queue", "memory://q-a", 0.0, 5.0)
+            await link.withdraw("queue", "memory://q-a")
+
+            def replicated():
+                return all(
+                    [e.url for e in s.directory.resolve("kv")] == ["memory://kv-a"]
+                    and s.directory.resolve("queue") == []
+                    for s in servers
+                )
+
+            await eventually(replicated)
+            # The log is identical everywhere.
+            assert len({s.last_index for s in servers}) == 1
+        finally:
+            await link.close()
+    finally:
+        await stop_all(servers)
+
+
+@async_test
+async def test_failover_bumps_epoch_and_fences_token_order():
+    """Kill the leader: a new one takes over within the election
+    timeout and every token it grants outranks every old grant."""
+    urls, servers = make_cluster()
+    await start_all(servers)
+    try:
+        first = await wait_for_leader(servers)
+        link = LeaderClient(urls)
+        try:
+            grants = [
+                await link.advertise("kv", f"memory://kv-{i}", 0.0, 5.0)
+                for i in range(3)
+            ]
+            old_top = max(g.token for g in grants)
+            survivors = [s for s in servers if s is not first]
+            await first.shutdown()
+            await link.reset()  # the link may be dialled at the corpse
+            second = await wait_for_leader(survivors)
+            assert second.term > first.term
+            grant = await link.advertise("kv", "memory://kv-new", 0.0, 5.0)
+            assert grant.epoch == second.term
+            assert grant.token > old_top
+        finally:
+            await link.close()
+    finally:
+        await stop_all(servers)
+
+
+@async_test
+async def test_leases_survive_failover_for_one_window():
+    """A new leader re-grants surviving leases one full window before
+    sweeping, so live advertisers re-resolve without a gap."""
+    urls, servers = make_cluster(default_lease=0.5)
+    await start_all(servers)
+    try:
+        leader = await wait_for_leader(servers)
+        advertiser = Advertiser(
+            urls, "kv", "memory://kv-a", lease=0.5, interval=0.1,
+            connect_timeout=1.0,
+        )
+        await advertiser.start()
+        try:
+            survivors = [s for s in servers if s is not leader]
+            # Let the grant replicate first — killing the leader inside
+            # the apply-before-commit window is a *different* scenario
+            # (the advertiser self-heals by re-advertising), covered by
+            # the chaos suite.
+            await eventually(
+                lambda: all(s.directory.resolve("kv") for s in survivors)
+            )
+            await leader.shutdown()
+            second = await wait_for_leader(survivors)
+            # Immediately after the election the entry is still there
+            # (regranted); the advertiser's heartbeats then keep it.
+            assert [e.url for e in second.directory.resolve("kv")] == [
+                "memory://kv-a"
+            ]
+            before = advertiser.heartbeats
+            await eventually(lambda: advertiser.heartbeats >= before + 3)
+            assert [e.url for e in second.directory.resolve("kv")] == [
+                "memory://kv-a"
+            ]
+        finally:
+            await advertiser.stop()
+    finally:
+        await stop_all(servers)
+
+
+@async_test
+async def test_dead_advertiser_expires_via_logged_sweep():
+    """Only the leader expires leases; the expiry is a replicated op,
+    so every follower drops the entry too."""
+    urls, servers = make_cluster(default_lease=0.3)
+    await start_all(servers)
+    try:
+        await wait_for_leader(servers)
+        advertiser = Advertiser(urls, "kv", "memory://kv-a", lease=0.3, interval=0.1)
+        await advertiser.start()
+        await advertiser.stop(withdraw=False)  # crash shape
+        await eventually(
+            lambda: all(s.directory.resolve("kv") == [] for s in servers),
+            timeout=10.0,
+        )
+        assert all(s.directory.expired >= 1 for s in servers)
+    finally:
+        await stop_all(servers)
+
+
+@async_test
+async def test_restarted_replica_resyncs_via_snapshot():
+    """A replica that rejoins behind a compacted log gets a state
+    snapshot, not an append stream it can no longer follow."""
+    urls, servers = make_cluster(max_log=8)
+    await start_all(servers)
+    try:
+        leader = await wait_for_leader(servers)
+        victim = next(s for s in servers if not s.is_leader)
+        victim_index = servers.index(victim)
+        await victim.shutdown()
+
+        link = LeaderClient(urls)
+        try:
+            # Enough writes to force compaction past the victim's log.
+            for i in range(24):
+                await link.advertise("kv", f"memory://kv-{i}", 0.0, 60.0)
+        finally:
+            await link.close()
+        assert leader._log_start > 0
+
+        restarted = ReplicatedDirectoryServer(
+            victim.url,
+            [u for u in urls if u != victim.url],
+            election_timeout=(0.10, 0.25),
+            default_lease=1.0,
+            max_log=8,
+            seed=99,
+        )
+        servers[victim_index] = restarted
+        await restarted.start()
+        await eventually(
+            lambda: restarted.last_index == leader.last_index, timeout=10.0
+        )
+        assert len(restarted.directory.resolve("kv")) == 24
+        assert restarted.directory.epoch == leader.directory.epoch
+    finally:
+        await stop_all(servers)
+
+
+@async_test
+async def test_cluster_client_watch_survives_failover_exactly_once():
+    """Watch events keep patching the cache across a leader kill, with
+    no event applied twice (the (epoch, version) cursor dedups)."""
+    urls, servers = make_cluster()
+    await start_all(servers)
+    try:
+        leader = await wait_for_leader(servers)
+        client = await ClusterClient.connect(urls, connect_timeout=1.0)
+        try:
+            link = LeaderClient(urls)
+            await link.advertise("kv", "memory://kv-a", 0.0, 30.0)
+            await client.watch("kv")
+
+            def cached():
+                pool = client.pool("kv")
+                return sorted(r.url for r in pool.replicas)
+
+            await eventually(lambda: cached() == ["memory://kv-a"])
+
+            survivors = [s for s in servers if s is not leader]
+            await leader.shutdown()
+            await wait_for_leader(survivors)
+            await link.reset()
+            await link.advertise("kv", "memory://kv-b", 0.0, 30.0)
+            await eventually(
+                lambda: cached() == ["memory://kv-a", "memory://kv-b"],
+                timeout=15.0,
+            )
+            await link.withdraw("kv", "memory://kv-a")
+            await eventually(lambda: cached() == ["memory://kv-b"], timeout=15.0)
+            await link.close()
+        finally:
+            await client.close()
+    finally:
+        await stop_all(servers)
+
+
+@async_test
+async def test_advertiser_reports_directory_unreachable_incident():
+    """Satellite: repeated heartbeat failures surface as one
+    ``directory-unreachable`` incident through the sink."""
+    urls, servers = make_cluster(n=1)
+    await start_all(servers)
+    incidents = []
+    advertiser = Advertiser(
+        urls,
+        "kv",
+        "memory://kv-a",
+        lease=5.0,
+        interval=0.05,
+        miss_threshold=3,
+        connect_timeout=0.2,
+        incident_sink=lambda reason, detail: incidents.append((reason, detail)),
+    )
+    await advertiser.start()
+    try:
+        await stop_all(servers)  # the whole directory goes away
+        await eventually(lambda: len(incidents) >= 1, timeout=30.0)
+        reason, detail = incidents[0]
+        assert reason == "directory-unreachable"
+        assert "kv@memory://kv-a" in detail
+        # One incident per outage, not one per miss.
+        await eventually(lambda: advertiser.misses >= advertiser._miss_threshold + 2,
+                         timeout=30.0)
+        assert len(incidents) == 1
+    finally:
+        await advertiser.stop(withdraw=False)
+
+
+@async_test
+async def test_fencing_token_from_grant_fences_stale_publisher():
+    """The grant's token, used via fence_scope, protects a fenced
+    resource from a stale incarnation (the snippet-1 scenario)."""
+    from repro.rpc import fence_scope
+    from repro.errors import FencedWriteError
+    from repro.server import ClamServer
+    from repro.stubs import RemoteInterface
+
+    urls, servers = make_cluster()
+    await start_all(servers)
+    target = ClamServer()
+
+    class Noop(RemoteInterface):
+        __clam_class__ = "fence.noop"
+
+    target_url = await target.start(f"memory://fence-target-{next(_ids)}")
+    try:
+        await wait_for_leader(servers)
+        link = LeaderClient(urls)
+        old = await link.advertise("kv", "memory://old", 0.0, 5.0)
+        new = await link.advertise("kv", "memory://old", 0.0, 5.0)  # re-advertise
+        await link.close()
+        assert new.token > old.token
+
+        client = await ClamClient.connect(target_url)
+        try:
+            builtin = client.server
+            target.publish("thing", Noop())
+            # The *new* incarnation publishes first...
+            with fence_scope(new.token):
+                await builtin.publish("kv-owner", await builtin.lookup("thing"))
+            # ...then the stale one tries to clobber it and is fenced.
+            with fence_scope(old.token):
+                with pytest.raises(FencedWriteError):
+                    await builtin.publish("kv-owner", await builtin.lookup("thing"))
+            assert (
+                target.metrics.counter("cluster.directory.fenced_writes").value
+                >= 1
+            )
+        finally:
+            await client.close()
+    finally:
+        await target.shutdown()
+        await stop_all(servers)

@@ -1,0 +1,155 @@
+"""Partitions: bidirectional cuts, normalization, timed healing.
+
+Unit tests drive :class:`Partition` directly with a fake clock; the
+integration test threads a cut through two :class:`FaultInjector`
+wrapped endpoints and proves traffic stops *during* the cut and
+resumes after :meth:`heal` — the primitive the election chaos suite
+builds on.
+"""
+
+import itertools
+
+import pytest
+
+from repro.client import ClamClient
+from repro.faults import (
+    FaultInjector,
+    FaultRates,
+    Partition,
+    SeededSchedule,
+    normalize_endpoint,
+)
+from repro.server import ClamServer
+from repro.stubs import RemoteInterface, idempotent
+from tests.support import async_test
+
+_ids = itertools.count(1)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 50.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestNormalizeEndpoint:
+    def test_strips_scheme_and_fragment(self):
+        assert normalize_endpoint("memory://node-1") == "node-1"
+        assert normalize_endpoint("chaos3://node-1") == "node-1"
+        assert normalize_endpoint("memory://node-1#client7") == "node-1"
+        assert normalize_endpoint("node-1") == "node-1"
+
+
+class TestPartition:
+    def test_cut_is_bidirectional_and_scoped(self):
+        net = Partition()
+        net.partition("memory://a", "memory://b")
+        assert net.severed("memory://a", "memory://b")
+        assert net.severed("memory://b", "memory://a")
+        assert not net.severed("memory://a", "memory://c")
+        assert net.active == 1
+
+    def test_cut_matches_normalized_identities(self):
+        net = Partition()
+        net.partition("chaos1://a", "memory://b")
+        assert net.severed("memory://a", "memory://b#client3")
+
+    def test_heal_named_pair(self):
+        net = Partition()
+        net.partition("a", "b")
+        net.partition("a", "c")
+        net.heal("a", "b")
+        assert not net.severed("a", "b")
+        assert net.severed("a", "c")
+
+    def test_heal_everything(self):
+        net = Partition()
+        net.partition("a", "b")
+        net.partition("c", "d")
+        net.heal()
+        assert net.active == 0
+
+    def test_heal_one_endpoint_only_is_an_error(self):
+        net = Partition()
+        with pytest.raises(ValueError):
+            net.heal("a")
+
+    def test_timed_cut_heals_itself(self):
+        clock = FakeClock()
+        net = Partition(clock=clock)
+        net.partition("a", "b", duration=2.0)
+        assert net.severed("a", "b")
+        clock.advance(1.9)
+        assert net.severed("a", "b")
+        clock.advance(0.2)
+        assert not net.severed("a", "b")
+        assert net.active == 0
+
+    def test_repartition_replaces_deadline(self):
+        clock = FakeClock()
+        net = Partition(clock=clock)
+        net.partition("a", "b", duration=1.0)
+        net.partition("a", "b")  # now indefinite
+        clock.advance(10.0)
+        assert net.severed("a", "b")
+
+
+class Echo(RemoteInterface):
+    __clam_class__ = "partition.echo"
+
+    @idempotent
+    def echo(self, value: int) -> int: ...
+
+
+class EchoImpl(Echo):
+    def echo(self, value: int) -> int:
+        return value
+
+
+QUIET = FaultRates(
+    drop=0.0, delay=0.0, duplicate=0.0, reorder=0.0,
+    corrupt=0.0, close=0.0, slow=0.0,
+)
+
+
+@async_test
+async def test_partition_stops_traffic_until_healed():
+    """A cut between client and server drops every frame (both
+    directions) while everything else flows; healing restores it."""
+    run = next(_ids)
+    net = Partition()
+    # Zero random rates: the injector only enforces the partition, so
+    # the test is deterministic.  The injector's endpoint names the
+    # *dialing* side; the wrapped connection's peer is the server.
+    injector = FaultInjector(
+        SeededSchedule(1, rates=QUIET),
+        endpoint=f"client-{run}",
+        partition=net,
+    )
+    server = ClamServer()
+    server.publish("echo", EchoImpl())
+    url = await server.start(f"memory://part-{run}-server")
+    wrapped = injector.wrap_url(url)
+    client = await ClamClient.connect(wrapped, call_timeout=0.3)
+    try:
+        echo = await client.lookup(Echo, "echo")
+        assert await echo.echo(1) == 1
+
+        net.partition(f"client-{run}", url)
+        from repro.errors import CallTimeoutError
+
+        with pytest.raises(CallTimeoutError):
+            await echo.echo(2)
+
+        net.heal()
+        assert await echo.echo(3) == 3
+        assert injector.injected > 0  # partition drops were audited
+    finally:
+        await client.close()
+        await server.shutdown()
+        injector.release_url()

@@ -63,6 +63,14 @@ def _messages():
         "credit": CreditMessage(msg_credit=256, byte_credit=4 << 20),
         "credit_probe": CreditMessage(msg_credit=12, byte_credit=900,
                                       probe=True),
+        # v5 appends the fencing token (epoch, counter as hypers).  An
+        # unfenced call still encodes the two zero hypers at v5 — the
+        # fields are positional, not optional.
+        "call_v5": CallMessage(serial=11, oid=3, tag=9, method="move",
+                               args=b"\x01\x02\x03", expects_reply=True,
+                               trace_id="t-abc", parent_span=77,
+                               deadline_ms=1500, priority=1,
+                               fence_epoch=4, fence_counter=129),
     }
 
 
@@ -108,6 +116,14 @@ GOLDEN = {
     ("credit", 1): "000000090000000000000100000000000040000000000000",
     ("credit", 4): "000000090000000000000100000000000040000000000000",
     ("credit_probe", 4): "00000009000000000000000c000000000000038400000001",
+    ("call_v4", 5): "000000020000000a00000000000000030000000000000009"
+                    "000000046d6f766500000003010203000000000100000005"
+                    "742d616263000000000000000000004d000005dc00000001"
+                    "00000000000000000000000000000000",
+    ("call_v5", 5): "000000020000000b00000000000000030000000000000009"
+                    "000000046d6f766500000003010203000000000100000005"
+                    "742d616263000000000000000000004d000005dc00000001"
+                    "00000000000000040000000000000081",
 }
 
 
