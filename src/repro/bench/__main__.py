@@ -14,6 +14,7 @@ Usage::
     python -m repro.bench pipeline   # fan-out latency decomposed into stage budgets
     python -m repro.bench pipelined  # sync calls: sequential vs in-flight window
     python -m repro.bench directory  # replicated directory: resolve, watch, failover
+    python -m repro.bench durable    # durable store-and-forward: steady, spill, replay
 
     python -m repro.bench --json BENCH_rpc.json           # perf record
     python -m repro.bench --json BENCH_rpc.json --quick   # CI smoke mode
@@ -31,6 +32,7 @@ from repro.bench import (
     batching,
     bundlers_bench,
     directory_bench,
+    durable_bench,
     fanout_bench,
     fig51,
     overload_bench,
@@ -43,7 +45,7 @@ from repro.bench import (
 
 SUITES = (
     "fig51", "batching", "bundlers", "sweep", "tasks", "upcalls", "arq",
-    "fanout", "overload", "pipeline", "pipelined", "directory",
+    "fanout", "overload", "pipeline", "pipelined", "directory", "durable",
 )
 
 
@@ -115,6 +117,8 @@ def main(argv: list[str] | None = None) -> int:
                 pipelined_bench.main()
             elif suite == "directory":
                 directory_bench.main()
+            elif suite == "durable":
+                durable_bench.main(base_dir)
     return 0
 
 

@@ -30,6 +30,10 @@ GUARDED_METRICS: tuple[tuple[str, str, str], ...] = (
     # the watch plane silently degraded to polling.  Both are far past 2x.
     ("directory", "resolve_cached", "p50_us"),
     ("directory", "watch_propagate", "p50_us"),
+    # The durable live path must stay log-free: a steady-state p50 past
+    # 2x the baseline means deliveries started paying for the spill
+    # machinery they are designed to skip.
+    ("durable", "durable_steady_subs_1", "p50_delivery_us"),
 )
 
 

@@ -178,6 +178,17 @@ def _collect_pipelined(quick: bool) -> dict[str, dict[str, float]]:
     return asyncio.run(pipelined_bench.record(quick=quick))
 
 
+def _collect_durable(quick: bool) -> dict[str, dict[str, float]]:
+    """Durable store-and-forward: steady overhead, spill, replay."""
+    import asyncio
+    import tempfile
+
+    from repro.bench import durable_bench
+
+    with tempfile.TemporaryDirectory(prefix="clam-durable-") as base_dir:
+        return asyncio.run(durable_bench.record(base_dir, quick=quick))
+
+
 def _collect_directory(quick: bool) -> dict[str, dict[str, float]]:
     """Replicated directory: resolve latency, watch, failover."""
     import asyncio
@@ -264,6 +275,7 @@ def collect(quick: bool = False) -> dict[str, Any]:
     pipeline = _collect_pipeline(quick)
     pipelined_call = _collect_pipelined(quick)
     directory = _collect_directory(quick)
+    durable = _collect_durable(quick)
     telemetry_overhead = _collect_telemetry_overhead(quick)
 
     def speedup(kind: str) -> float:
@@ -285,6 +297,7 @@ def collect(quick: bool = False) -> dict[str, Any]:
         "pipeline": pipeline,
         "pipelined_call": pipelined_call,
         "directory": directory,
+        "durable": durable,
         "telemetry_overhead": telemetry_overhead,
         "derived": {
             "compiled_speedup_point": speedup("point"),
@@ -328,6 +341,14 @@ def write_record(path: str, quick: bool = False) -> dict[str, Any]:
             print(f"  {'directory_' + name:<{width}}  "
                   f"median {stats['p50_us']:>9.1f}us  "
                   f"p95 {stats['p95_us']:>9.1f}us")
+    for name, stats in record.get("durable", {}).items():
+        if name == "durable_steady_subs_1":
+            print(f"  {name:<{width}}  p50 {stats['p50_delivery_us']:>9.1f}us  "
+                  f"p95 {stats['p95_delivery_us']:>9.1f}us  "
+                  f"{stats['overhead_vs_plain_p50']:>5.2f}x vs plain")
+        else:
+            print(f"  {name:<{width}}  "
+                  f"{stats['events_per_sec']:>9.0f} events/s")
     overhead = record.get("telemetry_overhead")
     if overhead:
         print(f"  {'telemetry_overhead':<{width}}  "

@@ -57,6 +57,18 @@ from repro.wire import (
 DEFAULT_CONNECT_TIMEOUT = 5.0
 
 
+def _window_kwargs(
+    window_msgs: int | None, window_bytes: int | None
+) -> dict[str, int]:
+    """Only pass what the caller pinned; the ledger keeps its defaults."""
+    kwargs: dict[str, int] = {}
+    if window_msgs is not None:
+        kwargs["window_msgs"] = window_msgs
+    if window_bytes is not None:
+        kwargs["window_bytes"] = window_bytes
+    return kwargs
+
+
 class ClamClient:
     """A connected CLAM client: two channels, two tasks, one registry."""
 
@@ -76,6 +88,7 @@ class ClamClient:
         max_active_upcalls: int = 1,
         connect_timeout: float | None = DEFAULT_CONNECT_TIMEOUT,
         reconnect_policy: RetryPolicy | None = None,
+        upcall_window: tuple[int | None, int | None] = (None, None),
     ):
         from repro.trace import Tracer
 
@@ -94,6 +107,7 @@ class ClamClient:
         self._offered_version = offered_version
         self._max_active_upcalls = max_active_upcalls
         self._connect_timeout = connect_timeout
+        self._upcall_window = upcall_window
         self._closing = False
         #: Looked-up names, replayed after reconnect to revalidate the
         #: proxies they produced: name -> (iface, weak proxy ref).
@@ -127,8 +141,17 @@ class ClamClient:
         reconnect: bool = False,
         reconnect_policy: RetryPolicy | None = None,
         protocol_version: int = PROTOCOL_VERSION,
+        upcall_window_msgs: int | None = None,
+        upcall_window_bytes: int | None = None,
     ) -> "ClamClient":
         """Connect to the server at ``url``.
+
+        ``upcall_window_msgs`` / ``upcall_window_bytes`` size the CREDIT
+        window this client grants the server for upcalls (defaults in
+        :mod:`repro.flow.credits`).  The window paces fan-out delivery
+        *and* durable-store replay after a reconnect — a small window
+        makes a returning subscriber drain its spilled backlog in small,
+        self-clocked bites.
 
         ``adaptive_batch`` lets the batch queue resize ``max_batch``
         from observed flush occupancy (see
@@ -218,7 +241,9 @@ class ClamClient:
                 # Grant the server its upcall window (roles reversed
                 # from the RPC stream); the first grant engages the
                 # session's gate.
-                service.enable_credits()
+                service.enable_credits(**_window_kwargs(
+                    upcall_window_msgs, upcall_window_bytes
+                ))
                 await service.announce_credits()
             upcall_task = asyncio.get_running_loop().create_task(
                 service.run(), name="clam-client-upcalls"
@@ -253,6 +278,7 @@ class ClamClient:
             max_active_upcalls=max_active_upcalls,
             connect_timeout=connect_timeout,
             reconnect_policy=reconnect_policy if reconnect else None,
+            upcall_window=(upcall_window_msgs, upcall_window_bytes),
         )
 
     @staticmethod
@@ -343,8 +369,11 @@ class ClamClient:
             self._upcall_service.adopt_channel(upcall_channel)
             if upcall_channel.protocol_version >= FLOW_CONTROL_VERSION:
                 # Fresh channel, fresh cumulative grant arithmetic on
-                # both ends: rebuild the ledger and re-announce.
-                self._upcall_service.enable_credits()
+                # both ends: rebuild the ledger and re-announce (same
+                # window sizes the connect asked for).
+                self._upcall_service.enable_credits(
+                    **_window_kwargs(*self._upcall_window)
+                )
                 await self._upcall_service.announce_credits()
             if self._upcall_task is not None and not self._upcall_task.done():
                 self._upcall_task.cancel()
@@ -572,6 +601,20 @@ class ClamClient:
         """Cut a flight-recorder dump on the server (see the builtin
         ``dump``); returns the JSONL artifact as a string."""
         return await self._builtin.dump(reason)
+
+    async def store_ack(self, topic: str, durable_id: str, seq: int) -> int:
+        """Acknowledge durable deliveries up to ``seq`` (cumulative).
+
+        Tells the server's store this subscriber has durably applied
+        everything through ``seq`` on ``topic``, letting it truncate
+        the acked prefix of the spill log.  Idempotent (max-merge);
+        returns the cursor after the merge.
+        """
+        return await self._builtin.store_ack(topic, durable_id, seq)
+
+    async def store_stats(self) -> dict[str, float]:
+        """Per-topic, per-durable-id spill stats from the server's store."""
+        return await self._builtin.store_stats()
 
     @property
     def protocol_version(self) -> int:

@@ -205,6 +205,10 @@ class ReplicaPool:
         #: True while a live directory watch patches this pool in
         #: place; the TTL stretches to a safety net (see watch_ttl).
         self.watching = False
+        #: Called (synchronously, no await) when the pool declares its
+        #: own snapshot stale while a watch is live — the watch owner
+        #: uses it to resubscribe instead of trusting a dead stream.
+        self.on_stale = None
 
     @property
     def _effective_ttl(self) -> float:
@@ -294,15 +298,36 @@ class ReplicaPool:
             return
         self._resolved_at = asyncio.get_running_loop().time()
 
+    def invalidate(self) -> None:
+        """Declare the cached snapshot stale; kick a live watch too.
+
+        Beyond dropping the freshness stamp (so the next call pays for
+        a real resolution), this tells the watch plane — via
+        ``on_stale`` — that the event stream it trusts let every
+        replica go dark without a withdraw.  The watch resubscribes
+        from its cursor, so a freshly re-advertised replica is picked
+        up immediately instead of waiting out the stretched watch TTL.
+        """
+        self._resolved_at = -1e9
+        if self.watching and self.on_stale is not None:
+            if self._metrics is not None:
+                self._metrics.counter(
+                    "cluster.pool.watch_kicked", service=self.service
+                ).inc()
+            self.on_stale()
+
     async def _candidates(self) -> list[Replica]:
         await self.refresh()
         now = asyncio.get_running_loop().time()
         live = [r for r in self._replicas.values() if not r.is_down(now)]
         if live:
             return live
-        # Everything is down or unknown: pay for a forced resolution —
+        # Everything is down or unknown: the snapshot is stale whatever
+        # regime produced it — invalidate (which also kicks a live
+        # watch into resubscribing), then pay for a forced resolution;
         # the directory may already have expired the dead and admitted
         # fresh replicas.
+        self.invalidate()
         await self.refresh(force=True)
         now = asyncio.get_running_loop().time()
         live = [r for r in self._replicas.values() if not r.is_down(now)]
@@ -498,10 +523,18 @@ class ClusterProxy:
         )
 
 
+#: Queue sentinel: the pool invalidated itself under a live watch, so
+#: the stream is suspect — resubscribe from the cursor.
+_RESYNC = object()
+
+
 class _ServiceWatch:
     """One service's watch subscription: link, cursor, monitor task."""
 
-    __slots__ = ("service", "link", "queue", "task", "mark", "key", "active", "stopped")
+    __slots__ = (
+        "service", "link", "queue", "task", "mark", "key", "active",
+        "stopped", "resync",
+    )
 
     def __init__(self, service: str, link):
         self.service = service
@@ -513,10 +546,19 @@ class _ServiceWatch:
         self.key = 0
         self.active = False
         self.stopped = False
+        #: True while a resync sentinel is queued but not yet consumed,
+        #: so a burst of invalidations coalesces into one resubscribe.
+        self.resync = False
 
     def sink(self, event: DirectoryEvent) -> None:
         """The RUC the directory calls back; runs on the upcall stream."""
         self.queue.put_nowait(event)
+
+    def kick(self) -> None:
+        """Ask the pump to resubscribe (the pool's ``on_stale`` hook)."""
+        if not self.resync:
+            self.resync = True
+            self.queue.put_nowait(_RESYNC)
 
 
 class ClusterClient:
@@ -685,6 +727,7 @@ class ClusterClient:
             ),
         )
         self._watches[service] = watch
+        pool.on_stale = watch.kick
         subscribed = asyncio.Event()
         watch.task = asyncio.get_running_loop().create_task(
             self._watch_loop(watch, pool, subscribed),
@@ -716,6 +759,7 @@ class ClusterClient:
         pool = self._pools.get(service)
         if pool is not None:
             pool.watching = False
+            pool.on_stale = None
         self._note_watch_gauge()
 
     def _note_watch_gauge(self) -> None:
@@ -767,6 +811,14 @@ class ClusterClient:
                     await watch.link.reset()
                     return True
                 continue
+            if event is _RESYNC:
+                # The pool found every replica dark and invalidated
+                # itself: the stream we trust evidently missed the
+                # story.  Resubscribe from the cursor — replay brings
+                # any re-advertised replica in immediately.
+                watch.resync = False
+                await watch.link.reset()
+                return True
             stamp = (event.epoch, event.version)
             if stamp <= watch.mark:
                 # Replay overlap (at-least-once below, exactly-once

@@ -170,6 +170,16 @@ class RegistrationError(UpcallError):
     """An upcall registration was rejected (bad procedure type, dead port)."""
 
 
+class FlushTimeoutError(UpcallError, TimeoutError):
+    """A fan-out flush timed out; the message names the laggards.
+
+    Subclasses :class:`TimeoutError` so existing ``except
+    asyncio.TimeoutError`` handlers (the builtin on Python >= 3.11)
+    keep working — callers just get told *which* subscriber is behind
+    and by how much instead of a bare timeout.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Dynamic loading (paper §2, §4.3)
 
@@ -196,6 +206,22 @@ class FaultyClassError(LoaderError):
 
 class TaskError(ClamError):
     """Misuse of the cooperative task system."""
+
+
+# ---------------------------------------------------------------------------
+# Durable store (repro.store: spill logs, replay, retention)
+
+
+class StoreError(ClamError):
+    """Base class for failures in the durable store-and-forward plane.
+
+    Raised for misuse (appending to a closed log, a non-monotonic
+    seq, acking an unknown topic) — never for subscriber trouble,
+    which the fan-out layer absorbs the way it always has.  On-disk
+    damage is *not* an exception at all: recovery truncates to the
+    last intact record, counts ``store.truncations``, and raises a
+    flight-recorder incident instead of refusing to open.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -146,6 +146,21 @@ class CreditGate:
     def _covers(self, nbytes: int) -> bool:
         return self.available_msgs >= 1 and self.available_bytes >= nbytes
 
+    def headroom(self, *, default: int) -> int:
+        """Suggested batch size for a producer planning a drain.
+
+        How many messages the current grant could admit right now,
+        clamped to ``[1, default]`` — an unlimited (pre-v4) gate just
+        returns ``default``.  Purely advisory: the drain still goes
+        through :meth:`acquire_batch`, which enforces the window; this
+        lets a producer with a large backlog (the store's replay pump)
+        take window-shaped bites instead of staging one giant batch
+        that mostly waits inside the gate.
+        """
+        if self._unlimited:
+            return default
+        return max(1, min(default, self.available_msgs))
+
     # -- consumer input ------------------------------------------------------------
 
     def update(self, msg_credit: int, byte_credit: int) -> None:

@@ -59,6 +59,10 @@ class ClamServerInterface(RemoteInterface):
     def metrics(self) -> dict[str, float]: ...
     @idempotent
     def profile(self) -> dict[str, float]: ...
+    @idempotent
+    def store_ack(self, topic: str, durable_id: str, seq: int) -> int: ...
+    @idempotent
+    def store_stats(self) -> dict[str, float]: ...
     def dump(self, reason: str) -> str: ...
     def register_error_handler(
         self, handler: Callable[[str, int, str, str], None]
@@ -231,6 +235,35 @@ class BuiltinImpl(ClamServerInterface):
         fan-out pump work, ``_host`` for unattributed host activity).
         """
         return self._server.profiler.snapshot()
+
+    def store_ack(self, topic: str, durable_id: str, seq: int) -> int:
+        """Advance a durable subscriber's acknowledge cursor.
+
+        The truncation half of the store-and-forward protocol: a
+        subscriber that has durably applied everything up to ``seq``
+        tells the server so, and the acked prefix of its spill log is
+        compacted away.  Cumulative max-merge semantics (a stale or
+        duplicate ack is a no-op) make this idempotent, hence
+        retry-safe; returns the cursor after the merge.
+        """
+        from repro.errors import StoreError
+
+        if self._server.store is None:
+            raise StoreError("server has no store attached (attach_store)")
+        return self._server.store.group(topic).ack(durable_id, seq)
+
+    def store_stats(self) -> dict[str, float]:
+        """Flattened per-topic, per-durable-id spill stats.
+
+        Keys are ``<topic>.<durable_id>.<stat>`` (backlog_events,
+        backlog_bytes, acked, ...) plus ``<topic>.last_seq`` — what an
+        operator needs to see which subscriber a backlog belongs to.
+        """
+        from repro.errors import StoreError
+
+        if self._server.store is None:
+            raise StoreError("server has no store attached (attach_store)")
+        return self._server.store.flat_stats()
 
     def dump(self, reason: str) -> str:
         """Dump the flight recorder on demand; returns the JSONL text.

@@ -141,6 +141,8 @@ class ClamServer:
         #: The most recent dump's JSONL text (always kept).
         self.last_flight_dump: str = ""
         self._flight_seq = 0
+        #: Durable store-and-forward plane (see :meth:`attach_store`).
+        self.store = None
         self._last_dump_at: dict[str, float] = {}
         #: Metric-push hub (repro.obs.push), created on demand by
         #: :meth:`enable_telemetry`.
@@ -447,6 +449,25 @@ class ClamServer:
             name="upcall-degrade-report",
         )
         return True
+
+    # -- durable store plane (repro.store) ------------------------------------------------
+
+    def attach_store(self, spool):
+        """Adopt a :class:`repro.store.Spool` as this server's durability plane.
+
+        Wires the spool's counters into this server's metrics registry
+        and its incidents (log corruption, retention data loss, spill
+        failures) into the flight recorder, and enables the builtin
+        ``store_ack`` / ``store_stats`` RPCs.  Groups built with
+        ``store=spool`` *before* attaching are re-bound too.  Returns
+        the spool, so construction chains::
+
+            spool = server.attach_store(Spool("var/spool", fsync="batch"))
+            group = UpcallGroup("events", store=spool, metrics=server.metrics)
+        """
+        spool.bind(metrics=self.metrics, on_incident=self.note_incident)
+        self.store = spool
+        return spool
 
     # -- telemetry plane (flight recorder, metric push) -----------------------------------
 

@@ -1,0 +1,43 @@
+"""repro.store — durable store-and-forward for fan-out upcalls.
+
+The fan-out layer (:class:`repro.cluster.UpcallGroup`) is a
+best-effort multicast: a dead subscriber is evicted and its events are
+gone.  This package interposes a durability plane *underneath* that
+abstraction, the way PAPERS.md's ODP channel objects splice recovery
+services into a channel without the layers above noticing: subscribers
+keep receiving plain upcalls, publishers keep calling plain ``post()``,
+and the store only exists in the gap between a subscriber dying and
+coming back.
+
+- :class:`Spool` — the per-server durability root: directory tree,
+  fsync/retention policy, metrics + flight-recorder wiring.
+- :class:`Retention` — max-bytes / max-age bounds per spill log.
+- :class:`SubscriberLog` — the crash-safe append-only log itself.
+- :class:`TopicStore` / :class:`DurableSubscription` — per-topic seq
+  assignment and per-durable-id spill state (used via ``UpcallGroup``).
+- :class:`ReplayCursor` — the client-side exactly-once gate.
+
+See ``docs/DURABILITY.md`` for the log format, the exactly-once
+argument, and how replay interacts with CREDIT flow control.
+"""
+
+from repro.store.durable import (
+    DurableSubscription,
+    ReplayCursor,
+    TopicStore,
+)
+from repro.store.format import scan
+from repro.store.log import FSYNC_POLICIES, SubscriberLog
+from repro.store.retention import Retention
+from repro.store.spool import Spool
+
+__all__ = [
+    "DurableSubscription",
+    "FSYNC_POLICIES",
+    "ReplayCursor",
+    "Retention",
+    "Spool",
+    "SubscriberLog",
+    "TopicStore",
+    "scan",
+]

@@ -1,0 +1,146 @@
+"""On-disk record framing for durable subscriber logs.
+
+One log is a flat append-only sequence of records, each::
+
+    [u32 length][u32 crc32][u64 seq][f64 ts][payload bytes]
+
+- ``length`` counts the payload only; the 24-byte header is fixed.
+- ``crc32`` covers the ``seq``/``ts`` fields *and* the payload, so a
+  bit flip anywhere after the length prefix is detected — a corrupt
+  length prefix shows up as a short or implausible record instead.
+- ``seq`` is the topic-level sequence number assigned at ``post()``
+  time; replay order and the acknowledge cursor both speak seq.
+- ``ts`` is the wall-clock spill time (seconds), used by the max-age
+  retention policy and shown by the inspect CLI.
+
+The payload is the event's bundled argument bytes, exactly what the
+live path would have handed to ``Session.send_upcall_batch`` — replay
+re-sends stored bytes, it does not re-marshal.
+
+The scan is torn-tail-tolerant by construction: a crash mid-append
+leaves either a short header, a short payload, or a payload whose CRC
+does not match, and :func:`scan` stops at the last byte offset that
+parsed cleanly so recovery can truncate there and move on.  What it
+can *not* distinguish is torn tail vs. bit rot in the middle of the
+file; both stop the scan, but a mismatch with further plausible data
+behind it is reported as ``bad-crc`` (corruption) rather than
+``torn-tail`` (clean crash) so the flight recorder hears about it.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator, NamedTuple
+
+#: ``[u32 length][u32 crc32][u64 seq][f64 ts]``
+HEADER = struct.Struct(">IIQd")
+HEADER_SIZE = HEADER.size
+
+#: Sanity bound on a single record's payload: anything above this is a
+#: garbage length prefix, not a real record (events are RPC-argument
+#: sized, not gigabytes).
+MAX_PAYLOAD = 64 << 20
+
+#: Scan termination statuses (see :class:`ScanResult`).
+COMPLETE = "complete"
+TORN_TAIL = "torn-tail"
+BAD_CRC = "bad-crc"
+
+
+class Record(NamedTuple):
+    """One decoded record plus its byte extent in the log."""
+
+    offset: int
+    end: int
+    seq: int
+    ts: float
+    payload: bytes
+
+
+class ScanResult(NamedTuple):
+    """Outcome of a recovery scan.
+
+    ``good_end`` is the offset just past the last intact record — the
+    truncation point when ``status`` is not ``complete``.  ``detail``
+    is a human-readable description of why the scan stopped.
+    """
+
+    records: list[Record]
+    good_end: int
+    status: str
+    detail: str
+
+
+def record_size(payload: bytes) -> int:
+    """Total on-disk bytes for one record with this payload."""
+    return HEADER_SIZE + len(payload)
+
+
+def encode_record(seq: int, payload: bytes, ts: float) -> bytes:
+    """Frame one record for appending."""
+    body = struct.pack(">Qd", seq, ts) + payload
+    return struct.pack(">II", len(payload), zlib.crc32(body)) + body
+
+
+def decode_at(data: bytes, offset: int) -> Record:
+    """Decode the record at ``offset``; raises ValueError on any damage."""
+    if offset + HEADER_SIZE > len(data):
+        raise ValueError("short header")
+    length, crc, seq, ts = HEADER.unpack_from(data, offset)
+    if length > MAX_PAYLOAD:
+        raise ValueError(f"implausible payload length {length}")
+    end = offset + HEADER_SIZE + length
+    if end > len(data):
+        raise ValueError("short payload")
+    body = data[offset + 8 : end]
+    if zlib.crc32(body) != crc:
+        raise ValueError("crc mismatch")
+    return Record(offset, end, seq, ts, bytes(data[offset + HEADER_SIZE : end]))
+
+
+def scan(data: bytes) -> ScanResult:
+    """Walk a log image from byte 0, stopping at the first damage.
+
+    Distinguishes a *torn tail* (damage that reaches the end of the
+    file — the signature of a crash mid-append) from *corruption*
+    (a CRC mismatch with at least one more plausible record behind
+    it, or damage not at the tail).  Both truncate to ``good_end``;
+    only the latter deserves a flight-recorder incident.
+    """
+    records: list[Record] = []
+    offset = 0
+    size = len(data)
+    while offset < size:
+        try:
+            record = decode_at(data, offset)
+        except ValueError as exc:
+            remaining = size - offset
+            if remaining < HEADER_SIZE or str(exc) in ("short payload",):
+                status, detail = TORN_TAIL, (
+                    f"{exc} at offset {offset} ({remaining} trailing bytes)"
+                )
+            else:
+                status, detail = BAD_CRC, (
+                    f"{exc} at offset {offset} ({remaining} trailing bytes)"
+                )
+            return ScanResult(records, offset, status, detail)
+        records.append(record)
+        offset = record.end
+    return ScanResult(records, offset, COMPLETE, "")
+
+
+def iter_records(data: bytes) -> Iterator[Record]:
+    """Yield intact records from byte 0; silently stops at damage.
+
+    The forgiving iterator used by the inspect CLI; recovery code
+    wants :func:`scan` for the stop reason.
+    """
+    offset = 0
+    while offset < len(data):
+        try:
+            record = decode_at(data, offset)
+        except ValueError:
+            return
+        yield record
+        offset = record.end

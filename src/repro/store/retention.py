@@ -1,0 +1,62 @@
+"""Retention policy for spill logs: bounded disk, loud truncation.
+
+A durable subscription that never comes back would otherwise grow its
+log forever.  :class:`Retention` caps each log by total bytes and/or
+record age; enforcement drops the *oldest* records first (they are the
+ones a returning subscriber is least likely to still want) and the log
+counts every undelivered record it throws away under
+``store.evicted_events`` — retention is allowed to lose data, but
+never silently.
+"""
+
+from __future__ import annotations
+
+
+class Retention:
+    """Per-log bounds; ``None`` for either means unbounded."""
+
+    __slots__ = ("max_bytes", "max_age")
+
+    def __init__(
+        self, max_bytes: int | None = None, max_age: float | None = None
+    ):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        if max_age is not None and max_age <= 0:
+            raise ValueError("max_age must be > 0 seconds")
+        self.max_bytes = max_bytes
+        self.max_age = max_age
+
+    def excess(
+        self, entries: list[tuple[int, int, float]], *, now: float
+    ) -> int:
+        """How many leading records must go to satisfy the bounds.
+
+        ``entries`` is the log's index as ``(seq, size_bytes, ts)`` in
+        file order.  Age is enforced first (expired records go no
+        matter what), then bytes (drop oldest until under the cap).
+        Always leaves at least the newest record: a cap smaller than
+        one event should degrade to "keep only the latest", not to an
+        empty log that silently loses every future spill.
+        """
+        if not entries:
+            return 0
+        drop = 0
+        if self.max_age is not None:
+            cutoff = now - self.max_age
+            while drop < len(entries) - 1 and entries[drop][2] < cutoff:
+                drop += 1
+        if self.max_bytes is not None:
+            total = sum(size for _, size, _ in entries[drop:])
+            while drop < len(entries) - 1 and total > self.max_bytes:
+                total -= entries[drop][1]
+                drop += 1
+        return drop
+
+    def describe(self) -> str:
+        parts = []
+        if self.max_bytes is not None:
+            parts.append(f"max_bytes={self.max_bytes}")
+        if self.max_age is not None:
+            parts.append(f"max_age={self.max_age:g}s")
+        return ", ".join(parts) or "unbounded"

@@ -1,0 +1,168 @@
+"""The spool: one durability plane for all of a server's topics.
+
+A :class:`Spool` owns a directory tree of per-topic, per-subscriber
+spill logs and the policies they share (fsync, retention, compaction
+threshold).  An :class:`~repro.cluster.UpcallGroup` constructed with
+``store=spool`` becomes a *durable* topic; a server that calls
+:meth:`ClamServer.attach_store <repro.server.ClamServer.attach_store>`
+additionally routes the spool's incidents into the flight recorder,
+its counters into the metrics registry, and exposes the
+``store_ack``/``store_stats`` builtin RPCs.
+
+Layout on disk::
+
+    <root>/<topic>/_seq.meta            topic seq reservation high-water
+    <root>/<topic>/<durable-id>.log     spill log (repro.store.format)
+    <root>/<topic>/<durable-id>.log.ack acknowledge cursor sidecar
+
+Metrics (all under ``store.``): ``appended_events``, ``acks``,
+``fsyncs``, ``truncations``, ``compactions``, ``evicted_events``
+counters from the logs; ``backlog_bytes`` / ``backlog_events`` /
+``parked_subscribers`` gauges refreshed by :meth:`update_gauges`
+whenever a group spills, replays, parks, or resumes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable
+
+from repro.errors import StoreError
+from repro.store.durable import TopicStore
+from repro.store.log import FSYNC_POLICIES
+from repro.store.retention import Retention
+
+
+class Spool:
+    """Root of the durability plane; construct one per server."""
+
+    def __init__(
+        self,
+        root: str,
+        *,
+        fsync: str = "batch",
+        sync_every: int = 64,
+        retention: Retention | None = None,
+        compact_bytes: int = 64 << 10,
+        metrics=None,
+        on_incident: Callable[[str, str], None] | None = None,
+        clock: Callable[[], float] = time.time,
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, not {fsync!r}"
+            )
+        self.root = root
+        self.fsync = fsync
+        self.sync_every = sync_every
+        self.retention = retention
+        self.compact_bytes = compact_bytes
+        self._metrics = metrics
+        self._on_incident = on_incident
+        self._clock = clock
+        self._topics: dict[str, TopicStore] = {}
+        self._groups: dict[str, object] = {}
+        os.makedirs(root, exist_ok=True)
+
+    # -- wiring -------------------------------------------------------------------
+
+    def bind(self, *, metrics=None, on_incident=None) -> None:
+        """Adopt a server's observability plane (see ``attach_store``).
+
+        Propagates to topic stores and logs already open, so binding
+        after the first group was built still instruments everything.
+        """
+        if metrics is not None:
+            self._metrics = metrics
+        if on_incident is not None:
+            self._on_incident = on_incident
+        for topic in self._topics.values():
+            topic._metrics = self._metrics
+            topic._on_incident = self._on_incident
+            for sub in topic.subscriptions.values():
+                sub.log._metrics = self._metrics
+                sub.log._on_incident = self._on_incident
+
+    def incident(self, reason: str, detail: str) -> None:
+        if self._on_incident is not None:
+            self._on_incident(reason, detail)
+
+    # -- topics and groups --------------------------------------------------------
+
+    def topic(self, name: str) -> TopicStore:
+        store = self._topics.get(name)
+        if store is None:
+            store = TopicStore(
+                self.root,
+                name,
+                fsync=self.fsync,
+                sync_every=self.sync_every,
+                retention=self.retention,
+                compact_bytes=self.compact_bytes,
+                metrics=self._metrics,
+                on_incident=self.incident,
+                clock=self._clock,
+            )
+            self._topics[name] = store
+        return store
+
+    @property
+    def topics(self) -> dict[str, TopicStore]:
+        return dict(self._topics)
+
+    def register_group(self, topic: str, group) -> None:
+        """Groups register so server-level RPCs (store_ack) can route."""
+        self._groups[topic] = group
+
+    def group(self, topic: str):
+        group = self._groups.get(topic)
+        if group is None:
+            raise StoreError(f"no durable group registered for topic {topic!r}")
+        return group
+
+    # -- observability ------------------------------------------------------------
+
+    def update_gauges(self) -> None:
+        if self._metrics is None:
+            return
+        backlog_bytes = backlog_events = 0
+        for topic in self._topics.values():
+            backlog_bytes += topic.backlog_bytes()
+            backlog_events += topic.backlog_events()
+        parked = sum(
+            getattr(group, "parked_subscribers", 0)
+            for group in self._groups.values()
+        )
+        self._metrics.gauge("store.backlog_bytes").set(backlog_bytes)
+        self._metrics.gauge("store.backlog_events").set(backlog_events)
+        self._metrics.gauge("store.parked_subscribers").set(parked)
+
+    def stats(self) -> dict:
+        self.update_gauges()
+        return {
+            "root": self.root,
+            "fsync": self.fsync,
+            "topics": {
+                name: topic.stats() for name, topic in self._topics.items()
+            },
+        }
+
+    def flat_stats(self) -> dict[str, float]:
+        """Flattened numeric snapshot, shaped for the builtin RPC."""
+        out: dict[str, float] = {}
+        for name, topic in self._topics.items():
+            out[f"{name}.last_seq"] = float(topic.last_seq)
+            for durable_id, sub in topic.subscriptions.items():
+                prefix = f"{name}.{durable_id}"
+                stats = sub.log.stats()
+                for key in (
+                    "acked", "last_seq", "backlog_events", "backlog_bytes",
+                    "appended", "truncations", "evicted_events",
+                ):
+                    out[f"{prefix}.{key}"] = float(stats[key])
+        return out
+
+    def close(self) -> None:
+        for topic in self._topics.values():
+            topic.close()

@@ -3,7 +3,7 @@
 from repro.bench.guard import GUARDED_METRICS, check
 
 
-def _record(p50_1=100.0, p50_50=500.0, cached=3.0, watch=900.0):
+def _record(p50_1=100.0, p50_50=500.0, cached=3.0, watch=900.0, durable=120.0):
     return {
         "fanout": {
             "fanout_subs_1": {"p50_delivery_us": p50_1},
@@ -12,6 +12,9 @@ def _record(p50_1=100.0, p50_50=500.0, cached=3.0, watch=900.0):
         "directory": {
             "resolve_cached": {"p50_us": cached},
             "watch_propagate": {"p50_us": watch},
+        },
+        "durable": {
+            "durable_steady_subs_1": {"p50_delivery_us": durable},
         },
     }
 

@@ -430,3 +430,74 @@ class TestClusterProxy:
                 assert await cc.services() == ["kv"]
         finally:
             await cluster.stop()
+
+
+class TestInvalidation:
+    """The all-replicas-down path invalidates the cache *and* a live
+    directory watch, so a re-advertised replica is picked up without
+    waiting out the stretched watch TTL."""
+
+    class _EmptyDirectory:
+        def __init__(self):
+            self.resolves = 0
+
+        async def resolve(self, service):
+            self.resolves += 1
+            return []
+
+    def _pool(self, directory) -> "ReplicaPool":
+        from repro.cluster import ReplicaPool
+
+        return ReplicaPool(
+            "kv",
+            directory,
+            policy=RoundRobin(),
+            resolve_ttl=10.0,
+            down_ttl=1.0,
+            failover="transport",
+            client_options=None,
+        )
+
+    @async_test
+    async def test_all_down_kicks_a_live_watch(self):
+        directory = self._EmptyDirectory()
+        pool = self._pool(directory)
+        kicks = []
+        pool.watching = True
+        pool.on_stale = lambda: kicks.append(1)
+        with pytest.raises(NoReplicasError):
+            await pool._candidates()
+        assert kicks == [1]
+        # The forced resolution really happened (cache + force).
+        assert directory.resolves == 2
+
+    @async_test
+    async def test_no_watch_no_kick(self):
+        pool = self._pool(self._EmptyDirectory())
+        kicks = []
+        pool.on_stale = lambda: kicks.append(1)  # registered but not watching
+        with pytest.raises(NoReplicasError):
+            await pool._candidates()
+        assert kicks == []
+
+    @async_test
+    async def test_invalidate_drops_cache_freshness(self):
+        directory = self._EmptyDirectory()
+        pool = self._pool(directory)
+        with pytest.raises(NoReplicasError):
+            await pool._candidates()
+        resolves = directory.resolves
+        pool.invalidate()
+        await pool.refresh()  # within TTL, but the stamp was dropped
+        assert directory.resolves == resolves + 1
+
+    @async_test
+    async def test_watch_kick_coalesces(self):
+        from repro.cluster.pool import _RESYNC, _ServiceWatch
+
+        watch = _ServiceWatch("kv", link=None)
+        watch.kick()
+        watch.kick()
+        watch.kick()
+        assert watch.queue.qsize() == 1
+        assert watch.queue.get_nowait() is _RESYNC

@@ -395,3 +395,67 @@ async def test_fencing_token_from_grant_fences_stale_publisher():
     finally:
         await target.shutdown()
         await stop_all(servers)
+
+
+@async_test
+async def test_no_replicas_kicks_a_silently_dead_watch_back_alive():
+    """Satellite: when every cached replica of a *watched* service is
+    down, the pool invalidates its snapshot and kicks the watch into
+    resubscribing from its cursor — so a stream that silently missed
+    the story (withdraw + re-advertise it never delivered) is re-armed
+    instead of trusted until the stretched TTL expires."""
+    urls, servers = make_cluster()
+    await start_all(servers)
+    try:
+        await wait_for_leader(servers)
+        client = await ClusterClient.connect(
+            urls, connect_timeout=1.0, resolve_ttl=0.25
+        )
+        try:
+            link = LeaderClient(urls)
+            await link.advertise("kv", "memory://kv-a", 0.0, 30.0)
+            await client.watch("kv")
+            pool = client.pool("kv")
+
+            def cached():
+                return sorted(r.url for r in pool.replicas)
+
+            await eventually(lambda: cached() == ["memory://kv-a"])
+            watch = client._watches["kv"]
+
+            # The stream goes silently deaf: events stop reaching the
+            # pump's queue, but the link stays healthy so the health
+            # probe never fires.  The pool misses a withdraw + a
+            # re-advertise, and its cursor never moves past them.
+            watch.queue.put_nowait = lambda event: None
+            await link.withdraw("kv", "memory://kv-a")
+            await link.advertise("kv", "memory://kv-b", 0.0, 30.0)
+            await asyncio.sleep(0.3)
+            assert cached() == ["memory://kv-a"]  # stale, provably
+            del watch.queue.put_nowait  # hearing restored
+
+            # Every cached replica turns out dead (soft-down keeps the
+            # freshness stamp, so only the all-down path can save us).
+            for replica in pool.replicas:
+                pool.mark_overloaded(replica, retry_after_ms=2000)
+            live = await pool._candidates()
+            assert [r.url for r in live] == ["memory://kv-b"]
+            assert (
+                client.metrics.counter(
+                    "cluster.pool.watch_kicked", service="kv"
+                ).value
+                == 1
+            )
+
+            # The kick re-armed the stream: a later advertise arrives
+            # via watch events, well inside the ~5s TTL safety net.
+            await eventually(lambda: pool.watching, timeout=5.0)
+            await link.advertise("kv", "memory://kv-c", 0.0, 30.0)
+            await eventually(
+                lambda: "memory://kv-c" in cached(), timeout=3.0
+            )
+            await link.close()
+        finally:
+            await client.close()
+    finally:
+        await stop_all(servers)

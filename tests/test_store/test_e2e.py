@@ -1,0 +1,198 @@
+"""End-to-end durable fan-out over the wire: crash, resume, replay.
+
+The acceptance run for repro.store: 500 events posted while the
+durable subscriber suffers a mid-run kill; a successor process
+(a fresh client, same durable id) resumes from its cursor and must
+observe **all 500 events exactly once, in order**, with the replay
+throttled by its CREDIT window — never a firehose.
+"""
+
+import asyncio
+import itertools
+from typing import Callable
+
+from repro import ClamClient, ClamServer, RemoteInterface
+from repro.cluster import UpcallGroup
+from repro.store import ReplayCursor, Spool
+from tests.support import async_test, eventually
+
+_ids = itertools.count(1)
+
+N_EVENTS = 500
+KILL_AFTER = 200  # kill the first subscriber once it has seen this many
+
+
+class Hub(RemoteInterface):
+    """Host-embedded durable fan-out hub."""
+
+    def __init__(self, spool: Spool, metrics=None):
+        self.group = UpcallGroup(
+            "events",
+            store=spool,
+            queue_limit=64,
+            resume_poll=0.05,
+            metrics=metrics,
+        )
+
+    def join(
+        self, proc: Callable[[int, int], None], durable: str, resume_from: int
+    ) -> int:
+        return self.group.subscribe(proc, durable=durable, resume_from=resume_from)
+
+
+async def kill(client: ClamClient) -> None:
+    """Sever both channels abruptly, as a crashed process would."""
+    await client.rpc.channel.close()
+    await client._upcall_service._channel.close()
+
+
+@async_test
+async def test_500_events_survive_a_mid_run_kill_exactly_once(tmp_path):
+    spool = Spool(str(tmp_path / "spool"), fsync="never")
+    server = ClamServer(
+        session_linger=30.0, degrade_upcalls=True, upcall_timeout=0.5
+    )
+    hub = Hub(spool, metrics=server.metrics)
+    server.attach_store(spool)
+    server.publish("hub", hub)
+    address = await server.start(f"memory://store-e2e-{next(_ids)}")
+
+    # -- first incarnation: subscribes durably, dies mid-run ---------------
+    client_a = await ClamClient.connect(address, upcall_window_msgs=8)
+    cursor_a = ReplayCursor()
+    got_a: list[tuple[int, int]] = []
+
+    def on_event_a(seq: int, value: int) -> None:
+        if cursor_a.admit(seq):
+            got_a.append((seq, value))
+
+    proxy_a = await client_a.lookup(Hub, "hub")
+    await proxy_a.join(on_event_a, "sub", 0)
+
+    try:
+        # Phase 1: post half the stream, kill A once it has absorbed
+        # KILL_AFTER events — whatever is queued or in flight at that
+        # instant is the in-doubt window the cursors must absorb.
+        for value in range(N_EVENTS // 2):
+            hub.group.post(value)
+        await eventually(lambda: len(got_a) >= KILL_AFTER, timeout=30.0)
+        await kill(client_a)
+
+        # Phase 2: the publisher never stops.  The pump notices the
+        # dead path on the next delivery, parks the subscription, and
+        # everything spills to the log.
+        for value in range(N_EVENTS // 2, N_EVENTS):
+            hub.group.post(value)
+        await eventually(lambda: hub.group.parked_subscribers == 1)
+        assert hub.group.parks == 1
+        backlog = hub.group.stats()["parked"]["sub"]["backlog_events"]
+        assert backlog >= N_EVENTS // 2
+
+        # -- second incarnation: same durable id, resumes from cursor ------
+        client_b = await ClamClient.connect(address, upcall_window_msgs=8)
+        cursor_b = ReplayCursor(cursor_a.last)
+        got_b: list[tuple[int, int]] = []
+
+        def on_event_b(seq: int, value: int) -> None:
+            if cursor_b.admit(seq):
+                got_b.append((seq, value))
+
+        proxy_b = await client_b.lookup(Hub, "hub")
+        await proxy_b.join(on_event_b, "sub", cursor_a.last)
+        await eventually(
+            lambda: len(got_a) + len(got_b) == N_EVENTS, timeout=30.0
+        )
+        await hub.group.flush(timeout=30.0)
+
+        # Exactly once, in order, nothing lost across the crash.
+        combined = [value for _, value in got_a] + [value for _, value in got_b]
+        assert combined == list(range(N_EVENTS))
+        seqs = [seq for seq, _ in got_a] + [seq for seq, _ in got_b]
+        assert seqs == sorted(seqs)
+        assert hub.group.replayed >= N_EVENTS // 2
+
+        # The replay was paced by B's CREDIT window: a backlog this
+        # size cannot fit one grant, so B must have re-granted many
+        # times while absorbing it.
+        ledger = client_b._upcall_service._ledger
+        assert ledger is not None
+        assert ledger.grants_sent > 2
+
+        # -- acknowledge: the cursor RPC truncates the spill log -----------
+        acked = await client_b.store_ack("events", "sub", cursor_b.last)
+        assert acked == cursor_b.last == N_EVENTS
+        assert spool.topic("events").subscription("sub").backlog_events == 0
+        stats = await client_b.store_stats()
+        assert stats["events.sub.acked"] == float(N_EVENTS)
+        assert stats["events.last_seq"] == float(N_EVENTS)
+
+        # Server-side observability saw the whole story.
+        metrics = server.metrics.snapshot()
+        assert metrics["store.parks"] == 1.0
+        assert metrics["store.spilled_events"] >= N_EVENTS // 2
+        assert metrics["store.replayed_events"] >= N_EVENTS // 2
+
+        await client_b.close()
+    finally:
+        try:
+            await client_a.close()
+        except Exception:
+            pass
+        await hub.group.close()
+        spool.close()
+        await server.shutdown()
+
+
+@async_test
+async def test_server_restart_preserves_the_backlog(tmp_path):
+    """The stronger durability claim: the *server* dies with spilled
+    events on disk; its successor replays them to a re-subscriber."""
+    root = str(tmp_path / "spool")
+    spool = Spool(root, fsync="always")
+    server = ClamServer(session_linger=5.0)
+    hub = Hub(spool)
+    server.attach_store(spool)
+    server.publish("hub", hub)
+    address = await server.start(f"memory://store-restart-{next(_ids)}")
+
+    client = await ClamClient.connect(address)
+    got: list[tuple[int, int]] = []
+    proxy = await client.lookup(Hub, "hub")
+    await proxy.join(lambda seq, value: got.append((seq, value)), "sub", 0)
+    for value in range(5):
+        hub.group.post(value)
+    await hub.group.flush()
+    assert [value for _, value in got] == list(range(5))
+    await kill(client)
+    for value in range(5, 12):
+        hub.group.post(value)
+    await eventually(lambda: hub.group.parked_subscribers == 1)
+    # Hard stop: no clean close of the group or spool.
+    await server.shutdown()
+
+    spool2 = Spool(root, fsync="always")
+    server2 = ClamServer()
+    hub2 = Hub(spool2)
+    server2.attach_store(spool2)
+    server2.publish("hub", hub2)
+    address2 = await server2.start(f"memory://store-restart-{next(_ids)}")
+    client2 = await ClamClient.connect(address2)
+    cursor = ReplayCursor(got[-1][0])
+    got2: list[tuple[int, int]] = []
+
+    def on_event(seq: int, value: int) -> None:
+        if cursor.admit(seq):
+            got2.append((seq, value))
+
+    proxy2 = await client2.lookup(Hub, "hub")
+    await proxy2.join(on_event, "sub", got[-1][0])
+    await eventually(lambda: len(got2) == 7, timeout=10.0)
+    assert [value for _, value in got2] == list(range(5, 12))
+    # Seqs keep rising across the restart.
+    hub2.group.post(99)
+    await hub2.group.flush()
+    assert got2[-1][1] == 99 and got2[-1][0] > 12
+    await client2.close()
+    await hub2.group.close()
+    spool2.close()
+    await server2.shutdown()

@@ -1,0 +1,70 @@
+"""Smoke tests for the ``python -m repro.store.inspect`` CLI."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.store import SubscriberLog
+from repro.store.inspect import main
+
+
+def make_spool(tmp_path) -> str:
+    root = tmp_path / "spool" / "events"
+    log = SubscriberLog(str(root / "sub-a.log")).open()
+    log.append(1, b"alpha")
+    log.append(2, b"beta")
+    log.append(3, b"gamma")
+    log.ack(1)
+    log.close()
+    return str(tmp_path / "spool")
+
+
+class TestInspect:
+    def test_clean_log_exits_zero(self, tmp_path, capsys):
+        root = make_spool(tmp_path)
+        assert main([root]) == 0
+        out = capsys.readouterr().out
+        assert "sub-a.log" in out
+        assert "acked cursor: 1" in out
+        assert "seq=1 acked" in out
+        assert "seq=2 replay" in out
+        assert "scan: complete" in out
+
+    def test_damaged_log_exits_one(self, tmp_path, capsys):
+        root = make_spool(tmp_path)
+        path = os.path.join(root, "events", "sub-a.log")
+        os.truncate(path, os.path.getsize(path) - 3)
+        assert main([path]) == 1
+        out = capsys.readouterr().out
+        assert "torn-tail" in out
+        assert "recovery would truncate" in out
+
+    def test_json_mode(self, tmp_path, capsys):
+        root = make_spool(tmp_path)
+        assert main(["--json", root]) == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        assert payload["status"] == "complete"
+        assert payload["acked"] == 1
+        assert [r["seq"] for r in payload["records"]] == [1, 2, 3]
+        assert [r["acked"] for r in payload["records"]] == [True, False, False]
+
+    def test_usage_errors_exit_two(self, tmp_path):
+        assert main([str(tmp_path / "nope")]) == 2
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main([str(empty)]) == 2
+
+    def test_runs_as_a_module(self, tmp_path):
+        """The CI smoke invocation: ``python -m repro.store.inspect``."""
+        root = make_spool(tmp_path)
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.store.inspect", root],
+            capture_output=True,
+            text=True,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "scan: complete" in proc.stdout
